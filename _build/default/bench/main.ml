@@ -1,0 +1,635 @@
+(* Bench harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index), plus bechamel
+   microbenches and ablations of the design choices.
+
+   Usage:
+     dune exec bench/main.exe              -- run everything
+     dune exec bench/main.exe -- table3 fig6 ...   -- run a subset
+   Sections: fig2 fig3 fig4 fig6 table3 table4 table5 baseline micro ablation *)
+
+module W = Workloads.Workload
+module Registry = Workloads.Registry
+module Profiler = Alchemist.Profiler
+module Profile = Alchemist.Profile
+module Violation = Alchemist.Violation
+module Ranking = Alchemist.Ranking
+module Report = Alchemist.Report
+module Scatter = Alchemist.Scatter
+module Dep = Shadow.Dependence
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let fuel = 2_000_000_000
+
+(* Profiles are memoized: several sections reuse the same workload run. *)
+let profile_cache : (string * int, Profiler.result * Vm.Program.t) Hashtbl.t =
+  Hashtbl.create 16
+
+let profiled ?scale name =
+  let w = Registry.find name in
+  let scale = Option.value ~default:w.W.default_scale scale in
+  match Hashtbl.find_opt profile_cache (name, scale) with
+  | Some v -> v
+  | None ->
+      let prog = W.compile w ~scale in
+      let r = Profiler.run ~fuel prog in
+      Hashtbl.replace profile_cache (name, scale) (r, prog);
+      (r, prog)
+
+let cid_of (p : Profile.t) pc = Option.get (Profile.cid_of_head_pc p pc)
+
+(* --- Fig. 2 / Fig. 3: the gzip running example --------------------------- *)
+
+let fig2 () =
+  header "Fig. 2 — RAW dependence profile of mini-gzip";
+  let r, prog = profiled "gzip-1.3.5" in
+  let p = r.Profiler.profile in
+  print_string (Report.render ~top:4 ~max_edges:3 p);
+  let fb = cid_of p (Parsim.Speedup.proc_head prog "flush_block") in
+  print_string (Report.render_construct ~max_edges:12 p ~cid:fb);
+  print_endline
+    "\npaper: Method flush_block had 15 static RAW edges, exactly the two\n\
+     flowing into the post-loop checksum violating Tdep > Tdur (Tdep=1,3),\n\
+     and a line-14->14 self-RAW at Tdep=4.5M >> Tdur. [*] marks violations."
+
+let fig3 () =
+  header "Fig. 3 — WAR/WAW profile of mini-gzip flush_block";
+  let r, prog = profiled "gzip-1.3.5" in
+  let p = r.Profiler.profile in
+  let fb = cid_of p (Parsim.Speedup.proc_head prog "flush_block") in
+  print_string
+    (Report.render_construct ~max_edges:12 ~kinds:[ Dep.War; Dep.Waw ] p ~cid:fb);
+  print_endline
+    "\npaper: a violating WAW on outcnt (28->10, Tdep=7), violating WARs on\n\
+     flag_buf (17->7) and last_flags (26->7); no WAW on outbuf itself --\n\
+     the conflict rides on the index, not the buffer."
+
+(* --- Fig. 4: execution indexing --------------------------------------------- *)
+
+let fig4 () =
+  header "Fig. 4 — execution index trees (via the Fig. 5 rules)";
+  let trace name src =
+    let prog = Vm.Compile.compile_source src in
+    let a = Cfa.Analysis.analyze prog in
+    let tree = Indexing.Index_tree.create () in
+    let rules = Indexing.Rules.create ~ipdom:a.Cfa.Analysis.ipdom_of_pc ~tree in
+    let label pc =
+      match Vm.Program.construct_at prog pc with
+      | Some c -> (
+          match c.Vm.Program.kind with
+          | Vm.Program.CProc -> c.Vm.Program.cname
+          | Vm.Program.CLoop ->
+              Printf.sprintf "L%d" c.Vm.Program.loc.Minic.Srcloc.line
+          | Vm.Program.CCond ->
+              Printf.sprintf "C%d" c.Vm.Program.loc.Minic.Srcloc.line)
+      | None -> "?"
+    in
+    Printf.printf "%s\n" name;
+    let show () =
+      Printf.printf "  index: [%s]\n"
+        (String.concat "; "
+           (List.map label (Indexing.Index_tree.index_of_top tree)))
+    in
+    let hooks =
+      {
+        Vm.Hooks.noop with
+        on_instr = (fun ~pc -> Indexing.Rules.on_instr rules ~pc);
+        on_branch =
+          (fun ~pc ~kind ~cid:_ ~taken ->
+            Indexing.Rules.on_branch rules ~pc ~kind ~taken;
+            if kind <> Vm.Instr.BrSc && not taken then show ());
+        on_call =
+          (fun ~pc ~fid:_ ->
+            Indexing.Rules.on_call rules ~entry_pc:pc;
+            show ());
+        on_ret = (fun ~pc:_ ~fid:_ -> Indexing.Rules.on_ret rules);
+      }
+    in
+    ignore (Vm.Machine.run_hooked hooks prog);
+    Indexing.Rules.finish rules
+  in
+  trace "(a) procedures:"
+    {|void B() { int s2 = 0; }
+      void A() { int s1 = 0; B(); }
+      int main() { A(); return 0; }|};
+  trace "(b) conditionals:"
+    {|int main() {
+        int x = 1;
+        if (x) { int s3 = 0; if (x) { int s4 = 0; } }
+        return 0;
+      }|};
+  trace "(c) loops (iterations are siblings):"
+    {|int main() {
+        int s = 0;
+        for (int i = 0; i < 2; i++) { for (int j = 0; j < 2; j++) { s++; } }
+        return s;
+      }|}
+
+(* --- Table III: runtime overhead --------------------------------------------- *)
+
+let table3 () =
+  header "Table III — benchmarks, constructs, and profiling overhead";
+  (* Paper values: LOC, static, dynamic, orig (s), prof (s). *)
+  let paper =
+    [
+      ("197.parser", (11_000, 603, 31_763_541, 1.22, 279.5));
+      ("bzip2", (7_000, 157, 134_832, 1.39, 990.8));
+      ("gzip-1.3.5", (8_000, 100, 570_897, 1.06, 280.4));
+      ("130.li", (15_000, 190, 13_772_859, 0.12, 28.8));
+      ("ogg", (58_000, 466, 4_173_029, 0.30, 70.7));
+      ("aes", (1_000, 11, 2_850, 0.001, 0.396));
+      ("par2", (13_000, 125, 4_437, 1.95, 324.0));
+      ("delaunay", (2_000, 111, 14_307_332, 0.81, 266.3));
+    ]
+  in
+  Printf.printf "%-12s | %5s %6s %10s %8s %8s %6s | paper: %5s %6s %10s %9s\n"
+    "benchmark" "LOC" "static" "dynamic" "orig(s)" "prof(s)" "slow" "LOC"
+    "static" "dynamic" "slowdown";
+  Printf.printf "%s\n" (String.make 118 '-');
+  List.iter
+    (fun (w : W.t) ->
+      let prog = W.compile w ~scale:w.W.default_scale in
+      let t0 = Unix.gettimeofday () in
+      let orig = Vm.Machine.run ~fuel prog in
+      let t1 = Unix.gettimeofday () in
+      let r = Profiler.run ~fuel prog in
+      let t2 = Unix.gettimeofday () in
+      let loc = W.loc w in
+      let ot = t1 -. t0 and pt = t2 -. t1 in
+      let ploc, pstatic, pdyn, porig, pprof = List.assoc w.W.name paper in
+      ignore orig;
+      Printf.printf
+        "%-12s | %5d %6d %10d %8.3f %8.3f %5.0fx | paper: %5d %6d %10d %8.0fx\n"
+        w.W.name loc
+        r.Profiler.stats.Profiler.static_constructs
+        r.Profiler.stats.Profiler.dynamic_constructs ot pt (pt /. max 1e-6 ot)
+        ploc pstatic pdyn (pprof /. porig))
+    Registry.all;
+  print_endline
+    "\nnote: the paper instruments native x86 under Valgrind (itself 5-10x),\n\
+     so its slowdowns (166-712x) are vs. hardware; ours are vs. this VM.\n\
+     The comparable shape: profiling costs 1-2 orders of magnitude, larger\n\
+     for memory-dense workloads (gzip, bzip2) than compute-dense ones (aes)."
+
+(* --- Fig. 6: profile quality on previously-parallelized programs ------------- *)
+
+let scatter_for ?(top = 10) name =
+  let r, prog = profiled name in
+  let p = r.Profiler.profile in
+  let entries =
+    Ranking.rank p
+    |> List.filter (fun (e : Ranking.entry) -> e.name <> "Method main")
+  in
+  ( p,
+    prog,
+    entries,
+    Scatter.points_of_entries p (List.filteri (fun i _ -> i < top) entries) )
+
+let write_svg name title pts =
+  (try Unix.mkdir "figures" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = Filename.concat "figures" (name ^ ".svg") in
+  let oc = open_out path in
+  output_string oc (Scatter.to_svg ~title pts);
+  close_out oc;
+  Printf.printf "(wrote %s)\n" path
+
+let fig6 () =
+  header "Fig. 6(a) — gzip: size vs violating static RAW (top constructs)";
+  let p, prog, entries, pts = scatter_for "gzip-1.3.5" in
+  print_string (Scatter.render pts);
+  write_svg "fig6a" "gzip" pts;
+  print_endline
+    "paper: C1 (the per-file loop in main) is the largest construct with\n\
+     near-zero violating RAW -> the first parallelization candidate.";
+  header "Fig. 6(b) — gzip after removing C1 and its singletons";
+  let c1 = cid_of p (W.loop_in "main" ~nth:0 prog) in
+  let remaining = Ranking.remove_with_singletons p entries ~cid:c1 in
+  let pts_b = Scatter.points_of_entries p (List.filteri (fun i _ -> i < 10) remaining) in
+  print_string (Scatter.render pts_b);
+  write_svg "fig6b" "gzip after removing C1" pts_b;
+  print_endline
+    "paper: flush_block (C9) emerges as the largest construct whose few\n\
+     violating RAW edges all flow into the post-loop checksum.";
+  header "Fig. 6(c) — 197.parser";
+  let _, _, _, pts = scatter_for "197.parser" in
+  print_string (Scatter.render pts);
+  write_svg "fig6c" "197.parser" pts;
+  print_endline
+    "paper: the dictionary-reading loop (C1) and read_entry (C2) are larger\n\
+     with fewer violations but I/O-bound (outside the simulation model);\n\
+     the sentence loop (C3) is the construct prior work parallelized.";
+  header "Fig. 6(d) — 130.li";
+  let _, _, _, pts = scatter_for "130.li" in
+  print_string (Scatter.render pts);
+  write_svg "fig6d" "130.li" pts;
+  print_endline
+    "paper: xlload (C1) executes slightly more instructions than the batch\n\
+     loop (C2) because of the initial call before the loop; parallelizing\n\
+     C2 runs all but one xlload call in parallel.";
+  header "Fig. 6 (delaunay) — the negative result";
+  let r, prog = profiled "delaunay" in
+  let p = r.Profiler.profile in
+  let w = Registry.find "delaunay" in
+  let site = Option.get w.W.prior_work_site in
+  let v = Violation.summarize p ~cid:(cid_of p (site.W.locate prog)) in
+  Printf.printf
+    "refinement loop: %d violating static RAW (of %d static RAW edges)\n"
+    v.Violation.raw_violating v.Violation.raw_total;
+  print_endline
+    "paper: most computation-intensive constructs have >100 violating static\n\
+     RAW edges (720 on the largest): not amenable without optimistic\n\
+     parallelization. Our mini workload reproduces the contrast in kind:\n\
+     tens of violating edges vs. 0-6 everywhere else."
+
+(* --- Table IV: parallelized sites and their conflicts ------------------------- *)
+
+let table4 () =
+  header "Table IV — parallelization sites: violating static conflicts";
+  let paper =
+    [
+      ("bzip2", 0, (3, 103, 0));
+      ("bzip2", 1, (23, 53, 63));
+      ("ogg", 0, (6, 30, 17));
+      ("aes", 0, (0, 7, 3));
+      ("par2", 0, (1, 12, 19));
+      ("par2", 1, (0, 2, 12));
+    ]
+  in
+  Printf.printf "%-10s %-48s | %4s %4s %4s | paper: %4s %4s %4s\n" "program"
+    "code location" "RAW" "WAW" "WAR" "RAW" "WAW" "WAR";
+  Printf.printf "%s\n" (String.make 110 '-');
+  List.iter
+    (fun (name, idx, (praw, pwaw, pwar)) ->
+      let w = Registry.find name in
+      let site = List.nth w.W.sites idx in
+      let r, prog = profiled name in
+      let p = r.Profiler.profile in
+      let v = Violation.summarize p ~cid:(cid_of p (site.W.locate prog)) in
+      Printf.printf "%-10s %-48s | %4d %4d %4d | paper: %4d %4d %4d\n" name
+        site.W.site_name v.Violation.raw_violating v.Violation.waw_violating
+        v.Violation.war_violating praw pwaw pwar)
+    paper;
+  print_endline
+    "\nshape check: RAW counts are near zero everywhere except bzip2's block\n\
+     loop; WAW/WAR conflicts (the privatization work list) dominate.\n\
+     (Our counts are violating static edges; absolute numbers differ with\n\
+     program size, the ordering and near-zero RAW pattern is the result.)"
+
+(* --- Table V: parallelization results ----------------------------------------- *)
+
+let table5 () =
+  header "Table V — simulated parallelization on 4 cores";
+  let rows =
+    [
+      (* workload, site index, paper seq(s), paper par(s), paper speedup *)
+      ("bzip2", 1, 40.92, 11.82, 3.46);
+      ("ogg", 0, 136.27, 34.46, 3.95);
+      ("par2", 0, 11.25, 6.33, 1.78);
+      ("aes", 0, 9.46, 5.81, 1.63);
+    ]
+  in
+  Printf.printf "%-10s | %12s %12s %7s %7s | paper: %8s %8s %7s\n" "benchmark"
+    "seq (instr)" "par (instr)" "naive" "speedup" "seq(s)" "par(s)" "speedup";
+  Printf.printf "%s\n" (String.make 104 '-');
+  List.iter
+    (fun (name, idx, pseq, ppar, pspd) ->
+      let w = Registry.find name in
+      let site = List.nth w.W.sites idx in
+      let prog = W.compile w ~scale:w.W.default_scale in
+      let head_pc = site.W.locate prog in
+      let spawn = site.W.spawn_overhead in
+      let naive =
+        Parsim.Speedup.analyze ~fuel ~cores:4 ?spawn_overhead:spawn prog
+          ~head_pc
+      in
+      let xf =
+        Parsim.Speedup.analyze ~fuel ~cores:4 ?spawn_overhead:spawn
+          ~privatize:site.W.privatize ~reduce:site.W.reduce prog ~head_pc
+      in
+      Printf.printf
+        "%-10s | %12d %12d %7.2f %7.2f | paper: %8.2f %8.2f %7.2f\n" name
+        xf.Parsim.Speedup.seq_instructions xf.Parsim.Speedup.par_instructions
+        naive.Parsim.Speedup.speedup xf.Parsim.Speedup.speedup pseq ppar pspd)
+    rows;
+  print_endline
+    "\n'naive' honors every profiled WAR/WAW; 'speedup' applies the paper's\n\
+     transforms (privatization + reductions). Shape: near-linear for\n\
+     ogg/bzip2, modest for par2 (serial hashing, Amdahl) and aes (per-16B-\n\
+     block dispatch overhead; see EXPERIMENTS.md)."
+
+(* --- baseline comparison (the paper's SIII argument) --------------------------- *)
+
+let baseline_src =
+  {|int same[4];
+    int crossj[4];
+    int crossi[4];
+    void A(int i, int j) {
+      same[0] = i;
+      crossj[j % 2] = i + j;
+      crossi[i % 2] = i;
+    }
+    int sink;
+    void B(int i, int j) {
+      sink += same[0];
+      if (j > 0) sink += crossj[(j + 1) % 2];
+      sink += crossi[(i + 1) % 2];
+    }
+    void F() {
+      for (int i = 0; i < 4; i++) {
+        crossj[0] = 0;
+        crossj[1] = 0;
+        for (int j = 0; j < 4; j++) { A(i, j); B(i, j); }
+      }
+    }
+    int main() { F(); F(); return sink; }|}
+
+let baseline () =
+  header "SIII — why flat/context-sensitive profiling is not enough (E13)";
+  let prog = Vm.Compile.compile_source baseline_src in
+  print_endline
+    "program: F() { for i { for j { A(); B(); } } } with three A->B RAW\n\
+     flavours: same-j-iteration (same[0]), cross-j (crossj), cross-i \
+     (crossi).\n";
+  (* Flat: one entry per static pair — no construct info at all. *)
+  let flat = Baselines.Flat_profiler.run prog in
+  let flat_raw =
+    List.filter
+      (fun (e : Baselines.Flat_profiler.edge) -> e.kind = `Raw)
+      flat.Baselines.Flat_profiler.edges
+  in
+  Printf.printf
+    "flat profiler: %d static RAW pairs, each a bare (line,line,minDist):\n"
+    (List.length flat_raw);
+  List.iter
+    (fun (e : Baselines.Flat_profiler.edge) ->
+      if Vm.Program.line_of_pc prog e.head_pc <= 7 then
+        Printf.printf "  line %d -> line %d  minDist=%d\n"
+          (Vm.Program.line_of_pc prog e.head_pc)
+          (Vm.Program.line_of_pc prog e.tail_pc)
+          e.min_distance)
+    flat_raw;
+  (* Context-sensitive: still one context for all flavours. *)
+  let ctx = Baselines.Context_profiler.run prog in
+  let crossj_ctxs =
+    ctx.Baselines.Context_profiler.edges
+    |> List.filter_map (fun (e : Baselines.Context_profiler.edge) ->
+           if Vm.Program.line_of_pc prog e.head_pc = 6 && e.kind = `Raw then
+             Some e.head_ctx
+           else None)
+    |> List.sort_uniq compare
+  in
+  Printf.printf
+    "\ncontext-sensitive profiler: the crossj edge occurs under %d calling\n\
+     context(s) -- cross-j, cross-i and same-iteration cases collapse.\n"
+    (List.length crossj_ctxs);
+  (* Alchemist: the index tree attributes each flavour to the right loop. *)
+  let r = Profiler.run ~fuel prog in
+  let p = r.Profiler.profile in
+  let has_edge cid line =
+    let cp = Profile.get p cid in
+    Hashtbl.fold
+      (fun (k : Profile.edge_key) _ acc ->
+        acc || (k.kind = Dep.Raw && Report.line_of_pc p k.head_pc = line))
+      cp.edges false
+  in
+  let loop_i = cid_of p (Parsim.Speedup.loop_head_at_line prog 16) in
+  let loop_j = cid_of p (Parsim.Speedup.loop_head_at_line prog 19) in
+  let meth_a = cid_of p (Parsim.Speedup.proc_head prog "A") in
+  Printf.printf
+    "\nAlchemist (index tree): head line -> which constructs see the edge\n";
+  List.iter
+    (fun (line, what) ->
+      Printf.printf "  line %d (%s): Method A: %b, Loop j: %b, Loop i: %b\n"
+        line what (has_edge meth_a line) (has_edge loop_j line)
+        (has_edge loop_i line))
+    [ (5, "same-iteration"); (6, "cross-j"); (7, "cross-i") ];
+  print_endline
+    "\nonly Alchemist separates the three cases: same-iteration deps vanish\n\
+     from both loops, cross-j deps stop at loop j, cross-i deps reach loop i."
+
+(* --- bechamel microbenches (E14) ----------------------------------------------- *)
+
+let micro () =
+  header "Microbenches (bechamel, ns/op) — indexing and shadow primitives";
+  let open Bechamel in
+  let tree = Indexing.Index_tree.create () in
+  let bench_push_pop =
+    Test.make ~name:"index/push+pop"
+      (Staged.stage (fun () ->
+           Indexing.Index_tree.tick tree;
+           ignore (Indexing.Index_tree.push tree ~label:1 ~is_func:false);
+           ignore (Indexing.Index_tree.pop tree)))
+  in
+  let pool = Indexing.Construct_pool.create ~capacity:16 () in
+  let t = ref 0 in
+  let bench_pool =
+    Test.make ~name:"pool/acquire+release"
+      (Staged.stage (fun () ->
+           incr t;
+           let n = Indexing.Construct_pool.acquire pool ~now:!t in
+           n.Indexing.Node.tenter <- !t;
+           n.Indexing.Node.texit <- !t;
+           Indexing.Construct_pool.release pool n))
+  in
+  let sm = Shadow.Shadow_memory.create () in
+  let node = Indexing.Node.make () in
+  let t2 = ref 0 in
+  let bench_shadow_w =
+    Test.make ~name:"shadow/write"
+      (Staged.stage (fun () ->
+           incr t2;
+           Shadow.Shadow_memory.write sm ~addr:(!t2 land 1023) ~pc:7 ~time:!t2
+             ~node))
+  in
+  let t3 = ref 0 in
+  let bench_shadow_rw =
+    Test.make ~name:"shadow/read+write"
+      (Staged.stage (fun () ->
+           incr t3;
+           Shadow.Shadow_memory.read sm ~addr:(!t3 land 1023) ~pc:8 ~time:!t3
+             ~node;
+           Shadow.Shadow_memory.write sm ~addr:(!t3 land 1023) ~pc:9 ~time:!t3
+             ~node))
+  in
+  let small =
+    Vm.Compile.compile_source
+      "int g; int main() { for (int i = 0; i < 200; i++) g += i * i; return \
+       g; }"
+  in
+  let bench_vm_plain =
+    Test.make ~name:"vm/plain(2k instr)"
+      (Staged.stage (fun () -> ignore (Vm.Machine.run small)))
+  in
+  let bench_vm_profiled =
+    Test.make ~name:"vm/profiled(2k instr)"
+      (Staged.stage (fun () -> ignore (Profiler.run small)))
+  in
+  let tests =
+    Test.make_grouped ~name:"alchemist"
+      [
+        bench_push_pop;
+        bench_pool;
+        bench_shadow_w;
+        bench_shadow_rw;
+        bench_vm_plain;
+        bench_vm_profiled;
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, est) -> Printf.printf "%-32s %12.1f ns/op\n" name est)
+    rows;
+  print_endline
+    "\n(vm/profiled vs vm/plain is the per-program overhead Table III\n\
+     aggregates; push+pop/shadow are the per-event costs behind it.)"
+
+(* --- ablations ------------------------------------------------------------------ *)
+
+let ablation () =
+  header "Ablation 1 — construct pool capacity vs profile retention";
+  let w = Registry.find "gzip-1.3.5" in
+  let prog = W.compile w ~scale:6_000 in
+  Printf.printf "%-12s %12s %10s %12s\n" "capacity" "pool nodes" "reused"
+    "static edges";
+  List.iter
+    (fun cap ->
+      let r = Profiler.run ~fuel ~pool_capacity:cap prog in
+      let p = r.Profiler.profile in
+      let edges =
+        Array.fold_left
+          (fun acc (cp : Profile.construct_profile) ->
+            acc + Hashtbl.length cp.edges)
+          0 p.Profile.by_cid
+      in
+      Printf.printf "%-12d %12d %10d %12d\n" cap
+        r.Profiler.stats.Profiler.pool_allocated
+        r.Profiler.stats.Profiler.pool_reused edges)
+    [ 16; 256; 4096; 1_000_000 ];
+  print_endline
+    "smaller pools recycle instances sooner, dropping long-distance edges\n\
+     (safe: only Tdep > Tdur edges can be lost — Theorem 1) at lower memory.";
+
+  header "Ablation 2 — register-allocated locals vs -O0 stack traffic";
+  let w = Registry.find "aes" in
+  let prog = W.compile w ~scale:512 in
+  let site = List.hd w.W.sites in
+  List.iter
+    (fun tl ->
+      let r = Profiler.run ~fuel ~trace_locals:tl prog in
+      let p = r.Profiler.profile in
+      let v = Violation.summarize p ~cid:(cid_of p (site.W.locate prog)) in
+      Printf.printf
+        "trace_locals=%-5b violating RAW on the block loop: %d (events %d)\n"
+        tl v.Violation.raw_violating r.Profiler.stats.Profiler.shadow_events)
+    [ false; true ];
+  print_endline
+    "with stack traffic modelled (-O0), loop bookkeeping manufactures\n\
+     violating RAW chains that registers would hide -- why Alchemist-style\n\
+     tools profile optimized binaries.";
+
+  header "Ablation 3 — online index tree vs whole-trace recording (SV)";
+  let w = Registry.find "gzip-1.3.5" in
+  List.iter
+    (fun scale ->
+      let prog = W.compile w ~scale in
+      let trace, res = Vm.Trace.record prog in
+      let r = Profiler.run ~fuel ~pool_capacity:4096 prog in
+      Printf.printf
+        "scale %-6d %9d instrs: trace %9d words vs pool %5d nodes (~%d words)\n"
+        scale res.Vm.Machine.instructions (Vm.Trace.words trace)
+        r.Profiler.stats.Profiler.pool_allocated
+        (r.Profiler.stats.Profiler.pool_allocated * 6))
+    [ 1_000; 4_000; 16_000 ];
+  print_endline
+    "the whole trace (ParaMeter-style) grows linearly with the run; the\n\
+     online index tree stays within the Theorem 1 bound -- the paper's SV\n\
+     argument for not recording the trace. Offline replay of the trace\n\
+     reproduces the online profile bit-for-bit (test/test_trace.ml).";
+
+  header "Ablation 4 — index-tree attribution vs flat/context baselines";
+  let prog = Vm.Compile.compile_source baseline_src in
+  let t0 = Unix.gettimeofday () in
+  ignore (Baselines.Flat_profiler.run prog);
+  let t1 = Unix.gettimeofday () in
+  ignore (Baselines.Context_profiler.run prog);
+  let t2 = Unix.gettimeofday () in
+  ignore (Profiler.run prog);
+  let t3 = Unix.gettimeofday () in
+  Printf.printf "flat %.4fs, context %.4fs, alchemist %.4fs\n" (t1 -. t0)
+    (t2 -. t1) (t3 -. t2);
+  print_endline
+    "the index tree costs within ~2x of a flat profiler while answering\n\
+     the loop-boundary questions the baselines cannot (see 'baseline')."
+
+(* --- automated workflow (Explore) ------------------------------------------------- *)
+
+let explore_bench () =
+  header "Automated workflow — profile, advise, simulate (driver.Explore)";
+  List.iter
+    (fun (name, scale) ->
+      let w = Registry.find name in
+      let prog = W.compile w ~scale in
+      let t = Driver.Explore.explore ~fuel ~cores:4 ~top:6 prog in
+      match Driver.Explore.best t with
+      | Some c ->
+          let r = Option.get c.Driver.Explore.simulated in
+          Printf.printf
+            "%-12s best: %-28s %.2fx  (advice: privatize %s; reduce %s)\n" name
+            c.Driver.Explore.entry.Ranking.name r.Parsim.Speedup.speedup
+            (String.concat ","
+               (Alchemist.Advice.privatization_list c.Driver.Explore.advice))
+            (String.concat ","
+               (Alchemist.Advice.reduction_list c.Driver.Explore.advice))
+      | None -> Printf.printf "%-12s no candidate\n" name)
+    [ ("bzip2", 6_000); ("ogg", 800); ("par2", 64); ("aes", 1_024); ("delaunay", 8_000) ];
+  print_endline
+    "\nfully automatic reproduction of the SIV-B2 methodology: the driver\n\
+     rediscovers the paper's hand-chosen sites and transforms (near-linear\n\
+     bzip2/ogg, modest par2/aes, nothing on delaunay)."
+
+(* --- main ------------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("table3", table3);
+    ("fig6", fig6);
+    ("table4", table4);
+    ("table5", table5);
+    ("baseline", baseline);
+    ("explore", explore_bench);
+    ("micro", micro);
+    ("ablation", ablation);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let chosen = if args = [] then List.map fst sections else args in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %s (have: %s)\n" name
+            (String.concat " " (List.map fst sections));
+          exit 1)
+    chosen

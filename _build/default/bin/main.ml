@@ -1,0 +1,381 @@
+(* The alchemist command-line tool.
+
+   Sources are given either as a path to a Mini-C file or as
+   "workload:NAME[:SCALE]" to use a bundled benchmark (see
+   [alchemist workloads]). *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_program ?(fold = false) spec =
+  let compile src =
+    let ast = Minic.Frontend.load src in
+    let ast = if fold then Minic.Fold.program ast else ast in
+    Vm.Compile.compile ast
+  in
+  match String.split_on_char ':' spec with
+  | [ "workload"; name ] ->
+      let w = Workloads.Registry.find name in
+      compile
+        (w.Workloads.Workload.source ~scale:w.Workloads.Workload.default_scale)
+  | [ "workload"; name; scale ] ->
+      let w = Workloads.Registry.find name in
+      compile (w.Workloads.Workload.source ~scale:(int_of_string scale))
+  | _ -> compile (read_file spec)
+
+let fold_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "fold" ]
+        ~doc:"Constant-fold and prune dead branches before compiling \
+              (models an optimized build).")
+
+let handle_errors f =
+  match f () with
+  | () -> 0
+  | exception Minic.Diag.Error (msg, loc) ->
+      Printf.eprintf "error at %s: %s\n" (Minic.Srcloc.to_string loc) msg;
+      1
+  | exception Vm.Machine.Trap (msg, pc) ->
+      Printf.eprintf "runtime trap at pc %d: %s\n" pc msg;
+      1
+  | exception Not_found ->
+      Printf.eprintf "unknown workload (try: alchemist workloads)\n";
+      1
+  | exception Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+
+open Cmdliner
+
+let src_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SRC" ~doc:"Mini-C file, or workload:NAME[:SCALE].")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt int 2_000_000_000
+    & info [ "fuel" ] ~doc:"Instruction budget before trapping.")
+
+(* --- run --------------------------------------------------------------- *)
+
+let run_cmd =
+  let run spec fuel fold =
+    handle_errors (fun () ->
+        let prog = load_program ~fold spec in
+        let r = Vm.Machine.run ~fuel prog in
+        List.iter (fun v -> Printf.printf "%d\n" v) r.Vm.Machine.output;
+        Printf.printf "exit=%d instructions=%d\n" r.Vm.Machine.exit_value
+          r.Vm.Machine.instructions)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a Mini-C program on the VM.")
+    Term.(const run $ src_arg $ fuel_arg $ fold_arg)
+
+(* --- profile ------------------------------------------------------------ *)
+
+let profile_cmd =
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~doc:"Constructs to list.")
+  in
+  let edges =
+    Arg.(value & opt int 8 & info [ "edges" ] ~doc:"Edges per construct.")
+  in
+  let kinds =
+    Arg.(
+      value
+      & opt (enum [ ("raw", `Raw); ("warwaw", `WarWaw); ("all", `All) ]) `Raw
+      & info [ "kinds" ] ~doc:"Edge kinds: raw (Fig. 2), warwaw (Fig. 3), all.")
+  in
+  let trace_locals =
+    Arg.(
+      value & flag
+      & info [ "trace-locals" ]
+          ~doc:"Also track scalar locals as memory (models -O0 binaries).")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~doc:"Also write the profile to this file.")
+  in
+  let profile spec fuel top edges kinds trace_locals save fold =
+    handle_errors (fun () ->
+        let prog = load_program ~fold spec in
+        let r = Alchemist.Profiler.run ~fuel ~trace_locals prog in
+        Option.iter
+          (fun path -> Alchemist.Profile_io.save r.Alchemist.Profiler.profile path)
+          save;
+        let kinds =
+          match kinds with
+          | `Raw -> [ Shadow.Dependence.Raw ]
+          | `WarWaw -> [ Shadow.Dependence.War; Shadow.Dependence.Waw ]
+          | `All ->
+              [ Shadow.Dependence.Raw; Shadow.Dependence.War; Shadow.Dependence.Waw ]
+        in
+        print_string
+          (Alchemist.Report.render ~top ~max_edges:edges ~kinds
+             r.Alchemist.Profiler.profile);
+        let s = r.Alchemist.Profiler.stats in
+        Printf.printf
+          "\n%d instructions, %d static / %d dynamic constructs, %d \
+           dependence events, pool %d nodes (%d reused)\n"
+          s.Alchemist.Profiler.instructions
+          s.Alchemist.Profiler.static_constructs
+          s.Alchemist.Profiler.dynamic_constructs
+          s.Alchemist.Profiler.deps_detected s.Alchemist.Profiler.pool_allocated
+          s.Alchemist.Profiler.pool_reused)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile dependence distances (Fig. 2/3-style report).")
+    Term.(
+      const profile $ src_arg $ fuel_arg $ top $ edges $ kinds $ trace_locals
+      $ save $ fold_arg)
+
+(* --- rank ---------------------------------------------------------------- *)
+
+let rank_cmd =
+  let top = Arg.(value & opt int 15 & info [ "top" ] ~doc:"Entries to list.") in
+  let rank spec fuel top =
+    handle_errors (fun () ->
+        let prog = load_program spec in
+        let r = Alchemist.Profiler.run ~fuel prog in
+        let entries = Alchemist.Ranking.rank r.Alchemist.Profiler.profile in
+        List.iteri
+          (fun i e ->
+            if i < top then
+              Format.printf "%2d. %a@." (i + 1) Alchemist.Ranking.pp_entry e)
+          entries)
+  in
+  Cmd.v
+    (Cmd.info "rank" ~doc:"Rank parallelization candidates by size/violations.")
+    Term.(const rank $ src_arg $ fuel_arg $ top)
+
+(* --- simulate ------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let loop_line =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "loop-line" ] ~doc:"Parallelize the loop headed at this line.")
+  in
+  let proc =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "proc" ] ~doc:"Parallelize calls to this procedure.")
+  in
+  let cores =
+    Arg.(value & opt int 4 & info [ "cores" ] ~doc:"Worker threads.")
+  in
+  let privatize =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "privatize" ] ~doc:"Globals given thread-local copies.")
+  in
+  let reduce =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "reduce" ] ~doc:"Globals rewritten as reductions.")
+  in
+  let gantt =
+    Arg.(
+      value & flag
+      & info [ "gantt" ] ~doc:"Also draw the simulated schedule as ASCII.")
+  in
+  let simulate spec fuel loop_line proc cores privatize reduce gantt =
+    handle_errors (fun () ->
+        let prog = load_program spec in
+        let head_pc =
+          match (loop_line, proc) with
+          | Some line, None -> Parsim.Speedup.loop_head_at_line prog line
+          | None, Some name -> Parsim.Speedup.proc_head prog name
+          | _ -> invalid_arg "pass exactly one of --loop-line or --proc"
+        in
+        let r =
+          Parsim.Speedup.analyze ~fuel ~cores ~privatize ~reduce prog ~head_pc
+        in
+        Format.printf "%a@." Parsim.Speedup.pp_report r;
+        if gantt then begin
+          let privatized = Parsim.Transform.privatize_globals prog privatize in
+          let reductions = Parsim.Transform.privatize_globals prog reduce in
+          let g =
+            Parsim.Task_graph.collect ~fuel ~privatized ~reductions prog ~head_pc
+          in
+          let s =
+            Parsim.Scheduler.simulate
+              ~config:{ Parsim.Scheduler.default_config with cores }
+              g
+          in
+          print_string (Parsim.Gantt.render g s)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Simulate future-style parallel execution of one construct.")
+    Term.(
+      const simulate $ src_arg $ fuel_arg $ loop_line $ proc $ cores $ privatize
+      $ reduce $ gantt)
+
+(* --- advise --------------------------------------------------------------- *)
+
+let advise_cmd =
+  let loop_line =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "loop-line" ] ~doc:"Advise on the loop headed at this line.")
+  in
+  let proc =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "proc" ] ~doc:"Advise on this procedure.")
+  in
+  let top =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~doc:"Without --loop-line/--proc: advise on the top N \
+                             ranked constructs.")
+  in
+  let advise spec fuel loop_line proc top =
+    handle_errors (fun () ->
+        let prog = load_program spec in
+        let r = Alchemist.Profiler.run ~fuel prog in
+        let p = r.Alchemist.Profiler.profile in
+        let advise_cid cid =
+          Format.printf "%a@.@." Alchemist.Advice.pp
+            (Alchemist.Advice.advise p ~cid)
+        in
+        match (loop_line, proc) with
+        | Some line, None ->
+            advise_cid
+              (Option.get
+                 (Alchemist.Profile.cid_of_head_pc p
+                    (Parsim.Speedup.loop_head_at_line prog line)))
+        | None, Some name ->
+            advise_cid
+              (Option.get
+                 (Alchemist.Profile.cid_of_head_pc p
+                    (Parsim.Speedup.proc_head prog name)))
+        | None, None ->
+            Alchemist.Ranking.rank p
+            |> List.iteri (fun i (e : Alchemist.Ranking.entry) ->
+                   if i < top then advise_cid e.cid)
+        | Some _, Some _ -> invalid_arg "pass at most one of --loop-line/--proc")
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:"Suggest parallelization transforms (futures, joins, \
+             privatization, hoisting).")
+    Term.(const advise $ src_arg $ fuel_arg $ loop_line $ proc $ top)
+
+(* --- report (from a saved profile) ------------------------------------------ *)
+
+let report_cmd =
+  let prof_file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE" ~doc:"Saved profile (see profile --save).")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~doc:"Constructs to list.")
+  in
+  let report spec prof_file top =
+    handle_errors (fun () ->
+        let prog = load_program spec in
+        match Alchemist.Profile_io.load prog prof_file with
+        | Error msg -> invalid_arg msg
+        | Ok p ->
+            print_string (Alchemist.Report.render ~top p);
+            List.iteri
+              (fun i (e : Alchemist.Ranking.entry) ->
+                if i < top then
+                  Format.printf "%2d. %a@." (i + 1) Alchemist.Ranking.pp_entry e)
+              (Alchemist.Ranking.rank p))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render reports from a previously saved profile (offline use).")
+    Term.(const report $ src_arg $ prof_file $ top)
+
+(* --- explore ---------------------------------------------------------------- *)
+
+let explore_cmd =
+  let cores =
+    Arg.(value & opt int 4 & info [ "cores" ] ~doc:"Worker threads.")
+  in
+  let top =
+    Arg.(value & opt int 8 & info [ "top" ] ~doc:"Candidates to examine.")
+  in
+  let explore spec fuel cores top =
+    handle_errors (fun () ->
+        let prog = load_program spec in
+        let t = Driver.Explore.explore ~fuel ~cores ~top prog in
+        Format.printf "%a@." Driver.Explore.pp t;
+        match Driver.Explore.best t with
+        | Some c ->
+            let r = Option.get c.Driver.Explore.simulated in
+            Format.printf "@.best: %s at %.2fx on %d cores@."
+              c.Driver.Explore.entry.Alchemist.Ranking.name
+              r.Parsim.Speedup.speedup cores
+        | None -> Format.printf "@.no parallelizable candidate found@.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Full workflow: profile, rank, advise, and simulate the top \
+             candidates.")
+    Term.(const explore $ src_arg $ fuel_arg $ cores $ top)
+
+(* --- disasm / workloads --------------------------------------------------- *)
+
+let disasm_cmd =
+  let disasm spec =
+    handle_errors (fun () ->
+        print_string (Vm.Disasm.to_string (load_program spec)))
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble the compiled bytecode.")
+    Term.(const disasm $ src_arg)
+
+let workloads_cmd =
+  let list () =
+    handle_errors (fun () ->
+        List.iter
+          (fun (w : Workloads.Workload.t) ->
+            Printf.printf "%-12s scale=%-7d %s\n" w.name w.default_scale
+              w.description)
+          Workloads.Registry.all)
+  in
+  Cmd.v
+    (Cmd.info "workloads" ~doc:"List the bundled Table III benchmarks.")
+    Term.(const list $ const ())
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "alchemist" ~version:"1.0.0"
+       ~doc:"Transparent dependence distance profiling (CGO 2009 reproduction).")
+    [
+      run_cmd;
+      profile_cmd;
+      rank_cmd;
+      simulate_cmd;
+      advise_cmd;
+      explore_cmd;
+      report_cmd;
+      disasm_cmd;
+      workloads_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/aes_parallelize.ml: Alchemist Format List Option Parsim Printf Shadow Vm Workloads

@@ -1,0 +1,1 @@
+examples/gzip_study.ml: Alchemist List Option Parsim Shadow Workloads

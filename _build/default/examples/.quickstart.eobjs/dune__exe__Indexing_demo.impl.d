@@ -1,0 +1,1 @@
+examples/indexing_demo.ml: Cfa Indexing List Minic Printf String Vm

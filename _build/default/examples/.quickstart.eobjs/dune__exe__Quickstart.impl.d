@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alchemist Format List Parsim Shadow Vm

@@ -1,0 +1,1 @@
+examples/workflow.ml: Alchemist Driver Format Option Parsim Workloads

@@ -1,0 +1,60 @@
+(* Reproducing the paper's AES-CTR parallelization experience (§IV-B2).
+
+   Run with: dune exec examples/aes_parallelize.exe
+
+   1. Profile the counter-mode encryption loop: no violating RAW, but
+      WAW/WAR conflicts on ivec — so the loop is parallelizable once each
+      thread gets a private ivec ("each thread has its own ivec and must
+      compute its value before starting encryption").
+   2. Simulate the naive parallelization (conflicts respected) and the
+      transformed one (ivec/ks privatized), and compare. *)
+
+module W = Workloads.Workload
+
+let () =
+  let w = Workloads.Registry.find "aes" in
+  let prog = W.compile w ~scale:1_024 in
+  let site = List.hd w.W.sites in
+  let head_pc = site.W.locate prog in
+  let result = Alchemist.Profiler.run prog in
+  let profile = result.Alchemist.Profiler.profile in
+  let cid = Option.get (Alchemist.Profile.cid_of_head_pc profile head_pc) in
+
+  print_endline "=== Profile of the block loop (the paper's line 855) ===";
+  print_string
+    (Alchemist.Report.render_construct ~max_edges:6
+       ~kinds:[ Shadow.Dependence.Raw ] profile ~cid);
+  print_string
+    (Alchemist.Report.render_construct ~max_edges:6
+       ~kinds:[ Shadow.Dependence.War; Shadow.Dependence.Waw ]
+       profile ~cid);
+  let v = Alchemist.Violation.summarize profile ~cid in
+  Printf.printf
+    "\nviolating static deps: RAW %d (the paper found 0), WAW %d, WAR %d\n"
+    v.Alchemist.Violation.raw_violating v.Alchemist.Violation.waw_violating
+    v.Alchemist.Violation.war_violating;
+
+  (* Name the conflicting variables, as the paper's prose does. *)
+  (match Vm.Program.find_global prog "ivec" with
+  | Some (base, _len) ->
+      Printf.printf "the WAW/WAR conflicts are on %s\n"
+        (Option.value ~default:"?" (Alchemist.Report.name_of_addr prog base))
+  | None -> ());
+
+  (* What-if simulation, naive vs transformed. The per-task dispatch cost
+     reflects pthread overhead on 16-byte blocks (see EXPERIMENTS.md). *)
+  let spawn = Option.value ~default:50 site.W.spawn_overhead in
+  let naive =
+    Parsim.Speedup.analyze ~cores:4 ~spawn_overhead:spawn prog ~head_pc
+  in
+  let transformed =
+    Parsim.Speedup.analyze ~cores:4 ~spawn_overhead:spawn
+      ~privatize:site.W.privatize ~reduce:site.W.reduce prog ~head_pc
+  in
+  Format.printf "@.=== Simulated on 4 cores ===@.";
+  Format.printf "naive       : %a@." Parsim.Speedup.pp_report naive;
+  Format.printf "transformed : %a@." Parsim.Speedup.pp_report transformed;
+  Format.printf
+    "@.privatizing ivec/ks removes every WAW/WAR constraint; the remaining@.\
+     modest speedup (the paper measured 1.63x) is dispatch overhead on@.\
+     16-byte-block tasks.@."

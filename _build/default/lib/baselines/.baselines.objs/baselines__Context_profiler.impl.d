@@ -1,0 +1,1 @@
+lib/baselines/context_profiler.ml: Hashtbl List Pair_shadow Vm

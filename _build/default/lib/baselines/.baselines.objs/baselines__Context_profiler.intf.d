@@ -1,0 +1,1 @@
+lib/baselines/context_profiler.mli: Vm

@@ -1,0 +1,1 @@
+lib/baselines/flat_profiler.mli: Vm

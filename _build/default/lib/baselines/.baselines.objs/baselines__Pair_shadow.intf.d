@@ -1,0 +1,1 @@
+lib/baselines/pair_shadow.mli:

@@ -1,0 +1,33 @@
+(** Baseline 2: calling-context-sensitive dependence profiling ([2], [6],
+    [8] in the paper).
+
+    Each dependence endpoint is tagged with an interned calling-context id
+    (the stack of call sites). This distinguishes dependences exercised
+    under different call chains — but, as §III argues, it cannot separate
+    the four loop-boundary cases of the [F(){for i{for j{A();B();}}}]
+    example: all four dependence flavours occur under the {e same}
+    context, so they collapse into one profile entry. Test
+    [baselines/context collapses loop cases] and bench E13 demonstrate
+    this against Alchemist's index-tree attribution. *)
+
+type edge = {
+  head_pc : int;
+  tail_pc : int;
+  kind : [ `Raw | `War | `Waw ];
+  head_ctx : int;  (** interned context id *)
+  min_distance : int;
+  count : int;
+}
+
+type result = {
+  edges : edge list;
+  contexts : (int * int list) list;
+      (** context id -> call-site pc chain, outermost first *)
+  instructions : int;
+}
+
+val run : ?fuel:int -> ?trace_locals:bool -> Vm.Program.t -> result
+
+val contexts_of_pair :
+  result -> head_pc:int -> tail_pc:int -> int list
+(** Distinct head contexts under which the static pair was observed. *)

@@ -1,0 +1,23 @@
+(** Baseline 1: flat dependence profiling.
+
+    Aggregates dependences purely by static program-point pair, the way
+    "most dependence profilers attribute dependence information to
+    syntactic artifacts" (paper §I "Precision"). It can report that a
+    dependence between two lines exists, its frequency, and its minimum
+    distance — but not whether it stays inside a loop iteration, crosses
+    the loop, or crosses the enclosing call, which is exactly the
+    information parallelization needs. The comparison bench (E13) shows
+    this on the paper's §III example. *)
+
+type edge = {
+  head_pc : int;
+  tail_pc : int;
+  kind : [ `Raw | `War | `Waw ];
+  min_distance : int;
+  count : int;
+}
+
+type result = { edges : edge list; instructions : int }
+
+val run : ?fuel:int -> ?trace_locals:bool -> Vm.Program.t -> result
+(** Edges sorted by ascending minimum distance. *)

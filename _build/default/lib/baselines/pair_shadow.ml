@@ -1,0 +1,60 @@
+type 'ctx dep = {
+  kind : [ `Raw | `War | `Waw ];
+  head_pc : int;
+  tail_pc : int;
+  head_ctx : 'ctx;
+  tail_ctx : 'ctx;
+  distance : int;
+}
+
+type 'ctx access = { pc : int; time : int; ctx : 'ctx }
+
+type 'ctx cell = {
+  mutable last_write : 'ctx access option;
+  mutable reads : (int * 'ctx access) list;
+}
+
+type 'ctx t = {
+  cells : (int, 'ctx cell) Hashtbl.t;
+  on_dep : 'ctx dep -> unit;
+}
+
+let create ~on_dep () = { cells = Hashtbl.create 4096; on_dep }
+
+let cell t addr =
+  match Hashtbl.find_opt t.cells addr with
+  | Some c -> c
+  | None ->
+      let c = { last_write = None; reads = [] } in
+      Hashtbl.add t.cells addr c;
+      c
+
+let emit t kind (h : _ access) (a : _ access) =
+  t.on_dep
+    {
+      kind;
+      head_pc = h.pc;
+      tail_pc = a.pc;
+      head_ctx = h.ctx;
+      tail_ctx = a.ctx;
+      distance = a.time - h.time;
+    }
+
+let read t ~addr ~pc ~time ~ctx =
+  let c = cell t addr in
+  let acc = { pc; time; ctx } in
+  (match c.last_write with Some w -> emit t `Raw w acc | None -> ());
+  c.reads <- (pc, acc) :: List.remove_assoc pc c.reads
+
+let write t ~addr ~pc ~time ~ctx =
+  let c = cell t addr in
+  let acc = { pc; time; ctx } in
+  (match c.last_write with Some w -> emit t `Waw w acc | None -> ());
+  List.iter (fun (_, r) -> emit t `War r acc) c.reads;
+  c.reads <- [];
+  c.last_write <- Some acc
+
+let clear_range t ~base ~size =
+  for addr = base to base + size - 1 do
+    Hashtbl.remove t.cells addr
+  done

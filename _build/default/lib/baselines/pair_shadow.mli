@@ -1,0 +1,23 @@
+(** A lightweight shadow memory parameterized over a context payload.
+
+    Shared substrate for the baseline profilers: like
+    {!Shadow.Shadow_memory} it detects RAW/WAR/WAW between static program
+    points, but attaches an arbitrary ['ctx] captured at the {e head}
+    access (the flat baseline uses [unit]; the context-sensitive baseline
+    a calling-context id) instead of an index-tree node. *)
+
+type 'ctx dep = {
+  kind : [ `Raw | `War | `Waw ];
+  head_pc : int;
+  tail_pc : int;
+  head_ctx : 'ctx;
+  tail_ctx : 'ctx;
+  distance : int;
+}
+
+type 'ctx t
+
+val create : on_dep:('ctx dep -> unit) -> unit -> 'ctx t
+val read : 'ctx t -> addr:int -> pc:int -> time:int -> ctx:'ctx -> unit
+val write : 'ctx t -> addr:int -> pc:int -> time:int -> ctx:'ctx -> unit
+val clear_range : 'ctx t -> base:int -> size:int -> unit

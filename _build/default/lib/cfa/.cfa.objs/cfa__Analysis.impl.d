@@ -1,0 +1,1 @@
+lib/cfa/analysis.ml: Array Cfg Dominance List Loops Printf Vm

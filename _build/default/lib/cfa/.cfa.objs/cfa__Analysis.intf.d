@@ -1,0 +1,1 @@
+lib/cfa/analysis.mli: Vm

@@ -1,0 +1,1 @@
+lib/cfa/cfg.ml: Array Format List Vm

@@ -1,0 +1,1 @@
+lib/cfa/cfg.mli: Format Vm

@@ -1,0 +1,1 @@
+lib/cfa/dominance.ml: Array Cfg List Stack

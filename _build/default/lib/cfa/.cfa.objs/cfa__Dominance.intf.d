@@ -1,0 +1,1 @@
+lib/cfa/dominance.mli: Cfg

@@ -1,0 +1,1 @@
+lib/cfa/loops.ml: Array Cfg Dominance Hashtbl List Option Stack

@@ -1,0 +1,1 @@
+lib/cfa/loops.mli: Cfg Dominance

@@ -1,0 +1,60 @@
+type t = { ipdom_of_pc : int array; loop_depth_of_pc : int array }
+
+let analyze (prog : Vm.Program.t) =
+  let n = Array.length prog.code in
+  let ipdom_of_pc = Array.make n (-1) in
+  let loop_depth_of_pc = Array.make n 0 in
+  Array.iter
+    (fun (f : Vm.Program.func_info) ->
+      let cfg = Cfg.build prog f in
+      let pdom = Dominance.postdom_of_cfg cfg in
+      let dom = Dominance.of_cfg cfg in
+      let loops = Loops.analyze cfg dom in
+      Array.iter
+        (fun (b : Cfg.block) ->
+          (* Per-pc loop depth. *)
+          for pc = b.first to b.last do
+            loop_depth_of_pc.(pc) <- loops.Loops.depth.(b.bid)
+          done;
+          match prog.code.(b.last) with
+          | Vm.Instr.Br { kind = Vm.Instr.BrIf | Vm.Instr.BrLoop; _ } ->
+              let ip = pdom.Dominance.idom.(b.bid) in
+              let target_pc =
+                if ip = -1 || b.bid = cfg.exit_bid then f.epilogue
+                else cfg.blocks.(ip).first
+              in
+              ipdom_of_pc.(b.last) <- target_pc
+          | _ -> ())
+        cfg.blocks)
+    prog.funcs;
+  { ipdom_of_pc; loop_depth_of_pc }
+
+let validate (prog : Vm.Program.t) (t : t) =
+  let issues = ref [] in
+  let add fmt = Printf.ksprintf (fun m -> issues := m :: !issues) fmt in
+  Array.iteri
+    (fun pc instr ->
+      match instr with
+      | Vm.Instr.Br { kind = Vm.Instr.BrIf; _ } | Vm.Instr.Br { kind = Vm.Instr.BrLoop; _ }
+        ->
+          if t.ipdom_of_pc.(pc) = -1 then
+            add "predicate at pc %d has no immediate post-dominator" pc
+      | _ -> ())
+    prog.code;
+  (* Every BrLoop predicate should be part of a natural loop. *)
+  Array.iter
+    (fun (f : Vm.Program.func_info) ->
+      let cfg = Cfg.build prog f in
+      let dom = Dominance.of_cfg cfg in
+      let loops = Loops.analyze cfg dom in
+      Array.iter
+        (fun (b : Cfg.block) ->
+          match prog.code.(b.last) with
+          | Vm.Instr.Br { kind = Vm.Instr.BrLoop; _ } ->
+              if not (Loops.in_loop loops b.bid) then
+                add "BrLoop at pc %d (%s) is not inside a natural loop" b.last
+                  f.name
+          | _ -> ())
+        cfg.blocks)
+    prog.funcs;
+  List.rev !issues

@@ -1,0 +1,22 @@
+(** Whole-program control-flow facts consumed by the profiler's runtime.
+
+    The runtime indexing rules (paper Fig. 5) need exactly one fact per
+    predicate: the pc of its immediate post-dominator — the execution point
+    that closes the construct the predicate opened. *)
+
+type t = {
+  ipdom_of_pc : int array;
+      (** indexed by pc; for a [BrIf]/[BrLoop] predicate, the pc of the
+          first instruction of its immediate post-dominator block (the
+          function's epilogue when the predicate cannot reach the exit
+          otherwise); [-1] for non-predicate pcs *)
+  loop_depth_of_pc : int array;  (** static natural-loop nesting depth *)
+}
+
+val analyze : Vm.Program.t -> t
+
+val validate : Vm.Program.t -> t -> string list
+(** Cross-checks compiler construct tags against the CFA: every predicate
+    has an ipdom; every [BrLoop] predicate lies in a natural loop; every
+    [BrIf]'s ipdom post-dominates it. Returns human-readable discrepancy
+    messages (empty = consistent). *)

@@ -1,0 +1,96 @@
+type block = {
+  bid : int;
+  first : int;
+  last : int;
+  succs : int list;
+  preds : int list;
+}
+
+type t = {
+  blocks : block array;
+  entry_bid : int;
+  exit_bid : int;
+  func : Vm.Program.func_info;
+  block_of_pc : int array;
+}
+
+let build (prog : Vm.Program.t) (f : Vm.Program.func_info) =
+  let lo = f.entry and hi = f.code_end in
+  let n = hi - lo in
+  let leader = Array.make n false in
+  leader.(0) <- true;
+  let mark pc = if pc >= lo && pc < hi then leader.(pc - lo) <- true in
+  for pc = lo to hi - 1 do
+    match prog.code.(pc) with
+    | Vm.Instr.Jmp t ->
+        mark t;
+        mark (pc + 1)
+    | Vm.Instr.Br { target; _ } ->
+        mark target;
+        mark (pc + 1)
+    | Vm.Instr.Ret -> mark (pc + 1)
+    | _ -> ()
+  done;
+  (* Assign block ids in pc order. *)
+  let block_of_pc = Array.make n (-1) in
+  let nblocks = ref 0 in
+  for i = 0 to n - 1 do
+    if leader.(i) then incr nblocks;
+    block_of_pc.(i) <- !nblocks - 1
+  done;
+  let nblocks = !nblocks in
+  let first = Array.make nblocks 0 and last = Array.make nblocks 0 in
+  for i = 0 to n - 1 do
+    let b = block_of_pc.(i) in
+    if leader.(i) then first.(b) <- lo + i;
+    last.(b) <- lo + i
+  done;
+  let succs = Array.make nblocks [] in
+  let preds = Array.make nblocks [] in
+  let exit_bid = ref (-1) in
+  for b = 0 to nblocks - 1 do
+    let term = last.(b) in
+    let s =
+      match prog.code.(term) with
+      | Vm.Instr.Jmp t -> [ block_of_pc.(t - lo) ]
+      | Vm.Instr.Br { target; _ } ->
+          let t = block_of_pc.(target - lo) in
+          let ft =
+            if term + 1 < hi then [ block_of_pc.(term + 1 - lo) ] else []
+          in
+          if ft = [ t ] then [ t ] else t :: ft
+      | Vm.Instr.Ret ->
+          exit_bid := b;
+          []
+      | _ -> if term + 1 < hi then [ block_of_pc.(term + 1 - lo) ] else []
+    in
+    succs.(b) <- s;
+    List.iter (fun s' -> preds.(s') <- b :: preds.(s')) s
+  done;
+  let blocks =
+    Array.init nblocks (fun b ->
+        {
+          bid = b;
+          first = first.(b);
+          last = last.(b);
+          succs = succs.(b);
+          preds = List.rev preds.(b);
+        })
+  in
+  assert (!exit_bid >= 0);
+  { blocks; entry_bid = 0; exit_bid = !exit_bid; func = f; block_of_pc }
+
+let block_at t pc = t.blocks.(t.block_of_pc.(pc - t.func.entry))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>cfg %s (%d blocks)@," t.func.name
+    (Array.length t.blocks);
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "  b%d [%d..%d] -> %a@," b.bid b.first b.last
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        b.succs)
+    t.blocks;
+  Format.fprintf ppf "@]"

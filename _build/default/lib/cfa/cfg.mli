@@ -1,0 +1,29 @@
+(** Intraprocedural control-flow graphs over bytecode.
+
+    One CFG per function; [Call] instructions are ordinary straight-line
+    instructions (the analysis is intraprocedural — procedure constructs
+    are delimited by entry/[Ret], not by post-dominance). *)
+
+type block = {
+  bid : int;
+  first : int;  (** pc of the first instruction *)
+  last : int;  (** pc of the terminating instruction *)
+  succs : int list;  (** successor block ids *)
+  preds : int list;
+}
+
+type t = {
+  blocks : block array;
+  entry_bid : int;
+  exit_bid : int;  (** block containing the function's single [Ret] *)
+  func : Vm.Program.func_info;
+  block_of_pc : int array;  (** indexed by [pc - func.entry] *)
+}
+
+val build : Vm.Program.t -> Vm.Program.func_info -> t
+(** Splits the function body at branch targets and terminators. *)
+
+val block_at : t -> int -> block
+(** Block containing an absolute pc of this function. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+type t = { idom : int array; entry : int }
+
+let compute ~nnodes ~entry ~succs ~preds =
+  (* Reverse postorder from [entry]. *)
+  let visited = Array.make nnodes false in
+  let order = ref [] in
+  (* Iterative DFS to avoid stack overflow on long CFGs. *)
+  let stack = Stack.create () in
+  Stack.push (`Node entry) stack;
+  while not (Stack.is_empty stack) do
+    match Stack.pop stack with
+    | `Node n ->
+        if not visited.(n) then begin
+          visited.(n) <- true;
+          Stack.push (`Post n) stack;
+          List.iter
+            (fun s -> if not visited.(s) then Stack.push (`Node s) stack)
+            (succs n)
+        end
+    | `Post n -> order := n :: !order
+  done;
+  let rpo = Array.of_list !order in
+  let rpo_index = Array.make nnodes (-1) in
+  Array.iteri (fun i n -> rpo_index.(n) <- i) rpo;
+  let idom = Array.make nnodes (-1) in
+  idom.(entry) <- entry;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_index.(a) > rpo_index.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun n ->
+        if n <> entry then begin
+          let new_idom =
+            List.fold_left
+              (fun acc p ->
+                if idom.(p) = -1 then acc
+                else match acc with None -> Some p | Some a -> Some (intersect a p))
+              None (preds n)
+          in
+          match new_idom with
+          | Some d when idom.(n) <> d ->
+              idom.(n) <- d;
+              changed := true
+          | _ -> ()
+        end)
+      rpo
+  done;
+  { idom; entry }
+
+let dominates t a b =
+  if a = b then true
+  else
+    let rec go n =
+      if n = t.entry || n = -1 then false
+      else
+        let d = t.idom.(n) in
+        if d = a then true else if d = n || d = -1 then false else go d
+    in
+    go b
+
+let of_cfg (cfg : Cfg.t) =
+  compute ~nnodes:(Array.length cfg.blocks) ~entry:cfg.entry_bid
+    ~succs:(fun b -> cfg.blocks.(b).succs)
+    ~preds:(fun b -> cfg.blocks.(b).preds)
+
+let postdom_of_cfg (cfg : Cfg.t) =
+  compute ~nnodes:(Array.length cfg.blocks) ~entry:cfg.exit_bid
+    ~succs:(fun b -> cfg.blocks.(b).preds)
+    ~preds:(fun b -> cfg.blocks.(b).succs)

@@ -1,0 +1,27 @@
+(** Generic dominator-tree computation (Cooper–Harvey–Kennedy).
+
+    Used twice: with the CFG as-is it yields dominators (needed to find
+    back edges and natural loops), and with edges reversed and the exit as
+    entry it yields post-dominators (needed for the immediate
+    post-dominator of each predicate, rule (5) of the paper's Fig. 5). *)
+
+type t = {
+  idom : int array;
+      (** immediate dominator per node; [idom.(entry) = entry];
+          [-1] for nodes unreachable from the entry *)
+  entry : int;
+}
+
+val compute :
+  nnodes:int -> entry:int -> succs:(int -> int list) -> preds:(int -> int list)
+  -> t
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b] — does [a] dominate [b]? Reflexive. Linear in tree
+    depth; a node unreachable from the entry is dominated only by itself. *)
+
+val of_cfg : Cfg.t -> t
+(** Forward dominators, entry = CFG entry. *)
+
+val postdom_of_cfg : Cfg.t -> t
+(** Post-dominators, computed on the reversed CFG from the exit block. *)

@@ -1,0 +1,53 @@
+type loop = { header : int; body : int list; back_edges : (int * int) list }
+type t = { loops : loop array; depth : int array }
+
+let analyze (cfg : Cfg.t) (dom : Dominance.t) =
+  let n = Array.length cfg.blocks in
+  (* Collect back edges grouped by header. *)
+  let by_header = Hashtbl.create 8 in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      List.iter
+        (fun s ->
+          if Dominance.dominates dom s b.bid then
+            Hashtbl.replace by_header s
+              ((b.bid, s)
+              :: (Option.value ~default:[] (Hashtbl.find_opt by_header s))))
+        b.succs)
+    cfg.blocks;
+  let loops = ref [] in
+  Hashtbl.iter
+    (fun header back_edges ->
+      (* Natural loop: header + reverse-reachable from tails w/o header. *)
+      let in_body = Array.make n false in
+      in_body.(header) <- true;
+      let stack = Stack.create () in
+      List.iter (fun (u, _) -> if not in_body.(u) then begin
+            in_body.(u) <- true;
+            Stack.push u stack
+          end)
+        back_edges;
+      while not (Stack.is_empty stack) do
+        let b = Stack.pop stack in
+        List.iter
+          (fun p ->
+            if not in_body.(p) then begin
+              in_body.(p) <- true;
+              Stack.push p stack
+            end)
+          cfg.blocks.(b).preds
+      done;
+      let body = ref [] in
+      for b = n - 1 downto 0 do
+        if in_body.(b) then body := b :: !body
+      done;
+      loops := { header; body = !body; back_edges } :: !loops)
+    by_header;
+  let loops = Array.of_list !loops in
+  let depth = Array.make n 0 in
+  Array.iter
+    (fun l -> List.iter (fun b -> depth.(b) <- depth.(b) + 1) l.body)
+    loops;
+  { loops; depth }
+
+let in_loop t b = t.depth.(b) > 0

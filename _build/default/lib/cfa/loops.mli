@@ -1,0 +1,21 @@
+(** Natural-loop detection over a CFG.
+
+    A back edge is an edge [u -> h] where [h] dominates [u]; the natural
+    loop of the edge is [h] plus every block that reaches [u] without
+    passing through [h]. Loops with the same header are merged. *)
+
+type loop = {
+  header : int;  (** header block id *)
+  body : int list;  (** all block ids in the loop, including the header *)
+  back_edges : (int * int) list;
+}
+
+type t = {
+  loops : loop array;
+  depth : int array;  (** per block: number of loops containing it *)
+}
+
+val analyze : Cfg.t -> Dominance.t -> t
+
+val in_loop : t -> int -> bool
+(** Is this block inside any natural loop? *)

@@ -1,0 +1,1 @@
+lib/core/advice.ml: Array Format Hashtbl List Minic Option Profile Shadow String Violation Vm

@@ -1,0 +1,1 @@
+lib/core/advice.mli: Format Profile Shadow

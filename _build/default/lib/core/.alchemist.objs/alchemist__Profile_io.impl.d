@@ -1,0 +1,1 @@
+lib/core/profile_io.ml: Array Buffer Char Fun Hashtbl List Printf Profile Result Shadow String Vm

@@ -1,0 +1,1 @@
+lib/core/ranking.ml: Array Format Hashtbl List Minic Profile Violation Vm

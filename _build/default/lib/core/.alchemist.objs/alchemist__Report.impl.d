@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Format List Printf Profile Ranking Shadow String Violation Vm

@@ -1,0 +1,1 @@
+lib/core/scatter.ml: Buffer List Printf Profile Ranking String Violation

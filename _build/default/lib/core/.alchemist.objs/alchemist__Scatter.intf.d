@@ -1,0 +1,1 @@
+lib/core/scatter.mli: Profile Ranking

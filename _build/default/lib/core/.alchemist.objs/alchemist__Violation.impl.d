@@ -1,0 +1,1 @@
+lib/core/violation.ml: Array Hashtbl List Profile Shadow

@@ -1,0 +1,127 @@
+type edge_key = { head_pc : int; tail_pc : int; kind : Shadow.Dependence.kind }
+
+type edge_stats = {
+  mutable min_tdep : int;
+  mutable count : int;
+  mutable addrs : int list;
+  mutable tail_internal : bool;
+}
+
+type construct_profile = {
+  cid : int;
+  mutable ttotal : int;
+  mutable instances : int;
+  edges : (edge_key, edge_stats) Hashtbl.t;
+  parents : (int, int) Hashtbl.t;
+  mutable nesting : int;
+}
+
+type t = {
+  prog : Vm.Program.t;
+  by_cid : construct_profile array;
+  mutable total_instructions : int;
+}
+
+let create (prog : Vm.Program.t) =
+  {
+    prog;
+    by_cid =
+      Array.map
+        (fun (c : Vm.Program.construct_info) ->
+          {
+            cid = c.cid;
+            ttotal = 0;
+            instances = 0;
+            edges = Hashtbl.create 8;
+            parents = Hashtbl.create 4;
+            nesting = 0;
+          })
+        prog.constructs;
+    total_instructions = 0;
+  }
+
+let get t cid = t.by_cid.(cid)
+
+let enter t ~cid =
+  let p = t.by_cid.(cid) in
+  p.nesting <- p.nesting + 1
+
+let leave t ~cid ~duration ~parent_cid =
+  let p = t.by_cid.(cid) in
+  p.nesting <- p.nesting - 1;
+  p.instances <- p.instances + 1;
+  (* §III-B: aggregate only at the outermost recursion level, otherwise
+     nested activations would be double-counted. *)
+  if p.nesting = 0 then p.ttotal <- p.ttotal + duration;
+  Hashtbl.replace p.parents parent_cid
+    (1 + Option.value ~default:0 (Hashtbl.find_opt p.parents parent_cid))
+
+let note_addr s addr =
+  if (not (List.mem addr s.addrs)) && List.length s.addrs < 3 then
+    s.addrs <- addr :: s.addrs
+
+let record_edge t ~cid ~head_pc ~tail_pc ~kind ~tdep ~addr =
+  let p = t.by_cid.(cid) in
+  (* the tail is happening right now: another instance of this construct
+     is active iff its recursion/iteration nesting counter is nonzero *)
+  let internal = p.nesting > 0 in
+  let key = { head_pc; tail_pc; kind } in
+  match Hashtbl.find_opt p.edges key with
+  | Some s ->
+      s.count <- s.count + 1;
+      if tdep < s.min_tdep then s.min_tdep <- tdep;
+      if internal then s.tail_internal <- true;
+      note_addr s addr
+  | None ->
+      Hashtbl.add p.edges key
+        { min_tdep = tdep; count = 1; addrs = [ addr ]; tail_internal = internal }
+
+let mean_duration p = if p.instances = 0 then 0 else p.ttotal / p.instances
+
+let merge a b =
+  if a.prog.Vm.Program.code <> b.prog.Vm.Program.code then
+    invalid_arg "Profile.merge: profiles of different programs";
+  let out = create a.prog in
+  out.total_instructions <- a.total_instructions + b.total_instructions;
+  Array.iteri
+    (fun cid (dst : construct_profile) ->
+      let add (src : construct_profile) =
+        dst.ttotal <- dst.ttotal + src.ttotal;
+        dst.instances <- dst.instances + src.instances;
+        Hashtbl.iter
+          (fun key (s : edge_stats) ->
+            (match Hashtbl.find_opt dst.edges key with
+            | Some d ->
+                d.count <- d.count + s.count;
+                if s.min_tdep < d.min_tdep then d.min_tdep <- s.min_tdep;
+                if s.tail_internal then d.tail_internal <- true;
+                List.iter (note_addr d) s.addrs
+            | None ->
+                Hashtbl.add dst.edges key
+                  {
+                    min_tdep = s.min_tdep;
+                    count = s.count;
+                    addrs = s.addrs;
+                    tail_internal = s.tail_internal;
+                  }))
+          src.edges;
+        Hashtbl.iter
+          (fun parent n ->
+            Hashtbl.replace dst.parents parent
+              (n + Option.value ~default:0 (Hashtbl.find_opt dst.parents parent)))
+          src.parents
+      in
+      add a.by_cid.(cid);
+      add b.by_cid.(cid))
+    out.by_cid;
+  out
+
+let edges_sorted p =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) p.edges []
+  |> List.sort (fun (_, a) (_, b) -> compare a.min_tdep b.min_tdep)
+
+let cid_of_head_pc t pc =
+  if pc < 0 || pc >= Array.length t.prog.cid_of_pc then None
+  else
+    let cid = t.prog.cid_of_pc.(pc) in
+    if cid < 0 then None else Some cid

@@ -1,0 +1,80 @@
+(** Per-construct dependence-distance profiles.
+
+    One {!construct_profile} per static construct, keyed by construct id.
+    An entry records the paper's Fig. 2 quantities: total executed
+    instructions ([ttotal], summed over outermost instances only —
+    §III-B's recursion rule), the instance count, and for every static
+    dependence edge crossing out of the construct the minimum observed
+    distance [Tdep] (the minimum bounds exploitable concurrency). *)
+
+type edge_key = { head_pc : int; tail_pc : int; kind : Shadow.Dependence.kind }
+
+type edge_stats = {
+  mutable min_tdep : int;
+  mutable count : int;  (** dynamic occurrences attributed to this edge *)
+  mutable addrs : int list;
+      (** up to three distinct conflicting addresses, most recent first —
+          enough to name the variable(s) behind the edge in reports and
+          transformation advice *)
+  mutable tail_internal : bool;
+      (** some occurrence's tail executed while another instance of this
+          construct was active (e.g. a later loop iteration) — as opposed
+          to tails in the continuation after all instances, which a
+          future-based transform handles with a join (Advice) *)
+}
+
+type construct_profile = {
+  cid : int;
+  mutable ttotal : int;
+  mutable instances : int;
+  edges : (edge_key, edge_stats) Hashtbl.t;
+  parents : (int, int) Hashtbl.t;
+      (** direct dynamic parent cid -> instance count (drives Fig. 6(b)'s
+          "single nested instance per instance" removal); the key [-1]
+          stands for the execution root *)
+  mutable nesting : int;  (** live recursion depth of this static construct *)
+}
+
+type t = {
+  prog : Vm.Program.t;
+  by_cid : construct_profile array;
+  mutable total_instructions : int;
+}
+
+val create : Vm.Program.t -> t
+
+val enter : t -> cid:int -> unit
+(** Instance start: bumps the recursion nesting counter. *)
+
+val leave : t -> cid:int -> duration:int -> parent_cid:int -> unit
+(** Instance completion (Table I lines 18–22): counts the instance,
+    aggregates [duration] into [ttotal] only at outermost recursion
+    depth, and records the dynamic parent. *)
+
+val record_edge :
+  t ->
+  cid:int ->
+  head_pc:int ->
+  tail_pc:int ->
+  kind:Shadow.Dependence.kind ->
+  tdep:int ->
+  addr:int ->
+  unit
+(** Table II lines 8–13: insert the static edge or lower its minimum. *)
+
+val merge : t -> t -> t
+(** Combine two profiles of the {e same} program (e.g. different inputs —
+    the paper gathers multiple profile runs): instance counts and totals
+    add, per-edge minima take the min, edge sets union.
+    @raise Invalid_argument if the programs differ. *)
+
+val get : t -> int -> construct_profile
+
+val mean_duration : construct_profile -> int
+(** [ttotal / instances] — the per-instance [Tdur] used for the
+    [Tdep > Tdur] test (0 when the construct never completed). *)
+
+val edges_sorted : construct_profile -> (edge_key * edge_stats) list
+(** Sorted by ascending minimum distance. *)
+
+val cid_of_head_pc : t -> int -> int option

@@ -1,0 +1,153 @@
+let fingerprint (prog : Vm.Program.t) =
+  (* FNV-1a over the rendered instructions: stable across processes
+     (unlike Hashtbl.hash on nested variants, which is fine in-process
+     but not something we want to pin a file format to). *)
+  let h = ref 0x3bf29ce484222325 (* FNV offset basis, truncated to 62 bits *) in
+  let mix byte = h := (!h lxor byte) * 0x100000001b3 land max_int in
+  Array.iter
+    (fun instr ->
+      String.iter (fun c -> mix (Char.code c)) (Vm.Instr.to_string instr);
+      mix 10)
+    prog.code;
+  Printf.sprintf "%016x" !h
+
+let kind_tag = function
+  | Shadow.Dependence.Raw -> "RAW"
+  | Shadow.Dependence.War -> "WAR"
+  | Shadow.Dependence.Waw -> "WAW"
+
+let kind_of_tag = function
+  | "RAW" -> Ok Shadow.Dependence.Raw
+  | "WAR" -> Ok Shadow.Dependence.War
+  | "WAW" -> Ok Shadow.Dependence.Waw
+  | s -> Error (Printf.sprintf "unknown dependence kind %S" s)
+
+let write (t : Profile.t) buf =
+  Buffer.add_string buf "alchemist-profile 1\n";
+  Buffer.add_string buf (Printf.sprintf "fingerprint %s\n" (fingerprint t.prog));
+  Buffer.add_string buf (Printf.sprintf "total %d\n" t.total_instructions);
+  Array.iter
+    (fun (cp : Profile.construct_profile) ->
+      if cp.instances > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "construct %d %d %d\n" cp.cid cp.ttotal cp.instances);
+      Hashtbl.iter
+        (fun (k : Profile.edge_key) (s : Profile.edge_stats) ->
+          Buffer.add_string buf
+            (Printf.sprintf "edge %d %d %d %s %d %d %d%s\n" cp.cid k.head_pc
+               k.tail_pc (kind_tag k.kind) s.min_tdep s.count
+               (if s.tail_internal then 1 else 0)
+               (String.concat ""
+                  (List.map (Printf.sprintf " %d") (List.rev s.addrs)))))
+        cp.edges;
+      Hashtbl.iter
+        (fun parent n ->
+          Buffer.add_string buf
+            (Printf.sprintf "parent %d %d %d\n" cp.cid parent n))
+        cp.parents)
+    t.by_cid
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  write t buf;
+  Buffer.contents buf
+
+let read (prog : Vm.Program.t) text =
+  let ( let* ) = Result.bind in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let int_of s =
+    match int_of_string_opt s with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "not an integer: %S" s)
+  in
+  match lines with
+  | header :: fp :: total :: rest ->
+      let* () =
+        if header = "alchemist-profile 1" then Ok ()
+        else Error "unsupported profile format/version"
+      in
+      let* () =
+        match String.split_on_char ' ' fp with
+        | [ "fingerprint"; h ] when h = fingerprint prog -> Ok ()
+        | [ "fingerprint"; _ ] ->
+            Error "profile was recorded for a different program"
+        | _ -> Error "missing fingerprint line"
+      in
+      let* total_instructions =
+        match String.split_on_char ' ' total with
+        | [ "total"; n ] -> int_of n
+        | _ -> Error "missing total line"
+      in
+      let t = Profile.create prog in
+      t.Profile.total_instructions <- total_instructions;
+      let ncid = Array.length t.Profile.by_cid in
+      let check_cid cid =
+        if cid >= 0 && cid < ncid then Ok cid
+        else Error (Printf.sprintf "construct id %d out of range" cid)
+      in
+      let rec go = function
+        | [] -> Ok t
+        | line :: rest -> (
+            match String.split_on_char ' ' line with
+            | "construct" :: cid :: ttotal :: instances :: [] ->
+                let* cid = Result.bind (int_of cid) check_cid in
+                let* ttotal = int_of ttotal in
+                let* instances = int_of instances in
+                let cp = Profile.get t cid in
+                cp.Profile.ttotal <- ttotal;
+                cp.Profile.instances <- instances;
+                go rest
+            | "edge" :: cid :: head :: tail :: kind :: min_tdep :: count
+              :: internal :: addrs ->
+                let* cid = Result.bind (int_of cid) check_cid in
+                let* head_pc = int_of head in
+                let* tail_pc = int_of tail in
+                let* kind = kind_of_tag kind in
+                let* min_tdep = int_of min_tdep in
+                let* count = int_of count in
+                let* internal = int_of internal in
+                let* addrs =
+                  List.fold_left
+                    (fun acc a ->
+                      let* acc = acc in
+                      let* a = int_of a in
+                      Ok (a :: acc))
+                    (Ok []) addrs
+                in
+                let cp = Profile.get t cid in
+                Hashtbl.replace cp.Profile.edges
+                  { Profile.head_pc; tail_pc; kind }
+                  {
+                    Profile.min_tdep;
+                    count;
+                    addrs;
+                    tail_internal = internal <> 0;
+                  };
+                go rest
+            | "parent" :: cid :: parent :: count :: [] ->
+                let* cid = Result.bind (int_of cid) check_cid in
+                let* parent = int_of parent in
+                let* count = int_of count in
+                Hashtbl.replace (Profile.get t cid).Profile.parents parent count;
+                go rest
+            | _ -> Error (Printf.sprintf "malformed line: %S" line))
+      in
+      go rest
+  | _ -> Error "truncated profile"
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load prog path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> read prog (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,33 @@
+(** Profile persistence.
+
+    A profile is written as a line-oriented text format tied to the
+    program it came from by a code fingerprint, so profiles from several
+    runs (different inputs) can be collected offline and merged with
+    {!Profile.merge} later — the paper's "gathering and analyzing profile
+    runs".
+
+    Format (version 1):
+    {v
+    alchemist-profile 1
+    fingerprint <hex>
+    total <instructions>
+    construct <cid> <ttotal> <instances>
+    edge <cid> <head_pc> <tail_pc> <RAW|WAR|WAW> <min_tdep> <count> <internal:0|1> <addr>*
+    parent <cid> <parent_cid> <count>
+    v} *)
+
+val fingerprint : Vm.Program.t -> string
+(** A stable hash of the code array (hex). *)
+
+val write : Profile.t -> Buffer.t -> unit
+val to_string : Profile.t -> string
+
+val read : Vm.Program.t -> string -> (Profile.t, string) result
+(** Parses a serialized profile against [prog]; fails with a message on
+    version/fingerprint mismatch or malformed input. *)
+
+val save : Profile.t -> string -> unit
+(** Write to a file. *)
+
+val load : Vm.Program.t -> string -> (Profile.t, string) result
+(** Read from a file. *)

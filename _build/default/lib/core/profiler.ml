@@ -1,0 +1,123 @@
+module Node = Indexing.Node
+
+type stats = {
+  instructions : int;
+  static_constructs : int;
+  dynamic_constructs : int;
+  deps_detected : int;
+  shadow_events : int;
+  pool_allocated : int;
+  pool_reused : int;
+  forced_pops : int;
+}
+
+type result = {
+  profile : Profile.t;
+  stats : stats;
+  run : Vm.Machine.result;
+}
+
+let cid_of_label (prog : Vm.Program.t) label = prog.cid_of_pc.(label)
+
+(* Build the instrumentation (hooks + a finisher that assembles the
+   result); shared between the live run and offline trace replay. *)
+let make ?scan_limit ?pool_capacity (prog : Vm.Program.t) =
+  let analysis = Cfa.Analysis.analyze prog in
+  let profile = Profile.create prog in
+  let pops = ref 0 in
+  let on_push (c : Node.t) =
+    Profile.enter profile ~cid:(cid_of_label prog c.label)
+  in
+  let on_pop (c : Node.t) =
+    incr pops;
+    let parent_cid =
+      match c.parent with
+      | Some p -> cid_of_label prog p.Node.label
+      | None -> -1
+    in
+    Profile.leave profile
+      ~cid:(cid_of_label prog c.label)
+      ~duration:(Node.duration c) ~parent_cid
+  in
+  let tree =
+    Indexing.Index_tree.create ?scan_limit ?pool_capacity ~on_push ~on_pop ()
+  in
+  let rules = Indexing.Rules.create ~ipdom:analysis.Cfa.Analysis.ipdom_of_pc ~tree in
+  (* Table II: attribute a detected dependence to every completed
+     enclosing construct of its head, bottom-up. *)
+  let on_dep (d : Shadow.Dependence.t) =
+    let tdep = Shadow.Dependence.distance d in
+    let th = d.head.Shadow.Dependence.time in
+    let rec walk (c : Node.t) =
+      if Node.covers c th then begin
+        Profile.record_edge profile
+          ~cid:(cid_of_label prog c.label)
+          ~head_pc:d.head.Shadow.Dependence.pc
+          ~tail_pc:d.tail.Shadow.Dependence.pc ~kind:d.kind ~tdep ~addr:d.addr;
+        match c.parent with Some p -> walk p | None -> ()
+      end
+    in
+    walk d.head.Shadow.Dependence.node
+  in
+  let shadow = Shadow.Shadow_memory.create ~on_dep () in
+  let enclosing () =
+    match Indexing.Index_tree.top tree with
+    | Some c -> c
+    | None -> invalid_arg "Profiler: memory event outside any construct"
+  in
+  let hooks =
+    {
+      Vm.Hooks.on_instr = (fun ~pc -> Indexing.Rules.on_instr rules ~pc);
+      on_read =
+        (fun ~pc ~addr ->
+          Shadow.Shadow_memory.read shadow ~addr ~pc
+            ~time:(Indexing.Index_tree.now tree)
+            ~node:(enclosing ()));
+      on_write =
+        (fun ~pc ~addr ->
+          Shadow.Shadow_memory.write shadow ~addr ~pc
+            ~time:(Indexing.Index_tree.now tree)
+            ~node:(enclosing ()));
+      on_branch =
+        (fun ~pc ~kind ~cid:_ ~taken ->
+          Indexing.Rules.on_branch rules ~pc ~kind ~taken);
+      on_call =
+        (fun ~pc ~fid:_ -> Indexing.Rules.on_call rules ~entry_pc:pc);
+      on_ret = (fun ~pc:_ ~fid:_ -> Indexing.Rules.on_ret rules);
+      on_frame_release =
+        (fun ~base ~size -> Shadow.Shadow_memory.clear_range shadow ~base ~size);
+    }
+  in
+  let finish (run : Vm.Machine.result) =
+    Indexing.Rules.finish rules;
+    profile.Profile.total_instructions <- run.Vm.Machine.instructions;
+    let stats =
+      {
+        instructions = run.Vm.Machine.instructions;
+        static_constructs = Array.length prog.constructs;
+        dynamic_constructs = !pops;
+        deps_detected = Shadow.Shadow_memory.deps_emitted shadow;
+        shadow_events = Shadow.Shadow_memory.events shadow;
+        pool_allocated = Indexing.Index_tree.pool_allocated tree;
+        pool_reused = Indexing.Index_tree.pool_reused tree;
+        forced_pops = Indexing.Rules.forced_pops rules;
+      }
+    in
+    { profile; stats; run }
+  in
+  (hooks, finish)
+
+let run ?fuel ?scan_limit ?pool_capacity ?(trace_locals = false)
+    (prog : Vm.Program.t) =
+  let hooks, finish = make ?scan_limit ?pool_capacity prog in
+  finish (Vm.Machine.run_hooked ~trace_locals ?fuel hooks prog)
+
+let run_trace ?scan_limit ?pool_capacity (trace : Vm.Trace.t)
+    (prog : Vm.Program.t) =
+  let hooks, finish = make ?scan_limit ?pool_capacity prog in
+  Vm.Trace.replay trace hooks;
+  finish (Vm.Trace.result trace)
+
+let run_source ?fuel ?scan_limit ?pool_capacity ?trace_locals src =
+  run ?fuel ?scan_limit ?pool_capacity ?trace_locals
+    (Vm.Compile.compile_source src)

@@ -1,0 +1,64 @@
+(** The Alchemist profiler: one instrumented execution produces the
+    dependence-distance profile of {e every} construct (the paper's
+    "transparency" property — no construct pre-selection).
+
+    Wiring per event:
+    - [on_instr] drives the clock and rule (5) pops;
+    - [on_branch]/[on_call]/[on_ret] drive rules (1)–(4) on the index tree;
+    - [on_read]/[on_write] feed shadow memory, whose dependence edges are
+      attributed bottom-up along the index tree (Table II): starting from
+      the head's enclosing construct instance, every {e completed}
+      ancestor instance whose lifetime covers the head's timestamp
+      receives the edge; the walk stops at the first active ancestor
+      (for which the dependence is internal) or at a recycled node
+      (detected by the time-window check). *)
+
+type stats = {
+  instructions : int;
+  static_constructs : int;
+  dynamic_constructs : int;  (** completed construct instances *)
+  deps_detected : int;  (** dynamic dependence events *)
+  shadow_events : int;  (** memory accesses tracked *)
+  pool_allocated : int;  (** index-tree nodes ever allocated *)
+  pool_reused : int;
+  forced_pops : int;  (** should be 0; see {!Indexing.Rules.forced_pops} *)
+}
+
+type result = {
+  profile : Profile.t;
+  stats : stats;
+  run : Vm.Machine.result;  (** the program's ordinary execution result *)
+}
+
+val run :
+  ?fuel:int ->
+  ?scan_limit:int ->
+  ?pool_capacity:int ->
+  ?trace_locals:bool ->
+  Vm.Program.t ->
+  result
+(** Profiles one execution.
+
+    [pool_capacity] (default 1M, the paper's setting) controls index-node
+    retention; [trace_locals] (default [false]) additionally tracks scalar
+    frame slots as memory — see {!Vm.Machine.run_hooked}.
+    @raise Vm.Machine.Trap as {!Vm.Machine.run}. *)
+
+val run_trace :
+  ?scan_limit:int ->
+  ?pool_capacity:int ->
+  Vm.Trace.t ->
+  Vm.Program.t ->
+  result
+(** Profile offline from a recorded trace (see {!Vm.Trace}); produces a
+    result identical to the online {!run} of the same execution
+    (differentially tested). *)
+
+val run_source :
+  ?fuel:int ->
+  ?scan_limit:int ->
+  ?pool_capacity:int ->
+  ?trace_locals:bool ->
+  string ->
+  result
+(** Convenience: compile a Mini-C source and profile it. *)

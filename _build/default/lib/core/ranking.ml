@@ -1,0 +1,69 @@
+type entry = {
+  cid : int;
+  name : string;
+  kind : Vm.Program.construct_kind;
+  line : int;
+  ttotal : int;
+  instances : int;
+  violations : Violation.summary;
+}
+
+let entry_of (t : Profile.t) (c : Vm.Program.construct_info) =
+  let p = Profile.get t c.cid in
+  {
+    cid = c.cid;
+    name = Format.asprintf "%a" Vm.Program.pp_construct c;
+    kind = c.kind;
+    line = c.loc.Minic.Srcloc.line;
+    ttotal = p.ttotal;
+    instances = p.instances;
+    violations = Violation.summarize t ~cid:c.cid;
+  }
+
+let rank ?(min_instructions = 1) (t : Profile.t) =
+  Array.to_list t.prog.constructs
+  |> List.map (entry_of t)
+  |> List.filter (fun e -> e.instances > 0 && e.ttotal >= min_instructions)
+  |> List.sort (fun a b -> compare b.ttotal a.ttotal)
+
+let remove_with_singletons (t : Profile.t) entries ~cid =
+  let removed = Hashtbl.create 16 in
+  Hashtbl.replace removed cid ();
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun e ->
+        if not (Hashtbl.mem removed e.cid) then begin
+          let p = Profile.get t e.cid in
+          let total_parent_occurrences = ref 0 in
+          let all_removed = ref (Hashtbl.length p.parents > 0) in
+          let max_parent_instances = ref 0 in
+          Hashtbl.iter
+            (fun parent_cid count ->
+              total_parent_occurrences := !total_parent_occurrences + count;
+              if parent_cid < 0 || not (Hashtbl.mem removed parent_cid) then
+                all_removed := false
+              else
+                max_parent_instances :=
+                  max !max_parent_instances
+                    (Profile.get t parent_cid).Profile.instances)
+            p.parents;
+          (* "Single nested instance per instance": the construct only ever
+             occurs inside removed constructs, at most once per enclosing
+             instance. *)
+          if !all_removed && e.instances <= !max_parent_instances then begin
+            Hashtbl.replace removed e.cid ();
+            changed := true
+          end
+        end)
+      entries
+  done;
+  List.filter (fun e -> not (Hashtbl.mem removed e.cid)) entries
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%s Tdur=%d, inst=%d (RAW viol %d/%d, WAW %d/%d, WAR %d/%d)"
+    e.name e.ttotal e.instances e.violations.Violation.raw_violating
+    e.violations.Violation.raw_total e.violations.Violation.waw_violating
+    e.violations.Violation.waw_total e.violations.Violation.war_violating
+    e.violations.Violation.war_total

@@ -1,0 +1,30 @@
+(** Ranked parallelization candidates (the paper's "Usability" output).
+
+    Constructs are ordered by total executed instructions — "a construct
+    is a good candidate if it has many instructions and few violating
+    dependences" (§IV-B) — with each entry carrying its violation summary
+    so callers can filter. *)
+
+type entry = {
+  cid : int;
+  name : string;  (** e.g. ["Method flush_block"], ["Loop (zip,17)"] *)
+  kind : Vm.Program.construct_kind;
+  line : int;  (** source line of the construct head *)
+  ttotal : int;
+  instances : int;
+  violations : Violation.summary;
+}
+
+val rank : ?min_instructions:int -> Profile.t -> entry list
+(** All executed constructs, descending by [ttotal].
+    [min_instructions] (default 1) drops never-executed or trivial
+    constructs. *)
+
+val remove_with_singletons : Profile.t -> entry list -> cid:int -> entry list
+(** Fig. 6(b)'s operation: once construct [C] is chosen for
+    parallelization, remove [C] and (transitively) every construct that
+    only ever runs nested in removed constructs with at most one instance
+    per instance of its parent — those are parallelized "for free" and
+    must not be recommended again. *)
+
+val pp_entry : Format.formatter -> entry -> unit

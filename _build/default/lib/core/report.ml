@@ -1,0 +1,62 @@
+let line_of_pc (t : Profile.t) pc = Vm.Program.line_of_pc t.prog pc
+
+let name_of_addr (prog : Vm.Program.t) addr =
+  List.find_map
+    (fun (name, base, len) ->
+      if addr < base || addr >= base + len then None
+      else if len = 1 then Some name
+      else Some (Printf.sprintf "%s[%d]" name (addr - base)))
+    prog.global_layout
+
+let conflict_names (t : Profile.t) (s : Profile.edge_stats) =
+  let names =
+    List.filter_map (name_of_addr t.prog) (List.rev s.addrs)
+    |> List.sort_uniq compare
+  in
+  match names with [] -> "" | l -> "  on " ^ String.concat ", " l
+
+let render_edges buf (t : Profile.t) p ~max_edges ~kinds =
+  let edges =
+    Profile.edges_sorted p
+    |> List.filter (fun ((k : Profile.edge_key), _) -> List.mem k.kind kinds)
+  in
+  let shown = List.filteri (fun i _ -> i < max_edges) edges in
+  List.iter
+    (fun ((k : Profile.edge_key), (s : Profile.edge_stats)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "     %s: line %d -> line %d  Tdep=%d%s%s\n"
+           (Shadow.Dependence.kind_to_string k.kind)
+           (line_of_pc t k.head_pc) (line_of_pc t k.tail_pc) s.min_tdep
+           (if Violation.is_violating p s then "  *" else "")
+           (conflict_names t s)))
+    shown;
+  let hidden = List.length edges - List.length shown in
+  if hidden > 0 then
+    Buffer.add_string buf (Printf.sprintf "     ... %d more\n" hidden)
+
+let render_construct ?(max_edges = 8)
+    ?(kinds = [ Shadow.Dependence.Raw ]) (t : Profile.t) ~cid =
+  let buf = Buffer.create 256 in
+  let c = t.prog.constructs.(cid) in
+  let p = Profile.get t cid in
+  Buffer.add_string buf
+    (Format.asprintf "%a Tdur=%d, inst=%d\n" Vm.Program.pp_construct c
+       p.ttotal p.instances);
+  render_edges buf t p ~max_edges ~kinds;
+  Buffer.contents buf
+
+let render ?(top = 10) ?(max_edges = 8) ?(kinds = [ Shadow.Dependence.Raw ])
+    (t : Profile.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Profile\n";
+  let entries = Ranking.rank t in
+  List.iteri
+    (fun i (e : Ranking.entry) ->
+      if i < top then begin
+        Buffer.add_string buf
+          (Printf.sprintf "%d. %s Tdur=%d, inst=%d\n" (i + 1) e.name e.ttotal
+             e.instances);
+        render_edges buf t (Profile.get t e.cid) ~max_edges ~kinds
+      end)
+    entries;
+  Buffer.contents buf

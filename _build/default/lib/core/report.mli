@@ -1,0 +1,29 @@
+(** Fig. 2 / Fig. 3-style textual profiles.
+
+    Each ranked construct prints as
+    ["N. Method flush_block  Tdur=643408, inst=2"] followed by its
+    dependence edges as ["RAW: line 28 -> line 10  Tdep=3  *"], ascending
+    by distance, with [*] marking edges that fail [Tdep > Tdur]. *)
+
+val render :
+  ?top:int ->
+  ?max_edges:int ->
+  ?kinds:Shadow.Dependence.kind list ->
+  Profile.t ->
+  string
+(** [top] limits the number of constructs (default 10); [max_edges] the
+    edges listed per construct (default 8); [kinds] filters edge kinds
+    (default: RAW only, as in Fig. 2 — pass [[War; Waw]] for Fig. 3). *)
+
+val render_construct :
+  ?max_edges:int ->
+  ?kinds:Shadow.Dependence.kind list ->
+  Profile.t ->
+  cid:int ->
+  string
+
+val line_of_pc : Profile.t -> int -> int
+
+val name_of_addr : Vm.Program.t -> int -> string option
+(** The global variable (with element offset for arrays) at an address,
+    e.g. [Some "outbuf[17]"]; [None] for stack addresses. *)

@@ -1,0 +1,120 @@
+type point = {
+  cid : int;
+  label : string;
+  size : int;
+  violations : int;
+  norm_size : float;
+  norm_violations : float;
+}
+
+let points_of_entries (t : Profile.t) entries =
+  let total_insns = max 1 t.total_instructions in
+  let total_viol = max 1 (Violation.total_violating_raw t) in
+  List.mapi
+    (fun i (e : Ranking.entry) ->
+      {
+        cid = e.cid;
+        label = Printf.sprintf "C%d %s" (i + 1) e.name;
+        size = e.ttotal;
+        violations = e.violations.Violation.raw_violating;
+        norm_size = float_of_int e.ttotal /. float_of_int total_insns;
+        norm_violations =
+          float_of_int e.violations.Violation.raw_violating
+          /. float_of_int total_viol;
+      })
+    entries
+
+let points ?(top = 12) (t : Profile.t) =
+  let entries = Ranking.rank t in
+  points_of_entries t (List.filteri (fun i _ -> i < top) entries)
+
+let svg_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_svg ?(title = "size vs violating static RAW") pts =
+  let w = 560 and h = 400 in
+  let ml = 60 and mr = 20 and mt = 40 and mb = 50 in
+  let pw = w - ml - mr and ph = h - mt - mb in
+  let x v = ml + int_of_float (v *. float_of_int pw) in
+  let y v = mt + ph - int_of_float (v *. float_of_int ph) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\" font-family=\"sans-serif\">\n"
+       w h w h);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  <text x=\"%d\" y=\"20\" font-size=\"14\" text-anchor=\"middle\">%s</text>\n"
+       (w / 2) (svg_escape title));
+  (* axes *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  <line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"black\"/>\n"
+       ml (mt + ph) (ml + pw) (mt + ph));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  <line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"black\"/>\n"
+       ml mt ml (mt + ph));
+  (* ticks at 0, .5, 1 *)
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  <text x=\"%d\" y=\"%d\" font-size=\"10\" \
+            text-anchor=\"middle\">%.1f</text>\n"
+           (x v) (mt + ph + 14) v);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  <text x=\"%d\" y=\"%d\" font-size=\"10\" text-anchor=\"end\">%.1f</text>\n"
+           (ml - 5) (y v + 3) v))
+    [ 0.0; 0.5; 1.0 ];
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  <text x=\"%d\" y=\"%d\" font-size=\"11\" \
+        text-anchor=\"middle\">normalized instructions</text>\n"
+       (ml + (pw / 2)) (h - 12));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  <text x=\"14\" y=\"%d\" font-size=\"11\" text-anchor=\"middle\" \
+        transform=\"rotate(-90 14 %d)\">normalized violating RAW</text>\n"
+       (mt + (ph / 2)) (mt + (ph / 2)));
+  (* points *)
+  List.iteri
+    (fun i p ->
+      let cx = x p.norm_size and cy = y p.norm_violations in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  <circle cx=\"%d\" cy=\"%d\" r=\"4\" fill=\"#246\" \
+            fill-opacity=\"0.8\"/>\n"
+           cx cy);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  <text x=\"%d\" y=\"%d\" font-size=\"9\">C%d</text>\n"
+           (cx + 6) (cy + 3) (i + 1)))
+    pts;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let render pts =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-34s %10s %10s %12s %6s\n" "construct" "size" "viol"
+       "norm.size" "norm.v");
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-34s %10d %10d %12.4f %6.3f\n" p.label p.size
+           p.violations p.norm_size p.norm_violations))
+    pts;
+  Buffer.contents buf

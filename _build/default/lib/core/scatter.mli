@@ -1,0 +1,30 @@
+(** Fig. 6 data: per-construct (size, violating-static-RAW) points.
+
+    Size is normalized to the program's total executed instructions;
+    violating RAW counts to the total violating static RAW edges of the
+    profiled execution — exactly the paper's normalization. *)
+
+type point = {
+  cid : int;
+  label : string;
+  size : int;  (** Ttotal, instructions *)
+  violations : int;  (** violating static RAW edges *)
+  norm_size : float;
+  norm_violations : float;
+}
+
+val points : ?top:int -> Profile.t -> point list
+(** Top constructs by size (default 12), descending — the paper labels
+    these C1, C2, ... in Fig. 6. *)
+
+val points_of_entries : Profile.t -> Ranking.entry list -> point list
+(** The same, from a caller-filtered ranking (used for Fig. 6(b) after
+    {!Ranking.remove_with_singletons}). *)
+
+val render : point list -> string
+(** Plain-text table: label, norm. size, norm. violations, raw numbers. *)
+
+val to_svg : ?title:string -> point list -> string
+(** A self-contained SVG scatter plot in the paper's Fig. 6 layout:
+    x = normalized instruction count, y = normalized violating static RAW
+    dependences, one labelled dot per construct. *)

@@ -1,0 +1,48 @@
+type summary = {
+  cid : int;
+  raw_violating : int;
+  war_violating : int;
+  waw_violating : int;
+  raw_total : int;
+  war_total : int;
+  waw_total : int;
+}
+
+let is_violating (p : Profile.construct_profile) (s : Profile.edge_stats) =
+  s.min_tdep <= Profile.mean_duration p
+
+let summarize (t : Profile.t) ~cid =
+  let p = Profile.get t cid in
+  let acc = ref { cid; raw_violating = 0; war_violating = 0; waw_violating = 0;
+                  raw_total = 0; war_total = 0; waw_total = 0 } in
+  Hashtbl.iter
+    (fun (k : Profile.edge_key) s ->
+      let v = is_violating p s in
+      let a = !acc in
+      acc :=
+        (match k.kind with
+        | Shadow.Dependence.Raw ->
+            { a with raw_total = a.raw_total + 1;
+                     raw_violating = (a.raw_violating + if v then 1 else 0) }
+        | Shadow.Dependence.War ->
+            { a with war_total = a.war_total + 1;
+                     war_violating = (a.war_violating + if v then 1 else 0) }
+        | Shadow.Dependence.Waw ->
+            { a with waw_total = a.waw_total + 1;
+                     waw_violating = (a.waw_violating + if v then 1 else 0) }))
+    p.edges;
+  !acc
+
+let violating_edges (t : Profile.t) ~cid =
+  let p = Profile.get t cid in
+  Profile.edges_sorted p |> List.filter (fun (_, s) -> is_violating p s)
+
+let total_violating_raw (t : Profile.t) =
+  Array.fold_left
+    (fun acc (p : Profile.construct_profile) ->
+      Hashtbl.fold
+        (fun (k : Profile.edge_key) s n ->
+          if k.kind = Shadow.Dependence.Raw && is_violating p s then n + 1
+          else n)
+        p.edges acc)
+    0 t.by_cid

@@ -1,0 +1,31 @@
+(** Classification of profiled edges against the [Tdep > Tdur] criterion.
+
+    An edge {e violates} when its minimum distance is at most the
+    construct's per-instance duration: running the construct as a future
+    would reach the tail before the head completes (Fig. 1's
+    [Tdep - Tdur <= 0]). RAW violations gate parallelization outright;
+    WAR/WAW violations call for privatization or hoisting transforms. *)
+
+type summary = {
+  cid : int;
+  raw_violating : int;  (** static RAW edges with [min_tdep <= Tdur] *)
+  war_violating : int;
+  waw_violating : int;
+  raw_total : int;
+  war_total : int;
+  waw_total : int;
+}
+
+val is_violating : Profile.construct_profile -> Profile.edge_stats -> bool
+(** Against the construct's mean instance duration. *)
+
+val summarize : Profile.t -> cid:int -> summary
+
+val violating_edges :
+  Profile.t -> cid:int ->
+  (Profile.edge_key * Profile.edge_stats) list
+(** Edges failing [Tdep > Tdur], ascending by distance. *)
+
+val total_violating_raw : Profile.t -> int
+(** Sum of static violating RAW edges over all constructs — Fig. 6's
+    normalization denominator. *)

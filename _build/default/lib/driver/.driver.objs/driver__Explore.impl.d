@@ -1,0 +1,1 @@
+lib/driver/explore.ml: Alchemist Array Format List Parsim Vm

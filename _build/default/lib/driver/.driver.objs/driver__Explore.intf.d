@@ -1,0 +1,1 @@
+lib/driver/explore.mli: Alchemist Format Parsim Vm

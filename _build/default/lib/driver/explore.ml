@@ -1,0 +1,72 @@
+type candidate = {
+  rank : int;
+  entry : Alchemist.Ranking.entry;
+  advice : Alchemist.Advice.t;
+  simulated : Parsim.Speedup.report option;
+}
+
+type t = {
+  candidates : candidate list;
+  instructions : int;
+  profile : Alchemist.Profile.t;
+}
+
+let explore ?fuel ?(cores = 4) ?spawn_overhead ?(top = 8) ?(min_share = 0.02)
+    (prog : Vm.Program.t) =
+  let result = Alchemist.Profiler.run ?fuel prog in
+  let profile = result.Alchemist.Profiler.profile in
+  let instructions = result.Alchemist.Profiler.stats.Alchemist.Profiler.instructions in
+  let threshold = int_of_float (min_share *. float_of_int instructions) in
+  let entries =
+    Alchemist.Ranking.rank profile
+    |> List.filter (fun (e : Alchemist.Ranking.entry) ->
+           e.cid <> prog.cid_of_pc.(prog.funcs.(prog.main_fid).entry)
+           && e.ttotal >= threshold)
+  in
+  let candidates =
+    List.filteri (fun i _ -> i < top) entries
+    |> List.mapi (fun i (entry : Alchemist.Ranking.entry) ->
+           let advice = Alchemist.Advice.advise profile ~cid:entry.cid in
+           let simulated =
+             match advice.Alchemist.Advice.verdict with
+             | `Not_amenable -> None
+             | `Parallelizable | `Needs_transforms ->
+                 let head_pc = prog.constructs.(entry.cid).head_pc in
+                 Some
+                   (Parsim.Speedup.analyze ?fuel ~cores ?spawn_overhead
+                      ~privatize:(Alchemist.Advice.privatization_list advice)
+                      ~reduce:(Alchemist.Advice.reduction_list advice)
+                      prog ~head_pc)
+           in
+           { rank = i + 1; entry; advice; simulated })
+  in
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        let s c =
+          match c.simulated with
+          | Some r -> r.Parsim.Speedup.speedup
+          | None -> neg_infinity
+        in
+        compare (s b) (s a))
+      candidates
+  in
+  { candidates = sorted; instructions; profile }
+
+let best t =
+  List.find_opt (fun c -> c.simulated <> None) t.candidates
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>explored %d candidates over a %d-instruction run:@,"
+    (List.length t.candidates) t.instructions;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@,#%d by size: %a@," c.rank Alchemist.Ranking.pp_entry
+        c.entry;
+      Format.fprintf ppf "%a@," Alchemist.Advice.pp c.advice;
+      match c.simulated with
+      | Some r ->
+          Format.fprintf ppf "  simulated: %a@," Parsim.Speedup.pp_report r
+      | None -> Format.fprintf ppf "  (not simulated)@,")
+    t.candidates;
+  Format.fprintf ppf "@]"

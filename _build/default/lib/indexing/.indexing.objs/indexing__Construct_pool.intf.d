@@ -1,0 +1,1 @@
+lib/indexing/construct_pool.mli: Node

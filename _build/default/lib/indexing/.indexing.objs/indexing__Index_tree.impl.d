@@ -1,0 +1,1 @@
+lib/indexing/index_tree.ml: Array Construct_pool List Node Printf

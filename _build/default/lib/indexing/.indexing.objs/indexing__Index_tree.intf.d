@@ -1,0 +1,1 @@
+lib/indexing/index_tree.mli: Node

@@ -1,0 +1,1 @@
+lib/indexing/node.mli: Format

@@ -1,0 +1,1 @@
+lib/indexing/rules.ml: Array Index_tree Node Vm

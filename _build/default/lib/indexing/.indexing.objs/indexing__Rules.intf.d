@@ -1,0 +1,1 @@
+lib/indexing/rules.mli: Index_tree Vm

@@ -1,0 +1,45 @@
+type t = {
+  q : Node.t Queue.t;
+  scan_limit : int;
+  capacity : int;
+  mutable allocated : int;
+  mutable reused : int;
+}
+
+let create ?(scan_limit = 8) ?(capacity = 1_000_000) () =
+  { q = Queue.create (); scan_limit; capacity; allocated = 0; reused = 0 }
+
+let retirable ~now (c : Node.t) = now - c.texit >= c.texit - c.tenter
+
+let fresh t =
+  t.allocated <- t.allocated + 1;
+  Node.make ()
+
+let acquire t ~now =
+  (* Below capacity, allocate fresh nodes — the paper's pre-allocated 1M
+     pool behaves this way, which is what keeps completed instances
+     addressable long enough to report large-Tdep edges. At capacity,
+     examine up to [scan_limit] entries from the head (the oldest
+     completions); entries not yet retirable are rotated to the tail. *)
+  if t.allocated < t.capacity then fresh t
+  else
+    let rec scan k =
+      if k = 0 || Queue.is_empty t.q then None
+      else
+        let c = Queue.pop t.q in
+        if retirable ~now c then Some c
+        else begin
+          Queue.push c t.q;
+          scan (k - 1)
+        end
+    in
+    match scan (min t.scan_limit (Queue.length t.q)) with
+    | Some c ->
+        t.reused <- t.reused + 1;
+        c
+    | None -> fresh t
+
+let release t c = Queue.push c t.q
+let allocated t = t.allocated
+let reused t = t.reused
+let size t = Queue.length t.q

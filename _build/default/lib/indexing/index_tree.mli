@@ -1,0 +1,58 @@
+(** The execution index tree (paper §III-A, Table I).
+
+    Maintains the indexing stack (IDS) whose state is the execution index
+    of the current point, the clock (retired instruction count), and the
+    construct pool. Completed subtrees stay addressable through parent
+    pointers held by still-referenced nodes until the pool recycles them.
+
+    The [on_pop] callback observes every completed instance (profile
+    aggregation — Table I lines 18–22 — lives in the profiler, which also
+    handles the recursion nesting counters of §III-B). *)
+
+type t
+
+val create :
+  ?scan_limit:int ->
+  ?pool_capacity:int ->
+  ?on_push:(Node.t -> unit) ->
+  ?on_pop:(Node.t -> unit) ->
+  unit ->
+  t
+(** [on_push]/[on_pop] observe every instance start/completion (the
+    profiler's recursion nesting counters and aggregation hang off these). *)
+
+val now : t -> int
+val tick : t -> unit
+(** Advance the clock by one instruction. *)
+
+val depth : t -> int
+(** Current stack depth (number of active constructs, the paper's [L]). *)
+
+val top : t -> Node.t option
+(** The enclosing construct of the current execution point. *)
+
+val push : t -> label:int -> is_func:bool -> Node.t
+(** Table I [IDS.push]: acquire a node, stamp [tenter = now], link to the
+    current top as parent, push. *)
+
+val pop : t -> Node.t
+(** Table I [IDS.pop]: stamp [texit = now], release to the pool, fire
+    [on_pop]. @raise Invalid_argument on an empty stack. *)
+
+val pop_through : t -> label:int -> bool
+(** Unwind for rule (4) in the presence of irregular control flow: if a
+    node with [label] occurs on the stack {e above and including} the
+    nearest enclosing function node, pop entries (normally, via {!pop})
+    up to and including it and return [true]; otherwise pop nothing and
+    return [false]. This closes break/continue-guard conditionals whose
+    immediate post-dominator is the loop exit, keeping loop iterations
+    siblings (see DESIGN.md, "Constructs and indexing"). *)
+
+val index_of_top : t -> int list
+(** The execution index of the current point: labels from the root down
+    to the top (paper Fig. 4). *)
+
+val pool_allocated : t -> int
+val pool_reused : t -> int
+
+val stats : t -> string

@@ -1,0 +1,17 @@
+type t = {
+  mutable label : int;
+  mutable tenter : int;
+  mutable texit : int;
+  mutable parent : t option;
+  mutable is_func : bool;
+}
+
+let make () = { label = -1; tenter = 0; texit = 0; parent = None; is_func = false }
+let duration c = c.texit - c.tenter
+let active c = c.texit = 0
+let covers c th = c.tenter <= th && th < c.texit
+
+let pp ppf c =
+  Format.fprintf ppf "{pc=%d; [%d,%d)%s%s}" c.label c.tenter c.texit
+    (if c.is_func then " fn" else "")
+    (if active c then " active" else "")

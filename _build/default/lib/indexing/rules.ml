@@ -1,0 +1,56 @@
+type t = {
+  ipdom : int array;
+  tr : Index_tree.t;
+  mutable forced : int;
+}
+
+let create ~ipdom ~tree = { ipdom; tr = tree; forced = 0 }
+let tree t = t.tr
+
+let on_instr t ~pc =
+  Index_tree.tick t.tr;
+  (* Rule (5): close every construct whose immediate post-dominator is
+     this instruction. *)
+  let rec pops () =
+    match Index_tree.top t.tr with
+    | Some c when (not c.Node.is_func) && t.ipdom.(c.Node.label) = pc ->
+        ignore (Index_tree.pop t.tr);
+        pops ()
+    | _ -> ()
+  in
+  pops ()
+
+let on_branch t ~pc ~kind ~taken =
+  match kind with
+  | Vm.Instr.BrSc -> ()
+  | Vm.Instr.BrIf -> ignore (Index_tree.push t.tr ~label:pc ~is_func:false)
+  | Vm.Instr.BrLoop ->
+      (* Rule (4): close the previous iteration (and any break/continue
+         guards it left open), then open the next one unless exiting. *)
+      ignore (Index_tree.pop_through t.tr ~label:pc);
+      if not taken then ignore (Index_tree.push t.tr ~label:pc ~is_func:false)
+
+let on_call t ~entry_pc =
+  ignore (Index_tree.push t.tr ~label:entry_pc ~is_func:true)
+
+let on_ret t =
+  (* Rule (2). Constructs above the function node whose ipdom was jumped
+     over should not exist (the epilogue post-dominates the body); pop
+     them defensively if present. *)
+  let rec unwind () =
+    match Index_tree.top t.tr with
+    | Some c when not c.Node.is_func ->
+        t.forced <- t.forced + 1;
+        ignore (Index_tree.pop t.tr);
+        unwind ()
+    | Some _ -> ignore (Index_tree.pop t.tr)
+    | None -> invalid_arg "Rules.on_ret: empty stack"
+  in
+  unwind ()
+
+let finish t =
+  while Index_tree.depth t.tr > 0 do
+    ignore (Index_tree.pop t.tr)
+  done
+
+let forced_pops t = t.forced

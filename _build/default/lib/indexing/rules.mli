@@ -1,0 +1,34 @@
+(** The instrumentation rules of Fig. 5, adapted to the VM's hook events.
+
+    - rule (1)/(2): procedure entry/exit push/pop a function node;
+    - rule (3): a [BrIf] predicate pushes a conditional construct
+      (regardless of direction — both arms belong to it);
+    - rule (4): a [BrLoop] predicate closes the previous iteration of the
+      same predicate and opens a new one (unless the branch exits the
+      loop). Closing uses {!Index_tree.pop_through}, which also unwinds
+      guard conditionals left open by [break]/[continue] (their ipdom is
+      the loop exit) so iterations remain siblings;
+    - rule (5): before an instruction executes, every top predicate whose
+      immediate post-dominator is that pc is popped.
+
+    Call these from the corresponding {!Vm.Hooks.t} callbacks; [on_instr]
+    also advances the clock, so timestamps equal retired instructions. *)
+
+type t
+
+val create : ipdom:int array -> tree:Index_tree.t -> t
+(** [ipdom] is {!Cfa.Analysis.t.ipdom_of_pc}. *)
+
+val tree : t -> Index_tree.t
+
+val on_instr : t -> pc:int -> unit
+val on_branch : t -> pc:int -> kind:Vm.Instr.branch_kind -> taken:bool -> unit
+val on_call : t -> entry_pc:int -> unit
+val on_ret : t -> unit
+val finish : t -> unit
+(** Pop every remaining construct (program halt). *)
+
+val forced_pops : t -> int
+(** Number of defensive pops performed at function exit for constructs
+    whose ipdom never executed (should be 0 for compiler-generated code;
+    exposed for tests). *)

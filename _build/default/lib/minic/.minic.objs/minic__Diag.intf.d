@@ -1,0 +1,1 @@
+lib/minic/diag.mli: Format Srcloc

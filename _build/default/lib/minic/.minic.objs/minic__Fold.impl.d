@@ -1,0 +1,1 @@
+lib/minic/fold.ml: Ast List Option

@@ -1,0 +1,1 @@
+lib/minic/frontend.ml: Buffer Diag List Parser String Typecheck

@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Array Ast Diag Lexer List Srcloc Token

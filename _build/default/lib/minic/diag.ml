@@ -1,0 +1,9 @@
+exception Error of string * Srcloc.t
+
+let error loc fmt = Format.kasprintf (fun msg -> raise (Error (msg, loc))) fmt
+
+let wrap f =
+  match f () with
+  | v -> Ok v
+  | exception Error (msg, loc) ->
+      Result.Error (Format.asprintf "%a: %s" Srcloc.pp loc msg)

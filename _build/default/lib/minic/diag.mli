@@ -1,0 +1,11 @@
+(** Diagnostics for the Mini-C frontend. *)
+
+exception Error of string * Srcloc.t
+(** Raised by the lexer, parser and type checker on malformed input. *)
+
+val error : Srcloc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [error loc fmt ...] raises {!Error} with a formatted message. *)
+
+val wrap : (unit -> 'a) -> ('a, string) result
+(** Runs a frontend phase, converting {!Error} into [Error msg] where [msg]
+    includes the source location. *)

@@ -1,0 +1,127 @@
+open Ast
+
+let count = ref 0
+
+let tick x =
+  incr count;
+  x
+
+(* Mirror of the VM's arithmetic on literals; [None] where the VM traps
+   (so the trap survives folding). *)
+let eval_binop op a b =
+  match op with
+  | Add -> Some (a + b)
+  | Sub -> Some (a - b)
+  | Mul -> Some (a * b)
+  | Div -> if b = 0 then None else Some (a / b)
+  | Mod -> if b = 0 then None else Some (a mod b)
+  | Shl -> if b < 0 || b > 62 then None else Some (a lsl b)
+  | Shr -> if b < 0 || b > 62 then None else Some (a asr b)
+  | BitAnd -> Some (a land b)
+  | BitOr -> Some (a lor b)
+  | BitXor -> Some (a lxor b)
+  | Lt -> Some (if a < b then 1 else 0)
+  | Le -> Some (if a <= b then 1 else 0)
+  | Gt -> Some (if a > b then 1 else 0)
+  | Ge -> Some (if a >= b then 1 else 0)
+  | Eq -> Some (if a = b then 1 else 0)
+  | Ne -> Some (if a <> b then 1 else 0)
+  | LogAnd | LogOr -> None (* handled separately for evaluation order *)
+
+let eval_unop op a =
+  match op with
+  | Neg -> -a
+  | LogNot -> if a = 0 then 1 else 0
+  | BitNot -> lnot a
+
+let rec expr (e : Ast.expr) =
+  let mk d = { e with edesc = d } in
+  match e.edesc with
+  | IntLit _ | Var _ -> e
+  | Index (a, i) -> mk (Index (a, expr i))
+  | Unop (op, e1) -> (
+      match (expr e1 : Ast.expr) with
+      | { edesc = IntLit n; _ } -> tick (mk (IntLit (eval_unop op n)))
+      | e1' -> mk (Unop (op, e1')))
+  | Binop (LogAnd, a, b) -> (
+      match expr a with
+      | { edesc = IntLit 0; _ } -> tick (mk (IntLit 0))
+      | { edesc = IntLit _; _ } ->
+          (* [k && e] with k<>0 is [e != 0]: e still evaluated *)
+          tick (mk (Binop (Ne, expr b, mk (IntLit 0))))
+      | a' -> mk (Binop (LogAnd, a', expr b)))
+  | Binop (LogOr, a, b) -> (
+      match expr a with
+      | { edesc = IntLit 0; _ } -> tick (mk (Binop (Ne, expr b, mk (IntLit 0))))
+      | { edesc = IntLit _; _ } -> tick (mk (IntLit 1))
+      | a' -> mk (Binop (LogOr, a', expr b)))
+  | Binop (op, a, b) -> (
+      let a' = expr a and b' = expr b in
+      match (a'.edesc, b'.edesc) with
+      | IntLit x, IntLit y -> (
+          match eval_binop op x y with
+          | Some v -> tick (mk (IntLit v))
+          | None -> mk (Binop (op, a', b')))
+      (* effect-safe identities *)
+      | _, IntLit 0 when op = Add || op = Sub -> tick a'
+      | IntLit 0, _ when op = Add -> tick b'
+      | _, IntLit 1 when op = Mul -> tick a'
+      | IntLit 1, _ when op = Mul -> tick b'
+      | _ -> mk (Binop (op, a', b')))
+  | Call (f, args) -> mk (Call (f, List.map expr args))
+
+let lvalue = function
+  | LVar _ as lv -> lv
+  | LIndex (a, i, loc) -> LIndex (a, expr i, loc)
+
+let rec stmt (s : Ast.stmt) =
+  let mk d = { s with sdesc = d } in
+  match s.sdesc with
+  | DeclScalar (x, init) -> mk (DeclScalar (x, Option.map expr init))
+  | DeclArray _ | Break | Continue -> s
+  | Assign (lv, e) -> mk (Assign (lvalue lv, expr e))
+  | OpAssign (op, lv, e) -> mk (OpAssign (op, lvalue lv, expr e))
+  | If (cond, then_, else_) -> (
+      match (expr cond : Ast.expr) with
+      | { edesc = IntLit 0; _ } -> (
+          match else_ with
+          | Some e -> tick (stmt e)
+          | None -> tick (mk (Block [])))
+      | { edesc = IntLit _; _ } -> tick (stmt then_)
+      | cond' -> mk (If (cond', stmt then_, Option.map stmt else_)))
+  | While (cond, body) -> (
+      match (expr cond : Ast.expr) with
+      | { edesc = IntLit 0; _ } -> tick (mk (Block []))
+      | cond' -> mk (While (cond', stmt body)))
+  | DoWhile (body, cond) -> (
+      match (expr cond : Ast.expr) with
+      | { edesc = IntLit 0; _ } ->
+          (* runs exactly once; keep the body's own scope *)
+          tick (mk (Block [ stmt body ]))
+      | cond' -> mk (DoWhile (stmt body, cond')))
+  | For (init, cond, update, body) -> (
+      let cond' = Option.map expr cond in
+      match cond' with
+      | Some { edesc = IntLit 0; _ } ->
+          (* only the init runs (its declarations are loop-scoped) *)
+          tick
+            (mk
+               (Block
+                  (match init with Some i -> [ stmt i ] | None -> [])))
+      | _ -> mk (For (Option.map stmt init, cond', Option.map stmt update, stmt body)))
+  | Return e -> mk (Return (Option.map expr e))
+  | ExprStmt e -> mk (ExprStmt (expr e))
+  | Print e -> mk (Print (expr e))
+  | Block stmts -> mk (Block (List.map stmt stmts))
+
+let func (f : Ast.func) = { f with fbody = List.map stmt f.fbody }
+
+let program (p : Ast.program) = { p with funcs = List.map func p.funcs }
+
+let stats p =
+  count := 0;
+  let p' = program p in
+  (p', !count)
+
+let expr e = expr e
+let stmt s = stmt s

@@ -1,0 +1,24 @@
+(** Constant folding and branch pruning on the AST.
+
+    A conservative optimizer used to model profiling {e optimized}
+    binaries (which is what the paper instrumented): it never changes
+    observable behaviour, including traps —
+
+    - arithmetic on literals folds only when the VM would not trap
+      (division/modulo by a zero literal and out-of-range shifts are left
+      in place);
+    - short-circuit operators with a literal left side keep their
+      evaluation (non-)order: [0 && e] folds to [0] without [e]'s
+      effects, [1 && e] to [e != 0];
+    - [if]/[while]/[do]/[for] with literal conditions keep only the code
+      that would run, which removes the corresponding constructs from the
+      profile (fewer, larger constructs — like [-O2] code).
+
+    Differentially property-tested against the unfolded program. *)
+
+val expr : Ast.expr -> Ast.expr
+val stmt : Ast.stmt -> Ast.stmt
+val program : Ast.program -> Ast.program
+
+val stats : Ast.program -> Ast.program * int
+(** The folded program and the number of nodes simplified. *)

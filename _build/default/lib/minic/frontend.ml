@@ -1,0 +1,38 @@
+let load src =
+  let prog = Parser.parse src in
+  Typecheck.check prog;
+  prog
+
+let load_result src = Diag.wrap (fun () -> load src)
+
+let count_loc src =
+  let lines = String.split_on_char '\n' src in
+  let in_block = ref false in
+  let count = ref 0 in
+  List.iter
+    (fun line ->
+      (* Strip block comments spanning lines, then test for content. *)
+      let b = Buffer.create (String.length line) in
+      let n = String.length line in
+      let i = ref 0 in
+      while !i < n do
+        if !in_block then
+          if !i + 1 < n && line.[!i] = '*' && line.[!i + 1] = '/' then begin
+            in_block := false;
+            i := !i + 2
+          end
+          else incr i
+        else if !i + 1 < n && line.[!i] = '/' && line.[!i + 1] = '*' then begin
+          in_block := true;
+          i := !i + 2
+        end
+        else if !i + 1 < n && line.[!i] = '/' && line.[!i + 1] = '/' then
+          i := n
+        else begin
+          Buffer.add_char b line.[!i];
+          incr i
+        end
+      done;
+      if String.trim (Buffer.contents b) <> "" then incr count)
+    lines;
+  !count

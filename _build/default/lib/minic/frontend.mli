@@ -1,0 +1,12 @@
+(** Convenience pipeline: lex, parse and check a Mini-C compilation unit. *)
+
+val load : string -> Ast.program
+(** [load src] parses and checks [src].
+    @raise Diag.Error on any lexical, syntactic or semantic error. *)
+
+val load_result : string -> (Ast.program, string) result
+(** Like {!load}, with errors rendered as ["line:col: message"]. *)
+
+val count_loc : string -> int
+(** Number of non-blank, non-comment-only source lines — used to report the
+    LOC column of Table III for our Mini-C workloads. *)

@@ -1,0 +1,198 @@
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let loc st = Srcloc.make ~line:st.line ~col:st.col
+let is_eof st = st.pos >= String.length st.src
+let peek st = if is_eof st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st =
+  if not (is_eof st) then begin
+    if st.src.[st.pos] = '\n' then begin
+      st.line <- st.line + 1;
+      st.col <- 1
+    end
+    else st.col <- st.col + 1;
+    st.pos <- st.pos + 1
+  end
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_ws_and_comments st =
+  match peek st with
+  | ' ' | '\t' | '\r' | '\n' ->
+      advance st;
+      skip_ws_and_comments st
+  | '/' when peek2 st = '/' ->
+      while (not (is_eof st)) && peek st <> '\n' do
+        advance st
+      done;
+      skip_ws_and_comments st
+  | '/' when peek2 st = '*' ->
+      let start = loc st in
+      advance st;
+      advance st;
+      let rec finish () =
+        if is_eof st then Diag.error start "unterminated block comment"
+        else if peek st = '*' && peek2 st = '/' then begin
+          advance st;
+          advance st
+        end
+        else begin
+          advance st;
+          finish ()
+        end
+      in
+      finish ();
+      skip_ws_and_comments st
+  | _ -> ()
+
+let lex_number st =
+  let start = loc st in
+  let b = Buffer.create 16 in
+  if peek st = '0' && (peek2 st = 'x' || peek2 st = 'X') then begin
+    advance st;
+    advance st;
+    if not (is_hex (peek st)) then Diag.error start "malformed hex literal";
+    while is_hex (peek st) do
+      Buffer.add_char b (peek st);
+      advance st
+    done;
+    Token.INT_LIT (int_of_string ("0x" ^ Buffer.contents b))
+  end
+  else begin
+    while is_digit (peek st) do
+      Buffer.add_char b (peek st);
+      advance st
+    done;
+    if is_ident_start (peek st) then
+      Diag.error (loc st) "identifier may not start with a digit";
+    Token.INT_LIT (int_of_string (Buffer.contents b))
+  end
+
+let lex_char st =
+  let start = loc st in
+  advance st;
+  (* opening quote *)
+  let c =
+    match peek st with
+    | '\000' -> Diag.error start "unterminated character literal"
+    | '\\' -> (
+        advance st;
+        let e = peek st in
+        advance st;
+        match e with
+        | 'n' -> Char.code '\n'
+        | 't' -> Char.code '\t'
+        | 'r' -> Char.code '\r'
+        | '0' -> 0
+        | '\\' -> Char.code '\\'
+        | '\'' -> Char.code '\''
+        | c -> Diag.error start "unknown escape '\\%c'" c)
+    | c ->
+        advance st;
+        Char.code c
+  in
+  if peek st <> '\'' then Diag.error start "unterminated character literal";
+  advance st;
+  Token.INT_LIT c
+
+let lex_ident st =
+  let b = Buffer.create 16 in
+  while is_ident_char (peek st) do
+    Buffer.add_char b (peek st);
+    advance st
+  done;
+  let s = Buffer.contents b in
+  match Token.keyword_of_string s with Some kw -> kw | None -> Token.IDENT s
+
+(* Operators, longest-match first. *)
+let lex_operator st =
+  let l = loc st in
+  let c = peek st and c2 = peek2 st in
+  let c3 =
+    if st.pos + 2 < String.length st.src then st.src.[st.pos + 2] else '\000'
+  in
+  let take n tok =
+    for _ = 1 to n do
+      advance st
+    done;
+    tok
+  in
+  match (c, c2, c3) with
+  | '<', '<', '=' -> take 3 Token.SHL_ASSIGN
+  | '>', '>', '=' -> take 3 Token.SHR_ASSIGN
+  | '<', '<', _ -> take 2 Token.SHL
+  | '>', '>', _ -> take 2 Token.SHR
+  | '<', '=', _ -> take 2 Token.LE
+  | '>', '=', _ -> take 2 Token.GE
+  | '=', '=', _ -> take 2 Token.EQEQ
+  | '!', '=', _ -> take 2 Token.NEQ
+  | '&', '&', _ -> take 2 Token.ANDAND
+  | '|', '|', _ -> take 2 Token.OROR
+  | '+', '+', _ -> take 2 Token.PLUSPLUS
+  | '-', '-', _ -> take 2 Token.MINUSMINUS
+  | '+', '=', _ -> take 2 Token.PLUS_ASSIGN
+  | '-', '=', _ -> take 2 Token.MINUS_ASSIGN
+  | '*', '=', _ -> take 2 Token.STAR_ASSIGN
+  | '/', '=', _ -> take 2 Token.SLASH_ASSIGN
+  | '%', '=', _ -> take 2 Token.PERCENT_ASSIGN
+  | '&', '=', _ -> take 2 Token.AMP_ASSIGN
+  | '|', '=', _ -> take 2 Token.PIPE_ASSIGN
+  | '^', '=', _ -> take 2 Token.CARET_ASSIGN
+  | '+', _, _ -> take 1 Token.PLUS
+  | '-', _, _ -> take 1 Token.MINUS
+  | '*', _, _ -> take 1 Token.STAR
+  | '/', _, _ -> take 1 Token.SLASH
+  | '%', _, _ -> take 1 Token.PERCENT
+  | '&', _, _ -> take 1 Token.AMP
+  | '|', _, _ -> take 1 Token.PIPE
+  | '^', _, _ -> take 1 Token.CARET
+  | '~', _, _ -> take 1 Token.TILDE
+  | '!', _, _ -> take 1 Token.BANG
+  | '<', _, _ -> take 1 Token.LT
+  | '>', _, _ -> take 1 Token.GT
+  | '=', _, _ -> take 1 Token.ASSIGN
+  | '(', _, _ -> take 1 Token.LPAREN
+  | ')', _, _ -> take 1 Token.RPAREN
+  | '{', _, _ -> take 1 Token.LBRACE
+  | '}', _, _ -> take 1 Token.RBRACE
+  | '[', _, _ -> take 1 Token.LBRACKET
+  | ']', _, _ -> take 1 Token.RBRACKET
+  | ';', _, _ -> take 1 Token.SEMI
+  | ',', _, _ -> take 1 Token.COMMA
+  | c, _, _ -> Diag.error l "unexpected character '%c'" c
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let toks = ref [] in
+  let rec go () =
+    skip_ws_and_comments st;
+    let l = loc st in
+    if is_eof st then toks := (Token.EOF, l) :: !toks
+    else begin
+      let tok =
+        let c = peek st in
+        if is_digit c then lex_number st
+        else if c = '\'' then lex_char st
+        else if is_ident_start c then lex_ident st
+        else lex_operator st
+      in
+      toks := (tok, l) :: !toks;
+      go ()
+    end
+  in
+  go ();
+  Array.of_list (List.rev !toks)

@@ -1,0 +1,11 @@
+(** Hand-written lexer for Mini-C.
+
+    Supports decimal, hexadecimal ([0x...]) and character ([{'a'}]) integer
+    literals, [//] line comments and [/* ... */] block comments. *)
+
+val tokenize : string -> (Token.t * Srcloc.t) array
+(** [tokenize src] lexes a whole compilation unit. The result always ends
+    with an [EOF] token carrying the location just past the input.
+
+    @raise Diag.Error on an unterminated comment, a malformed literal, or an
+    unexpected character. *)

@@ -1,0 +1,403 @@
+open Ast
+
+type state = { toks : (Token.t * Srcloc.t) array; mutable pos : int }
+
+let cur st = fst st.toks.(st.pos)
+let cur_loc st = snd st.toks.(st.pos)
+
+let next st =
+  let t = st.toks.(st.pos) in
+  if fst t <> Token.EOF then st.pos <- st.pos + 1;
+  t
+
+let expect st tok =
+  let got, loc = next st in
+  if got <> tok then
+    Diag.error loc "expected '%s' but found '%s'" (Token.to_string tok)
+      (Token.to_string got)
+
+let expect_ident st =
+  match next st with
+  | Token.IDENT s, _ -> s
+  | got, loc ->
+      Diag.error loc "expected identifier but found '%s'" (Token.to_string got)
+
+let expect_int_lit st =
+  match next st with
+  | Token.INT_LIT n, _ -> n
+  | got, loc ->
+      Diag.error loc "expected integer literal but found '%s'"
+        (Token.to_string got)
+
+let accept st tok =
+  if cur st = tok then begin
+    ignore (next st);
+    true
+  end
+  else false
+
+let peek_ahead st =
+  if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1)
+  else Token.EOF
+
+(* --- expressions ------------------------------------------------------- *)
+
+let binop_of_assign_op = function
+  | Token.PLUS_ASSIGN -> Some Add
+  | Token.MINUS_ASSIGN -> Some Sub
+  | Token.STAR_ASSIGN -> Some Mul
+  | Token.SLASH_ASSIGN -> Some Div
+  | Token.PERCENT_ASSIGN -> Some Mod
+  | Token.AMP_ASSIGN -> Some BitAnd
+  | Token.PIPE_ASSIGN -> Some BitOr
+  | Token.CARET_ASSIGN -> Some BitXor
+  | Token.SHL_ASSIGN -> Some Shl
+  | Token.SHR_ASSIGN -> Some Shr
+  | _ -> None
+
+(* Precedence climbing. Level 0 is loosest ([||]). *)
+let binop_at_level lvl tok =
+  match (lvl, tok) with
+  | 0, Token.OROR -> Some LogOr
+  | 1, Token.ANDAND -> Some LogAnd
+  | 2, Token.PIPE -> Some BitOr
+  | 3, Token.CARET -> Some BitXor
+  | 4, Token.AMP -> Some BitAnd
+  | 5, Token.EQEQ -> Some Eq
+  | 5, Token.NEQ -> Some Ne
+  | 6, Token.LT -> Some Lt
+  | 6, Token.LE -> Some Le
+  | 6, Token.GT -> Some Gt
+  | 6, Token.GE -> Some Ge
+  | 7, Token.SHL -> Some Shl
+  | 7, Token.SHR -> Some Shr
+  | 8, Token.PLUS -> Some Add
+  | 8, Token.MINUS -> Some Sub
+  | 9, Token.STAR -> Some Mul
+  | 9, Token.SLASH -> Some Div
+  | 9, Token.PERCENT -> Some Mod
+  | _ -> None
+
+let max_level = 9
+
+let rec parse_expr_st st = parse_level st 0
+
+and parse_level st lvl =
+  if lvl > max_level then parse_unary st
+  else begin
+    let lhs = ref (parse_level st (lvl + 1)) in
+    let continue = ref true in
+    while !continue do
+      match binop_at_level lvl (cur st) with
+      | Some op ->
+          let loc = cur_loc st in
+          ignore (next st);
+          let rhs = parse_level st (lvl + 1) in
+          lhs := { edesc = Binop (op, !lhs, rhs); eloc = loc }
+      | None -> continue := false
+    done;
+    !lhs
+  end
+
+and parse_unary st =
+  let loc = cur_loc st in
+  match cur st with
+  | Token.MINUS ->
+      ignore (next st);
+      { edesc = Unop (Neg, parse_unary st); eloc = loc }
+  | Token.BANG ->
+      ignore (next st);
+      { edesc = Unop (LogNot, parse_unary st); eloc = loc }
+  | Token.TILDE ->
+      ignore (next st);
+      { edesc = Unop (BitNot, parse_unary st); eloc = loc }
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let tok, loc = next st in
+  match tok with
+  | Token.INT_LIT n -> { edesc = IntLit n; eloc = loc }
+  | Token.LPAREN ->
+      let e = parse_expr_st st in
+      expect st Token.RPAREN;
+      e
+  | Token.IDENT name -> (
+      match cur st with
+      | Token.LPAREN ->
+          ignore (next st);
+          let args = parse_args st in
+          { edesc = Call (name, args); eloc = loc }
+      | Token.LBRACKET ->
+          ignore (next st);
+          let idx = parse_expr_st st in
+          expect st Token.RBRACKET;
+          { edesc = Index (name, idx); eloc = loc }
+      | _ -> { edesc = Var name; eloc = loc })
+  | t -> Diag.error loc "unexpected token '%s' in expression" (Token.to_string t)
+
+and parse_args st =
+  if accept st Token.RPAREN then []
+  else begin
+    let rec go acc =
+      let e = parse_expr_st st in
+      if accept st Token.COMMA then go (e :: acc)
+      else begin
+        expect st Token.RPAREN;
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+(* --- statements --------------------------------------------------------- *)
+
+(* A "simple" statement: assignment, op-assignment, ++/--, or a bare
+   expression. Used both for ordinary statements and for/init/update
+   clauses (which take no trailing semicolon). *)
+let rec parse_simple st =
+  let loc = cur_loc st in
+  match (cur st, peek_ahead st) with
+  | Token.IDENT name, (Token.ASSIGN | Token.PLUSPLUS | Token.MINUSMINUS) ->
+      ignore (next st);
+      let lv = LVar (name, loc) in
+      mk_assign st loc lv
+  | Token.IDENT name, tok when binop_of_assign_op tok <> None ->
+      ignore (next st);
+      let lv = LVar (name, loc) in
+      mk_assign st loc lv
+  | Token.IDENT name, Token.LBRACKET ->
+      (* Could be [a[i] = e], [a[i] += e], [a[i]++] or the expression
+         [a[i]] (e.g. inside a call). Parse the index, then decide. *)
+      let save = st.pos in
+      ignore (next st);
+      ignore (next st);
+      let idx = parse_expr_st st in
+      expect st Token.RBRACKET;
+      let is_assign =
+        match cur st with
+        | Token.ASSIGN | Token.PLUSPLUS | Token.MINUSMINUS -> true
+        | t -> binop_of_assign_op t <> None
+      in
+      if is_assign then mk_assign st loc (LIndex (name, idx, loc))
+      else begin
+        st.pos <- save;
+        let e = parse_expr_st st in
+        { sdesc = ExprStmt e; sloc = loc }
+      end
+  | _ ->
+      let e = parse_expr_st st in
+      { sdesc = ExprStmt e; sloc = loc }
+
+and mk_assign st loc lv =
+  let tok, oploc = next st in
+  match tok with
+  | Token.ASSIGN ->
+      let e = parse_expr_st st in
+      { sdesc = Assign (lv, e); sloc = loc }
+  | Token.PLUSPLUS ->
+      { sdesc = OpAssign (Add, lv, { edesc = IntLit 1; eloc = loc }); sloc = loc }
+  | Token.MINUSMINUS ->
+      { sdesc = OpAssign (Sub, lv, { edesc = IntLit 1; eloc = loc }); sloc = loc }
+  | t -> (
+      match binop_of_assign_op t with
+      | Some op ->
+          let e = parse_expr_st st in
+          { sdesc = OpAssign (op, lv, e); sloc = loc }
+      | None ->
+          Diag.error oploc "expected assignment operator, found '%s'"
+            (Token.to_string t))
+
+and parse_stmt st =
+  let loc = cur_loc st in
+  match cur st with
+  | Token.KW_INT -> (
+      ignore (next st);
+      let name = expect_ident st in
+      match cur st with
+      | Token.LBRACKET ->
+          ignore (next st);
+          let n = expect_int_lit st in
+          expect st Token.RBRACKET;
+          expect st Token.SEMI;
+          { sdesc = DeclArray (name, n); sloc = loc }
+      | Token.ASSIGN ->
+          ignore (next st);
+          let e = parse_expr_st st in
+          expect st Token.SEMI;
+          { sdesc = DeclScalar (name, Some e); sloc = loc }
+      | _ ->
+          expect st Token.SEMI;
+          { sdesc = DeclScalar (name, None); sloc = loc })
+  | Token.KW_IF ->
+      ignore (next st);
+      expect st Token.LPAREN;
+      let cond = parse_expr_st st in
+      expect st Token.RPAREN;
+      let then_ = parse_stmt st in
+      let else_ = if accept st Token.KW_ELSE then Some (parse_stmt st) else None in
+      { sdesc = If (cond, then_, else_); sloc = loc }
+  | Token.KW_WHILE ->
+      ignore (next st);
+      expect st Token.LPAREN;
+      let cond = parse_expr_st st in
+      expect st Token.RPAREN;
+      let body = parse_stmt st in
+      { sdesc = While (cond, body); sloc = loc }
+  | Token.KW_DO ->
+      ignore (next st);
+      let body = parse_stmt st in
+      expect st Token.KW_WHILE;
+      expect st Token.LPAREN;
+      let cond = parse_expr_st st in
+      expect st Token.RPAREN;
+      expect st Token.SEMI;
+      { sdesc = DoWhile (body, cond); sloc = loc }
+  | Token.KW_FOR ->
+      ignore (next st);
+      expect st Token.LPAREN;
+      let init =
+        if cur st = Token.SEMI then None
+        else if cur st = Token.KW_INT then begin
+          (* [for (int i = 0; ...)] *)
+          ignore (next st);
+          let name = expect_ident st in
+          expect st Token.ASSIGN;
+          let e = parse_expr_st st in
+          Some { sdesc = DeclScalar (name, Some e); sloc = loc }
+        end
+        else Some (parse_simple st)
+      in
+      expect st Token.SEMI;
+      let cond = if cur st = Token.SEMI then None else Some (parse_expr_st st) in
+      expect st Token.SEMI;
+      let update =
+        if cur st = Token.RPAREN then None else Some (parse_simple st)
+      in
+      expect st Token.RPAREN;
+      let body = parse_stmt st in
+      { sdesc = For (init, cond, update, body); sloc = loc }
+  | Token.KW_BREAK ->
+      ignore (next st);
+      expect st Token.SEMI;
+      { sdesc = Break; sloc = loc }
+  | Token.KW_CONTINUE ->
+      ignore (next st);
+      expect st Token.SEMI;
+      { sdesc = Continue; sloc = loc }
+  | Token.KW_RETURN ->
+      ignore (next st);
+      if accept st Token.SEMI then { sdesc = Return None; sloc = loc }
+      else begin
+        let e = parse_expr_st st in
+        expect st Token.SEMI;
+        { sdesc = Return (Some e); sloc = loc }
+      end
+  | Token.KW_PRINT ->
+      ignore (next st);
+      expect st Token.LPAREN;
+      let e = parse_expr_st st in
+      expect st Token.RPAREN;
+      expect st Token.SEMI;
+      { sdesc = Print e; sloc = loc }
+  | Token.LBRACE ->
+      ignore (next st);
+      let stmts = parse_block_items st in
+      { sdesc = Block stmts; sloc = loc }
+  | _ ->
+      let s = parse_simple st in
+      expect st Token.SEMI;
+      s
+
+and parse_block_items st =
+  let rec go acc =
+    if accept st Token.RBRACE then List.rev acc
+    else if cur st = Token.EOF then
+      Diag.error (cur_loc st) "unexpected end of input inside block"
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* --- top level ----------------------------------------------------------- *)
+
+let parse_params st =
+  if accept st Token.RPAREN then []
+  else begin
+    let parse_one () =
+      expect st Token.KW_INT;
+      let name = expect_ident st in
+      if accept st Token.LBRACKET then begin
+        expect st Token.RBRACKET;
+        PArray name
+      end
+      else PScalar name
+    in
+    let rec go acc =
+      let p = parse_one () in
+      if accept st Token.COMMA then go (p :: acc)
+      else begin
+        expect st Token.RPAREN;
+        List.rev (p :: acc)
+      end
+    in
+    go []
+  end
+
+let parse_topdecl st =
+  let loc = cur_loc st in
+  let ret =
+    match next st with
+    | Token.KW_INT, _ -> RetInt
+    | Token.KW_VOID, _ -> RetVoid
+    | t, l ->
+        Diag.error l "expected 'int' or 'void' at top level, found '%s'"
+          (Token.to_string t)
+  in
+  let name = expect_ident st in
+  match cur st with
+  | Token.LPAREN ->
+      ignore (next st);
+      let params = parse_params st in
+      expect st Token.LBRACE;
+      let body = parse_block_items st in
+      `Func { fname = name; fret = ret; fparams = params; fbody = body; floc = loc }
+  | Token.LBRACKET ->
+      if ret = RetVoid then Diag.error loc "array global must have type int";
+      ignore (next st);
+      let n = expect_int_lit st in
+      expect st Token.RBRACKET;
+      expect st Token.SEMI;
+      `Global (GArray (name, n, loc))
+  | Token.ASSIGN ->
+      if ret = RetVoid then Diag.error loc "scalar global must have type int";
+      ignore (next st);
+      let v =
+        if accept st Token.MINUS then -expect_int_lit st else expect_int_lit st
+      in
+      expect st Token.SEMI;
+      `Global (GScalar (name, v, loc))
+  | Token.SEMI ->
+      if ret = RetVoid then Diag.error loc "scalar global must have type int";
+      ignore (next st);
+      `Global (GScalar (name, 0, loc))
+  | t ->
+      Diag.error (cur_loc st) "unexpected token '%s' after top-level name"
+        (Token.to_string t)
+
+let parse src =
+  let st = { toks = Lexer.tokenize src; pos = 0 } in
+  let rec go globals funcs =
+    if cur st = Token.EOF then
+      { globals = List.rev globals; funcs = List.rev funcs }
+    else
+      match parse_topdecl st with
+      | `Global g -> go (g :: globals) funcs
+      | `Func f -> go globals (f :: funcs)
+  in
+  go [] []
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src; pos = 0 } in
+  let e = parse_expr_st st in
+  if cur st <> Token.EOF then
+    Diag.error (cur_loc st) "trailing input after expression";
+  e

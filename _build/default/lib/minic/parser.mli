@@ -1,0 +1,14 @@
+(** Recursive-descent parser for Mini-C.
+
+    Operator precedence follows C:
+    [|| < && < | < ^ < & < ==,!= < <,<=,>,>= < <<,>> < +,- < *,/,%]
+    with unary [-], [!], [~] binding tightest. [&&] and [||] are
+    short-circuiting (the compiler lowers them to branches). *)
+
+val parse : string -> Ast.program
+(** Parses a whole compilation unit.
+    @raise Diag.Error on syntax errors, with the offending location. *)
+
+val parse_expr : string -> Ast.expr
+(** Parses a single expression (used by tests and the REPL-ish examples).
+    @raise Diag.Error on syntax errors or trailing input. *)

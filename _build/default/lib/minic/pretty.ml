@@ -1,0 +1,106 @@
+open Ast
+
+let rec pp_expr ppf (e : expr) =
+  match e.edesc with
+  (* negative literals print like a negation, so the round trip through
+     the parser (which reads [-n] as [Unop (Neg, n)]) is stable *)
+  | IntLit n when n < 0 -> Format.fprintf ppf "(-%d)" (-n)
+  | IntLit n -> Format.fprintf ppf "%d" n
+  | Var x -> Format.pp_print_string ppf x
+  | Index (a, i) -> Format.fprintf ppf "%s[%a]" a pp_expr i
+  | Unop (op, e1) -> Format.fprintf ppf "(%a%a)" pp_unop op pp_expr e1
+  | Binop (op, e1, e2) ->
+      Format.fprintf ppf "(%a %a %a)" pp_expr e1 pp_binop op pp_expr e2
+  | Call (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_expr)
+        args
+
+let pp_lvalue ppf = function
+  | LVar (x, _) -> Format.pp_print_string ppf x
+  | LIndex (a, i, _) -> Format.fprintf ppf "%s[%a]" a pp_expr i
+
+let rec pp_stmt ppf (s : stmt) =
+  match s.sdesc with
+  | DeclScalar (x, None) -> Format.fprintf ppf "@[<h>int %s;@]" x
+  | DeclScalar (x, Some e) -> Format.fprintf ppf "@[<h>int %s = %a;@]" x pp_expr e
+  | DeclArray (x, n) -> Format.fprintf ppf "@[<h>int %s[%d];@]" x n
+  | Assign (lv, e) -> Format.fprintf ppf "@[<h>%a = %a;@]" pp_lvalue lv pp_expr e
+  | OpAssign (op, lv, e) ->
+      Format.fprintf ppf "@[<h>%a %a= %a;@]" pp_lvalue lv pp_binop op pp_expr e
+  | If (c, t, None) ->
+      Format.fprintf ppf "@[<v 2>if (%a) %a@]" pp_expr c pp_stmt_as_block t
+  | If (c, t, Some e) ->
+      Format.fprintf ppf "@[<v 2>if (%a) %a@] else %a" pp_expr c
+        pp_stmt_as_block t pp_stmt_as_block e
+  | While (c, b) ->
+      Format.fprintf ppf "@[<v 2>while (%a) %a@]" pp_expr c pp_stmt_as_block b
+  | DoWhile (b, c) ->
+      Format.fprintf ppf "@[<v 2>do %a while (%a);@]" pp_stmt_as_block b
+        pp_expr c
+  | For (init, cond, update, b) ->
+      let pp_opt_simple ppf = function
+        | None -> ()
+        | Some s -> pp_simple ppf s
+      in
+      let pp_opt_expr ppf = function None -> () | Some e -> pp_expr ppf e in
+      Format.fprintf ppf "@[<v 2>for (%a; %a; %a) %a@]" pp_opt_simple init
+        pp_opt_expr cond pp_opt_simple update pp_stmt_as_block b
+  | Break -> Format.pp_print_string ppf "break;"
+  | Continue -> Format.pp_print_string ppf "continue;"
+  | Return None -> Format.pp_print_string ppf "return;"
+  | Return (Some e) -> Format.fprintf ppf "@[<h>return %a;@]" pp_expr e
+  | ExprStmt e -> Format.fprintf ppf "@[<h>%a;@]" pp_expr e
+  | Print e -> Format.fprintf ppf "@[<h>print(%a);@]" pp_expr e
+  | Block stmts ->
+      Format.fprintf ppf "{@;<0 2>@[<v>%a@]@,}"
+        (Format.pp_print_list pp_stmt)
+        stmts
+
+(* [for] clauses have no trailing semicolon; strip it by printing the
+   statement payload directly. *)
+and pp_simple ppf (s : stmt) =
+  match s.sdesc with
+  | DeclScalar (x, Some e) -> Format.fprintf ppf "int %s = %a" x pp_expr e
+  | Assign (lv, e) -> Format.fprintf ppf "%a = %a" pp_lvalue lv pp_expr e
+  | OpAssign (op, lv, e) ->
+      Format.fprintf ppf "%a %a= %a" pp_lvalue lv pp_binop op pp_expr e
+  | ExprStmt e -> pp_expr ppf e
+  | _ -> invalid_arg "Pretty.pp_simple: not a simple statement"
+
+and pp_stmt_as_block ppf (s : stmt) =
+  match s.sdesc with
+  | Block _ -> pp_stmt ppf s
+  | _ -> Format.fprintf ppf "{@;<0 2>@[<v>%a@]@,}" pp_stmt s
+
+let pp_param ppf = function
+  | PScalar x -> Format.fprintf ppf "int %s" x
+  | PArray x -> Format.fprintf ppf "int %s[]" x
+
+let pp_func ppf (f : func) =
+  let ret = match f.fret with RetInt -> "int" | RetVoid -> "void" in
+  Format.fprintf ppf "@[<v 2>%s %s(%a) {@,%a@]@,}" ret f.fname
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_param)
+    f.fparams
+    (Format.pp_print_list pp_stmt)
+    f.fbody
+
+let pp_global ppf = function
+  | GScalar (x, 0, _) -> Format.fprintf ppf "int %s;" x
+  | GScalar (x, v, _) -> Format.fprintf ppf "int %s = %d;" x v
+  | GArray (x, n, _) -> Format.fprintf ppf "int %s[%d];" x n
+
+let pp_program ppf (p : program) =
+  Format.fprintf ppf "@[<v>%a%s%a@]@."
+    (Format.pp_print_list pp_global)
+    p.globals
+    (if p.globals = [] then "" else "\n")
+    (Format.pp_print_list pp_func)
+    p.funcs
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let program_to_string p = Format.asprintf "%a" pp_program p

@@ -1,0 +1,13 @@
+(** Pretty-printer for Mini-C.
+
+    The output is valid Mini-C: the round trip
+    [Parser.parse (program_to_string p)] yields a program equal to [p] up
+    to source locations (property-tested). Expressions are printed fully
+    parenthesized to avoid re-deriving precedence. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_func : Format.formatter -> Ast.func -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val expr_to_string : Ast.expr -> string
+val program_to_string : Ast.program -> string

@@ -1,0 +1,11 @@
+type t = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+let make ~line ~col = { line; col }
+
+let compare a b =
+  match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | c -> c
+
+let equal a b = compare a b = 0
+let pp ppf { line; col } = Format.fprintf ppf "%d:%d" line col
+let to_string t = Format.asprintf "%a" pp t

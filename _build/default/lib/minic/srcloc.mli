@@ -1,0 +1,22 @@
+(** Source locations for Mini-C programs.
+
+    A location is a [line]/[col] pair, both 1-based. Locations flow from the
+    lexer through the AST into the bytecode so that profiling reports can
+    refer back to source lines, as the paper's Fig. 2 profile does. *)
+
+type t = { line : int; col : int }
+
+val dummy : t
+(** A location used for synthesized nodes (line 0, col 0). *)
+
+val make : line:int -> col:int -> t
+
+val compare : t -> t -> int
+(** Lexicographic order: by line, then column. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["line:col"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,129 @@
+type t =
+  | INT_LIT of int
+  | IDENT of string
+  | KW_INT
+  | KW_VOID
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_DO
+  | KW_FOR
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_RETURN
+  | KW_PRINT
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | SHL
+  | SHR
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NEQ
+  | ANDAND
+  | OROR
+  | ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | SLASH_ASSIGN
+  | PERCENT_ASSIGN
+  | AMP_ASSIGN
+  | PIPE_ASSIGN
+  | CARET_ASSIGN
+  | SHL_ASSIGN
+  | SHR_ASSIGN
+  | PLUSPLUS
+  | MINUSMINUS
+  | EOF
+
+let to_string = function
+  | INT_LIT n -> string_of_int n
+  | IDENT s -> s
+  | KW_INT -> "int"
+  | KW_VOID -> "void"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_DO -> "do"
+  | KW_FOR -> "for"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | KW_RETURN -> "return"
+  | KW_PRINT -> "print"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | BANG -> "!"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQEQ -> "=="
+  | NEQ -> "!="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+="
+  | MINUS_ASSIGN -> "-="
+  | STAR_ASSIGN -> "*="
+  | SLASH_ASSIGN -> "/="
+  | PERCENT_ASSIGN -> "%="
+  | AMP_ASSIGN -> "&="
+  | PIPE_ASSIGN -> "|="
+  | CARET_ASSIGN -> "^="
+  | SHL_ASSIGN -> "<<="
+  | SHR_ASSIGN -> ">>="
+  | PLUSPLUS -> "++"
+  | MINUSMINUS -> "--"
+  | EOF -> "<eof>"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let keyword_of_string = function
+  | "int" -> Some KW_INT
+  | "void" -> Some KW_VOID
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "do" -> Some KW_DO
+  | "for" -> Some KW_FOR
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | "return" -> Some KW_RETURN
+  | "print" -> Some KW_PRINT
+  | _ -> None

@@ -1,0 +1,69 @@
+(** Lexical tokens of Mini-C. *)
+
+type t =
+  | INT_LIT of int
+  | IDENT of string
+  (* keywords *)
+  | KW_INT
+  | KW_VOID
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_DO
+  | KW_FOR
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_RETURN
+  | KW_PRINT
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  (* operators *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | SHL
+  | SHR
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NEQ
+  | ANDAND
+  | OROR
+  | ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | SLASH_ASSIGN
+  | PERCENT_ASSIGN
+  | AMP_ASSIGN
+  | PIPE_ASSIGN
+  | CARET_ASSIGN
+  | SHL_ASSIGN
+  | SHR_ASSIGN
+  | PLUSPLUS
+  | MINUSMINUS
+  | EOF
+
+val pp : Format.formatter -> t -> unit
+(** Prints the token as it appears in source (e.g. [">>="], ["while"]). *)
+
+val to_string : t -> string
+
+val keyword_of_string : string -> t option
+(** Recognizes reserved words; [None] for ordinary identifiers. *)

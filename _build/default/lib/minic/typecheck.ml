@@ -1,0 +1,184 @@
+open Ast
+
+type kind = KScalar | KArray
+
+let kind_name = function KScalar -> "scalar" | KArray -> "array"
+
+type fsig = { ret : ret_ty; params : param list }
+
+type env = {
+  funcs : (string, fsig) Hashtbl.t;
+  scopes : (string, kind) Hashtbl.t list;
+}
+
+let lookup env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with
+        | Some k -> Some k
+        | None -> go rest)
+  in
+  go env.scopes
+
+let declare env loc name kind =
+  match env.scopes with
+  | [] -> invalid_arg "Typecheck.declare: empty scope stack"
+  | scope :: _ ->
+      if Hashtbl.mem scope name then
+        Diag.error loc "duplicate declaration of '%s' in the same scope" name
+      else Hashtbl.add scope name kind
+
+let push_scope env = { env with scopes = Hashtbl.create 16 :: env.scopes }
+
+let expect_kind env loc name expected =
+  match lookup env name with
+  | None -> Diag.error loc "undeclared identifier '%s'" name
+  | Some k when k = expected -> ()
+  | Some k ->
+      Diag.error loc "'%s' is a %s but is used as a %s" name (kind_name k)
+        (kind_name expected)
+
+(* Check an expression in value position: it must produce an int. *)
+let rec check_expr env (e : expr) =
+  match e.edesc with
+  | IntLit _ -> ()
+  | Var name -> expect_kind env e.eloc name KScalar
+  | Index (name, idx) ->
+      expect_kind env e.eloc name KArray;
+      check_expr env idx
+  | Unop (_, e1) -> check_expr env e1
+  | Binop (_, e1, e2) ->
+      check_expr env e1;
+      check_expr env e2
+  | Call (fname, args) -> (
+      match check_call env e.eloc fname args with
+      | RetInt -> ()
+      | RetVoid ->
+          Diag.error e.eloc "void function '%s' used where a value is needed"
+            fname)
+
+and check_call env loc fname args =
+  match Hashtbl.find_opt env.funcs fname with
+  | None -> Diag.error loc "call to undeclared function '%s'" fname
+  | Some { ret; params } ->
+      let na = List.length args and np = List.length params in
+      if na <> np then
+        Diag.error loc "function '%s' expects %d argument(s) but got %d" fname
+          np na;
+      List.iter2
+        (fun p a ->
+          match p with
+          | PScalar _ -> check_expr env a
+          | PArray pname -> (
+              match a.edesc with
+              | Var vname -> expect_kind env a.eloc vname KArray
+              | _ ->
+                  Diag.error a.eloc
+                    "argument for array parameter '%s' of '%s' must be an \
+                     array name"
+                    pname fname))
+        params args;
+      ret
+
+let check_lvalue env = function
+  | LVar (name, loc) -> expect_kind env loc name KScalar
+  | LIndex (name, idx, loc) ->
+      expect_kind env loc name KArray;
+      check_expr env idx
+
+let rec check_stmt env ~in_loop ~ret (s : stmt) =
+  match s.sdesc with
+  | DeclScalar (name, init) ->
+      Option.iter (check_expr env) init;
+      declare env s.sloc name KScalar
+  | DeclArray (name, n) ->
+      if n <= 0 then
+        Diag.error s.sloc "array '%s' must have positive length, got %d" name n;
+      declare env s.sloc name KArray
+  | Assign (lv, e) ->
+      check_lvalue env lv;
+      check_expr env e
+  | OpAssign (_, lv, e) ->
+      check_lvalue env lv;
+      check_expr env e
+  | If (cond, then_, else_) ->
+      check_expr env cond;
+      check_stmt (push_scope env) ~in_loop ~ret then_;
+      Option.iter (check_stmt (push_scope env) ~in_loop ~ret) else_
+  | While (cond, body) ->
+      check_expr env cond;
+      check_stmt (push_scope env) ~in_loop:true ~ret body
+  | DoWhile (body, cond) ->
+      check_stmt (push_scope env) ~in_loop:true ~ret body;
+      check_expr env cond
+  | For (init, cond, update, body) ->
+      let env' = push_scope env in
+      Option.iter (check_stmt env' ~in_loop ~ret) init;
+      Option.iter (check_expr env') cond;
+      Option.iter (check_stmt env' ~in_loop:true ~ret) update;
+      check_stmt (push_scope env') ~in_loop:true ~ret body
+  | Break ->
+      if not in_loop then Diag.error s.sloc "'break' outside of a loop"
+  | Continue ->
+      if not in_loop then Diag.error s.sloc "'continue' outside of a loop"
+  | Return None ->
+      if ret <> RetVoid then
+        Diag.error s.sloc "'return;' in a function returning int"
+  | Return (Some e) ->
+      if ret <> RetInt then
+        Diag.error s.sloc "'return <expr>;' in a void function";
+      check_expr env e
+  | ExprStmt e -> (
+      (* A bare call may be void; any other expression must be an int
+         (checked recursively), and is allowed for its effects only. *)
+      match e.edesc with
+      | Call (fname, args) -> ignore (check_call env e.eloc fname args)
+      | _ -> check_expr env e)
+  | Print e -> check_expr env e
+  | Block stmts ->
+      let env' = push_scope env in
+      List.iter (check_stmt env' ~in_loop ~ret) stmts
+
+let check_func env (f : func) =
+  let env = push_scope env in
+  List.iter
+    (fun p ->
+      let kind = match p with PScalar _ -> KScalar | PArray _ -> KArray in
+      declare env f.floc (param_name p) kind)
+    f.fparams;
+  let env = push_scope env in
+  List.iter (check_stmt env ~in_loop:false ~ret:f.fret) f.fbody
+
+let check (p : program) =
+  let funcs = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem funcs f.fname then
+        Diag.error f.floc "duplicate function '%s'" f.fname;
+      Hashtbl.add funcs f.fname { ret = f.fret; params = f.fparams })
+    p.funcs;
+  let globals = Hashtbl.create 64 in
+  List.iter
+    (fun g ->
+      let name = global_name g in
+      let loc = match g with GScalar (_, _, l) | GArray (_, _, l) -> l in
+      if Hashtbl.mem globals name then
+        Diag.error loc "duplicate global '%s'" name;
+      if Hashtbl.mem funcs name then
+        Diag.error loc "global '%s' clashes with a function name" name;
+      (match g with
+      | GArray (_, n, _) when n <= 0 ->
+          Diag.error loc "array '%s' must have positive length, got %d" name n
+      | _ -> ());
+      Hashtbl.add globals name
+        (match g with GScalar _ -> KScalar | GArray _ -> KArray))
+    p.globals;
+  let env = { funcs; scopes = [ globals ] } in
+  List.iter (check_func env) p.funcs;
+  match Hashtbl.find_opt funcs "main" with
+  | None -> Diag.error Srcloc.dummy "program has no 'main' function"
+  | Some { params = []; _ } -> ()
+  | Some _ -> Diag.error Srcloc.dummy "'main' must take no parameters"
+
+let check_result p = Diag.wrap (fun () -> check p)

@@ -1,0 +1,22 @@
+(** Static checking for Mini-C.
+
+    Mini-C has only two value kinds — [int] scalars and [int] arrays — so
+    "type checking" is name resolution plus kind and arity checking:
+
+    - every identifier is declared before use, with no duplicate
+      declarations in the same scope (locals may shadow globals);
+    - scalars and arrays are used consistently ([a[i]] needs an array,
+      [x + 1] needs scalars, an argument passed to an array parameter must
+      be an array name);
+    - calls match the callee's arity and parameter kinds, and a [void]
+      call cannot appear where a value is needed;
+    - [break]/[continue] appear only inside loops, [return e] only in
+      [int] functions and bare [return] only in [void] functions;
+    - array lengths are positive, and a [main] function with no parameters
+      exists. *)
+
+val check : Ast.program -> unit
+(** @raise Diag.Error on the first violation found. *)
+
+val check_result : Ast.program -> (unit, string) result
+(** Like {!check} but capturing the error as [Error message]. *)

@@ -1,0 +1,1 @@
+lib/parsim/gantt.ml: Array Buffer Bytes Char Printf Scheduler Task_graph

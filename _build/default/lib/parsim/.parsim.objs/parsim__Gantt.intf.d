@@ -1,0 +1,1 @@
+lib/parsim/gantt.mli: Scheduler Task_graph

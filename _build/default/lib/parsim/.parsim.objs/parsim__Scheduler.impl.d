@@ -1,0 +1,1 @@
+lib/parsim/scheduler.ml: Array Hashtbl List Task_graph

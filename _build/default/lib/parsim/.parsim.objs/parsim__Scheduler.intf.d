@@ -1,0 +1,1 @@
+lib/parsim/scheduler.mli: Task_graph

@@ -1,0 +1,1 @@
+lib/parsim/speedup.ml: Array Format List Minic Option Printf Scheduler Task_graph Transform Vm

@@ -1,0 +1,1 @@
+lib/parsim/speedup.mli: Format Vm

@@ -1,0 +1,1 @@
+lib/parsim/task_graph.ml: Array Cfa Hashtbl Indexing List Option Printf Shadow Vm

@@ -1,0 +1,1 @@
+lib/parsim/task_graph.mli: Shadow Vm

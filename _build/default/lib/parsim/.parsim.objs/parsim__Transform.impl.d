@@ -1,0 +1,1 @@
+lib/parsim/transform.ml: List Printf Vm

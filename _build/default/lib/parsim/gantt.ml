@@ -1,0 +1,35 @@
+let render ?(width = 72) (g : Task_graph.t) (s : Scheduler.schedule) =
+  let buf = Buffer.create 1024 in
+  let span = max 1 s.par_time in
+  let col t = min (width - 1) (t * width / span) in
+  let ncores =
+    Array.fold_left
+      (fun m (p : Scheduler.task_schedule) -> max m (p.core + 1))
+      (Array.length s.busy) s.placements
+  in
+  (* Backbone row: busy throughout (its stalls are already folded into
+     par_time); we render it as the full span for orientation. *)
+  let backbone = Bytes.make width '-' in
+  Buffer.add_string buf (Printf.sprintf "%-8s|%s|\n" "main" (Bytes.to_string backbone));
+  for core = 0 to ncores - 1 do
+    let row = Bytes.make width ' ' in
+    Array.iter
+      (fun (p : Scheduler.task_schedule) ->
+        if p.core = core then begin
+          let a = col p.start and b = max (col p.start) (col p.finish - 1) in
+          for i = a to b do
+            Bytes.set row i '#'
+          done;
+          (* label the task start with its index (single digit) *)
+          Bytes.set row a
+            (Char.chr (Char.code '0' + (p.task mod 10)))
+        end)
+      s.placements;
+    Buffer.add_string buf (Printf.sprintf "core %-3d|%s|\n" core (Bytes.to_string row))
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "%d tasks over %d instrs: par %d, speedup %.2f, stalls %d (seq total %d)\n"
+       (Array.length s.placements)
+       span s.par_time s.speedup s.stall_time g.total);
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** ASCII Gantt rendering of a simulated schedule.
+
+    One row per core plus one for the backbone (main thread). Each task
+    occupies its [start, finish) interval scaled to the terminal width;
+    stall time shows up as gaps. Used by the examples and the CLI to make
+    the simulator's answer inspectable. *)
+
+val render : ?width:int -> Task_graph.t -> Scheduler.schedule -> string
+(** [width] is the number of timeline columns (default 72). *)

@@ -1,0 +1,75 @@
+type report = {
+  construct : string;
+  head_pc : int;
+  seq_instructions : int;
+  par_instructions : int;
+  speedup : float;
+  tasks : int;
+  constraints : int;
+  cross_deps : int;
+  dropped_privatized : int;
+  stall_time : int;
+}
+
+let analyze ?fuel ?trace_locals ?(cores = 4) ?spawn_overhead ?join_overhead
+    ?(privatize = []) ?(reduce = []) (prog : Vm.Program.t) ~head_pc =
+  let privatized = Transform.privatize_globals prog privatize in
+  let reductions = Transform.privatize_globals prog reduce in
+  let g =
+    Task_graph.collect ?fuel ?trace_locals ~privatized ~reductions prog ~head_pc
+  in
+  let config =
+    {
+      Scheduler.cores;
+      spawn_overhead =
+        Option.value ~default:Scheduler.default_config.Scheduler.spawn_overhead
+          spawn_overhead;
+      join_overhead =
+        Option.value ~default:Scheduler.default_config.Scheduler.join_overhead
+          join_overhead;
+    }
+  in
+  let s = Scheduler.simulate ~config g in
+  let construct =
+    match Vm.Program.construct_at prog head_pc with
+    | Some c -> Format.asprintf "%a" Vm.Program.pp_construct c
+    | None -> Printf.sprintf "pc %d" head_pc
+  in
+  {
+    construct;
+    head_pc;
+    seq_instructions = s.Scheduler.seq_time;
+    par_instructions = s.Scheduler.par_time;
+    speedup = s.Scheduler.speedup;
+    tasks = s.Scheduler.tasks;
+    constraints = List.length g.Task_graph.constraints;
+    cross_deps = g.Task_graph.cross_deps;
+    dropped_privatized = g.Task_graph.dropped_privatized;
+    stall_time = s.Scheduler.stall_time;
+  }
+
+let loop_head_at_line (prog : Vm.Program.t) line =
+  let found = ref None in
+  Array.iter
+    (fun (c : Vm.Program.construct_info) ->
+      if
+        c.kind = Vm.Program.CLoop
+        && c.loc.Minic.Srcloc.line = line
+        && !found = None
+      then found := Some c.head_pc)
+    prog.constructs;
+  match !found with
+  | Some pc -> pc
+  | None -> invalid_arg (Printf.sprintf "Speedup.loop_head_at_line: %d" line)
+
+let proc_head (prog : Vm.Program.t) name =
+  match Vm.Program.find_func prog name with
+  | Some f -> f.entry
+  | None -> invalid_arg (Printf.sprintf "Speedup.proc_head: %s" name)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%s: seq=%d par=%d speedup=%.2f tasks=%d constraints=%d (deps=%d, \
+     privatized=%d, stalls=%d)"
+    r.construct r.seq_instructions r.par_instructions r.speedup r.tasks
+    r.constraints r.cross_deps r.dropped_privatized r.stall_time

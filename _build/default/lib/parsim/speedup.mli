@@ -1,0 +1,42 @@
+(** End-to-end parallelization what-if analysis (drives Table V).
+
+    [analyze] runs the collection pass for one chosen construct, applies
+    the requested privatizations, schedules on [cores] workers, and
+    reports sequential vs simulated-parallel time. *)
+
+type report = {
+  construct : string;  (** display name of the parallelized construct *)
+  head_pc : int;
+  seq_instructions : int;
+  par_instructions : int;
+  speedup : float;
+  tasks : int;
+  constraints : int;  (** folded scheduling constraints *)
+  cross_deps : int;  (** dynamic dependences that crossed instances *)
+  dropped_privatized : int;
+  stall_time : int;
+}
+
+val analyze :
+  ?fuel:int ->
+  ?trace_locals:bool ->
+  ?cores:int ->
+  ?spawn_overhead:int ->
+  ?join_overhead:int ->
+  ?privatize:string list ->
+  ?reduce:string list ->
+  Vm.Program.t ->
+  head_pc:int ->
+  report
+(** [privatize] names globals given thread-local copies (drops WAR/WAW);
+    [reduce] names associative accumulators rewritten as per-thread
+    partials (drops all dependence kinds on them). *)
+
+val loop_head_at_line : Vm.Program.t -> int -> int
+(** pc of the loop construct headed at a source line.
+    @raise Invalid_argument if there is none. *)
+
+val proc_head : Vm.Program.t -> string -> int
+(** pc of a procedure construct. @raise Invalid_argument if unknown. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,61 @@
+(** Task extraction for the parallel-execution simulator.
+
+    Given the construct chosen for parallelization (by head pc), one
+    instrumented sequential run yields:
+    - the intervals of the construct's (outermost) dynamic instances —
+      the tasks a future-based transformation would spawn;
+    - every dependence whose head lies inside an instance and whose tail
+      executes later, folded into scheduling constraints.
+
+    A constraint says: the parallel-run point corresponding to a tail
+    cannot execute before [start_par(head_instance) + head_offset] (the
+    head executes that many instructions after its task starts). Tails
+    are located either in a later instance ([CInstance]) or in the serial
+    backbone segment following instance [m] ([CSegment], where segment 0
+    precedes the first instance). Constraints of the same (head instance,
+    location) are folded keeping the binding (maximum) value, so the
+    graph stays small regardless of dynamic dependence counts.
+
+    Privatization (the manual WAR/WAW transform of §IV-B) is modelled by
+    dropping WAR/WAW constraints on the privatized address ranges before
+    folding; RAW constraints always remain. *)
+
+type instance = { idx : int; start : int; stop : int }
+
+type constraint_location =
+  | CInstance of int  (** tail inside instance [j] *)
+  | CSegment of int  (** tail in the backbone after instance [m] *)
+
+type folded_constraint = {
+  head_instance : int;
+  location : constraint_location;
+  head_off : int;  (** head position relative to its instance start *)
+  tail_off : int;
+      (** tail position: relative to the tail instance's start for
+          [CInstance], absolute sequential time for [CSegment] *)
+  kinds : Shadow.Dependence.kind list;  (** kinds folded into this entry *)
+}
+(** Constraints with the same (head instance, location) are folded keeping
+    the one with maximum [head_off - tail_off] — the binding stall. *)
+
+type t = {
+  total : int;  (** sequential duration (instructions) *)
+  instances : instance array;  (** in sequential order *)
+  constraints : folded_constraint list;
+  dropped_privatized : int;  (** WAR/WAW constraints removed by transforms *)
+  cross_deps : int;  (** dynamic dependences that generated constraints *)
+}
+
+val collect :
+  ?fuel:int ->
+  ?trace_locals:bool ->
+  ?privatized:(int * int) list ->
+  ?reductions:(int * int) list ->
+  Vm.Program.t ->
+  head_pc:int ->
+  t
+(** [privatized] address ranges drop WAR/WAW constraints (thread-local
+    copies); [reductions] drop {e all} dependence kinds (associative
+    accumulators rewritten as per-thread partials merged at the join).
+    Both come from {!Transform}. @raise Invalid_argument if [head_pc]
+    heads no construct. *)

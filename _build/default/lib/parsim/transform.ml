@@ -1,0 +1,11 @@
+let privatize_globals (prog : Vm.Program.t) names =
+  List.map
+    (fun name ->
+      match Vm.Program.find_global prog name with
+      | Some (base, len) -> (base, len)
+      | None ->
+          invalid_arg (Printf.sprintf "Transform.privatize_globals: %s" name))
+    names
+
+let all_globals (prog : Vm.Program.t) =
+  List.map (fun (n, _, _) -> n) prog.global_layout

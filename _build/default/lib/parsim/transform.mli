@@ -1,0 +1,14 @@
+(** Source-level transforms modelled at simulation time.
+
+    The paper's §IV-B parallelizations required manual WAR/WAW-breaking
+    edits (thread-local [BZFILE] copies, per-thread [ivec], private
+    [errors] flags, hoisted [last_flags] resets). In the simulator those
+    edits correspond to dropping anti-/output-dependence constraints on
+    the privatized variables. *)
+
+val privatize_globals : Vm.Program.t -> string list -> (int * int) list
+(** Address ranges of the named globals (scalars and arrays).
+    @raise Invalid_argument for an unknown name. *)
+
+val all_globals : Vm.Program.t -> string list
+(** Names of all globals — "privatize everything" upper-bound ablation. *)

@@ -1,0 +1,1 @@
+lib/shadow/dependence.mli: Format Indexing

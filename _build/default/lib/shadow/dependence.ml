@@ -1,0 +1,11 @@
+type kind = Raw | War | Waw
+type access = { pc : int; time : int; node : Indexing.Node.t }
+type t = { kind : kind; head : access; tail : access; addr : int }
+
+let distance d = d.tail.time - d.head.time
+
+let kind_to_string = function Raw -> "RAW" | War -> "WAR" | Waw -> "WAW"
+
+let pp ppf d =
+  Format.fprintf ppf "%s pc%d@%d -> pc%d@%d (Tdep=%d)" (kind_to_string d.kind)
+    d.head.pc d.head.time d.tail.pc d.tail.time (distance d)

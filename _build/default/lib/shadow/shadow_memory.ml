@@ -1,0 +1,55 @@
+type cell = {
+  mutable last_write : Dependence.access option;
+  mutable reads : (int * Dependence.access) list;  (* keyed by static pc *)
+}
+
+type t = {
+  cells : (int, cell) Hashtbl.t;
+  on_dep : Dependence.t -> unit;
+  mutable events : int;
+  mutable deps : int;
+}
+
+let create ?(on_dep = fun _ -> ()) () =
+  { cells = Hashtbl.create 4096; on_dep; events = 0; deps = 0 }
+
+let cell t addr =
+  match Hashtbl.find_opt t.cells addr with
+  | Some c -> c
+  | None ->
+      let c = { last_write = None; reads = [] } in
+      Hashtbl.add t.cells addr c;
+      c
+
+let emit t kind head tail addr =
+  t.deps <- t.deps + 1;
+  t.on_dep { Dependence.kind; head; tail; addr }
+
+let read t ~addr ~pc ~time ~node =
+  t.events <- t.events + 1;
+  let c = cell t addr in
+  let acc = { Dependence.pc; time; node } in
+  (match c.last_write with
+  | Some w -> emit t Dependence.Raw w acc addr
+  | None -> ());
+  c.reads <- (pc, acc) :: List.remove_assoc pc c.reads
+
+let write t ~addr ~pc ~time ~node =
+  t.events <- t.events + 1;
+  let c = cell t addr in
+  let acc = { Dependence.pc; time; node } in
+  (match c.last_write with
+  | Some w -> emit t Dependence.Waw w acc addr
+  | None -> ());
+  List.iter (fun (_, r) -> emit t Dependence.War r acc addr) c.reads;
+  c.reads <- [];
+  c.last_write <- Some acc
+
+let clear_range t ~base ~size =
+  for addr = base to base + size - 1 do
+    Hashtbl.remove t.cells addr
+  done
+
+let tracked_addresses t = Hashtbl.length t.cells
+let events t = t.events
+let deps_emitted t = t.deps

@@ -1,0 +1,32 @@
+(** Shadow memory: per-address access history for dependence detection.
+
+    For each address we keep the last write and, per static read pc, the
+    latest read since that write. On a read we emit a RAW edge from the
+    last write; on a write we emit a WAW edge from the last write and a
+    WAR edge from each recorded read. Keeping only the {e latest} access
+    per static pc is lossless for the profile, which records the
+    {e minimum} [Tdep] per static edge.
+
+    {!clear_range} drops history for a released stack frame, so
+    stack-address reuse across activations cannot fabricate dependences
+    (and the table stays bounded by live memory). *)
+
+type t
+
+val create : ?on_dep:(Dependence.t -> unit) -> unit -> t
+
+val read :
+  t -> addr:int -> pc:int -> time:int -> node:Indexing.Node.t -> unit
+
+val write :
+  t -> addr:int -> pc:int -> time:int -> node:Indexing.Node.t -> unit
+
+val clear_range : t -> base:int -> size:int -> unit
+
+val tracked_addresses : t -> int
+(** Number of addresses currently carrying history (bounded-memory test). *)
+
+val events : t -> int
+(** Total read/write events processed. *)
+
+val deps_emitted : t -> int

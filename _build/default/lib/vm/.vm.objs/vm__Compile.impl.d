@@ -1,0 +1,1 @@
+lib/vm/compile.ml: Array Hashtbl Instr List Minic Option Printf Program

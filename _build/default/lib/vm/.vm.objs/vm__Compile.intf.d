@@ -1,0 +1,1 @@
+lib/vm/compile.mli: Minic Program

@@ -1,0 +1,1 @@
+lib/vm/disasm.mli: Format Program

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Hooks List Minic Printf Program

@@ -1,0 +1,1 @@
+lib/vm/program.ml: Array Format Instr List Minic Printf

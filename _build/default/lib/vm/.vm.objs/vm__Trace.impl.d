@@ -1,0 +1,1 @@
+lib/vm/trace.ml: Array Hooks Instr Machine Option Printf

@@ -1,0 +1,1 @@
+lib/vm/verify.ml: Array Format Instr List Printf Program Queue

@@ -1,0 +1,507 @@
+open Minic.Ast
+module Srcloc = Minic.Srcloc
+
+type binding =
+  | BScalarLocal of int
+  | BArrayLocal of int * int  (* frame offset, len *)
+  | BArrParam of int  (* slot holding a reference *)
+  | BScalarGlobal of int
+  | BArrayGlobal of int * int
+
+type emitter = {
+  mutable code : Instr.t array;
+  mutable locs : Srcloc.t array;
+  mutable len : int;
+  mutable labels : int array;  (* label id -> pc, -1 if not yet placed *)
+  mutable nlabels : int;
+  mutable fixups : (int * int) list;  (* pc to patch, label id *)
+  constructs : (int, pending_construct) Hashtbl.t;
+  mutable n_constructs : int;
+}
+
+and pending_construct = {
+  pcid : int;
+  pkind : Program.construct_kind;
+  phead : int;
+  pfid : int;
+  ploc : Srcloc.t;
+  pcname : string;
+  pbody_first : int;
+  mutable pbody_last : int;
+}
+
+let new_emitter () =
+  {
+    code = Array.make 256 Instr.Halt;
+    locs = Array.make 256 Srcloc.dummy;
+    len = 0;
+    labels = Array.make 64 (-1);
+    nlabels = 0;
+    fixups = [];
+    constructs = Hashtbl.create 64;
+    n_constructs = 0;
+  }
+
+let emit em instr loc =
+  if em.len = Array.length em.code then begin
+    let code = Array.make (2 * em.len) Instr.Halt in
+    Array.blit em.code 0 code 0 em.len;
+    em.code <- code;
+    let locs = Array.make (2 * em.len) Srcloc.dummy in
+    Array.blit em.locs 0 locs 0 em.len;
+    em.locs <- locs
+  end;
+  em.code.(em.len) <- instr;
+  em.locs.(em.len) <- loc;
+  em.len <- em.len + 1
+
+let here em = em.len
+
+let fresh_label em =
+  if em.nlabels = Array.length em.labels then begin
+    let labels = Array.make (2 * em.nlabels) (-1) in
+    Array.blit em.labels 0 labels 0 em.nlabels;
+    em.labels <- labels
+  end;
+  let l = em.nlabels in
+  em.nlabels <- em.nlabels + 1;
+  l
+
+let place_label em l = em.labels.(l) <- em.len
+
+(* Emit a forward jump/branch to a label; patched in [finish]. *)
+let emit_jmp em l loc =
+  em.fixups <- (em.len, l) :: em.fixups;
+  emit em (Instr.Jmp l) loc
+
+let emit_br em ~kind ~cid l loc =
+  em.fixups <- (em.len, l) :: em.fixups;
+  emit em (Instr.Br { target = l; kind; cid }) loc
+
+(* Constructs are opened with a provisional body span and closed once the
+   emitter knows where their repeating region ends. *)
+let new_construct em ~kind ~head_pc ~body_first ~fid ~loc ~cname =
+  let cid = em.n_constructs in
+  em.n_constructs <- cid + 1;
+  Hashtbl.add em.constructs cid
+    {
+      pcid = cid;
+      pkind = kind;
+      phead = head_pc;
+      pfid = fid;
+      ploc = loc;
+      pcname = cname;
+      pbody_first = body_first;
+      pbody_last = body_first;
+    };
+  cid
+
+let close_construct em cid = (Hashtbl.find em.constructs cid).pbody_last <- em.len - 1
+
+let patch_fixups em =
+  List.iter
+    (fun (pc, l) ->
+      let target = em.labels.(l) in
+      assert (target >= 0);
+      em.code.(pc) <-
+        (match em.code.(pc) with
+        | Instr.Jmp _ -> Instr.Jmp target
+        | Instr.Br { kind; cid; _ } -> Instr.Br { target; kind; cid }
+        | i ->
+            invalid_arg
+              (Printf.sprintf "Compile.patch_fixups: pc %d holds %s" pc
+                 (Instr.to_string i))))
+    em.fixups;
+  em.fixups <- []
+
+(* --- per-function compilation state ------------------------------------ *)
+
+type fstate = {
+  em : emitter;
+  fid : int;
+  fname : string;
+  globals : (string, binding) Hashtbl.t;
+  fids : (string, int) Hashtbl.t;
+  mutable scopes : (string, binding) Hashtbl.t list;
+  mutable next_slot : int;
+  epilogue : int;  (* label *)
+  (* loop context: (break label, continue label) *)
+  mutable loops : (int * int) list;
+}
+
+let lookup fs name =
+  let rec go = function
+    | [] -> (
+        match Hashtbl.find_opt fs.globals name with
+        | Some b -> b
+        | None -> invalid_arg ("Compile.lookup: unbound " ^ name))
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with Some b -> b | None -> go rest)
+  in
+  go fs.scopes
+
+let declare fs name binding =
+  match fs.scopes with
+  | scope :: _ -> Hashtbl.replace scope name binding
+  | [] -> invalid_arg "Compile.declare: no scope"
+
+let alloc_slots fs n =
+  let s = fs.next_slot in
+  fs.next_slot <- s + n;
+  s
+
+let push_scope fs = fs.scopes <- Hashtbl.create 8 :: fs.scopes
+
+let pop_scope fs =
+  match fs.scopes with
+  | _ :: rest -> fs.scopes <- rest
+  | [] -> invalid_arg "Compile.pop_scope"
+
+(* --- expressions -------------------------------------------------------- *)
+
+let push_array_ref fs loc = function
+  | BArrayLocal (off, len) -> emit fs.em (Instr.MakeRefLocal (off, len)) loc
+  | BArrayGlobal (base, len) ->
+      emit fs.em (Instr.MakeRefGlobal (base, len)) loc
+  | BArrParam slot -> emit fs.em (Instr.LoadLocal slot) loc
+  | BScalarLocal _ | BScalarGlobal _ ->
+      invalid_arg "Compile.push_array_ref: scalar used as array"
+
+let rec compile_expr fs (e : expr) =
+  let em = fs.em in
+  match e.edesc with
+  | IntLit n -> emit em (Instr.Const n) e.eloc
+  | Var x -> (
+      match lookup fs x with
+      | BScalarLocal s -> emit em (Instr.LoadLocal s) e.eloc
+      | BScalarGlobal a -> emit em (Instr.LoadGlobal a) e.eloc
+      | b -> push_array_ref fs e.eloc b)
+  | Index (x, i) ->
+      push_array_ref fs e.eloc (lookup fs x);
+      compile_expr fs i;
+      emit em Instr.LoadIndex e.eloc
+  | Unop (op, e1) ->
+      compile_expr fs e1;
+      emit em (Instr.Unop op) e.eloc
+  | Binop (LogAnd, a, b) ->
+      let l_false = fresh_label em and l_end = fresh_label em in
+      compile_expr fs a;
+      emit_br em ~kind:Instr.BrSc ~cid:(-1) l_false e.eloc;
+      compile_expr fs b;
+      emit_br em ~kind:Instr.BrSc ~cid:(-1) l_false e.eloc;
+      emit em (Instr.Const 1) e.eloc;
+      emit_jmp em l_end e.eloc;
+      place_label em l_false;
+      emit em (Instr.Const 0) e.eloc;
+      place_label em l_end
+  | Binop (LogOr, a, b) ->
+      let l_rhs = fresh_label em
+      and l_false = fresh_label em
+      and l_end = fresh_label em in
+      compile_expr fs a;
+      emit_br em ~kind:Instr.BrSc ~cid:(-1) l_rhs e.eloc;
+      emit em (Instr.Const 1) e.eloc;
+      emit_jmp em l_end e.eloc;
+      place_label em l_rhs;
+      compile_expr fs b;
+      emit_br em ~kind:Instr.BrSc ~cid:(-1) l_false e.eloc;
+      emit em (Instr.Const 1) e.eloc;
+      emit_jmp em l_end e.eloc;
+      place_label em l_false;
+      emit em (Instr.Const 0) e.eloc;
+      place_label em l_end
+  | Binop (op, a, b) ->
+      compile_expr fs a;
+      compile_expr fs b;
+      emit em (Instr.Binop op) e.eloc
+  | Call (fname, args) ->
+      List.iter (compile_expr fs) args;
+      let fid = Hashtbl.find fs.fids fname in
+      emit em (Instr.Call fid) e.eloc
+
+(* --- statements --------------------------------------------------------- *)
+
+let rec compile_stmt fs (s : stmt) =
+  let em = fs.em in
+  match s.sdesc with
+  | DeclScalar (x, init) ->
+      let slot = alloc_slots fs 1 in
+      declare fs x (BScalarLocal slot);
+      Option.iter
+        (fun e ->
+          compile_expr fs e;
+          emit em (Instr.StoreLocal slot) s.sloc)
+        init
+  | DeclArray (x, n) ->
+      let off = alloc_slots fs n in
+      declare fs x (BArrayLocal (off, n))
+  | Assign (LVar (x, loc), e) -> (
+      compile_expr fs e;
+      match lookup fs x with
+      | BScalarLocal slot -> emit em (Instr.StoreLocal slot) loc
+      | BScalarGlobal a -> emit em (Instr.StoreGlobal a) loc
+      | _ -> invalid_arg "Compile: assignment to array")
+  | Assign (LIndex (x, i, loc), e) ->
+      push_array_ref fs loc (lookup fs x);
+      compile_expr fs i;
+      compile_expr fs e;
+      emit em Instr.StoreIndex loc
+  | OpAssign (op, LVar (x, loc), e) -> (
+      match lookup fs x with
+      | BScalarLocal slot ->
+          emit em (Instr.LoadLocal slot) loc;
+          compile_expr fs e;
+          emit em (Instr.Binop op) loc;
+          emit em (Instr.StoreLocal slot) loc
+      | BScalarGlobal a ->
+          emit em (Instr.LoadGlobal a) loc;
+          compile_expr fs e;
+          emit em (Instr.Binop op) loc;
+          emit em (Instr.StoreGlobal a) loc
+      | _ -> invalid_arg "Compile: op-assignment to array")
+  | OpAssign (op, LIndex (x, i, loc), e) ->
+      push_array_ref fs loc (lookup fs x);
+      compile_expr fs i;
+      emit em Instr.Dup2 loc;
+      emit em Instr.LoadIndex loc;
+      compile_expr fs e;
+      emit em (Instr.Binop op) loc;
+      emit em Instr.StoreIndex loc
+  | If (cond, then_, else_) -> (
+      compile_expr fs cond;
+      let head = here em in
+      let cid =
+        new_construct em ~kind:Program.CCond ~head_pc:head ~body_first:(head + 1)
+          ~fid:fs.fid ~loc:s.sloc
+          ~cname:(Printf.sprintf "(%s,%d)" fs.fname s.sloc.Srcloc.line)
+      in
+      (match else_ with
+      | None ->
+          let l_end = fresh_label em in
+          emit_br em ~kind:Instr.BrIf ~cid l_end cond.eloc;
+          compile_scoped fs then_;
+          place_label em l_end
+      | Some e ->
+          let l_else = fresh_label em and l_end = fresh_label em in
+          emit_br em ~kind:Instr.BrIf ~cid l_else cond.eloc;
+          compile_scoped fs then_;
+          emit_jmp em l_end s.sloc;
+          place_label em l_else;
+          compile_scoped fs e;
+          place_label em l_end);
+      close_construct em cid)
+  | While (cond, body) ->
+      let l_head = fresh_label em and l_exit = fresh_label em in
+      let body_first = here em in
+      place_label em l_head;
+      compile_expr fs cond;
+      let cid =
+        new_construct em ~kind:Program.CLoop ~head_pc:(here em) ~body_first
+          ~fid:fs.fid ~loc:s.sloc
+          ~cname:(Printf.sprintf "(%s,%d)" fs.fname s.sloc.Srcloc.line)
+      in
+      emit_br em ~kind:Instr.BrLoop ~cid l_exit cond.eloc;
+      fs.loops <- (l_exit, l_head) :: fs.loops;
+      compile_scoped fs body;
+      fs.loops <- List.tl fs.loops;
+      emit_jmp em l_head s.sloc;
+      close_construct em cid;
+      place_label em l_exit
+  | DoWhile (body, cond) ->
+      let l_body = fresh_label em
+      and l_cont = fresh_label em
+      and l_exit = fresh_label em in
+      let body_first = here em in
+      place_label em l_body;
+      fs.loops <- (l_exit, l_cont) :: fs.loops;
+      compile_scoped fs body;
+      fs.loops <- List.tl fs.loops;
+      place_label em l_cont;
+      compile_expr fs cond;
+      let cid =
+        new_construct em ~kind:Program.CLoop ~head_pc:(here em) ~body_first
+          ~fid:fs.fid ~loc:s.sloc
+          ~cname:(Printf.sprintf "(%s,%d)" fs.fname s.sloc.Srcloc.line)
+      in
+      emit_br em ~kind:Instr.BrLoop ~cid l_exit cond.eloc;
+      emit_jmp em l_body s.sloc;
+      close_construct em cid;
+      place_label em l_exit
+  | For (init, cond, update, body) ->
+      push_scope fs;
+      Option.iter (compile_stmt fs) init;
+      let l_head = fresh_label em
+      and l_cont = fresh_label em
+      and l_exit = fresh_label em in
+      let body_first = here em in
+      place_label em l_head;
+      (match cond with
+      | Some c -> compile_expr fs c
+      | None -> emit em (Instr.Const 1) s.sloc);
+      let cid =
+        new_construct em ~kind:Program.CLoop ~head_pc:(here em) ~body_first
+          ~fid:fs.fid ~loc:s.sloc
+          ~cname:(Printf.sprintf "(%s,%d)" fs.fname s.sloc.Srcloc.line)
+      in
+      let cond_loc =
+        match cond with Some c -> c.eloc | None -> s.sloc
+      in
+      emit_br em ~kind:Instr.BrLoop ~cid l_exit cond_loc;
+      fs.loops <- (l_exit, l_cont) :: fs.loops;
+      compile_scoped fs body;
+      fs.loops <- List.tl fs.loops;
+      place_label em l_cont;
+      Option.iter (compile_stmt fs) update;
+      emit_jmp em l_head s.sloc;
+      close_construct em cid;
+      place_label em l_exit;
+      pop_scope fs
+  | Break -> (
+      match fs.loops with
+      | (l_exit, _) :: _ -> emit_jmp em l_exit s.sloc
+      | [] -> invalid_arg "Compile: break outside loop")
+  | Continue -> (
+      match fs.loops with
+      | (_, l_cont) :: _ -> emit_jmp em l_cont s.sloc
+      | [] -> invalid_arg "Compile: continue outside loop")
+  | Return None ->
+      emit em (Instr.Const 0) s.sloc;
+      emit_jmp em fs.epilogue s.sloc
+  | Return (Some e) ->
+      compile_expr fs e;
+      emit_jmp em fs.epilogue s.sloc
+  | ExprStmt e ->
+      compile_expr fs e;
+      emit em Instr.Pop s.sloc
+  | Print e ->
+      compile_expr fs e;
+      emit em Instr.Print s.sloc
+  | Block stmts ->
+      push_scope fs;
+      List.iter (compile_stmt fs) stmts;
+      pop_scope fs
+
+and compile_scoped fs s =
+  push_scope fs;
+  compile_stmt fs s;
+  pop_scope fs
+
+(* --- top level ----------------------------------------------------------- *)
+
+let compile (p : program) =
+  let em = new_emitter () in
+  (* Globals layout. *)
+  let globals = Hashtbl.create 64 in
+  let next_addr = ref 0 in
+  let layout = ref [] and inits = ref [] in
+  List.iter
+    (fun g ->
+      match g with
+      | GScalar (name, v, _) ->
+          let addr = !next_addr in
+          incr next_addr;
+          Hashtbl.replace globals name (BScalarGlobal addr);
+          layout := (name, addr, 1) :: !layout;
+          if v <> 0 then inits := (addr, v) :: !inits
+      | GArray (name, len, _) ->
+          let base = !next_addr in
+          next_addr := base + len;
+          Hashtbl.replace globals name (BArrayGlobal (base, len));
+          layout := (name, base, len) :: !layout)
+    p.globals;
+  (* Function ids in declaration order. *)
+  let fids = Hashtbl.create 64 in
+  List.iteri (fun i (f : func) -> Hashtbl.replace fids f.fname i) p.funcs;
+  let main_fid = Hashtbl.find fids "main" in
+  (* Preamble. *)
+  emit em (Instr.Call main_fid) Srcloc.dummy;
+  emit em Instr.Halt Srcloc.dummy;
+  (* Compile each function. *)
+  let funcs =
+    List.mapi
+      (fun fid (f : func) ->
+        let entry = here em in
+        let proc_cid =
+          new_construct em ~kind:Program.CProc ~head_pc:entry ~body_first:entry
+            ~fid ~loc:f.floc ~cname:f.fname
+        in
+        let fs =
+          {
+            em;
+            fid;
+            fname = f.fname;
+            globals;
+            fids;
+            scopes = [];
+            next_slot = 0;
+            epilogue = fresh_label em;
+            loops = [];
+          }
+        in
+        push_scope fs;
+        let param_is_array =
+          Array.of_list
+            (List.map (function PArray _ -> true | PScalar _ -> false)
+               f.fparams)
+        in
+        List.iter
+          (fun p ->
+            let slot = alloc_slots fs 1 in
+            match p with
+            | PScalar n -> declare fs n (BScalarLocal slot)
+            | PArray n -> declare fs n (BArrParam slot))
+          f.fparams;
+        push_scope fs;
+        List.iter (compile_stmt fs) f.fbody;
+        (* Implicit return 0 (int) / return (void). *)
+        emit em (Instr.Const 0) f.floc;
+        place_label em fs.epilogue;
+        let epilogue_pc = here em in
+        emit em Instr.Ret f.floc;
+        close_construct em proc_cid;
+        {
+          Program.fid;
+          name = f.fname;
+          entry;
+          epilogue = epilogue_pc;
+          code_end = here em;
+          nparams = List.length f.fparams;
+          param_is_array;
+          frame_slots = max fs.next_slot 1;
+          ret = f.fret;
+          loc = f.floc;
+        })
+      p.funcs
+  in
+  patch_fixups em;
+  let code = Array.sub em.code 0 em.len in
+  let locs = Array.sub em.locs 0 em.len in
+  let constructs =
+    Array.init em.n_constructs (fun cid ->
+        let p = Hashtbl.find em.constructs cid in
+        {
+          Program.cid = p.pcid;
+          kind = p.pkind;
+          head_pc = p.phead;
+          fid = p.pfid;
+          loc = p.ploc;
+          cname = p.pcname;
+          body_first = p.pbody_first;
+          body_last = max p.pbody_last p.phead;
+        })
+  in
+  let cid_of_pc = Array.make (Array.length code) (-1) in
+  Array.iter (fun c -> cid_of_pc.(c.Program.head_pc) <- c.Program.cid) constructs;
+  {
+    Program.code;
+    locs;
+    funcs = Array.of_list funcs;
+    constructs;
+    cid_of_pc;
+    globals_size = !next_addr;
+    global_layout = List.rev !layout;
+    global_inits = List.rev !inits;
+    main_fid;
+  }
+
+let compile_source src = compile (Minic.Frontend.load src)

@@ -1,0 +1,25 @@
+(** Compiler from the Mini-C AST to bytecode.
+
+    Lowering decisions that matter for the profiler:
+
+    - every function gets a {e single} epilogue [Ret]; [return] compiles to
+      a jump there, so the epilogue post-dominates the whole body and
+      pending construct pops are always well-defined;
+    - [if]/[while]/[do]/[for] predicates compile to [Br] instructions
+      tagged [BrIf]/[BrLoop] carrying a fresh construct id; short-circuit
+      [&&]/[||] compile to [BrSc] branches, which are not constructs;
+    - [x op= e] and [x++] are read-modify-write sequences, so they generate
+      both a read and a write event at the same source line;
+    - local slots are assigned monotonically per function (no slot reuse
+      across block scopes), so two different locals never share an address
+      within an activation. *)
+
+val compile : Minic.Ast.program -> Program.t
+(** Compiles a checked program. The first two pcs are a preamble
+    [Call main; Halt].
+    @raise Invalid_argument on programs that were not accepted by
+    {!Minic.Typecheck.check}. *)
+
+val compile_source : string -> Program.t
+(** [Frontend.load] followed by {!compile}.
+    @raise Minic.Diag.Error on frontend errors. *)

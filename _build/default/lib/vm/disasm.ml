@@ -1,0 +1,20 @@
+let pp_program ppf (p : Program.t) =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf ";; preamble@,";
+  for pc = 0 to Array.length p.code - 1 do
+    (match Array.find_opt (fun (f : Program.func_info) -> f.entry = pc) p.funcs
+     with
+    | Some f ->
+        Format.fprintf ppf "@,;; function %s (fid %d, %d slots)@," f.name f.fid
+          f.frame_slots
+    | None -> ());
+    (match Program.construct_at p pc with
+    | Some c when c.kind <> Program.CProc ->
+        Format.fprintf ppf ";; construct c%d %a@," c.cid Program.pp_construct c
+    | _ -> ());
+    Format.fprintf ppf "%4d  [line %3d]  %s@," pc (Program.line_of_pc p pc)
+      (Instr.to_string p.code.(pc))
+  done;
+  Format.fprintf ppf "@]"
+
+let to_string p = Format.asprintf "%a" pp_program p

@@ -1,0 +1,7 @@
+(** Bytecode disassembler (for debugging and the CLI's [dump] command). *)
+
+val pp_program : Format.formatter -> Program.t -> unit
+(** Prints every function with pc, source line, instruction, and construct
+    heads annotated. *)
+
+val to_string : Program.t -> string

@@ -1,0 +1,20 @@
+type t = {
+  on_instr : pc:int -> unit;
+  on_read : pc:int -> addr:int -> unit;
+  on_write : pc:int -> addr:int -> unit;
+  on_branch : pc:int -> kind:Instr.branch_kind -> cid:int -> taken:bool -> unit;
+  on_call : pc:int -> fid:int -> unit;
+  on_ret : pc:int -> fid:int -> unit;
+  on_frame_release : base:int -> size:int -> unit;
+}
+
+let noop =
+  {
+    on_instr = (fun ~pc:_ -> ());
+    on_read = (fun ~pc:_ ~addr:_ -> ());
+    on_write = (fun ~pc:_ ~addr:_ -> ());
+    on_branch = (fun ~pc:_ ~kind:_ ~cid:_ ~taken:_ -> ());
+    on_call = (fun ~pc:_ ~fid:_ -> ());
+    on_ret = (fun ~pc:_ ~fid:_ -> ());
+    on_frame_release = (fun ~base:_ ~size:_ -> ());
+  }

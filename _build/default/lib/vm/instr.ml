@@ -1,0 +1,55 @@
+type branch_kind = BrIf | BrLoop | BrSc
+
+type t =
+  | Const of int
+  | LoadLocal of int
+  | StoreLocal of int
+  | LoadGlobal of int
+  | StoreGlobal of int
+  | MakeRefGlobal of int * int
+  | MakeRefLocal of int * int
+  | LoadIndex
+  | StoreIndex
+  | Binop of Minic.Ast.binop
+  | Unop of Minic.Ast.unop
+  | Jmp of int
+  | Br of { target : int; kind : branch_kind; cid : int }
+  | Call of int
+  | Ret
+  | Pop
+  | Dup2
+  | Print
+  | Halt
+
+let kind_to_string = function
+  | BrIf -> "if"
+  | BrLoop -> "loop"
+  | BrSc -> "sc"
+
+let to_string = function
+  | Const n -> Printf.sprintf "const %d" n
+  | LoadLocal s -> Printf.sprintf "load.l %d" s
+  | StoreLocal s -> Printf.sprintf "store.l %d" s
+  | LoadGlobal a -> Printf.sprintf "load.g %d" a
+  | StoreGlobal a -> Printf.sprintf "store.g %d" a
+  | MakeRefGlobal (b, l) -> Printf.sprintf "ref.g %d:%d" b l
+  | MakeRefLocal (o, l) -> Printf.sprintf "ref.l %d:%d" o l
+  | LoadIndex -> "load.ix"
+  | StoreIndex -> "store.ix"
+  | Binop op -> Format.asprintf "bin %a" Minic.Ast.pp_binop op
+  | Unop op -> Format.asprintf "un %a" Minic.Ast.pp_unop op
+  | Jmp t -> Printf.sprintf "jmp %d" t
+  | Br { target; kind; cid } ->
+      Printf.sprintf "brz[%s,c%d] %d" (kind_to_string kind) cid target
+  | Call fid -> Printf.sprintf "call f%d" fid
+  | Ret -> "ret"
+  | Pop -> "pop"
+  | Dup2 -> "dup2"
+  | Print -> "print"
+  | Halt -> "halt"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let is_predicate = function
+  | Br { kind = BrIf | BrLoop; _ } -> true
+  | _ -> false

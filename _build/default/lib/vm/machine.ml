@@ -1,0 +1,253 @@
+exception Trap of string * int
+
+type result = { exit_value : int; instructions : int; output : int list }
+
+type value = VInt of int | VRef of int * int  (* base, len *)
+
+exception Halted of int
+
+type state = {
+  prog : Program.t;
+  mutable mem : value array;
+  mutable stack : value array;  (* operand stack *)
+  mutable sp : int;
+  mutable frame_base : int;
+  mutable stack_top : int;  (* next free memory address *)
+  (* call records: return pc, saved frame base, callee fid *)
+  mutable calls : (int * int * int) array;
+  mutable depth : int;
+  max_depth : int;
+  mutable out : int list;
+  mutable instructions : int;
+}
+
+let trap st pc fmt =
+  ignore st;
+  Printf.ksprintf (fun msg -> raise (Trap (msg, pc))) fmt
+
+let ensure_mem st needed =
+  let n = Array.length st.mem in
+  if needed > n then begin
+    let mem = Array.make (max (2 * n) needed) (VInt 0) in
+    Array.blit st.mem 0 mem 0 n;
+    st.mem <- mem
+  end
+
+let push st v =
+  if st.sp = Array.length st.stack then begin
+    let stack = Array.make (2 * st.sp) (VInt 0) in
+    Array.blit st.stack 0 stack 0 st.sp;
+    st.stack <- stack
+  end;
+  st.stack.(st.sp) <- v;
+  st.sp <- st.sp + 1
+
+let pop st pc =
+  if st.sp = 0 then trap st pc "operand stack underflow";
+  st.sp <- st.sp - 1;
+  st.stack.(st.sp)
+
+let pop_int st pc =
+  match pop st pc with
+  | VInt n -> n
+  | VRef _ -> trap st pc "expected integer, found array reference"
+
+let pop_ref st pc =
+  match pop st pc with
+  | VRef (b, l) -> (b, l)
+  | VInt _ -> trap st pc "expected array reference, found integer"
+
+let eval_binop st pc (op : Minic.Ast.binop) a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then trap st pc "division by zero" else a / b
+  | Mod -> if b = 0 then trap st pc "modulo by zero" else a mod b
+  | Shl ->
+      if b < 0 || b > 62 then trap st pc "shift amount %d out of range" b
+      else a lsl b
+  | Shr ->
+      if b < 0 || b > 62 then trap st pc "shift amount %d out of range" b
+      else a asr b
+  | BitAnd -> a land b
+  | BitOr -> a lor b
+  | BitXor -> a lxor b
+  | Lt -> if a < b then 1 else 0
+  | Le -> if a <= b then 1 else 0
+  | Gt -> if a > b then 1 else 0
+  | Ge -> if a >= b then 1 else 0
+  | Eq -> if a = b then 1 else 0
+  | Ne -> if a <> b then 1 else 0
+  | LogAnd | LogOr ->
+      trap st pc "short-circuit operator reached the interpreter"
+
+let eval_unop (op : Minic.Ast.unop) a =
+  match op with
+  | Neg -> -a
+  | LogNot -> if a = 0 then 1 else 0
+  | BitNot -> lnot a
+
+let exec ~hooked ?(trace_locals = true) (hooks : Hooks.t) ?fuel
+    ?(max_depth = 10_000) (prog : Program.t) =
+  let hook_locals = hooked && trace_locals in
+  let st =
+    {
+      prog;
+      mem = Array.make (max prog.globals_size 1024) (VInt 0);
+      stack = Array.make 256 (VInt 0);
+      sp = 0;
+      frame_base = 0;
+      stack_top = prog.globals_size;
+      calls = Array.make 64 (0, 0, 0);
+      depth = 0;
+      max_depth;
+      out = [];
+      instructions = 0;
+    }
+  in
+  ensure_mem st prog.globals_size;
+  List.iter (fun (addr, v) -> st.mem.(addr) <- VInt v) prog.global_inits;
+  let code = prog.code in
+  let funcs = prog.funcs in
+  let fuel = match fuel with Some f -> f | None -> max_int in
+  let pc = ref 0 in
+  let exit_value =
+    try
+     while true do
+       let p = !pc in
+       if st.instructions >= fuel then trap st p "out of fuel";
+       st.instructions <- st.instructions + 1;
+       if hooked then hooks.on_instr ~pc:p;
+       (match code.(p) with
+        | Const n ->
+            push st (VInt n);
+            incr pc
+        | LoadLocal s ->
+            let addr = st.frame_base + s in
+            if hook_locals then hooks.on_read ~pc:p ~addr;
+            push st st.mem.(addr);
+            incr pc
+        | StoreLocal s ->
+            let addr = st.frame_base + s in
+            let v = pop st p in
+            if hook_locals then hooks.on_write ~pc:p ~addr;
+            st.mem.(addr) <- v;
+            incr pc
+        | LoadGlobal addr ->
+            if hooked then hooks.on_read ~pc:p ~addr;
+            push st st.mem.(addr);
+            incr pc
+        | StoreGlobal addr ->
+            let v = pop st p in
+            if hooked then hooks.on_write ~pc:p ~addr;
+            st.mem.(addr) <- v;
+            incr pc
+        | MakeRefGlobal (base, len) ->
+            push st (VRef (base, len));
+            incr pc
+        | MakeRefLocal (off, len) ->
+            push st (VRef (st.frame_base + off, len));
+            incr pc
+        | LoadIndex ->
+            let idx = pop_int st p in
+            let base, len = pop_ref st p in
+            if idx < 0 || idx >= len then
+              trap st p "index %d out of bounds [0,%d)" idx len;
+            let addr = base + idx in
+            if hooked then hooks.on_read ~pc:p ~addr;
+            push st st.mem.(addr);
+            incr pc
+        | StoreIndex ->
+            let v = pop st p in
+            let idx = pop_int st p in
+            let base, len = pop_ref st p in
+            if idx < 0 || idx >= len then
+              trap st p "index %d out of bounds [0,%d)" idx len;
+            let addr = base + idx in
+            if hooked then hooks.on_write ~pc:p ~addr;
+            st.mem.(addr) <- v;
+            incr pc
+        | Binop op ->
+            let b = pop_int st p in
+            let a = pop_int st p in
+            push st (VInt (eval_binop st p op a b));
+            incr pc
+        | Unop op ->
+            let a = pop_int st p in
+            push st (VInt (eval_unop op a));
+            incr pc
+        | Jmp target -> pc := target
+        | Br { target; kind; cid } ->
+            let v = pop_int st p in
+            let taken = v = 0 in
+            if hooked then hooks.on_branch ~pc:p ~kind ~cid ~taken;
+            pc := if taken then target else p + 1
+        | Dup2 ->
+            if st.sp < 2 then trap st p "dup2 on short stack";
+            let a = st.stack.(st.sp - 2) and b = st.stack.(st.sp - 1) in
+            push st a;
+            push st b;
+            incr pc
+        | Call fid ->
+            if st.depth >= st.max_depth then trap st p "call stack overflow";
+            let f = funcs.(fid) in
+            (* Pop arguments, last on top. *)
+            let args = Array.make f.nparams (VInt 0) in
+            for i = f.nparams - 1 downto 0 do
+              args.(i) <- pop st p
+            done;
+            (* Push the call record. *)
+            if st.depth = Array.length st.calls then begin
+              let calls = Array.make (2 * st.depth) (0, 0, 0) in
+              Array.blit st.calls 0 calls 0 st.depth;
+              st.calls <- calls
+            end;
+            st.calls.(st.depth) <- (p + 1, st.frame_base, fid);
+            st.depth <- st.depth + 1;
+            (* Fresh zeroed frame. *)
+            let base = st.stack_top in
+            ensure_mem st (base + f.frame_slots);
+            Array.fill st.mem base f.frame_slots (VInt 0);
+            st.frame_base <- base;
+            st.stack_top <- base + f.frame_slots;
+            if hooked then hooks.on_call ~pc:f.entry ~fid;
+            for i = 0 to f.nparams - 1 do
+              if hook_locals then hooks.on_write ~pc:f.entry ~addr:(base + i);
+              st.mem.(base + i) <- args.(i)
+            done;
+            pc := f.entry
+        | Ret ->
+            let v = pop st p in
+            st.depth <- st.depth - 1;
+            let ret_pc, saved_base, fid = st.calls.(st.depth) in
+            let f = funcs.(fid) in
+            if hooked then begin
+              hooks.on_ret ~pc:p ~fid;
+              hooks.on_frame_release ~base:st.frame_base ~size:f.frame_slots
+            end;
+            st.stack_top <- st.frame_base;
+            st.frame_base <- saved_base;
+            push st v;
+            pc := ret_pc
+        | Pop ->
+            ignore (pop st p);
+            incr pc
+        | Print ->
+            let v = pop_int st p in
+            st.out <- v :: st.out;
+            incr pc
+        | Halt ->
+            let v = if st.sp > 0 then pop_int st p else 0 in
+            raise (Halted v))
+      done;
+      assert false
+    with Halted v -> v
+  in
+  { exit_value; instructions = st.instructions; output = List.rev st.out }
+
+let run ?fuel ?max_depth prog =
+  exec ~hooked:false Hooks.noop ?fuel ?max_depth prog
+
+let run_hooked ?trace_locals ?fuel ?max_depth hooks prog =
+  exec ~hooked:true ?trace_locals hooks ?fuel ?max_depth prog

@@ -1,0 +1,37 @@
+(** The bytecode interpreter.
+
+    Two entry points share the same semantics (differentially tested):
+    {!run} is the plain interpreter (the "native" baseline of Table III),
+    {!run_hooked} additionally drives a {!Hooks.t} — the substrate on which
+    Alchemist's profiler runs. *)
+
+exception Trap of string * int
+(** Runtime error (division by zero, out-of-bounds index, stack overflow,
+    fuel exhausted) with the offending pc. *)
+
+type result = {
+  exit_value : int;  (** return value of [main] *)
+  instructions : int;  (** retired instruction count — the clock *)
+  output : int list;  (** values printed, in order *)
+}
+
+val run : ?fuel:int -> ?max_depth:int -> Program.t -> result
+(** Executes the program. [fuel] bounds the number of executed instructions
+    (default: unlimited), [max_depth] the call depth (default 10_000).
+    @raise Trap on runtime errors. *)
+
+val run_hooked :
+  ?trace_locals:bool ->
+  ?fuel:int ->
+  ?max_depth:int ->
+  Hooks.t ->
+  Program.t ->
+  result
+(** Same as {!run}, firing instrumentation callbacks.
+
+    [trace_locals] (default [true]) controls whether scalar frame slots
+    generate memory events. Mini-C never takes the address of a scalar
+    local, so an optimizing C compiler would keep them in registers — the
+    binaries the paper profiled do not exhibit stack traffic for them.
+    The profiler passes [false] to match that; pass [true] to model an
+    unoptimized (-O0) binary (see the ablation bench). *)

@@ -1,0 +1,120 @@
+(* Events are packed into a flat int buffer:
+     tag; payload...
+   with tags:
+     0 instr pc | 1 read pc addr | 2 write pc addr
+     3 branch pc kind taken cid | 4 call pc fid | 5 ret pc fid
+     6 release base size *)
+
+type t = {
+  mutable buf : int array;
+  mutable len : int;
+  mutable nevents : int;
+  mutable res : Machine.result option;
+}
+
+let push t v =
+  if t.len = Array.length t.buf then begin
+    let bigger = Array.make (2 * t.len) 0 in
+    Array.blit t.buf 0 bigger 0 t.len;
+    t.buf <- bigger
+  end;
+  t.buf.(t.len) <- v;
+  t.len <- t.len + 1
+
+let ev t tag =
+  t.nevents <- t.nevents + 1;
+  push t tag
+
+let kind_code = function
+  | Instr.BrIf -> 0
+  | Instr.BrLoop -> 1
+  | Instr.BrSc -> 2
+
+let kind_of_code = function
+  | 0 -> Instr.BrIf
+  | 1 -> Instr.BrLoop
+  | _ -> Instr.BrSc
+
+let record ?trace_locals ?fuel prog =
+  let t = { buf = Array.make 65536 0; len = 0; nevents = 0; res = None } in
+  let hooks =
+    {
+      Hooks.on_instr =
+        (fun ~pc ->
+          ev t 0;
+          push t pc);
+      on_read =
+        (fun ~pc ~addr ->
+          ev t 1;
+          push t pc;
+          push t addr);
+      on_write =
+        (fun ~pc ~addr ->
+          ev t 2;
+          push t pc;
+          push t addr);
+      on_branch =
+        (fun ~pc ~kind ~cid ~taken ->
+          ev t 3;
+          push t pc;
+          push t (kind_code kind);
+          push t (if taken then 1 else 0);
+          push t cid);
+      on_call =
+        (fun ~pc ~fid ->
+          ev t 4;
+          push t pc;
+          push t fid);
+      on_ret =
+        (fun ~pc ~fid ->
+          ev t 5;
+          push t pc;
+          push t fid);
+      on_frame_release =
+        (fun ~base ~size ->
+          ev t 6;
+          push t base;
+          push t size);
+    }
+  in
+  let res = Machine.run_hooked ?trace_locals ?fuel hooks prog in
+  t.res <- Some res;
+  (t, res)
+
+let replay t (hooks : Hooks.t) =
+  let i = ref 0 in
+  let next () =
+    let v = t.buf.(!i) in
+    incr i;
+    v
+  in
+  while !i < t.len do
+    match next () with
+    | 0 -> hooks.on_instr ~pc:(next ())
+    | 1 ->
+        let pc = next () in
+        hooks.on_read ~pc ~addr:(next ())
+    | 2 ->
+        let pc = next () in
+        hooks.on_write ~pc ~addr:(next ())
+    | 3 ->
+        let pc = next () in
+        let kind = kind_of_code (next ()) in
+        let taken = next () <> 0 in
+        let cid = next () in
+        hooks.on_branch ~pc ~kind ~cid ~taken
+    | 4 ->
+        let pc = next () in
+        hooks.on_call ~pc ~fid:(next ())
+    | 5 ->
+        let pc = next () in
+        hooks.on_ret ~pc ~fid:(next ())
+    | 6 ->
+        let base = next () in
+        hooks.on_frame_release ~base ~size:(next ())
+    | tag -> invalid_arg (Printf.sprintf "Trace.replay: bad tag %d" tag)
+  done
+
+let events t = t.nevents
+let words t = t.len
+let result t = Option.get t.res

@@ -1,0 +1,30 @@
+(** Whole-execution event traces (the ParaMeter-style alternative the
+    paper contrasts itself with in §V: "Alchemist is a profiler that does
+    not record the whole trace").
+
+    {!record} captures every instrumentation event of a run into a
+    compact integer buffer; {!replay} feeds them back into any
+    {!Hooks.t}, so the full profiling stack can run offline from a
+    recording. The point of carrying both paths is the ablation: trace
+    size grows linearly with execution length, while Alchemist's online
+    index tree stays within the Theorem 1 bound — and the offline replay
+    produces bit-identical profiles (differentially tested). *)
+
+type t
+
+val record :
+  ?trace_locals:bool -> ?fuel:int -> Program.t -> t * Machine.result
+(** Execute and capture all events. *)
+
+val replay : t -> Hooks.t -> unit
+(** Drive the hooks with the recorded events, in order. *)
+
+val events : t -> int
+(** Number of recorded events. *)
+
+val words : t -> int
+(** Buffer footprint in machine words — the memory a whole-trace profiler
+    pays, to contrast with the construct pool's bounded footprint. *)
+
+val result : t -> Machine.result
+(** The traced execution's outcome. *)

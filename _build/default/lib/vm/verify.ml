@@ -1,0 +1,139 @@
+type error = { pc : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "pc %d: %s" e.pc e.message
+
+(* (pops, pushes) per instruction, from the caller's perspective. *)
+let stack_effect (prog : Program.t) = function
+  | Instr.Const _ | Instr.LoadLocal _ | Instr.LoadGlobal _
+  | Instr.MakeRefGlobal _ | Instr.MakeRefLocal _ ->
+      (0, 1)
+  | Instr.StoreLocal _ | Instr.StoreGlobal _ | Instr.Pop | Instr.Print -> (1, 0)
+  | Instr.LoadIndex -> (2, 1)
+  | Instr.StoreIndex -> (3, 0)
+  | Instr.Binop _ -> (2, 1)
+  | Instr.Unop _ -> (1, 1)
+  | Instr.Jmp _ -> (0, 0)
+  | Instr.Br _ -> (1, 0)
+  | Instr.Dup2 -> (2, 4)
+  | Instr.Call fid ->
+      if fid >= 0 && fid < Array.length prog.funcs then
+        (prog.funcs.(fid).nparams, 1)
+      else (0, 1) (* already reported structurally *)
+  | Instr.Ret -> (1, 0)
+  | Instr.Halt -> (0, 0)
+
+let verify (prog : Program.t) =
+  let errors = ref [] in
+  let err pc fmt =
+    Printf.ksprintf (fun message -> errors := { pc; message } :: !errors) fmt
+  in
+  let ncode = Array.length prog.code in
+  let nfuncs = Array.length prog.funcs in
+  (* --- structural checks -------------------------------------------------- *)
+  Array.iter
+    (fun (f : Program.func_info) ->
+      if not (0 <= f.entry && f.entry < f.epilogue && f.epilogue < f.code_end
+              && f.code_end <= ncode) then
+        err f.entry "function %s has inconsistent extent" f.name;
+      if prog.code.(f.epilogue) <> Instr.Ret then
+        err f.epilogue "function %s: epilogue is not Ret" f.name;
+      for pc = f.entry to f.code_end - 1 do
+        (match prog.code.(pc) with
+        | Instr.Ret when pc <> f.epilogue ->
+            err pc "function %s has a second Ret" f.name
+        | Instr.Halt -> err pc "Halt inside function %s" f.name
+        | Instr.Jmp t | Instr.Br { target = t; _ } ->
+            if t < f.entry || t >= f.code_end then
+              err pc "branch target %d escapes function %s" t f.name
+        | Instr.Call fid ->
+            if fid < 0 || fid >= nfuncs then err pc "call to bad fid %d" fid
+        | Instr.LoadLocal s | Instr.StoreLocal s ->
+            if s < 0 || s >= f.frame_slots then
+              err pc "local slot %d out of frame (%d slots)" s f.frame_slots
+        | Instr.MakeRefLocal (off, len) ->
+            if off < 0 || len <= 0 || off + len > f.frame_slots then
+              err pc "local array ref %d:%d out of frame" off len
+        | Instr.LoadGlobal a | Instr.StoreGlobal a ->
+            if a < 0 || a >= prog.globals_size then
+              err pc "global address %d out of range" a
+        | Instr.MakeRefGlobal (base, len) ->
+            if base < 0 || len <= 0 || base + len > prog.globals_size then
+              err pc "global array ref %d:%d out of range" base len
+        | _ -> ())
+      done)
+    prog.funcs;
+  (* preamble: Call main; Halt *)
+  (match (prog.code.(0), prog.code.(1)) with
+  | Instr.Call fid, Instr.Halt when fid = prog.main_fid -> ()
+  | _ -> err 0 "preamble is not [Call main; Halt]");
+  (* --- construct table ------------------------------------------------------ *)
+  Array.iter
+    (fun (c : Program.construct_info) ->
+      if prog.cid_of_pc.(c.head_pc) <> c.cid then
+        err c.head_pc "construct %d not registered at its head" c.cid;
+      let f = prog.funcs.(c.fid) in
+      (match (c.kind, prog.code.(c.head_pc)) with
+      | Program.CProc, _ when c.head_pc = f.entry -> ()
+      | Program.CProc, _ -> err c.head_pc "proc construct not at entry"
+      | Program.CLoop, Instr.Br { kind = Instr.BrLoop; cid; _ } when cid = c.cid
+        ->
+          ()
+      | Program.CCond, Instr.Br { kind = Instr.BrIf; cid; _ } when cid = c.cid
+        ->
+          ()
+      | (Program.CLoop | Program.CCond), i ->
+          err c.head_pc "construct %d headed by %s" c.cid (Instr.to_string i));
+      if c.body_first < f.entry || c.body_last >= f.code_end
+         || c.body_first > c.body_last then
+        err c.head_pc "construct %d body span [%d,%d] escapes %s" c.cid
+          c.body_first c.body_last f.name)
+    prog.constructs;
+  (* --- operand-stack abstract interpretation -------------------------------- *)
+  Array.iter
+    (fun (f : Program.func_info) ->
+      let n = f.code_end - f.entry in
+      let depth = Array.make n (-1) in
+      let work = Queue.create () in
+      let push_state pc d =
+        let i = pc - f.entry in
+        if i < 0 || i >= n then
+          err pc "control flows outside function %s" f.name
+        else if depth.(i) = -1 then begin
+          depth.(i) <- d;
+          Queue.push pc work
+        end
+        else if depth.(i) <> d then
+          err pc "inconsistent stack depth at join: %d vs %d" depth.(i) d
+      in
+      push_state f.entry 0;
+      while not (Queue.is_empty work) do
+        let pc = Queue.pop work in
+        let d = depth.(pc - f.entry) in
+        let instr = prog.code.(pc) in
+        let pops, pushes = stack_effect prog instr in
+        if d < pops then err pc "stack underflow (depth %d, needs %d)" d pops
+        else begin
+          let d' = d - pops + pushes in
+          match instr with
+          | Instr.Ret -> if d <> 1 then err pc "Ret at depth %d (expected 1)" d
+          | Instr.Jmp t -> push_state t d'
+          | Instr.Br { target; _ } ->
+              push_state target d';
+              push_state (pc + 1) d'
+          | Instr.Halt -> ()
+          | _ -> push_state (pc + 1) d'
+        end
+      done)
+    prog.funcs;
+  List.rev !errors
+
+let verify_exn prog =
+  match verify prog with
+  | [] -> ()
+  | errs ->
+      let shown = List.filteri (fun i _ -> i < 5) errs in
+      invalid_arg
+        (Format.asprintf "Verify: %a"
+           (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+              pp_error)
+           shown)

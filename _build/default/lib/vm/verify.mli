@@ -1,0 +1,26 @@
+(** Static well-formedness verification of compiled bytecode.
+
+    Run after {!Compile.compile} (the test suite does, on every generated
+    program) to catch compiler bugs before they become miscounted
+    profiles:
+
+    - structural: every jump/branch target lands inside the same
+      function; every function ends in exactly one [Ret], at its
+      recorded epilogue; [Call] targets are valid function ids; local
+      slot and global address operands are in range; construct heads
+      point at the instruction kind their table entry claims
+      ([Br] for loops/conditionals, the entry for procedures) and body
+      spans nest inside their function;
+    - operand-stack safety: abstract interpretation over each function's
+      CFG proves a consistent stack depth at every pc (no underflow, a
+      single depth per join point, depth 1 at [Ret]). *)
+
+type error = { pc : int; message : string }
+
+val verify : Program.t -> error list
+(** Empty list = well-formed. *)
+
+val verify_exn : Program.t -> unit
+(** @raise Invalid_argument listing the first errors. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,1 @@
+lib/workloads/aes_ctr.ml: Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/mini_bzip2.ml: Printf Workload

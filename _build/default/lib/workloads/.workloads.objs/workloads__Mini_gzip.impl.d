@@ -1,0 +1,1 @@
+lib/workloads/mini_gzip.ml: Printf Workload

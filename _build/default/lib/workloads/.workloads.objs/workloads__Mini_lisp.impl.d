@@ -1,0 +1,1 @@
+lib/workloads/mini_lisp.ml: Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/mini_ogg.ml: Printf Workload

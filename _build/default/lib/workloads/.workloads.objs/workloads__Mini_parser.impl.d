@@ -1,0 +1,1 @@
+lib/workloads/mini_parser.ml: Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/par2.ml: Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Aes_ctr Delaunay List Mini_bzip2 Mini_gzip Mini_lisp Mini_ogg Mini_parser Par2 Workload

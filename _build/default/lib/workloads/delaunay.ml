@@ -1,0 +1,197 @@
+(* Mini-C model of the dependence structure of sequential Delaunay mesh
+   refinement (paper §IV-B1, the negative result).
+
+   The paper ran Alchemist on the sequential refinement algorithm and
+   found that its computation-intensive constructs carry {e hundreds} of
+   violating static RAW dependences (720 on the largest), confirming the
+   known difficulty of parallelizing it without optimistic abstractions
+   [Kulkarni et al.]. The essential structure is a shared worklist of bad
+   triangles plus a mesh whose cavity updates touch the neighborhood of
+   each processed element: every iteration pops work, reads and rewrites
+   shared mesh state along many distinct code paths, and pushes new work.
+
+   To surface {e many distinct static} edges (not just hot dynamic ones),
+   the cavity-update cases are written out explicitly (three neighbor
+   slots x split/flip cases), as the real implementation's specialized
+   cavity routines are. *)
+
+let source ~scale =
+  Printf.sprintf
+    {|// mini-delaunay: worklist-driven mesh refinement on shared state.
+int wl[8192];
+int wl_tail;
+int quality[4096];
+int n0[4096];
+int n1[4096];
+int n2[4096];
+int alive[4096];
+int ntris;
+int splits;
+int flips;
+int seed;
+int budget;
+
+int rnd(int m) {
+  seed = (seed * 1103515 + 12345) & 0x7ffffff;
+  return seed %% m;
+}
+
+void push_work(int t) {
+  wl[wl_tail & 8191] = t;
+  wl_tail++;
+}
+
+// Allocate a new triangle adjacent to t.
+int new_tri(int t, int q) {
+  int c = ntris & 4095;
+  ntris++;
+  quality[c] = q;
+  alive[c] = 1;
+  n0[c] = t;
+  n1[c] = rnd(ntris) & 4095;
+  n2[c] = rnd(ntris) & 4095;
+  return c;
+}
+
+// Split a bad triangle: retire it, create two children, fix the
+// neighborhood, requeue suspect neighbors.
+void split_tri(int t) {
+  alive[t] = 0;
+  splits++;
+  int a = new_tri(t, (quality[t] + rnd(40)) & 63);
+  int b = new_tri(t, (quality[t] + rnd(40)) & 63);
+  // new triangles must themselves be checked for badness
+  push_work(a);
+  push_work(b);
+  // rewire each neighbor slot and requeue it if its quality degraded
+  int m0 = n0[t];
+  if (alive[m0 & 4095] == 1) {
+    n0[m0 & 4095] = a;
+    quality[m0 & 4095] -= 1;
+    if (quality[m0 & 4095] < 20) {
+      push_work(m0 & 4095);
+    }
+  }
+  int m1 = n1[t];
+  if (alive[m1 & 4095] == 1) {
+    n1[m1 & 4095] = b;
+    quality[m1 & 4095] -= 2;
+    if (quality[m1 & 4095] < 20) {
+      push_work(m1 & 4095);
+    }
+  }
+  int m2 = n2[t];
+  if (alive[m2 & 4095] == 1) {
+    n2[m2 & 4095] = a;
+    quality[m2 & 4095] -= 1;
+    if (quality[m2 & 4095] < 20) {
+      push_work(m2 & 4095);
+    }
+  }
+}
+
+// Edge flip: improve two adjacent triangles in place.
+void flip_tris(int t) {
+  flips++;
+  int m = n0[t];
+  int qa = quality[t];
+  int qb = quality[m & 4095];
+  quality[t] = ((qa + qb) / 2 + 3) & 63;
+  quality[m & 4095] = ((qa + qb) / 2 + 2) & 63;
+  int tmp = n1[t];
+  n1[t] = n2[m & 4095];
+  n2[m & 4095] = tmp;
+  // the partner's cavity changed: it must be re-examined
+  push_work(m & 4095);
+}
+
+int main() {
+  seed = 60606;
+  budget = %d;
+  // initial mesh
+  for (int i = 0; i < 64; i++) {
+    new_tri(i, rnd(64));
+  }
+  for (int i = 0; i < 64; i++) {
+    push_work(i);
+  }
+  // the refinement loop: the hot construct with many violating RAWs.
+  // The worklist is a stack (as in real refinement codes), so elements
+  // pushed by a split are reprocessed immediately — the adjacent-
+  // iteration dependences Alchemist reports as violating.
+  int steps = 0;
+  while (steps < budget) {
+    if (wl_tail == 0) {
+      // worklist drained: re-scan the mesh for live triangles, as
+      // refinement drivers re-scan for remaining bad elements
+      for (int i = 0; i < 2048; i++) {
+        if (alive[i] == 1) {
+          push_work(i);
+        }
+      }
+      if (wl_tail == 0) {
+        break;
+      }
+    }
+    wl_tail--;
+    int t = wl[wl_tail & 8191] & 4095;
+    steps++;
+    if (alive[t] == 1) {
+      int q = quality[t];
+      if (q < 16) {
+        split_tri(t);
+      } else if (q < 32) {
+        flip_tris(t);
+        if (quality[t] < 16) {
+          push_work(t);
+        }
+      } else if (q < 48) {
+        // local smoothing: average quality with a live neighbor
+        int mA = n1[t] & 4095;
+        if (alive[mA] == 1) {
+          quality[t] = ((quality[t] + quality[mA] + 1) / 2) & 63;
+          n2[t] = mA;
+          if (quality[mA] > quality[t]) {
+            quality[mA] -= 1;
+            push_work(mA);
+          }
+        }
+      } else {
+        // boundary relaxation: rotate the neighbor ring
+        int tmp = n0[t];
+        n0[t] = n1[t];
+        n1[t] = n2[t];
+        n2[t] = tmp;
+        quality[t] -= 3;
+        push_work(t);
+      }
+    }
+  }
+  print(steps);
+  print(splits);
+  print(flips);
+  print(ntris);
+  return 0;
+}
+|}
+    scale
+
+let workload =
+  {
+    Workload.name = "delaunay";
+    description =
+      "worklist-driven mesh refinement; the paper's hard-to-parallelize case";
+    source;
+    default_scale = 20_000;
+    test_scale = 2_000;
+    sites = [];
+    prior_work_site =
+      Some
+        {
+          Workload.site_name = "refinement loop in main";
+          locate = Workload.loop_in "main" ~nth:2;
+          privatize = [];
+          reduce = [];
+          spawn_overhead = None;
+        };
+  }

@@ -1,0 +1,189 @@
+(* Mini-C re-implementation of the dependence structure of bzip2 v1.0
+   (paper §IV-B2, Tables IV and V).
+
+   Structure mirrored from the paper:
+   - the loop in [main] iterates over the files to compress — the single
+     largest construct, with only a handful of violating RAW chains
+     (output cursor, total-bytes accumulator, input "reader" state) and
+     many WAW conflicts on the shared [bzf_*] stream structure the paper
+     calls out ("a naive parallelization would conflict on the shared
+     BZFILE *bzf structure");
+   - [compress_stream] processes one file in fixed-size blocks (the
+     paper's 5000-byte loop at line 5340); each block runs an RLE +
+     move-to-front + frequency pass whose per-block state is reset at
+     block start, but the running CRC and output cursor chain across
+     blocks (the "unusually high number of violating static RAW
+     dependences");
+   - [write_close] (the BZ2_bzWriteClose64 analog) handles the leftover
+     tail after the block loop and flushes — the source of the RAW
+     dependences the paper traced to the call after the loop.
+
+   Parallelization (Table V: 3.46x on 4 threads): per-block tasks with the
+   bzf structure privatized and CRC/output/total counters turned into
+   reductions, exactly the rewrite the paper describes ("privatizing
+   parts of the data in the bzf structure"). *)
+
+let source ~scale =
+  Printf.sprintf
+    {|// mini-bzip2: multi-file block compressor with a shared stream struct.
+int data[8192];
+int bzf_buf[512];
+int bzf_npend;
+int bzf_handle;
+int bzf_total_in;
+int bzf_total_out;
+int bzf_crc;
+int bzf_state;
+int bzf_mode;
+int mtf[256];
+int freq[256];
+int outbuf[16384];
+int outcnt;
+int seed;
+int fsize;
+int nfiles;
+
+int rnd(int m) {
+  seed = (seed * 1103515 + 12345) & 0x7ffffff;
+  return seed %% m;
+}
+
+// Reset the shared stream structure for a new file (BZ2_bzWriteOpen).
+void init_stream(int handle) {
+  bzf_handle = handle;
+  bzf_npend = 0;
+  bzf_crc = 0xffff;
+  bzf_state = 1;
+  bzf_mode = 2;
+}
+
+// Compress one block: RLE detection, move-to-front, frequency counting,
+// and emission. Per-block tables are reset here; the CRC and the output
+// cursor chain across blocks.
+void compress_block(int start, int len) {
+  // per-block tables: MTF starts from the identity for every block (it
+  // follows the per-block BWT in real bzip2), frequencies restart too
+  for (int i = 0; i < 256; i++) {
+    freq[i] = 0;
+    mtf[i] = i;
+  }
+  int run = 0;
+  int prev_byte = -1;
+  for (int i = 0; i < len; i++) {
+    int b = data[(start + i) & 8191];
+    bzf_crc = ((bzf_crc << 1) ^ b ^ (bzf_crc >> 15)) & 0xffff;
+    if (b == prev_byte) {
+      run++;
+    } else {
+      if (run > 3) {
+        outbuf[outcnt & 16383] = run & 255;
+        outcnt++;
+      }
+      run = 0;
+      prev_byte = b;
+    }
+    // move-to-front: locate b, shift, place at front
+    int pos = 0;
+    while (mtf[pos] != b && pos < 255) {
+      pos++;
+    }
+    int j = pos;
+    while (j > 0) {
+      mtf[j] = mtf[j - 1];
+      j--;
+    }
+    mtf[0] = b;
+    freq[pos & 255] += 1;
+    if (pos > 0) {
+      outbuf[outcnt & 16383] = pos & 255;
+      outcnt++;
+    }
+  }
+  bzf_npend = len & 255;
+  bzf_total_in += len;
+}
+
+// Finalize a file: compress the leftover tail, flush, record totals
+// (BZ2_bzWriteClose64).
+void write_close(int start, int leftover) {
+  if (leftover > 0) {
+    compress_block(start, leftover);
+  }
+  outbuf[outcnt & 16383] = bzf_crc & 255;
+  outcnt++;
+  outbuf[outcnt & 16383] = (bzf_crc >> 8) & 255;
+  outcnt++;
+  bzf_total_out += bzf_npend;
+  bzf_state = 0;
+}
+
+// Compress one file in 500-element blocks (the paper's 5000-byte loop).
+void compress_stream(int handle) {
+  init_stream(handle);
+  int pos = 0;
+  while (pos + 500 <= fsize) {
+    compress_block(pos, 500);
+    pos += 500;
+  }
+  write_close(pos, fsize - pos);
+}
+
+int main() {
+  seed = 4321;
+  fsize = %d;
+  nfiles = %d;
+  for (int f = 0; f < nfiles; f++) {
+    for (int i = 0; i < 8192; i++) {
+      data[i] = rnd(64);
+    }
+    compress_stream(f);
+  }
+  print(outcnt);
+  print(bzf_total_in);
+  return 0;
+}
+|}
+    scale 2
+
+let privatize_bzf =
+  [
+    "bzf_buf";
+    "bzf_npend";
+    "bzf_handle";
+    "bzf_state";
+    "bzf_mode";
+    "mtf";
+    "freq";
+    "data";
+    "outbuf";
+  ]
+
+let reduce_counters =
+  [ "bzf_crc"; "outcnt"; "bzf_total_in"; "bzf_total_out"; "seed" ]
+
+let workload =
+  {
+    Workload.name = "bzip2";
+    description = "multi-file block compressor with shared BZFILE-style state";
+    source;
+    default_scale = 12_000;
+    test_scale = 1_500;
+    sites =
+      [
+        {
+          Workload.site_name = "loop over files in main (6932-analog)";
+          locate = Workload.loop_in "main" ~nth:0;
+          privatize = privatize_bzf;
+          reduce = reduce_counters;
+          spawn_overhead = None;
+        };
+        {
+          Workload.site_name = "block loop in compressStream (5340-analog)";
+          locate = Workload.loop_in "compress_stream" ~nth:0;
+          privatize = privatize_bzf;
+          reduce = reduce_counters;
+          spawn_overhead = None;
+        };
+      ];
+    prior_work_site = None;
+  }

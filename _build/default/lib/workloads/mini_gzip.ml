@@ -1,0 +1,202 @@
+(* Mini-C re-implementation of the dependence structure of gzip-1.3.5
+   (single-file version), the paper's running example (Figs. 2, 3, 6a, 6b).
+
+   Structure mirrored from the paper:
+   - [main] holds the per-file loop (the paper's "Loop (main,3404)", C1);
+   - [zip] processes one literal at a time, maintaining [flag_buf] /
+     [last_flags] / [freq], and calls [flush_block] when the pending
+     buffer fills, plus once more after the loop, then emits a checksum
+     that reads [outcnt] and the block length;
+   - [flush_block] records the current flag, bumps [input_len] (the
+     line-14 self-RAW whose distance exceeds the construct duration),
+     encodes pending literals into bits via [send_bits] (the
+     [bi_buf]/[bi_valid]/[outcnt] state of the paper's lines 19-22),
+     resets [last_flags] (the WAR the paper suggests hoisting), flushes
+     trailing bits (the line-28 write), and publishes the block length
+     (the analog of the line-29 return value the paper's first boxed
+     violation flows through).
+
+   Expected profile shape (verified in test/test_workloads.ml and bench
+   fig2/fig3):
+   - Method flush_block: exactly two violating static RAW edges, both
+     exercised only by the call after the loop — block_len_out -> checksum
+     and outcnt -> checksum — plus non-violating long-distance self-RAWs
+     on input_len and outcnt;
+   - WAW on outcnt and WARs on flag_buf / last_flags (Fig. 3's box);
+   - no WAW on outbuf itself (disjoint slots — the conflict is carried by
+     the index, as the paper observes);
+   - the zip processing loop keeps several violating RAW chains (freq,
+     strstart, prev_length, last_flags), so after Fig. 6(b)'s removal it
+     stays ranked but flush_block is the largest LOW-violation construct. *)
+
+let source ~scale =
+  Printf.sprintf
+    {|// mini-gzip: per-file driver, literal processor, block flusher.
+int window[4096];
+int flag_buf[512];
+int outbuf[8192];
+int freq[64];
+int prev[4096];
+int outcnt;
+int bi_buf;
+int bi_valid;
+int last_flags;
+int input_len;
+int block_len_out;
+int strstart;
+int prev_length;
+int match_start;
+int seed;
+int nin;
+int nfiles;
+
+int rnd(int m) {
+  seed = (seed * 1103515 + 12345) & 0x7ffffff;
+  return seed %% m;
+}
+
+// Append [len] low bits of [value] to the bit buffer, flushing whole
+// bytes into outbuf (gzip's send_bits / bi_windup pair).
+void send_bits(int value, int len) {
+  bi_buf = bi_buf | ((value & ((1 << len) - 1)) << bi_valid);
+  bi_valid += len;
+  while (bi_valid > 7) {
+    outbuf[outcnt & 8191] = bi_buf & 255;
+    outcnt++;
+    bi_buf = bi_buf >> 8;
+    bi_valid -= 8;
+  }
+}
+
+// Encode the pending block of [len] literals starting at window[start].
+void flush_block(int start, int len) {
+  flag_buf[last_flags & 511] = 1;
+  input_len += len;
+  int i = 0;
+  if (len > 0) {
+    do {
+      int flag = flag_buf[i & 511];
+      int lit = window[(start + i) & 4095];
+      if (flag & 1) {
+        send_bits(freq[lit & 63] & 15, 5);
+        send_bits(lit & 255, 8);
+      } else {
+        send_bits(lit & 127, 7);
+      }
+      i++;
+    } while (i < len);
+  }
+  last_flags = 0;
+  outbuf[outcnt & 8191] = bi_buf & 255;
+  outcnt++;
+  bi_buf = 0;
+  bi_valid = 0;
+  block_len_out = len;
+}
+
+// Compress one file's worth of literals (gzip's zip/deflate).
+int zip() {
+  int start = 0;
+  int pending = 0;
+  int processed = 0;
+  while (processed < nin) {
+    int lit = window[processed & 4095];
+    freq[lit & 63] += 1;
+    // longest_match, unrolled hash-chain probe: gzip spends most of its
+    // per-literal time here, which is why the paper's inter-flush
+    // distances (Tdep ~4.5M) dwarf flush_block's duration (~321K/call)
+    int h = lit & 4095;
+    h = ((h * 33) + window[(processed + 1) & 4095]) & 4095;
+    h = ((h * 33) + window[(processed + 2) & 4095]) & 4095;
+    h = ((h * 33) + window[(processed + 3) & 4095]) & 4095;
+    int cand = prev[h];
+    int score = 0;
+    score += window[cand & 4095] == lit;
+    score += window[(cand + 1) & 4095] == window[(processed + 1) & 4095];
+    score += window[(cand + 2) & 4095] == window[(processed + 2) & 4095];
+    score += window[(cand + 3) & 4095] == window[(processed + 3) & 4095];
+    score += window[(cand + 4) & 4095] == window[(processed + 4) & 4095];
+    score += window[(cand + 5) & 4095] == window[(processed + 5) & 4095];
+    score += window[(cand + 6) & 4095] == window[(processed + 6) & 4095];
+    score += window[(cand + 7) & 4095] == window[(processed + 7) & 4095];
+    prev[h] = strstart;
+    prev[strstart & 4095] = match_start;
+    if (score > 1) {
+      match_start = strstart - prev_length;
+      prev_length = score & 7;
+    } else {
+      prev_length = 1;
+    }
+    strstart++;
+    flag_buf[pending & 511] = lit & 1;
+    pending++;
+    last_flags = pending;
+    processed++;
+    if (pending >= 200) {
+      flush_block(start, pending);
+      start = processed;
+      pending = 0;
+    }
+  }
+  flush_block(start, pending);
+  int checksum = block_len_out;
+  outbuf[outcnt & 8191] = checksum & 255;
+  outcnt++;
+  return checksum;
+}
+
+int main() {
+  seed = 12345;
+  // leave a 150-literal tail so the final flush_block call is separated
+  // from the last in-loop call by real work, as a real file's tail is
+  nin = ((%d / 200) * 200) + 150;
+  nfiles = %d;
+  int total = 0;
+  for (int f = 0; f < nfiles; f++) {
+    for (int i = 0; i < 4096; i++) {
+      window[i] = rnd(256);
+    }
+    total += zip();
+  }
+  print(total);
+  print(outcnt);
+  return 0;
+}
+|}
+    scale 1
+
+let workload =
+  {
+    Workload.name = "gzip-1.3.5";
+    description =
+      "literal compression with block flushing; the paper's running example";
+    source;
+    default_scale = 20_000;
+    test_scale = 2_000;
+    sites =
+      [
+        {
+          Workload.site_name = "per-file loop in main";
+          locate = Workload.loop_in "main" ~nth:0;
+          privatize = [];
+          reduce = [];
+          spawn_overhead = None;
+        };
+        {
+          Workload.site_name = "flush_block";
+          locate = Workload.proc "flush_block";
+          privatize = [ "flag_buf"; "last_flags" ];
+          reduce = [];
+          spawn_overhead = None;
+        };
+      ];
+    prior_work_site =
+      Some
+        {
+          Workload.site_name = "per-file loop in main (C1 of Fig. 6a)";
+          locate = Workload.loop_in "main" ~nth:0;
+          privatize = [];
+          reduce = [];
+          spawn_overhead = None;
+        };
+  }

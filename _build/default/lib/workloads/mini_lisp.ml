@@ -1,0 +1,141 @@
+(* Mini-C re-implementation of the dependence structure of 130.li (XLisp,
+   SPEC95), paper §IV-B1, Fig. 6(d).
+
+   XLisp's batch mode: [xlload] parses a file into cons cells, then the
+   batch loop in [main] evaluates each loaded program. Per the paper:
+   - C1 is Method [xlload]: called once before the batch loop (init.lsp)
+     and once per iteration, so it executes slightly more instructions
+     than the loop itself;
+   - C2 is the batch loop — the construct prior work parallelized.
+
+   The cons heap is the shared substrate: [xlload] resets the allocation
+   cursor to a per-file region (a plain write, so iterations exchange no
+   RAW through it — only privatizable WAW/WAR), mirroring XLisp's
+   per-file workspace behaviour that made speculative parallelization of
+   the batch loop viable. Results land in per-iteration slots. *)
+
+let source ~scale =
+  Printf.sprintf
+    {|// mini-lisp: cons-heap s-expression builder and evaluator.
+int car_[16384];
+int cdr_[16384];
+int tag_[16384];
+int val_[16384];
+int hp;
+int hp_base;
+int result_buf[256];
+int load_count;
+int seed;
+int nfiles;
+int depth;
+
+int rnd(int m) {
+  seed = (seed * 1103515 + 12345) & 0x7ffffff;
+  return seed %% m;
+}
+
+// tag 0 = number, 1 = cons cell whose car is an op code (0 add, 1 mul,
+// 2 sub) and cdr a list of operands.
+int mknum(int v) {
+  tag_[hp & 16383] = 0;
+  val_[hp & 16383] = v;
+  int c = hp;
+  hp++;
+  return c;
+}
+
+int cons(int a, int d) {
+  tag_[hp & 16383] = 1;
+  car_[hp & 16383] = a;
+  cdr_[hp & 16383] = d;
+  int c = hp;
+  hp++;
+  return c;
+}
+
+// Build a random expression tree of the given depth ("parsing a file").
+int build_expr(int d) {
+  if (d == 0) {
+    return mknum(rnd(100));
+  }
+  int op = rnd(3);
+  int args = -1;
+  int n = 2 + rnd(2);
+  for (int i = 0; i < n; i++) {
+    args = cons(build_expr(d - 1), args);
+  }
+  return cons(op, args);
+}
+
+// Load one "file": reset the workspace cursor for this file and parse.
+int xlload(int fid) {
+  hp = (fid & 31) * 500;
+  hp_base = hp;
+  load_count++;
+  return build_expr(depth);
+}
+
+// Evaluate an expression tree.
+int xleval(int c) {
+  if (tag_[c & 16383] == 0) {
+    return val_[c & 16383];
+  }
+  int op = car_[c & 16383];
+  int args = cdr_[c & 16383];
+  int acc;
+  if (op == 1) {
+    acc = 1;
+  } else {
+    acc = 0;
+  }
+  while (args != -1) {
+    int v = xleval(car_[args & 16383]);
+    if (op == 0) {
+      acc += v;
+    } else if (op == 1) {
+      acc = (acc * v) & 0xffff;
+    } else {
+      acc -= v;
+    }
+    args = cdr_[args & 16383];
+  }
+  return acc;
+}
+
+int main() {
+  seed = 2024;
+  nfiles = %d;
+  depth = 5;
+  // initial load, as xlisp loads init.lsp before entering batch mode
+  int init_expr = xlload(99);
+  result_buf[255] = xleval(init_expr);
+  // C2: the batch loop over input files.
+  for (int f = 0; f < nfiles; f++) {
+    int e = xlload(f);
+    result_buf[f & 255] = xleval(e);
+  }
+  print(load_count);
+  print(result_buf[0]);
+  return 0;
+}
+|}
+    scale
+
+let workload =
+  {
+    Workload.name = "130.li";
+    description = "XLisp-style cons-heap loader and evaluator in batch mode";
+    source;
+    default_scale = 300;
+    test_scale = 30;
+    sites = [];
+    prior_work_site =
+      Some
+        {
+          Workload.site_name = "batch loop in main (C2 of Fig. 6d)";
+          locate = Workload.loop_in "main" ~nth:0;
+          privatize = [ "car_"; "cdr_"; "tag_"; "val_"; "hp"; "hp_base" ];
+          reduce = [ "seed"; "load_count" ];
+          spawn_overhead = None;
+        };
+  }

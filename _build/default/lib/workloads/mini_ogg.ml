@@ -1,0 +1,122 @@
+(* Mini-C re-implementation of the dependence structure of oggenc-1.0.1
+   (paper §IV-B2, Tables IV and V).
+
+   The paper's profile of the main loop over input files found 6
+   violating static RAW dependences, among them the [errors] flag and a
+   running count of samples read; the parallel version gave every thread
+   a local errors flag and sample count and achieved 3.95x on 4 files /
+   4 threads. We mirror that: a per-file encode (windowed MDCT-style
+   transform + quantization, the heavy part), shared [errors] /
+   [samples_read] / [packets_out] counters chaining across files, and a
+   serial PRNG standing in for the WAV reader. *)
+
+let source ~scale =
+  Printf.sprintf
+    {|// mini-oggenc: per-file windowed transform encoder.
+int samples[4096];
+int window_lut[64];
+int spectrum[64];
+int outbuf[16384];
+int outcnt;
+int errors;
+int samples_read;
+int packets_out;
+int granulepos;
+int seed;
+int nfiles;
+int fsamples;
+
+int rnd(int m) {
+  seed = (seed * 1103515 + 12345) & 0x7ffffff;
+  return seed %% m;
+}
+
+// Read one file's samples from the "WAV reader" (serial source).
+int read_wav(int f) {
+  int n = 0;
+  for (int i = 0; i < fsamples; i++) {
+    samples[i & 4095] = rnd(65536) - 32768;
+    n++;
+  }
+  samples_read += n;
+  return n;
+}
+
+// Encode one frame of 64 samples: windowed transform + quantization.
+void encode_frame(int base) {
+  for (int k = 0; k < 64; k++) {
+    int acc = 0;
+    for (int j = 0; j < 64; j++) {
+      int s = samples[(base + j) & 4095];
+      acc += s * window_lut[(k * j) & 63];
+    }
+    spectrum[k] = acc >> 6;
+  }
+  int nz = 0;
+  for (int k = 0; k < 64; k++) {
+    int q = spectrum[k] >> 9;
+    if (q != 0) {
+      outbuf[outcnt & 16383] = q & 255;
+      outcnt++;
+      nz++;
+    }
+  }
+  if (nz == 0) {
+    errors = errors | 1;
+  }
+  granulepos += 64;
+  packets_out++;
+}
+
+// Encode one file.
+void encode_file(int f) {
+  int got = read_wav(f);
+  if (got <= 0) {
+    errors = errors | 2;
+    return;
+  }
+  int frames = got / 64;
+  for (int fr = 0; fr < frames; fr++) {
+    encode_frame(fr * 64);
+  }
+}
+
+int main() {
+  seed = 31337;
+  nfiles = %d;
+  fsamples = %d;
+  for (int i = 0; i < 64; i++) {
+    window_lut[i] = ((i * 37) %% 127) - 63;
+  }
+  // the paper's main loop over the files being encoded (line 802-analog)
+  for (int f = 0; f < nfiles; f++) {
+    encode_file(f);
+  }
+  print(outcnt);
+  print(samples_read);
+  print(errors);
+  return 0;
+}
+|}
+    4 scale
+
+let workload =
+  {
+    Workload.name = "ogg";
+    description = "oggenc-style per-file windowed transform encoder";
+    source;
+    default_scale = 1_600;
+    test_scale = 256;
+    sites =
+      [
+        {
+          Workload.site_name = "loop over files in main (802-analog)";
+          locate = Workload.loop_in "main" ~nth:1;
+          privatize = [ "errors"; "samples"; "spectrum" ];
+          reduce =
+            [ "samples_read"; "packets_out"; "granulepos"; "outcnt"; "seed" ];
+          spawn_overhead = None;
+        };
+      ];
+    prior_work_site = None;
+  }

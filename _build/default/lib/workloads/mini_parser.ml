@@ -1,0 +1,153 @@
+(* Mini-C re-implementation of the dependence structure of SPEC 197.parser
+   (paper §IV-B1, Fig. 6(c)).
+
+   Fig. 6(c)'s three named constructs:
+   - C1: the loop in [read_dictionary] — the largest construct (sorted
+     dictionary insertion is quadratic), with very few violating RAW
+     chains, all through the serial "file reader" state ([fpos], [seed],
+     [dict_count]). The paper could not parallelize it because the real
+     one is I/O bound; our EXPERIMENTS.md notes that I/O-boundness is
+     outside the simulation model, and we reproduce the ranking instead;
+   - C2: [read_entry] — same size profile as C1, one call per entry;
+   - C3: the sentence-processing loop (the paper's loop at line 1302,
+     which prior work parallelized): per-sentence tokenize + dictionary
+     lookups + an O(len^2) linkage pass; its cross-iteration chains are
+     the sentence reader and the statistics accumulators. *)
+
+let source ~scale =
+  Printf.sprintf
+    {|// mini-parser: dictionary reader + sentence linkage loop.
+int dict_words[8192];
+int dict_count;
+int fpos;
+int sent_buf[64];
+int stats_matched;
+int stats_unmatched;
+int stats_links;
+int sentences_done;
+int seed;
+int ndict;
+int nsent;
+int sent_len;
+
+int rnd(int m) {
+  seed = (seed * 1103515 + 12345) & 0x7ffffff;
+  return seed %% m;
+}
+
+// Read one word from the "dictionary file" (serial reader chain).
+int read_word() {
+  fpos++;
+  return rnd(99991) + 1;
+}
+
+// Insert one entry into the sorted dictionary (197.parser keeps its
+// dictionary ordered; insertion shifts the tail).
+int read_entry() {
+  int w = read_word();
+  int i = dict_count;
+  while (i > 0 && dict_words[i - 1] > w) {
+    dict_words[i] = dict_words[i - 1];
+    i--;
+  }
+  dict_words[i] = w;
+  dict_count++;
+  return w;
+}
+
+// C1: the dictionary-reading loop.
+void read_dictionary() {
+  for (int k = 0; k < ndict; k++) {
+    read_entry();
+  }
+}
+
+// Binary search over the sorted dictionary (read-only at parse time).
+int lookup(int w) {
+  int lo = 0;
+  int hi = dict_count - 1;
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    if (dict_words[mid] == w) {
+      return mid;
+    }
+    if (dict_words[mid] < w) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return -1;
+}
+
+// Parse one sentence: fill the token buffer, look every word up, then
+// run the O(len^2) linkage compatibility pass.
+void parse_sentence() {
+  for (int i = 0; i < sent_len; i++) {
+    sent_buf[i & 63] = rnd(99991) + 1;
+  }
+  int found = 0;
+  for (int i = 0; i < sent_len; i++) {
+    if (lookup(sent_buf[i & 63]) >= 0) {
+      found++;
+    }
+  }
+  int links = 0;
+  for (int i = 0; i < sent_len; i++) {
+    for (int j = i + 1; j < sent_len; j++) {
+      int a = sent_buf[i & 63];
+      int b = sent_buf[j & 63];
+      if (((a ^ b) & 7) == 0) {
+        links++;
+      }
+    }
+  }
+  stats_matched += found;
+  stats_unmatched += sent_len - found;
+  stats_links += links;
+  sentences_done++;
+}
+
+int main() {
+  seed = 777;
+  ndict = %d;
+  nsent = %d;
+  sent_len = 24;
+  read_dictionary();
+  // C3: the batch sentence loop (the paper's loop at line 1302).
+  for (int s = 0; s < nsent; s++) {
+    parse_sentence();
+  }
+  print(stats_matched);
+  print(stats_links);
+  print(dict_count);
+  return 0;
+}
+|}
+    scale (scale / 8)
+
+let workload =
+  {
+    Workload.name = "197.parser";
+    description = "dictionary reader + per-sentence linkage loop (SPEC95)";
+    source;
+    default_scale = 1_600;
+    test_scale = 240;
+    sites = [];
+    prior_work_site =
+      Some
+        {
+          Workload.site_name = "sentence loop in main (line 1302-analog, C3)";
+          locate = Workload.loop_in "main" ~nth:0;
+          privatize = [ "sent_buf" ];
+          reduce =
+            [
+              "stats_matched";
+              "stats_unmatched";
+              "stats_links";
+              "sentences_done";
+              "seed";
+            ];
+          spawn_overhead = None;
+        };
+  }

@@ -1,0 +1,169 @@
+(* Mini-C re-implementation of the dependence structure of par2cmdline
+   (paper §IV-B2, Tables IV and V).
+
+   Par2 creates recovery data with GF(256) Reed-Solomon coding. The two
+   sites the paper parallelized:
+   - the loop in Par2Creator::OpenSourceFiles (489-analog): per source
+     file, read and hash the contents; the paper's profile showed exactly
+     one violating static RAW — a conflict when a file is closed — fixed
+     by moving file closing after the join. We mirror it with the shared
+     [open_files] counter updated at each close;
+   - the loop in Par2Creator::ProcessData (887-analog): one output
+     (recovery) block per iteration, each accumulating
+     [gfmul(coeff(ob,ib), input(ib))] over all input blocks into its own
+     slice — no violating RAW at all.
+
+   GF(256) arithmetic uses the standard log/antilog tables over the
+   0x11d polynomial, built once at startup. *)
+
+let source ~scale =
+  Printf.sprintf
+    {|// mini-par2: GF(256) Reed-Solomon recovery-block creator.
+int gflog[256];
+int gfexp[512];
+int filedata[8192];
+int file_hash[64];
+int file_len[64];
+int open_files;
+int input_blocks[4096];
+int recovery[4096];
+int nfiles;
+int block_len;
+int nrec;
+int progress;
+int seed;
+
+int rnd(int m) {
+  seed = (seed * 1103515 + 12345) & 0x7ffffff;
+  return seed %% m;
+}
+
+// Build GF(256) log/antilog tables for polynomial 0x11d.
+void gf_init() {
+  int x = 1;
+  for (int i = 0; i < 255; i++) {
+    gfexp[i] = x;
+    gflog[x] = i;
+    x = x << 1;
+    if (x & 256) {
+      x = (x ^ 0x11d) & 255;
+    }
+  }
+  for (int i = 255; i < 512; i++) {
+    gfexp[i] = gfexp[i - 255];
+  }
+}
+
+int gfmul(int a, int b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  return gfexp[gflog[a & 255] + gflog[b & 255]];
+}
+
+// Read and hash one source file; closing bumps the shared counter (the
+// paper's one violating RAW on this loop).
+void open_one_file(int f) {
+  int h = 0;
+  for (int i = 0; i < block_len * 4; i++) {
+    int b = rnd(256);
+    filedata[i & 8191] = b;
+    h = (h * 31 + b) & 0xffffff;
+  }
+  // full-file verification hash (par2 hashes each source file with MD5
+  // both per 16k block and whole-file; this is the dominant serial cost
+  // of creation besides the Reed-Solomon pass)
+  for (int pass = 0; pass < 3; pass++) {
+    for (int i = 0; i < block_len * 4; i++) {
+      int b = filedata[i & 8191];
+      h = (h * 33 + (b ^ (h >> 11)) + pass) & 0xffffff;
+      h = (h + ((b << 7) ^ (h >> 5))) & 0xffffff;
+    }
+    file_hash[(f * 4 + pass) & 63] = h;
+  }
+  file_hash[f & 63] = h;
+  file_len[f & 63] = block_len * 4;
+  // slice this file into input blocks
+  for (int k = 0; k < 4; k++) {
+    for (int i = 0; i < block_len; i++) {
+      input_blocks[((f * 4 + k) * block_len + i) & 4095] =
+          filedata[(k * block_len + i) & 8191];
+    }
+  }
+  open_files++;   // file close bookkeeping: the shared conflict
+}
+
+// The OpenSourceFiles loop (489-analog).
+void open_source_files() {
+  for (int f = 0; f < nfiles; f++) {
+    open_one_file(f);
+  }
+}
+
+// The ProcessData loop (887-analog): one recovery block per iteration.
+void process_data() {
+  int nin = nfiles * 4;
+  for (int ob = 0; ob < nrec; ob++) {
+    for (int i = 0; i < block_len; i++) {
+      recovery[(ob * block_len + i) & 4095] = 0;
+    }
+    for (int ib = 0; ib < nin; ib++) {
+      int coeff = gfexp[((ob + 1) * (ib + 1)) %% 255];
+      for (int i = 0; i < block_len; i++) {
+        recovery[(ob * block_len + i) & 4095] =
+            recovery[(ob * block_len + i) & 4095]
+            ^ gfmul(coeff, input_blocks[(ib * block_len + i) & 4095]);
+      }
+    }
+    progress++;   // the progress display par2 updates per output block
+  }
+}
+
+int main() {
+  seed = 555;
+  nfiles = 4;
+  block_len = %d;
+  nrec = 8;
+  gf_init();
+  open_source_files();
+  process_data();
+  // verify the first recovery block only (written at loop start, so the
+  // read's distance exceeds any iteration duration)
+  int check = 0;
+  for (int i = 0; i < block_len; i++) {
+    check ^= recovery[i & 4095];
+  }
+  print(check);
+  print(open_files);
+  print(progress);
+  return 0;
+}
+|}
+    scale
+
+let workload =
+  {
+    Workload.name = "par2";
+    description = "GF(256) Reed-Solomon recovery-block creation (par2cmdline)";
+    source;
+    default_scale = 96;
+    test_scale = 24;
+    sites =
+      [
+        {
+          Workload.site_name = "loop in Par2Creator::ProcessData (887-analog)";
+          locate = Workload.loop_in "process_data" ~nth:0;
+          privatize = [];
+          reduce = [ "progress" ];
+          spawn_overhead = None;
+        };
+        {
+          Workload.site_name = "loop in Par2Creator::OpenSourceFiles (489-analog)";
+          locate = Workload.loop_in "open_source_files" ~nth:0;
+          privatize = [ "filedata" ];
+          reduce = [ "open_files"; "seed" ];
+          spawn_overhead = None;
+        };
+      ];
+    prior_work_site = None;
+  }

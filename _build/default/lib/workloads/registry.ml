@@ -1,0 +1,14 @@
+let all =
+  [
+    Mini_parser.workload;
+    Mini_bzip2.workload;
+    Mini_gzip.workload;
+    Mini_lisp.workload;
+    Mini_ogg.workload;
+    Aes_ctr.workload;
+    Par2.workload;
+    Delaunay.workload;
+  ]
+
+let find name = List.find (fun (w : Workload.t) -> w.name = name) all
+let names = List.map (fun (w : Workload.t) -> w.Workload.name) all

@@ -1,0 +1,10 @@
+(** The benchmark registry: the eight Table III rows. *)
+
+val all : Workload.t list
+(** In Table III order: 197.parser, bzip2, gzip-1.3.5, 130.li, ogg, aes,
+    par2, delaunay. *)
+
+val find : string -> Workload.t
+(** Look up by Table III name. @raise Not_found for unknown names. *)
+
+val names : string list

@@ -1,0 +1,49 @@
+type site = {
+  site_name : string;
+  locate : Vm.Program.t -> int;
+  privatize : string list;
+  reduce : string list;
+  spawn_overhead : int option;
+}
+
+type t = {
+  name : string;
+  description : string;
+  source : scale:int -> string;
+  default_scale : int;
+  test_scale : int;
+  sites : site list;
+  prior_work_site : site option;
+}
+
+let loop_at line prog = Parsim.Speedup.loop_head_at_line prog line
+
+let loop_in fname ~nth (prog : Vm.Program.t) =
+  let f =
+    match Vm.Program.find_func prog fname with
+    | Some f -> f
+    | None -> invalid_arg (Printf.sprintf "Workload.loop_in: no function %s" fname)
+  in
+  let loops =
+    Array.to_list prog.constructs
+    |> List.filter (fun (c : Vm.Program.construct_info) ->
+           c.kind = Vm.Program.CLoop && c.fid = f.fid)
+    |> List.sort (fun (a : Vm.Program.construct_info) b ->
+           compare a.head_pc b.head_pc)
+  in
+  match List.nth_opt loops nth with
+  | Some c -> c.head_pc
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Workload.loop_in: %s has %d loops, wanted #%d" fname
+           (List.length loops) nth)
+
+let proc name prog = Parsim.Speedup.proc_head prog name
+
+let compile t ~scale =
+  match Minic.Frontend.load_result (t.source ~scale) with
+  | Ok ast -> Vm.Compile.compile ast
+  | Error msg ->
+      invalid_arg (Printf.sprintf "workload %s does not compile: %s" t.name msg)
+
+let loc t = Minic.Frontend.count_loc (t.source ~scale:t.default_scale)

@@ -1,0 +1,46 @@
+(** The benchmark-suite interface.
+
+    Each workload is a Mini-C re-implementation of the dependence
+    structure of one Table III benchmark (see DESIGN.md §2 for the
+    substitution argument). A workload provides its source at a given
+    [scale] (input size), the parallelization {e sites} the paper's §IV-B
+    studied (with the privatizations its authors applied), and the
+    construct the prior-work comparison of §IV-B1 parallelized, if any. *)
+
+type site = {
+  site_name : string;  (** e.g. ["loop over files in main"] *)
+  locate : Vm.Program.t -> int;  (** head pc of the construct *)
+  privatize : string list;  (** globals privatized by the manual transform *)
+  reduce : string list;  (** accumulators rewritten as reductions *)
+  spawn_overhead : int option;
+      (** per-task dispatch cost override for the Table V simulation;
+          [None] uses the scheduler default. Set only for aes, whose
+          16-byte-block tasks make pthread dispatch the first-order cost
+          (the paper's modest 1.63x) — see EXPERIMENTS.md. *)
+}
+
+type t = {
+  name : string;  (** Table III row name, e.g. ["gzip-1.3.5"] *)
+  description : string;
+  source : scale:int -> string;  (** Mini-C source at an input size *)
+  default_scale : int;  (** used by Table III / Fig. 6 reproductions *)
+  test_scale : int;  (** small scale for unit tests *)
+  sites : site list;  (** Table IV rows (may be empty) *)
+  prior_work_site : site option;  (** §IV-B1 comparison construct *)
+}
+
+val loop_at : int -> Vm.Program.t -> int
+(** Site locator: loop construct headed at a source line. *)
+
+val loop_in : string -> nth:int -> Vm.Program.t -> int
+(** Site locator: the [nth] loop (0-based, in code order, outer loops
+    first) of the named function — robust against template reflow. *)
+
+val proc : string -> Vm.Program.t -> int
+(** Site locator: procedure construct by name. *)
+
+val compile : t -> scale:int -> Vm.Program.t
+(** Frontend + compiler, with workload-qualified error messages. *)
+
+val loc : t -> int
+(** Non-comment source lines at the default scale (Table III LOC column). *)

@@ -1,0 +1,1 @@
+test/test_advice.ml: Alchemist Alcotest Array Format Hashtbl List Option Parsim Printf Shadow String Testutil Vm Workloads

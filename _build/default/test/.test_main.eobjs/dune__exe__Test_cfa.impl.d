@@ -1,0 +1,1 @@
+test/test_cfa.ml: Alcotest Array Cfa List Option Printf Vm

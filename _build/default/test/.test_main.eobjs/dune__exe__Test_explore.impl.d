@@ -1,0 +1,1 @@
+test/test_explore.ml: Alchemist Alcotest Driver Format List Option Parsim Printf String Vm Workloads

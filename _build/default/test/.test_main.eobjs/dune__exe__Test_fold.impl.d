@@ -1,0 +1,1 @@
+test/test_fold.ml: Alcotest Array List Minic Printf QCheck Testgen Vm

@@ -1,0 +1,1 @@
+test/test_indexing.ml: Alcotest Cfa Indexing List Minic Option Printf QCheck Vm

@@ -1,0 +1,1 @@
+test/test_minic_extra.ml: Alcotest Array List Minic Printf String Vm

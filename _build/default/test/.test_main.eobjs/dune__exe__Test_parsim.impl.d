@@ -1,0 +1,1 @@
+test/test_parsim.ml: Alcotest Array Format List Parsim Printf String Testutil Vm

@@ -1,0 +1,1 @@
+test/test_profile_io.ml: Alchemist Alcotest Array Filename Fun Hashtbl List Printf Result Sys Testutil Vm

@@ -1,0 +1,1 @@
+test/test_profiler.ml: Alchemist Alcotest Array Hashtbl List Minic Option Printf Shadow Testutil Vm

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alchemist Array Baselines Cfa Hashtbl List Minic Option Parsim Printf QCheck Shadow Testgen Vm

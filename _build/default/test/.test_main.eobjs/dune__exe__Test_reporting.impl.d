@@ -1,0 +1,1 @@
+test/test_reporting.ml: Alchemist Alcotest Array Format Hashtbl Indexing List Option Parsim Printf Shadow Testutil Vm

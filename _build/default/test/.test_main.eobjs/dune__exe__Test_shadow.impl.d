@@ -1,0 +1,1 @@
+test/test_shadow.ml: Alcotest Array Indexing List QCheck Shadow

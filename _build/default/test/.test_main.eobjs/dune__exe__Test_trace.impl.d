@@ -1,0 +1,1 @@
+test/test_trace.ml: Alchemist Alcotest Printf QCheck Testgen Vm

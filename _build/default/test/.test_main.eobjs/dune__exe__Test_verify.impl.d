@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Array List Printf QCheck Testgen Vm Workloads

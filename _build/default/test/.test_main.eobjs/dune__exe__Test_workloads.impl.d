@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alchemist Alcotest Cfa Indexing List Option Parsim Printf Shadow String Testutil Vm Workloads

@@ -1,0 +1,1 @@
+test/testgen.ml: List Minic Printf QCheck

@@ -1,0 +1,140 @@
+(* Tests for the baseline profilers, including the paper's §III argument
+   that calling-context sensitivity cannot separate loop-boundary cases. *)
+
+module Flat = Baselines.Flat_profiler
+module Ctx = Baselines.Context_profiler
+
+let compile = Vm.Compile.compile_source
+
+(* The paper's example: F(){ for i { for j { A(); B(); } } } with four
+   dependence flavours between A and B. *)
+let section3_src =
+  {|int same[4];
+    int crossj[4];
+    int crossi[4];
+    void A(int i, int j) {
+      same[0] = i;
+      crossj[j % 2] = i + j;
+      crossi[i % 2] = i;
+    }
+    int sink;
+    void B(int i, int j) {
+      sink += same[0];
+      if (j > 0) sink += crossj[(j + 1) % 2];
+      sink += crossi[(i + 1) % 2];
+    }
+    void F() {
+      for (int i = 0; i < 4; i++) {
+        crossj[0] = 0;
+        crossj[1] = 0;
+        for (int j = 0; j < 4; j++) {
+          A(i, j);
+          B(i, j);
+        }
+      }
+    }
+    int main() { F(); F(); return sink; }|}
+
+let test_flat_detects_pairs () =
+  let prog = compile section3_src in
+  let r = Flat.run prog in
+  (* All three writes in A produce RAW edges to B's reads. *)
+  let raw_head_lines =
+    r.Flat.edges
+    |> List.filter (fun (e : Flat.edge) -> e.kind = `Raw)
+    |> List.map (fun (e : Flat.edge) -> Vm.Program.line_of_pc prog e.head_pc)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "head line 5" true (List.mem 5 raw_head_lines);
+  Alcotest.(check bool) "head line 6" true (List.mem 6 raw_head_lines);
+  Alcotest.(check bool) "head line 7" true (List.mem 7 raw_head_lines)
+
+let test_flat_min_distance_positive () =
+  let prog = compile section3_src in
+  let r = Flat.run prog in
+  List.iter
+    (fun (e : Flat.edge) ->
+      Alcotest.(check bool) "positive distance" true (e.min_distance > 0);
+      Alcotest.(check bool) "count >= 1" true (e.count >= 1))
+    r.Flat.edges
+
+(* The flat profiler is construct-blind: the three dependence flavours all
+   collapse to one entry per static pair — nothing tells the user whether
+   the i loop or only the j loop carries them. We check this by observing
+   that it produces exactly one edge per (head line, tail line, kind). *)
+let test_flat_collapses () =
+  let prog = compile section3_src in
+  let r = Flat.run prog in
+  let key (e : Flat.edge) =
+    (Vm.Program.line_of_pc prog e.head_pc, Vm.Program.line_of_pc prog e.tail_pc, e.kind)
+  in
+  let keys = List.map key r.Flat.edges in
+  Alcotest.(check int) "no duplicate static entries"
+    (List.length (List.sort_uniq compare keys))
+    (List.length keys)
+
+(* Context sensitivity: A and B are always called from the same chain
+   (main -> F -> A/B appears twice: two F call sites? No - F called twice
+   from the same static call site, so ONE context). All four flavours of
+   the A->B dependence carry the same context id: the §III claim. *)
+let test_context_collapses_loop_cases () =
+  let prog = compile section3_src in
+  let r = Ctx.run prog in
+  (* Pick the crossj RAW pair: write line 6 -> read line 12. *)
+  let head_pc_of_line line kind =
+    r.Ctx.edges
+    |> List.filter_map (fun (e : Ctx.edge) ->
+           if Vm.Program.line_of_pc prog e.head_pc = line && e.kind = kind then
+             Some (e.head_pc, e.tail_pc)
+           else None)
+  in
+  match head_pc_of_line 6 `Raw with
+  | (head_pc, tail_pc) :: _ ->
+      let ctxs = Ctx.contexts_of_pair r ~head_pc ~tail_pc in
+      (* A is reached via the single chain main->F->A: one context only,
+         despite the dependence crossing j, i, or neither. *)
+      Alcotest.(check int) "single calling context" 1 (List.length ctxs)
+  | [] -> Alcotest.fail "crossj RAW edge not found"
+
+(* But context sensitivity does distinguish distinct call CHAINS — sanity
+   check that it is not weaker than it should be. *)
+let test_context_distinguishes_call_sites () =
+  let src =
+    {|int g;
+      void w() { g = 1; }
+      void from_a() { w(); g += 1; }
+      void from_b() { w(); g += 2; }
+      int main() { from_a(); from_b(); return g; }|}
+  in
+  let prog = compile src in
+  let r = Ctx.run prog in
+  (* The write in w() heads edges under two different contexts. *)
+  let ctxs =
+    r.Ctx.edges
+    |> List.filter_map (fun (e : Ctx.edge) ->
+           if Vm.Program.line_of_pc prog e.head_pc = 2 then Some e.head_ctx
+           else None)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "two contexts (got %d)" (List.length ctxs))
+    true
+    (List.length ctxs >= 2)
+
+let test_context_chains_recorded () =
+  let prog = compile section3_src in
+  let r = Ctx.run prog in
+  Alcotest.(check bool) "has contexts" true (List.length r.Ctx.contexts >= 3);
+  (* Root context exists with empty chain. *)
+  Alcotest.(check bool) "root" true
+    (List.exists (fun (id, chain) -> id = 0 && chain = []) r.Ctx.contexts)
+
+let suite =
+  [
+    ("flat detects pairs", `Quick, test_flat_detects_pairs);
+    ("flat min distance positive", `Quick, test_flat_min_distance_positive);
+    ("flat collapses constructs", `Quick, test_flat_collapses);
+    ("context collapses loop cases", `Quick, test_context_collapses_loop_cases);
+    ("context distinguishes call sites", `Quick, test_context_distinguishes_call_sites);
+    ("context chains recorded", `Quick, test_context_chains_recorded);
+  ]

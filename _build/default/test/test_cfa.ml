@@ -1,0 +1,302 @@
+(* Tests for the control-flow analysis substrate: CFG construction,
+   dominators, post-dominators, natural loops, and per-predicate ipdom. *)
+
+module Program = Vm.Program
+module Instr = Vm.Instr
+
+let compile src = Vm.Compile.compile_source src
+
+let cfg_of src fname =
+  let prog = compile src in
+  let f = Option.get (Program.find_func prog fname) in
+  (prog, Cfa.Cfg.build prog f)
+
+(* --- CFG shape ------------------------------------------------------------ *)
+
+let test_cfg_straightline () =
+  let _, cfg = cfg_of "int main() { int x = 1; int y = 2; return x + y; }" "main" in
+  (* Straight-line code: entry block flows into the epilogue block (the
+     explicit return jumps directly to the Ret). *)
+  Alcotest.(check bool) "few blocks" true (Array.length cfg.Cfa.Cfg.blocks <= 3);
+  Alcotest.(check bool) "exit exists" true (cfg.Cfa.Cfg.exit_bid >= 0)
+
+let test_cfg_if_diamond () =
+  let _, cfg =
+    cfg_of "int main() { int x = 0; if (x) { x = 1; } else { x = 2; } return x; }"
+      "main"
+  in
+  let blocks = cfg.Cfa.Cfg.blocks in
+  (* Find the block ending in the BrIf: it must have two successors. *)
+  let br_block =
+    Array.to_list blocks
+    |> List.find (fun (b : Cfa.Cfg.block) ->
+           match (compile "int main() { return 0; }").Program.code with
+           | _ -> b.succs |> List.length = 2)
+  in
+  Alcotest.(check int) "diamond branch" 2 (List.length br_block.Cfa.Cfg.succs)
+
+let test_cfg_all_pcs_covered () =
+  let prog, cfg =
+    cfg_of
+      {| int main() {
+           int s = 0;
+           for (int i = 0; i < 4; i++) { if (i % 2) s += i; else s -= i; }
+           while (s > 0) { s--; if (s == 1) break; }
+           return s;
+         } |}
+      "main"
+  in
+  let f = cfg.Cfa.Cfg.func in
+  ignore prog;
+  for pc = f.Program.entry to f.Program.code_end - 1 do
+    let b = Cfa.Cfg.block_at cfg pc in
+    Alcotest.(check bool) "pc within its block" true
+      (pc >= b.Cfa.Cfg.first && pc <= b.Cfa.Cfg.last)
+  done
+
+let test_cfg_succ_pred_symmetry () =
+  let _, cfg =
+    cfg_of
+      "int main() { int s = 0; do { s++; if (s > 3) continue; s += 2; } while (s < 10); return s; }"
+      "main"
+  in
+  Array.iter
+    (fun (b : Cfa.Cfg.block) ->
+      List.iter
+        (fun s ->
+          let sb = cfg.Cfa.Cfg.blocks.(s) in
+          Alcotest.(check bool)
+            (Printf.sprintf "b%d -> b%d has back pred" b.bid s)
+            true
+            (List.mem b.bid sb.Cfa.Cfg.preds))
+        b.Cfa.Cfg.succs)
+    cfg.Cfa.Cfg.blocks
+
+(* --- dominance -------------------------------------------------------------- *)
+
+let test_dominators_diamond () =
+  let _, cfg =
+    cfg_of "int main() { int x = 0; if (x) { x = 1; } else { x = 2; } return x; }"
+      "main"
+  in
+  let dom = Cfa.Dominance.of_cfg cfg in
+  (* Entry dominates everything reachable. *)
+  Array.iter
+    (fun (b : Cfa.Cfg.block) ->
+      if dom.Cfa.Dominance.idom.(b.bid) <> -1 then
+        Alcotest.(check bool)
+          (Printf.sprintf "entry dom b%d" b.bid)
+          true
+          (Cfa.Dominance.dominates dom cfg.Cfa.Cfg.entry_bid b.bid))
+    cfg.Cfa.Cfg.blocks
+
+let test_postdominators_exit () =
+  let _, cfg =
+    cfg_of
+      "int main() { int s = 0; for (int i = 0; i < 3; i++) { if (i) s++; } return s; }"
+      "main"
+  in
+  let pdom = Cfa.Dominance.postdom_of_cfg cfg in
+  Array.iter
+    (fun (b : Cfa.Cfg.block) ->
+      if pdom.Cfa.Dominance.idom.(b.bid) <> -1 then
+        Alcotest.(check bool)
+          (Printf.sprintf "exit pdoms b%d" b.bid)
+          true
+          (Cfa.Dominance.dominates pdom cfg.Cfa.Cfg.exit_bid b.bid))
+    cfg.Cfa.Cfg.blocks
+
+let test_dominates_reflexive_antisym () =
+  let _, cfg =
+    cfg_of "int main() { int x = 0; while (x < 5) { x++; } return x; }" "main"
+  in
+  let dom = Cfa.Dominance.of_cfg cfg in
+  Array.iter
+    (fun (b : Cfa.Cfg.block) ->
+      Alcotest.(check bool) "reflexive" true (Cfa.Dominance.dominates dom b.bid b.bid))
+    cfg.Cfa.Cfg.blocks
+
+(* --- loops ------------------------------------------------------------------ *)
+
+let loops_of src =
+  let _, cfg = cfg_of src "main" in
+  let dom = Cfa.Dominance.of_cfg cfg in
+  (cfg, Cfa.Loops.analyze cfg dom)
+
+let test_single_loop () =
+  let _, loops = loops_of "int main() { int i = 0; while (i < 9) i++; return i; }" in
+  Alcotest.(check int) "one loop" 1 (Array.length loops.Cfa.Loops.loops)
+
+let test_nested_loops () =
+  let _, loops =
+    loops_of
+      "int main() { int s = 0; for (int i = 0; i < 3; i++) { for (int j = 0; j < 3; j++) { s++; } } return s; }"
+  in
+  Alcotest.(check int) "two loops" 2 (Array.length loops.Cfa.Loops.loops);
+  let max_depth = Array.fold_left max 0 loops.Cfa.Loops.depth in
+  Alcotest.(check int) "nesting depth 2" 2 max_depth
+
+let test_do_while_loop () =
+  let _, loops = loops_of "int main() { int i = 0; do { i++; } while (i < 5); return i; }" in
+  Alcotest.(check int) "one loop" 1 (Array.length loops.Cfa.Loops.loops)
+
+let test_loop_with_break_continue () =
+  let _, loops =
+    loops_of
+      "int main() { int s = 0; for (int i = 0; i < 10; i++) { if (i == 5) break; if (i % 2) continue; s += i; } return s; }"
+  in
+  Alcotest.(check int) "one loop" 1 (Array.length loops.Cfa.Loops.loops)
+
+(* --- analysis: ipdom per predicate ------------------------------------------ *)
+
+let test_ipdom_assigned () =
+  let prog =
+    compile
+      {| int f(int n) {
+           int s = 0;
+           for (int i = 0; i < n; i++) {
+             if (i % 3 == 0) { s += i; if (s > 50) break; }
+             else { while (s % 2 == 0 && s > 0) s /= 2; }
+           }
+           do { s--; } while (s > 10);
+           return s;
+         }
+         int main() { return f(40); } |}
+  in
+  let a = Cfa.Analysis.analyze prog in
+  Array.iteri
+    (fun pc instr ->
+      if Instr.is_predicate instr then begin
+        let ip = a.Cfa.Analysis.ipdom_of_pc.(pc) in
+        Alcotest.(check bool) (Printf.sprintf "ipdom(%d) assigned" pc) true (ip >= 0);
+        Alcotest.(check bool) (Printf.sprintf "ipdom(%d) <> pc" pc) true (ip <> pc)
+      end
+      else
+        Alcotest.(check int)
+          (Printf.sprintf "non-predicate %d has no ipdom" pc)
+          (-1)
+          a.Cfa.Analysis.ipdom_of_pc.(pc))
+    prog.Program.code
+
+let test_ipdom_while_is_exit () =
+  (* For a while loop, the predicate's ipdom must be the first pc after the
+     loop: executing it must close the last iteration. We verify at runtime:
+     track that between the predicate's last execution and reaching the
+     ipdom pc, the loop is done. Statically: ipdom pc > all body pcs. *)
+  let prog = compile "int main() { int i = 0; while (i < 3) { i++; } return i; }" in
+  let a = Cfa.Analysis.analyze prog in
+  let br_pc = ref (-1) in
+  Array.iteri
+    (fun pc i -> if Instr.is_predicate i then br_pc := pc)
+    prog.Program.code;
+  let ip = a.Cfa.Analysis.ipdom_of_pc.(!br_pc) in
+  Alcotest.(check bool) "ipdom after loop body" true (ip > !br_pc)
+
+let test_validate_clean () =
+  let srcs =
+    [
+      "int main() { return 0; }";
+      "int main() { int s = 0; for (int i = 0; i < 9; i++) if (i % 2) s++; return s; }";
+      "int f(int n) { if (n < 2) return n; return f(n-1) + f(n-2); } int main() { return f(10); }";
+      "int main() { int i = 0; while (1) { i++; if (i > 4) break; } return i; }";
+      "int main() { int s = 0; for (int i = 0; i < 5; i++) { if (i == 2) continue; if (i == 4) return s; s += i; } return -1; }";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let prog = compile src in
+      let a = Cfa.Analysis.analyze prog in
+      Alcotest.(check (list string)) "no discrepancies" [] (Cfa.Analysis.validate prog a))
+    srcs
+
+(* Runtime cross-check: simulate the indexing stack using ipdom facts and
+   verify it is balanced (every pushed predicate is popped exactly once,
+   LIFO) on a gnarly control-flow program. *)
+let test_ipdom_runtime_balance () =
+  let src =
+    {| int g;
+       int work(int n) {
+         int s = 0;
+         for (int i = 0; i < n; i++) {
+           if (i % 4 == 0) { s += i; if (s > 30) break; }
+           else if (i % 4 == 1) { continue; }
+           else { int j = 0; while (j < i) { j++; if (j == 3) break; } s += j; }
+         }
+         return s;
+       }
+       int main() {
+         for (int k = 0; k < 6; k++) g += work(k + 4);
+         return g;
+       } |}
+  in
+  let prog = compile src in
+  let a = Cfa.Analysis.analyze prog in
+  let stack = ref [] in
+  let pushes = ref 0 and pops = ref 0 in
+  let hooks =
+    {
+      Vm.Hooks.noop with
+      on_instr =
+        (fun ~pc ->
+          let rec pop_matching () =
+            match !stack with
+            | `Pred p :: rest when a.Cfa.Analysis.ipdom_of_pc.(p) = pc ->
+                stack := rest;
+                incr pops;
+                pop_matching ()
+            | _ -> ()
+          in
+          pop_matching ());
+      on_branch =
+        (fun ~pc ~kind ~cid:_ ~taken ->
+          match kind with
+          | Instr.BrSc -> ()
+          | Instr.BrIf ->
+              stack := `Pred pc :: !stack;
+              incr pushes
+          | Instr.BrLoop -> (
+              (match !stack with
+              | `Pred p :: rest when p = pc ->
+                  stack := rest;
+                  incr pops
+              | _ -> ());
+              if not taken then begin
+                stack := `Pred pc :: !stack;
+                incr pushes
+              end));
+      on_call = (fun ~pc:_ ~fid -> stack := `Func fid :: !stack);
+      on_ret =
+        (fun ~pc:_ ~fid ->
+          match !stack with
+          | `Func f :: rest when f = fid -> stack := rest
+          | `Func f :: _ ->
+              Alcotest.failf "on_ret fid mismatch: stack has %d, ret %d" f fid
+          | `Pred p :: _ ->
+              Alcotest.failf "on_ret with pending predicate at pc %d" p
+          | [] -> Alcotest.fail "on_ret on empty stack");
+    }
+  in
+  ignore (Vm.Machine.run_hooked hooks prog);
+  Alcotest.(check int) "balanced" !pops !pushes;
+  Alcotest.(check (list string)) "stack empty at halt"
+    []
+    (List.map (function `Pred p -> Printf.sprintf "pred@%d" p | `Func f -> Printf.sprintf "func%d" f) !stack)
+
+let suite =
+  [
+    ("cfg straightline", `Quick, test_cfg_straightline);
+    ("cfg if diamond", `Quick, test_cfg_if_diamond);
+    ("cfg pcs covered", `Quick, test_cfg_all_pcs_covered);
+    ("cfg succ/pred symmetry", `Quick, test_cfg_succ_pred_symmetry);
+    ("dominators diamond", `Quick, test_dominators_diamond);
+    ("postdominators exit", `Quick, test_postdominators_exit);
+    ("dominates reflexive", `Quick, test_dominates_reflexive_antisym);
+    ("single loop", `Quick, test_single_loop);
+    ("nested loops", `Quick, test_nested_loops);
+    ("do-while loop", `Quick, test_do_while_loop);
+    ("loop with break/continue", `Quick, test_loop_with_break_continue);
+    ("ipdom assigned", `Quick, test_ipdom_assigned);
+    ("ipdom while is exit", `Quick, test_ipdom_while_is_exit);
+    ("validate clean", `Quick, test_validate_clean);
+    ("ipdom runtime balance", `Quick, test_ipdom_runtime_balance);
+  ]

@@ -1,0 +1,129 @@
+(* Tests for the constant folder: behaviour preservation (including traps
+   and evaluation order) and actual simplification. *)
+
+module Fold = Minic.Fold
+
+let run_src src =
+  Vm.Machine.run ~fuel:5_000_000 (Vm.Compile.compile_source src)
+
+let run_folded src =
+  let ast = Minic.Frontend.load src in
+  let folded = Fold.program ast in
+  Minic.Typecheck.check folded;
+  Vm.Machine.run ~fuel:5_000_000 (Vm.Compile.compile folded)
+
+let check_same name src =
+  let a = run_src src and b = run_folded src in
+  Alcotest.(check int) (name ^ ": exit") a.Vm.Machine.exit_value
+    b.Vm.Machine.exit_value;
+  Alcotest.(check (list int)) (name ^ ": output") a.Vm.Machine.output
+    b.Vm.Machine.output
+
+let test_arith_folds () =
+  let ast = Minic.Frontend.load "int main() { return (2 + 3) * (10 - 6); }" in
+  let folded, n = Fold.stats ast in
+  Alcotest.(check bool) "some folds" true (n >= 2);
+  (* the body should now return a literal *)
+  let f = List.find (fun (f : Minic.Ast.func) -> f.fname = "main") folded.funcs in
+  match (List.hd f.fbody).sdesc with
+  | Minic.Ast.Return (Some { edesc = Minic.Ast.IntLit 20; _ }) -> ()
+  | _ -> Alcotest.fail "expected literal 20"
+
+let test_behaviour_preserved () =
+  check_same "arith" "int main() { print(2 * 3 + 4 / 2); return 1 << 4; }";
+  check_same "identities"
+    "int g = 7; int main() { return (g + 0) * 1 + (0 + g) - 0; }";
+  check_same "const if"
+    "int main() { if (1) print(10); else print(20); if (0) print(30); return 0; }";
+  check_same "const while" "int g; int main() { while (0) { g = 9; } return g; }";
+  check_same "const do-while"
+    "int g; int main() { do { g += 5; } while (0); return g; }";
+  check_same "const for"
+    "int g; int main() { for (g = 3; 0; g++) { g = 100; } return g; }";
+  check_same "shortcut and"
+    "int g; int f() { g = 1; return 1; } int main() { int r = 0 && f(); print(g); return r; }";
+  check_same "shortcut and true"
+    "int g; int f() { g = 1; return 7; } int main() { int r = 1 && f(); print(g); return r; }";
+  check_same "shortcut or"
+    "int g; int f() { g = 1; return 0; } int main() { int r = 1 || f(); print(g); return r; }";
+  check_same "shortcut or false"
+    "int g; int f() { g = 1; return 2; } int main() { int r = 0 || f(); print(g); return r; }"
+
+let test_trap_preserved () =
+  (* A literal division by zero must still trap after folding. *)
+  let src = "int main() { return 1 / 0; }" in
+  (match run_src src with
+  | exception Vm.Machine.Trap _ -> ()
+  | _ -> Alcotest.fail "original should trap");
+  (match run_folded src with
+  | exception Vm.Machine.Trap _ -> ()
+  | _ -> Alcotest.fail "folded should still trap");
+  (* ... but a trap behind a dead short-circuit stays dead. *)
+  check_same "dead trap" "int main() { int r = 0 && (1 / 0); return r; }"
+
+let test_dead_branch_constructs_disappear () =
+  let src =
+    {|int g;
+      int main() {
+        if (0) { for (int i = 0; i < 10; i++) g += i; }
+        if (1) { g = 5; } else { while (g < 100) g++; }
+        return g;
+      }|}
+  in
+  let plain = Vm.Compile.compile_source src in
+  let folded = Vm.Compile.compile (Fold.program (Minic.Frontend.load src)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer constructs (%d -> %d)"
+       (Array.length plain.Vm.Program.constructs)
+       (Array.length folded.Vm.Program.constructs))
+    true
+    (Array.length folded.Vm.Program.constructs
+    < Array.length plain.Vm.Program.constructs)
+
+let test_folded_programs_verify () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"folded generated programs verify + behave" ~count:50
+       Testgen.arbitrary_program (fun p ->
+         let folded = Fold.program p in
+         (match Minic.Typecheck.check_result folded with
+         | Ok () -> ()
+         | Error m -> QCheck.Test.fail_reportf "folded ill-typed: %s" m);
+         let c1 = Vm.Compile.compile p in
+         let c2 = Vm.Compile.compile folded in
+         (match Vm.Verify.verify c2 with
+         | [] -> ()
+         | e :: _ ->
+             QCheck.Test.fail_reportf "folded fails verify: %s"
+               e.Vm.Verify.message);
+         match Vm.Machine.run ~fuel:3_000_000 c1 with
+         | exception Vm.Machine.Trap _ -> QCheck.assume_fail ()
+         | r1 -> (
+             match Vm.Machine.run ~fuel:3_000_000 c2 with
+             | exception Vm.Machine.Trap (m, pc) ->
+                 QCheck.Test.fail_reportf "folded trapped at %d: %s" pc m
+             | r2 ->
+                 r1.Vm.Machine.exit_value = r2.Vm.Machine.exit_value
+                 && r1.Vm.Machine.output = r2.Vm.Machine.output)))
+
+let test_fold_shrinks_generated () =
+  (* On literal-rich random programs the folder usually finds something. *)
+  let total = ref 0 in
+  let gen = QCheck.Gen.generate ~n:30 Testgen.gen_program in
+  List.iter
+    (fun p ->
+      let _, n = Fold.stats p in
+      total := !total + n)
+    gen;
+  Alcotest.(check bool)
+    (Printf.sprintf "folds found across samples (%d)" !total)
+    true (!total > 10)
+
+let suite =
+  [
+    ("arith folds", `Quick, test_arith_folds);
+    ("behaviour preserved", `Quick, test_behaviour_preserved);
+    ("trap preserved", `Quick, test_trap_preserved);
+    ("dead branches drop constructs", `Quick, test_dead_branch_constructs_disappear);
+    ("folded programs verify (qcheck)", `Slow, test_folded_programs_verify);
+    ("fold shrinks generated", `Quick, test_fold_shrinks_generated);
+  ]

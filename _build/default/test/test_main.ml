@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "alchemist"
+    [
+      ("minic", Test_minic.suite);
+      ("minic-extra", Test_minic_extra.suite);
+      ("vm", Test_vm.suite);
+      ("verify", Test_verify.suite);
+      ("fold", Test_fold.suite);
+      ("trace", Test_trace.suite);
+      ("cfa", Test_cfa.suite);
+      ("indexing", Test_indexing.suite);
+      ("shadow", Test_shadow.suite);
+      ("profiler", Test_profiler.suite);
+      ("baselines", Test_baselines.suite);
+      ("parsim", Test_parsim.suite);
+      ("workloads", Test_workloads.suite);
+      ("advice", Test_advice.suite);
+      ("properties", Test_properties.suite);
+      ("explore", Test_explore.suite);
+      ("profile_io", Test_profile_io.suite);
+      ("reporting", Test_reporting.suite);
+    ]

@@ -1,0 +1,271 @@
+(* Tests for the Mini-C frontend: lexer, parser, typechecker, pretty. *)
+
+module Ast = Minic.Ast
+module Lexer = Minic.Lexer
+module Parser = Minic.Parser
+module Typecheck = Minic.Typecheck
+module Pretty = Minic.Pretty
+
+let tokens src = Array.to_list (Lexer.tokenize src) |> List.map fst
+
+let token = Alcotest.testable Minic.Token.pp ( = )
+
+let check_tokens name src expected =
+  Alcotest.(check (list token)) name (expected @ [ Minic.Token.EOF ]) (tokens src)
+
+(* --- lexer -------------------------------------------------------------- *)
+
+let test_lex_simple () =
+  check_tokens "arith" "1 + 2*x"
+    Minic.Token.[ INT_LIT 1; PLUS; INT_LIT 2; STAR; IDENT "x" ]
+
+let test_lex_operators () =
+  check_tokens "compound ops" "<<= >>= << >> <= >= == != && || ++ -- += -="
+    Minic.Token.
+      [
+        SHL_ASSIGN;
+        SHR_ASSIGN;
+        SHL;
+        SHR;
+        LE;
+        GE;
+        EQEQ;
+        NEQ;
+        ANDAND;
+        OROR;
+        PLUSPLUS;
+        MINUSMINUS;
+        PLUS_ASSIGN;
+        MINUS_ASSIGN;
+      ]
+
+let test_lex_keywords () =
+  check_tokens "keywords vs idents" "if iffy while whiles do for int void"
+    Minic.Token.
+      [
+        KW_IF;
+        IDENT "iffy";
+        KW_WHILE;
+        IDENT "whiles";
+        KW_DO;
+        KW_FOR;
+        KW_INT;
+        KW_VOID;
+      ]
+
+let test_lex_literals () =
+  check_tokens "hex and char" "0x10 255 'a' '\\n' '\\0'"
+    Minic.Token.[ INT_LIT 16; INT_LIT 255; INT_LIT 97; INT_LIT 10; INT_LIT 0 ]
+
+let test_lex_comments () =
+  check_tokens "comments" "1 // line comment\n /* block \n comment */ 2"
+    Minic.Token.[ INT_LIT 1; INT_LIT 2 ]
+
+let test_lex_locations () =
+  let toks = Lexer.tokenize "x\n  y" in
+  let _, loc0 = toks.(0) and _, loc1 = toks.(1) in
+  Alcotest.(check int) "x line" 1 loc0.Minic.Srcloc.line;
+  Alcotest.(check int) "y line" 2 loc1.Minic.Srcloc.line;
+  Alcotest.(check int) "y col" 3 loc1.Minic.Srcloc.col
+
+let test_lex_errors () =
+  let fails src =
+    match Lexer.tokenize src with
+    | exception Minic.Diag.Error _ -> ()
+    | _ -> Alcotest.failf "expected lexer error on %S" src
+  in
+  fails "/* unterminated";
+  fails "'x";
+  fails "@";
+  fails "0xg";
+  fails "1abc"
+
+(* --- parser ------------------------------------------------------------- *)
+
+let parse_ok src =
+  match Minic.Diag.wrap (fun () -> Parser.parse src) with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let parse_fails src =
+  match Minic.Diag.wrap (fun () -> Parser.parse src) with
+  | Ok _ -> Alcotest.failf "expected parse error on %S" src
+  | Error _ -> ()
+
+let test_parse_minimal () =
+  let p = parse_ok "int main() { return 0; }" in
+  Alcotest.(check int) "one function" 1 (List.length p.Ast.funcs);
+  Alcotest.(check string) "name" "main" (List.hd p.Ast.funcs).Ast.fname
+
+let test_parse_precedence () =
+  let e = Parser.parse_expr "1 + 2 * 3" in
+  (match e.Ast.edesc with
+  | Ast.Binop (Ast.Add, { edesc = Ast.IntLit 1; _ }, { edesc = Ast.Binop (Ast.Mul, _, _); _ })
+    ->
+      ()
+  | _ -> Alcotest.fail "wrong precedence for 1 + 2 * 3");
+  let e = Parser.parse_expr "1 < 2 && 3 < 4 || x" in
+  match e.Ast.edesc with
+  | Ast.Binop (Ast.LogOr, { edesc = Ast.Binop (Ast.LogAnd, _, _); _ }, _) -> ()
+  | _ -> Alcotest.fail "wrong precedence for && / ||"
+
+let test_parse_associativity () =
+  let e = Parser.parse_expr "10 - 4 - 3" in
+  match e.Ast.edesc with
+  | Ast.Binop (Ast.Sub, { edesc = Ast.Binop (Ast.Sub, _, _); _ }, { edesc = Ast.IntLit 3; _ })
+    ->
+      ()
+  | _ -> Alcotest.fail "subtraction must be left-associative"
+
+let test_parse_statements () =
+  let src =
+    {|
+    int g;
+    int buf[16];
+    int helper(int x, int a[]) {
+      int acc = 0;
+      for (int i = 0; i < x; i++) {
+        if (a[i] > 0) { acc += a[i]; } else { acc--; }
+      }
+      do { acc -= 1; } while (acc > 100);
+      while (acc > 10) { acc /= 2; if (acc == 11) break; }
+      return acc;
+    }
+    void main() {
+      g = helper(16, buf);
+      print(g);
+    }
+  |}
+  in
+  let p = parse_ok src in
+  Alcotest.(check int) "two globals" 2 (List.length p.Ast.globals);
+  Alcotest.(check int) "two functions" 2 (List.length p.Ast.funcs)
+
+let test_parse_for_variants () =
+  ignore (parse_ok "int main() { for (;;) { break; } return 0; }");
+  ignore (parse_ok "int main() { int i; for (i = 0; i < 3; i++) {} return i; }");
+  ignore
+    (parse_ok "int main() { int s = 0; for (int i = 9; i; i--) s += i; return s; }")
+
+let test_parse_dangling_else () =
+  let p = parse_ok "int main() { if (1) if (0) return 1; else return 2; return 3; }" in
+  let f = List.hd p.Ast.funcs in
+  match (List.hd f.Ast.fbody).Ast.sdesc with
+  | Ast.If (_, { sdesc = Ast.If (_, _, Some _); _ }, None) -> ()
+  | _ -> Alcotest.fail "else must bind to the inner if"
+
+let test_parse_errors () =
+  parse_fails "int main() { return 0 }";
+  parse_fails "int main() { if 1 return 0; }";
+  parse_fails "int main( { return 0; }";
+  parse_fails "main() { return 0; }";
+  parse_fails "int main() { int a[]; return 0; }";
+  parse_fails "int main() { 1 +; }"
+
+(* --- typechecker -------------------------------------------------------- *)
+
+let check_ok src = Typecheck.check (parse_ok src)
+
+let check_fails name src =
+  match Typecheck.check_result (parse_ok src) with
+  | Ok () -> Alcotest.failf "%s: expected type error" name
+  | Error _ -> ()
+
+let test_tc_accepts () =
+  check_ok "int main() { return 0; }";
+  check_ok
+    {| int a[4];
+       int f(int a[], int n) { return a[n]; }
+       int main() { return f(a, 2); } |};
+  check_ok "int main() { int x = 1; { int x = 2; } return x; }"
+
+let test_tc_rejects () =
+  check_fails "undeclared" "int main() { return x; }";
+  check_fails "dup local" "int main() { int x; int x; return 0; }";
+  check_fails "scalar as array" "int main() { int x; return x[0]; }";
+  check_fails "array as scalar" "int a[3]; int main() { return a + 1; }";
+  check_fails "arity" "int f(int x) { return x; } int main() { return f(); }";
+  check_fails "array arg for scalar param"
+    "int a[3]; int f(int x) { return x; } int main() { return f(a); }";
+  check_fails "scalar arg for array param"
+    "int f(int a[]) { return a[0]; } int main() { return f(3); }";
+  check_fails "void as value" "void f() { } int main() { return f(); }";
+  check_fails "break outside loop" "int main() { break; return 0; }";
+  check_fails "continue outside loop" "int main() { continue; return 0; }";
+  check_fails "return value in void" "void f() { return 3; } int main() { return 0; }";
+  check_fails "bare return in int" "int f() { return; } int main() { return 0; }";
+  check_fails "no main" "int f() { return 0; }";
+  check_fails "main with params" "int main(int x) { return x; }";
+  check_fails "zero-length array" "int a[0]; int main() { return 0; }";
+  check_fails "dup function" "int f() { return 0; } int f() { return 1; } int main() { return 0; }";
+  check_fails "dup global" "int g; int g; int main() { return 0; }";
+  check_fails "undeclared function" "int main() { return g(); }"
+
+let test_tc_scoping () =
+  (* for-loop variable is scoped to the loop *)
+  check_fails "for scope"
+    "int main() { for (int i = 0; i < 3; i++) {} return i; }";
+  check_ok "int main() { for (int i = 0; i < 3; i++) {} for (int i = 0; i < 2; i++) {} return 0; }"
+
+(* --- pretty round trip --------------------------------------------------- *)
+
+(* Equality modulo locations: compare printed forms after one round trip. *)
+let test_pretty_roundtrip () =
+  let srcs =
+    [
+      "int main() { return (1 + 2) * 3; }";
+      {| int g = 5;
+         int a[8];
+         int f(int x, int b[]) {
+           int s = 0;
+           for (int i = 0; i < x; i++) { s += b[i]; }
+           while (s > 100 && x != 0) { s >>= 1; }
+           do { s++; } while (s < 0);
+           if (s == 12) { return s; } else { s = -s; }
+           return s % 7;
+         }
+         void main() { a[0] = g; print(f(8, a)); } |};
+      "int main() { int x = 0; x |= 6; x &= 14; x ^= 1; x <<= 2; x >>= 1; return ~x + !x; }";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let p1 = parse_ok src in
+      let printed = Pretty.program_to_string p1 in
+      let p2 =
+        match Minic.Diag.wrap (fun () -> Parser.parse printed) with
+        | Ok p -> p
+        | Error msg ->
+            Alcotest.failf "re-parse failed: %s\nprinted:\n%s" msg printed
+      in
+      Alcotest.(check string)
+        "idempotent print" printed
+        (Pretty.program_to_string p2))
+    srcs
+
+let test_count_loc () =
+  let src = "int main() {\n// comment only\n/* block */\n  return 0;\n}\n" in
+  Alcotest.(check int) "loc" 3 (Minic.Frontend.count_loc src)
+
+let suite =
+  [
+    ("lex simple", `Quick, test_lex_simple);
+    ("lex operators", `Quick, test_lex_operators);
+    ("lex keywords", `Quick, test_lex_keywords);
+    ("lex literals", `Quick, test_lex_literals);
+    ("lex comments", `Quick, test_lex_comments);
+    ("lex locations", `Quick, test_lex_locations);
+    ("lex errors", `Quick, test_lex_errors);
+    ("parse minimal", `Quick, test_parse_minimal);
+    ("parse precedence", `Quick, test_parse_precedence);
+    ("parse associativity", `Quick, test_parse_associativity);
+    ("parse statements", `Quick, test_parse_statements);
+    ("parse for variants", `Quick, test_parse_for_variants);
+    ("parse dangling else", `Quick, test_parse_dangling_else);
+    ("parse errors", `Quick, test_parse_errors);
+    ("typecheck accepts", `Quick, test_tc_accepts);
+    ("typecheck rejects", `Quick, test_tc_rejects);
+    ("typecheck scoping", `Quick, test_tc_scoping);
+    ("pretty roundtrip", `Quick, test_pretty_roundtrip);
+    ("count_loc", `Quick, test_count_loc);
+  ]

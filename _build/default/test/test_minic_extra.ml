@@ -1,0 +1,198 @@
+(* Additional frontend edge cases: lexical corners, grammar corners,
+   scoping rules, and printer stability on tricky nodes. *)
+
+module Ast = Minic.Ast
+module Parser = Minic.Parser
+module Typecheck = Minic.Typecheck
+
+let parse_ok src =
+  match Minic.Diag.wrap (fun () -> Parser.parse src) with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let check_ok src = Typecheck.check (parse_ok src)
+
+let check_fails name src =
+  match Typecheck.check_result (parse_ok src) with
+  | Ok () -> Alcotest.failf "%s: expected a type error" name
+  | Error _ -> ()
+
+let run src =
+  Vm.Machine.run ~fuel:5_000_000 (Vm.Compile.compile_source src)
+
+let check_exit name src expected =
+  Alcotest.(check int) name expected (run src).Vm.Machine.exit_value
+
+(* --- lexical corners -------------------------------------------------------- *)
+
+let test_adjacent_operators () =
+  (* ++ binds greedily: [x++ + y] parses, [x+++y] lexes as [x ++ + y]
+     which is a syntax error in statement position. *)
+  check_exit "x++ then use" "int main() { int x = 1; x++; return x + 1; }" 3;
+  let toks = Minic.Lexer.tokenize "x+++y" in
+  Alcotest.(check int) "x ++ + y eof" 5 (Array.length toks)
+
+let test_big_hex () =
+  check_exit "large hex" "int main() { return (0x7fffffff >> 24) & 0xff; }" 127
+
+let test_char_escapes_in_ops () =
+  check_exit "char arithmetic" "int main() { return 'z' - 'a'; }" 25
+
+let test_comment_tricks () =
+  check_exit "comment between tokens"
+    "int main() { return 1 /* one */ + /* two */ 2; }" 3;
+  check_exit "line comment at eof" "int main() { return 4; } // done" 4;
+  check_exit "star inside block comment"
+    "int main() { /* * ** *** */ return 5; }" 5
+
+(* --- grammar corners --------------------------------------------------------- *)
+
+let test_else_if_chain () =
+  check_exit "chained else if"
+    {|int classify(int x) {
+        if (x < 0) return -1;
+        else if (x == 0) return 0;
+        else if (x < 10) return 1;
+        else return 2;
+      }
+      int main() { return classify(-5) + classify(0) + classify(3) + classify(99); }|}
+    2
+
+let test_empty_blocks () =
+  check_exit "empty everything"
+    "int main() { { } if (1) { } else { } while (0) { } { { } } return 6; }" 6
+
+let test_deep_nesting () =
+  (* 60 nested parens and 40 nested blocks: no parser stack issues. *)
+  let parens = String.concat "" (List.init 60 (fun _ -> "(")) in
+  let closes = String.concat "" (List.init 60 (fun _ -> ")")) in
+  check_exit "deep parens"
+    (Printf.sprintf "int main() { return %s7%s; }" parens closes)
+    7;
+  let opens = String.concat "" (List.init 40 (fun _ -> "{ ")) in
+  let shuts = String.concat "" (List.init 40 (fun _ -> "} ")) in
+  check_exit "deep blocks"
+    (Printf.sprintf "int main() { %s int x = 9; %s return 3; }" opens shuts)
+    3
+
+let test_for_clause_combos () =
+  check_exit "no init" "int main() { int i = 0; for (; i < 4; i++) { } return i; }" 4;
+  check_exit "no update"
+    "int main() { int s = 0; for (int i = 0; i < 4;) { s++; i++; } return s; }" 4;
+  check_exit "only cond"
+    "int main() { int i = 5; for (; i > 0;) i--; return i; }" 0
+
+let test_do_while_with_continue () =
+  (* continue in do-while jumps to the condition *)
+  check_exit "do-while continue"
+    {|int main() {
+        int i = 0;
+        int s = 0;
+        do {
+          i++;
+          if (i % 2) continue;
+          s += i;
+        } while (i < 6);
+        return s;
+      }|}
+    12
+
+(* --- scoping ------------------------------------------------------------------ *)
+
+let test_local_shadows_param () =
+  check_ok "int f(int x) { { int x = 5; } return x; } int main() { return f(1); }";
+  check_exit "shadow value"
+    "int f(int x) { { int x = 5; x = x + 1; } return x; } int main() { return f(7); }"
+    7
+
+let test_function_name_not_a_var () =
+  check_fails "function as value" "int f() { return 0; } int main() { return f + 1; }"
+
+let test_void_in_value_positions () =
+  check_fails "print(void)" "void f() { } int main() { print(f()); return 0; }";
+  check_fails "void in arith" "void f() { } int main() { int x = f(); return x; }";
+  check_fails "void as condition" "void f() { } int main() { if (f()) return 1; return 0; }"
+
+let test_global_shadowed_by_param () =
+  check_exit "param shadows global"
+    "int x = 100; int f(int x) { return x; } int main() { return f(3); }" 3
+
+(* --- semantics corners ---------------------------------------------------------- *)
+
+let test_c_division_truncation () =
+  (* C99 semantics: truncation toward zero; OCaml matches. *)
+  check_exit "-7/2" "int main() { int a = -7; return a / 2; }" (-3);
+  check_exit "-7%%2" "int main() { int a = -7; return a % 2; }" (-1);
+  check_exit "7/-2" "int main() { int b = -2; return 7 / b; }" (-3)
+
+let test_shift_bounds () =
+  (* VM ints are 63-bit OCaml ints: bit 61 is the top positive bit,
+     shifting into bit 62 lands on the sign bit (defined, negative). *)
+  check_exit "shift 61 ok" "int main() { return (1 << 61) > 0; }" 1;
+  check_exit "shift 62 is the sign bit" "int main() { return (1 << 62) < 0; }" 1;
+  (match run "int main() { int s = 63; return 1 << s; }" with
+  | exception Vm.Machine.Trap _ -> ()
+  | _ -> Alcotest.fail "shift by 63 should trap")
+
+let test_index_once_in_op_assign () =
+  (* [a[f()] += 1] must evaluate the index expression exactly once. *)
+  check_exit "index evaluated once"
+    {|int a[8];
+      int calls;
+      int f() { calls++; return 2; }
+      int main() { a[2] = 10; a[f()] += 5; return a[2] * 10 + calls; }|}
+    151
+
+let test_aliasing_through_params () =
+  check_exit "two refs to one array"
+    {|int buf[4];
+      int f(int x[], int y[]) { x[0] = 7; return y[0]; }
+      int main() { return f(buf, buf); }|}
+    7
+
+let test_frames_do_not_leak () =
+  (* Uninitialized locals read 0 even after a previous call dirtied the
+     same stack slots. *)
+  check_exit "fresh frames"
+    {|int dirty() { int x = 99; return x; }
+      int probe() { int x; return x; }
+      int main() { dirty(); return probe(); }|}
+    0
+
+let test_deep_recursion_ok () =
+  check_exit "recursion below the limit"
+    "int f(int n) { if (n == 0) return 0; return f(n - 1); } int main() { return f(9000); }"
+    0
+
+let test_print_negative () =
+  let r = run "int main() { print(-42); print(0 - 100); return 0; }" in
+  Alcotest.(check (list int)) "negative output" [ -42; -100 ] r.Vm.Machine.output
+
+let test_main_int_result () =
+  check_exit "void main exits 0"
+    "int g; void main() { g = 5; }" 0
+
+let suite =
+  [
+    ("adjacent operators", `Quick, test_adjacent_operators);
+    ("big hex", `Quick, test_big_hex);
+    ("char arithmetic", `Quick, test_char_escapes_in_ops);
+    ("comment tricks", `Quick, test_comment_tricks);
+    ("else-if chain", `Quick, test_else_if_chain);
+    ("empty blocks", `Quick, test_empty_blocks);
+    ("deep nesting", `Quick, test_deep_nesting);
+    ("for clause combos", `Quick, test_for_clause_combos);
+    ("do-while continue", `Quick, test_do_while_with_continue);
+    ("local shadows param", `Quick, test_local_shadows_param);
+    ("function name not a var", `Quick, test_function_name_not_a_var);
+    ("void in value positions", `Quick, test_void_in_value_positions);
+    ("param shadows global", `Quick, test_global_shadowed_by_param);
+    ("C division truncation", `Quick, test_c_division_truncation);
+    ("shift bounds", `Quick, test_shift_bounds);
+    ("op-assign index once", `Quick, test_index_once_in_op_assign);
+    ("aliasing through params", `Quick, test_aliasing_through_params);
+    ("frames do not leak", `Quick, test_frames_do_not_leak);
+    ("deep recursion ok", `Quick, test_deep_recursion_ok);
+    ("print negative", `Quick, test_print_negative);
+    ("void main exits 0", `Quick, test_main_int_result);
+  ]

@@ -1,0 +1,274 @@
+(* Tests for the parallel-execution simulator: task extraction, the
+   dependence-respecting scheduler, and privatization transforms. *)
+
+module TG = Parsim.Task_graph
+module Sched = Parsim.Scheduler
+module Speedup = Parsim.Speedup
+module Transform = Parsim.Transform
+
+let compile = Vm.Compile.compile_source
+
+(* A loop whose iterations are independent except for the induction
+   variable (untraced): near-perfect data parallelism. *)
+let independent_src =
+  {|int out[16];
+    int work(int i) {
+      int s = 0;
+      for (int k = 0; k < 200; k++) s += i * k % 7;
+      return s;
+    }
+    int main() {
+      for (int i = 0; i < 16; i++) {
+        out[i] = work(i);
+      }
+      return 0;
+    }|}
+
+(* A serial chain: each iteration reads the previous one's result. *)
+let chain_src =
+  {|int acc;
+    int step(int i) {
+      int s = acc;
+      for (int k = 0; k < 200; k++) s += k % 5;
+      return s;
+    }
+    int main() {
+      for (int i = 0; i < 16; i++) {
+        acc = step(i);
+      }
+      return acc;
+    }|}
+
+let loop_pc src line =
+  let prog = compile src in
+  (prog, Speedup.loop_head_at_line prog line)
+
+(* --- task extraction -------------------------------------------------------- *)
+
+let test_collect_instances () =
+  let prog, pc = loop_pc independent_src 8 in
+  let g = TG.collect prog ~head_pc:pc in
+  Alcotest.(check int) "16 iterations = 16 tasks" 16 (Array.length g.TG.instances);
+  (* Intervals are ordered and disjoint. *)
+  Array.iteri
+    (fun i (inst : TG.instance) ->
+      Alcotest.(check bool) "positive duration" true (inst.stop > inst.start);
+      if i > 0 then
+        Alcotest.(check bool) "ordered" true
+          (inst.start >= g.TG.instances.(i - 1).TG.stop))
+    g.TG.instances
+
+let test_collect_no_cross_deps_for_independent () =
+  let prog, pc = loop_pc independent_src 8 in
+  let g = TG.collect prog ~head_pc:pc in
+  (* out[i] slots are disjoint; no RAW/WAR/WAW across iterations. *)
+  Alcotest.(check (list string)) "no constraints" []
+    (List.map
+       (fun (c : TG.folded_constraint) ->
+         Printf.sprintf "i%d" c.head_instance)
+       g.TG.constraints)
+
+let test_collect_chain_has_constraints () =
+  let prog, pc = loop_pc chain_src 8 in
+  let g = TG.collect prog ~head_pc:pc in
+  Alcotest.(check bool) "constraints exist" true (g.TG.constraints <> []);
+  Alcotest.(check bool) "cross deps counted" true (g.TG.cross_deps > 0);
+  (* Every constraint's head precedes its tail location. *)
+  List.iter
+    (fun (c : TG.folded_constraint) ->
+      match c.location with
+      | TG.CInstance j ->
+          Alcotest.(check bool) "head < tail instance" true (c.head_instance < j)
+      | TG.CSegment m ->
+          Alcotest.(check bool) "head < segment" true (c.head_instance < m))
+    g.TG.constraints
+
+let test_collect_bad_pc () =
+  let prog = compile independent_src in
+  match TG.collect prog ~head_pc:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* --- scheduler --------------------------------------------------------------- *)
+
+let test_independent_speedup () =
+  let prog, pc = loop_pc independent_src 8 in
+  let g = TG.collect prog ~head_pc:pc in
+  let s = Sched.simulate ~config:{ Sched.cores = 4; spawn_overhead = 10; join_overhead = 5 } g in
+  Alcotest.(check bool)
+    (Printf.sprintf "speedup %.2f in [2.5, 4.0]" s.Sched.speedup)
+    true
+    (s.Sched.speedup > 2.5 && s.Sched.speedup <= 4.0);
+  Alcotest.(check int) "no stalls" 0 s.Sched.stall_time
+
+let test_chain_no_speedup () =
+  let prog, pc = loop_pc chain_src 8 in
+  let g = TG.collect prog ~head_pc:pc in
+  let s = Sched.simulate g in
+  Alcotest.(check bool)
+    (Printf.sprintf "chain speedup %.2f stays ~1" s.Sched.speedup)
+    true
+    (s.Sched.speedup < 1.3);
+  Alcotest.(check bool) "stalls happened" true (s.Sched.stall_time > 0)
+
+let test_more_cores_help_until_width () =
+  let prog, pc = loop_pc independent_src 8 in
+  let g = TG.collect prog ~head_pc:pc in
+  let at cores =
+    (Sched.simulate ~config:{ Sched.cores; spawn_overhead = 10; join_overhead = 5 } g)
+      .Sched.par_time
+  in
+  Alcotest.(check bool) "2 cores beat 1" true (at 2 < at 1);
+  Alcotest.(check bool) "4 cores beat 2" true (at 4 < at 2);
+  Alcotest.(check bool) "1 core roughly sequential" true
+    (at 1 >= g.TG.total * 9 / 10)
+
+let test_empty_graph () =
+  let g =
+    {
+      TG.total = 1000;
+      instances = [||];
+      constraints = [];
+      dropped_privatized = 0;
+      cross_deps = 0;
+    }
+  in
+  let s = Sched.simulate g in
+  Alcotest.(check int) "par = seq" 1000 s.Sched.par_time;
+  Alcotest.(check int) "no tasks" 0 s.Sched.tasks
+
+let test_spawn_overhead_costs () =
+  let prog, pc = loop_pc independent_src 8 in
+  let g = TG.collect prog ~head_pc:pc in
+  let cheap =
+    Sched.simulate ~config:{ Sched.cores = 4; spawn_overhead = 0; join_overhead = 0 } g
+  in
+  let costly =
+    Sched.simulate
+      ~config:{ Sched.cores = 4; spawn_overhead = 5000; join_overhead = 0 }
+      g
+  in
+  Alcotest.(check bool) "overhead hurts" true
+    (costly.Sched.par_time > cheap.Sched.par_time)
+
+(* --- privatization ----------------------------------------------------------- *)
+
+let war_src =
+  {|int scratch;
+    int out[16];
+    int use(int i) {
+      int v = scratch;
+      int s = 0;
+      for (int k = 0; k < 150; k++) s += v + k;
+      scratch = s % 100;
+      return s;
+    }
+    int main() {
+      for (int i = 0; i < 16; i++) {
+        out[i] = use(i);
+      }
+      return out[3];
+    }|}
+
+let test_privatization_removes_war_waw () =
+  let prog, pc = loop_pc war_src 11 in
+  let naive = TG.collect prog ~head_pc:pc in
+  let priv =
+    TG.collect
+      ~privatized:(Transform.privatize_globals prog [ "scratch" ])
+      prog ~head_pc:pc
+  in
+  Alcotest.(check bool) "privatized constraints dropped" true
+    (priv.TG.dropped_privatized > 0);
+  (* RAW on scratch remains, so constraints don't vanish entirely; but
+     WAR/WAW folding must shrink. *)
+  Alcotest.(check bool) "fewer or equal constraints" true
+    (List.length priv.TG.constraints <= List.length naive.TG.constraints)
+
+let test_privatize_unknown_global () =
+  let prog = compile war_src in
+  match Transform.privatize_globals prog [ "nope" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_all_globals () =
+  let prog = compile war_src in
+  Alcotest.(check (list string)) "globals" [ "scratch"; "out" ]
+    (Transform.all_globals prog)
+
+(* --- placements / gantt ------------------------------------------------------- *)
+
+let test_placements_consistent () =
+  let prog, pc = loop_pc independent_src 8 in
+  let g = TG.collect prog ~head_pc:pc in
+  let s = Sched.simulate g in
+  Alcotest.(check int) "one placement per task" s.Sched.tasks
+    (Array.length s.Sched.placements);
+  Array.iter
+    (fun (p : Sched.task_schedule) ->
+      Alcotest.(check bool) "start < finish" true (p.start < p.finish);
+      Alcotest.(check bool) "finish within par_time" true
+        (p.finish <= s.Sched.par_time);
+      Alcotest.(check bool) "core in range" true (p.core >= 0 && p.core < 4))
+    s.Sched.placements;
+  (* no two tasks overlap on the same core *)
+  Array.iter
+    (fun (a : Sched.task_schedule) ->
+      Array.iter
+        (fun (b : Sched.task_schedule) ->
+          if a.task < b.task && a.core = b.core then
+            Alcotest.(check bool)
+              (Printf.sprintf "tasks %d/%d disjoint on core %d" a.task b.task
+                 a.core)
+              true
+              (a.finish <= b.start || b.finish <= a.start))
+        s.Sched.placements)
+    s.Sched.placements
+
+let test_gantt_renders () =
+  let prog, pc = loop_pc independent_src 8 in
+  let g = TG.collect prog ~head_pc:pc in
+  let s = Sched.simulate g in
+  let text = Parsim.Gantt.render ~width:60 g s in
+  Alcotest.(check bool) "has main row" true (Testutil.contains text "main");
+  Alcotest.(check bool) "has core rows" true (Testutil.contains text "core 3");
+  Alcotest.(check bool) "has bars" true (Testutil.contains text "#")
+
+(* --- end-to-end report -------------------------------------------------------- *)
+
+let test_analyze_report () =
+  let prog, pc = loop_pc independent_src 8 in
+  let r = Speedup.analyze ~cores:4 prog ~head_pc:pc in
+  Alcotest.(check int) "tasks" 16 r.Speedup.tasks;
+  Alcotest.(check bool) "speedup > 2" true (r.Speedup.speedup > 2.0);
+  Alcotest.(check bool) "construct named" true
+    (Testutil.contains r.Speedup.construct "Loop");
+  (* Report is printable. *)
+  let s = Format.asprintf "%a" Speedup.pp_report r in
+  Alcotest.(check bool) "pp" true (String.length s > 20)
+
+let test_proc_head_lookup () =
+  let prog = compile independent_src in
+  let pc = Speedup.proc_head prog "work" in
+  let r = Speedup.analyze prog ~head_pc:pc in
+  Alcotest.(check int) "16 calls" 16 r.Speedup.tasks
+
+let suite =
+  [
+    ("collect instances", `Quick, test_collect_instances);
+    ("collect independent: no constraints", `Quick, test_collect_no_cross_deps_for_independent);
+    ("collect chain: constraints", `Quick, test_collect_chain_has_constraints);
+    ("collect bad pc", `Quick, test_collect_bad_pc);
+    ("independent speedup", `Quick, test_independent_speedup);
+    ("chain no speedup", `Quick, test_chain_no_speedup);
+    ("more cores help", `Quick, test_more_cores_help_until_width);
+    ("empty graph", `Quick, test_empty_graph);
+    ("spawn overhead costs", `Quick, test_spawn_overhead_costs);
+    ("privatization removes war/waw", `Quick, test_privatization_removes_war_waw);
+    ("privatize unknown global", `Quick, test_privatize_unknown_global);
+    ("all globals", `Quick, test_all_globals);
+    ("placements consistent", `Quick, test_placements_consistent);
+    ("gantt renders", `Quick, test_gantt_renders);
+    ("analyze report", `Quick, test_analyze_report);
+    ("proc head lookup", `Quick, test_proc_head_lookup);
+  ]

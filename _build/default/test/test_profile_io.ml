@@ -1,0 +1,178 @@
+(* Tests for profile serialization. *)
+
+module Profiler = Alchemist.Profiler
+module Profile = Alchemist.Profile
+module Pio = Alchemist.Profile_io
+
+let sample_src =
+  {|int g;
+    int buf[8];
+    void f(int i) { buf[i & 7] = g; g = i; }
+    int main() {
+      for (int i = 0; i < 25; i++) f(i);
+      return g + buf[3];
+    }|}
+
+let profile_of src =
+  let prog = Vm.Compile.compile_source src in
+  let r = Profiler.run ~fuel:1_000_000 prog in
+  (prog, r.Profiler.profile)
+
+let profiles_equal (a : Profile.t) (b : Profile.t) =
+  a.total_instructions = b.total_instructions
+  && Array.for_all2
+       (fun (x : Profile.construct_profile) (y : Profile.construct_profile) ->
+         x.ttotal = y.ttotal && x.instances = y.instances
+         && Hashtbl.length x.edges = Hashtbl.length y.edges
+         && Hashtbl.fold
+              (fun k (s : Profile.edge_stats) acc ->
+                acc
+                &&
+                match Hashtbl.find_opt y.edges k with
+                | Some d ->
+                    d.min_tdep = s.min_tdep && d.count = s.count
+                    && d.tail_internal = s.tail_internal
+                    && List.sort compare d.addrs = List.sort compare s.addrs
+                | None -> false)
+              x.edges true)
+       a.by_cid b.by_cid
+
+let test_roundtrip () =
+  let prog, p = profile_of sample_src in
+  let text = Pio.to_string p in
+  match Pio.read prog text with
+  | Error msg -> Alcotest.failf "read failed: %s" msg
+  | Ok p2 -> Alcotest.(check bool) "roundtrip equal" true (profiles_equal p p2)
+
+let test_fingerprint_stable () =
+  let prog1 = Vm.Compile.compile_source sample_src in
+  let prog2 = Vm.Compile.compile_source sample_src in
+  Alcotest.(check string) "same source same fingerprint" (Pio.fingerprint prog1)
+    (Pio.fingerprint prog2);
+  let prog3 = Vm.Compile.compile_source "int main() { return 7; }" in
+  Alcotest.(check bool) "different source differs" true
+    (Pio.fingerprint prog1 <> Pio.fingerprint prog3)
+
+let test_rejects_wrong_program () =
+  let _, p = profile_of sample_src in
+  let other = Vm.Compile.compile_source "int main() { return 0; }" in
+  match Pio.read other (Pio.to_string p) with
+  | Error msg ->
+      Alcotest.(check bool) "mentions program mismatch" true
+        (Testutil.contains msg "different program")
+  | Ok _ -> Alcotest.fail "expected mismatch error"
+
+let test_rejects_garbage () =
+  let prog = Vm.Compile.compile_source sample_src in
+  List.iter
+    (fun text ->
+      match Pio.read prog text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted garbage %S" text)
+    [
+      "";
+      "not a profile";
+      "alchemist-profile 2\nfingerprint x\ntotal 1";
+      Printf.sprintf
+        "alchemist-profile 1\nfingerprint %s\ntotal 10\nconstruct 9999 1 1"
+        (Pio.fingerprint prog);
+      Printf.sprintf
+        "alchemist-profile 1\nfingerprint %s\ntotal ten"
+        (Pio.fingerprint prog);
+    ]
+
+let test_save_load_file () =
+  let prog, p = profile_of sample_src in
+  let path = Filename.temp_file "alchemist" ".prof" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Pio.save p path;
+      match Pio.load prog path with
+      | Ok p2 -> Alcotest.(check bool) "file roundtrip" true (profiles_equal p p2)
+      | Error msg -> Alcotest.failf "load failed: %s" msg)
+
+let test_loaded_profile_usable () =
+  (* Reports, ranking, advice all work on a deserialized profile. *)
+  let prog, p = profile_of sample_src in
+  let p2 = Result.get_ok (Pio.read prog (Pio.to_string p)) in
+  let r1 = Alchemist.Report.render p and r2 = Alchemist.Report.render p2 in
+  Alcotest.(check string) "identical report" r1 r2;
+  let e1 = Alchemist.Ranking.rank p and e2 = Alchemist.Ranking.rank p2 in
+  Alcotest.(check int) "same ranking size" (List.length e1) (List.length e2);
+  List.iter2
+    (fun (a : Alchemist.Ranking.entry) (b : Alchemist.Ranking.entry) ->
+      Alcotest.(check string) "same order" a.name b.name)
+    e1 e2
+
+let test_merge_after_load () =
+  (* Two runs saved and reloaded merge like live profiles. *)
+  let prog = Vm.Compile.compile_source sample_src in
+  let r1 = Profiler.run ~fuel:1_000_000 prog in
+  let r2 = Profiler.run ~fuel:1_000_000 prog in
+  let p1 = Result.get_ok (Pio.read prog (Pio.to_string r1.Profiler.profile)) in
+  let p2 = Result.get_ok (Pio.read prog (Pio.to_string r2.Profiler.profile)) in
+  let m = Profile.merge p1 p2 in
+  let live = Profile.merge r1.Profiler.profile r2.Profiler.profile in
+  Alcotest.(check bool) "merge equal" true (profiles_equal m live)
+
+(* The paper's caveat: "the completeness of the dependencies identified by
+   Alchemist is a function of the test inputs used to run the profiler."
+   Input lives in initialized global data, so two inputs share one program
+   (identical code, different global_inits) and their profiles merge. *)
+let input_src mode =
+  Printf.sprintf
+    {|int mode = %d;
+      int acc;
+      int out[32];
+      int step(int i) {
+        int s = 0;
+        for (int k = 0; k < 30; k++) s += i + k;
+        if (mode > 0) {
+          acc += s;     // only exercised by inputs with mode set
+        }
+        out[i & 31] = s;
+        return s;
+      }
+      int main() {
+        for (int i = 0; i < 12; i++) step(i);
+        return acc;
+      }|}
+    mode
+
+let test_inputs_extend_profile () =
+  let prog0 = Vm.Compile.compile_source (input_src 0) in
+  let prog1 = Vm.Compile.compile_source (input_src 1) in
+  (* same code, different data: profiles are mergeable *)
+  Alcotest.(check bool) "same code" true
+    (prog0.Vm.Program.code = prog1.Vm.Program.code);
+  Alcotest.(check string) "same fingerprint" (Pio.fingerprint prog0)
+    (Pio.fingerprint prog1);
+  let p0 = (Profiler.run ~fuel:1_000_000 prog0).Profiler.profile in
+  let p1 = (Profiler.run ~fuel:1_000_000 prog1).Profiler.profile in
+  let edges p =
+    Array.fold_left
+      (fun acc (cp : Profile.construct_profile) -> acc + Hashtbl.length cp.edges)
+      0 p.Profile.by_cid
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mode=1 exercises more deps (%d vs %d)" (edges p1) (edges p0))
+    true
+    (edges p1 > edges p0);
+  let merged = Profile.merge p0 p1 in
+  Alcotest.(check int) "merged keeps the union" (edges p1) (edges merged);
+  Alcotest.(check bool) "merged counts both runs" true
+    (merged.Profile.total_instructions
+    = p0.Profile.total_instructions + p1.Profile.total_instructions)
+
+let suite =
+  [
+    ("roundtrip", `Quick, test_roundtrip);
+    ("fingerprint stable", `Quick, test_fingerprint_stable);
+    ("rejects wrong program", `Quick, test_rejects_wrong_program);
+    ("rejects garbage", `Quick, test_rejects_garbage);
+    ("save/load file", `Quick, test_save_load_file);
+    ("loaded profile usable", `Quick, test_loaded_profile_usable);
+    ("merge after load", `Quick, test_merge_after_load);
+    ("inputs extend the profile", `Quick, test_inputs_extend_profile);
+  ]

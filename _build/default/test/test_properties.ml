@@ -1,0 +1,196 @@
+(* Property tests over randomly generated Mini-C programs (Testgen):
+   frontend round trips, differential execution, profiler invariants,
+   cross-validation against the flat baseline, and simulator sanity. *)
+
+module Profiler = Alchemist.Profiler
+module Profile = Alchemist.Profile
+
+let check ?(count = 60) name prop =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name ~count Testgen.arbitrary_program prop)
+
+let fuel = 3_000_000
+
+(* 1. The generator only produces well-typed programs. *)
+let test_generated_welltyped () =
+  check "generated programs typecheck" (fun p ->
+      match Minic.Typecheck.check_result p with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_reportf "ill-typed: %s" msg)
+
+(* 2. Pretty-printing round trips through the parser. *)
+let test_pretty_roundtrip () =
+  check "pretty |> parse |> pretty is stable" (fun p ->
+      let printed = Minic.Pretty.program_to_string p in
+      match Minic.Diag.wrap (fun () -> Minic.Parser.parse printed) with
+      | Error msg -> QCheck.Test.fail_reportf "re-parse failed: %s" msg
+      | Ok p2 -> Minic.Pretty.program_to_string p2 = printed)
+
+(* 3. Compilation is deterministic. *)
+let test_compile_deterministic () =
+  check ~count:30 "compilation deterministic" (fun p ->
+      let c1 = Vm.Compile.compile p and c2 = Vm.Compile.compile p in
+      c1.Vm.Program.code = c2.Vm.Program.code
+      && c1.Vm.Program.cid_of_pc = c2.Vm.Program.cid_of_pc)
+
+(* 4. The CFA post-dominator facts validate on every generated program. *)
+let test_cfa_validates () =
+  check ~count:40 "CFA validates" (fun p ->
+      let prog = Vm.Compile.compile p in
+      Cfa.Analysis.validate prog (Cfa.Analysis.analyze prog) = [])
+
+(* 5. Differential: hooked and plain execution agree exactly. *)
+let test_differential_execution () =
+  check "plain vs hooked execution" (fun p ->
+      let prog = Vm.Compile.compile p in
+      match Vm.Machine.run ~fuel prog with
+      | exception Vm.Machine.Trap _ -> QCheck.assume_fail ()
+      | r1 ->
+          let r2 = Vm.Machine.run_hooked ~fuel Vm.Hooks.noop prog in
+          r1.Vm.Machine.exit_value = r2.Vm.Machine.exit_value
+          && r1.Vm.Machine.output = r2.Vm.Machine.output
+          && r1.Vm.Machine.instructions = r2.Vm.Machine.instructions)
+
+(* 6. The profiler never force-pops, never changes semantics, and its
+   per-construct totals are consistent with the run. *)
+let test_profiler_invariants () =
+  check "profiler invariants" (fun p ->
+      let prog = Vm.Compile.compile p in
+      match Vm.Machine.run ~fuel prog with
+      | exception Vm.Machine.Trap _ -> QCheck.assume_fail ()
+      | plain ->
+          let r = Profiler.run ~fuel prog in
+          let ok = ref true in
+          let fail fmt =
+            Printf.ksprintf
+              (fun m ->
+                ok := false;
+                print_endline ("invariant: " ^ m))
+              fmt
+          in
+          if r.Profiler.run.Vm.Machine.output <> plain.Vm.Machine.output then
+            fail "profiled run changed output";
+          if r.Profiler.stats.Profiler.forced_pops <> 0 then
+            fail "forced pops: %d" r.Profiler.stats.Profiler.forced_pops;
+          let instr = r.Profiler.stats.Profiler.instructions in
+          Array.iter
+            (fun (cp : Profile.construct_profile) ->
+              if cp.Profile.ttotal > instr then
+                fail "construct ttotal %d exceeds run %d" cp.Profile.ttotal instr;
+              if cp.Profile.nesting <> 0 then
+                fail "nonzero nesting counter at end";
+              Hashtbl.iter
+                (fun (k : Profile.edge_key) (s : Profile.edge_stats) ->
+                  if s.Profile.min_tdep < 1 then
+                    fail "nonpositive Tdep %d" s.Profile.min_tdep;
+                  if s.Profile.count < 1 then fail "zero count";
+                  if s.Profile.addrs = [] then fail "edge without address";
+                  ignore k)
+                cp.Profile.edges)
+            r.Profiler.profile.Profile.by_cid;
+          !ok)
+
+(* 7. Cross-validation: every dependence edge Alchemist attributes to some
+   construct is also seen by the construct-blind flat profiler, with a
+   minimum distance no larger than Alchemist's (the flat profiler sees
+   every dynamic occurrence; Alchemist only the construct-crossing ones). *)
+let test_flat_subsumes () =
+  check ~count:40 "flat profiler subsumes alchemist edges" (fun p ->
+      let prog = Vm.Compile.compile p in
+      match Vm.Machine.run ~fuel prog with
+      | exception Vm.Machine.Trap _ -> QCheck.assume_fail ()
+      | _ ->
+          let r = Profiler.run ~fuel prog in
+          let flat = Baselines.Flat_profiler.run ~fuel prog in
+          let flat_min = Hashtbl.create 64 in
+          List.iter
+            (fun (e : Baselines.Flat_profiler.edge) ->
+              Hashtbl.replace flat_min (e.head_pc, e.tail_pc, e.kind)
+                e.min_distance)
+            flat.Baselines.Flat_profiler.edges;
+          let ok = ref true in
+          Array.iter
+            (fun (cp : Profile.construct_profile) ->
+              Hashtbl.iter
+                (fun (k : Profile.edge_key) (s : Profile.edge_stats) ->
+                  let kind =
+                    match k.kind with
+                    | Shadow.Dependence.Raw -> `Raw
+                    | Shadow.Dependence.War -> `War
+                    | Shadow.Dependence.Waw -> `Waw
+                  in
+                  match Hashtbl.find_opt flat_min (k.head_pc, k.tail_pc, kind) with
+                  | None ->
+                      ok := false;
+                      Printf.printf "edge %d->%d missing from flat profile\n"
+                        k.head_pc k.tail_pc
+                  | Some m ->
+                      if m > s.Profile.min_tdep then begin
+                        ok := false;
+                        Printf.printf "flat min %d > alchemist min %d\n" m
+                          s.Profile.min_tdep
+                      end)
+                cp.Profile.edges)
+            r.Profiler.profile.Profile.by_cid;
+          !ok)
+
+(* 8. Simulator sanity on random programs: parallelizing any loop of main
+   with zero overheads never beats the core count and never loses more
+   than the join bookkeeping. *)
+let test_parsim_sanity () =
+  check ~count:40 "parsim bounds" (fun p ->
+      let prog = Vm.Compile.compile p in
+      match Vm.Machine.run ~fuel prog with
+      | exception Vm.Machine.Trap _ -> QCheck.assume_fail ()
+      | _ -> (
+          (* first loop in main, if any *)
+          let main = Option.get (Vm.Program.find_func prog "main") in
+          let loop =
+            Array.to_list prog.Vm.Program.constructs
+            |> List.find_opt (fun (c : Vm.Program.construct_info) ->
+                   c.kind = Vm.Program.CLoop && c.fid = main.Vm.Program.fid)
+          in
+          match loop with
+          | None -> QCheck.assume_fail ()
+          | Some c ->
+              let g = Parsim.Task_graph.collect ~fuel prog ~head_pc:c.head_pc in
+              let s =
+                Parsim.Scheduler.simulate
+                  ~config:
+                    { Parsim.Scheduler.cores = 4; spawn_overhead = 0; join_overhead = 0 }
+                  g
+              in
+              let seq = s.Parsim.Scheduler.seq_time in
+              let par = s.Parsim.Scheduler.par_time in
+              if par > seq + 1 then
+                QCheck.Test.fail_reportf
+                  "zero-overhead parallel run slower than sequential: %d > %d"
+                  par seq
+              else if s.Parsim.Scheduler.speedup > 5.01 then
+                QCheck.Test.fail_reportf "speedup beyond backbone+4 workers"
+              else true))
+
+(* 9. The indexing stack's pool stays bounded relative to the dynamic
+   construct count even at tiny capacity (Theorem 1 in practice). *)
+let test_pool_bounded () =
+  check ~count:30 "pool bounded at small capacity" (fun p ->
+      let prog = Vm.Compile.compile p in
+      match Vm.Machine.run ~fuel prog with
+      | exception Vm.Machine.Trap _ -> QCheck.assume_fail ()
+      | _ ->
+          let r = Profiler.run ~fuel ~pool_capacity:8 prog in
+          r.Profiler.stats.Profiler.pool_allocated
+          <= max 64 (r.Profiler.stats.Profiler.dynamic_constructs / 4))
+
+let suite =
+  [
+    ("generated programs typecheck", `Slow, test_generated_welltyped);
+    ("pretty roundtrip (random)", `Slow, test_pretty_roundtrip);
+    ("compile deterministic", `Slow, test_compile_deterministic);
+    ("cfa validates (random)", `Slow, test_cfa_validates);
+    ("differential execution", `Slow, test_differential_execution);
+    ("profiler invariants", `Slow, test_profiler_invariants);
+    ("flat subsumes alchemist", `Slow, test_flat_subsumes);
+    ("parsim bounds", `Slow, test_parsim_sanity);
+    ("pool bounded", `Slow, test_pool_bounded);
+  ]

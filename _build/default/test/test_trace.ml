@@ -1,0 +1,121 @@
+(* Tests for the whole-trace recorder and offline profiling, including the
+   paper's §V memory argument (online index tree vs whole-trace cost). *)
+
+module Trace = Vm.Trace
+module Profiler = Alchemist.Profiler
+module Profile = Alchemist.Profile
+
+let sample =
+  {|int g;
+    int acc;
+    int out[16];
+    int work(int i) {
+      int s = acc;
+      for (int k = 0; k < 15; k++) s += (i * k) & 7;
+      acc = s & 1023;
+      out[i & 15] = s;
+      return s;
+    }
+    int main() {
+      for (int i = 0; i < 20; i++) g += work(i);
+      return g & 255;
+    }|}
+
+let test_record_replay_counts () =
+  let prog = Vm.Compile.compile_source sample in
+  let t, res = Trace.record ~trace_locals:false prog in
+  Alcotest.(check bool) "events recorded" true (Trace.events t > 1000);
+  Alcotest.(check int) "result kept" res.Vm.Machine.instructions
+    (Trace.result t).Vm.Machine.instructions;
+  (* replay produces the same event multiset through counting hooks *)
+  let instrs = ref 0 and reads = ref 0 and writes = ref 0 in
+  let calls = ref 0 and rets = ref 0 and branches = ref 0 and rel = ref 0 in
+  Trace.replay t
+    {
+      Vm.Hooks.on_instr = (fun ~pc:_ -> incr instrs);
+      on_read = (fun ~pc:_ ~addr:_ -> incr reads);
+      on_write = (fun ~pc:_ ~addr:_ -> incr writes);
+      on_branch = (fun ~pc:_ ~kind:_ ~cid:_ ~taken:_ -> incr branches);
+      on_call = (fun ~pc:_ ~fid:_ -> incr calls);
+      on_ret = (fun ~pc:_ ~fid:_ -> incr rets);
+      on_frame_release = (fun ~base:_ ~size:_ -> incr rel);
+    };
+  Alcotest.(check int) "one instr event per instruction"
+    res.Vm.Machine.instructions !instrs;
+  Alcotest.(check int) "calls = rets" !calls !rets;
+  Alcotest.(check int) "rets = releases" !rets !rel;
+  Alcotest.(check int) "total matches"
+    (Trace.events t)
+    (!instrs + !reads + !writes + !branches + !calls + !rets + !rel)
+
+(* The headline differential: offline profiling from the trace produces
+   the same profile as online profiling. *)
+let test_offline_equals_online () =
+  let prog = Vm.Compile.compile_source sample in
+  let online = Profiler.run ~fuel:5_000_000 prog in
+  let trace, _ = Trace.record ~trace_locals:false ~fuel:5_000_000 prog in
+  let offline = Profiler.run_trace trace prog in
+  Alcotest.(check int) "same instructions"
+    online.Profiler.stats.Profiler.instructions
+    offline.Profiler.stats.Profiler.instructions;
+  Alcotest.(check int) "same dynamic constructs"
+    online.Profiler.stats.Profiler.dynamic_constructs
+    offline.Profiler.stats.Profiler.dynamic_constructs;
+  Alcotest.(check int) "same dependence events"
+    online.Profiler.stats.Profiler.deps_detected
+    offline.Profiler.stats.Profiler.deps_detected;
+  Alcotest.(check string) "identical report"
+    (Alchemist.Report.render online.Profiler.profile)
+    (Alchemist.Report.render offline.Profiler.profile);
+  (* and identical serialized profiles *)
+  Alcotest.(check string) "identical serialization"
+    (Alchemist.Profile_io.to_string online.Profiler.profile)
+    (Alchemist.Profile_io.to_string offline.Profiler.profile)
+
+let test_offline_equals_online_random () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"offline replay = online profile" ~count:25
+       Testgen.arbitrary_program (fun p ->
+         let prog = Vm.Compile.compile p in
+         match Profiler.run ~fuel:2_000_000 prog with
+         | exception Vm.Machine.Trap _ -> QCheck.assume_fail ()
+         | online ->
+             let trace, _ =
+               Trace.record ~trace_locals:false ~fuel:2_000_000 prog
+             in
+             let offline = Profiler.run_trace trace prog in
+             Alchemist.Profile_io.to_string online.Profiler.profile
+             = Alchemist.Profile_io.to_string offline.Profiler.profile))
+
+(* The §V memory argument: the whole trace grows linearly with the run,
+   the online profiler's pool does not. *)
+let test_trace_grows_pool_does_not () =
+  let prog_of n =
+    Vm.Compile.compile_source
+      (Printf.sprintf
+         "int g; int main() { for (int i = 0; i < %d; i++) g += i & 7; return g; }"
+         n)
+  in
+  let words n = Trace.words (fst (Trace.record (prog_of n))) in
+  let pool n =
+    (Profiler.run ~pool_capacity:64 (prog_of n)).Profiler.stats
+      .Profiler.pool_allocated
+  in
+  let w1 = words 500 and w2 = words 5_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "trace grows ~linearly (%d -> %d)" w1 w2)
+    true
+    (w2 > 8 * w1);
+  let p1 = pool 500 and p2 = pool 5_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "pool stays bounded (%d -> %d)" p1 p2)
+    true
+    (p2 <= p1 + 8)
+
+let suite =
+  [
+    ("record/replay counts", `Quick, test_record_replay_counts);
+    ("offline = online", `Quick, test_offline_equals_online);
+    ("offline = online (qcheck)", `Slow, test_offline_equals_online_random);
+    ("trace grows, pool bounded", `Quick, test_trace_grows_pool_does_not);
+  ]

@@ -1,0 +1,172 @@
+(* Tests for the bytecode verifier. *)
+
+module Verify = Vm.Verify
+module Program = Vm.Program
+
+let compile = Vm.Compile.compile_source
+
+let assert_clean name src =
+  let prog = compile src in
+  Alcotest.(check (list string)) name []
+    (List.map (fun (e : Verify.error) -> e.message) (Verify.verify prog))
+
+let test_clean_programs () =
+  assert_clean "minimal" "int main() { return 0; }";
+  assert_clean "control flow"
+    {|int g;
+      int f(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i++) { if (i % 2) s += i; else s -= 1; }
+        while (s > 100) { s /= 2; if (s == 51) break; }
+        do { s++; } while (s < 0);
+        return s;
+      }
+      int main() { g = f(40) && f(3) || !f(1); return g; }|};
+  assert_clean "arrays and calls"
+    {|int a[7];
+      void fill(int b[], int n) { for (int i = 0; i < n; i++) b[i] = i; }
+      int main() { fill(a, 7); a[2] += a[3]; return a[2]; }|};
+  assert_clean "recursion"
+    "int f(int n) { if (n < 2) return n; return f(n-1) + f(n-2); } int main() { return f(10); }"
+
+let test_all_workloads_verify () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let prog = Workloads.Workload.compile w ~scale:w.Workloads.Workload.test_scale in
+      Alcotest.(check (list string))
+        (w.Workloads.Workload.name ^ " verifies")
+        []
+        (List.map (fun (e : Verify.error) -> e.message) (Verify.verify prog)))
+    Workloads.Registry.all
+
+(* --- corrupted programs are rejected -------------------------------------- *)
+
+let corrupt src f =
+  let prog = compile src in
+  let code = Array.copy prog.Program.code in
+  f code prog;
+  Verify.verify { prog with Program.code = code }
+
+let sample =
+  {|int g;
+    int f(int x) { if (x > 0) g = x; return g + x; }
+    int main() { return f(4) + f(5); }|}
+
+let expect_errors name errs =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s rejected (%d errors)" name (List.length errs))
+    true (errs <> [])
+
+let find_instr prog pred =
+  let found = ref (-1) in
+  Array.iteri
+    (fun pc i -> if !found = -1 && pred i then found := pc)
+    prog.Program.code;
+  Alcotest.(check bool) "target instr found" true (!found >= 0);
+  !found
+
+let test_rejects_escaping_branch () =
+  expect_errors "escaping branch"
+    (corrupt sample (fun code prog ->
+         let pc =
+           find_instr prog (function Vm.Instr.Br _ -> true | _ -> false)
+         in
+         match code.(pc) with
+         | Vm.Instr.Br { kind; cid; _ } ->
+             code.(pc) <- Vm.Instr.Br { target = 0; kind; cid }
+         | _ -> assert false))
+
+let test_rejects_bad_fid () =
+  expect_errors "bad call fid"
+    (corrupt sample (fun code prog ->
+         let pc =
+           find_instr prog (function Vm.Instr.Call _ -> true | _ -> false)
+         in
+         (* the preamble call is pc 0; corrupt a call inside main instead *)
+         let pc = if pc = 0 then
+             let f = ref (-1) in
+             Array.iteri (fun i instr ->
+               if !f = -1 && i > 1 && (match instr with Vm.Instr.Call _ -> true | _ -> false)
+               then f := i) prog.Program.code;
+             !f
+           else pc
+         in
+         code.(pc) <- Vm.Instr.Call 99))
+
+let test_rejects_stack_underflow () =
+  expect_errors "stack underflow"
+    (corrupt sample (fun code prog ->
+         (* replace a Const (push) with a Pop: depths go negative *)
+         let pc =
+           find_instr prog (function Vm.Instr.Const _ -> true | _ -> false)
+         in
+         code.(pc) <- Vm.Instr.Pop))
+
+let test_rejects_unbalanced_join () =
+  expect_errors "unbalanced join"
+    (corrupt sample (fun code prog ->
+         (* insert an extra push on one branch path by replacing a
+            StoreGlobal with a Const: the join sees two depths *)
+         let pc =
+           find_instr prog (function Vm.Instr.StoreGlobal _ -> true | _ -> false)
+         in
+         code.(pc) <- Vm.Instr.Const 1))
+
+let test_rejects_bad_slot () =
+  expect_errors "slot out of frame"
+    (corrupt sample (fun code prog ->
+         let pc =
+           find_instr prog (function Vm.Instr.LoadLocal _ -> true | _ -> false)
+         in
+         code.(pc) <- Vm.Instr.LoadLocal 999))
+
+let test_rejects_bad_global () =
+  expect_errors "global out of range"
+    (corrupt sample (fun code prog ->
+         let pc =
+           find_instr prog (function Vm.Instr.LoadGlobal _ -> true | _ -> false)
+         in
+         code.(pc) <- Vm.Instr.LoadGlobal 12345))
+
+let test_rejects_stray_halt () =
+  expect_errors "halt inside function"
+    (corrupt sample (fun code prog ->
+         let pc =
+           find_instr prog (function Vm.Instr.Const _ -> true | _ -> false)
+         in
+         ignore prog;
+         code.(pc) <- Vm.Instr.Halt))
+
+let test_verify_exn () =
+  let prog = compile sample in
+  Verify.verify_exn prog;
+  (* corrupted: raises *)
+  let code = Array.copy prog.Program.code in
+  code.(0) <- Vm.Instr.Halt;
+  match Verify.verify_exn { prog with Program.code = code } with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument"
+
+(* Property: every generated program verifies. *)
+let test_generated_verify () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"generated programs verify" ~count:60
+       Testgen.arbitrary_program (fun p ->
+         match Verify.verify (Vm.Compile.compile p) with
+         | [] -> true
+         | e :: _ -> QCheck.Test.fail_reportf "verify: %s" e.Verify.message))
+
+let suite =
+  [
+    ("clean programs", `Quick, test_clean_programs);
+    ("all workloads verify", `Quick, test_all_workloads_verify);
+    ("rejects escaping branch", `Quick, test_rejects_escaping_branch);
+    ("rejects bad fid", `Quick, test_rejects_bad_fid);
+    ("rejects stack underflow", `Quick, test_rejects_stack_underflow);
+    ("rejects unbalanced join", `Quick, test_rejects_unbalanced_join);
+    ("rejects bad slot", `Quick, test_rejects_bad_slot);
+    ("rejects bad global", `Quick, test_rejects_bad_global);
+    ("rejects stray halt", `Quick, test_rejects_stray_halt);
+    ("verify_exn", `Quick, test_verify_exn);
+    ("generated programs verify (qcheck)", `Slow, test_generated_verify);
+  ]
