@@ -388,10 +388,10 @@ let baseline () =
   let p = r.Profiler.profile in
   let has_edge cid line =
     let cp = Profile.get p cid in
-    Hashtbl.fold
+    Profile.fold_edges cp
       (fun (k : Profile.edge_key) _ acc ->
         acc || (k.kind = Dep.Raw && Report.line_of_pc p k.head_pc = line))
-      cp.edges false
+      false
   in
   let loop_i = cid_of p (Parsim.Speedup.loop_head_at_line prog 16) in
   let loop_j = cid_of p (Parsim.Speedup.loop_head_at_line prog 19) in
@@ -515,7 +515,7 @@ let ablation () =
       let edges =
         Array.fold_left
           (fun acc (cp : Profile.construct_profile) ->
-            acc + Hashtbl.length cp.edges)
+            acc + Profile.num_edges cp)
           0 p.Profile.by_cid
       in
       Printf.printf "%-12d %12d %10d %12d\n" cap
@@ -604,6 +604,84 @@ let explore_bench () =
      rediscovers the paper's hand-chosen sites and transforms (near-linear\n\
      bzip2/ogg, modest par2/aes, nothing on delaunay)."
 
+(* --- perf: hot-path throughput and sharded speedup ------------------------------- *)
+
+let perf_jobs = ref (Driver.Parallel.default_jobs ())
+
+let perf () =
+  header "Perf — allocation-free hot path + multi-domain sharding";
+  let w = Registry.find "gzip-1.3.5" in
+  let prog = W.compile w ~scale:w.W.default_scale in
+  ignore (Profiler.run ~fuel prog);
+  (* warmed *)
+  let t0 = Unix.gettimeofday () in
+  let r = Profiler.run ~fuel prog in
+  let wall = Unix.gettimeofday () -. t0 in
+  let events = r.Profiler.stats.Profiler.shadow_events in
+  let instrs = r.Profiler.stats.Profiler.instructions in
+  let ns_per_event = wall *. 1e9 /. float_of_int events in
+  let events_per_sec = float_of_int events /. wall in
+  Printf.printf
+    "mini-gzip end-to-end profile: %.3fs wall, %d instructions, %d shadow \
+     events\n"
+    wall instrs events;
+  Printf.printf "  %.1f ns/event  %.2fM events/s  %.2fM instrs/s\n" ns_per_event
+    (events_per_sec /. 1e6)
+    (float_of_int instrs /. wall /. 1e6);
+  let jobs = max 2 !perf_jobs in
+  let scale_of (w : W.t) = w.W.default_scale in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let seq, seq_wall =
+    time (fun () -> Driver.Parallel.profile_registry ~jobs:1 ~fuel ~scale_of ())
+  in
+  let par, par_wall =
+    time (fun () -> Driver.Parallel.profile_registry ~jobs ~fuel ~scale_of ())
+  in
+  let identical =
+    List.for_all2
+      (fun (_, (a : Profiler.result)) (_, (b : Profiler.result)) ->
+        Alchemist.Profile_io.to_string a.Profiler.profile
+        = Alchemist.Profile_io.to_string b.Profiler.profile)
+      seq par
+  in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "\nregistry (%d workloads): -j1 %.2fs  -j%d %.2fs  (%.2fx), sharded \
+     profiles byte-identical: %b\n"
+    (List.length seq) seq_wall jobs par_wall (seq_wall /. par_wall) identical;
+  if cores = 1 then
+    print_endline
+      "  (single-core host: domains time-slice one CPU and inter-domain GC\n\
+      \   coordination adds overhead — sharding pays off only with >1 core)";
+  let oc = open_out "BENCH_1.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "gzip-1.3.5 end-to-end profile",
+  "wall_s": %.4f,
+  "instructions": %d,
+  "shadow_events": %d,
+  "ns_per_event": %.2f,
+  "events_per_sec": %.0f,
+  "registry": {
+    "workloads": %d,
+    "j1_wall_s": %.4f,
+    "jN_wall_s": %.4f,
+    "jobs": %d,
+    "host_cores": %d,
+    "speedup": %.3f,
+    "profiles_identical": %b
+  }
+}
+|}
+    wall instrs events ns_per_event events_per_sec (List.length seq) seq_wall
+    par_wall jobs cores (seq_wall /. par_wall) identical;
+  close_out oc;
+  print_endline "wrote BENCH_1.json"
+
 (* --- main ------------------------------------------------------------------------ *)
 
 let sections =
@@ -619,10 +697,19 @@ let sections =
     ("explore", explore_bench);
     ("micro", micro);
     ("ablation", ablation);
+    ("perf", perf);
   ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  (* -j N sets the worker-domain count for the perf section. *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "-j" :: n :: rest ->
+        perf_jobs := int_of_string n;
+        parse acc rest
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let chosen = if args = [] then List.map fst sections else args in
   List.iter
     (fun name ->

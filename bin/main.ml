@@ -48,6 +48,9 @@ let handle_errors f =
   | exception Invalid_argument msg ->
       Printf.eprintf "error: %s\n" msg;
       1
+  | exception Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
 
 open Cmdliner
 
@@ -338,6 +341,62 @@ let explore_cmd =
              candidates.")
     Term.(const explore $ src_arg $ fuel_arg $ cores $ top)
 
+(* --- profile-all ----------------------------------------------------------- *)
+
+let profile_all_cmd =
+  let jobs =
+    Arg.(
+      value
+      & opt int (Driver.Parallel.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: cores - 1). 1 disables sharding.")
+  in
+  let test_scale =
+    Arg.(
+      value & flag
+      & info [ "test-scale" ]
+          ~doc:"Use each workload's small test scale instead of the Table \
+                III default.")
+  in
+  let save_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-dir" ] ~docv:"DIR"
+          ~doc:"Also write each profile to DIR/NAME.prof.")
+  in
+  let profile_all fuel jobs test_scale save_dir =
+    handle_errors (fun () ->
+        let jobs = max 1 jobs in
+        let scale_of (w : Workloads.Workload.t) =
+          if test_scale then w.test_scale else w.default_scale
+        in
+        let t0 = Unix.gettimeofday () in
+        let results = Driver.Parallel.profile_registry ~jobs ~fuel ~scale_of () in
+        let wall = Unix.gettimeofday () -. t0 in
+        Printf.printf "%-12s %14s %12s %10s\n" "workload" "instructions"
+          "dep events" "constructs";
+        List.iter
+          (fun ((w : Workloads.Workload.t), (r : Alchemist.Profiler.result)) ->
+            let s = r.Alchemist.Profiler.stats in
+            Printf.printf "%-12s %14d %12d %10d\n" w.name
+              s.Alchemist.Profiler.instructions
+              s.Alchemist.Profiler.deps_detected
+              s.Alchemist.Profiler.dynamic_constructs;
+            Option.iter
+              (fun dir ->
+                Alchemist.Profile_io.save r.Alchemist.Profiler.profile
+                  (Filename.concat dir (w.name ^ ".prof")))
+              save_dir)
+          results;
+        Printf.printf "\n%d workloads in %.2fs on %d domain(s)\n"
+          (List.length results) wall jobs)
+  in
+  Cmd.v
+    (Cmd.info "profile-all"
+       ~doc:"Profile every bundled workload, sharded across CPU cores.")
+    Term.(const profile_all $ fuel_arg $ jobs $ test_scale $ save_dir)
+
 (* --- disasm / workloads --------------------------------------------------- *)
 
 let disasm_cmd =
@@ -373,6 +432,7 @@ let main_cmd =
       simulate_cmd;
       advise_cmd;
       explore_cmd;
+      profile_all_cmd;
       report_cmd;
       disasm_cmd;
       workloads_cmd;

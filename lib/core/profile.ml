@@ -1,5 +1,38 @@
 type edge_key = { head_pc : int; tail_pc : int; kind : Shadow.Dependence.kind }
 
+module Key = struct
+  type t = int
+
+  let kind_tag = function
+    | Shadow.Dependence.Raw -> 0
+    | Shadow.Dependence.War -> 1
+    | Shadow.Dependence.Waw -> 2
+
+  let kind_of_tag = function
+    | 0 -> Shadow.Dependence.Raw
+    | 1 -> Shadow.Dependence.War
+    | _ -> Shadow.Dependence.Waw
+
+  let pack ~head_pc ~tail_pc kind =
+    (head_pc lsl 31) lor (tail_pc lsl 2) lor kind_tag kind
+
+  let head_pc k = k lsr 31
+  let tail_pc k = (k lsr 2) land 0x1FFF_FFFF
+  let kind k = kind_of_tag (k land 3)
+  let unpack k = { head_pc = head_pc k; tail_pc = tail_pc k; kind = kind k }
+  let compare (a : int) b = compare a b
+end
+
+module Etbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal (a : int) b = a = b
+
+  (* Fibonacci-style multiplicative mix: packed keys differ mostly in a
+     few bit ranges; spread them across the table. *)
+  let hash k = (k * 0x5DEECE66D) land max_int
+end)
+
 type edge_stats = {
   mutable min_tdep : int;
   mutable count : int;
@@ -11,9 +44,11 @@ type construct_profile = {
   cid : int;
   mutable ttotal : int;
   mutable instances : int;
-  edges : (edge_key, edge_stats) Hashtbl.t;
-  parents : (int, int) Hashtbl.t;
+  edges : edge_stats Etbl.t;
+  parents : (int, int ref) Hashtbl.t;
   mutable nesting : int;
+  mutable cache_key : Key.t;
+  mutable cache_stats : edge_stats;
 }
 
 type t = {
@@ -21,6 +56,9 @@ type t = {
   by_cid : construct_profile array;
   mutable total_instructions : int;
 }
+
+let dummy_stats () =
+  { min_tdep = max_int; count = 0; addrs = []; tail_internal = false }
 
 let create (prog : Vm.Program.t) =
   {
@@ -32,9 +70,11 @@ let create (prog : Vm.Program.t) =
             cid = c.cid;
             ttotal = 0;
             instances = 0;
-            edges = Hashtbl.create 8;
+            edges = Etbl.create 8;
             parents = Hashtbl.create 4;
             nesting = 0;
+            cache_key = min_int;
+            cache_stats = dummy_stats ();
           })
         prog.constructs;
     total_instructions = 0;
@@ -46,6 +86,11 @@ let enter t ~cid =
   let p = t.by_cid.(cid) in
   p.nesting <- p.nesting + 1
 
+let bump_parent (p : construct_profile) parent_cid n =
+  match Hashtbl.find_opt p.parents parent_cid with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add p.parents parent_cid (ref n)
+
 let leave t ~cid ~duration ~parent_cid =
   let p = t.by_cid.(cid) in
   p.nesting <- p.nesting - 1;
@@ -53,30 +98,51 @@ let leave t ~cid ~duration ~parent_cid =
   (* §III-B: aggregate only at the outermost recursion level, otherwise
      nested activations would be double-counted. *)
   if p.nesting = 0 then p.ttotal <- p.ttotal + duration;
-  Hashtbl.replace p.parents parent_cid
-    (1 + Option.value ~default:0 (Hashtbl.find_opt p.parents parent_cid))
+  bump_parent p parent_cid 1
 
 let note_addr s addr =
-  if (not (List.mem addr s.addrs)) && List.length s.addrs < 3 then
-    s.addrs <- addr :: s.addrs
+  (* bounded 3-slot sample of distinct conflicting addresses *)
+  match s.addrs with
+  | [] -> s.addrs <- [ addr ]
+  | [ a ] -> if a <> addr then s.addrs <- addr :: s.addrs
+  | [ a; b ] -> if a <> addr && b <> addr then s.addrs <- addr :: s.addrs
+  | _ -> ()
 
 let record_edge t ~cid ~head_pc ~tail_pc ~kind ~tdep ~addr =
   let p = t.by_cid.(cid) in
   (* the tail is happening right now: another instance of this construct
      is active iff its recursion/iteration nesting counter is nonzero *)
-  let internal = p.nesting > 0 in
-  let key = { head_pc; tail_pc; kind } in
-  match Hashtbl.find_opt p.edges key with
-  | Some s ->
-      s.count <- s.count + 1;
-      if tdep < s.min_tdep then s.min_tdep <- tdep;
-      if internal then s.tail_internal <- true;
-      note_addr s addr
-  | None ->
-      Hashtbl.add p.edges key
-        { min_tdep = tdep; count = 1; addrs = [ addr ]; tail_internal = internal }
+  let key = Key.pack ~head_pc ~tail_pc kind in
+  let s =
+    if p.cache_key = key then p.cache_stats
+    else
+      let s =
+        match Etbl.find_opt p.edges key with
+        | Some s -> s
+        | None ->
+            let s =
+              { min_tdep = tdep; count = 0; addrs = []; tail_internal = false }
+            in
+            Etbl.add p.edges key s;
+            s
+      in
+      p.cache_key <- key;
+      p.cache_stats <- s;
+      s
+  in
+  s.count <- s.count + 1;
+  if tdep < s.min_tdep then s.min_tdep <- tdep;
+  if p.nesting > 0 then s.tail_internal <- true;
+  note_addr s addr
 
 let mean_duration p = if p.instances = 0 then 0 else p.ttotal / p.instances
+
+(* Union of two <=3-address samples, keeping the three smallest: taking
+   the k smallest commutes with union, so merge stays associative and
+   commutative (byte-identical profiles regardless of shard order). *)
+let merge_addrs xs ys =
+  let l = List.sort_uniq compare (List.rev_append xs ys) in
+  List.filteri (fun i _ -> i < 3) l
 
 let merge a b =
   if a.prog.Vm.Program.code <> b.prog.Vm.Program.code then
@@ -88,37 +154,44 @@ let merge a b =
       let add (src : construct_profile) =
         dst.ttotal <- dst.ttotal + src.ttotal;
         dst.instances <- dst.instances + src.instances;
-        Hashtbl.iter
+        Etbl.iter
           (fun key (s : edge_stats) ->
-            (match Hashtbl.find_opt dst.edges key with
+            match Etbl.find_opt dst.edges key with
             | Some d ->
                 d.count <- d.count + s.count;
                 if s.min_tdep < d.min_tdep then d.min_tdep <- s.min_tdep;
                 if s.tail_internal then d.tail_internal <- true;
-                List.iter (note_addr d) s.addrs
+                d.addrs <- merge_addrs d.addrs s.addrs
             | None ->
-                Hashtbl.add dst.edges key
+                Etbl.add dst.edges key
                   {
                     min_tdep = s.min_tdep;
                     count = s.count;
-                    addrs = s.addrs;
+                    addrs = merge_addrs s.addrs [];
                     tail_internal = s.tail_internal;
-                  }))
+                  })
           src.edges;
-        Hashtbl.iter
-          (fun parent n ->
-            Hashtbl.replace dst.parents parent
-              (n + Option.value ~default:0 (Hashtbl.find_opt dst.parents parent)))
-          src.parents
+        Hashtbl.iter (fun parent n -> bump_parent dst parent !n) src.parents
       in
       add a.by_cid.(cid);
       add b.by_cid.(cid))
     out.by_cid;
   out
 
+let iter_edges p f = Etbl.iter (fun k s -> f (Key.unpack k) s) p.edges
+let fold_edges p f acc = Etbl.fold (fun k s acc -> f (Key.unpack k) s acc) p.edges acc
+let num_edges p = Etbl.length p.edges
+
+let find_edge p ~head_pc ~tail_pc kind =
+  Etbl.find_opt p.edges (Key.pack ~head_pc ~tail_pc kind)
+
 let edges_sorted p =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) p.edges []
-  |> List.sort (fun (_, a) (_, b) -> compare a.min_tdep b.min_tdep)
+  Etbl.fold (fun k v acc -> (k, v) :: acc) p.edges []
+  |> List.sort (fun (ka, a) (kb, b) ->
+         match compare a.min_tdep b.min_tdep with
+         | 0 -> Key.compare ka kb
+         | c -> c)
+  |> List.map (fun (k, v) -> (Key.unpack k, v))
 
 let cid_of_head_pc t pc =
   if pc < 0 || pc >= Array.length t.prog.cid_of_pc then None

@@ -5,17 +5,42 @@
     instructions ([ttotal], summed over outermost instances only —
     §III-B's recursion rule), the instance count, and for every static
     dependence edge crossing out of the construct the minimum observed
-    distance [Tdep] (the minimum bounds exploitable concurrency). *)
+    distance [Tdep] (the minimum bounds exploitable concurrency).
+
+    Edges are keyed by a single tagged int ({!Key.t}) packing
+    [(head_pc, tail_pc, kind)], so the per-dependence bottom-up walk
+    neither allocates a key record nor hashes a structured value; the
+    unpacked {!edge_key} view is recovered on demand via {!Key.unpack}
+    and the {!iter_edges}/{!fold_edges} traversals. *)
 
 type edge_key = { head_pc : int; tail_pc : int; kind : Shadow.Dependence.kind }
+(** Unpacked view of an edge key (reporting / analysis convenience). *)
+
+module Key : sig
+  type t = int
+  (** [(head_pc lsl 31) lor (tail_pc lsl 2) lor kind] — pcs fit easily in
+      29/31 bits for any program this VM can hold. *)
+
+  val pack : head_pc:int -> tail_pc:int -> Shadow.Dependence.kind -> t
+  val unpack : t -> edge_key
+  val head_pc : t -> int
+  val tail_pc : t -> int
+  val kind : t -> Shadow.Dependence.kind
+  val compare : t -> t -> int
+end
+
+module Etbl : Hashtbl.S with type key = Key.t
+(** Edge tables: int-keyed, avalanche-mixed hash, no polymorphic
+    comparison on the hot path. *)
 
 type edge_stats = {
   mutable min_tdep : int;
   mutable count : int;  (** dynamic occurrences attributed to this edge *)
   mutable addrs : int list;
-      (** up to three distinct conflicting addresses, most recent first —
-          enough to name the variable(s) behind the edge in reports and
-          transformation advice *)
+      (** up to three distinct conflicting addresses — enough to name the
+          variable(s) behind the edge in reports and transformation
+          advice. Most recent first when recorded live; sorted ascending
+          after a {!merge}. *)
   mutable tail_internal : bool;
       (** some occurrence's tail executed while another instance of this
           construct was active (e.g. a later loop iteration) — as opposed
@@ -27,12 +52,17 @@ type construct_profile = {
   cid : int;
   mutable ttotal : int;
   mutable instances : int;
-  edges : (edge_key, edge_stats) Hashtbl.t;
-  parents : (int, int) Hashtbl.t;
+  edges : edge_stats Etbl.t;
+  parents : (int, int ref) Hashtbl.t;
       (** direct dynamic parent cid -> instance count (drives Fig. 6(b)'s
           "single nested instance per instance" removal); the key [-1]
           stands for the execution root *)
   mutable nesting : int;  (** live recursion depth of this static construct *)
+  mutable cache_key : Key.t;
+      (** last edge key recorded on this construct ([min_int] = none) —
+          a 1-entry memo that skips the table probe when a loop keeps
+          hitting the same static edge *)
+  mutable cache_stats : edge_stats;  (** stats cell memoized for [cache_key] *)
 }
 
 type t = {
@@ -65,7 +95,9 @@ val record_edge :
 val merge : t -> t -> t
 (** Combine two profiles of the {e same} program (e.g. different inputs —
     the paper gathers multiple profile runs): instance counts and totals
-    add, per-edge minima take the min, edge sets union.
+    add, per-edge minima take the min, edge sets union, per-edge address
+    samples take the three smallest of the union (which makes [merge]
+    associative and commutative, see test_parallel).
     @raise Invalid_argument if the programs differ. *)
 
 val get : t -> int -> construct_profile
@@ -74,7 +106,21 @@ val mean_duration : construct_profile -> int
 (** [ttotal / instances] — the per-instance [Tdur] used for the
     [Tdep > Tdur] test (0 when the construct never completed). *)
 
+val iter_edges : construct_profile -> (edge_key -> edge_stats -> unit) -> unit
+val fold_edges :
+  construct_profile -> (edge_key -> edge_stats -> 'a -> 'a) -> 'a -> 'a
+
+val num_edges : construct_profile -> int
+
+val find_edge :
+  construct_profile ->
+  head_pc:int ->
+  tail_pc:int ->
+  Shadow.Dependence.kind ->
+  edge_stats option
+
 val edges_sorted : construct_profile -> (edge_key * edge_stats) list
-(** Sorted by ascending minimum distance. *)
+(** Sorted by ascending minimum distance (ties broken by packed key, so
+    the order is deterministic). *)
 
 val cid_of_head_pc : t -> int -> int option

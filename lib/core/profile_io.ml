@@ -22,6 +22,11 @@ let kind_of_tag = function
   | "WAW" -> Ok Shadow.Dependence.Waw
   | s -> Error (Printf.sprintf "unknown dependence kind %S" s)
 
+(* The output is canonical: constructs in cid order, edges sorted by
+   packed key, parents sorted by cid, addresses sorted ascending. Equal
+   profiles therefore serialize to identical bytes regardless of hash
+   table insertion order — the property the sharded (-j N) driver's
+   byte-identity test rests on. *)
 let write (t : Profile.t) buf =
   Buffer.add_string buf "alchemist-profile 1\n";
   Buffer.add_string buf (Printf.sprintf "fingerprint %s\n" (fingerprint t.prog));
@@ -31,20 +36,21 @@ let write (t : Profile.t) buf =
       if cp.instances > 0 then
         Buffer.add_string buf
           (Printf.sprintf "construct %d %d %d\n" cp.cid cp.ttotal cp.instances);
-      Hashtbl.iter
-        (fun (k : Profile.edge_key) (s : Profile.edge_stats) ->
-          Buffer.add_string buf
-            (Printf.sprintf "edge %d %d %d %s %d %d %d%s\n" cp.cid k.head_pc
-               k.tail_pc (kind_tag k.kind) s.min_tdep s.count
-               (if s.tail_internal then 1 else 0)
-               (String.concat ""
-                  (List.map (Printf.sprintf " %d") (List.rev s.addrs)))))
-        cp.edges;
-      Hashtbl.iter
-        (fun parent n ->
-          Buffer.add_string buf
-            (Printf.sprintf "parent %d %d %d\n" cp.cid parent n))
-        cp.parents)
+      Profile.fold_edges cp (fun k s acc -> (k, s) :: acc) []
+      |> List.sort (fun ((a : Profile.edge_key), _) (b, _) -> compare a b)
+      |> List.iter (fun ((k : Profile.edge_key), (s : Profile.edge_stats)) ->
+             Buffer.add_string buf
+               (Printf.sprintf "edge %d %d %d %s %d %d %d%s\n" cp.cid k.head_pc
+                  k.tail_pc (kind_tag k.kind) s.min_tdep s.count
+                  (if s.tail_internal then 1 else 0)
+                  (String.concat ""
+                     (List.map (Printf.sprintf " %d")
+                        (List.sort compare s.addrs)))));
+      Hashtbl.fold (fun parent n acc -> (parent, !n) :: acc) cp.parents []
+      |> List.sort compare
+      |> List.iter (fun (parent, n) ->
+             Buffer.add_string buf
+               (Printf.sprintf "parent %d %d %d\n" cp.cid parent n)))
     t.by_cid
 
 let to_string t =
@@ -118,8 +124,8 @@ let read (prog : Vm.Program.t) text =
                     (Ok []) addrs
                 in
                 let cp = Profile.get t cid in
-                Hashtbl.replace cp.Profile.edges
-                  { Profile.head_pc; tail_pc; kind }
+                Profile.Etbl.replace cp.Profile.edges
+                  (Profile.Key.pack ~head_pc ~tail_pc kind)
                   {
                     Profile.min_tdep;
                     count;
@@ -131,7 +137,8 @@ let read (prog : Vm.Program.t) text =
                 let* cid = Result.bind (int_of cid) check_cid in
                 let* parent = int_of parent in
                 let* count = int_of count in
-                Hashtbl.replace (Profile.get t cid).Profile.parents parent count;
+                Hashtbl.replace (Profile.get t cid).Profile.parents parent
+                  (ref count);
                 go rest
             | _ -> Error (Printf.sprintf "malformed line: %S" line))
       in

@@ -44,22 +44,22 @@ let make ?scan_limit ?pool_capacity (prog : Vm.Program.t) =
   in
   let rules = Indexing.Rules.create ~ipdom:analysis.Cfa.Analysis.ipdom_of_pc ~tree in
   (* Table II: attribute a detected dependence to every completed
-     enclosing construct of its head, bottom-up. *)
-  let on_dep (d : Shadow.Dependence.t) =
-    let tdep = Shadow.Dependence.distance d in
-    let th = d.head.Shadow.Dependence.time in
+     enclosing construct of its head, bottom-up. The sink receives the
+     edge unboxed, so the per-dependence walk performs no allocation. *)
+  let sink ~kind ~head_pc ~head_time ~head_node ~tail_pc ~tail_time
+      ~tail_node:_ ~addr =
+    let tdep = tail_time - head_time in
     let rec walk (c : Node.t) =
-      if Node.covers c th then begin
+      if Node.covers c head_time then begin
         Profile.record_edge profile
           ~cid:(cid_of_label prog c.label)
-          ~head_pc:d.head.Shadow.Dependence.pc
-          ~tail_pc:d.tail.Shadow.Dependence.pc ~kind:d.kind ~tdep ~addr:d.addr;
+          ~head_pc ~tail_pc ~kind ~tdep ~addr;
         match c.parent with Some p -> walk p | None -> ()
       end
     in
-    walk d.head.Shadow.Dependence.node
+    walk head_node
   in
-  let shadow = Shadow.Shadow_memory.create ~on_dep () in
+  let shadow = Shadow.Shadow_memory.create ~sink () in
   let enclosing () =
     match Indexing.Index_tree.top tree with
     | Some c -> c

@@ -41,6 +41,7 @@ let remove_with_singletons (t : Profile.t) entries ~cid =
           let max_parent_instances = ref 0 in
           Hashtbl.iter
             (fun parent_cid count ->
+              let count = !count in
               total_parent_occurrences := !total_parent_occurrences + count;
               if parent_cid < 0 || not (Hashtbl.mem removed parent_cid) then
                 all_removed := false

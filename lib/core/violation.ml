@@ -15,8 +15,7 @@ let summarize (t : Profile.t) ~cid =
   let p = Profile.get t cid in
   let acc = ref { cid; raw_violating = 0; war_violating = 0; waw_violating = 0;
                   raw_total = 0; war_total = 0; waw_total = 0 } in
-  Hashtbl.iter
-    (fun (k : Profile.edge_key) s ->
+  Profile.iter_edges p (fun k s ->
       let v = is_violating p s in
       let a = !acc in
       acc :=
@@ -29,8 +28,7 @@ let summarize (t : Profile.t) ~cid =
                      war_violating = (a.war_violating + if v then 1 else 0) }
         | Shadow.Dependence.Waw ->
             { a with waw_total = a.waw_total + 1;
-                     waw_violating = (a.waw_violating + if v then 1 else 0) }))
-    p.edges;
+                     waw_violating = (a.waw_violating + if v then 1 else 0) }));
   !acc
 
 let violating_edges (t : Profile.t) ~cid =
@@ -40,9 +38,9 @@ let violating_edges (t : Profile.t) ~cid =
 let total_violating_raw (t : Profile.t) =
   Array.fold_left
     (fun acc (p : Profile.construct_profile) ->
-      Hashtbl.fold
+      Profile.fold_edges p
         (fun (k : Profile.edge_key) s n ->
           if k.kind = Shadow.Dependence.Raw && is_violating p s then n + 1
           else n)
-        p.edges acc)
+        acc)
     0 t.by_cid

@@ -1,0 +1,64 @@
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let map ~jobs f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else
+    let jobs = max 1 (min jobs n) in
+    if jobs = 1 then Array.map f xs
+    else begin
+      let results = Array.make n None in
+      let errors = Array.make n None in
+      let next = Atomic.make 0 in
+      (* Work-dealing: domains pull the next unclaimed index, so a few
+         expensive items do not serialize behind a static partition. *)
+      let rec worker () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f xs.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              errors.(i) <- Some (e, bt));
+          worker ()
+        end
+      in
+      let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join domains;
+      Array.iter
+        (function
+          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> ())
+        errors;
+      Array.map (function Some v -> v | None -> assert false) results
+    end
+
+let merge_profiles = function
+  | [] -> invalid_arg "Parallel.merge_profiles: empty list"
+  | p :: ps -> List.fold_left Alchemist.Profile.merge p ps
+
+let profile_programs ?(jobs = default_jobs ()) ?fuel ?trace_locals = function
+  | [] -> invalid_arg "Parallel.profile_programs: empty list"
+  | progs ->
+      map ~jobs
+        (fun prog ->
+          (Alchemist.Profiler.run ?fuel ?trace_locals prog)
+            .Alchemist.Profiler.profile)
+        (Array.of_list progs)
+      |> Array.to_list |> merge_profiles
+
+let profile_registry ?(jobs = default_jobs ()) ?fuel
+    ?(scale_of = fun (w : Workloads.Workload.t) -> w.default_scale) () =
+  let compiled =
+    List.map
+      (fun (w : Workloads.Workload.t) ->
+        (w, Workloads.Workload.compile w ~scale:(scale_of w)))
+      Workloads.Registry.all
+    |> Array.of_list
+  in
+  map ~jobs
+    (fun ((w : Workloads.Workload.t), prog) ->
+      (w, Alchemist.Profiler.run ?fuel prog))
+    compiled
+  |> Array.to_list

@@ -1,0 +1,54 @@
+(** Multi-domain sharded profiling.
+
+    Profiling runs are embarrassingly parallel: each run owns its VM,
+    shadow memory, index tree and profile, and shares nothing mutable
+    with its siblings. This module shards independent runs across OCaml 5
+    [Domain]s and combines their results with {!Alchemist.Profile.merge}.
+
+    Because [merge] is associative and commutative (see [profile.ml]) and
+    {!Alchemist.Profile_io.write} is canonical, a sharded run serializes
+    to byte-identical output regardless of job count or completion
+    order — the property [test_parallel.ml] pins down. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1], at least 1: one domain per
+    core, counting the caller (which also works). *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f xs] applies [f] to every element, distributing work over
+    [jobs] domains (the calling domain counts as one). Work is dealt by an
+    atomic cursor, so uneven item costs balance automatically. If any [f]
+    raises, the first exception (in index order) is re-raised with its
+    backtrace after all domains have joined. [jobs <= 1] runs sequentially
+    in the calling domain. *)
+
+val merge_profiles : Alchemist.Profile.t list -> Alchemist.Profile.t
+(** Folds {!Alchemist.Profile.merge} over the list.
+    @raise Invalid_argument on the empty list, or if the profiles belong
+    to different programs. *)
+
+val profile_programs :
+  ?jobs:int ->
+  ?fuel:int ->
+  ?trace_locals:bool ->
+  Vm.Program.t list ->
+  Alchemist.Profile.t
+(** Profiles each program on its own domain and merges the results into
+    one profile. Intended for input families: the same source template
+    compiled with different initialized global data yields identical code
+    (hence mergeable profiles) exercising different paths — the paper's
+    "completeness is a function of the test inputs" caveat, §IV.
+    @raise Invalid_argument on the empty list or on programs with
+    differing code. *)
+
+val profile_registry :
+  ?jobs:int ->
+  ?fuel:int ->
+  ?scale_of:(Workloads.Workload.t -> int) ->
+  unit ->
+  (Workloads.Workload.t * Alchemist.Profiler.result) list
+(** Profiles every registry workload, one run per domain. Compilation is
+    sequential (it is cheap and keeps compiler state off the worker
+    domains); only the profiled execution is sharded. [scale_of] picks the
+    input size per workload (default [default_scale]). Results are in
+    registry order, independent of completion order. *)

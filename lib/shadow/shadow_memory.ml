@@ -1,55 +1,302 @@
-type cell = {
-  mutable last_write : Dependence.access option;
-  mutable reads : (int * Dependence.access) list;  (* keyed by static pc *)
-}
+module Node = Indexing.Node
 
+type sink =
+  kind:Dependence.kind ->
+  head_pc:int ->
+  head_time:int ->
+  head_node:Node.t ->
+  tail_pc:int ->
+  tail_time:int ->
+  tail_node:Node.t ->
+  addr:int ->
+  unit
+
+(* Cells are flat struct-of-arrays indexed by address. An address has a
+   last write iff [w_pc.(a) >= 0] and recorded reads iff [r_head.(a) >= 0]
+   (an index into the read arena, a singly linked free-listed pool of
+   (pc, time, node) slots threaded through [rn_next]).
+
+   Clearing is lazy for large ranges: a clear pushes (base, seq) on a
+   stack whose bases and seqs are both strictly increasing (a new clear
+   pops every entry with a higher base — its range is covered). A cell is
+   stale iff some clear with [base <= addr] happened after the cell's
+   last touch; staleness is resolved eagerly at the next touch. *)
 type t = {
-  cells : (int, cell) Hashtbl.t;
-  on_dep : Dependence.t -> unit;
+  (* per-address cells *)
+  mutable w_pc : int array; (* -1 = no write recorded *)
+  mutable w_time : int array;
+  mutable w_node : Node.t array;
+  mutable r_head : int array; (* -1 = no reads; else arena index *)
+  mutable touch : int array; (* seq of last touch, for staleness *)
+  mutable cap : int;
+  mutable hi : int; (* highest address ever touched + 1 *)
+  (* read arena *)
+  mutable rn_pc : int array;
+  mutable rn_time : int array;
+  mutable rn_node : Node.t array;
+  mutable rn_next : int array;
+  mutable free : int;
+  (* clear stack: bases and seqs both strictly increasing *)
+  mutable cl_base : int array;
+  mutable cl_seq : int array;
+  mutable cl_n : int;
+  mutable last_clear_seq : int;
+  mutable seq : int;
+  dummy : Node.t;
+  sink : sink;
   mutable events : int;
   mutable deps : int;
 }
 
-let create ?(on_dep = fun _ -> ()) () =
-  { cells = Hashtbl.create 4096; on_dep; events = 0; deps = 0 }
+let no_sink ~kind:_ ~head_pc:_ ~head_time:_ ~head_node:_ ~tail_pc:_
+    ~tail_time:_ ~tail_node:_ ~addr:_ =
+  ()
 
-let cell t addr =
-  match Hashtbl.find_opt t.cells addr with
-  | Some c -> c
-  | None ->
-      let c = { last_write = None; reads = [] } in
-      Hashtbl.add t.cells addr c;
-      c
+let initial_cap = 1024
+let arena_cap = 1024
 
-let emit t kind head tail addr =
-  t.deps <- t.deps + 1;
-  t.on_dep { Dependence.kind; head; tail; addr }
+(* Frames up to this size are scrubbed eagerly (exact range semantics);
+   larger ones are range-tagged in O(1). *)
+let eager_clear_limit = 64
+
+let thread_free rn_next lo hi =
+  for i = lo to hi - 2 do
+    rn_next.(i) <- i + 1
+  done;
+  rn_next.(hi - 1) <- -1
+
+let create ?on_dep ?sink () =
+  let dummy = Node.make () in
+  let sink =
+    match (on_dep, sink) with
+    | None, None -> no_sink
+    | None, Some s -> s
+    | Some f, more ->
+        fun ~kind ~head_pc ~head_time ~head_node ~tail_pc ~tail_time
+            ~tail_node ~addr ->
+          f
+            {
+              Dependence.kind;
+              head = { Dependence.pc = head_pc; time = head_time; node = head_node };
+              tail = { Dependence.pc = tail_pc; time = tail_time; node = tail_node };
+              addr;
+            };
+          (match more with
+          | None -> ()
+          | Some s ->
+              s ~kind ~head_pc ~head_time ~head_node ~tail_pc ~tail_time
+                ~tail_node ~addr)
+  in
+  let rn_next = Array.make arena_cap 0 in
+  thread_free rn_next 0 arena_cap;
+  {
+    w_pc = Array.make initial_cap (-1);
+    w_time = Array.make initial_cap 0;
+    w_node = Array.make initial_cap dummy;
+    r_head = Array.make initial_cap (-1);
+    touch = Array.make initial_cap 0;
+    cap = initial_cap;
+    hi = 0;
+    rn_pc = Array.make arena_cap 0;
+    rn_time = Array.make arena_cap 0;
+    rn_node = Array.make arena_cap dummy;
+    rn_next;
+    free = 0;
+    cl_base = Array.make 64 0;
+    cl_seq = Array.make 64 0;
+    cl_n = 0;
+    last_clear_seq = 0;
+    seq = 0;
+    dummy;
+    sink;
+    events = 0;
+    deps = 0;
+  }
+
+let grow_cells t addr =
+  let cap = ref t.cap in
+  while addr >= !cap do
+    cap := 2 * !cap
+  done;
+  let cap = !cap in
+  let copy mk a = (* grow [a] to [cap], filling the tail with [mk] *)
+    let b = Array.make cap mk in
+    Array.blit a 0 b 0 t.cap;
+    b
+  in
+  t.w_pc <- copy (-1) t.w_pc;
+  t.w_time <- copy 0 t.w_time;
+  t.w_node <- copy t.dummy t.w_node;
+  t.r_head <- copy (-1) t.r_head;
+  t.touch <- copy 0 t.touch;
+  t.cap <- cap
+
+let ensure t addr =
+  if addr >= t.cap then grow_cells t addr;
+  if addr >= t.hi then t.hi <- addr + 1
+
+let grow_arena t =
+  let n = Array.length t.rn_pc in
+  let cap = 2 * n in
+  let copy mk a =
+    let b = Array.make cap mk in
+    Array.blit a 0 b 0 n;
+    b
+  in
+  t.rn_pc <- copy 0 t.rn_pc;
+  t.rn_time <- copy 0 t.rn_time;
+  t.rn_node <- copy t.dummy t.rn_node;
+  t.rn_next <- copy 0 t.rn_next;
+  thread_free t.rn_next n cap;
+  t.free <- n
+
+let alloc_slot t =
+  if t.free < 0 then grow_arena t;
+  let i = t.free in
+  t.free <- t.rn_next.(i);
+  i
+
+(* Return a whole read chain to the free list and detach it. *)
+let release_chain t addr =
+  let i = ref t.r_head.(addr) in
+  while !i >= 0 do
+    let next = t.rn_next.(!i) in
+    t.rn_node.(!i) <- t.dummy;
+    t.rn_next.(!i) <- t.free;
+    t.free <- !i;
+    i := next
+  done;
+  t.r_head.(addr) <- -1
+
+let reset_cell t addr =
+  t.w_pc.(addr) <- -1;
+  t.w_node.(addr) <- t.dummy;
+  if t.r_head.(addr) >= 0 then release_chain t addr
+
+(* Topmost clear entry with base <= addr (bases ascend): its seq is the
+   newest clear covering [addr]. *)
+let covering_clear_seq t addr =
+  if t.cl_n = 0 || addr < t.cl_base.(0) then -1
+  else begin
+    let lo = ref 0 and hi = ref (t.cl_n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.cl_base.(mid) <= addr then lo := mid else hi := mid - 1
+    done;
+    t.cl_seq.(!lo)
+  end
+
+(* Resolve lazy clears: if the cell's last touch predates a covering
+   clear, scrub it before use. *)
+let freshen t addr =
+  if
+    t.touch.(addr) < t.last_clear_seq
+    && (t.w_pc.(addr) >= 0 || t.r_head.(addr) >= 0)
+    && covering_clear_seq t addr > t.touch.(addr)
+  then reset_cell t addr
 
 let read t ~addr ~pc ~time ~node =
   t.events <- t.events + 1;
-  let c = cell t addr in
-  let acc = { Dependence.pc; time; node } in
-  (match c.last_write with
-  | Some w -> emit t Dependence.Raw w acc addr
-  | None -> ());
-  c.reads <- (pc, acc) :: List.remove_assoc pc c.reads
+  t.seq <- t.seq + 1;
+  ensure t addr;
+  freshen t addr;
+  if t.w_pc.(addr) >= 0 then begin
+    t.deps <- t.deps + 1;
+    t.sink ~kind:Dependence.Raw ~head_pc:t.w_pc.(addr)
+      ~head_time:t.w_time.(addr) ~head_node:t.w_node.(addr) ~tail_pc:pc
+      ~tail_time:time ~tail_node:node ~addr
+  end;
+  (* update the slot for this static pc in place, or link a new one *)
+  let rec find i =
+    if i < 0 then -1 else if t.rn_pc.(i) = pc then i else find t.rn_next.(i)
+  in
+  let i = find t.r_head.(addr) in
+  if i >= 0 then begin
+    t.rn_time.(i) <- time;
+    t.rn_node.(i) <- node
+  end
+  else begin
+    let i = alloc_slot t in
+    t.rn_pc.(i) <- pc;
+    t.rn_time.(i) <- time;
+    t.rn_node.(i) <- node;
+    t.rn_next.(i) <- t.r_head.(addr);
+    t.r_head.(addr) <- i
+  end;
+  t.touch.(addr) <- t.seq
 
 let write t ~addr ~pc ~time ~node =
   t.events <- t.events + 1;
-  let c = cell t addr in
-  let acc = { Dependence.pc; time; node } in
-  (match c.last_write with
-  | Some w -> emit t Dependence.Waw w acc addr
-  | None -> ());
-  List.iter (fun (_, r) -> emit t Dependence.War r acc addr) c.reads;
-  c.reads <- [];
-  c.last_write <- Some acc
+  t.seq <- t.seq + 1;
+  ensure t addr;
+  freshen t addr;
+  if t.w_pc.(addr) >= 0 then begin
+    t.deps <- t.deps + 1;
+    t.sink ~kind:Dependence.Waw ~head_pc:t.w_pc.(addr)
+      ~head_time:t.w_time.(addr) ~head_node:t.w_node.(addr) ~tail_pc:pc
+      ~tail_time:time ~tail_node:node ~addr
+  end;
+  (* WAR from every recorded read; free the chain as we go *)
+  let i = ref t.r_head.(addr) in
+  while !i >= 0 do
+    let s = !i in
+    t.deps <- t.deps + 1;
+    t.sink ~kind:Dependence.War ~head_pc:t.rn_pc.(s) ~head_time:t.rn_time.(s)
+      ~head_node:t.rn_node.(s) ~tail_pc:pc ~tail_time:time ~tail_node:node
+      ~addr;
+    let next = t.rn_next.(s) in
+    t.rn_node.(s) <- t.dummy;
+    t.rn_next.(s) <- t.free;
+    t.free <- s;
+    i := next
+  done;
+  t.r_head.(addr) <- -1;
+  t.w_pc.(addr) <- pc;
+  t.w_time.(addr) <- time;
+  t.w_node.(addr) <- node;
+  t.touch.(addr) <- t.seq
 
 let clear_range t ~base ~size =
-  for addr = base to base + size - 1 do
-    Hashtbl.remove t.cells addr
-  done
+  if size > 0 then begin
+    t.seq <- t.seq + 1;
+    if size <= eager_clear_limit then begin
+      let hi = min (base + size) t.cap in
+      for addr = max base 0 to hi - 1 do
+        if t.w_pc.(addr) >= 0 || t.r_head.(addr) >= 0 then reset_cell t addr;
+        t.touch.(addr) <- t.seq
+      done
+    end
+    else begin
+      (* range-tag: pop covered entries, push (base, seq) *)
+      while t.cl_n > 0 && t.cl_base.(t.cl_n - 1) >= base do
+        t.cl_n <- t.cl_n - 1
+      done;
+      if t.cl_n = Array.length t.cl_base then begin
+        let n = t.cl_n in
+        let base' = Array.make (2 * n) 0 and seq' = Array.make (2 * n) 0 in
+        Array.blit t.cl_base 0 base' 0 n;
+        Array.blit t.cl_seq 0 seq' 0 n;
+        t.cl_base <- base';
+        t.cl_seq <- seq'
+      end;
+      t.cl_base.(t.cl_n) <- base;
+      t.cl_seq.(t.cl_n) <- t.seq;
+      t.cl_n <- t.cl_n + 1;
+      t.last_clear_seq <- t.seq
+    end
+  end
 
-let tracked_addresses t = Hashtbl.length t.cells
+let tracked_addresses t =
+  let n = ref 0 in
+  for addr = 0 to t.hi - 1 do
+    if
+      (t.w_pc.(addr) >= 0 || t.r_head.(addr) >= 0)
+      && not
+           (t.touch.(addr) < t.last_clear_seq
+           && covering_clear_seq t addr > t.touch.(addr))
+    then incr n
+  done;
+  !n
+
 let events t = t.events
 let deps_emitted t = t.deps

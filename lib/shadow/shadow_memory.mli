@@ -7,13 +7,41 @@
     per static pc is lossless for the profile, which records the
     {e minimum} [Tdep] per static edge.
 
+    The implementation is allocation-free on the hot path: cells live in
+    flat struct-of-arrays tables indexed directly by address (the VM's
+    address space is dense and bounded by live memory), per-pc read slots
+    come from a reusable arena, and dependence edges are reported through
+    an unboxed {!sink} callback instead of a materialized
+    {!Dependence.t} record. The boxed [on_dep] interface is kept as a
+    compatibility wrapper.
+
     {!clear_range} drops history for a released stack frame, so
     stack-address reuse across activations cannot fabricate dependences
-    (and the table stays bounded by live memory). *)
+    (and the table stays bounded by live memory). Small ranges are
+    scrubbed eagerly; large ranges are range-tagged in O(1) amortized by
+    pushing a (base, seq) entry on a clear stack, relying on the VM's
+    stack discipline (a released frame is always the top of the address
+    space, so invalidating everything at or above [base] is exact).
+    Stale cells are lazily reset on their next touch. *)
 
 type t
 
-val create : ?on_dep:(Dependence.t -> unit) -> unit -> t
+type sink =
+  kind:Dependence.kind ->
+  head_pc:int ->
+  head_time:int ->
+  head_node:Indexing.Node.t ->
+  tail_pc:int ->
+  tail_time:int ->
+  tail_node:Indexing.Node.t ->
+  addr:int ->
+  unit
+(** Unboxed dependence report: one edge, no allocation. *)
+
+val create : ?on_dep:(Dependence.t -> unit) -> ?sink:sink -> unit -> t
+(** [on_dep] receives boxed {!Dependence.t} records (compatibility path,
+    allocates per edge); [sink] receives the same edges unboxed. Both may
+    be given; both are called per edge. *)
 
 val read :
   t -> addr:int -> pc:int -> time:int -> node:Indexing.Node.t -> unit
@@ -22,9 +50,14 @@ val write :
   t -> addr:int -> pc:int -> time:int -> node:Indexing.Node.t -> unit
 
 val clear_range : t -> base:int -> size:int -> unit
+(** Drops history for [base, base+size). Ranges larger than a small
+    threshold are invalidated lazily in O(1); this also invalidates any
+    history {e above} the range, which is exact under the VM's stack
+    discipline (the released frame is the top of the address space). *)
 
 val tracked_addresses : t -> int
-(** Number of addresses currently carrying history (bounded-memory test). *)
+(** Number of addresses currently carrying history (bounded-memory test).
+    O(address space) — diagnostic, not for the hot path. *)
 
 val events : t -> int
 (** Total read/write events processed. *)

@@ -2,19 +2,37 @@ exception Trap of string * int
 
 type result = { exit_value : int; instructions : int; output : int list }
 
-type value = VInt of int | VRef of int * int  (* base, len *)
-
 exception Halted of int
+
+(* Values are unboxed: the payload lives in an [int array] and a one-byte
+   tag in a parallel [Bytes.t] ('\000' = integer, '\001' = array
+   reference). An array reference packs (base, len) into a single int as
+   [base lor (len lsl 31)] — base fits 31 bits (2^31 memory slots is far
+   beyond any workload here), leaving 32 bits for the length. The
+   interpreter hot loop therefore never allocates: no boxed [value]
+   constructors, no per-call argument array. *)
+
+let tag_int = '\000'
+let tag_ref = '\001'
+let ref_shift = 31
+let ref_mask = (1 lsl ref_shift) - 1
+let pack_ref base len = base lor (len lsl ref_shift)
+let ref_base v = v land ref_mask
+let ref_len v = v lsr ref_shift
 
 type state = {
   prog : Program.t;
-  mutable mem : value array;
-  mutable stack : value array;  (* operand stack *)
+  mutable mem : int array;
+  mutable mem_tag : Bytes.t;
+  mutable stack : int array;  (* operand stack *)
+  mutable stack_tag : Bytes.t;
   mutable sp : int;
   mutable frame_base : int;
   mutable stack_top : int;  (* next free memory address *)
-  (* call records: return pc, saved frame base, callee fid *)
-  mutable calls : (int * int * int) array;
+  (* call records, struct-of-arrays: return pc, saved frame base, fid *)
+  mutable call_ret : int array;
+  mutable call_base : int array;
+  mutable call_fid : int array;
   mutable depth : int;
   max_depth : int;
   mutable out : int list;
@@ -28,34 +46,46 @@ let trap st pc fmt =
 let ensure_mem st needed =
   let n = Array.length st.mem in
   if needed > n then begin
-    let mem = Array.make (max (2 * n) needed) (VInt 0) in
+    let cap = max (2 * n) needed in
+    let mem = Array.make cap 0 in
     Array.blit st.mem 0 mem 0 n;
-    st.mem <- mem
+    st.mem <- mem;
+    let mem_tag = Bytes.make cap tag_int in
+    Bytes.blit st.mem_tag 0 mem_tag 0 n;
+    st.mem_tag <- mem_tag
   end
 
-let push st v =
+let push st v tag =
   if st.sp = Array.length st.stack then begin
-    let stack = Array.make (2 * st.sp) (VInt 0) in
+    let stack = Array.make (2 * st.sp) 0 in
     Array.blit st.stack 0 stack 0 st.sp;
-    st.stack <- stack
+    st.stack <- stack;
+    let stack_tag = Bytes.make (2 * st.sp) tag_int in
+    Bytes.blit st.stack_tag 0 stack_tag 0 st.sp;
+    st.stack_tag <- stack_tag
   end;
   st.stack.(st.sp) <- v;
+  Bytes.unsafe_set st.stack_tag st.sp tag;
   st.sp <- st.sp + 1
 
-let pop st pc =
+(* Pops a slot and returns its index; the caller reads value and tag from
+   the (still valid) popped position. *)
+let pop_slot st pc =
   if st.sp = 0 then trap st pc "operand stack underflow";
   st.sp <- st.sp - 1;
-  st.stack.(st.sp)
+  st.sp
 
 let pop_int st pc =
-  match pop st pc with
-  | VInt n -> n
-  | VRef _ -> trap st pc "expected integer, found array reference"
+  let i = pop_slot st pc in
+  if Bytes.unsafe_get st.stack_tag i <> tag_int then
+    trap st pc "expected integer, found array reference";
+  st.stack.(i)
 
 let pop_ref st pc =
-  match pop st pc with
-  | VRef (b, l) -> (b, l)
-  | VInt _ -> trap st pc "expected array reference, found integer"
+  let i = pop_slot st pc in
+  if Bytes.unsafe_get st.stack_tag i <> tag_ref then
+    trap st pc "expected array reference, found integer";
+  st.stack.(i)
 
 let eval_binop st pc (op : Minic.Ast.binop) a b =
   match op with
@@ -91,15 +121,20 @@ let eval_unop (op : Minic.Ast.unop) a =
 let exec ~hooked ?(trace_locals = true) (hooks : Hooks.t) ?fuel
     ?(max_depth = 10_000) (prog : Program.t) =
   let hook_locals = hooked && trace_locals in
+  let mem_cap = max prog.globals_size 1024 in
   let st =
     {
       prog;
-      mem = Array.make (max prog.globals_size 1024) (VInt 0);
-      stack = Array.make 256 (VInt 0);
+      mem = Array.make mem_cap 0;
+      mem_tag = Bytes.make mem_cap tag_int;
+      stack = Array.make 256 0;
+      stack_tag = Bytes.make 256 tag_int;
       sp = 0;
       frame_base = 0;
       stack_top = prog.globals_size;
-      calls = Array.make 64 (0, 0, 0);
+      call_ret = Array.make 64 0;
+      call_base = Array.make 64 0;
+      call_fid = Array.make 64 0;
       depth = 0;
       max_depth;
       out = [];
@@ -107,7 +142,7 @@ let exec ~hooked ?(trace_locals = true) (hooks : Hooks.t) ?fuel
     }
   in
   ensure_mem st prog.globals_size;
-  List.iter (fun (addr, v) -> st.mem.(addr) <- VInt v) prog.global_inits;
+  List.iter (fun (addr, v) -> st.mem.(addr) <- v) prog.global_inits;
   let code = prog.code in
   let funcs = prog.funcs in
   let fuel = match fuel with Some f -> f | None -> max_int in
@@ -121,61 +156,68 @@ let exec ~hooked ?(trace_locals = true) (hooks : Hooks.t) ?fuel
        if hooked then hooks.on_instr ~pc:p;
        (match code.(p) with
         | Const n ->
-            push st (VInt n);
+            push st n tag_int;
             incr pc
         | LoadLocal s ->
             let addr = st.frame_base + s in
             if hook_locals then hooks.on_read ~pc:p ~addr;
-            push st st.mem.(addr);
+            push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
             incr pc
         | StoreLocal s ->
             let addr = st.frame_base + s in
-            let v = pop st p in
+            let i = pop_slot st p in
             if hook_locals then hooks.on_write ~pc:p ~addr;
-            st.mem.(addr) <- v;
+            st.mem.(addr) <- st.stack.(i);
+            Bytes.unsafe_set st.mem_tag addr (Bytes.unsafe_get st.stack_tag i);
             incr pc
         | LoadGlobal addr ->
             if hooked then hooks.on_read ~pc:p ~addr;
-            push st st.mem.(addr);
+            push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
             incr pc
         | StoreGlobal addr ->
-            let v = pop st p in
+            let i = pop_slot st p in
             if hooked then hooks.on_write ~pc:p ~addr;
-            st.mem.(addr) <- v;
+            st.mem.(addr) <- st.stack.(i);
+            Bytes.unsafe_set st.mem_tag addr (Bytes.unsafe_get st.stack_tag i);
             incr pc
         | MakeRefGlobal (base, len) ->
-            push st (VRef (base, len));
+            push st (pack_ref base len) tag_ref;
             incr pc
         | MakeRefLocal (off, len) ->
-            push st (VRef (st.frame_base + off, len));
+            push st (pack_ref (st.frame_base + off) len) tag_ref;
             incr pc
         | LoadIndex ->
             let idx = pop_int st p in
-            let base, len = pop_ref st p in
+            let r = pop_ref st p in
+            let base = ref_base r and len = ref_len r in
             if idx < 0 || idx >= len then
               trap st p "index %d out of bounds [0,%d)" idx len;
             let addr = base + idx in
             if hooked then hooks.on_read ~pc:p ~addr;
-            push st st.mem.(addr);
+            push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
             incr pc
         | StoreIndex ->
-            let v = pop st p in
+            let i = pop_slot st p in
+            let v = st.stack.(i) in
+            let vtag = Bytes.unsafe_get st.stack_tag i in
             let idx = pop_int st p in
-            let base, len = pop_ref st p in
+            let r = pop_ref st p in
+            let base = ref_base r and len = ref_len r in
             if idx < 0 || idx >= len then
               trap st p "index %d out of bounds [0,%d)" idx len;
             let addr = base + idx in
             if hooked then hooks.on_write ~pc:p ~addr;
             st.mem.(addr) <- v;
+            Bytes.unsafe_set st.mem_tag addr vtag;
             incr pc
         | Binop op ->
             let b = pop_int st p in
             let a = pop_int st p in
-            push st (VInt (eval_binop st p op a b));
+            push st (eval_binop st p op a b) tag_int;
             incr pc
         | Unop op ->
             let a = pop_int st p in
-            push st (VInt (eval_unop op a));
+            push st (eval_unop op a) tag_int;
             incr pc
         | Jmp target -> pc := target
         | Br { target; kind; cid } ->
@@ -185,42 +227,59 @@ let exec ~hooked ?(trace_locals = true) (hooks : Hooks.t) ?fuel
             pc := if taken then target else p + 1
         | Dup2 ->
             if st.sp < 2 then trap st p "dup2 on short stack";
-            let a = st.stack.(st.sp - 2) and b = st.stack.(st.sp - 1) in
-            push st a;
-            push st b;
+            let i = st.sp - 2 in
+            let a = st.stack.(i) and ta = Bytes.unsafe_get st.stack_tag i in
+            let b = st.stack.(i + 1)
+            and tb = Bytes.unsafe_get st.stack_tag (i + 1) in
+            push st a ta;
+            push st b tb;
             incr pc
         | Call fid ->
             if st.depth >= st.max_depth then trap st p "call stack overflow";
             let f = funcs.(fid) in
-            (* Pop arguments, last on top. *)
-            let args = Array.make f.nparams (VInt 0) in
-            for i = f.nparams - 1 downto 0 do
-              args.(i) <- pop st p
-            done;
+            (* Arguments sit on top of the operand stack, first param
+               deepest; leave them in place and copy straight into the
+               callee frame below — no intermediate array. *)
+            if st.sp < f.nparams then trap st p "operand stack underflow";
+            st.sp <- st.sp - f.nparams;
             (* Push the call record. *)
-            if st.depth = Array.length st.calls then begin
-              let calls = Array.make (2 * st.depth) (0, 0, 0) in
-              Array.blit st.calls 0 calls 0 st.depth;
-              st.calls <- calls
+            if st.depth = Array.length st.call_ret then begin
+              let grow a =
+                let b = Array.make (2 * st.depth) 0 in
+                Array.blit a 0 b 0 st.depth;
+                b
+              in
+              st.call_ret <- grow st.call_ret;
+              st.call_base <- grow st.call_base;
+              st.call_fid <- grow st.call_fid
             end;
-            st.calls.(st.depth) <- (p + 1, st.frame_base, fid);
+            st.call_ret.(st.depth) <- p + 1;
+            st.call_base.(st.depth) <- st.frame_base;
+            st.call_fid.(st.depth) <- fid;
             st.depth <- st.depth + 1;
             (* Fresh zeroed frame. *)
             let base = st.stack_top in
             ensure_mem st (base + f.frame_slots);
-            Array.fill st.mem base f.frame_slots (VInt 0);
+            Array.fill st.mem base f.frame_slots 0;
+            Bytes.fill st.mem_tag base f.frame_slots tag_int;
             st.frame_base <- base;
             st.stack_top <- base + f.frame_slots;
             if hooked then hooks.on_call ~pc:f.entry ~fid;
             for i = 0 to f.nparams - 1 do
               if hook_locals then hooks.on_write ~pc:f.entry ~addr:(base + i);
-              st.mem.(base + i) <- args.(i)
+              st.mem.(base + i) <- st.stack.(st.sp + i);
+              Bytes.unsafe_set st.mem_tag (base + i)
+                (Bytes.unsafe_get st.stack_tag (st.sp + i))
             done;
             pc := f.entry
         | Ret ->
-            let v = pop st p in
+            let i = pop_slot st p in
+            let v = st.stack.(i) in
+            let vtag = Bytes.unsafe_get st.stack_tag i in
             st.depth <- st.depth - 1;
-            let ret_pc, saved_base, fid = st.calls.(st.depth) in
+            let ret_pc = st.call_ret.(st.depth) in
+            let saved_base = st.call_base.(st.depth) in
+            let fid = st.call_fid.(st.depth) in
             let f = funcs.(fid) in
             if hooked then begin
               hooks.on_ret ~pc:p ~fid;
@@ -228,10 +287,10 @@ let exec ~hooked ?(trace_locals = true) (hooks : Hooks.t) ?fuel
             end;
             st.stack_top <- st.frame_base;
             st.frame_base <- saved_base;
-            push st v;
+            push st v vtag;
             pc := ret_pc
         | Pop ->
-            ignore (pop st p);
+            ignore (pop_slot st p);
             incr pc
         | Print ->
             let v = pop_int st p in

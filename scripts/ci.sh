@@ -1,0 +1,9 @@
+#!/bin/sh
+# CI entry point: build everything (including tests and benches) and run
+# the full test suite. Fails on any compiler error or test failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build @check
+dune build
+dune runtest

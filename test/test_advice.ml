@@ -185,14 +185,18 @@ let test_merge_doubles () =
         (Printf.sprintf "ttotal doubles (cid %d)" cid)
         (2 * single.ttotal) cp.ttotal;
       (* identical runs: same edges, same minima, doubled counts *)
-      Alcotest.(check int) "edge sets equal" (Hashtbl.length single.edges)
-        (Hashtbl.length cp.edges);
-      Hashtbl.iter
-        (fun key (s : Profile.edge_stats) ->
-          let d = Hashtbl.find cp.edges key in
-          Alcotest.(check int) "min preserved" s.min_tdep d.min_tdep;
-          Alcotest.(check int) "count doubled" (2 * s.count) d.count)
-        single.edges)
+      Alcotest.(check int) "edge sets equal" (Profile.num_edges single)
+        (Profile.num_edges cp);
+      Profile.iter_edges single
+        (fun (key : Profile.edge_key) (s : Profile.edge_stats) ->
+          match
+            Profile.find_edge cp ~head_pc:key.head_pc ~tail_pc:key.tail_pc
+              key.kind
+          with
+          | None -> Alcotest.fail "edge missing from merged profile"
+          | Some d ->
+              Alcotest.(check int) "min preserved" s.min_tdep d.min_tdep;
+              Alcotest.(check int) "count doubled" (2 * s.count) d.count))
     m.Profile.by_cid
 
 let test_merge_takes_min () =
@@ -223,10 +227,9 @@ let test_merge_takes_min () =
   let m = Profile.merge r.Profiler.profile r.Profiler.profile in
   Array.iter
     (fun (cp : Profile.construct_profile) ->
-      Hashtbl.iter
+      Profile.iter_edges cp
         (fun _ (s : Profile.edge_stats) ->
-          Alcotest.(check bool) "min positive" true (s.min_tdep > 0))
-        cp.edges)
+          Alcotest.(check bool) "min positive" true (s.min_tdep > 0)))
     m.Profile.by_cid
 
 let test_merge_rejects_different_programs () =

@@ -17,6 +17,7 @@ let () =
       ("advice", Test_advice.suite);
       ("properties", Test_properties.suite);
       ("explore", Test_explore.suite);
+      ("parallel", Test_parallel.suite);
       ("profile_io", Test_profile_io.suite);
       ("reporting", Test_reporting.suite);
     ]

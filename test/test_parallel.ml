@@ -1,0 +1,151 @@
+(* The sharded (-j N) driver: the domain pool itself, byte-identity of
+   sharded vs sequential profiling over the whole registry, and the
+   algebraic properties of Profile.merge (associativity, commutativity)
+   that make shard combination order-insensitive. *)
+
+module W = Workloads.Workload
+module Parallel = Driver.Parallel
+module Profiler = Alchemist.Profiler
+module Profile = Alchemist.Profile
+module Pio = Alchemist.Profile_io
+
+let fuel = 50_000_000
+
+(* --- the domain pool ---------------------------------------------------- *)
+
+let test_map_results () =
+  let xs = Array.init 100 (fun i -> i) in
+  let ys = Parallel.map ~jobs:4 (fun i -> (i * i) + 1) xs in
+  Alcotest.(check (array int))
+    "map computes every element"
+    (Array.map (fun i -> (i * i) + 1) xs)
+    ys
+
+let test_map_uneven () =
+  (* items of wildly different cost still all complete (work dealing) *)
+  let xs = Array.init 20 (fun i -> i) in
+  let ys =
+    Parallel.map ~jobs:3
+      (fun i ->
+        let n = if i = 0 then 200_000 else 100 in
+        let acc = ref 0 in
+        for k = 1 to n do
+          acc := !acc + k
+        done;
+        !acc + i)
+      xs
+  in
+  Alcotest.(check int) "expensive item done" (100_000 * 200_001 + 0) ys.(0);
+  Alcotest.(check int) "cheap item done" (50 * 101 + 19) ys.(19)
+
+exception Boom of int
+
+let test_map_propagates_exception () =
+  let xs = Array.init 32 (fun i -> i) in
+  match Parallel.map ~jobs:4 (fun i -> if i = 17 then raise (Boom i) else i) xs with
+  | _ -> Alcotest.fail "expected the worker exception to propagate"
+  | exception Boom 17 -> ()
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+
+(* --- sharded runs are byte-identical to sequential ones ------------------ *)
+
+let test_registry_byte_identical () =
+  let scale_of (w : W.t) = w.test_scale in
+  let seq = Parallel.profile_registry ~jobs:1 ~fuel ~scale_of () in
+  let par = Parallel.profile_registry ~jobs:4 ~fuel ~scale_of () in
+  Alcotest.(check int) "same workload count" (List.length seq)
+    (List.length par);
+  List.iter2
+    (fun ((w : W.t), (a : Profiler.result)) ((w' : W.t), (b : Profiler.result)) ->
+      Alcotest.(check string) "same order" w.name w'.name;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: -j4 profile byte-identical to -j1" w.name)
+        true
+        (Pio.to_string a.Profiler.profile = Pio.to_string b.Profiler.profile))
+    seq par
+
+(* --- input families: shard over inputs of one program -------------------- *)
+
+(* Input lives in initialized global data, so variants share code and
+   their profiles merge (cf. test_profile_io.ml). *)
+let family_src mode =
+  Printf.sprintf
+    {|int mode = %d;
+      int acc;
+      int out[32];
+      int step(int i) {
+        int s = 0;
+        for (int k = 0; k < 20; k++) s += i + k;
+        if (mode > 1) {
+          acc += s;
+        }
+        if (mode > 3) {
+          out[0] = out[0] + s;
+        }
+        out[i & 31] = s;
+        return s;
+      }
+      int main() {
+        for (int i = 0; i < 10 + mode; i++) step(i);
+        return acc;
+      }|}
+    mode
+
+let family_prog mode = Vm.Compile.compile_source (family_src mode)
+
+let test_profile_programs_matches_sequential () =
+  let progs = List.map family_prog [ 0; 2; 4; 5 ] in
+  let sharded = Parallel.profile_programs ~jobs:4 ~fuel progs in
+  let sequential =
+    List.map
+      (fun prog -> (Profiler.run ~fuel prog).Profiler.profile)
+      progs
+    |> Parallel.merge_profiles
+  in
+  Alcotest.(check bool) "sharded merge = sequential merge" true
+    (Pio.to_string sharded = Pio.to_string sequential)
+
+(* --- merge is associative and commutative -------------------------------- *)
+
+let family_profile =
+  (* memoized: qcheck draws many triples from a small pool of modes *)
+  let cache = Hashtbl.create 8 in
+  fun mode ->
+    match Hashtbl.find_opt cache mode with
+    | Some p -> p
+    | None ->
+        let p = (Profiler.run ~fuel (family_prog mode)).Profiler.profile in
+        Hashtbl.replace cache mode p;
+        p
+
+let mode_gen = QCheck.int_range 0 5
+
+let test_merge_commutative () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"merge commutative" ~count:30
+       (QCheck.pair mode_gen mode_gen)
+       (fun (i, j) ->
+         let a = family_profile i and b = family_profile j in
+         Pio.to_string (Profile.merge a b) = Pio.to_string (Profile.merge b a)))
+
+let test_merge_associative () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"merge associative" ~count:30
+       (QCheck.triple mode_gen mode_gen mode_gen)
+       (fun (i, j, k) ->
+         let a = family_profile i
+         and b = family_profile j
+         and c = family_profile k in
+         Pio.to_string (Profile.merge (Profile.merge a b) c)
+         = Pio.to_string (Profile.merge a (Profile.merge b c))))
+
+let suite =
+  [
+    ("map results", `Quick, test_map_results);
+    ("map uneven costs", `Quick, test_map_uneven);
+    ("map propagates exceptions", `Quick, test_map_propagates_exception);
+    ("registry -j4 byte-identical", `Slow, test_registry_byte_identical);
+    ("input shards match sequential", `Quick, test_profile_programs_matches_sequential);
+    ("merge commutative", `Quick, test_merge_commutative);
+    ("merge associative", `Quick, test_merge_associative);
+  ]

@@ -23,18 +23,21 @@ let profiles_equal (a : Profile.t) (b : Profile.t) =
   && Array.for_all2
        (fun (x : Profile.construct_profile) (y : Profile.construct_profile) ->
          x.ttotal = y.ttotal && x.instances = y.instances
-         && Hashtbl.length x.edges = Hashtbl.length y.edges
-         && Hashtbl.fold
-              (fun k (s : Profile.edge_stats) acc ->
+         && Profile.num_edges x = Profile.num_edges y
+         && Profile.fold_edges x
+              (fun (k : Profile.edge_key) (s : Profile.edge_stats) acc ->
                 acc
                 &&
-                match Hashtbl.find_opt y.edges k with
+                match
+                  Profile.find_edge y ~head_pc:k.head_pc ~tail_pc:k.tail_pc
+                    k.kind
+                with
                 | Some d ->
                     d.min_tdep = s.min_tdep && d.count = s.count
                     && d.tail_internal = s.tail_internal
                     && List.sort compare d.addrs = List.sort compare s.addrs
                 | None -> false)
-              x.edges true)
+              true)
        a.by_cid b.by_cid
 
 let test_roundtrip () =
@@ -152,7 +155,7 @@ let test_inputs_extend_profile () =
   let p1 = (Profiler.run ~fuel:1_000_000 prog1).Profiler.profile in
   let edges p =
     Array.fold_left
-      (fun acc (cp : Profile.construct_profile) -> acc + Hashtbl.length cp.edges)
+      (fun acc (cp : Profile.construct_profile) -> acc + Profile.num_edges cp)
       0 p.Profile.by_cid
   in
   Alcotest.(check bool)

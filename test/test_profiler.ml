@@ -34,7 +34,7 @@ let find_func_construct (p : Profile.t) name =
 
 let edge_kinds_of (p : Profile.t) cid =
   let cp = Profile.get p cid in
-  Hashtbl.fold (fun (k : Profile.edge_key) _ acc -> k.kind :: acc) cp.edges []
+  Profile.fold_edges cp (fun (k : Profile.edge_key) _ acc -> k.kind :: acc) []
 
 (* --- nesting discrimination (the paper's "Precision" claim) -------------- *)
 
@@ -59,13 +59,12 @@ let test_intra_iteration_invisible () =
      RAW on g. The loop counter i itself is loop-carried, so edges may
      exist — check specifically there is no edge whose head is the write
      to g (line 5) and tail the read of g (line 6). *)
-  Hashtbl.iter
+  Profile.iter_edges cp
     (fun (k : Profile.edge_key) _ ->
       let hl = Alchemist.Report.line_of_pc r.Profiler.profile k.head_pc in
       let tl = Alchemist.Report.line_of_pc r.Profiler.profile k.tail_pc in
       if k.kind = Dep.Raw && hl = 5 && tl = 6 then
         Alcotest.fail "intra-iteration RAW must not be profiled")
-    cp.edges
 
 (* Loop-carried dependence: recorded on the loop, not on the function. *)
 let test_loop_carried_on_loop_only () =
@@ -83,18 +82,18 @@ let test_loop_carried_on_loop_only () =
   let loop = find_construct p Vm.Program.CLoop 3 in
   let cp = Profile.get p loop in
   let g_edges =
-    Hashtbl.fold
+    Profile.fold_edges cp
       (fun (k : Profile.edge_key) _ acc ->
         let hl = Alchemist.Report.line_of_pc p k.head_pc in
         let tl = Alchemist.Report.line_of_pc p k.tail_pc in
         if hl = 4 && tl = 4 && k.kind = Dep.Raw then k :: acc else acc)
-      cp.edges []
+      []
   in
   Alcotest.(check bool) "loop-carried RAW on loop" true (g_edges <> []);
   (* The function construct main is still active: no edge on it. *)
   let main_cid = find_func_construct p "main" in
   let main_cp = Profile.get p main_cid in
-  Alcotest.(check int) "main has no edges" 0 (Hashtbl.length main_cp.edges)
+  Alcotest.(check int) "main has no edges" 0 (Profile.num_edges main_cp)
 
 (* The paper's §III four-cases example: same calling context, different
    loop-boundary crossings — Alchemist distinguishes them via the index
@@ -137,12 +136,12 @@ let test_section3_four_cases () =
   let loop_i = find_construct p Vm.Program.CLoop 16 in
   let has_raw_from_line cid line =
     let cp = Profile.get p cid in
-    Hashtbl.fold
+    Profile.fold_edges cp
       (fun (k : Profile.edge_key) _ acc ->
         acc
         || (k.kind = Dep.Raw
             && Alchemist.Report.line_of_pc p k.head_pc = line))
-      cp.edges false
+      false
   in
   (* Method A sees all three writes as dependence heads. *)
   Alcotest.(check bool) "A: same-iter dep" true (has_raw_from_line cid_a 5);
@@ -302,7 +301,7 @@ let test_min_tdep_is_minimum () =
   let loop = find_construct p Vm.Program.CLoop 4 in
   let cp = Profile.get p loop in
   let raw_edges =
-    Hashtbl.fold
+    Profile.fold_edges cp
       (fun (k : Profile.edge_key) (s : Profile.edge_stats) acc ->
         if
           k.kind = Dep.Raw
@@ -310,7 +309,7 @@ let test_min_tdep_is_minimum () =
           && Alchemist.Report.line_of_pc p k.tail_pc = 5
         then s :: acc
         else acc)
-      cp.edges []
+      []
   in
   (match raw_edges with
   | [ s ] ->

@@ -79,14 +79,13 @@ let test_profiler_invariants () =
                 fail "construct ttotal %d exceeds run %d" cp.Profile.ttotal instr;
               if cp.Profile.nesting <> 0 then
                 fail "nonzero nesting counter at end";
-              Hashtbl.iter
+              Profile.iter_edges cp
                 (fun (k : Profile.edge_key) (s : Profile.edge_stats) ->
                   if s.Profile.min_tdep < 1 then
                     fail "nonpositive Tdep %d" s.Profile.min_tdep;
                   if s.Profile.count < 1 then fail "zero count";
                   if s.Profile.addrs = [] then fail "edge without address";
-                  ignore k)
-                cp.Profile.edges)
+                  ignore k))
             r.Profiler.profile.Profile.by_cid;
           !ok)
 
@@ -111,7 +110,7 @@ let test_flat_subsumes () =
           let ok = ref true in
           Array.iter
             (fun (cp : Profile.construct_profile) ->
-              Hashtbl.iter
+              Profile.iter_edges cp
                 (fun (k : Profile.edge_key) (s : Profile.edge_stats) ->
                   let kind =
                     match k.kind with
@@ -129,8 +128,7 @@ let test_flat_subsumes () =
                         ok := false;
                         Printf.printf "flat min %d > alchemist min %d\n" m
                           s.Profile.min_tdep
-                      end)
-                cp.Profile.edges)
+                      end))
             r.Profiler.profile.Profile.by_cid;
           !ok)
 

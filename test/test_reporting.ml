@@ -39,7 +39,7 @@ let test_violation_threshold_is_mean_duration () =
   let cp = Profile.get p cid in
   let mean = Profile.mean_duration cp in
   Alcotest.(check bool) "mean duration positive" true (mean > 0);
-  Hashtbl.iter
+  Profile.iter_edges cp
     (fun (k : Profile.edge_key) (s : Profile.edge_stats) ->
       if k.kind = Dep.Raw then
         Alcotest.(check bool)
@@ -47,7 +47,6 @@ let test_violation_threshold_is_mean_duration () =
              mean)
           (s.min_tdep <= mean)
           (Violation.is_violating cp s))
-    cp.edges
 
 let test_total_violating_raw_counts_all_constructs () =
   let src =
@@ -65,11 +64,11 @@ let test_total_violating_raw_counts_all_constructs () =
     Array.fold_left
       (fun acc (cp : Profile.construct_profile) ->
         acc
-        + Hashtbl.fold
+        + Profile.fold_edges cp
             (fun (k : Profile.edge_key) s n ->
               if k.kind = Dep.Raw && Violation.is_violating cp s then n + 1
               else n)
-            cp.edges 0)
+            0)
       0 p.Profile.by_cid
   in
   Alcotest.(check int) "sum over constructs" by_hand total;
