@@ -613,51 +613,105 @@ let perf () =
   let w = Registry.find "gzip-1.3.5" in
   let prog = W.compile w ~scale:w.W.default_scale in
   ignore (Profiler.run ~fuel prog);
-  (* warmed *)
-  let t0 = Unix.gettimeofday () in
-  let r = Profiler.run ~fuel prog in
-  let wall = Unix.gettimeofday () -. t0 in
+  (* warmed; best-of-N so one scheduler hiccup cannot distort the
+     throughput figure (a single-core host shares its CPU with everything
+     else that runs) *)
+  let runs = 3 in
+  let best = ref infinity and best_r = ref None in
+  for _ = 1 to runs do
+    let t0 = Unix.gettimeofday () in
+    let r = Profiler.run ~fuel prog in
+    let wall = Unix.gettimeofday () -. t0 in
+    if wall < !best then begin
+      best := wall;
+      best_r := Some r
+    end
+  done;
+  let wall = !best in
+  let r = Option.get !best_r in
   let events = r.Profiler.stats.Profiler.shadow_events in
   let instrs = r.Profiler.stats.Profiler.instructions in
   let ns_per_event = wall *. 1e9 /. float_of_int events in
   let events_per_sec = float_of_int events /. wall in
   Printf.printf
-    "mini-gzip end-to-end profile: %.3fs wall, %d instructions, %d shadow \
-     events\n"
-    wall instrs events;
+    "mini-gzip end-to-end profile: %.3fs wall (best of %d), %d instructions, \
+     %d shadow events\n"
+    wall runs instrs events;
   Printf.printf "  %.1f ns/event  %.2fM events/s  %.2fM instrs/s\n" ns_per_event
     (events_per_sec /. 1e6)
     (float_of_int instrs /. wall /. 1e6);
-  let jobs = max 2 !perf_jobs in
+  let telemetry_json = Obs.render_json (Profiler.telemetry r) in
+  (* Sharding is a throughput claim, so the job count must not exceed the
+     cores that actually exist: oversubscribed domains time-slice one CPU
+     and inter-domain GC coordination turns the "speedup" into a slowdown
+     (the BENCH_1 0.34x artifact). Clamp, and say so. *)
+  let cores = Domain.recommended_domain_count () in
+  let requested = max 1 !perf_jobs in
+  let jobs = min requested cores in
+  let oversubscribed = requested > cores in
+  if oversubscribed then
+    Printf.printf
+      "  warning: -j %d exceeds %d host core(s); clamping to -j %d\n" requested
+      cores jobs;
   let scale_of (w : W.t) = w.W.default_scale in
   let time f =
     let t0 = Unix.gettimeofday () in
     let v = f () in
     (v, Unix.gettimeofday () -. t0)
   in
-  let seq, seq_wall =
-    time (fun () -> Driver.Parallel.profile_registry ~jobs:1 ~fuel ~scale_of ())
+  let registry_json =
+    if jobs <= 1 then begin
+      Printf.printf
+        "\nregistry sharding comparison skipped: %d host core(s) — domains\n\
+         would time-slice one CPU and measure scheduler noise, not speedup\n"
+        cores;
+      Printf.sprintf
+        {|{
+    "skipped": true,
+    "reason": "single-core host: a -jN vs -j1 comparison measures time-slicing, not sharding",
+    "requested_jobs": %d,
+    "host_cores": %d,
+    "oversubscribed": %b
+  }|}
+        requested cores oversubscribed
+    end
+    else begin
+      let seq, seq_wall =
+        time (fun () ->
+            Driver.Parallel.profile_registry ~jobs:1 ~fuel ~scale_of ())
+      in
+      let par, par_wall =
+        time (fun () -> Driver.Parallel.profile_registry ~jobs ~fuel ~scale_of ())
+      in
+      let identical =
+        List.for_all2
+          (fun (_, (a : Profiler.result)) (_, (b : Profiler.result)) ->
+            Alchemist.Profile_io.to_string a.Profiler.profile
+            = Alchemist.Profile_io.to_string b.Profiler.profile)
+          seq par
+      in
+      Printf.printf
+        "\nregistry (%d workloads): -j1 %.2fs  -j%d %.2fs  (%.2fx), sharded \
+         profiles byte-identical: %b\n"
+        (List.length seq) seq_wall jobs par_wall (seq_wall /. par_wall)
+        identical;
+      Printf.sprintf
+        {|{
+    "workloads": %d,
+    "j1_wall_s": %.4f,
+    "jN_wall_s": %.4f,
+    "requested_jobs": %d,
+    "jobs": %d,
+    "host_cores": %d,
+    "oversubscribed": %b,
+    "speedup": %.3f,
+    "profiles_identical": %b
+  }|}
+        (List.length seq) seq_wall par_wall requested jobs cores oversubscribed
+        (seq_wall /. par_wall) identical
+    end
   in
-  let par, par_wall =
-    time (fun () -> Driver.Parallel.profile_registry ~jobs ~fuel ~scale_of ())
-  in
-  let identical =
-    List.for_all2
-      (fun (_, (a : Profiler.result)) (_, (b : Profiler.result)) ->
-        Alchemist.Profile_io.to_string a.Profiler.profile
-        = Alchemist.Profile_io.to_string b.Profiler.profile)
-      seq par
-  in
-  let cores = Domain.recommended_domain_count () in
-  Printf.printf
-    "\nregistry (%d workloads): -j1 %.2fs  -j%d %.2fs  (%.2fx), sharded \
-     profiles byte-identical: %b\n"
-    (List.length seq) seq_wall jobs par_wall (seq_wall /. par_wall) identical;
-  if cores = 1 then
-    print_endline
-      "  (single-core host: domains time-slice one CPU and inter-domain GC\n\
-      \   coordination adds overhead — sharding pays off only with >1 core)";
-  let oc = open_out "BENCH_1.json" in
+  let oc = open_out "BENCH_2.json" in
   Printf.fprintf oc
     {|{
   "benchmark": "gzip-1.3.5 end-to-end profile",
@@ -666,21 +720,13 @@ let perf () =
   "shadow_events": %d,
   "ns_per_event": %.2f,
   "events_per_sec": %.0f,
-  "registry": {
-    "workloads": %d,
-    "j1_wall_s": %.4f,
-    "jN_wall_s": %.4f,
-    "jobs": %d,
-    "host_cores": %d,
-    "speedup": %.3f,
-    "profiles_identical": %b
-  }
+  "registry": %s,
+  "telemetry": %s
 }
 |}
-    wall instrs events ns_per_event events_per_sec (List.length seq) seq_wall
-    par_wall jobs cores (seq_wall /. par_wall) identical;
+    wall instrs events ns_per_event events_per_sec registry_json telemetry_json;
   close_out oc;
-  print_endline "wrote BENCH_1.json"
+  print_endline "wrote BENCH_2.json"
 
 (* --- main ------------------------------------------------------------------------ *)
 

@@ -108,7 +108,19 @@ let profile_cmd =
       & opt (some string) None
       & info [ "save" ] ~doc:"Also write the profile to this file.")
   in
-  let profile spec fuel top edges kinds trace_locals save fold =
+  let telemetry =
+    (* --telemetry prints the text rendering; --telemetry=json the JSON one *)
+    Arg.(
+      value
+      & opt ~vopt:(Some `Text)
+          (some (enum [ ("text", `Text); ("json", `Json) ]))
+          None
+      & info [ "telemetry" ] ~docv:"FORMAT"
+          ~doc:"Print internal metrics (VM, shadow memory, construct pool, \
+                profiler) after the report, as $(b,text) (default) or \
+                $(b,json).")
+  in
+  let profile spec fuel top edges kinds trace_locals save telemetry fold =
     handle_errors (fun () ->
         let prog = load_program ~fold spec in
         let r = Alchemist.Profiler.run ~fuel ~trace_locals prog in
@@ -133,14 +145,23 @@ let profile_cmd =
           s.Alchemist.Profiler.static_constructs
           s.Alchemist.Profiler.dynamic_constructs
           s.Alchemist.Profiler.deps_detected s.Alchemist.Profiler.pool_allocated
-          s.Alchemist.Profiler.pool_reused)
+          s.Alchemist.Profiler.pool_reused;
+        match telemetry with
+        | None -> ()
+        | Some fmt ->
+            let snap = Alchemist.Profiler.telemetry r in
+            print_newline ();
+            print_string
+              (match fmt with
+              | `Text -> Obs.render_text snap
+              | `Json -> Obs.render_json snap ^ "\n"))
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Profile dependence distances (Fig. 2/3-style report).")
     Term.(
       const profile $ src_arg $ fuel_arg $ top $ edges $ kinds $ trace_locals
-      $ save $ fold_arg)
+      $ save $ telemetry $ fold_arg)
 
 (* --- rank ---------------------------------------------------------------- *)
 
@@ -365,7 +386,14 @@ let profile_all_cmd =
       & info [ "save-dir" ] ~docv:"DIR"
           ~doc:"Also write each profile to DIR/NAME.prof.")
   in
-  let profile_all fuel jobs test_scale save_dir =
+  let telemetry =
+    Arg.(
+      value & flag
+      & info [ "telemetry" ]
+          ~doc:"Add a per-shard breakdown (wall time, events, walk depth) \
+                and the merged telemetry snapshot.")
+  in
+  let profile_all fuel jobs test_scale save_dir telemetry =
     handle_errors (fun () ->
         let jobs = max 1 jobs in
         let scale_of (w : Workloads.Workload.t) =
@@ -390,12 +418,44 @@ let profile_all_cmd =
               save_dir)
           results;
         Printf.printf "\n%d workloads in %.2fs on %d domain(s)\n"
-          (List.length results) wall jobs)
+          (List.length results) wall jobs;
+        if telemetry then begin
+          (* Per-shard: each run's registry carries its own driver.shard_wall
+             timer, so the breakdown shows where the domains spent time. *)
+          let snaps =
+            List.map
+              (fun (_, (r : Alchemist.Profiler.result)) ->
+                Alchemist.Profiler.telemetry r)
+              results
+          in
+          Printf.printf "\n%-12s %10s %12s %12s %10s\n" "shard" "wall(ms)"
+            "vm instrs" "shadow evts" "max depth";
+          List.iter2
+            (fun ((w : Workloads.Workload.t), _) snap ->
+              let wall_ns =
+                Option.value ~default:0 (Obs.find_span_ns snap "driver.shard_wall")
+              in
+              let count name =
+                Option.value ~default:0 (Obs.find_count snap name)
+              in
+              let depth =
+                match Obs.find snap "tree.depth" with
+                | Some (Obs.Level { hwm; _ }) -> hwm
+                | _ -> 0
+              in
+              Printf.printf "%-12s %10.1f %12d %12d %10d\n" w.name
+                (float_of_int wall_ns /. 1e6)
+                (count "vm.instructions") (count "shadow.events") depth)
+            results snaps;
+          print_newline ();
+          print_string (Obs.render_text (Obs.merge_all snaps))
+        end)
   in
   Cmd.v
     (Cmd.info "profile-all"
        ~doc:"Profile every bundled workload, sharded across CPU cores.")
-    Term.(const profile_all $ fuel_arg $ jobs $ test_scale $ save_dir)
+    Term.(
+      const profile_all $ fuel_arg $ jobs $ test_scale $ save_dir $ telemetry)
 
 (* --- disasm / workloads --------------------------------------------------- *)
 

@@ -60,87 +60,112 @@ let to_string t =
 
 let read (prog : Vm.Program.t) text =
   let ( let* ) = Result.bind in
+  (* Number lines before dropping blanks so errors point at the actual
+     line of the input, not its rank among the non-blank ones. *)
   let lines =
     String.split_on_char '\n' text
-    |> List.filter (fun l -> String.trim l <> "")
+    |> List.mapi (fun i l -> (i + 1, l))
+    |> List.filter (fun (_, l) -> String.trim l <> "")
   in
-  let int_of s =
+  let err ln fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" ln m)) fmt in
+  let int_of ln s =
     match int_of_string_opt s with
     | Some n -> Ok n
-    | None -> Error (Printf.sprintf "not an integer: %S" s)
+    | None -> err ln "not an integer: %S" s
   in
   match lines with
-  | header :: fp :: total :: rest ->
+  | (hln, header) :: (fln, fp) :: (tln, total) :: rest ->
       let* () =
         if header = "alchemist-profile 1" then Ok ()
-        else Error "unsupported profile format/version"
+        else err hln "unsupported profile format/version"
       in
       let* () =
         match String.split_on_char ' ' fp with
         | [ "fingerprint"; h ] when h = fingerprint prog -> Ok ()
         | [ "fingerprint"; _ ] ->
-            Error "profile was recorded for a different program"
-        | _ -> Error "missing fingerprint line"
+            err fln "profile was recorded for a different program"
+        | _ -> err fln "missing fingerprint line"
       in
       let* total_instructions =
         match String.split_on_char ' ' total with
-        | [ "total"; n ] -> int_of n
-        | _ -> Error "missing total line"
+        | [ "total"; n ] -> int_of tln n
+        | _ -> err tln "missing total line"
       in
       let t = Profile.create prog in
       t.Profile.total_instructions <- total_instructions;
       let ncid = Array.length t.Profile.by_cid in
-      let check_cid cid =
+      let check_cid ln cid =
         if cid >= 0 && cid < ncid then Ok cid
-        else Error (Printf.sprintf "construct id %d out of range" cid)
+        else err ln "construct id %d out of range" cid
       in
+      (* Duplicate construct/edge/parent lines would silently overwrite
+         (or, under merge semantics, double-count) earlier ones — a
+         corrupt or hand-edited file, so reject it loudly. *)
+      let seen_construct = Hashtbl.create 64 in
       let rec go = function
         | [] -> Ok t
-        | line :: rest -> (
+        | (ln, line) :: rest -> (
             match String.split_on_char ' ' line with
             | "construct" :: cid :: ttotal :: instances :: [] ->
-                let* cid = Result.bind (int_of cid) check_cid in
-                let* ttotal = int_of ttotal in
-                let* instances = int_of instances in
-                let cp = Profile.get t cid in
-                cp.Profile.ttotal <- ttotal;
-                cp.Profile.instances <- instances;
-                go rest
+                let* cid = Result.bind (int_of ln cid) (check_cid ln) in
+                let* ttotal = int_of ln ttotal in
+                let* instances = int_of ln instances in
+                if Hashtbl.mem seen_construct cid then
+                  err ln "duplicate construct %d" cid
+                else begin
+                  Hashtbl.add seen_construct cid ();
+                  let cp = Profile.get t cid in
+                  cp.Profile.ttotal <- ttotal;
+                  cp.Profile.instances <- instances;
+                  go rest
+                end
             | "edge" :: cid :: head :: tail :: kind :: min_tdep :: count
               :: internal :: addrs ->
-                let* cid = Result.bind (int_of cid) check_cid in
-                let* head_pc = int_of head in
-                let* tail_pc = int_of tail in
-                let* kind = kind_of_tag kind in
-                let* min_tdep = int_of min_tdep in
-                let* count = int_of count in
-                let* internal = int_of internal in
+                let* cid = Result.bind (int_of ln cid) (check_cid ln) in
+                let* head_pc = int_of ln head in
+                let* tail_pc = int_of ln tail in
+                let* kind =
+                  Result.map_error (Printf.sprintf "line %d: %s" ln)
+                    (kind_of_tag kind)
+                in
+                let* min_tdep = int_of ln min_tdep in
+                let* count = int_of ln count in
+                let* internal = int_of ln internal in
                 let* addrs =
                   List.fold_left
                     (fun acc a ->
                       let* acc = acc in
-                      let* a = int_of a in
+                      let* a = int_of ln a in
                       Ok (a :: acc))
                     (Ok []) addrs
                 in
                 let cp = Profile.get t cid in
-                Profile.Etbl.replace cp.Profile.edges
-                  (Profile.Key.pack ~head_pc ~tail_pc kind)
-                  {
-                    Profile.min_tdep;
-                    count;
-                    addrs;
-                    tail_internal = internal <> 0;
-                  };
-                go rest
+                let key = Profile.Key.pack ~head_pc ~tail_pc kind in
+                if Profile.Etbl.mem cp.Profile.edges key then
+                  err ln "duplicate edge %d %d %d %s" cid head_pc tail_pc
+                    (kind_tag kind)
+                else begin
+                  Profile.Etbl.add cp.Profile.edges key
+                    {
+                      Profile.min_tdep;
+                      count;
+                      addrs;
+                      tail_internal = internal <> 0;
+                    };
+                  go rest
+                end
             | "parent" :: cid :: parent :: count :: [] ->
-                let* cid = Result.bind (int_of cid) check_cid in
-                let* parent = int_of parent in
-                let* count = int_of count in
-                Hashtbl.replace (Profile.get t cid).Profile.parents parent
-                  (ref count);
-                go rest
-            | _ -> Error (Printf.sprintf "malformed line: %S" line))
+                let* cid = Result.bind (int_of ln cid) (check_cid ln) in
+                let* parent = int_of ln parent in
+                let* count = int_of ln count in
+                let parents = (Profile.get t cid).Profile.parents in
+                if Hashtbl.mem parents parent then
+                  err ln "duplicate parent %d %d" cid parent
+                else begin
+                  Hashtbl.add parents parent (ref count);
+                  go rest
+                end
+            | _ -> err ln "malformed line: %S" line)
       in
       go rest
   | _ -> Error "truncated profile"

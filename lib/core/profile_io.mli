@@ -23,8 +23,11 @@ val write : Profile.t -> Buffer.t -> unit
 val to_string : Profile.t -> string
 
 val read : Vm.Program.t -> string -> (Profile.t, string) result
-(** Parses a serialized profile against [prog]; fails with a message on
-    version/fingerprint mismatch or malformed input. *)
+(** Parses a serialized profile against [prog]; fails on version or
+    fingerprint mismatch, malformed or truncated input, and duplicate
+    construct/edge/parent lines (which would otherwise silently overwrite
+    earlier data). Error messages carry the 1-based input line number,
+    e.g. ["line 7: duplicate construct 3"]. *)
 
 val save : Profile.t -> string -> unit
 (** Write to a file. *)

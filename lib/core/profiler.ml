@@ -15,13 +15,19 @@ type result = {
   profile : Profile.t;
   stats : stats;
   run : Vm.Machine.result;
+  obs : Obs.Registry.t;
 }
+
+let telemetry r = Obs.Registry.snapshot r.obs
 
 let cid_of_label (prog : Vm.Program.t) label = prog.cid_of_pc.(label)
 
 (* Build the instrumentation (hooks + a finisher that assembles the
    result); shared between the live run and offline trace replay. *)
-let make ?scan_limit ?pool_capacity (prog : Vm.Program.t) =
+let make ?scan_limit ?pool_capacity ?obs (prog : Vm.Program.t) =
+  let reg = match obs with Some r -> r | None -> Obs.Registry.create () in
+  let wall = Obs.Registry.timer reg "profiler.wall" in
+  Obs.Timer.start wall;
   let analysis = Cfa.Analysis.analyze prog in
   let profile = Profile.create prog in
   let pops = ref 0 in
@@ -46,20 +52,28 @@ let make ?scan_limit ?pool_capacity (prog : Vm.Program.t) =
   (* Table II: attribute a detected dependence to every completed
      enclosing construct of its head, bottom-up. The sink receives the
      edge unboxed, so the per-dependence walk performs no allocation. *)
+  let walk_depth = Obs.Registry.histogram reg "profiler.walk_depth" in
   let sink ~kind ~head_pc ~head_time ~head_node ~tail_pc ~tail_time
       ~tail_node:_ ~addr =
     let tdep = tail_time - head_time in
-    let rec walk (c : Node.t) =
+    (* [depth] counts constructs that received the edge so far, so the
+       histogram records exactly how far each attribution walk climbed. *)
+    let rec walk (c : Node.t) depth =
       if Node.covers c head_time then begin
         Profile.record_edge profile
           ~cid:(cid_of_label prog c.label)
           ~head_pc ~tail_pc ~kind ~tdep ~addr;
-        match c.parent with Some p -> walk p | None -> ()
+        match c.parent with
+        | Some p -> walk p (depth + 1)
+        | None -> Obs.Histogram.observe walk_depth (depth + 1)
       end
+      else Obs.Histogram.observe walk_depth depth
     in
-    walk head_node
+    walk head_node 0
   in
   let shadow = Shadow.Shadow_memory.create ~sink () in
+  Shadow.Shadow_memory.register_obs shadow reg;
+  Indexing.Index_tree.register_obs tree reg;
   let enclosing () =
     match Indexing.Index_tree.top tree with
     | Some c -> c
@@ -85,12 +99,37 @@ let make ?scan_limit ?pool_capacity (prog : Vm.Program.t) =
         (fun ~pc ~fid:_ -> Indexing.Rules.on_call rules ~entry_pc:pc);
       on_ret = (fun ~pc:_ ~fid:_ -> Indexing.Rules.on_ret rules);
       on_frame_release =
+        (* A released frame is the top of the live address space, so
+           clear_range takes the O(1) suffix path for large frames and
+           the eager scrub for small ones — the scrub keeps the clear
+           stack quiet, which keeps Shadow_memory.freshen on its
+           fast path for the accesses that follow. *)
         (fun ~base ~size -> Shadow.Shadow_memory.clear_range shadow ~base ~size);
     }
   in
   let finish (run : Vm.Machine.result) =
     Indexing.Rules.finish rules;
     profile.Profile.total_instructions <- run.Vm.Machine.instructions;
+    Obs.Timer.stop wall;
+    (* Republish the VM's own counters (counted allocation-free inside
+       the interpreter loop) so one snapshot covers every layer. *)
+    let m = run.Vm.Machine.metrics in
+    Obs.Counter.add (Obs.Registry.counter reg "vm.instructions")
+      run.Vm.Machine.instructions;
+    Obs.Counter.add (Obs.Registry.counter reg "vm.reads") m.Vm.Machine.reads;
+    Obs.Counter.add (Obs.Registry.counter reg "vm.writes") m.Vm.Machine.writes;
+    Obs.Counter.add (Obs.Registry.counter reg "vm.calls") m.Vm.Machine.calls;
+    Obs.Counter.add (Obs.Registry.counter reg "vm.branches")
+      m.Vm.Machine.branches;
+    Obs.Counter.add
+      (Obs.Registry.counter reg "vm.frames_released")
+      m.Vm.Machine.frames_released;
+    Obs.Gauge.set
+      (Obs.Registry.gauge reg "vm.call_depth")
+      m.Vm.Machine.max_call_depth;
+    Obs.Gauge.set
+      (Obs.Registry.gauge reg "vm.mem_high_water")
+      m.Vm.Machine.mem_high_water;
     let stats =
       {
         instructions = run.Vm.Machine.instructions;
@@ -103,21 +142,21 @@ let make ?scan_limit ?pool_capacity (prog : Vm.Program.t) =
         forced_pops = Indexing.Rules.forced_pops rules;
       }
     in
-    { profile; stats; run }
+    { profile; stats; run; obs = reg }
   in
   (hooks, finish)
 
-let run ?fuel ?scan_limit ?pool_capacity ?(trace_locals = false)
+let run ?fuel ?scan_limit ?pool_capacity ?obs ?(trace_locals = false)
     (prog : Vm.Program.t) =
-  let hooks, finish = make ?scan_limit ?pool_capacity prog in
+  let hooks, finish = make ?scan_limit ?pool_capacity ?obs prog in
   finish (Vm.Machine.run_hooked ~trace_locals ?fuel hooks prog)
 
-let run_trace ?scan_limit ?pool_capacity (trace : Vm.Trace.t)
+let run_trace ?scan_limit ?pool_capacity ?obs (trace : Vm.Trace.t)
     (prog : Vm.Program.t) =
-  let hooks, finish = make ?scan_limit ?pool_capacity prog in
+  let hooks, finish = make ?scan_limit ?pool_capacity ?obs prog in
   Vm.Trace.replay trace hooks;
   finish (Vm.Trace.result trace)
 
-let run_source ?fuel ?scan_limit ?pool_capacity ?trace_locals src =
-  run ?fuel ?scan_limit ?pool_capacity ?trace_locals
+let run_source ?fuel ?scan_limit ?pool_capacity ?obs ?trace_locals src =
+  run ?fuel ?scan_limit ?pool_capacity ?obs ?trace_locals
     (Vm.Compile.compile_source src)

@@ -28,12 +28,22 @@ type result = {
   profile : Profile.t;
   stats : stats;
   run : Vm.Machine.result;  (** the program's ordinary execution result *)
+  obs : Obs.Registry.t;
+      (** live telemetry covering every layer: [vm.*] instruction and
+          memory-event counters, [shadow.*] cell/arena/clear-stack
+          metrics, [pool.*]/[tree.*] indexing metrics, and
+          [profiler.walk_depth]/[profiler.wall] — snapshot with
+          {!telemetry} or {!Obs.Registry.snapshot} *)
 }
+
+val telemetry : result -> Obs.snapshot
+(** [Obs.Registry.snapshot r.obs]. *)
 
 val run :
   ?fuel:int ->
   ?scan_limit:int ->
   ?pool_capacity:int ->
+  ?obs:Obs.Registry.t ->
   ?trace_locals:bool ->
   Vm.Program.t ->
   result
@@ -41,12 +51,17 @@ val run :
 
     [pool_capacity] (default 1M, the paper's setting) controls index-node
     retention; [trace_locals] (default [false]) additionally tracks scalar
-    frame slots as memory — see {!Vm.Machine.run_hooked}.
+    frame slots as memory — see {!Vm.Machine.run_hooked}. [obs] supplies
+    the registry telemetry is registered into (so a caller can add its own
+    metrics, e.g. the sharded driver's per-shard timers); by default each
+    run gets a private registry — runs never share instruments, which is
+    what keeps sharded domains contention-free.
     @raise Vm.Machine.Trap as {!Vm.Machine.run}. *)
 
 val run_trace :
   ?scan_limit:int ->
   ?pool_capacity:int ->
+  ?obs:Obs.Registry.t ->
   Vm.Trace.t ->
   Vm.Program.t ->
   result
@@ -58,6 +73,7 @@ val run_source :
   ?fuel:int ->
   ?scan_limit:int ->
   ?pool_capacity:int ->
+  ?obs:Obs.Registry.t ->
   ?trace_locals:bool ->
   string ->
   result

@@ -10,17 +10,24 @@ let map ~jobs f xs =
       let results = Array.make n None in
       let errors = Array.make n None in
       let next = Atomic.make 0 in
+      (* First error cancels the run: workers re-check the flag before
+         claiming the next index, so a poisoned item stops the remaining
+         work instead of draining the whole queue. *)
+      let cancelled = Atomic.make false in
       (* Work-dealing: domains pull the next unclaimed index, so a few
          expensive items do not serialize behind a static partition. *)
       let rec worker () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          (match f xs.(i) with
-          | v -> results.(i) <- Some v
-          | exception e ->
-              let bt = Printexc.get_raw_backtrace () in
-              errors.(i) <- Some (e, bt));
-          worker ()
+        if not (Atomic.get cancelled) then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (match f xs.(i) with
+            | v -> results.(i) <- Some v
+            | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                errors.(i) <- Some (e, bt);
+                Atomic.set cancelled true);
+            worker ()
+          end
         end
       in
       let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
@@ -38,15 +45,36 @@ let merge_profiles = function
   | [] -> invalid_arg "Parallel.merge_profiles: empty list"
   | p :: ps -> List.fold_left Alchemist.Profile.merge p ps
 
-let profile_programs ?(jobs = default_jobs ()) ?fuel ?trace_locals = function
+(* Each shard gets its own registry (no cross-domain contention) with a
+   [driver.shard_wall] timer wrapped around the profiled execution; the
+   caller can merge shard snapshots with [Obs.merge_all]. *)
+let timed_run ?fuel ?trace_locals prog =
+  let obs = Obs.Registry.create () in
+  let shard_wall = Obs.Registry.timer obs "driver.shard_wall" in
+  Obs.Timer.start shard_wall;
+  let r = Alchemist.Profiler.run ?fuel ?trace_locals ~obs prog in
+  Obs.Timer.stop shard_wall;
+  r
+
+let profile_programs ?(jobs = default_jobs ()) ?fuel ?trace_locals ?obs =
+  function
   | [] -> invalid_arg "Parallel.profile_programs: empty list"
   | progs ->
-      map ~jobs
-        (fun prog ->
-          (Alchemist.Profiler.run ?fuel ?trace_locals prog)
-            .Alchemist.Profiler.profile)
-        (Array.of_list progs)
-      |> Array.to_list |> merge_profiles
+      let results =
+        map ~jobs
+          (fun prog ->
+            (timed_run ?fuel ?trace_locals prog).Alchemist.Profiler.profile)
+          (Array.of_list progs)
+      in
+      let merge () = merge_profiles (Array.to_list results) in
+      (match obs with
+      | None -> merge ()
+      | Some reg ->
+          let mt = Obs.Registry.timer reg "driver.merge_wall" in
+          Obs.Counter.add
+            (Obs.Registry.counter reg "driver.shards")
+            (Array.length results);
+          Obs.Timer.time mt merge)
 
 let profile_registry ?(jobs = default_jobs ()) ?fuel
     ?(scale_of = fun (w : Workloads.Workload.t) -> w.default_scale) () =
@@ -58,7 +86,6 @@ let profile_registry ?(jobs = default_jobs ()) ?fuel
     |> Array.of_list
   in
   map ~jobs
-    (fun ((w : Workloads.Workload.t), prog) ->
-      (w, Alchemist.Profiler.run ?fuel prog))
+    (fun ((w : Workloads.Workload.t), prog) -> (w, timed_run ?fuel prog))
     compiled
   |> Array.to_list

@@ -17,10 +17,11 @@ val default_jobs : unit -> int
 val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs f xs] applies [f] to every element, distributing work over
     [jobs] domains (the calling domain counts as one). Work is dealt by an
-    atomic cursor, so uneven item costs balance automatically. If any [f]
-    raises, the first exception (in index order) is re-raised with its
-    backtrace after all domains have joined. [jobs <= 1] runs sequentially
-    in the calling domain. *)
+    atomic cursor, so uneven item costs balance automatically. The first
+    failure cancels the run: no worker claims a new item once any [f] has
+    raised (items already in flight finish), and the first exception (in
+    index order) is re-raised with its backtrace after all domains have
+    joined. [jobs <= 1] runs sequentially in the calling domain. *)
 
 val merge_profiles : Alchemist.Profile.t list -> Alchemist.Profile.t
 (** Folds {!Alchemist.Profile.merge} over the list.
@@ -31,6 +32,7 @@ val profile_programs :
   ?jobs:int ->
   ?fuel:int ->
   ?trace_locals:bool ->
+  ?obs:Obs.Registry.t ->
   Vm.Program.t list ->
   Alchemist.Profile.t
 (** Profiles each program on its own domain and merges the results into
@@ -38,6 +40,9 @@ val profile_programs :
     compiled with different initialized global data yields identical code
     (hence mergeable profiles) exercising different paths — the paper's
     "completeness is a function of the test inputs" caveat, §IV.
+    When [obs] is given, the driver records a ["driver.merge_wall"] timer
+    around the merge fold and a ["driver.shards"] counter into it (shard
+    telemetry itself stays per-run; see {!profile_registry}).
     @raise Invalid_argument on the empty list or on programs with
     differing code. *)
 
@@ -51,4 +56,9 @@ val profile_registry :
     sequential (it is cheap and keeps compiler state off the worker
     domains); only the profiled execution is sharded. [scale_of] picks the
     input size per workload (default [default_scale]). Results are in
-    registry order, independent of completion order. *)
+    registry order, independent of completion order.
+
+    Each run's [result.obs] registry is private to its shard (created on
+    the worker domain, so domains never contend on instruments) and
+    carries a ["driver.shard_wall"] timer around the profiled execution
+    in addition to the profiler's own metrics. *)

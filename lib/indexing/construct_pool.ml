@@ -2,17 +2,25 @@ type t = {
   q : Node.t Queue.t;
   scan_limit : int;
   capacity : int;
-  mutable allocated : int;
-  mutable reused : int;
+  allocated : Obs.Counter.t;
+  reused : Obs.Counter.t;
+  scan_len : Obs.Histogram.t;  (* head entries examined per acquire *)
 }
 
 let create ?(scan_limit = 8) ?(capacity = 1_000_000) () =
-  { q = Queue.create (); scan_limit; capacity; allocated = 0; reused = 0 }
+  {
+    q = Queue.create ();
+    scan_limit;
+    capacity;
+    allocated = Obs.Counter.make ();
+    reused = Obs.Counter.make ();
+    scan_len = Obs.Histogram.make ();
+  }
 
 let retirable ~now (c : Node.t) = now - c.texit >= c.texit - c.tenter
 
 let fresh t =
-  t.allocated <- t.allocated + 1;
+  Obs.Counter.incr t.allocated;
   Node.make ()
 
 let acquire t ~now =
@@ -21,25 +29,37 @@ let acquire t ~now =
      addressable long enough to report large-Tdep edges. At capacity,
      examine up to [scan_limit] entries from the head (the oldest
      completions); entries not yet retirable are rotated to the tail. *)
-  if t.allocated < t.capacity then fresh t
+  if Obs.Counter.get t.allocated < t.capacity then fresh t
   else
+    let budget = min t.scan_limit (Queue.length t.q) in
     let rec scan k =
-      if k = 0 || Queue.is_empty t.q then None
+      if k = 0 || Queue.is_empty t.q then begin
+        Obs.Histogram.observe t.scan_len (budget - k);
+        None
+      end
       else
         let c = Queue.pop t.q in
-        if retirable ~now c then Some c
+        if retirable ~now c then begin
+          Obs.Histogram.observe t.scan_len (budget - k + 1);
+          Some c
+        end
         else begin
           Queue.push c t.q;
           scan (k - 1)
         end
     in
-    match scan (min t.scan_limit (Queue.length t.q)) with
+    match scan budget with
     | Some c ->
-        t.reused <- t.reused + 1;
+        Obs.Counter.incr t.reused;
         c
     | None -> fresh t
 
 let release t c = Queue.push c t.q
-let allocated t = t.allocated
-let reused t = t.reused
+let allocated t = Obs.Counter.get t.allocated
+let reused t = Obs.Counter.get t.reused
 let size t = Queue.length t.q
+
+let register_obs t reg =
+  Obs.Registry.register_counter reg "pool.allocated" t.allocated;
+  Obs.Registry.register_counter reg "pool.reused" t.reused;
+  Obs.Registry.register_histogram reg "pool.scan_len" t.scan_len

@@ -34,3 +34,7 @@ val reused : t -> int
 
 val size : t -> int
 (** Completed instances currently held. *)
+
+val register_obs : t -> Obs.Registry.t -> unit
+(** Register allocation/reuse counters and the per-acquire scan-length
+    histogram under the ["pool."] prefix. *)

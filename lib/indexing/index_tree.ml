@@ -3,6 +3,7 @@ type t = {
   mutable stack : Node.t array;
   mutable sp : int;
   mutable time : int;
+  o_depth : Obs.Gauge.t;
   on_push : Node.t -> unit;
   on_pop : Node.t -> unit;
 }
@@ -14,6 +15,7 @@ let create ?scan_limit ?pool_capacity ?(on_push = fun _ -> ())
     stack = Array.make 64 (Node.make ());
     sp = 0;
     time = 0;
+    o_depth = Obs.Gauge.make ();
     on_push;
     on_pop;
   }
@@ -37,6 +39,7 @@ let push t ~label ~is_func =
   end;
   t.stack.(t.sp) <- c;
   t.sp <- t.sp + 1;
+  Obs.Gauge.set t.o_depth t.sp;
   t.on_push c;
   c
 
@@ -71,6 +74,10 @@ let index_of_top t = Array.to_list (Array.sub t.stack 0 t.sp) |> List.map (fun c
 
 let pool_allocated t = Construct_pool.allocated t.pool
 let pool_reused t = Construct_pool.reused t.pool
+
+let register_obs t reg =
+  Obs.Registry.register_gauge reg "tree.depth" t.o_depth;
+  Construct_pool.register_obs t.pool reg
 
 let stats t =
   Printf.sprintf "depth=%d time=%d pool_allocated=%d pool_reused=%d pool_size=%d"

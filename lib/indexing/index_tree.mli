@@ -55,4 +55,9 @@ val index_of_top : t -> int list
 val pool_allocated : t -> int
 val pool_reused : t -> int
 
+val register_obs : t -> Obs.Registry.t -> unit
+(** Register the stack-depth gauge (["tree.depth"], whose high-water mark
+    is the paper's [L]) and the construct pool's metrics
+    ({!Construct_pool.register_obs}). *)
+
 val stats : t -> string

@@ -1,0 +1,275 @@
+(* Allocation-free telemetry instruments and a named-metric registry.
+
+   The instruments are designed for the profiling hot path: every update
+   is a handful of int stores on a pre-allocated record or array — no
+   closures, no boxing, no amortized growth. Aggregation (snapshots,
+   rendering, merging across shards) allocates, but only off the hot
+   path, mirroring the sink discipline of the shadow memory. *)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+module Counter = struct
+  type t = { mutable n : int }
+
+  let make () = { n = 0 }
+  let[@inline] incr t = t.n <- t.n + 1
+  let[@inline] add t k = t.n <- t.n + k
+  let get t = t.n
+end
+
+module Gauge = struct
+  type t = { mutable v : int; mutable hwm : int }
+
+  let make () = { v = 0; hwm = 0 }
+
+  let[@inline] set t x =
+    t.v <- x;
+    if x > t.hwm then t.hwm <- x
+
+  let[@inline] add t k = set t (t.v + k)
+  let get t = t.v
+  let hwm t = t.hwm
+end
+
+module Histogram = struct
+  (* Log2 buckets: value [v] lands in bucket 0 if [v <= 0], else
+     [floor(log2 v) + 1] (capped at 62) — bucket [b >= 1] covers
+     [2^(b-1), 2^b). *)
+  type t = {
+    buckets : int array;
+    mutable count : int;
+    mutable sum : int;
+    mutable max : int;
+  }
+
+  let nbuckets = 63
+
+  let make () = { buckets = Array.make nbuckets 0; count = 0; sum = 0; max = 0 }
+
+  let bucket_of v =
+    if v <= 0 then 0
+    else begin
+      let b = ref 1 and v = ref v in
+      while !v > 1 do
+        Stdlib.incr b;
+        v := !v lsr 1
+      done;
+      if !b >= nbuckets then nbuckets - 1 else !b
+    end
+
+  let[@inline] observe t v =
+    let b = bucket_of v in
+    t.buckets.(b) <- t.buckets.(b) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum + v;
+    if v > t.max then t.max <- v
+
+  let count t = t.count
+  let sum t = t.sum
+  let max_value t = t.max
+  let bucket t i = t.buckets.(i)
+end
+
+module Timer = struct
+  type t = { mutable total_ns : int; mutable started : int; mutable spans : int }
+
+  let make () = { total_ns = 0; started = -1; spans = 0 }
+  let start t = t.started <- now_ns ()
+
+  let stop t =
+    if t.started >= 0 then begin
+      t.total_ns <- t.total_ns + (now_ns () - t.started);
+      t.started <- -1;
+      t.spans <- t.spans + 1
+    end
+
+  let time t f =
+    start t;
+    Fun.protect ~finally:(fun () -> stop t) f
+
+  let total_ns t = t.total_ns
+  let spans t = t.spans
+end
+
+(* --- snapshots ----------------------------------------------------------- *)
+
+type value =
+  | Count of int
+  | Level of { last : int; hwm : int }
+  | Dist of { buckets : int array; count : int; sum : int; max : int }
+  | Span of { ns : int; spans : int }
+
+type snapshot = (string * value) list
+
+module Registry = struct
+  type metric =
+    | C of Counter.t
+    | G of Gauge.t
+    | H of Histogram.t
+    | T of Timer.t
+
+  type t = { mutable metrics : (string * metric) list }
+
+  let create () = { metrics = [] }
+
+  let register t name m =
+    if List.mem_assoc name t.metrics then
+      invalid_arg (Printf.sprintf "Obs.Registry: duplicate metric %S" name);
+    t.metrics <- (name, m) :: t.metrics
+
+  let register_counter t name c = register t name (C c)
+  let register_gauge t name g = register t name (G g)
+  let register_histogram t name h = register t name (H h)
+  let register_timer t name tm = register t name (T tm)
+
+  let counter t name =
+    let c = Counter.make () in
+    register_counter t name c;
+    c
+
+  let gauge t name =
+    let g = Gauge.make () in
+    register_gauge t name g;
+    g
+
+  let histogram t name =
+    let h = Histogram.make () in
+    register_histogram t name h;
+    h
+
+  let timer t name =
+    let tm = Timer.make () in
+    register_timer t name tm;
+    tm
+
+  let snapshot t =
+    t.metrics
+    |> List.map (fun (name, m) ->
+           ( name,
+             match m with
+             | C c -> Count (Counter.get c)
+             | G g -> Level { last = Gauge.get g; hwm = Gauge.hwm g }
+             | H h ->
+                 Dist
+                   {
+                     buckets = Array.copy h.Histogram.buckets;
+                     count = h.Histogram.count;
+                     sum = h.Histogram.sum;
+                     max = h.Histogram.max;
+                   }
+             | T tm -> Span { ns = Timer.total_ns tm; spans = Timer.spans tm } ))
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+end
+
+(* --- snapshot algebra ----------------------------------------------------- *)
+
+let merge_value name a b =
+  match (a, b) with
+  | Count x, Count y -> Count (x + y)
+  | Level x, Level y ->
+      Level { last = max x.last y.last; hwm = max x.hwm y.hwm }
+  | Dist x, Dist y ->
+      let n = max (Array.length x.buckets) (Array.length y.buckets) in
+      let buckets = Array.make n 0 in
+      Array.iteri (fun i v -> buckets.(i) <- buckets.(i) + v) x.buckets;
+      Array.iteri (fun i v -> buckets.(i) <- buckets.(i) + v) y.buckets;
+      Dist
+        {
+          buckets;
+          count = x.count + y.count;
+          sum = x.sum + y.sum;
+          max = max x.max y.max;
+        }
+  | Span x, Span y -> Span { ns = x.ns + y.ns; spans = x.spans + y.spans }
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Obs.merge: metric %S has mismatched types" name)
+
+(* Both inputs are name-sorted (Registry.snapshot sorts; merge preserves
+   order), so this is a linear sorted-list union. *)
+let rec merge (a : snapshot) (b : snapshot) =
+  match (a, b) with
+  | [], s | s, [] -> s
+  | (na, va) :: ra, (nb, vb) :: rb ->
+      if na < nb then (na, va) :: merge ra b
+      else if nb < na then (nb, vb) :: merge a rb
+      else (na, merge_value na va vb) :: merge ra rb
+
+let merge_all = function [] -> [] | s :: ss -> List.fold_left merge s ss
+let filter f (s : snapshot) = List.filter (fun (n, v) -> f n v) s
+let find (s : snapshot) name = List.assoc_opt name s
+
+let find_count s name =
+  match find s name with Some (Count n) -> Some n | _ -> None
+
+let find_span_ns s name =
+  match find s name with Some (Span { ns; _ }) -> Some ns | _ -> None
+
+(* --- rendering ------------------------------------------------------------ *)
+
+let dist_buckets_nonzero buckets =
+  let acc = ref [] in
+  Array.iteri (fun i n -> if n > 0 then acc := (i, n) :: !acc) buckets;
+  List.rev !acc
+
+(* Bucket b >= 1 covers [2^(b-1), 2^b); render by its lower bound. *)
+let bucket_lo = function 0 -> 0 | b -> 1 lsl (b - 1)
+
+let render_text (s : snapshot) =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      (match v with
+      | Count n -> Buffer.add_string buf (Printf.sprintf "%-32s %12d" name n)
+      | Level { last; hwm } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-32s %12d  (hwm %d)" name last hwm)
+      | Dist { buckets; count; sum; max } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-32s %12d  sum=%d max=%d" name count sum max);
+          if count > 0 then begin
+            Buffer.add_string buf "  |";
+            List.iter
+              (fun (b, n) ->
+                Buffer.add_string buf
+                  (Printf.sprintf " %d:%d" (bucket_lo b) n))
+              (dist_buckets_nonzero buckets);
+            Buffer.add_string buf " |"
+          end
+      | Span { ns; spans } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-32s %12.3f ms  (%d span%s)" name
+               (float_of_int ns /. 1e6)
+               spans
+               (if spans = 1 then "" else "s")));
+      Buffer.add_char buf '\n')
+    s;
+  Buffer.contents buf
+
+let render_json (s : snapshot) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf (Printf.sprintf "\n  %S: " name);
+      match v with
+      | Count n -> Buffer.add_string buf (string_of_int n)
+      | Level { last; hwm } ->
+          Buffer.add_string buf
+            (Printf.sprintf "{\"last\": %d, \"hwm\": %d}" last hwm)
+      | Dist { buckets; count; sum; max } ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"count\": %d, \"sum\": %d, \"max\": %d, \"buckets\": [%s]}"
+               count sum max
+               (String.concat ", "
+                  (List.map
+                     (fun (b, n) -> Printf.sprintf "[%d, %d]" (bucket_lo b) n)
+                     (dist_buckets_nonzero buckets))))
+      | Span { ns; spans } ->
+          Buffer.add_string buf
+            (Printf.sprintf "{\"ns\": %d, \"spans\": %d}" ns spans))
+    s;
+  Buffer.add_string buf "\n}";
+  Buffer.contents buf

@@ -1,0 +1,129 @@
+(** Allocation-free telemetry: counters, gauges, log2 histograms,
+    monotonic-clock timers, and a named-metric registry with mergeable
+    snapshots.
+
+    Instruments are safe for the profiling hot path: each update is a few
+    int stores on a pre-allocated record or array — no closure capture,
+    no boxing, no growth. Snapshots (and their merging/rendering) are the
+    only allocating operations and run off the hot path.
+
+    Each profiling run owns its instruments (one registry per run), so
+    sharded domains never contend; {!merge} combines shard snapshots and
+    is associative and commutative — the same algebra as
+    [Alchemist.Profile.merge]. *)
+
+val now_ns : unit -> int
+(** Monotonic clock, nanoseconds (CLOCK_MONOTONIC via a noalloc stub). *)
+
+module Counter : sig
+  type t
+
+  val make : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+end
+
+module Gauge : sig
+  (** A level with a high-water mark. *)
+
+  type t
+
+  val make : unit -> t
+
+  val set : t -> int -> unit
+  (** Sets the level and raises the high-water mark if exceeded. *)
+
+  val add : t -> int -> unit
+  val get : t -> int
+  val hwm : t -> int
+end
+
+module Histogram : sig
+  (** Log2-bucketed value distribution: bucket 0 holds values [<= 0],
+      bucket [b >= 1] holds values in [[2^(b-1), 2^b)]. *)
+
+  type t
+
+  val make : unit -> t
+  val observe : t -> int -> unit
+  val bucket_of : int -> int
+  val count : t -> int
+  val sum : t -> int
+  val max_value : t -> int
+  val bucket : t -> int -> int
+end
+
+module Timer : sig
+  (** Accumulating monotonic-clock phase timer. *)
+
+  type t
+
+  val make : unit -> t
+  val start : t -> unit
+
+  val stop : t -> unit
+  (** Adds the elapsed span to the total; no-op if not started. *)
+
+  val time : t -> (unit -> 'a) -> 'a
+  val total_ns : t -> int
+  val spans : t -> int
+end
+
+type value =
+  | Count of int
+  | Level of { last : int; hwm : int }
+  | Dist of { buckets : int array; count : int; sum : int; max : int }
+  | Span of { ns : int; spans : int }
+
+type snapshot = (string * value) list
+(** Immutable point-in-time metric values, sorted by name. *)
+
+module Registry : sig
+  (** A named collection of live instruments. Registration happens at
+      setup time (not the hot path); names must be unique. *)
+
+  type t
+
+  val create : unit -> t
+
+  val counter : t -> string -> Counter.t
+  (** Create and register. @raise Invalid_argument on a duplicate name. *)
+
+  val gauge : t -> string -> Gauge.t
+  val histogram : t -> string -> Histogram.t
+  val timer : t -> string -> Timer.t
+
+  val register_counter : t -> string -> Counter.t -> unit
+  (** Register an instrument owned by another subsystem. *)
+
+  val register_gauge : t -> string -> Gauge.t -> unit
+  val register_histogram : t -> string -> Histogram.t -> unit
+  val register_timer : t -> string -> Timer.t -> unit
+
+  val snapshot : t -> snapshot
+end
+
+val merge : snapshot -> snapshot -> snapshot
+(** Union by name: counters and histogram buckets add, gauges take the
+    max (of level and high-water mark), timers add. Associative and
+    commutative. @raise Invalid_argument if a name is bound to different
+    metric types in the two snapshots. *)
+
+val merge_all : snapshot list -> snapshot
+
+val filter : (string -> value -> bool) -> snapshot -> snapshot
+(** Keep entries satisfying the predicate (e.g. drop [Span] timers for
+    deterministic golden output). *)
+
+val find : snapshot -> string -> value option
+val find_count : snapshot -> string -> int option
+val find_span_ns : snapshot -> string -> int option
+
+val render_text : snapshot -> string
+(** One aligned line per metric; histograms show nonzero buckets by their
+    lower bound. *)
+
+val render_json : snapshot -> string
+(** A single JSON object keyed by metric name (sorted, deterministic for
+    timer-free snapshots). *)

@@ -44,8 +44,19 @@ type t = {
   mutable seq : int;
   dummy : Node.t;
   sink : sink;
-  mutable events : int;
-  mutable deps : int;
+  events : Obs.Counter.t;
+  deps : Obs.Counter.t;
+  (* telemetry: every update is an int store on a pre-allocated record *)
+  o_cell_cap : Obs.Gauge.t;
+  o_cell_growths : Obs.Counter.t;
+  o_arena_cap : Obs.Gauge.t;
+  o_arena_growths : Obs.Counter.t;
+  o_arena_in_use : Obs.Gauge.t;
+  o_clear_depth : Obs.Gauge.t;
+  o_freshens : Obs.Counter.t;
+  o_scrubbed : Obs.Counter.t;
+  o_lazy_clears : Obs.Counter.t;
+  o_eager_clears : Obs.Counter.t;
 }
 
 let no_sink ~kind:_ ~head_pc:_ ~head_time:_ ~head_node:_ ~tail_pc:_
@@ -109,8 +120,24 @@ let create ?on_dep ?sink () =
     seq = 0;
     dummy;
     sink;
-    events = 0;
-    deps = 0;
+    events = Obs.Counter.make ();
+    deps = Obs.Counter.make ();
+    o_cell_cap =
+      (let g = Obs.Gauge.make () in
+       Obs.Gauge.set g initial_cap;
+       g);
+    o_cell_growths = Obs.Counter.make ();
+    o_arena_cap =
+      (let g = Obs.Gauge.make () in
+       Obs.Gauge.set g arena_cap;
+       g);
+    o_arena_growths = Obs.Counter.make ();
+    o_arena_in_use = Obs.Gauge.make ();
+    o_clear_depth = Obs.Gauge.make ();
+    o_freshens = Obs.Counter.make ();
+    o_scrubbed = Obs.Counter.make ();
+    o_lazy_clears = Obs.Counter.make ();
+    o_eager_clears = Obs.Counter.make ();
   }
 
 let grow_cells t addr =
@@ -129,7 +156,9 @@ let grow_cells t addr =
   t.w_node <- copy t.dummy t.w_node;
   t.r_head <- copy (-1) t.r_head;
   t.touch <- copy 0 t.touch;
-  t.cap <- cap
+  t.cap <- cap;
+  Obs.Counter.incr t.o_cell_growths;
+  Obs.Gauge.set t.o_cell_cap cap
 
 let ensure t addr =
   if addr >= t.cap then grow_cells t addr;
@@ -148,12 +177,15 @@ let grow_arena t =
   t.rn_node <- copy t.dummy t.rn_node;
   t.rn_next <- copy 0 t.rn_next;
   thread_free t.rn_next n cap;
-  t.free <- n
+  t.free <- n;
+  Obs.Counter.incr t.o_arena_growths;
+  Obs.Gauge.set t.o_arena_cap cap
 
 let alloc_slot t =
   if t.free < 0 then grow_arena t;
   let i = t.free in
   t.free <- t.rn_next.(i);
+  Obs.Gauge.add t.o_arena_in_use 1;
   i
 
 (* Return a whole read chain to the free list and detach it. *)
@@ -164,6 +196,7 @@ let release_chain t addr =
     t.rn_node.(!i) <- t.dummy;
     t.rn_next.(!i) <- t.free;
     t.free <- !i;
+    Obs.Gauge.add t.o_arena_in_use (-1);
     i := next
   done;
   t.r_head.(addr) <- -1
@@ -193,15 +226,18 @@ let freshen t addr =
     t.touch.(addr) < t.last_clear_seq
     && (t.w_pc.(addr) >= 0 || t.r_head.(addr) >= 0)
     && covering_clear_seq t addr > t.touch.(addr)
-  then reset_cell t addr
+  then begin
+    Obs.Counter.incr t.o_freshens;
+    reset_cell t addr
+  end
 
 let read t ~addr ~pc ~time ~node =
-  t.events <- t.events + 1;
+  Obs.Counter.incr t.events;
   t.seq <- t.seq + 1;
   ensure t addr;
   freshen t addr;
   if t.w_pc.(addr) >= 0 then begin
-    t.deps <- t.deps + 1;
+    Obs.Counter.incr t.deps;
     t.sink ~kind:Dependence.Raw ~head_pc:t.w_pc.(addr)
       ~head_time:t.w_time.(addr) ~head_node:t.w_node.(addr) ~tail_pc:pc
       ~tail_time:time ~tail_node:node ~addr
@@ -226,12 +262,12 @@ let read t ~addr ~pc ~time ~node =
   t.touch.(addr) <- t.seq
 
 let write t ~addr ~pc ~time ~node =
-  t.events <- t.events + 1;
+  Obs.Counter.incr t.events;
   t.seq <- t.seq + 1;
   ensure t addr;
   freshen t addr;
   if t.w_pc.(addr) >= 0 then begin
-    t.deps <- t.deps + 1;
+    Obs.Counter.incr t.deps;
     t.sink ~kind:Dependence.Waw ~head_pc:t.w_pc.(addr)
       ~head_time:t.w_time.(addr) ~head_node:t.w_node.(addr) ~tail_pc:pc
       ~tail_time:time ~tail_node:node ~addr
@@ -240,7 +276,7 @@ let write t ~addr ~pc ~time ~node =
   let i = ref t.r_head.(addr) in
   while !i >= 0 do
     let s = !i in
-    t.deps <- t.deps + 1;
+    Obs.Counter.incr t.deps;
     t.sink ~kind:Dependence.War ~head_pc:t.rn_pc.(s) ~head_time:t.rn_time.(s)
       ~head_node:t.rn_node.(s) ~tail_pc:pc ~tail_time:time ~tail_node:node
       ~addr;
@@ -248,6 +284,7 @@ let write t ~addr ~pc ~time ~node =
     t.rn_node.(s) <- t.dummy;
     t.rn_next.(s) <- t.free;
     t.free <- s;
+    Obs.Gauge.add t.o_arena_in_use (-1);
     i := next
   done;
   t.r_head.(addr) <- -1;
@@ -256,35 +293,55 @@ let write t ~addr ~pc ~time ~node =
   t.w_node.(addr) <- node;
   t.touch.(addr) <- t.seq
 
+let scrub t ~base ~limit =
+  (* Exact eager clear of [base, limit): O(limit - base). *)
+  let hi = min limit t.cap in
+  for addr = max base 0 to hi - 1 do
+    if t.w_pc.(addr) >= 0 || t.r_head.(addr) >= 0 then begin
+      Obs.Counter.incr t.o_scrubbed;
+      reset_cell t addr
+    end;
+    t.touch.(addr) <- t.seq
+  done
+
+let clear_from t ~base =
+  (* Range-tag [base, ∞) in O(1): pop covered entries (their bases are
+     higher, so the new tag subsumes them), push (base, seq). Bases and
+     seqs on the stack both stay strictly increasing. *)
+  t.seq <- t.seq + 1;
+  Obs.Counter.incr t.o_lazy_clears;
+  while t.cl_n > 0 && t.cl_base.(t.cl_n - 1) >= base do
+    t.cl_n <- t.cl_n - 1
+  done;
+  if t.cl_n = Array.length t.cl_base then begin
+    let n = t.cl_n in
+    let base' = Array.make (2 * n) 0 and seq' = Array.make (2 * n) 0 in
+    Array.blit t.cl_base 0 base' 0 n;
+    Array.blit t.cl_seq 0 seq' 0 n;
+    t.cl_base <- base';
+    t.cl_seq <- seq'
+  end;
+  t.cl_base.(t.cl_n) <- base;
+  t.cl_seq.(t.cl_n) <- t.seq;
+  t.cl_n <- t.cl_n + 1;
+  t.last_clear_seq <- t.seq;
+  Obs.Gauge.set t.o_clear_depth t.cl_n
+
 let clear_range t ~base ~size =
-  if size > 0 then begin
-    t.seq <- t.seq + 1;
-    if size <= eager_clear_limit then begin
-      let hi = min (base + size) t.cap in
-      for addr = max base 0 to hi - 1 do
-        if t.w_pc.(addr) >= 0 || t.r_head.(addr) >= 0 then reset_cell t addr;
-        t.touch.(addr) <- t.seq
-      done
-    end
+  if size > 0 then
+    if size > eager_clear_limit && base + size >= t.hi then
+      (* The range covers every address ever touched at or above [base],
+         so the O(1) suffix tag is exact. *)
+      clear_from t ~base
     else begin
-      (* range-tag: pop covered entries, push (base, seq) *)
-      while t.cl_n > 0 && t.cl_base.(t.cl_n - 1) >= base do
-        t.cl_n <- t.cl_n - 1
-      done;
-      if t.cl_n = Array.length t.cl_base then begin
-        let n = t.cl_n in
-        let base' = Array.make (2 * n) 0 and seq' = Array.make (2 * n) 0 in
-        Array.blit t.cl_base 0 base' 0 n;
-        Array.blit t.cl_seq 0 seq' 0 n;
-        t.cl_base <- base';
-        t.cl_seq <- seq'
-      end;
-      t.cl_base.(t.cl_n) <- base;
-      t.cl_seq.(t.cl_n) <- t.seq;
-      t.cl_n <- t.cl_n + 1;
-      t.last_clear_seq <- t.seq
+      (* Small ranges, and interior ranges wider than the eager limit:
+         scrub exactly [base, base+size). The suffix tag would clear
+         [base, ∞), silently dropping live history above an interior
+         range — interior ranges must pay O(size) for exact semantics. *)
+      t.seq <- t.seq + 1;
+      Obs.Counter.incr t.o_eager_clears;
+      scrub t ~base ~limit:(base + size)
     end
-  end
 
 let tracked_addresses t =
   let n = ref 0 in
@@ -298,5 +355,19 @@ let tracked_addresses t =
   done;
   !n
 
-let events t = t.events
-let deps_emitted t = t.deps
+let events t = Obs.Counter.get t.events
+let deps_emitted t = Obs.Counter.get t.deps
+
+let register_obs t reg =
+  Obs.Registry.register_counter reg "shadow.events" t.events;
+  Obs.Registry.register_counter reg "shadow.deps" t.deps;
+  Obs.Registry.register_gauge reg "shadow.cell_cap" t.o_cell_cap;
+  Obs.Registry.register_counter reg "shadow.cell_growths" t.o_cell_growths;
+  Obs.Registry.register_gauge reg "shadow.arena_cap" t.o_arena_cap;
+  Obs.Registry.register_counter reg "shadow.arena_growths" t.o_arena_growths;
+  Obs.Registry.register_gauge reg "shadow.arena_in_use" t.o_arena_in_use;
+  Obs.Registry.register_gauge reg "shadow.clear_stack_depth" t.o_clear_depth;
+  Obs.Registry.register_counter reg "shadow.freshens" t.o_freshens;
+  Obs.Registry.register_counter reg "shadow.cells_scrubbed" t.o_scrubbed;
+  Obs.Registry.register_counter reg "shadow.lazy_clears" t.o_lazy_clears;
+  Obs.Registry.register_counter reg "shadow.eager_clears" t.o_eager_clears

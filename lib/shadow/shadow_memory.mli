@@ -15,14 +15,20 @@
     {!Dependence.t} record. The boxed [on_dep] interface is kept as a
     compatibility wrapper.
 
-    {!clear_range} drops history for a released stack frame, so
-    stack-address reuse across activations cannot fabricate dependences
-    (and the table stays bounded by live memory). Small ranges are
-    scrubbed eagerly; large ranges are range-tagged in O(1) amortized by
-    pushing a (base, seq) entry on a clear stack, relying on the VM's
-    stack discipline (a released frame is always the top of the address
-    space, so invalidating everything at or above [base] is exact).
-    Stale cells are lazily reset on their next touch. *)
+    {!clear_from} drops history for a released stack frame, relying on
+    the VM's stack discipline (a released frame is always the top of the
+    live address space, so invalidating everything at or above [base] is
+    exact): it range-tags [base, ∞) in O(1) amortized by pushing a
+    (base, seq) entry on a clear stack, and stale cells are lazily reset
+    on their next touch. {!clear_range} honors an arbitrary [base, size)
+    exactly: small ranges and interior ranges are scrubbed eagerly;
+    ranges that reach the top of the touched address space delegate to
+    the O(1) suffix tag.
+
+    Telemetry (cell-table growth, arena occupancy, clear-stack depth,
+    freshen/scrub counts) is always on — each update is an int store on a
+    pre-allocated {!Obs} instrument — and is published into an
+    {!Obs.Registry.t} via {!register_obs}. *)
 
 type t
 
@@ -50,10 +56,19 @@ val write :
   t -> addr:int -> pc:int -> time:int -> node:Indexing.Node.t -> unit
 
 val clear_range : t -> base:int -> size:int -> unit
-(** Drops history for [base, base+size). Ranges larger than a small
-    threshold are invalidated lazily in O(1); this also invalidates any
-    history {e above} the range, which is exact under the VM's stack
-    discipline (the released frame is the top of the address space). *)
+(** Drops history for exactly [base, base+size) — history above the range
+    survives. Costs O(size) unless the range reaches the top of the
+    touched address space, in which case it is the O(1) {!clear_from}. *)
+
+val clear_from : t -> base:int -> unit
+(** Drops history for [base, ∞) in O(1) amortized (the lazy range-tag).
+    This is the frame-release fast path: under the VM's stack discipline
+    a released frame is the top of the live address space, so clearing
+    everything at or above [base] is exact. *)
+
+val register_obs : t -> Obs.Registry.t -> unit
+(** Register this instance's telemetry under the ["shadow."] prefix.
+    @raise Invalid_argument if the names are already taken. *)
 
 val tracked_addresses : t -> int
 (** Number of addresses currently carrying history (bounded-memory test).

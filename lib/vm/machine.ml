@@ -1,6 +1,21 @@
 exception Trap of string * int
 
-type result = { exit_value : int; instructions : int; output : int list }
+type metrics = {
+  reads : int;
+  writes : int;
+  calls : int;
+  branches : int;
+  frames_released : int;
+  max_call_depth : int;
+  mem_high_water : int;
+}
+
+type result = {
+  exit_value : int;
+  instructions : int;
+  output : int list;
+  metrics : metrics;
+}
 
 exception Halted of int
 
@@ -37,6 +52,15 @@ type state = {
   max_depth : int;
   mutable out : int list;
   mutable instructions : int;
+  (* telemetry: plain int counters so the hot loop stays allocation-free;
+     published as a [metrics] record in the result *)
+  mutable n_reads : int;
+  mutable n_writes : int;
+  mutable n_calls : int;
+  mutable n_branches : int;
+  mutable n_frames_released : int;
+  mutable depth_hwm : int;
+  mutable mem_hwm : int;
 }
 
 let trap st pc fmt =
@@ -139,6 +163,13 @@ let exec ~hooked ?(trace_locals = true) (hooks : Hooks.t) ?fuel
       max_depth;
       out = [];
       instructions = 0;
+      n_reads = 0;
+      n_writes = 0;
+      n_calls = 0;
+      n_branches = 0;
+      n_frames_released = 0;
+      depth_hwm = 0;
+      mem_hwm = 0;
     }
   in
   ensure_mem st prog.globals_size;
@@ -160,22 +191,26 @@ let exec ~hooked ?(trace_locals = true) (hooks : Hooks.t) ?fuel
             incr pc
         | LoadLocal s ->
             let addr = st.frame_base + s in
+            st.n_reads <- st.n_reads + 1;
             if hook_locals then hooks.on_read ~pc:p ~addr;
             push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
             incr pc
         | StoreLocal s ->
             let addr = st.frame_base + s in
             let i = pop_slot st p in
+            st.n_writes <- st.n_writes + 1;
             if hook_locals then hooks.on_write ~pc:p ~addr;
             st.mem.(addr) <- st.stack.(i);
             Bytes.unsafe_set st.mem_tag addr (Bytes.unsafe_get st.stack_tag i);
             incr pc
         | LoadGlobal addr ->
+            st.n_reads <- st.n_reads + 1;
             if hooked then hooks.on_read ~pc:p ~addr;
             push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
             incr pc
         | StoreGlobal addr ->
             let i = pop_slot st p in
+            st.n_writes <- st.n_writes + 1;
             if hooked then hooks.on_write ~pc:p ~addr;
             st.mem.(addr) <- st.stack.(i);
             Bytes.unsafe_set st.mem_tag addr (Bytes.unsafe_get st.stack_tag i);
@@ -193,6 +228,7 @@ let exec ~hooked ?(trace_locals = true) (hooks : Hooks.t) ?fuel
             if idx < 0 || idx >= len then
               trap st p "index %d out of bounds [0,%d)" idx len;
             let addr = base + idx in
+            st.n_reads <- st.n_reads + 1;
             if hooked then hooks.on_read ~pc:p ~addr;
             push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
             incr pc
@@ -206,6 +242,7 @@ let exec ~hooked ?(trace_locals = true) (hooks : Hooks.t) ?fuel
             if idx < 0 || idx >= len then
               trap st p "index %d out of bounds [0,%d)" idx len;
             let addr = base + idx in
+            st.n_writes <- st.n_writes + 1;
             if hooked then hooks.on_write ~pc:p ~addr;
             st.mem.(addr) <- v;
             Bytes.unsafe_set st.mem_tag addr vtag;
@@ -223,6 +260,7 @@ let exec ~hooked ?(trace_locals = true) (hooks : Hooks.t) ?fuel
         | Br { target; kind; cid } ->
             let v = pop_int st p in
             let taken = v = 0 in
+            st.n_branches <- st.n_branches + 1;
             if hooked then hooks.on_branch ~pc:p ~kind ~cid ~taken;
             pc := if taken then target else p + 1
         | Dup2 ->
@@ -264,6 +302,9 @@ let exec ~hooked ?(trace_locals = true) (hooks : Hooks.t) ?fuel
             Bytes.fill st.mem_tag base f.frame_slots tag_int;
             st.frame_base <- base;
             st.stack_top <- base + f.frame_slots;
+            st.n_calls <- st.n_calls + 1;
+            if st.depth > st.depth_hwm then st.depth_hwm <- st.depth;
+            if st.stack_top > st.mem_hwm then st.mem_hwm <- st.stack_top;
             if hooked then hooks.on_call ~pc:f.entry ~fid;
             for i = 0 to f.nparams - 1 do
               if hook_locals then hooks.on_write ~pc:f.entry ~addr:(base + i);
@@ -285,6 +326,7 @@ let exec ~hooked ?(trace_locals = true) (hooks : Hooks.t) ?fuel
               hooks.on_ret ~pc:p ~fid;
               hooks.on_frame_release ~base:st.frame_base ~size:f.frame_slots
             end;
+            st.n_frames_released <- st.n_frames_released + 1;
             st.stack_top <- st.frame_base;
             st.frame_base <- saved_base;
             push st v vtag;
@@ -303,7 +345,21 @@ let exec ~hooked ?(trace_locals = true) (hooks : Hooks.t) ?fuel
       assert false
     with Halted v -> v
   in
-  { exit_value; instructions = st.instructions; output = List.rev st.out }
+  {
+    exit_value;
+    instructions = st.instructions;
+    output = List.rev st.out;
+    metrics =
+      {
+        reads = st.n_reads;
+        writes = st.n_writes;
+        calls = st.n_calls;
+        branches = st.n_branches;
+        frames_released = st.n_frames_released;
+        max_call_depth = st.depth_hwm;
+        mem_high_water = st.mem_hwm;
+      };
+  }
 
 let run ?fuel ?max_depth prog =
   exec ~hooked:false Hooks.noop ?fuel ?max_depth prog

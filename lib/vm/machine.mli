@@ -9,10 +9,24 @@ exception Trap of string * int
 (** Runtime error (division by zero, out-of-bounds index, stack overflow,
     fuel exhausted) with the offending pc. *)
 
+type metrics = {
+  reads : int;  (** load instructions executed (locals, globals, indexed) *)
+  writes : int;  (** store instructions executed *)
+  calls : int;
+  branches : int;
+  frames_released : int;
+  max_call_depth : int;
+  mem_high_water : int;  (** peak [stack_top]: live memory words *)
+}
+(** Execution telemetry counted unconditionally in the interpreter loop
+    (plain int increments — no allocation, no observable slowdown). The
+    profiler republishes these through its [Obs] registry. *)
+
 type result = {
   exit_value : int;  (** return value of [main] *)
   instructions : int;  (** retired instruction count — the clock *)
   output : int list;  (** values printed, in order *)
+  metrics : metrics;
 }
 
 val run : ?fuel:int -> ?max_depth:int -> Program.t -> result

@@ -7,3 +7,8 @@ cd "$(dirname "$0")/.."
 dune build @check
 dune build
 dune runtest
+
+# Smoke-test the telemetry surface end to end: a real profiled run must
+# emit both renderings without tripping any instrument.
+dune exec --no-build -- alchemist profile workload:aes:64 --telemetry > /dev/null
+dune exec --no-build -- alchemist profile workload:aes:64 --telemetry=json > /dev/null

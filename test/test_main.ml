@@ -10,6 +10,7 @@ let () =
       ("cfa", Test_cfa.suite);
       ("indexing", Test_indexing.suite);
       ("shadow", Test_shadow.suite);
+      ("obs", Test_obs.suite);
       ("profiler", Test_profiler.suite);
       ("baselines", Test_baselines.suite);
       ("parsim", Test_parsim.suite);

@@ -1,0 +1,256 @@
+(* The Obs telemetry layer: instrument semantics, the snapshot merge
+   algebra (associative/commutative, mirroring Profile.merge), and golden
+   renderings that pin the text/JSON formats. *)
+
+let check = Alcotest.check
+
+(* --- instruments --------------------------------------------------------- *)
+
+let test_counter () =
+  let c = Obs.Counter.make () in
+  Obs.Counter.incr c;
+  Obs.Counter.incr c;
+  Obs.Counter.add c 40;
+  check Alcotest.int "counter accumulates" 42 (Obs.Counter.get c)
+
+let test_gauge_hwm () =
+  let g = Obs.Gauge.make () in
+  Obs.Gauge.set g 7;
+  Obs.Gauge.set g 3;
+  check Alcotest.int "level is last" 3 (Obs.Gauge.get g);
+  check Alcotest.int "hwm survives drops" 7 (Obs.Gauge.hwm g);
+  Obs.Gauge.add g 10;
+  check Alcotest.int "add moves level" 13 (Obs.Gauge.get g);
+  check Alcotest.int "add raises hwm" 13 (Obs.Gauge.hwm g)
+
+let test_bucket_of () =
+  List.iter
+    (fun (v, b) ->
+      check Alcotest.int (Printf.sprintf "bucket_of %d" v) b
+        (Obs.Histogram.bucket_of v))
+    [
+      (min_int, 0);
+      (-1, 0);
+      (0, 0);
+      (1, 1);
+      (2, 2);
+      (3, 2);
+      (4, 3);
+      (7, 3);
+      (8, 4);
+      (1023, 10);
+      (1024, 11);
+      (max_int, 62);
+    ]
+
+let test_histogram_observe () =
+  let h = Obs.Histogram.make () in
+  List.iter (Obs.Histogram.observe h) [ 0; 1; 1; 3; 100 ];
+  check Alcotest.int "count" 5 (Obs.Histogram.count h);
+  check Alcotest.int "sum" 105 (Obs.Histogram.sum h);
+  check Alcotest.int "max" 100 (Obs.Histogram.max_value h);
+  check Alcotest.int "bucket 0" 1 (Obs.Histogram.bucket h 0);
+  check Alcotest.int "bucket 1" 2 (Obs.Histogram.bucket h 1);
+  check Alcotest.int "bucket 2" 1 (Obs.Histogram.bucket h 2);
+  check Alcotest.int "bucket of 100" 1
+    (Obs.Histogram.bucket h (Obs.Histogram.bucket_of 100))
+
+let test_timer_spans () =
+  let t = Obs.Timer.make () in
+  Obs.Timer.stop t;
+  check Alcotest.int "stop before start is a no-op" 0 (Obs.Timer.spans t);
+  let v = Obs.Timer.time t (fun () -> 17) in
+  check Alcotest.int "time returns the thunk's value" 17 v;
+  check Alcotest.int "one span" 1 (Obs.Timer.spans t);
+  check Alcotest.bool "non-negative total" true (Obs.Timer.total_ns t >= 0)
+
+(* --- registry ------------------------------------------------------------ *)
+
+let test_registry_snapshot () =
+  let reg = Obs.Registry.create () in
+  let c = Obs.Registry.counter reg "b.count" in
+  let g = Obs.Registry.gauge reg "a.level" in
+  Obs.Counter.add c 5;
+  Obs.Gauge.set g 9;
+  (match Obs.Registry.snapshot reg with
+  | [ ("a.level", Obs.Level { last = 9; hwm = 9 }); ("b.count", Obs.Count 5) ]
+    -> ()
+  | s -> Alcotest.failf "unexpected snapshot of %d entries" (List.length s));
+  (* snapshots are copies: later updates don't retroactively change them *)
+  let snap = Obs.Registry.snapshot reg in
+  Obs.Counter.add c 100;
+  check Alcotest.(option int) "snapshot is immutable" (Some 5)
+    (Obs.find_count snap "b.count")
+
+let test_registry_duplicate_name () =
+  let reg = Obs.Registry.create () in
+  ignore (Obs.Registry.counter reg "x");
+  (match Obs.Registry.gauge reg "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on duplicate name")
+
+(* --- merge algebra -------------------------------------------------------- *)
+
+(* Generate arbitrary snapshots over a small name pool so merges hit both
+   the disjoint-union and the same-name-combine paths. *)
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> Obs.Count (abs n)) small_int;
+        map2
+          (fun a b -> Obs.Level { last = min a b; hwm = max a b })
+          small_int small_int;
+        map
+          (fun vs ->
+            let h = Obs.Histogram.make () in
+            List.iter (Obs.Histogram.observe h) vs;
+            match
+              Obs.Registry.(
+                let r = create () in
+                register_histogram r "h" h;
+                snapshot r)
+            with
+            | [ (_, d) ] -> d
+            | _ -> assert false)
+          (list_size (int_bound 8) (int_bound 1000));
+        map2
+          (fun ns spans -> Obs.Span { ns = abs ns; spans = abs spans })
+          small_int small_int;
+      ])
+
+let snapshot_gen =
+  (* a snapshot is sorted and name-unique; values are type-consistent per
+     name (name picks the constructor) so merges never type-clash *)
+  QCheck.Gen.(
+    let entry name =
+      let pick =
+        match name with
+        | "alpha" -> map (fun n -> Obs.Count (abs n)) small_int
+        | "beta" ->
+            map2
+              (fun a b -> Obs.Level { last = min a b; hwm = max a b })
+              small_int small_int
+        | _ -> value_gen
+      in
+      map (fun v -> (name, v)) pick
+    in
+    let names = [ "alpha"; "beta" ] in
+    map
+      (fun mask ->
+        List.filteri (fun i _ -> mask land (1 lsl i) <> 0) names)
+      (int_bound 3)
+    >>= fun chosen ->
+    flatten_l (List.map entry chosen))
+
+let snapshot_arb =
+  QCheck.make snapshot_gen
+    ~print:(fun s -> Obs.render_json (Obs.filter (fun _ _ -> true) s))
+
+let test_merge_commutative () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"obs merge commutative" ~count:200
+       (QCheck.pair snapshot_arb snapshot_arb)
+       (fun (a, b) ->
+         Obs.render_json (Obs.merge a b) = Obs.render_json (Obs.merge b a)))
+
+let test_merge_associative () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"obs merge associative" ~count:200
+       (QCheck.triple snapshot_arb snapshot_arb snapshot_arb)
+       (fun (a, b, c) ->
+         Obs.render_json (Obs.merge (Obs.merge a b) c)
+         = Obs.render_json (Obs.merge a (Obs.merge b c))))
+
+let test_merge_semantics () =
+  let a =
+    [
+      ("count", Obs.Count 3);
+      ("level", Obs.Level { last = 5; hwm = 9 });
+      ("span", Obs.Span { ns = 10; spans = 1 });
+    ]
+  and b =
+    [
+      ("count", Obs.Count 4);
+      ("level", Obs.Level { last = 7; hwm = 8 });
+      ("only_b", Obs.Count 1);
+      ("span", Obs.Span { ns = 5; spans = 2 });
+    ]
+  in
+  match Obs.merge a b with
+  | [
+   ("count", Obs.Count 7);
+   ("level", Obs.Level { last = 7; hwm = 9 });
+   ("only_b", Obs.Count 1);
+   ("span", Obs.Span { ns = 15; spans = 3 });
+  ] ->
+      ()
+  | s -> Alcotest.failf "unexpected merge result (%d entries)" (List.length s)
+
+let test_merge_type_mismatch () =
+  match Obs.merge [ ("x", Obs.Count 1) ] [ ("x", Obs.Level { last = 1; hwm = 1 }) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on metric type mismatch"
+
+let test_merge_all_matches_fold () =
+  let mk n =
+    [ ("c", Obs.Count n); ("g", Obs.Level { last = n; hwm = n * 2 }) ]
+  in
+  let parts = List.map mk [ 1; 5; 3 ] in
+  check Alcotest.string "merge_all = fold merge"
+    (Obs.render_json (List.fold_left Obs.merge [] parts))
+    (Obs.render_json (Obs.merge_all parts))
+
+(* --- golden renderings ---------------------------------------------------- *)
+
+(* A deterministic registry (no timers) pins the exact text and JSON
+   output; Spans are filtered the way a reproducible caller would. *)
+let golden_snapshot () =
+  let reg = Obs.Registry.create () in
+  let c = Obs.Registry.counter reg "vm.instructions" in
+  let g = Obs.Registry.gauge reg "tree.depth" in
+  let h = Obs.Registry.histogram reg "walk.depth" in
+  let t = Obs.Registry.timer reg "wall" in
+  Obs.Counter.add c 1234;
+  Obs.Gauge.set g 7;
+  Obs.Gauge.set g 4;
+  List.iter (Obs.Histogram.observe h) [ 0; 1; 2; 2; 3; 9 ];
+  Obs.Timer.time t (fun () -> ());
+  Obs.filter (fun _ v -> match v with Obs.Span _ -> false | _ -> true)
+    (Obs.Registry.snapshot reg)
+
+let test_golden_text () =
+  check Alcotest.string "text rendering"
+    "tree.depth                                  4  (hwm 7)\n\
+     vm.instructions                          1234\n\
+     walk.depth                                  6  sum=17 max=9  | 0:1 1:1 \
+     2:3 8:1 |\n"
+    (Obs.render_text (golden_snapshot ()))
+
+let test_golden_json () =
+  check Alcotest.string "json rendering"
+    "{\n\
+    \  \"tree.depth\": {\"last\": 4, \"hwm\": 7},\n\
+    \  \"vm.instructions\": 1234,\n\
+    \  \"walk.depth\": {\"count\": 6, \"sum\": 17, \"max\": 9, \"buckets\": \
+     [[0, 1], [1, 1], [2, 3], [8, 1]]}\n\
+     }"
+    (Obs.render_json (golden_snapshot ()))
+
+let suite =
+  [
+    ("counter", `Quick, test_counter);
+    ("gauge hwm", `Quick, test_gauge_hwm);
+    ("bucket_of", `Quick, test_bucket_of);
+    ("histogram observe", `Quick, test_histogram_observe);
+    ("timer spans", `Quick, test_timer_spans);
+    ("registry snapshot", `Quick, test_registry_snapshot);
+    ("registry duplicate name", `Quick, test_registry_duplicate_name);
+    ("merge commutative (qcheck)", `Quick, test_merge_commutative);
+    ("merge associative (qcheck)", `Quick, test_merge_associative);
+    ("merge semantics", `Quick, test_merge_semantics);
+    ("merge type mismatch", `Quick, test_merge_type_mismatch);
+    ("merge_all", `Quick, test_merge_all_matches_fold);
+    ("golden text", `Quick, test_golden_text);
+    ("golden json", `Quick, test_golden_json);
+  ]

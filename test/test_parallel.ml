@@ -47,6 +47,36 @@ let test_map_propagates_exception () =
   | exception Boom 17 -> ()
   | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
 
+let test_map_cancels_on_failure () =
+  (* A poisoned item must stop the pool from draining the whole array:
+     workers re-check the cancellation flag before claiming work, so only
+     items already in flight when the poison fires still run. *)
+  let n = 20_000 in
+  let executed = Atomic.make 0 in
+  let xs = Array.init n (fun i -> i) in
+  (match
+     Parallel.map ~jobs:2
+       (fun i ->
+         if i = 0 then raise (Boom 0);
+         ignore (Atomic.fetch_and_add executed 1);
+         (* keep each item non-trivial so the queue drains slowly *)
+         let acc = ref 0 in
+         for k = 1 to 200 do
+           acc := !acc + k
+         done;
+         !acc)
+       xs
+   with
+  | _ -> Alcotest.fail "expected Boom to propagate"
+  | exception Boom 0 -> ()
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e));
+  let ran = Atomic.get executed in
+  Alcotest.(check bool)
+    (Printf.sprintf "cancellation kept most of the array unrun (ran %d/%d)"
+       ran n)
+    true
+    (ran < n / 2)
+
 (* --- sharded runs are byte-identical to sequential ones ------------------ *)
 
 let test_registry_byte_identical () =
@@ -144,6 +174,7 @@ let suite =
     ("map results", `Quick, test_map_results);
     ("map uneven costs", `Quick, test_map_uneven);
     ("map propagates exceptions", `Quick, test_map_propagates_exception);
+    ("map cancels on failure", `Quick, test_map_cancels_on_failure);
     ("registry -j4 byte-identical", `Slow, test_registry_byte_identical);
     ("input shards match sequential", `Quick, test_profile_programs_matches_sequential);
     ("merge commutative", `Quick, test_merge_commutative);

@@ -84,6 +84,63 @@ let test_rejects_garbage () =
         (Pio.fingerprint prog);
     ]
 
+(* Duplicate and malformed lines must be rejected with the 1-based line
+   number of the offending input line, never silently overwritten. *)
+let test_malformed_matrix () =
+  let prog, p = profile_of sample_src in
+  let text = Pio.to_string p in
+  let lines = String.split_on_char '\n' text in
+  let first_with prefix =
+    List.find
+      (fun l -> String.length l > 0 && String.starts_with ~prefix l)
+      lines
+  in
+  (* duplicate a real line of each kind at the end of the file *)
+  let with_extra extra = text ^ extra ^ "\n" in
+  let expect_error ~label ~needle text =
+    match Pio.read prog text with
+    | Ok _ -> Alcotest.failf "%s: accepted" label
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %S mentions %S" label msg needle)
+          true
+          (Testutil.contains msg needle)
+  in
+  let dup_line = List.length (String.split_on_char '\n' text) in
+  let expect_dup ~label ~kind_prefix =
+    let msg_line = Printf.sprintf "line %d" dup_line in
+    expect_error ~label ~needle:"duplicate"
+      (with_extra (first_with kind_prefix));
+    expect_error ~label:(label ^ " line number") ~needle:msg_line
+      (with_extra (first_with kind_prefix))
+  in
+  expect_dup ~label:"duplicate construct" ~kind_prefix:"construct ";
+  expect_dup ~label:"duplicate edge" ~kind_prefix:"edge ";
+  expect_dup ~label:"duplicate parent" ~kind_prefix:"parent ";
+  (* truncation *)
+  expect_error ~label:"empty" ~needle:"truncated" "";
+  expect_error ~label:"header only" ~needle:"truncated" "alchemist-profile 1\n";
+  (* bad kind tag: corrupt the first edge line *)
+  let edge = first_with "edge " in
+  let bad_edge =
+    String.concat " "
+      (List.mapi
+         (fun i f -> if i = 4 then "RAR" else f)
+         (String.split_on_char ' ' edge))
+  in
+  expect_error ~label:"bad kind tag" ~needle:"RAR"
+    (String.concat "\n"
+       (List.map (fun l -> if l = edge then bad_edge else l) lines));
+  (* malformed lines still carry their line number *)
+  expect_error ~label:"junk line" ~needle:"malformed"
+    (with_extra "frobnicate 1 2 3");
+  expect_error ~label:"junk line number"
+    ~needle:(Printf.sprintf "line %d" dup_line)
+    (with_extra "frobnicate 1 2 3");
+  (* non-integer field *)
+  expect_error ~label:"bad int" ~needle:"not an integer"
+    (with_extra "construct 0 xyz 1")
+
 let test_save_load_file () =
   let prog, p = profile_of sample_src in
   let path = Filename.temp_file "alchemist" ".prof" in
@@ -174,6 +231,7 @@ let suite =
     ("fingerprint stable", `Quick, test_fingerprint_stable);
     ("rejects wrong program", `Quick, test_rejects_wrong_program);
     ("rejects garbage", `Quick, test_rejects_garbage);
+    ("malformed matrix", `Quick, test_malformed_matrix);
     ("save/load file", `Quick, test_save_load_file);
     ("loaded profile usable", `Quick, test_loaded_profile_usable);
     ("merge after load", `Quick, test_merge_after_load);

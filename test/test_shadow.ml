@@ -124,6 +124,48 @@ let test_clear_range () =
   Alcotest.(check int) "history dropped" 0 (List.length (got ()));
   Alcotest.(check bool) "addresses re-tracked" true (SM.tracked_addresses sm >= 2)
 
+(* Regression: a large interior clear_range must honor the range end.
+   The old lazy path tagged [base, inf) whenever size exceeded the eager
+   limit, wiping history above base+size. *)
+let test_clear_range_interior () =
+  let sm, got = collect () in
+  let n = node () in
+  SM.write sm ~addr:100 ~pc:1 ~time:1 ~node:n;
+  SM.write sm ~addr:300 ~pc:2 ~time:2 ~node:n;
+  (* size 200 > eager limit, but [50, 250) stops below addr 300 *)
+  SM.clear_range sm ~base:50 ~size:200;
+  SM.read sm ~addr:100 ~pc:3 ~time:3 ~node:n;
+  SM.read sm ~addr:300 ~pc:4 ~time:4 ~node:n;
+  match got () with
+  | [ d ] ->
+      Alcotest.(check bool) "kind" true (d.Dep.kind = Dep.Raw);
+      Alcotest.(check int) "surviving head" 2 d.Dep.head.Dep.pc;
+      Alcotest.(check int) "surviving tail" 4 d.Dep.tail.Dep.pc
+  | ds ->
+      Alcotest.failf "expected exactly the dep above the range, got %d"
+        (List.length ds)
+
+(* clear_from is the O(1) frame-release path: everything at or above base
+   is stale, including addresses far beyond any eager-scrub window. *)
+let test_clear_from_suffix () =
+  let sm, got = collect () in
+  let n = node () in
+  SM.write sm ~addr:10 ~pc:1 ~time:1 ~node:n;
+  SM.write sm ~addr:100 ~pc:2 ~time:2 ~node:n;
+  SM.write sm ~addr:5000 ~pc:3 ~time:3 ~node:n;
+  SM.clear_from sm ~base:64;
+  SM.read sm ~addr:100 ~pc:4 ~time:4 ~node:n;
+  SM.read sm ~addr:5000 ~pc:5 ~time:5 ~node:n;
+  SM.read sm ~addr:10 ~pc:6 ~time:6 ~node:n;
+  match got () with
+  | [ d ] ->
+      Alcotest.(check bool) "kind" true (d.Dep.kind = Dep.Raw);
+      Alcotest.(check int) "head below base survives" 1 d.Dep.head.Dep.pc;
+      Alcotest.(check int) "tail" 6 d.Dep.tail.Dep.pc
+  | ds ->
+      Alcotest.failf "expected exactly the dep below base, got %d"
+        (List.length ds)
+
 let test_counters () =
   let sm, _ = collect () in
   let n = node () in
@@ -189,6 +231,8 @@ let suite =
     ("distinct addresses", `Quick, test_distinct_addresses_independent);
     ("disjoint buffer slots", `Quick, test_disjoint_buffer_slots);
     ("clear range", `Quick, test_clear_range);
+    ("clear range honors range end", `Quick, test_clear_range_interior);
+    ("clear from suffix", `Quick, test_clear_from_suffix);
     ("counters", `Quick, test_counters);
     ("random sequences (qcheck)", `Quick, test_random_sequences_qcheck);
   ]
