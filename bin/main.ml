@@ -66,20 +66,32 @@ let fuel_arg =
     & opt int 2_000_000_000
     & info [ "fuel" ] ~doc:"Instruction budget before trapping.")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("threaded", Vm.Machine.Threaded); ("switch", Vm.Machine.Switch);
+           ])
+        Vm.Machine.Threaded
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"VM execution engine: $(b,threaded) (closure-threaded with               superinstruction fusion, the default) or $(b,switch) (the               reference interpreter). Both produce identical results and               profiles.")
+
 (* --- run --------------------------------------------------------------- *)
 
 let run_cmd =
-  let run spec fuel fold =
+  let run spec fuel fold engine =
     handle_errors (fun () ->
         let prog = load_program ~fold spec in
-        let r = Vm.Machine.run ~fuel prog in
+        let r = Vm.Machine.run ~engine ~fuel prog in
         List.iter (fun v -> Printf.printf "%d\n" v) r.Vm.Machine.output;
         Printf.printf "exit=%d instructions=%d\n" r.Vm.Machine.exit_value
           r.Vm.Machine.instructions)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a Mini-C program on the VM.")
-    Term.(const run $ src_arg $ fuel_arg $ fold_arg)
+    Term.(const run $ src_arg $ fuel_arg $ fold_arg $ engine_arg)
 
 (* --- profile ------------------------------------------------------------ *)
 
@@ -120,10 +132,11 @@ let profile_cmd =
                 profiler) after the report, as $(b,text) (default) or \
                 $(b,json).")
   in
-  let profile spec fuel top edges kinds trace_locals save telemetry fold =
+  let profile spec fuel top edges kinds trace_locals save telemetry fold engine
+      =
     handle_errors (fun () ->
         let prog = load_program ~fold spec in
-        let r = Alchemist.Profiler.run ~fuel ~trace_locals prog in
+        let r = Alchemist.Profiler.run ~engine ~fuel ~trace_locals prog in
         Option.iter
           (fun path -> Alchemist.Profile_io.save r.Alchemist.Profiler.profile path)
           save;
@@ -161,7 +174,7 @@ let profile_cmd =
        ~doc:"Profile dependence distances (Fig. 2/3-style report).")
     Term.(
       const profile $ src_arg $ fuel_arg $ top $ edges $ kinds $ trace_locals
-      $ save $ telemetry $ fold_arg)
+      $ save $ telemetry $ fold_arg $ engine_arg)
 
 (* --- rank ---------------------------------------------------------------- *)
 
@@ -393,14 +406,16 @@ let profile_all_cmd =
           ~doc:"Add a per-shard breakdown (wall time, events, walk depth) \
                 and the merged telemetry snapshot.")
   in
-  let profile_all fuel jobs test_scale save_dir telemetry =
+  let profile_all fuel jobs test_scale save_dir telemetry engine =
     handle_errors (fun () ->
         let jobs = max 1 jobs in
         let scale_of (w : Workloads.Workload.t) =
           if test_scale then w.test_scale else w.default_scale
         in
         let t0 = Unix.gettimeofday () in
-        let results = Driver.Parallel.profile_registry ~jobs ~fuel ~scale_of () in
+        let results =
+          Driver.Parallel.profile_registry ~jobs ~engine ~fuel ~scale_of ()
+        in
         let wall = Unix.gettimeofday () -. t0 in
         Printf.printf "%-12s %14s %12s %10s\n" "workload" "instructions"
           "dep events" "constructs";
@@ -417,8 +432,9 @@ let profile_all_cmd =
                   (Filename.concat dir (w.name ^ ".prof")))
               save_dir)
           results;
-        Printf.printf "\n%d workloads in %.2fs on %d domain(s)\n"
-          (List.length results) wall jobs;
+        Printf.printf "\n%d workloads in %.2fs on %d domain(s), %s engine\n"
+          (List.length results) wall jobs
+          (Vm.Machine.engine_to_string engine);
         if telemetry then begin
           (* Per-shard: each run's registry carries its own driver.shard_wall
              timer, so the breakdown shows where the domains spent time. *)
@@ -455,7 +471,8 @@ let profile_all_cmd =
     (Cmd.info "profile-all"
        ~doc:"Profile every bundled workload, sharded across CPU cores.")
     Term.(
-      const profile_all $ fuel_arg $ jobs $ test_scale $ save_dir $ telemetry)
+      const profile_all $ fuel_arg $ jobs $ test_scale $ save_dir $ telemetry
+      $ engine_arg)
 
 (* --- disasm / workloads --------------------------------------------------- *)
 

@@ -23,22 +23,103 @@ module Key = struct
   let compare (a : int) b = compare a b
 end
 
-module Etbl = Hashtbl.Make (struct
-  type t = int
-
-  let equal (a : int) b = a = b
-
-  (* Fibonacci-style multiplicative mix: packed keys differ mostly in a
-     few bit ranges; spread them across the table. *)
-  let hash k = (k * 0x5DEECE66D) land max_int
-end)
-
 type edge_stats = {
   mutable min_tdep : int;
   mutable count : int;
   mutable addrs : int list;
   mutable tail_internal : bool;
 }
+
+(* Open-addressing int-keyed table (linear probing, power-of-two
+   capacity). [record_edge] runs once per attributed dependence — on
+   gzip that is ~1.9M probes per run — and a bucket-list Hashtbl costs a
+   pointer chase (usually a cache miss) plus a [Some] allocation per
+   probe. Here a hit is one array scan with no allocation. Keys are
+   {!Key.pack} values: always [>= 0], so [min_int] marks an empty slot. *)
+module Etbl = struct
+  type 'a t = {
+    mutable keys : int array;
+    mutable vals : 'a array;
+    mutable size : int;
+    mutable mask : int;
+    dummy : 'a;
+  }
+
+  let no_key = min_int
+
+  let create dummy n =
+    let cap = ref 8 in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    {
+      keys = Array.make !cap no_key;
+      vals = Array.make !cap dummy;
+      size = 0;
+      mask = !cap - 1;
+      dummy;
+    }
+
+  (* Fibonacci-style multiplicative mix: packed keys differ mostly in a
+     few bit ranges; spread them across the table. *)
+  let[@inline] slot t k =
+    let mask = t.mask in
+    let keys = t.keys in
+    let i = ref ((k * 0x5DEECE66D) land mask) in
+    while
+      let k' = keys.(!i) in
+      k' <> k && k' <> no_key
+    do
+      i := (!i + 1) land mask
+    done;
+    !i
+
+  let[@inline] key_at t i = t.keys.(i)
+  let[@inline] val_at t i = t.vals.(i)
+
+  let grow t =
+    let keys = t.keys and vals = t.vals in
+    let cap = 2 * (t.mask + 1) in
+    t.keys <- Array.make cap no_key;
+    t.vals <- Array.make cap t.dummy;
+    t.mask <- cap - 1;
+    Array.iteri
+      (fun i k ->
+        if k <> no_key then begin
+          let j = slot t k in
+          t.keys.(j) <- k;
+          t.vals.(j) <- vals.(i)
+        end)
+      keys
+
+  (* Install [v] at the empty slot [i] previously returned by {!slot};
+     keeps the load factor at most 1/2. *)
+  let install t i k v =
+    t.keys.(i) <- k;
+    t.vals.(i) <- v;
+    t.size <- t.size + 1;
+    if 2 * t.size > t.mask then grow t
+
+  let find_opt t k =
+    let i = slot t k in
+    if t.keys.(i) = k then Some t.vals.(i) else None
+
+  let mem t k = t.keys.(slot t k) = k
+
+  let add t k v =
+    let i = slot t k in
+    if t.keys.(i) = k then t.vals.(i) <- v else install t i k v
+
+  let iter f t =
+    Array.iteri (fun i k -> if k <> no_key then f k t.vals.(i)) t.keys
+
+  let fold f t acc =
+    let acc = ref acc in
+    Array.iteri (fun i k -> if k <> no_key then acc := f k t.vals.(i) !acc) t.keys;
+    !acc
+
+  let length t = t.size
+end
 
 type construct_profile = {
   cid : int;
@@ -49,6 +130,8 @@ type construct_profile = {
   mutable nesting : int;
   mutable cache_key : Key.t;
   mutable cache_stats : edge_stats;
+  mutable cache_parent_cid : int;
+  mutable cache_parent_count : int ref;
 }
 
 type t = {
@@ -61,6 +144,9 @@ let dummy_stats () =
   { min_tdep = max_int; count = 0; addrs = []; tail_internal = false }
 
 let create (prog : Vm.Program.t) =
+  (* One shared sentinel: it is never mutated (only ever compared or
+     replaced), so every construct's empty table can point at it. *)
+  let dummy = dummy_stats () in
   {
     prog;
     by_cid =
@@ -70,11 +156,13 @@ let create (prog : Vm.Program.t) =
             cid = c.cid;
             ttotal = 0;
             instances = 0;
-            edges = Etbl.create 8;
+            edges = Etbl.create dummy 8;
             parents = Hashtbl.create 4;
             nesting = 0;
             cache_key = min_int;
-            cache_stats = dummy_stats ();
+            cache_stats = dummy;
+            cache_parent_cid = min_int;
+            cache_parent_count = ref 0;
           })
         prog.constructs;
     total_instructions = 0;
@@ -88,8 +176,13 @@ let enter t ~cid =
 
 let bump_parent (p : construct_profile) parent_cid n =
   match Hashtbl.find_opt p.parents parent_cid with
-  | Some r -> r := !r + n
-  | None -> Hashtbl.add p.parents parent_cid (ref n)
+  | Some r ->
+      r := !r + n;
+      r
+  | None ->
+      let r = ref n in
+      Hashtbl.add p.parents parent_cid r;
+      r
 
 let leave t ~cid ~duration ~parent_cid =
   let p = t.by_cid.(cid) in
@@ -98,7 +191,16 @@ let leave t ~cid ~duration ~parent_cid =
   (* §III-B: aggregate only at the outermost recursion level, otherwise
      nested activations would be double-counted. *)
   if p.nesting = 0 then p.ttotal <- p.ttotal + duration;
-  bump_parent p parent_cid 1
+  (* A construct's dynamic parent is almost always the same static
+     construct (a loop completes under the same enclosing loop every
+     iteration) — memoize the counter cell and skip the Hashtbl probe. *)
+  if p.cache_parent_cid = parent_cid then
+    p.cache_parent_count := !(p.cache_parent_count) + 1
+  else begin
+    let r = bump_parent p parent_cid 1 in
+    p.cache_parent_cid <- parent_cid;
+    p.cache_parent_count <- r
+  end
 
 let note_addr s addr =
   (* bounded 3-slot sample of distinct conflicting addresses *)
@@ -115,20 +217,22 @@ let record_edge t ~cid ~head_pc ~tail_pc ~kind ~tdep ~addr =
   let key = Key.pack ~head_pc ~tail_pc kind in
   let s =
     if p.cache_key = key then p.cache_stats
-    else
+    else begin
+      let i = Etbl.slot p.edges key in
       let s =
-        match Etbl.find_opt p.edges key with
-        | Some s -> s
-        | None ->
-            let s =
-              { min_tdep = tdep; count = 0; addrs = []; tail_internal = false }
-            in
-            Etbl.add p.edges key s;
-            s
+        if Etbl.key_at p.edges i = key then Etbl.val_at p.edges i
+        else begin
+          let s =
+            { min_tdep = tdep; count = 0; addrs = []; tail_internal = false }
+          in
+          Etbl.install p.edges i key s;
+          s
+        end
       in
       p.cache_key <- key;
       p.cache_stats <- s;
       s
+    end
   in
   s.count <- s.count + 1;
   if tdep < s.min_tdep then s.min_tdep <- tdep;
@@ -171,7 +275,9 @@ let merge a b =
                     tail_internal = s.tail_internal;
                   })
           src.edges;
-        Hashtbl.iter (fun parent n -> bump_parent dst parent !n) src.parents
+        Hashtbl.iter
+          (fun parent n -> ignore (bump_parent dst parent !n))
+          src.parents
       in
       add a.by_cid.(cid);
       add b.by_cid.(cid))

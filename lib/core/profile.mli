@@ -29,9 +29,20 @@ module Key : sig
   val compare : t -> t -> int
 end
 
-module Etbl : Hashtbl.S with type key = Key.t
-(** Edge tables: int-keyed, avalanche-mixed hash, no polymorphic
-    comparison on the hot path. *)
+module Etbl : sig
+  type 'a t
+  (** Open-addressing table keyed by {!Key.t} (linear probing,
+      power-of-two capacity): int-keyed, avalanche-mixed hash, no
+      polymorphic comparison — and, unlike [Hashtbl], no per-probe
+      allocation and no bucket-list pointer chase on the hot path
+      (one probe per attributed dependence). *)
+
+  val mem : 'a t -> Key.t -> bool
+
+  val add : 'a t -> Key.t -> 'a -> unit
+  (** Insert, replacing any existing binding for the key. *)
+end
+(** Edge tables. Traverse via {!iter_edges}/{!fold_edges}. *)
 
 type edge_stats = {
   mutable min_tdep : int;
@@ -63,6 +74,11 @@ type construct_profile = {
           a 1-entry memo that skips the table probe when a loop keeps
           hitting the same static edge *)
   mutable cache_stats : edge_stats;  (** stats cell memoized for [cache_key] *)
+  mutable cache_parent_cid : int;
+      (** last dynamic parent cid seen by {!leave} ([min_int] = none) —
+          a 1-entry memo that skips the parents probe while iterating
+          under an unchanged enclosing construct *)
+  mutable cache_parent_count : int ref;  (** counter cell for the memo *)
 }
 
 type t = {

@@ -75,9 +75,11 @@ let make ?scan_limit ?pool_capacity ?obs (prog : Vm.Program.t) =
   Shadow.Shadow_memory.register_obs shadow reg;
   Indexing.Index_tree.register_obs tree reg;
   let enclosing () =
-    match Indexing.Index_tree.top tree with
-    | Some c -> c
-    | None -> invalid_arg "Profiler: memory event outside any construct"
+    (* peek, not top: one memory event per load/store makes the option
+       boxing in [top] a measurable allocation source *)
+    if Indexing.Index_tree.depth tree = 0 then
+      invalid_arg "Profiler: memory event outside any construct"
+    else Indexing.Index_tree.peek tree
   in
   let hooks =
     {
@@ -146,10 +148,17 @@ let make ?scan_limit ?pool_capacity ?obs (prog : Vm.Program.t) =
   in
   (hooks, finish)
 
-let run ?fuel ?scan_limit ?pool_capacity ?obs ?(trace_locals = false)
-    (prog : Vm.Program.t) =
+let run ?(engine = Vm.Machine.Threaded) ?fuel ?scan_limit ?pool_capacity ?obs
+    ?(trace_locals = false) (prog : Vm.Program.t) =
   let hooks, finish = make ?scan_limit ?pool_capacity ?obs prog in
-  finish (Vm.Machine.run_hooked ~trace_locals ?fuel hooks prog)
+  let r = finish (Vm.Machine.run_hooked ~engine ~trace_locals ?fuel hooks prog) in
+  (* Record which engine produced the events, so benchmark telemetry is
+     self-describing (0 = switch, 1 = threaded). Differential telemetry
+     comparisons filter this gauge out — see test/test_engines.ml. *)
+  Obs.Gauge.set
+    (Obs.Registry.gauge r.obs "vm.engine")
+    (match engine with Vm.Machine.Switch -> 0 | Vm.Machine.Threaded -> 1);
+  r
 
 let run_trace ?scan_limit ?pool_capacity ?obs (trace : Vm.Trace.t)
     (prog : Vm.Program.t) =
@@ -157,6 +166,7 @@ let run_trace ?scan_limit ?pool_capacity ?obs (trace : Vm.Trace.t)
   Vm.Trace.replay trace hooks;
   finish (Vm.Trace.result trace)
 
-let run_source ?fuel ?scan_limit ?pool_capacity ?obs ?trace_locals src =
-  run ?fuel ?scan_limit ?pool_capacity ?obs ?trace_locals
+let run_source ?engine ?fuel ?scan_limit ?pool_capacity ?obs ?trace_locals src
+    =
+  run ?engine ?fuel ?scan_limit ?pool_capacity ?obs ?trace_locals
     (Vm.Compile.compile_source src)

@@ -40,6 +40,7 @@ val telemetry : result -> Obs.snapshot
 (** [Obs.Registry.snapshot r.obs]. *)
 
 val run :
+  ?engine:Vm.Machine.engine ->
   ?fuel:int ->
   ?scan_limit:int ->
   ?pool_capacity:int ->
@@ -49,6 +50,11 @@ val run :
   result
 (** Profiles one execution.
 
+    [engine] selects the VM execution engine (default
+    {!Vm.Machine.Threaded}); both engines feed the profiler the exact
+    same event stream, so the profile is engine-independent
+    (differentially tested). The engine used is recorded in telemetry as
+    the [vm.engine] gauge (0 = switch, 1 = threaded).
     [pool_capacity] (default 1M, the paper's setting) controls index-node
     retention; [trace_locals] (default [false]) additionally tracks scalar
     frame slots as memory — see {!Vm.Machine.run_hooked}. [obs] supplies
@@ -70,6 +76,7 @@ val run_trace :
     (differentially tested). *)
 
 val run_source :
+  ?engine:Vm.Machine.engine ->
   ?fuel:int ->
   ?scan_limit:int ->
   ?pool_capacity:int ->

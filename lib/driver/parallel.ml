@@ -48,22 +48,23 @@ let merge_profiles = function
 (* Each shard gets its own registry (no cross-domain contention) with a
    [driver.shard_wall] timer wrapped around the profiled execution; the
    caller can merge shard snapshots with [Obs.merge_all]. *)
-let timed_run ?fuel ?trace_locals prog =
+let timed_run ?engine ?fuel ?trace_locals prog =
   let obs = Obs.Registry.create () in
   let shard_wall = Obs.Registry.timer obs "driver.shard_wall" in
   Obs.Timer.start shard_wall;
-  let r = Alchemist.Profiler.run ?fuel ?trace_locals ~obs prog in
+  let r = Alchemist.Profiler.run ?engine ?fuel ?trace_locals ~obs prog in
   Obs.Timer.stop shard_wall;
   r
 
-let profile_programs ?(jobs = default_jobs ()) ?fuel ?trace_locals ?obs =
-  function
+let profile_programs ?(jobs = default_jobs ()) ?engine ?fuel ?trace_locals
+    ?obs = function
   | [] -> invalid_arg "Parallel.profile_programs: empty list"
   | progs ->
       let results =
         map ~jobs
           (fun prog ->
-            (timed_run ?fuel ?trace_locals prog).Alchemist.Profiler.profile)
+            (timed_run ?engine ?fuel ?trace_locals prog)
+              .Alchemist.Profiler.profile)
           (Array.of_list progs)
       in
       let merge () = merge_profiles (Array.to_list results) in
@@ -76,7 +77,7 @@ let profile_programs ?(jobs = default_jobs ()) ?fuel ?trace_locals ?obs =
             (Array.length results);
           Obs.Timer.time mt merge)
 
-let profile_registry ?(jobs = default_jobs ()) ?fuel
+let profile_registry ?(jobs = default_jobs ()) ?engine ?fuel
     ?(scale_of = fun (w : Workloads.Workload.t) -> w.default_scale) () =
   let compiled =
     List.map
@@ -86,6 +87,7 @@ let profile_registry ?(jobs = default_jobs ()) ?fuel
     |> Array.of_list
   in
   map ~jobs
-    (fun ((w : Workloads.Workload.t), prog) -> (w, timed_run ?fuel prog))
+    (fun ((w : Workloads.Workload.t), prog) ->
+      (w, timed_run ?engine ?fuel prog))
     compiled
   |> Array.to_list

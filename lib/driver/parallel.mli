@@ -30,6 +30,7 @@ val merge_profiles : Alchemist.Profile.t list -> Alchemist.Profile.t
 
 val profile_programs :
   ?jobs:int ->
+  ?engine:Vm.Machine.engine ->
   ?fuel:int ->
   ?trace_locals:bool ->
   ?obs:Obs.Registry.t ->
@@ -43,11 +44,14 @@ val profile_programs :
     When [obs] is given, the driver records a ["driver.merge_wall"] timer
     around the merge fold and a ["driver.shards"] counter into it (shard
     telemetry itself stays per-run; see {!profile_registry}).
+    [engine] selects the VM engine per shard (default
+    threaded; profiles are engine-independent).
     @raise Invalid_argument on the empty list or on programs with
     differing code. *)
 
 val profile_registry :
   ?jobs:int ->
+  ?engine:Vm.Machine.engine ->
   ?fuel:int ->
   ?scale_of:(Workloads.Workload.t -> int) ->
   unit ->

@@ -29,7 +29,14 @@ let acquire t ~now =
      addressable long enough to report large-Tdep edges. At capacity,
      examine up to [scan_limit] entries from the head (the oldest
      completions); entries not yet retirable are rotated to the tail. *)
-  if Obs.Counter.get t.allocated < t.capacity then fresh t
+  if Obs.Counter.get t.allocated < t.capacity then begin
+    (* A below-capacity acquire examines zero queue entries; record it so
+       the histogram's count tracks every acquire and the mean reads as
+       "entries examined per acquire" even for runs that never reach
+       capacity (BENCH_2's count:0 artifact). *)
+    Obs.Histogram.observe t.scan_len 0;
+    fresh t
+  end
   else
     let budget = min t.scan_limit (Queue.length t.q) in
     let rec scan k =

@@ -20,10 +20,15 @@ let create ?scan_limit ?pool_capacity ?(on_push = fun _ -> ())
     on_pop;
   }
 
-let now t = t.time
-let tick t = t.time <- t.time + 1
-let depth t = t.sp
+let[@inline] now t = t.time
+let[@inline] tick t = t.time <- t.time + 1
+let[@inline] depth t = t.sp
 let top t = if t.sp = 0 then None else Some t.stack.(t.sp - 1)
+
+(* Option-free [top] for per-instruction hot paths: the boxing in [top]
+   is one minor-heap allocation per call, which at one call per executed
+   instruction is the profiler's single largest allocation source. *)
+let[@inline] peek t = t.stack.(t.sp - 1)
 
 let push t ~label ~is_func =
   let c = Construct_pool.acquire t.pool ~now:t.time in

@@ -31,6 +31,12 @@ val depth : t -> int
 val top : t -> Node.t option
 (** The enclosing construct of the current execution point. *)
 
+val peek : t -> Node.t
+(** Option-free {!top} for hot paths that already know the stack is
+    non-empty (guard with {!depth}); avoids one minor-heap allocation per
+    call, which matters at one call per instruction/memory event.
+    @raise Invalid_argument on an empty stack. *)
+
 val push : t -> label:int -> is_func:bool -> Node.t
 (** Table I [IDS.push]: acquire a node, stamp [tenter = now], link to the
     current top as parent, push. *)

@@ -7,9 +7,9 @@ type t = {
 }
 
 let make () = { label = -1; tenter = 0; texit = 0; parent = None; is_func = false }
-let duration c = c.texit - c.tenter
-let active c = c.texit = 0
-let covers c th = c.tenter <= th && th < c.texit
+let[@inline] duration c = c.texit - c.tenter
+let[@inline] active c = c.texit = 0
+let[@inline] covers c th = c.tenter <= th && th < c.texit
 
 let pp ppf c =
   Format.fprintf ppf "{pc=%d; [%d,%d)%s%s}" c.label c.tenter c.texit

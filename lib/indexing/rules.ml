@@ -1,24 +1,39 @@
 type t = {
   ipdom : int array;
+  ipdom_target : bool array;
+      (* [ipdom_target.(pc)] iff some construct label has [pc] as its
+         immediate post-dominator — i.e. rule (5) can possibly fire here.
+         Most executed pcs are not a join point of any construct, so the
+         per-instruction fast path is one load and a branch instead of a
+         stack-top inspection. *)
   tr : Index_tree.t;
   mutable forced : int;
 }
 
-let create ~ipdom ~tree = { ipdom; tr = tree; forced = 0 }
+let create ~ipdom ~tree =
+  let ipdom_target = Array.make (Array.length ipdom) false in
+  Array.iter
+    (fun d -> if d >= 0 && d < Array.length ipdom_target then ipdom_target.(d) <- true)
+    ipdom;
+  { ipdom; ipdom_target; tr = tree; forced = 0 }
+
 let tree t = t.tr
 
-let on_instr t ~pc =
+(* Rule (5): close every construct whose immediate post-dominator is
+   this instruction. Out of line so [on_instr] itself stays small enough
+   to inline into the hook closure. *)
+let rec pops t pc =
+  if Index_tree.depth t.tr > 0 then begin
+    let c = Index_tree.peek t.tr in
+    if (not c.Node.is_func) && t.ipdom.(c.Node.label) = pc then begin
+      ignore (Index_tree.pop t.tr);
+      pops t pc
+    end
+  end
+
+let[@inline] on_instr t ~pc =
   Index_tree.tick t.tr;
-  (* Rule (5): close every construct whose immediate post-dominator is
-     this instruction. *)
-  let rec pops () =
-    match Index_tree.top t.tr with
-    | Some c when (not c.Node.is_func) && t.ipdom.(c.Node.label) = pc ->
-        ignore (Index_tree.pop t.tr);
-        pops ()
-    | _ -> ()
-  in
-  pops ()
+  if t.ipdom_target.(pc) then pops t pc
 
 let on_branch t ~pc ~kind ~taken =
   match kind with

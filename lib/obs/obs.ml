@@ -58,7 +58,10 @@ module Histogram = struct
     end
 
   let[@inline] observe t v =
-    let b = bucket_of v in
+    (* values 0 and 1 are their own buckets and dominate the hot-path
+       histograms (attribution walk depth, pool scan length) — skip the
+       shift loop for them *)
+    let b = if v >= 0 && v <= 1 then v else bucket_of v in
     t.buckets.(b) <- t.buckets.(b) + 1;
     t.count <- t.count + 1;
     t.sum <- t.sum + v;

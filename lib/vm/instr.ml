@@ -53,3 +53,7 @@ let pp ppf t = Format.pp_print_string ppf (to_string t)
 let is_predicate = function
   | Br { kind = BrIf | BrLoop; _ } -> true
   | _ -> false
+
+let is_control = function
+  | Jmp _ | Br _ | Call _ | Ret | Halt -> true
+  | _ -> false

@@ -44,3 +44,8 @@ val to_string : t -> string
 
 val is_predicate : t -> bool
 (** [true] for [Br] with kind [BrIf] or [BrLoop]. *)
+
+val is_control : t -> bool
+(** [true] for instructions that transfer control ([Jmp], [Br], [Call],
+    [Ret], [Halt]). The superinstruction pass ({!Lower}) only fuses
+    windows whose interior is control-free. *)

@@ -1,0 +1,1198 @@
+(* The closure-threaded execution engine.
+
+   [exec] pre-lowers the program once into a flat array of closures, one
+   per pc: [steps.(p) : unit -> int] executes the instruction(s) at [p]
+   against the shared {!Vmstate.state} and returns the next pc. The hot
+   loop is then just
+
+     while true do pc := steps.(pc) () done
+
+   with zero per-step decoding:
+
+   - the instruction constructor is dispatched once, at lowering time —
+     no per-step [match];
+   - hook-vs-nohook and trace-locals-vs-not are baked into the closure
+     variant, so the loop never tests [hooked];
+   - per-pc immediates and metadata (constants, slot offsets, branch
+     target/kind/cid, callee [func_info] fields) are captured in the
+     closure environment instead of re-read from the instruction;
+   - the [Hooks.t] record is resolved into its fields once, so firing an
+     event is a single known-closure call, not a record load per event;
+   - a peephole pass fuses the dominant straight-line sequences of the
+     workloads into superinstructions (see [match_at]).
+
+   Superinstruction fusion preserves the hook-event stream and the
+   instruction-count clock exactly: a fused step fires each constituent's
+   [on_instr]/[on_read]/[on_write]/[on_branch] with the original pcs and
+   bumps [instructions] by the number of constituents, so profile
+   timestamps (the paper's Tdur/Tdep unit) are bit-identical to the
+   switch engine's. Fusion only ever replaces the closure at the *head*
+   pc; interior pcs keep their single-instruction closures, so a branch
+   into the middle of a fused window executes exactly the unfused tail.
+
+   Near fuel exhaustion (fewer than [k] steps of budget left) a fused
+   closure falls back to its head's single-instruction closure, which
+   re-enters the loop one instruction at a time and traps "out of fuel"
+   at exactly the same pc as the reference engine. *)
+
+open Vmstate
+
+type fusion = { head : int; length : int; name : string }
+
+(* Resolved superinstruction descriptors, longest-match-first. The set
+   was chosen from dynamic pair/triple/quad frequencies over the eight
+   registry workloads (see DESIGN.md "Execution engines"): loop
+   conditions (LoadLocal;Const;Binop;Br), scalar updates
+   (LoadLocal;Const;Binop;StoreLocal[;Jmp]), constant-operand arithmetic
+   (Const;Binop), comparison branches (Binop;Br), and the array-access
+   idioms around LoadIndex. *)
+type pat =
+  | P_inc_jmp of int * int * Minic.Ast.binop * int * int
+      (* LoadLocal s; Const k; Binop op; StoreLocal d; Jmp t *)
+  | P_llcb_store of int * int * Minic.Ast.binop * int
+      (* LoadLocal s; Const k; Binop op; StoreLocal d *)
+  | P_llcb_br of int * int * Minic.Ast.binop * Instr.branch_kind * int * int
+      (* LoadLocal s; Const k; Binop op; Br {kind; cid; target} *)
+  | P_lllb_store of int * int * Minic.Ast.binop * int
+      (* LoadLocal a; LoadLocal b; Binop op; StoreLocal d *)
+  | P_lllb_br of int * int * Minic.Ast.binop * Instr.branch_kind * int * int
+      (* LoadLocal a; LoadLocal b; Binop op; Br *)
+  | P_llcb of int * int * Minic.Ast.binop  (* LoadLocal s; Const k; Binop *)
+  | P_lllb of int * int * Minic.Ast.binop  (* LoadLocal a; LoadLocal b; Binop *)
+  | P_refg_ll_ix of int * int * int
+      (* MakeRefGlobal (base, len); LoadLocal i; LoadIndex *)
+  | P_refl_ll_ix of int * int * int
+      (* MakeRefLocal (off, len); LoadLocal i; LoadIndex *)
+  | P_cb_br of int * Minic.Ast.binop * Instr.branch_kind * int * int
+      (* Const k; Binop op; Br *)
+  | P_cb_store of int * Minic.Ast.binop * int  (* Const k; Binop; StoreLocal d *)
+  | P_cb of int * Minic.Ast.binop  (* Const k; Binop *)
+  | P_b_br of Minic.Ast.binop * Instr.branch_kind * int * int  (* Binop; Br *)
+  | P_b_store of Minic.Ast.binop * int  (* Binop; StoreLocal d *)
+  | P_b_ix of Minic.Ast.binop  (* Binop; LoadIndex *)
+  | P_lb of int * Minic.Ast.binop  (* LoadLocal s; Binop *)
+  | P_c_store of int * int  (* Const k; StoreLocal d *)
+  | P_store_jmp of int * int  (* StoreLocal s; Jmp t *)
+  | P_c_jmp of int * int  (* Const k; Jmp t *)
+  | P_refg_ll of int * int * int  (* MakeRefGlobal (base, len); LoadLocal s *)
+
+let pat_info = function
+  | P_inc_jmp _ -> ("load.l+const+bin+store.l+jmp", 5)
+  | P_llcb_store _ -> ("load.l+const+bin+store.l", 4)
+  | P_llcb_br _ -> ("load.l+const+bin+brz", 4)
+  | P_lllb_store _ -> ("load.l+load.l+bin+store.l", 4)
+  | P_lllb_br _ -> ("load.l+load.l+bin+brz", 4)
+  | P_llcb _ -> ("load.l+const+bin", 3)
+  | P_lllb _ -> ("load.l+load.l+bin", 3)
+  | P_refg_ll_ix _ -> ("ref.g+load.l+load.ix", 3)
+  | P_refl_ll_ix _ -> ("ref.l+load.l+load.ix", 3)
+  | P_cb_br _ -> ("const+bin+brz", 3)
+  | P_cb_store _ -> ("const+bin+store.l", 3)
+  | P_cb _ -> ("const+bin", 2)
+  | P_b_br _ -> ("bin+brz", 2)
+  | P_b_store _ -> ("bin+store.l", 2)
+  | P_b_ix _ -> ("bin+load.ix", 2)
+  | P_lb _ -> ("load.l+bin", 2)
+  | P_c_store _ -> ("const+store.l", 2)
+  | P_store_jmp _ -> ("store.l+jmp", 2)
+  | P_c_jmp _ -> ("const+jmp", 2)
+  | P_refg_ll _ -> ("ref.g+load.l", 2)
+
+(* Longest match at [p]. Patterns only ever put a control transfer
+   (Br/Jmp) in the last slot, so a fused window is straight-line by
+   construction; [Instr.is_control] guards the interiors defensively. *)
+let match_at (code : Instr.t array) p : pat option =
+  let n = Array.length code in
+  let i k = if p + k < n then Some code.(p + k) else None in
+  let pat =
+    match (code.(p), i 1, i 2, i 3, i 4) with
+    | ( Instr.LoadLocal s,
+        Some (Const k),
+        Some (Binop op),
+        Some (StoreLocal d),
+        Some (Jmp t) ) ->
+        Some (P_inc_jmp (s, k, op, d, t))
+    | Instr.LoadLocal s, Some (Const k), Some (Binop op), Some (StoreLocal d), _
+      ->
+        Some (P_llcb_store (s, k, op, d))
+    | ( Instr.LoadLocal s,
+        Some (Const k),
+        Some (Binop op),
+        Some (Br { target; kind; cid }),
+        _ ) ->
+        Some (P_llcb_br (s, k, op, kind, cid, target))
+    | ( Instr.LoadLocal a,
+        Some (LoadLocal b),
+        Some (Binop op),
+        Some (StoreLocal d),
+        _ ) ->
+        Some (P_lllb_store (a, b, op, d))
+    | ( Instr.LoadLocal a,
+        Some (LoadLocal b),
+        Some (Binop op),
+        Some (Br { target; kind; cid }),
+        _ ) ->
+        Some (P_lllb_br (a, b, op, kind, cid, target))
+    | Instr.LoadLocal s, Some (Const k), Some (Binop op), _, _ ->
+        Some (P_llcb (s, k, op))
+    | Instr.LoadLocal a, Some (LoadLocal b), Some (Binop op), _, _ ->
+        Some (P_lllb (a, b, op))
+    | Instr.MakeRefGlobal (base, len), Some (LoadLocal s), Some LoadIndex, _, _
+      ->
+        Some (P_refg_ll_ix (base, len, s))
+    | Instr.MakeRefLocal (off, len), Some (LoadLocal s), Some LoadIndex, _, _ ->
+        Some (P_refl_ll_ix (off, len, s))
+    | Instr.Const k, Some (Binop op), Some (Br { target; kind; cid }), _, _ ->
+        Some (P_cb_br (k, op, kind, cid, target))
+    | Instr.Const k, Some (Binop op), Some (StoreLocal d), _, _ ->
+        Some (P_cb_store (k, op, d))
+    | Instr.Const k, Some (Binop op), _, _, _ -> Some (P_cb (k, op))
+    | Instr.Binop op, Some (Br { target; kind; cid }), _, _, _ ->
+        Some (P_b_br (op, kind, cid, target))
+    | Instr.Binop op, Some (StoreLocal d), _, _, _ -> Some (P_b_store (op, d))
+    | Instr.Binop op, Some LoadIndex, _, _, _ -> Some (P_b_ix op)
+    | Instr.LoadLocal s, Some (Binop op), _, _, _ -> Some (P_lb (s, op))
+    | Instr.Const k, Some (StoreLocal d), _, _, _ -> Some (P_c_store (k, d))
+    | Instr.StoreLocal s, Some (Jmp t), _, _, _ -> Some (P_store_jmp (s, t))
+    | Instr.Const k, Some (Jmp t), _, _, _ -> Some (P_c_jmp (k, t))
+    | Instr.MakeRefGlobal (base, len), Some (LoadLocal s), _, _, _ ->
+        Some (P_refg_ll (base, len, s))
+    | _ -> None
+  in
+  (match pat with
+  | Some pt ->
+      let _, len = pat_info pt in
+      for k = 0 to len - 2 do
+        assert (not (Instr.is_control code.(p + k)))
+      done
+  | None -> ());
+  pat
+
+let fusions (prog : Program.t) =
+  let acc = ref [] in
+  Array.iteri
+    (fun p _ ->
+      match match_at prog.Program.code p with
+      | Some pt ->
+          let name, length = pat_info pt in
+          acc := { head = p; length; name } :: !acc
+      | None -> ())
+    prog.Program.code;
+  List.rev !acc
+
+let exec ~hooked ?(trace_locals = true) ?(fuse = true) (hooks : Hooks.t) ?fuel
+    ?max_depth (prog : Program.t) =
+  let hook_locals = hooked && trace_locals in
+  (* Fusion is applied in the two shipping configurations — unhooked, and
+     hooked without local tracing (the profiler's mode). Under
+     [trace_locals] (the -O0 stack-traffic model) every LoadLocal /
+     StoreLocal fires its own memory event, so the local-heavy patterns
+     buy little; that mode runs the unfused threaded code. *)
+  let fuse = fuse && not hook_locals in
+  let st = Vmstate.create ?max_depth prog in
+  let code = prog.Program.code in
+  let funcs = prog.Program.funcs in
+  let n = Array.length code in
+  let fuel = match fuel with Some f -> f | None -> max_int in
+  (* Pre-resolve the hook record into its fields: events are fired
+     through known closures, not record loads. *)
+  let on_instr = hooks.Hooks.on_instr
+  and on_read = hooks.Hooks.on_read
+  and on_write = hooks.Hooks.on_write
+  and on_branch = hooks.Hooks.on_branch
+  and on_call = hooks.Hooks.on_call
+  and on_ret = hooks.Hooks.on_ret
+  and on_frame_release = hooks.Hooks.on_frame_release in
+  let[@inline] tick p =
+    if st.instructions >= fuel then trap st p "out of fuel";
+    st.instructions <- st.instructions + 1
+  in
+  (* Trap helper for the fused bodies: an operand that must be an
+     integer, read directly from memory instead of through the operand
+     stack. [tpc] is the pc of the consuming instruction, where the
+     reference engine's [pop_int] reports the mismatch. *)
+  let[@inline] check_mem_int addr tpc =
+    if Bytes.unsafe_get st.mem_tag addr <> tag_int then
+      trap st tpc "expected integer, found array reference"
+  in
+  (* ---- single-instruction lowering -------------------------------------- *)
+  let lower1 p (instr : Instr.t) : unit -> int =
+    let nx = p + 1 in
+    match instr with
+    | Const v ->
+        if hooked then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          push st v tag_int;
+          nx)
+        else
+          fun () ->
+          tick p;
+          push st v tag_int;
+          nx
+    | LoadLocal s ->
+        if hook_locals then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          let addr = st.frame_base + s in
+          st.n_reads <- st.n_reads + 1;
+          on_read ~pc:p ~addr;
+          push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
+          nx)
+        else if hooked then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          let addr = st.frame_base + s in
+          st.n_reads <- st.n_reads + 1;
+          push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
+          nx)
+        else
+          fun () ->
+          tick p;
+          let addr = st.frame_base + s in
+          st.n_reads <- st.n_reads + 1;
+          push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
+          nx
+    | StoreLocal s ->
+        if hook_locals then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          let addr = st.frame_base + s in
+          let i = pop_slot st p in
+          st.n_writes <- st.n_writes + 1;
+          on_write ~pc:p ~addr;
+          st.mem.(addr) <- st.stack.(i);
+          Bytes.unsafe_set st.mem_tag addr (Bytes.unsafe_get st.stack_tag i);
+          nx)
+        else if hooked then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          let addr = st.frame_base + s in
+          let i = pop_slot st p in
+          st.n_writes <- st.n_writes + 1;
+          st.mem.(addr) <- st.stack.(i);
+          Bytes.unsafe_set st.mem_tag addr (Bytes.unsafe_get st.stack_tag i);
+          nx)
+        else
+          fun () ->
+          tick p;
+          let addr = st.frame_base + s in
+          let i = pop_slot st p in
+          st.n_writes <- st.n_writes + 1;
+          st.mem.(addr) <- st.stack.(i);
+          Bytes.unsafe_set st.mem_tag addr (Bytes.unsafe_get st.stack_tag i);
+          nx
+    | LoadGlobal addr ->
+        if hooked then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          st.n_reads <- st.n_reads + 1;
+          on_read ~pc:p ~addr;
+          push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
+          nx)
+        else
+          fun () ->
+          tick p;
+          st.n_reads <- st.n_reads + 1;
+          push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
+          nx
+    | StoreGlobal addr ->
+        if hooked then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          let i = pop_slot st p in
+          st.n_writes <- st.n_writes + 1;
+          on_write ~pc:p ~addr;
+          st.mem.(addr) <- st.stack.(i);
+          Bytes.unsafe_set st.mem_tag addr (Bytes.unsafe_get st.stack_tag i);
+          nx)
+        else
+          fun () ->
+          tick p;
+          let i = pop_slot st p in
+          st.n_writes <- st.n_writes + 1;
+          st.mem.(addr) <- st.stack.(i);
+          Bytes.unsafe_set st.mem_tag addr (Bytes.unsafe_get st.stack_tag i);
+          nx
+    | MakeRefGlobal (base, len) ->
+        let r = pack_ref base len in
+        if hooked then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          push st r tag_ref;
+          nx)
+        else
+          fun () ->
+          tick p;
+          push st r tag_ref;
+          nx
+    | MakeRefLocal (off, len) ->
+        if hooked then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          push st (pack_ref (st.frame_base + off) len) tag_ref;
+          nx)
+        else
+          fun () ->
+          tick p;
+          push st (pack_ref (st.frame_base + off) len) tag_ref;
+          nx
+    | LoadIndex ->
+        if hooked then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          let idx = pop_int st p in
+          let r = pop_ref st p in
+          let base = ref_base r and len = ref_len r in
+          if idx < 0 || idx >= len then
+            trap st p "index %d out of bounds [0,%d)" idx len;
+          let addr = base + idx in
+          st.n_reads <- st.n_reads + 1;
+          on_read ~pc:p ~addr;
+          push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
+          nx)
+        else
+          fun () ->
+          tick p;
+          let idx = pop_int st p in
+          let r = pop_ref st p in
+          let base = ref_base r and len = ref_len r in
+          if idx < 0 || idx >= len then
+            trap st p "index %d out of bounds [0,%d)" idx len;
+          let addr = base + idx in
+          st.n_reads <- st.n_reads + 1;
+          push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
+          nx
+    | StoreIndex ->
+        if hooked then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          let i = pop_slot st p in
+          let v = st.stack.(i) in
+          let vtag = Bytes.unsafe_get st.stack_tag i in
+          let idx = pop_int st p in
+          let r = pop_ref st p in
+          let base = ref_base r and len = ref_len r in
+          if idx < 0 || idx >= len then
+            trap st p "index %d out of bounds [0,%d)" idx len;
+          let addr = base + idx in
+          st.n_writes <- st.n_writes + 1;
+          on_write ~pc:p ~addr;
+          st.mem.(addr) <- v;
+          Bytes.unsafe_set st.mem_tag addr vtag;
+          nx)
+        else
+          fun () ->
+          tick p;
+          let i = pop_slot st p in
+          let v = st.stack.(i) in
+          let vtag = Bytes.unsafe_get st.stack_tag i in
+          let idx = pop_int st p in
+          let r = pop_ref st p in
+          let base = ref_base r and len = ref_len r in
+          if idx < 0 || idx >= len then
+            trap st p "index %d out of bounds [0,%d)" idx len;
+          let addr = base + idx in
+          st.n_writes <- st.n_writes + 1;
+          st.mem.(addr) <- v;
+          Bytes.unsafe_set st.mem_tag addr vtag;
+          nx
+    | Binop op ->
+        if hooked then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          let b = pop_int st p in
+          let a = pop_int st p in
+          push st (eval_binop st p op a b) tag_int;
+          nx)
+        else
+          fun () ->
+          tick p;
+          let b = pop_int st p in
+          let a = pop_int st p in
+          push st (eval_binop st p op a b) tag_int;
+          nx
+    | Unop op ->
+        if hooked then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          let a = pop_int st p in
+          push st (eval_unop op a) tag_int;
+          nx)
+        else
+          fun () ->
+          tick p;
+          let a = pop_int st p in
+          push st (eval_unop op a) tag_int;
+          nx
+    | Jmp target ->
+        if hooked then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          target)
+        else
+          fun () ->
+          tick p;
+          target
+    | Br { target; kind; cid } ->
+        if hooked then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          let v = pop_int st p in
+          let taken = v = 0 in
+          st.n_branches <- st.n_branches + 1;
+          on_branch ~pc:p ~kind ~cid ~taken;
+          if taken then target else nx)
+        else
+          fun () ->
+          tick p;
+          let v = pop_int st p in
+          st.n_branches <- st.n_branches + 1;
+          if v = 0 then target else nx
+    | Dup2 ->
+        if hooked then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          if st.sp < 2 then trap st p "dup2 on short stack";
+          let i = st.sp - 2 in
+          let a = st.stack.(i) and ta = Bytes.unsafe_get st.stack_tag i in
+          let b = st.stack.(i + 1)
+          and tb = Bytes.unsafe_get st.stack_tag (i + 1) in
+          push st a ta;
+          push st b tb;
+          nx)
+        else
+          fun () ->
+          tick p;
+          if st.sp < 2 then trap st p "dup2 on short stack";
+          let i = st.sp - 2 in
+          let a = st.stack.(i) and ta = Bytes.unsafe_get st.stack_tag i in
+          let b = st.stack.(i + 1)
+          and tb = Bytes.unsafe_get st.stack_tag (i + 1) in
+          push st a ta;
+          push st b tb;
+          nx
+    | Call fid when fid < 0 || fid >= Array.length funcs ->
+        (* Malformed bytecode: defer the failure to execution time so the
+           engines agree on *when* a bad fid is reported. *)
+        fun () ->
+          tick p;
+          if hooked then on_instr ~pc:p;
+          ignore funcs.(fid);
+          assert false
+    | Call fid ->
+        let f = funcs.(fid) in
+        let entry = f.Program.entry
+        and nparams = f.Program.nparams
+        and frame_slots = f.Program.frame_slots in
+        let body () =
+          if st.depth >= st.max_depth then trap st p "call stack overflow";
+          if st.sp < nparams then trap st p "operand stack underflow";
+          st.sp <- st.sp - nparams;
+          if st.depth = Array.length st.call_ret then grow_call_records st;
+          st.call_ret.(st.depth) <- p + 1;
+          st.call_base.(st.depth) <- st.frame_base;
+          st.call_fid.(st.depth) <- fid;
+          st.depth <- st.depth + 1;
+          let base = st.stack_top in
+          ensure_mem st (base + frame_slots);
+          Array.fill st.mem base frame_slots 0;
+          Bytes.fill st.mem_tag base frame_slots tag_int;
+          st.frame_base <- base;
+          st.stack_top <- base + frame_slots;
+          st.n_calls <- st.n_calls + 1;
+          if st.depth > st.depth_hwm then st.depth_hwm <- st.depth;
+          if st.stack_top > st.mem_hwm then st.mem_hwm <- st.stack_top;
+          base
+        in
+        if hook_locals then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          let base = body () in
+          on_call ~pc:entry ~fid;
+          for i = 0 to nparams - 1 do
+            on_write ~pc:entry ~addr:(base + i);
+            st.mem.(base + i) <- st.stack.(st.sp + i);
+            Bytes.unsafe_set st.mem_tag (base + i)
+              (Bytes.unsafe_get st.stack_tag (st.sp + i))
+          done;
+          entry)
+        else if hooked then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          let base = body () in
+          on_call ~pc:entry ~fid;
+          for i = 0 to nparams - 1 do
+            st.mem.(base + i) <- st.stack.(st.sp + i);
+            Bytes.unsafe_set st.mem_tag (base + i)
+              (Bytes.unsafe_get st.stack_tag (st.sp + i))
+          done;
+          entry)
+        else
+          fun () ->
+          tick p;
+          let base = body () in
+          for i = 0 to nparams - 1 do
+            st.mem.(base + i) <- st.stack.(st.sp + i);
+            Bytes.unsafe_set st.mem_tag (base + i)
+              (Bytes.unsafe_get st.stack_tag (st.sp + i))
+          done;
+          entry
+    | Ret ->
+        if hooked then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          let i = pop_slot st p in
+          let v = st.stack.(i) in
+          let vtag = Bytes.unsafe_get st.stack_tag i in
+          st.depth <- st.depth - 1;
+          let ret_pc = st.call_ret.(st.depth) in
+          let saved_base = st.call_base.(st.depth) in
+          let fid = st.call_fid.(st.depth) in
+          let f = funcs.(fid) in
+          on_ret ~pc:p ~fid;
+          on_frame_release ~base:st.frame_base ~size:f.Program.frame_slots;
+          st.n_frames_released <- st.n_frames_released + 1;
+          st.stack_top <- st.frame_base;
+          st.frame_base <- saved_base;
+          push st v vtag;
+          ret_pc)
+        else
+          fun () ->
+          tick p;
+          let i = pop_slot st p in
+          let v = st.stack.(i) in
+          let vtag = Bytes.unsafe_get st.stack_tag i in
+          st.depth <- st.depth - 1;
+          let ret_pc = st.call_ret.(st.depth) in
+          let saved_base = st.call_base.(st.depth) in
+          st.n_frames_released <- st.n_frames_released + 1;
+          st.stack_top <- st.frame_base;
+          st.frame_base <- saved_base;
+          push st v vtag;
+          ret_pc
+    | Pop ->
+        if hooked then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          ignore (pop_slot st p);
+          nx)
+        else
+          fun () ->
+          tick p;
+          ignore (pop_slot st p);
+          nx
+    | Print ->
+        if hooked then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          let v = pop_int st p in
+          st.out <- v :: st.out;
+          nx)
+        else
+          fun () ->
+          tick p;
+          let v = pop_int st p in
+          st.out <- v :: st.out;
+          nx
+    | Halt ->
+        if hooked then (fun () ->
+          tick p;
+          on_instr ~pc:p;
+          let v = if st.sp > 0 then pop_int st p else 0 in
+          raise (Halted v))
+        else
+          fun () ->
+          tick p;
+          let v = if st.sp > 0 then pop_int st p else 0 in
+          raise (Halted v)
+  in
+  (* ---- superinstruction lowering ---------------------------------------- *)
+  (* [u] is the head's single-instruction closure: when fewer than [k]
+     steps of fuel remain, the fused step degrades to one-at-a-time
+     execution so the "out of fuel" trap lands on the exact pc. *)
+  let lower_fused p (pt : pat) (u : unit -> int) : unit -> int =
+    let _, k = pat_info pt in
+    let fits () = st.instructions + k <= fuel in
+    match pt with
+    | P_inc_jmp (s, kv, op, d, t) ->
+        if hooked then (fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            on_instr ~pc:p;
+            on_instr ~pc:(p + 1);
+            on_instr ~pc:(p + 2);
+            let sa = st.frame_base + s in
+            st.n_reads <- st.n_reads + 1;
+            check_mem_int sa (p + 2);
+            let v = eval_binop st (p + 2) op st.mem.(sa) kv in
+            on_instr ~pc:(p + 3);
+            st.n_writes <- st.n_writes + 1;
+            let da = st.frame_base + d in
+            st.mem.(da) <- v;
+            Bytes.unsafe_set st.mem_tag da tag_int;
+            on_instr ~pc:(p + 4);
+            t
+          end)
+        else
+          fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            let sa = st.frame_base + s in
+            st.n_reads <- st.n_reads + 1;
+            check_mem_int sa (p + 2);
+            let v = eval_binop st (p + 2) op st.mem.(sa) kv in
+            st.n_writes <- st.n_writes + 1;
+            let da = st.frame_base + d in
+            st.mem.(da) <- v;
+            Bytes.unsafe_set st.mem_tag da tag_int;
+            t
+          end
+    | P_llcb_store (s, kv, op, d) ->
+        let nx = p + 4 in
+        if hooked then (fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            on_instr ~pc:p;
+            on_instr ~pc:(p + 1);
+            on_instr ~pc:(p + 2);
+            let sa = st.frame_base + s in
+            st.n_reads <- st.n_reads + 1;
+            check_mem_int sa (p + 2);
+            let v = eval_binop st (p + 2) op st.mem.(sa) kv in
+            on_instr ~pc:(p + 3);
+            st.n_writes <- st.n_writes + 1;
+            let da = st.frame_base + d in
+            st.mem.(da) <- v;
+            Bytes.unsafe_set st.mem_tag da tag_int;
+            nx
+          end)
+        else
+          fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            let sa = st.frame_base + s in
+            st.n_reads <- st.n_reads + 1;
+            check_mem_int sa (p + 2);
+            let v = eval_binop st (p + 2) op st.mem.(sa) kv in
+            st.n_writes <- st.n_writes + 1;
+            let da = st.frame_base + d in
+            st.mem.(da) <- v;
+            Bytes.unsafe_set st.mem_tag da tag_int;
+            nx
+          end
+    | P_llcb_br (s, kv, op, kind, cid, target) ->
+        let nx = p + 4 in
+        if hooked then (fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            on_instr ~pc:p;
+            on_instr ~pc:(p + 1);
+            on_instr ~pc:(p + 2);
+            let sa = st.frame_base + s in
+            st.n_reads <- st.n_reads + 1;
+            check_mem_int sa (p + 2);
+            let v = eval_binop st (p + 2) op st.mem.(sa) kv in
+            on_instr ~pc:(p + 3);
+            let taken = v = 0 in
+            st.n_branches <- st.n_branches + 1;
+            on_branch ~pc:(p + 3) ~kind ~cid ~taken;
+            if taken then target else nx
+          end)
+        else
+          fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            let sa = st.frame_base + s in
+            st.n_reads <- st.n_reads + 1;
+            check_mem_int sa (p + 2);
+            let v = eval_binop st (p + 2) op st.mem.(sa) kv in
+            st.n_branches <- st.n_branches + 1;
+            if v = 0 then target else nx
+          end
+    | P_lllb_store (a, b, op, d) ->
+        let nx = p + 4 in
+        if hooked then (fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            on_instr ~pc:p;
+            on_instr ~pc:(p + 1);
+            on_instr ~pc:(p + 2);
+            let aa = st.frame_base + a and ab = st.frame_base + b in
+            st.n_reads <- st.n_reads + 2;
+            check_mem_int ab (p + 2);
+            check_mem_int aa (p + 2);
+            let v = eval_binop st (p + 2) op st.mem.(aa) st.mem.(ab) in
+            on_instr ~pc:(p + 3);
+            st.n_writes <- st.n_writes + 1;
+            let da = st.frame_base + d in
+            st.mem.(da) <- v;
+            Bytes.unsafe_set st.mem_tag da tag_int;
+            nx
+          end)
+        else
+          fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            let aa = st.frame_base + a and ab = st.frame_base + b in
+            st.n_reads <- st.n_reads + 2;
+            check_mem_int ab (p + 2);
+            check_mem_int aa (p + 2);
+            let v = eval_binop st (p + 2) op st.mem.(aa) st.mem.(ab) in
+            st.n_writes <- st.n_writes + 1;
+            let da = st.frame_base + d in
+            st.mem.(da) <- v;
+            Bytes.unsafe_set st.mem_tag da tag_int;
+            nx
+          end
+    | P_lllb_br (a, b, op, kind, cid, target) ->
+        let nx = p + 4 in
+        if hooked then (fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            on_instr ~pc:p;
+            on_instr ~pc:(p + 1);
+            on_instr ~pc:(p + 2);
+            let aa = st.frame_base + a and ab = st.frame_base + b in
+            st.n_reads <- st.n_reads + 2;
+            check_mem_int ab (p + 2);
+            check_mem_int aa (p + 2);
+            let v = eval_binop st (p + 2) op st.mem.(aa) st.mem.(ab) in
+            on_instr ~pc:(p + 3);
+            let taken = v = 0 in
+            st.n_branches <- st.n_branches + 1;
+            on_branch ~pc:(p + 3) ~kind ~cid ~taken;
+            if taken then target else nx
+          end)
+        else
+          fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            let aa = st.frame_base + a and ab = st.frame_base + b in
+            st.n_reads <- st.n_reads + 2;
+            check_mem_int ab (p + 2);
+            check_mem_int aa (p + 2);
+            let v = eval_binop st (p + 2) op st.mem.(aa) st.mem.(ab) in
+            st.n_branches <- st.n_branches + 1;
+            if v = 0 then target else nx
+          end
+    | P_llcb (s, kv, op) ->
+        let nx = p + 3 in
+        if hooked then (fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            on_instr ~pc:p;
+            on_instr ~pc:(p + 1);
+            on_instr ~pc:(p + 2);
+            let sa = st.frame_base + s in
+            st.n_reads <- st.n_reads + 1;
+            check_mem_int sa (p + 2);
+            push st (eval_binop st (p + 2) op st.mem.(sa) kv) tag_int;
+            nx
+          end)
+        else
+          fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            let sa = st.frame_base + s in
+            st.n_reads <- st.n_reads + 1;
+            check_mem_int sa (p + 2);
+            push st (eval_binop st (p + 2) op st.mem.(sa) kv) tag_int;
+            nx
+          end
+    | P_lllb (a, b, op) ->
+        let nx = p + 3 in
+        if hooked then (fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            on_instr ~pc:p;
+            on_instr ~pc:(p + 1);
+            on_instr ~pc:(p + 2);
+            let aa = st.frame_base + a and ab = st.frame_base + b in
+            st.n_reads <- st.n_reads + 2;
+            check_mem_int ab (p + 2);
+            check_mem_int aa (p + 2);
+            push st (eval_binop st (p + 2) op st.mem.(aa) st.mem.(ab)) tag_int;
+            nx
+          end)
+        else
+          fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            let aa = st.frame_base + a and ab = st.frame_base + b in
+            st.n_reads <- st.n_reads + 2;
+            check_mem_int ab (p + 2);
+            check_mem_int aa (p + 2);
+            push st (eval_binop st (p + 2) op st.mem.(aa) st.mem.(ab)) tag_int;
+            nx
+          end
+    | P_refg_ll_ix (base, len, s) | P_refl_ll_ix (base, len, s) ->
+        (* For the local-array variant [base] is a frame offset; the
+           absolute base is resolved against [frame_base] at run time. *)
+        let local = match pt with P_refl_ll_ix _ -> true | _ -> false in
+        let nx = p + 3 in
+        if hooked then (fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            on_instr ~pc:p;
+            on_instr ~pc:(p + 1);
+            on_instr ~pc:(p + 2);
+            let sa = st.frame_base + s in
+            check_mem_int sa (p + 2);
+            let idx = st.mem.(sa) in
+            if idx < 0 || idx >= len then
+              trap st (p + 2) "index %d out of bounds [0,%d)" idx len;
+            let abase = if local then st.frame_base + base else base in
+            let addr = abase + idx in
+            st.n_reads <- st.n_reads + 2;
+            on_read ~pc:(p + 2) ~addr;
+            push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
+            nx
+          end)
+        else
+          fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            let sa = st.frame_base + s in
+            check_mem_int sa (p + 2);
+            let idx = st.mem.(sa) in
+            if idx < 0 || idx >= len then
+              trap st (p + 2) "index %d out of bounds [0,%d)" idx len;
+            let abase = if local then st.frame_base + base else base in
+            let addr = abase + idx in
+            st.n_reads <- st.n_reads + 2;
+            push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
+            nx
+          end
+    | P_cb_br (kv, op, kind, cid, target) ->
+        let nx = p + 3 in
+        if hooked then (fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            on_instr ~pc:p;
+            on_instr ~pc:(p + 1);
+            let a = pop_int st (p + 1) in
+            let v = eval_binop st (p + 1) op a kv in
+            on_instr ~pc:(p + 2);
+            let taken = v = 0 in
+            st.n_branches <- st.n_branches + 1;
+            on_branch ~pc:(p + 2) ~kind ~cid ~taken;
+            if taken then target else nx
+          end)
+        else
+          fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            let a = pop_int st (p + 1) in
+            let v = eval_binop st (p + 1) op a kv in
+            st.n_branches <- st.n_branches + 1;
+            if v = 0 then target else nx
+          end
+    | P_cb_store (kv, op, d) ->
+        let nx = p + 3 in
+        if hooked then (fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            on_instr ~pc:p;
+            on_instr ~pc:(p + 1);
+            let a = pop_int st (p + 1) in
+            let v = eval_binop st (p + 1) op a kv in
+            on_instr ~pc:(p + 2);
+            st.n_writes <- st.n_writes + 1;
+            let da = st.frame_base + d in
+            st.mem.(da) <- v;
+            Bytes.unsafe_set st.mem_tag da tag_int;
+            nx
+          end)
+        else
+          fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            let a = pop_int st (p + 1) in
+            let v = eval_binop st (p + 1) op a kv in
+            st.n_writes <- st.n_writes + 1;
+            let da = st.frame_base + d in
+            st.mem.(da) <- v;
+            Bytes.unsafe_set st.mem_tag da tag_int;
+            nx
+          end
+    | P_cb (kv, op) ->
+        let nx = p + 2 in
+        if hooked then (fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            on_instr ~pc:p;
+            on_instr ~pc:(p + 1);
+            let a = pop_int st (p + 1) in
+            push st (eval_binop st (p + 1) op a kv) tag_int;
+            nx
+          end)
+        else
+          fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            let a = pop_int st (p + 1) in
+            push st (eval_binop st (p + 1) op a kv) tag_int;
+            nx
+          end
+    | P_b_br (op, kind, cid, target) ->
+        let nx = p + 2 in
+        if hooked then (fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            on_instr ~pc:p;
+            let b = pop_int st p in
+            let a = pop_int st p in
+            let v = eval_binop st p op a b in
+            on_instr ~pc:(p + 1);
+            let taken = v = 0 in
+            st.n_branches <- st.n_branches + 1;
+            on_branch ~pc:(p + 1) ~kind ~cid ~taken;
+            if taken then target else nx
+          end)
+        else
+          fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            let b = pop_int st p in
+            let a = pop_int st p in
+            let v = eval_binop st p op a b in
+            st.n_branches <- st.n_branches + 1;
+            if v = 0 then target else nx
+          end
+    | P_b_store (op, d) ->
+        let nx = p + 2 in
+        if hooked then (fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            on_instr ~pc:p;
+            let b = pop_int st p in
+            let a = pop_int st p in
+            let v = eval_binop st p op a b in
+            on_instr ~pc:(p + 1);
+            st.n_writes <- st.n_writes + 1;
+            let da = st.frame_base + d in
+            st.mem.(da) <- v;
+            Bytes.unsafe_set st.mem_tag da tag_int;
+            nx
+          end)
+        else
+          fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            let b = pop_int st p in
+            let a = pop_int st p in
+            let v = eval_binop st p op a b in
+            st.n_writes <- st.n_writes + 1;
+            let da = st.frame_base + d in
+            st.mem.(da) <- v;
+            Bytes.unsafe_set st.mem_tag da tag_int;
+            nx
+          end
+    | P_b_ix op ->
+        let nx = p + 2 in
+        if hooked then (fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            on_instr ~pc:p;
+            let b = pop_int st p in
+            let a = pop_int st p in
+            let idx = eval_binop st p op a b in
+            on_instr ~pc:(p + 1);
+            let r = pop_ref st (p + 1) in
+            let base = ref_base r and len = ref_len r in
+            if idx < 0 || idx >= len then
+              trap st (p + 1) "index %d out of bounds [0,%d)" idx len;
+            let addr = base + idx in
+            st.n_reads <- st.n_reads + 1;
+            on_read ~pc:(p + 1) ~addr;
+            push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
+            nx
+          end)
+        else
+          fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            let b = pop_int st p in
+            let a = pop_int st p in
+            let idx = eval_binop st p op a b in
+            let r = pop_ref st (p + 1) in
+            let base = ref_base r and len = ref_len r in
+            if idx < 0 || idx >= len then
+              trap st (p + 1) "index %d out of bounds [0,%d)" idx len;
+            let addr = base + idx in
+            st.n_reads <- st.n_reads + 1;
+            push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
+            nx
+          end
+    | P_lb (s, op) ->
+        let nx = p + 2 in
+        if hooked then (fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            on_instr ~pc:p;
+            let sa = st.frame_base + s in
+            st.n_reads <- st.n_reads + 1;
+            on_instr ~pc:(p + 1);
+            check_mem_int sa (p + 1);
+            let a = pop_int st (p + 1) in
+            push st (eval_binop st (p + 1) op a st.mem.(sa)) tag_int;
+            nx
+          end)
+        else
+          fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            let sa = st.frame_base + s in
+            st.n_reads <- st.n_reads + 1;
+            check_mem_int sa (p + 1);
+            let a = pop_int st (p + 1) in
+            push st (eval_binop st (p + 1) op a st.mem.(sa)) tag_int;
+            nx
+          end
+    | P_c_store (kv, d) ->
+        let nx = p + 2 in
+        if hooked then (fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            on_instr ~pc:p;
+            on_instr ~pc:(p + 1);
+            st.n_writes <- st.n_writes + 1;
+            let da = st.frame_base + d in
+            st.mem.(da) <- kv;
+            Bytes.unsafe_set st.mem_tag da tag_int;
+            nx
+          end)
+        else
+          fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            st.n_writes <- st.n_writes + 1;
+            let da = st.frame_base + d in
+            st.mem.(da) <- kv;
+            Bytes.unsafe_set st.mem_tag da tag_int;
+            nx
+          end
+    | P_store_jmp (s, t) ->
+        if hooked then (fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            on_instr ~pc:p;
+            let addr = st.frame_base + s in
+            let i = pop_slot st p in
+            st.n_writes <- st.n_writes + 1;
+            st.mem.(addr) <- st.stack.(i);
+            Bytes.unsafe_set st.mem_tag addr (Bytes.unsafe_get st.stack_tag i);
+            on_instr ~pc:(p + 1);
+            t
+          end)
+        else
+          fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            let addr = st.frame_base + s in
+            let i = pop_slot st p in
+            st.n_writes <- st.n_writes + 1;
+            st.mem.(addr) <- st.stack.(i);
+            Bytes.unsafe_set st.mem_tag addr (Bytes.unsafe_get st.stack_tag i);
+            t
+          end
+    | P_c_jmp (kv, t) ->
+        if hooked then (fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            on_instr ~pc:p;
+            push st kv tag_int;
+            on_instr ~pc:(p + 1);
+            t
+          end)
+        else
+          fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            push st kv tag_int;
+            t
+          end
+    | P_refg_ll (base, len, s) ->
+        let r = pack_ref base len in
+        let nx = p + 2 in
+        if hooked then (fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            on_instr ~pc:p;
+            push st r tag_ref;
+            on_instr ~pc:(p + 1);
+            let sa = st.frame_base + s in
+            st.n_reads <- st.n_reads + 1;
+            push st st.mem.(sa) (Bytes.unsafe_get st.mem_tag sa);
+            nx
+          end)
+        else
+          fun () ->
+          if not (fits ()) then u ()
+          else begin
+            st.instructions <- st.instructions + k;
+            push st r tag_ref;
+            let sa = st.frame_base + s in
+            st.n_reads <- st.n_reads + 1;
+            push st st.mem.(sa) (Bytes.unsafe_get st.mem_tag sa);
+            nx
+          end
+  in
+  let steps = Array.make n (fun () -> assert false) in
+  for p = 0 to n - 1 do
+    steps.(p) <- lower1 p code.(p)
+  done;
+  if fuse then
+    for p = 0 to n - 1 do
+      match match_at code p with
+      | Some pt -> steps.(p) <- lower_fused p pt steps.(p)
+      | None -> ()
+    done;
+  let pc = ref 0 in
+  let exit_value =
+    try
+      while true do
+        pc := steps.(!pc) ()
+      done;
+      assert false
+    with Halted v -> v
+  in
+  Vmstate.finish st exit_value

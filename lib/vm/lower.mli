@@ -1,0 +1,46 @@
+(** The closure-threaded execution engine.
+
+    {!exec} pre-lowers a {!Program.t} once into a flat array of closures
+    — one [unit -> int] step function per pc, returning the next pc —
+    then drives [pc <- steps.(pc) ()] with zero per-step decoding.
+    Specialization happens at lowering time: hook-vs-nohook and
+    trace-locals-vs-not select the closure variant, immediates and
+    branch/call metadata are captured in closure environments, the
+    {!Hooks.t} record is resolved into its fields once, and a peephole
+    pass fuses the workloads' dominant straight-line sequences into
+    superinstructions.
+
+    Fusion is transparent: a fused step fires each constituent's hooks
+    with the original pcs, in the reference engine's order, and advances
+    the instruction clock by the constituent count — profiles and
+    telemetry are bit-identical to {!Machine.run_hooked} with the switch
+    engine. Fused closures only replace the *head* pc of a window;
+    branching into the middle of a window runs the unfused tail. Near
+    fuel exhaustion a fused step falls back to single-instruction
+    execution so "out of fuel" traps at the exact pc.
+
+    Use {!Machine.run} / {!Machine.run_hooked} with [~engine] rather than
+    calling this directly; this interface exists for the dispatcher,
+    white-box tests and the ablation bench. *)
+
+type fusion = { head : int; length : int; name : string }
+
+val fusions : Program.t -> fusion list
+(** The superinstruction windows the peephole pass would install, in
+    program order (introspection for tests, docs and the bench). *)
+
+val exec :
+  hooked:bool ->
+  ?trace_locals:bool ->
+  ?fuse:bool ->
+  Hooks.t ->
+  ?fuel:int ->
+  ?max_depth:int ->
+  Program.t ->
+  Vmstate.result
+(** Lower and run. [fuse] (default [true]) enables the superinstruction
+    pass; the ablation bench sets it to [false] to isolate the win from
+    threaded dispatch alone. Fusion is also disabled automatically when
+    locals are traced ([hooked && trace_locals]) — the -O0 model fires a
+    memory event per local access, which defeats the fused bodies'
+    purpose; that configuration runs the plain threaded code. *)

@@ -1,15 +1,28 @@
-(** The bytecode interpreter.
+(** The bytecode interpreter — public entry points for both execution
+    engines.
 
-    Two entry points share the same semantics (differentially tested):
-    {!run} is the plain interpreter (the "native" baseline of Table III),
-    {!run_hooked} additionally drives a {!Hooks.t} — the substrate on which
-    Alchemist's profiler runs. *)
+    Two engines share the same semantics (differentially tested in
+    test/test_engines.ml):
+
+    - {!Threaded} (the default): the closure-threaded engine in {!Lower}.
+      The program is pre-lowered once into a flat array of closures with
+      hook configuration, per-pc metadata and superinstruction fusion
+      baked in; the hot loop does zero per-step decoding.
+    - {!Switch}: the reference interpreter — one [match] per executed
+      instruction. Slower, but structurally close to the operational
+      semantics; kept as the baseline every threaded-engine change is
+      checked against.
+
+    Both produce identical results, metrics, hook-event streams and trap
+    behavior; {!run} is the plain interpreter (the "native" baseline of
+    Table III), {!run_hooked} additionally drives a {!Hooks.t} — the
+    substrate on which Alchemist's profiler runs. *)
 
 exception Trap of string * int
 (** Runtime error (division by zero, out-of-bounds index, stack overflow,
     fuel exhausted) with the offending pc. *)
 
-type metrics = {
+type metrics = Vmstate.metrics = {
   reads : int;  (** load instructions executed (locals, globals, indexed) *)
   writes : int;  (** store instructions executed *)
   calls : int;
@@ -22,26 +35,36 @@ type metrics = {
     (plain int increments — no allocation, no observable slowdown). The
     profiler republishes these through its [Obs] registry. *)
 
-type result = {
+type result = Vmstate.result = {
   exit_value : int;  (** return value of [main] *)
   instructions : int;  (** retired instruction count — the clock *)
   output : int list;  (** values printed, in order *)
   metrics : metrics;
 }
 
-val run : ?fuel:int -> ?max_depth:int -> Program.t -> result
-(** Executes the program. [fuel] bounds the number of executed instructions
+type engine = Switch | Threaded
+
+val engine_to_string : engine -> string
+val engine_of_string : string -> engine option
+
+val run : ?engine:engine -> ?fuel:int -> ?max_depth:int -> Program.t -> result
+(** Executes the program. [engine] selects the execution engine (default
+    {!Threaded}), [fuel] bounds the number of executed instructions
     (default: unlimited), [max_depth] the call depth (default 10_000).
     @raise Trap on runtime errors. *)
 
 val run_hooked :
+  ?engine:engine ->
   ?trace_locals:bool ->
   ?fuel:int ->
   ?max_depth:int ->
   Hooks.t ->
   Program.t ->
   result
-(** Same as {!run}, firing instrumentation callbacks.
+(** Same as {!run}, firing instrumentation callbacks. Both engines emit
+    the exact same event stream (pcs, addresses, ordering) and the same
+    instruction-count clock — superinstruction fusion in the threaded
+    engine is event-transparent.
 
     [trace_locals] (default [true]) controls whether scalar frame slots
     generate memory events. Mini-C never takes the address of a scalar

@@ -12,3 +12,19 @@ dune runtest
 # emit both renderings without tripping any instrument.
 dune exec --no-build -- alchemist profile workload:aes:64 --telemetry > /dev/null
 dune exec --no-build -- alchemist profile workload:aes:64 --telemetry=json > /dev/null
+
+# Smoke-test the reference interpreter: the switch engine must stay
+# runnable from the CLI even though threaded is the default.
+dune exec --no-build -- alchemist run workload:aes:64 --engine=switch > /dev/null
+
+# Engine differential: both engines must produce byte-identical saved
+# profiles for the same workload (the full differential matrix lives in
+# test/test_engines.ml; this guards the CLI wiring end to end).
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+dune exec --no-build -- alchemist profile workload:gzip-1.3.5:2 \
+  --engine=threaded --save "$tmpdir/threaded.prof" > /dev/null
+dune exec --no-build -- alchemist profile workload:gzip-1.3.5:2 \
+  --engine=switch --save "$tmpdir/switch.prof" > /dev/null
+cmp "$tmpdir/threaded.prof" "$tmpdir/switch.prof"
+echo "engine differential: profiles byte-identical"

@@ -1,0 +1,364 @@
+(* Differential tests: the closure-threaded engine (Vm.Lower) against the
+   reference switch interpreter. The engines must agree on everything
+   observable — results, metric counters, the full hook-event stream
+   (pcs, addresses, ordering), canonical profiles, telemetry, and trap
+   (message, pc) pairs, including at every fuel level, where fused
+   superinstructions must fall back to stepwise execution. *)
+
+module Machine = Vm.Machine
+module Profiler = Alchemist.Profiler
+
+let fuel = 10_000_000
+
+let compile_workload (w : Workloads.Workload.t) =
+  Vm.Compile.compile_source (w.source ~scale:w.test_scale)
+
+(* --- result equality --------------------------------------------------- *)
+
+let check_same_result name (a : Machine.result) (b : Machine.result) =
+  Alcotest.(check int) (name ^ ": exit_value") a.exit_value b.exit_value;
+  Alcotest.(check int) (name ^ ": instructions") a.instructions b.instructions;
+  Alcotest.(check (list int)) (name ^ ": output") a.output b.output;
+  Alcotest.(check int) (name ^ ": reads") a.metrics.reads b.metrics.reads;
+  Alcotest.(check int) (name ^ ": writes") a.metrics.writes b.metrics.writes;
+  Alcotest.(check int) (name ^ ": calls") a.metrics.calls b.metrics.calls;
+  Alcotest.(check int)
+    (name ^ ": branches") a.metrics.branches b.metrics.branches;
+  Alcotest.(check int)
+    (name ^ ": frames_released") a.metrics.frames_released
+    b.metrics.frames_released;
+  Alcotest.(check int)
+    (name ^ ": max_call_depth") a.metrics.max_call_depth
+    b.metrics.max_call_depth;
+  Alcotest.(check int)
+    (name ^ ": mem_high_water") a.metrics.mem_high_water
+    b.metrics.mem_high_water
+
+let test_registry_unhooked () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let prog = compile_workload w in
+      let sw = Machine.run ~engine:Switch ~fuel prog in
+      let th = Machine.run ~engine:Threaded ~fuel prog in
+      check_same_result w.name sw th)
+    Workloads.Registry.all
+
+(* --- full hook-event stream -------------------------------------------- *)
+
+(* Serialize every hook invocation; engines must produce byte-identical
+   logs. This is stronger than comparing profiles: it pins the ordering
+   and the original pcs that fused steps are required to preserve. *)
+let event_log ?(fuel = fuel) ~engine ~trace_locals prog =
+  let buf = Buffer.create 65536 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let hooks =
+    {
+      Vm.Hooks.on_instr = (fun ~pc -> p "i %d\n" pc);
+      on_read = (fun ~pc ~addr -> p "r %d %d\n" pc addr);
+      on_write = (fun ~pc ~addr -> p "w %d %d\n" pc addr);
+      on_branch =
+        (fun ~pc ~kind ~cid ~taken ->
+          let k =
+            match kind with
+            | Vm.Instr.BrIf -> "if"
+            | Vm.Instr.BrLoop -> "loop"
+            | Vm.Instr.BrSc -> "sc"
+          in
+          p "b %d %s %d %b\n" pc k cid taken);
+      on_call = (fun ~pc ~fid -> p "c %d %d\n" pc fid);
+      on_ret = (fun ~pc ~fid -> p "t %d %d\n" pc fid);
+      on_frame_release = (fun ~base ~size -> p "f %d %d\n" base size);
+    }
+  in
+  let r = Machine.run_hooked ~engine ~trace_locals ~fuel hooks prog in
+  p "exit %d %d\n" r.exit_value r.instructions;
+  Buffer.contents buf
+
+let event_log_or_trap ?fuel ~engine ~trace_locals prog =
+  match event_log ?fuel ~engine ~trace_locals prog with
+  | log -> log
+  | exception Machine.Trap (msg, pc) -> Printf.sprintf "trap %S at %d" msg pc
+
+let check_event_stream name prog =
+  List.iter
+    (fun trace_locals ->
+      let name = Printf.sprintf "%s (trace_locals=%b)" name trace_locals in
+      let sw = event_log ~engine:Switch ~trace_locals prog in
+      let th = event_log ~engine:Threaded ~trace_locals prog in
+      Alcotest.(check string) (name ^ ": event stream") sw th)
+    [ false; true ]
+
+(* For the registry workloads (millions of events) a literal log would be
+   hundreds of MB, so the stream is folded into an order-sensitive
+   polynomial hash plus per-hook counts instead. The byte-exact log
+   comparison still runs on the Fig. 4 snippets and random programs. *)
+let event_signature ~engine ~trace_locals prog =
+  let h = ref 0 and n = ref 0 in
+  let mix v =
+    h := (!h * 1_000_003) + v;
+    incr n
+  in
+  let hooks =
+    {
+      Vm.Hooks.on_instr = (fun ~pc -> mix (1 + (pc * 8)));
+      on_read = (fun ~pc ~addr -> mix (2 + (pc * 8)); mix addr);
+      on_write = (fun ~pc ~addr -> mix (3 + (pc * 8)); mix addr);
+      on_branch =
+        (fun ~pc ~kind ~cid ~taken ->
+          mix (4 + (pc * 8));
+          mix
+            (match kind with
+            | Vm.Instr.BrIf -> 0
+            | Vm.Instr.BrLoop -> 1
+            | Vm.Instr.BrSc -> 2);
+          mix cid;
+          mix (Bool.to_int taken));
+      on_call = (fun ~pc ~fid -> mix (5 + (pc * 8)); mix fid);
+      on_ret = (fun ~pc ~fid -> mix (6 + (pc * 8)); mix fid);
+      on_frame_release = (fun ~base ~size -> mix (7 + (base * 8)); mix size);
+    }
+  in
+  let r = Machine.run_hooked ~engine ~trace_locals ~fuel hooks prog in
+  (!h, !n, r.exit_value, r.instructions)
+
+let test_registry_event_stream () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let prog = compile_workload w in
+      List.iter
+        (fun trace_locals ->
+          let name =
+            Printf.sprintf "%s (trace_locals=%b)" w.name trace_locals
+          in
+          let hs, ns, es, is =
+            event_signature ~engine:Switch ~trace_locals prog
+          in
+          let ht, nt, et, it =
+            event_signature ~engine:Threaded ~trace_locals prog
+          in
+          Alcotest.(check int) (name ^ ": event count") ns nt;
+          Alcotest.(check int) (name ^ ": event hash") hs ht;
+          Alcotest.(check int) (name ^ ": exit") es et;
+          Alcotest.(check int) (name ^ ": instructions") is it)
+        [ false; true ])
+    Workloads.Registry.all
+
+(* The Fig. 4 construct-nesting snippets: procedure nesting, conditionals
+   inside loops, and sibling loop iterations. *)
+let fig4_snippets =
+  [
+    ( "fig4a",
+      "int a() { return 1; }\n\
+       int b() { return a() + a(); }\n\
+       int main() { return b(); }" );
+    ( "fig4b",
+      "int main() {\n\
+      \  int x; int i;\n\
+      \  x = 0;\n\
+      \  for (i = 0; i < 8; i = i + 1) {\n\
+      \    if (i % 2 == 0) { if (i > 3) { x = x + i; } }\n\
+      \  }\n\
+      \  return x;\n\
+       }" );
+    ( "fig4c",
+      "int g[8];\n\
+       int main() {\n\
+      \  int i; int j; int s;\n\
+      \  s = 0;\n\
+      \  for (i = 0; i < 4; i = i + 1) {\n\
+      \    for (j = 0; j < 8; j = j + 1) { g[j] = g[j] + i; }\n\
+      \    s = s + g[i];\n\
+      \  }\n\
+      \  return s;\n\
+       }" );
+  ]
+
+let test_fig4_event_stream () =
+  List.iter
+    (fun (name, src) -> check_event_stream name (Vm.Compile.compile_source src))
+    fig4_snippets
+
+(* --- profiles and telemetry -------------------------------------------- *)
+
+(* Drop instruments that legitimately differ between two runs: wall-clock
+   timers and the engine-identity gauge. Everything else — every counter,
+   histogram bucket, and gauge across vm/shadow/pool/tree/profiler — must
+   match exactly. *)
+let comparable snap =
+  Obs.filter
+    (fun name v ->
+      (match v with Obs.Span _ -> false | _ -> true) && name <> "vm.engine")
+    snap
+
+let telemetry_text snap = Obs.render_text (comparable snap)
+
+let test_registry_profiles () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let prog = compile_workload w in
+      let sw = Profiler.run ~engine:Switch ~fuel prog in
+      let th = Profiler.run ~engine:Threaded ~fuel prog in
+      Alcotest.(check string)
+        (w.name ^ ": canonical profile")
+        (Alchemist.Profile_io.to_string sw.profile)
+        (Alchemist.Profile_io.to_string th.profile);
+      Alcotest.(check string)
+        (w.name ^ ": telemetry")
+        (telemetry_text (Profiler.telemetry sw))
+        (telemetry_text (Profiler.telemetry th));
+      check_same_result (w.name ^ ": profiled run") sw.run th.run)
+    Workloads.Registry.all
+
+let test_engine_gauge () =
+  let prog = Vm.Compile.compile_source "int main() { return 7; }" in
+  let gauge engine =
+    let r = Profiler.run ~engine prog in
+    match Obs.find (Profiler.telemetry r) "vm.engine" with
+    | Some (Obs.Level { last; _ }) -> last
+    | _ -> -1
+  in
+  Alcotest.(check int) "switch gauge" 0 (gauge Machine.Switch);
+  Alcotest.(check int) "threaded gauge" 1 (gauge Machine.Threaded)
+
+let test_trace_locals_profile () =
+  let w = Workloads.Registry.find "gzip-1.3.5" in
+  let prog = compile_workload w in
+  let sw = Profiler.run ~engine:Switch ~fuel ~trace_locals:true prog in
+  let th = Profiler.run ~engine:Threaded ~fuel ~trace_locals:true prog in
+  Alcotest.(check string)
+    "trace_locals profile"
+    (Alchemist.Profile_io.to_string sw.profile)
+    (Alchemist.Profile_io.to_string th.profile)
+
+(* --- superinstruction ablation ----------------------------------------- *)
+
+let test_fusion_off () =
+  let w = Workloads.Registry.find "gzip-1.3.5" in
+  let prog = compile_workload w in
+  let sw =
+    Machine.run_hooked ~engine:Switch ~trace_locals:false ~fuel Vm.Hooks.noop
+      prog
+  in
+  let unfused =
+    Vm.Lower.exec ~hooked:true ~trace_locals:false ~fuse:false Vm.Hooks.noop
+      ~fuel prog
+  in
+  check_same_result "fuse=false" sw unfused
+
+let test_fusions_installed () =
+  let w = Workloads.Registry.find "gzip-1.3.5" in
+  let prog = compile_workload w in
+  let fs = Vm.Lower.fusions prog in
+  Alcotest.(check bool)
+    "gzip has superinstruction sites" true
+    (List.length fs > 50);
+  (* Interiors are straight-line: no fused window spans a control
+     transfer except in its final slot. *)
+  List.iter
+    (fun (f : Vm.Lower.fusion) ->
+      for k = 0 to f.length - 2 do
+        Alcotest.(check bool)
+          (Printf.sprintf "window at %d interior control-free" f.head)
+          false
+          (Vm.Instr.is_control prog.Vm.Program.code.(f.head + k))
+      done)
+    fs;
+  (* The dominant loop idioms from the workload study are present. *)
+  let names = List.map (fun (f : Vm.Lower.fusion) -> f.name) fs in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) ("has " ^ expected) true (List.mem expected names))
+    [ "load.l+const+bin+store.l+jmp"; "load.l+const+bin+brz"; "const+bin" ]
+
+(* --- fuel and traps ----------------------------------------------------- *)
+
+let run_outcome ~engine ?(trace_locals = false) ~fuel prog =
+  match Machine.run_hooked ~engine ~trace_locals ~fuel Vm.Hooks.noop prog with
+  | r -> Printf.sprintf "exit %d instrs %d" r.exit_value r.instructions
+  | exception Machine.Trap (msg, pc) -> Printf.sprintf "trap %S at %d" msg pc
+
+(* Every fuel level from 0 to completion: the threaded engine must trap
+   "out of fuel" at exactly the same pc, which exercises the fused steps'
+   stepwise fallback at every possible window offset. *)
+let test_fuel_sweep () =
+  let src =
+    "int g[6];\n\
+     int sum(int n) {\n\
+    \  int i; int s;\n\
+    \  s = 0;\n\
+    \  for (i = 0; i < n; i = i + 1) { g[i] = 2 * i; s = s + g[i]; }\n\
+    \  return s;\n\
+     }\n\
+     int main() { return sum(6) + sum(3); }"
+  in
+  let prog = Vm.Compile.compile_source src in
+  let total = (Machine.run ~engine:Switch prog).instructions in
+  for fuel = 0 to total do
+    Alcotest.(check string)
+      (Printf.sprintf "fuel=%d" fuel)
+      (run_outcome ~engine:Switch ~fuel prog)
+      (run_outcome ~engine:Threaded ~fuel prog)
+  done
+
+(* Traps raised from inside fused windows must carry the constituent's
+   original pc and message. *)
+let trap_cases =
+  [
+    ( "div by zero in fused update",
+      "int main() { int x; int y; x = 9; y = 0; x = x / y; return x; }" );
+    ( "mod by zero in fused const op",
+      "int main() { int x; x = 7; x = x % 0; return x; }" );
+    ( "load out of bounds in fused index",
+      "int g[4];\nint main() { int i; i = 11; return g[i]; }" );
+    ( "store out of bounds",
+      "int g[4];\nint main() { int i; i = 4 + 3; g[i] = 1; return 0; }" );
+    ( "shift out of range in fused op",
+      "int main() { int x; x = 1; x = x << 77; return x; }" );
+  ]
+
+let test_fused_traps () =
+  List.iter
+    (fun (name, src) ->
+      let prog = Vm.Compile.compile_source src in
+      Alcotest.(check string)
+        name
+        (run_outcome ~engine:Switch ~fuel prog)
+        (run_outcome ~engine:Threaded ~fuel prog);
+      (* The trap must actually fire. *)
+      let outcome = run_outcome ~engine:Threaded ~fuel prog in
+      Alcotest.(check bool)
+        (name ^ " traps") true
+        (String.length outcome > 4 && String.sub outcome 0 4 = "trap"))
+    trap_cases
+
+(* --- random program differential ---------------------------------------- *)
+
+let test_qcheck_differential () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"switch vs threaded on random programs" ~count:60
+       Testgen.arbitrary_program (fun p ->
+         let prog = Vm.Compile.compile p in
+         (* A tight budget keeps the logs small and makes "out of fuel"
+            itself part of the differential surface. *)
+         let out engine =
+           List.map
+             (fun trace_locals ->
+               event_log_or_trap ~fuel:200_000 ~engine ~trace_locals prog)
+             [ false; true ]
+         in
+         out Machine.Switch = out Machine.Threaded))
+
+let suite =
+  [
+    ("registry unhooked differential", `Quick, test_registry_unhooked);
+    ("registry event streams", `Quick, test_registry_event_stream);
+    ("fig4 event streams", `Quick, test_fig4_event_stream);
+    ("registry profiles byte-identical", `Quick, test_registry_profiles);
+    ("vm.engine gauge", `Quick, test_engine_gauge);
+    ("trace_locals profile identical", `Quick, test_trace_locals_profile);
+    ("fusion off differential", `Quick, test_fusion_off);
+    ("fusions installed and well-formed", `Quick, test_fusions_installed);
+    ("fuel sweep trap parity", `Quick, test_fuel_sweep);
+    ("fused trap pc/message parity", `Quick, test_fused_traps);
+    ("qcheck differential", `Quick, test_qcheck_differential);
+  ]

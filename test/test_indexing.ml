@@ -303,10 +303,68 @@ let test_pool_bound_long_loop () =
     true
     (Tree.pool_allocated tree < 64)
 
+(* pool.scan_len must have one observation per acquire — including the
+   below-capacity fresh-allocation path, which BENCH_2 showed recording
+   nothing — and a nonzero sum once churn forces actual queue scans. *)
+let test_pool_scan_len_telemetry () =
+  let reg = Obs.Registry.create () in
+  let pool = Pool.create ~capacity:2 () in
+  Pool.register_obs pool reg;
+  let dist () =
+    match Obs.find (Obs.Registry.snapshot reg) "pool.scan_len" with
+    | Some (Obs.Dist { count; sum; _ }) -> (count, sum)
+    | _ -> Alcotest.fail "pool.scan_len not registered"
+  in
+  (* Two below-capacity acquires: observed as zero-length scans. *)
+  let a = Pool.acquire pool ~now:0 in
+  let b = Pool.acquire pool ~now:0 in
+  Alcotest.(check (pair int int)) "fresh path observed" (2, 0) (dist ());
+  (* Churn at capacity: instances [0,10) only retire at now >= 20, so the
+     next acquire scans and rotates both entries without reusing. *)
+  a.Node.tenter <- 0;
+  a.Node.texit <- 10;
+  Pool.release pool a;
+  b.Node.tenter <- 0;
+  b.Node.texit <- 10;
+  Pool.release pool b;
+  (* now=12 < 20: neither is retirable; scan walks both and allocates. *)
+  let _ = Pool.acquire pool ~now:12 in
+  let count, sum = dist () in
+  Alcotest.(check int) "scan observed per acquire" 3 count;
+  Alcotest.(check int) "two entries examined" 2 sum;
+  (* now=25 >= 20: head is retirable after examining one entry. *)
+  let _ = Pool.acquire pool ~now:25 in
+  let count', sum' = dist () in
+  Alcotest.(check int) "reuse observed" 4 count';
+  Alcotest.(check int) "one more entry examined" 3 sum';
+  Alcotest.(check int) "reused" 1 (Pool.reused pool)
+
+(* End-to-end churn through the profiler: a tiny pool capacity on a
+   loop-heavy program must take the scan path and report it. *)
+let test_pool_churn_profiled () =
+  let src =
+    {| int g;
+       int main() {
+         for (int i = 0; i < 5000; i++) { g += i; if (g > 100000) g = 0; }
+         return g;
+       } |}
+  in
+  let r =
+    Alchemist.Profiler.run ~pool_capacity:8
+      (Vm.Compile.compile_source src)
+  in
+  match Obs.find (Alchemist.Profiler.telemetry r) "pool.scan_len" with
+  | Some (Obs.Dist { count; sum; _ }) ->
+      Alcotest.(check bool) "count covers acquires" true (count > 5_000);
+      Alcotest.(check bool) "scans actually walked entries" true (sum > 0)
+  | _ -> Alcotest.fail "pool.scan_len not in profiler telemetry"
+
 let suite =
   [
     ("pool reuse window", `Quick, test_pool_reuse);
     ("pool counts", `Quick, test_pool_counts);
+    ("pool scan_len telemetry", `Quick, test_pool_scan_len_telemetry);
+    ("pool churn profiled", `Quick, test_pool_churn_profiled);
     ("pool staleness (qcheck)", `Quick, test_pool_staleness_qcheck);
     ("tree push/pop", `Quick, test_tree_push_pop);
     ("tree pop_through", `Quick, test_tree_pop_through);

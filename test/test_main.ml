@@ -4,6 +4,7 @@ let () =
       ("minic", Test_minic.suite);
       ("minic-extra", Test_minic_extra.suite);
       ("vm", Test_vm.suite);
+      ("engines", Test_engines.suite);
       ("verify", Test_verify.suite);
       ("fold", Test_fold.suite);
       ("trace", Test_trace.suite);
