@@ -5,7 +5,8 @@
    Usage:
      dune exec bench/main.exe              -- run everything
      dune exec bench/main.exe -- table3 fig6 ...   -- run a subset
-   Sections: fig2 fig3 fig4 fig6 table3 table4 table5 baseline micro ablation *)
+   Sections: fig2 fig3 fig4 fig6 table3 table4 table5 baseline explore micro
+   ablation perf static *)
 
 module W = Workloads.Workload
 module Registry = Workloads.Registry
@@ -863,6 +864,77 @@ let perf () =
   close_out oc;
   print_endline "wrote BENCH_3.json"
 
+(* --- static: instrumentation pruning ---------------------------------------------- *)
+
+let static_bench () =
+  header "Static — dependence analysis + instrumentation pruning (gzip)";
+  let w = Registry.find "gzip-1.3.5" in
+  let prog = W.compile w ~scale:w.W.default_scale in
+  let runs = 7 in
+  let best_of f =
+    let best = ref infinity and bv = ref None in
+    for _ = 1 to runs do
+      let t0 = Unix.gettimeofday () in
+      let v = f () in
+      let wall = Unix.gettimeofday () -. t0 in
+      if wall < !best then begin
+        best := wall;
+        bv := Some v
+      end
+    done;
+    (Option.get !bv, !best)
+  in
+  (* Analysis cost alone: the whole static pipeline (CFA + reaching defs
+     + points-to + verdicts) on the full workload program. *)
+  let dep, analysis_wall = best_of (fun () -> Static.Depend.analyze prog) in
+  ignore dep;
+  (* Warm, then best-of-N end-to-end profile with pruning on and off.
+     Both runs produce the same profile bytes (the acceptance criterion);
+     the off run's shadow_events is the common normalizer so the two
+     ns/event figures compare the same amount of profiling work. *)
+  ignore (Profiler.run ~fuel prog);
+  let r_on, wall_on = best_of (fun () -> Profiler.run ~fuel prog) in
+  let r_off, wall_off =
+    best_of (fun () -> Profiler.run ~static_prune:false ~fuel prog)
+  in
+  let events_off = r_off.Profiler.stats.Profiler.shadow_events in
+  let ns_on = wall_on *. 1e9 /. float_of_int events_off in
+  let ns_off = wall_off *. 1e9 /. float_of_int events_off in
+  let identical =
+    Alchemist.Profile_io.to_string r_on.Profiler.profile
+    = Alchemist.Profile_io.to_string r_off.Profiler.profile
+  in
+  let pruned = r_on.Profiler.stats.Profiler.pruned_pcs in
+  let event_pcs = r_on.Profiler.stats.Profiler.event_pcs in
+  Printf.printf "\nstatic analysis: %.4fs (best of %d)\n" analysis_wall runs;
+  Printf.printf "pruned %d of %d memory-event pcs\n" pruned event_pcs;
+  Printf.printf
+    "profile (normalized by the unpruned run's %d shadow events):\n" events_off;
+  Printf.printf "  prune off  %.3fs wall  %6.1f ns/event\n" wall_off ns_off;
+  Printf.printf "  prune on   %.3fs wall  %6.1f ns/event  (%.2fx)\n" wall_on
+    ns_on (wall_off /. wall_on);
+  Printf.printf "profiles byte-identical: %b\n" identical;
+  let oc = open_out "BENCH_4.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "static dependence analysis + instrumentation pruning",
+  "workload": "gzip-1.3.5",
+  "runs": %d,
+  "analysis_wall_s": %.4f,
+  "pruned_pcs": %d,
+  "event_pcs": %d,
+  "shadow_events_unpruned": %d,
+  "prune_off": { "wall_s": %.4f, "ns_per_event": %.2f },
+  "prune_on": { "wall_s": %.4f, "ns_per_event": %.2f },
+  "speedup": %.3f,
+  "profiles_identical": %b
+}
+|}
+    runs analysis_wall pruned event_pcs events_off wall_off ns_off wall_on
+    ns_on (wall_off /. wall_on) identical;
+  close_out oc;
+  print_endline "wrote BENCH_4.json"
+
 (* --- main ------------------------------------------------------------------------ *)
 
 let sections =
@@ -879,6 +951,7 @@ let sections =
     ("micro", micro);
     ("ablation", ablation);
     ("perf", perf);
+    ("static", static_bench);
   ]
 
 let () =

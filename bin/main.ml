@@ -10,9 +10,13 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let load_program ?(fold = false) spec =
+let load_program ?(fold = false) ?(warn = false) spec =
   let compile src =
     let ast = Minic.Frontend.load src in
+    if warn then
+      List.iter
+        (fun w -> Format.eprintf "%a@." Minic.Diag.pp_warning w)
+        (Minic.Lint.program ast);
     let ast = if fold then Minic.Fold.program ast else ast in
     Vm.Compile.compile ast
   in
@@ -32,6 +36,21 @@ let fold_arg =
     & info [ "fold" ]
         ~doc:"Constant-fold and prune dead branches before compiling \
               (models an optimized build).")
+
+let warn_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "warn" ]
+        ~doc:"Print frontend lints (unused variables, dead stores) to \
+              stderr before running.")
+
+let static_prune_arg =
+  Cmdliner.Arg.(
+    value & opt bool true
+    & info [ "static-prune" ] ~docv:"BOOL"
+        ~doc:"Skip shadow instrumentation on memory events the static \
+              dependence analysis proves unable to affect the profile \
+              (default on; the profile is byte-identical either way).")
 
 let handle_errors f =
   match f () with
@@ -81,9 +100,9 @@ let engine_arg =
 (* --- run --------------------------------------------------------------- *)
 
 let run_cmd =
-  let run spec fuel fold engine =
+  let run spec fuel fold warn engine =
     handle_errors (fun () ->
-        let prog = load_program ~fold spec in
+        let prog = load_program ~fold ~warn spec in
         let r = Vm.Machine.run ~engine ~fuel prog in
         List.iter (fun v -> Printf.printf "%d\n" v) r.Vm.Machine.output;
         Printf.printf "exit=%d instructions=%d\n" r.Vm.Machine.exit_value
@@ -91,7 +110,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a Mini-C program on the VM.")
-    Term.(const run $ src_arg $ fuel_arg $ fold_arg $ engine_arg)
+    Term.(const run $ src_arg $ fuel_arg $ fold_arg $ warn_arg $ engine_arg)
 
 (* --- profile ------------------------------------------------------------ *)
 
@@ -132,11 +151,13 @@ let profile_cmd =
                 profiler) after the report, as $(b,text) (default) or \
                 $(b,json).")
   in
-  let profile spec fuel top edges kinds trace_locals save telemetry fold engine
-      =
+  let profile spec fuel top edges kinds trace_locals save telemetry fold warn
+      static_prune engine =
     handle_errors (fun () ->
-        let prog = load_program ~fold spec in
-        let r = Alchemist.Profiler.run ~engine ~fuel ~trace_locals prog in
+        let prog = load_program ~fold ~warn spec in
+        let r =
+          Alchemist.Profiler.run ~engine ~fuel ~trace_locals ~static_prune prog
+        in
         Option.iter
           (fun path -> Alchemist.Profile_io.save r.Alchemist.Profiler.profile path)
           save;
@@ -159,6 +180,10 @@ let profile_cmd =
           s.Alchemist.Profiler.dynamic_constructs
           s.Alchemist.Profiler.deps_detected s.Alchemist.Profiler.pool_allocated
           s.Alchemist.Profiler.pool_reused;
+        if s.Alchemist.Profiler.event_pcs > 0 then
+          Printf.printf "static analysis: %d of %d event pcs pruned%s\n"
+            s.Alchemist.Profiler.pruned_pcs s.Alchemist.Profiler.event_pcs
+            (if static_prune then "" else " (mask not applied)");
         match telemetry with
         | None -> ()
         | Some fmt ->
@@ -174,7 +199,7 @@ let profile_cmd =
        ~doc:"Profile dependence distances (Fig. 2/3-style report).")
     Term.(
       const profile $ src_arg $ fuel_arg $ top $ edges $ kinds $ trace_locals
-      $ save $ telemetry $ fold_arg $ engine_arg)
+      $ save $ telemetry $ fold_arg $ warn_arg $ static_prune_arg $ engine_arg)
 
 (* --- rank ---------------------------------------------------------------- *)
 
@@ -406,7 +431,7 @@ let profile_all_cmd =
           ~doc:"Add a per-shard breakdown (wall time, events, walk depth) \
                 and the merged telemetry snapshot.")
   in
-  let profile_all fuel jobs test_scale save_dir telemetry engine =
+  let profile_all fuel jobs test_scale save_dir telemetry static_prune engine =
     handle_errors (fun () ->
         let jobs = max 1 jobs in
         let scale_of (w : Workloads.Workload.t) =
@@ -414,7 +439,8 @@ let profile_all_cmd =
         in
         let t0 = Unix.gettimeofday () in
         let results =
-          Driver.Parallel.profile_registry ~jobs ~engine ~fuel ~scale_of ()
+          Driver.Parallel.profile_registry ~jobs ~engine ~fuel ~static_prune
+            ~scale_of ()
         in
         let wall = Unix.gettimeofday () -. t0 in
         Printf.printf "%-12s %14s %12s %10s\n" "workload" "instructions"
@@ -472,7 +498,117 @@ let profile_all_cmd =
        ~doc:"Profile every bundled workload, sharded across CPU cores.")
     Term.(
       const profile_all $ fuel_arg $ jobs $ test_scale $ save_dir $ telemetry
-      $ engine_arg)
+      $ static_prune_arg $ engine_arg)
+
+(* --- check ----------------------------------------------------------------- *)
+
+let check_cmd =
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Check every bundled workload instead of one SRC.")
+  in
+  let test_scale =
+    Arg.(
+      value & flag
+      & info [ "test-scale" ]
+          ~doc:"With --all: use each workload's small test scale.")
+  in
+  let src =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"SRC" ~doc:"Mini-C file, or workload:NAME[:SCALE].")
+  in
+  let prof_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:"Sanitize this saved profile against SRC instead of \
+                profiling in-process.")
+  in
+  (* One workload's checks; returns the number of problems found (each
+     already printed). The in-process variant is the full gauntlet: CFA
+     validation, prune-on/off byte-identity, serialization round-trip,
+     and the sanitizer over the round-tripped profile. *)
+  let check_one ~fuel name prog saved =
+    let problems = ref 0 in
+    let fail fmt =
+      incr problems;
+      Printf.ksprintf (fun m -> Printf.printf "%s: FAIL: %s\n" name m) fmt
+    in
+    let analysis = Cfa.Analysis.analyze prog in
+    List.iter
+      (fun m -> fail "cfa validation: %s" m)
+      (Cfa.Analysis.validate prog analysis);
+    let dep = Static.Depend.analyze ~analysis prog in
+    let sanitize what p =
+      List.iter
+        (fun i ->
+          fail "%s: %s" what
+            (Format.asprintf "%a" Alchemist.Sanitize.pp_issue i))
+        (Alchemist.Sanitize.check ~dep p)
+    in
+    (match saved with
+    | Some p -> sanitize "saved profile" p
+    | None ->
+        let on =
+          (Alchemist.Profiler.run ~fuel ~static_prune:true prog)
+            .Alchemist.Profiler.profile
+        in
+        let off =
+          (Alchemist.Profiler.run ~fuel ~static_prune:false prog)
+            .Alchemist.Profiler.profile
+        in
+        let s_on = Alchemist.Profile_io.to_string on in
+        let s_off = Alchemist.Profile_io.to_string off in
+        if not (String.equal s_on s_off) then
+          fail "prune-on and prune-off profiles differ";
+        (match Alchemist.Profile_io.read prog s_on with
+        | Error msg -> fail "round-trip read: %s" msg
+        | Ok p2 ->
+            if not (String.equal (Alchemist.Profile_io.to_string p2) s_on) then
+              fail "round-trip re-serialization differs";
+            sanitize "profile" p2));
+    if !problems = 0 then Printf.printf "%s: OK\n" name;
+    !problems
+  in
+  let check src all test_scale prof_file fuel =
+    handle_errors (fun () ->
+        let failures =
+          match (all, src) with
+          | true, None ->
+              List.fold_left
+                (fun acc (w : Workloads.Workload.t) ->
+                  let scale =
+                    if test_scale then w.test_scale else w.default_scale
+                  in
+                  let prog = Workloads.Workload.compile w ~scale in
+                  acc + check_one ~fuel w.name prog None)
+                0 Workloads.Registry.all
+          | false, Some spec ->
+              let prog = load_program spec in
+              let saved =
+                Option.map
+                  (fun f ->
+                    match Alchemist.Profile_io.load prog f with
+                    | Ok p -> p
+                    | Error msg -> invalid_arg msg)
+                  prof_file
+              in
+              check_one ~fuel spec prog saved
+          | _ -> invalid_arg "pass exactly one of SRC or --all"
+        in
+        if failures > 0 then
+          invalid_arg (Printf.sprintf "%d check(s) failed" failures))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Sanitize dynamic profiles against the static dependence \
+             analysis (and validate the CFA, prune byte-identity, and \
+             serialization round-trip).")
+    Term.(const check $ src $ all $ test_scale $ prof_file $ fuel_arg)
 
 (* --- disasm / workloads --------------------------------------------------- *)
 
@@ -511,6 +647,7 @@ let main_cmd =
       explore_cmd;
       profile_all_cmd;
       report_cmd;
+      check_cmd;
       disasm_cmd;
       workloads_cmd;
     ]

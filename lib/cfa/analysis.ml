@@ -41,17 +41,44 @@ let validate (prog : Vm.Program.t) (t : t) =
             add "predicate at pc %d has no immediate post-dominator" pc
       | _ -> ())
     prog.code;
-  (* Every BrLoop predicate should be part of a natural loop. *)
+  (* Every BrLoop predicate should be part of a natural loop — unless
+     the loop degenerated: a body that always breaks leaves the back
+     edge in unreachable code, so no natural loop exists, yet the
+     predicate legitimately evaluates (once). Only complain when the
+     predicate is reachable and can actually re-reach itself. *)
   Array.iter
     (fun (f : Vm.Program.func_info) ->
       let cfg = Cfg.build prog f in
       let dom = Dominance.of_cfg cfg in
       let loops = Loops.analyze cfg dom in
+      let reachable bid =
+        bid = cfg.Cfg.entry_bid || dom.Dominance.idom.(bid) <> -1
+      in
+      let cycles_back_to bid =
+        (* Is there a reachable-node path from a successor of [bid] back
+           to [bid]? *)
+        let n = Array.length cfg.Cfg.blocks in
+        let seen = Array.make n false in
+        let rec go b =
+          b = bid
+          || (not seen.(b)) && reachable b
+             && begin
+                  seen.(b) <- true;
+                  List.exists go cfg.Cfg.blocks.(b).Cfg.succs
+                end
+        in
+        List.exists
+          (fun s -> reachable s && go s)
+          cfg.Cfg.blocks.(bid).Cfg.succs
+      in
       Array.iter
         (fun (b : Cfg.block) ->
           match prog.code.(b.last) with
           | Vm.Instr.Br { kind = Vm.Instr.BrLoop; _ } ->
-              if not (Loops.in_loop loops b.bid) then
+              if
+                (not (Loops.in_loop loops b.bid))
+                && reachable b.bid && cycles_back_to b.bid
+              then
                 add "BrLoop at pc %d (%s) is not inside a natural loop" b.last
                   f.name
           | _ -> ())

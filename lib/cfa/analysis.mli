@@ -17,6 +17,8 @@ val analyze : Vm.Program.t -> t
 
 val validate : Vm.Program.t -> t -> string list
 (** Cross-checks compiler construct tags against the CFA: every predicate
-    has an ipdom; every [BrLoop] predicate lies in a natural loop; every
-    [BrIf]'s ipdom post-dominates it. Returns human-readable discrepancy
-    messages (empty = consistent). *)
+    has an ipdom; every [BrLoop] predicate lies in a natural loop (unless
+    the loop degenerated — a body that always breaks has no reachable
+    back edge, so the predicate legitimately evaluates at most once);
+    every [BrIf]'s ipdom post-dominates it. Returns human-readable
+    discrepancy messages (empty = consistent). *)

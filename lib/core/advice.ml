@@ -1,5 +1,5 @@
 type suggestion =
-  | Spawnable
+  | Spawnable of { statically_proven : bool }
   | Join_before of { line : int; var : string option }
   | Blocking_raw of { head_line : int; tail_line : int; var : string option }
   | Reduce of { var : string; line : int }
@@ -70,8 +70,19 @@ let is_reduction_load (prog : Vm.Program.t) pc =
       !found
   | _ -> false
 
-let advise (p : Profile.t) ~cid =
+let advise ?dep (p : Profile.t) ~cid =
   let prog = p.prog in
+  (* Same recomputation policy as {!Ranking.rank}: a verdict-carrying
+     profile licenses rebuilding the analysis; a verdict-less one gets
+     dynamic-only advice. *)
+  let dep =
+    match dep with
+    | Some _ -> dep
+    | None ->
+        if p.Profile.static_verdicts <> None then
+          Some (Static.Depend.analyze prog)
+        else None
+  in
   let cp = Profile.get p cid in
   let construct =
     Format.asprintf "%a" Vm.Program.pp_construct prog.constructs.(cid)
@@ -203,7 +214,13 @@ let advise (p : Profile.t) ~cid =
   in
   let suggestions =
     if blockers = [] then
-      (Spawnable :: reductions) @ transforms @ claim_joins @ joins
+      let statically_proven =
+        match dep with
+        | Some d -> Static.Depend.construct_proven_independent d ~cid
+        | None -> false
+      in
+      (Spawnable { statically_proven } :: reductions)
+      @ transforms @ claim_joins @ joins
     else blockers @ reductions @ transforms @ claim_joins
   in
   { cid; construct; verdict; suggestions }
@@ -222,9 +239,14 @@ let reduction_list t =
   |> List.sort_uniq compare
 
 let pp_suggestion ppf = function
-  | Spawnable ->
+  | Spawnable { statically_proven = true } ->
       Format.fprintf ppf
-        "annotate as a future: no read reaches it before it finishes"
+        "annotate as a future: statically proven independent (holds on all \
+         inputs)"
+  | Spawnable { statically_proven = false } ->
+      Format.fprintf ppf
+        "annotate as a future: no read reaches it before it finishes \
+         (dynamic evidence only)"
   | Join_before { line; var } ->
       Format.fprintf ppf "join the future before line %d%a" line
         (fun ppf -> function

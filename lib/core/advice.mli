@@ -13,7 +13,12 @@
       own write is a reset). *)
 
 type suggestion =
-  | Spawnable  (** no violating RAW: annotate as a future *)
+  | Spawnable of { statically_proven : bool }
+      (** no violating RAW: annotate as a future. [statically_proven]
+          distinguishes constructs whose independence the static layer
+          proves on {e all} inputs
+          ({!Static.Depend.construct_proven_independent}) from those
+          where the profiled execution is the only evidence *)
   | Join_before of { line : int; var : string option }
       (** respect a long-distance RAW by claiming the future here *)
   | Blocking_raw of { head_line : int; tail_line : int; var : string option }
@@ -35,10 +40,12 @@ type t = {
   suggestions : suggestion list;
 }
 
-val advise : Profile.t -> cid:int -> t
+val advise : ?dep:Static.Depend.t -> Profile.t -> cid:int -> t
 (** [`Parallelizable]: no violating RAW and no violating WAR/WAW.
     [`Needs_transforms]: no violating RAW, but privatization/hoisting
-    needed. [`Not_amenable]: violating RAW edges remain. *)
+    needed. [`Not_amenable]: violating RAW edges remain. [dep] shares a
+    static analysis for the [Spawnable] proof bit (same recomputation
+    policy as {!Ranking.rank} when omitted). *)
 
 val privatization_list : t -> string list
 (** The variables to privatize, ready for

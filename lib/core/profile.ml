@@ -138,6 +138,9 @@ type t = {
   prog : Vm.Program.t;
   by_cid : construct_profile array;
   mutable total_instructions : int;
+  mutable static_verdicts : (Key.t * Static.Depend.verdict) list option;
+      (* one global association (verdicts are construct-independent),
+         sorted by packed key; [None] = no static layer ran *)
 }
 
 let dummy_stats () =
@@ -166,6 +169,7 @@ let create (prog : Vm.Program.t) =
           })
         prog.constructs;
     total_instructions = 0;
+    static_verdicts = None;
   }
 
 let get t cid = t.by_cid.(cid)
@@ -248,11 +252,47 @@ let merge_addrs xs ys =
   let l = List.sort_uniq compare (List.rev_append xs ys) in
   List.filteri (fun i _ -> i < 3) l
 
+let verdict_rank = function
+  | Static.Depend.Must_independent -> 0
+  | Static.Depend.May_dependent -> 1
+  | Static.Depend.Must_dependent -> 2
+
+(* Set union keyed by packed key. Same-key conflicts (possible only if
+   someone merges profiles annotated by different analysis versions)
+   resolve to the lower-ranked verdict deterministically, which keeps
+   the operation associative and commutative like the rest of [merge]. *)
+let merge_verdicts a b =
+  match (a, b) with
+  | None, v | v, None -> v
+  | Some xs, Some ys ->
+      let rec go xs ys acc =
+        match (xs, ys) with
+        | [], rest | rest, [] -> List.rev_append acc rest
+        | ((kx, vx) as x) :: xs', ((ky, vy) as y) :: ys' ->
+            if kx < ky then go xs' ys (x :: acc)
+            else if ky < kx then go xs ys' (y :: acc)
+            else
+              let v = if verdict_rank vx <= verdict_rank vy then vx else vy in
+              go xs' ys' ((kx, v) :: acc)
+      in
+      Some (go xs ys [])
+
+let attach_verdicts t classify =
+  let keys =
+    Array.fold_left
+      (fun acc (cp : construct_profile) ->
+        Etbl.fold (fun k _ acc -> k :: acc) cp.edges acc)
+      [] t.by_cid
+    |> List.sort_uniq compare
+  in
+  t.static_verdicts <- Some (List.map (fun k -> (k, classify (Key.unpack k))) keys)
+
 let merge a b =
   if a.prog.Vm.Program.code <> b.prog.Vm.Program.code then
     invalid_arg "Profile.merge: profiles of different programs";
   let out = create a.prog in
   out.total_instructions <- a.total_instructions + b.total_instructions;
+  out.static_verdicts <- merge_verdicts a.static_verdicts b.static_verdicts;
   Array.iteri
     (fun cid (dst : construct_profile) ->
       let add (src : construct_profile) =

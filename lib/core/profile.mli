@@ -85,6 +85,12 @@ type t = {
   prog : Vm.Program.t;
   by_cid : construct_profile array;
   mutable total_instructions : int;
+  mutable static_verdicts : (Key.t * Static.Depend.verdict) list option;
+      (** static classification of every recorded edge, sorted by packed
+          key; one global list — a verdict depends only on the edge, not
+          on which construct it was attributed to. [None] when no static
+          analysis ran (e.g. a [trace_locals] profile, whose event set
+          the verdicts do not model, or a version-1 file). *)
 }
 
 val create : Vm.Program.t -> t
@@ -108,12 +114,20 @@ val record_edge :
   unit
 (** Table II lines 8–13: insert the static edge or lower its minimum. *)
 
+val attach_verdicts : t -> (edge_key -> Static.Depend.verdict) -> unit
+(** Classify every currently recorded edge and store the result in
+    [static_verdicts] (sorted by packed key, deduplicated across
+    constructs). *)
+
 val merge : t -> t -> t
 (** Combine two profiles of the {e same} program (e.g. different inputs —
     the paper gathers multiple profile runs): instance counts and totals
     add, per-edge minima take the min, edge sets union, per-edge address
     samples take the three smallest of the union (which makes [merge]
-    associative and commutative, see test_parallel).
+    associative and commutative, see test_parallel). Verdict lists union
+    by key ([None] is the identity); since both sides classify with the
+    same program, same-key verdicts agree — ties nevertheless resolve
+    deterministically so the laws hold unconditionally.
     @raise Invalid_argument if the programs differ. *)
 
 val get : t -> int -> construct_profile

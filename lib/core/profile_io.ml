@@ -26,11 +26,30 @@ let kind_of_tag = function
    packed key, parents sorted by cid, addresses sorted ascending. Equal
    profiles therefore serialize to identical bytes regardless of hash
    table insertion order — the property the sharded (-j N) driver's
-   byte-identity test rests on. *)
+   byte-identity test rests on.
+
+   Version history: version 2 adds [verdict] lines (the static
+   classification of each recorded edge) between the header block and
+   the construct records. A profile without verdicts serializes to the
+   exact version-1 bytes, so older files and trace_locals profiles are
+   untouched; the reader accepts both versions and rejects verdict
+   lines in a version-1 body. *)
 let write (t : Profile.t) buf =
-  Buffer.add_string buf "alchemist-profile 1\n";
+  let version = match t.Profile.static_verdicts with None -> 1 | Some _ -> 2 in
+  Buffer.add_string buf (Printf.sprintf "alchemist-profile %d\n" version);
   Buffer.add_string buf (Printf.sprintf "fingerprint %s\n" (fingerprint t.prog));
   Buffer.add_string buf (Printf.sprintf "total %d\n" t.total_instructions);
+  (match t.Profile.static_verdicts with
+  | None -> ()
+  | Some verdicts ->
+      List.iter
+        (fun (key, v) ->
+          let k = Profile.Key.unpack key in
+          Buffer.add_string buf
+            (Printf.sprintf "verdict %d %d %s %s\n" k.Profile.head_pc
+               k.Profile.tail_pc (kind_tag k.Profile.kind)
+               (Static.Depend.verdict_to_string v)))
+        verdicts);
   Array.iter
     (fun (cp : Profile.construct_profile) ->
       if cp.instances > 0 then
@@ -75,9 +94,11 @@ let read (prog : Vm.Program.t) text =
   in
   match lines with
   | (hln, header) :: (fln, fp) :: (tln, total) :: rest ->
-      let* () =
-        if header = "alchemist-profile 1" then Ok ()
-        else err hln "unsupported profile format/version"
+      let* version =
+        match header with
+        | "alchemist-profile 1" -> Ok 1
+        | "alchemist-profile 2" -> Ok 2
+        | _ -> err hln "unsupported profile format/version"
       in
       let* () =
         match String.split_on_char ' ' fp with
@@ -102,10 +123,53 @@ let read (prog : Vm.Program.t) text =
          (or, under merge semantics, double-count) earlier ones — a
          corrupt or hand-edited file, so reject it loudly. *)
       let seen_construct = Hashtbl.create 64 in
+      (* Verdict lines are collected in reverse and sorted at the end:
+         canonical files are already key-sorted, but a merged/hand-built
+         one is still accepted as long as keys are unique. *)
+      let verdicts = ref [] in
+      let seen_verdict = Hashtbl.create 64 in
+      let finish () =
+        if version >= 2 then
+          t.Profile.static_verdicts <-
+            Some
+              (List.sort
+                 (fun (ka, _) (kb, _) -> Profile.Key.compare ka kb)
+                 !verdicts);
+        Ok t
+      in
       let rec go = function
-        | [] -> Ok t
+        | [] -> finish ()
         | (ln, line) :: rest -> (
             match String.split_on_char ' ' line with
+            | "verdict" :: head :: tail :: kind :: tag :: [] ->
+                if version < 2 then
+                  err ln "verdict line in a version-1 profile"
+                else
+                  let* head_pc = int_of ln head in
+                  let* tail_pc = int_of ln tail in
+                  let* kind =
+                    Result.map_error
+                      (Printf.sprintf "line %d: %s" ln)
+                      (kind_of_tag kind)
+                  in
+                  let* () =
+                    if head_pc >= 0 && tail_pc >= 0 then Ok ()
+                    else err ln "negative pc in verdict line"
+                  in
+                  let* v =
+                    match Static.Depend.verdict_of_string tag with
+                    | Some v -> Ok v
+                    | None -> err ln "unknown static verdict %S" tag
+                  in
+                  let key = Profile.Key.pack ~head_pc ~tail_pc kind in
+                  if Hashtbl.mem seen_verdict key then
+                    err ln "duplicate verdict %d %d %s" head_pc tail_pc
+                      (kind_tag kind)
+                  else begin
+                    Hashtbl.add seen_verdict key ();
+                    verdicts := (key, v) :: !verdicts;
+                    go rest
+                  end
             | "construct" :: cid :: ttotal :: instances :: [] ->
                 let* cid = Result.bind (int_of ln cid) (check_cid ln) in
                 let* ttotal = int_of ln ttotal in

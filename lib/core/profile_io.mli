@@ -14,7 +14,19 @@
     construct <cid> <ttotal> <instances>
     edge <cid> <head_pc> <tail_pc> <RAW|WAR|WAW> <min_tdep> <count> <internal:0|1> <addr>*
     parent <cid> <parent_cid> <count>
-    v} *)
+    v}
+
+    Version 2 adds the static classification of each recorded edge
+    ({!Profile.t.static_verdicts}), as key-sorted [verdict] lines between
+    the [total] line and the construct records:
+    {v
+    verdict <head_pc> <tail_pc> <RAW|WAR|WAW> <must-indep|may-dep|must-dep>
+    v}
+    A profile without verdicts (e.g. recorded with [trace_locals], where
+    the static model does not apply) serializes to the exact version-1
+    bytes, so old files and new verdict-free files are the same format.
+    The reader accepts both versions and rejects [verdict] lines in a
+    version-1 body. *)
 
 val fingerprint : Vm.Program.t -> string
 (** A stable hash of the code array (hex). *)

@@ -9,6 +9,8 @@ type stats = {
   pool_allocated : int;
   pool_reused : int;
   forced_pops : int;
+  pruned_pcs : int;
+  event_pcs : int;
 }
 
 type result = {
@@ -23,12 +25,20 @@ let telemetry r = Obs.Registry.snapshot r.obs
 let cid_of_label (prog : Vm.Program.t) label = prog.cid_of_pc.(label)
 
 (* Build the instrumentation (hooks + a finisher that assembles the
-   result); shared between the live run and offline trace replay. *)
-let make ?scan_limit ?pool_capacity ?obs (prog : Vm.Program.t) =
+   result); shared between the live run and offline trace replay.
+   [static] enables the static dependence layer: the finisher then
+   classifies every recorded edge into the profile's verdict list, and
+   the returned oracle lets the caller prune hooks. It is on for every
+   default-mode profile — including trace replay, whose traces record
+   the default event set — and off only under [trace_locals], whose
+   extra local events the verdicts do not model. *)
+let make ?scan_limit ?pool_capacity ?obs ?(static = true) (prog : Vm.Program.t)
+    =
   let reg = match obs with Some r -> r | None -> Obs.Registry.create () in
   let wall = Obs.Registry.timer reg "profiler.wall" in
   Obs.Timer.start wall;
   let analysis = Cfa.Analysis.analyze prog in
+  let dep = if static then Some (Static.Depend.analyze ~analysis prog) else None in
   let profile = Profile.create prog in
   let pops = ref 0 in
   let on_push (c : Node.t) =
@@ -112,6 +122,15 @@ let make ?scan_limit ?pool_capacity ?obs (prog : Vm.Program.t) =
   let finish (run : Vm.Machine.result) =
     Indexing.Rules.finish rules;
     profile.Profile.total_instructions <- run.Vm.Machine.instructions;
+    (match dep with
+    | Some d ->
+        Profile.attach_verdicts profile (fun (k : Profile.edge_key) ->
+            Static.Depend.verdict d ~kind:k.Profile.kind
+              ~head_pc:k.Profile.head_pc ~tail_pc:k.Profile.tail_pc);
+        Obs.Gauge.set
+          (Obs.Registry.gauge reg "static.pruned_pcs")
+          (Static.Depend.pruned_count d)
+    | None -> ());
     Obs.Timer.stop wall;
     (* Republish the VM's own counters (counted allocation-free inside
        the interpreter loop) so one snapshot covers every layer. *)
@@ -142,16 +161,33 @@ let make ?scan_limit ?pool_capacity ?obs (prog : Vm.Program.t) =
         pool_allocated = Indexing.Index_tree.pool_allocated tree;
         pool_reused = Indexing.Index_tree.pool_reused tree;
         forced_pops = Indexing.Rules.forced_pops rules;
+        pruned_pcs =
+          (match dep with Some d -> Static.Depend.pruned_count d | None -> 0);
+        event_pcs =
+          (match dep with Some d -> Static.Depend.event_count d | None -> 0);
       }
     in
     { profile; stats; run; obs = reg }
   in
-  (hooks, finish)
+  (hooks, finish, dep)
 
 let run ?(engine = Vm.Machine.Threaded) ?fuel ?scan_limit ?pool_capacity ?obs
-    ?(trace_locals = false) (prog : Vm.Program.t) =
-  let hooks, finish = make ?scan_limit ?pool_capacity ?obs prog in
-  let r = finish (Vm.Machine.run_hooked ~engine ~trace_locals ?fuel hooks prog) in
+    ?(trace_locals = false) ?(static_prune = true) (prog : Vm.Program.t) =
+  let hooks, finish, dep =
+    make ?scan_limit ?pool_capacity ?obs ~static:(not trace_locals) prog
+  in
+  (* The verdict layer runs (and is stored) whether or not pruning is
+     applied — so prune-on and prune-off profiles of the same execution
+     are byte-identical, which is the property `alchemist check`
+     re-verifies per workload. *)
+  let prune =
+    match dep with
+    | Some d when static_prune -> Some (Static.Depend.prune_mask d)
+    | _ -> None
+  in
+  let r =
+    finish (Vm.Machine.run_hooked ~engine ~trace_locals ?prune ?fuel hooks prog)
+  in
   (* Record which engine produced the events, so benchmark telemetry is
      self-describing (0 = switch, 1 = threaded). Differential telemetry
      comparisons filter this gauge out — see test/test_engines.ml. *)
@@ -162,11 +198,19 @@ let run ?(engine = Vm.Machine.Threaded) ?fuel ?scan_limit ?pool_capacity ?obs
 
 let run_trace ?scan_limit ?pool_capacity ?obs (trace : Vm.Trace.t)
     (prog : Vm.Program.t) =
-  let hooks, finish = make ?scan_limit ?pool_capacity ?obs prog in
+  (* The static layer applies exactly when the trace carries the default
+     event set — and then it must: the online/offline differential
+     (test_trace) byte-compares the two profiles, verdict lines
+     included. *)
+  let hooks, finish, _dep =
+    make ?scan_limit ?pool_capacity ?obs
+      ~static:(not (Vm.Trace.traced_locals trace))
+      prog
+  in
   Vm.Trace.replay trace hooks;
   finish (Vm.Trace.result trace)
 
-let run_source ?engine ?fuel ?scan_limit ?pool_capacity ?obs ?trace_locals src
-    =
-  run ?engine ?fuel ?scan_limit ?pool_capacity ?obs ?trace_locals
+let run_source ?engine ?fuel ?scan_limit ?pool_capacity ?obs ?trace_locals
+    ?static_prune src =
+  run ?engine ?fuel ?scan_limit ?pool_capacity ?obs ?trace_locals ?static_prune
     (Vm.Compile.compile_source src)

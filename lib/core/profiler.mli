@@ -22,6 +22,10 @@ type stats = {
   pool_allocated : int;  (** index-tree nodes ever allocated *)
   pool_reused : int;
   forced_pops : int;  (** should be 0; see {!Indexing.Rules.forced_pops} *)
+  pruned_pcs : int;
+      (** memory-event pcs the static oracle proved hook-free (0 when the
+          static layer did not run, i.e. under [trace_locals]) *)
+  event_pcs : int;  (** memory-event pcs in live code (pruning denominator) *)
 }
 
 type result = {
@@ -46,6 +50,7 @@ val run :
   ?pool_capacity:int ->
   ?obs:Obs.Registry.t ->
   ?trace_locals:bool ->
+  ?static_prune:bool ->
   Vm.Program.t ->
   result
 (** Profiles one execution.
@@ -62,6 +67,16 @@ val run :
     metrics, e.g. the sharded driver's per-shard timers); by default each
     run gets a private registry — runs never share instruments, which is
     what keeps sharded domains contention-free.
+
+    Unless [trace_locals] is set, every run additionally computes the
+    static dependence analysis ({!Static.Depend}) and stores a verdict
+    per recorded edge in [profile.static_verdicts] (serialized as
+    version-2 profile files). [static_prune] (default [true])
+    additionally applies the analysis' prune mask, skipping the shadow
+    hooks of event pcs proven unable to affect the profile — the
+    resulting profile is byte-identical either way (enforced by
+    [alchemist check] and test_static); only the hook-call cost and the
+    [shadow.*] telemetry volume change.
     @raise Vm.Machine.Trap as {!Vm.Machine.run}. *)
 
 val run_trace :
@@ -82,6 +97,7 @@ val run_source :
   ?pool_capacity:int ->
   ?obs:Obs.Registry.t ->
   ?trace_locals:bool ->
+  ?static_prune:bool ->
   string ->
   result
 (** Convenience: compile a Mini-C source and profile it. *)

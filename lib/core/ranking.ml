@@ -6,9 +6,10 @@ type entry = {
   ttotal : int;
   instances : int;
   violations : Violation.summary;
+  static_indep : bool;
 }
 
-let entry_of (t : Profile.t) (c : Vm.Program.construct_info) =
+let entry_of (t : Profile.t) dep (c : Vm.Program.construct_info) =
   let p = Profile.get t c.cid in
   {
     cid = c.cid;
@@ -18,11 +19,28 @@ let entry_of (t : Profile.t) (c : Vm.Program.construct_info) =
     ttotal = p.ttotal;
     instances = p.instances;
     violations = Violation.summarize t ~cid:c.cid;
+    static_indep =
+      (match dep with
+      | Some d -> Static.Depend.construct_proven_independent d ~cid:c.cid
+      | None -> false);
   }
 
-let rank ?(min_instructions = 1) (t : Profile.t) =
+let rank ?dep ?(min_instructions = 1) (t : Profile.t) =
+  (* A profile that carries verdicts came from a run with the static
+     layer on; recompute the analysis (cheap, deterministic) unless the
+     caller shares one. A verdict-less profile (trace_locals, old v1
+     file) ranks without the static column rather than claiming
+     independence the run never established. *)
+  let dep =
+    match dep with
+    | Some _ -> dep
+    | None ->
+        if t.Profile.static_verdicts <> None then
+          Some (Static.Depend.analyze t.prog)
+        else None
+  in
   Array.to_list t.prog.constructs
-  |> List.map (entry_of t)
+  |> List.map (entry_of t dep)
   |> List.filter (fun e -> e.instances > 0 && e.ttotal >= min_instructions)
   |> List.sort (fun a b -> compare b.ttotal a.ttotal)
 
@@ -63,8 +81,9 @@ let remove_with_singletons (t : Profile.t) entries ~cid =
   List.filter (fun e -> not (Hashtbl.mem removed e.cid)) entries
 
 let pp_entry ppf e =
-  Format.fprintf ppf "%s Tdur=%d, inst=%d (RAW viol %d/%d, WAW %d/%d, WAR %d/%d)"
+  Format.fprintf ppf "%s Tdur=%d, inst=%d (RAW viol %d/%d, WAW %d/%d, WAR %d/%d)%s"
     e.name e.ttotal e.instances e.violations.Violation.raw_violating
     e.violations.Violation.raw_total e.violations.Violation.waw_violating
     e.violations.Violation.waw_total e.violations.Violation.war_violating
     e.violations.Violation.war_total
+    (if e.static_indep then " [statically independent]" else "")

@@ -13,12 +13,20 @@ type entry = {
   ttotal : int;
   instances : int;
   violations : Violation.summary;
+  static_indep : bool;
+      (** the static analysis proves every memory event in the
+          construct's body (and everything it calls) unable to produce a
+          loop-carried dependence — independence holds on {e all} inputs,
+          not just the profiled one ({!Static.Depend.construct_proven_independent}) *)
 }
 
-val rank : ?min_instructions:int -> Profile.t -> entry list
+val rank : ?dep:Static.Depend.t -> ?min_instructions:int -> Profile.t -> entry list
 (** All executed constructs, descending by [ttotal].
     [min_instructions] (default 1) drops never-executed or trivial
-    constructs. *)
+    constructs. [dep] shares an existing analysis for the
+    [static_indep] column; omitted, it is recomputed when the profile
+    carries static verdicts, and the column is all-[false] when it does
+    not (the run never established any static facts). *)
 
 val remove_with_singletons : Profile.t -> entry list -> cid:int -> entry list
 (** Fig. 6(b)'s operation: once construct [C] is chosen for

@@ -15,7 +15,23 @@ let conflict_names (t : Profile.t) (s : Profile.edge_stats) =
   in
   match names with [] -> "" | l -> "  on " ^ String.concat ", " l
 
+(* The static-verdict column. A profile produced with the static layer
+   on (any default-mode run) stores one verdict per edge; render it so a
+   reader can tell [must-dep] edges (real, provable) from [may-dep] ones
+   (where only the dynamic distance is evidence). [Must_independent]
+   never appears on a recorded edge — the sanitizer fails first. *)
+let verdict_of_key (t : Profile.t) =
+  match t.Profile.static_verdicts with
+  | None -> fun _ -> None
+  | Some l ->
+      let tbl = Hashtbl.create (List.length l) in
+      List.iter (fun (key, v) -> Hashtbl.replace tbl key v) l;
+      fun (k : Profile.edge_key) ->
+        Hashtbl.find_opt tbl
+          (Profile.Key.pack ~head_pc:k.head_pc ~tail_pc:k.tail_pc k.kind)
+
 let render_edges buf (t : Profile.t) p ~max_edges ~kinds =
+  let verdict_of = verdict_of_key t in
   let edges =
     Profile.edges_sorted p
     |> List.filter (fun ((k : Profile.edge_key), _) -> List.mem k.kind kinds)
@@ -24,11 +40,15 @@ let render_edges buf (t : Profile.t) p ~max_edges ~kinds =
   List.iter
     (fun ((k : Profile.edge_key), (s : Profile.edge_stats)) ->
       Buffer.add_string buf
-        (Printf.sprintf "     %s: line %d -> line %d  Tdep=%d%s%s\n"
+        (Printf.sprintf "     %s: line %d -> line %d  Tdep=%d%s%s%s\n"
            (Shadow.Dependence.kind_to_string k.kind)
            (line_of_pc t k.head_pc) (line_of_pc t k.tail_pc) s.min_tdep
            (if Violation.is_violating p s then "  *" else "")
-           (conflict_names t s)))
+           (conflict_names t s)
+           (match verdict_of k with
+           | None -> ""
+           | Some v ->
+               Printf.sprintf "  [%s]" (Static.Depend.verdict_to_string v))))
     shown;
   let hidden = List.length edges - List.length shown in
   if hidden > 0 then

@@ -3,7 +3,13 @@
     Each ranked construct prints as
     ["N. Method flush_block  Tdur=643408, inst=2"] followed by its
     dependence edges as ["RAW: line 28 -> line 10  Tdep=3  *"], ascending
-    by distance, with [*] marking edges that fail [Tdep > Tdur]. *)
+    by distance, with [*] marking edges that fail [Tdep > Tdur].
+
+    When the profile carries static verdicts (any default-mode run —
+    see {!Profiler.run}), every edge line ends with its
+    {!Static.Depend.verdict} as a [  [must-dep]] / [  [may-dep]] column,
+    so a reader can separate provable dependences from dynamic-only
+    evidence. *)
 
 val render :
   ?top:int ->

@@ -1,0 +1,97 @@
+type issue = { cid : int; key : Profile.edge_key; reason : string }
+
+let pp_issue ppf { cid; key; reason } =
+  Format.fprintf ppf "construct %d: %d -> %d %s: %s" cid key.Profile.head_pc
+    key.Profile.tail_pc
+    (match key.Profile.kind with
+    | Shadow.Dependence.Raw -> "RAW"
+    | Shadow.Dependence.War -> "WAR"
+    | Shadow.Dependence.Waw -> "WAW")
+    reason
+
+let check ?dep (profile : Profile.t) =
+  let prog = profile.Profile.prog in
+  let dep = match dep with Some d -> d | None -> Static.Depend.analyze prog in
+  let issues = ref [] in
+  let add cid key reason = issues := { cid; key; reason } :: !issues in
+  (* Recorded edges vs the analysis. *)
+  Array.iter
+    (fun (cp : Profile.construct_profile) ->
+      Profile.iter_edges cp (fun (k : Profile.edge_key) _ ->
+          (match
+             Static.Depend.verdict dep ~kind:k.kind ~head_pc:k.head_pc
+               ~tail_pc:k.tail_pc
+           with
+          | Static.Depend.Must_independent ->
+              add cp.Profile.cid k
+                (Printf.sprintf "statically impossible edge: %s"
+                   (Static.Depend.explain dep ~kind:k.kind ~head_pc:k.head_pc
+                      ~tail_pc:k.tail_pc))
+          | Static.Depend.May_dependent | Static.Depend.Must_dependent -> ());
+          match Static.Depend.frame_owner dep ~head_pc:k.head_pc ~tail_pc:k.tail_pc with
+          | None -> ()
+          | Some fid ->
+              (* Both endpoints live in one activation frame of [fid]:
+                 frame release invalidates their shadow state, so the
+                 edge is confined to a single activation. Receivers must
+                 be completed constructs inside it — loops/conditionals
+                 of [fid]. The activation's own CProc (and everything
+                 outer) is still active when the tail executes, so it
+                 can never legitimately receive such an edge. *)
+              let c = prog.Vm.Program.constructs.(cp.Profile.cid) in
+              if c.Vm.Program.fid <> fid then
+                add cp.Profile.cid k
+                  (Printf.sprintf
+                     "own-frame edge of function %d attributed to a construct \
+                      of function %d"
+                     fid c.Vm.Program.fid)
+              else if c.Vm.Program.kind = Vm.Program.CProc then
+                add cp.Profile.cid k
+                  "own-frame edge attributed to the enclosing procedure \
+                   construct (its activation cannot have completed)"))
+    profile.Profile.by_cid;
+  (* Stored verdicts vs recomputed ones. *)
+  (match profile.Profile.static_verdicts with
+  | None -> ()
+  | Some stored ->
+      let tbl = Hashtbl.create (List.length stored) in
+      List.iter (fun (key, v) -> Hashtbl.replace tbl key v) stored;
+      let recorded = Hashtbl.create 64 in
+      Array.iter
+        (fun (cp : Profile.construct_profile) ->
+          Profile.iter_edges cp (fun (k : Profile.edge_key) _ ->
+              let key = Profile.Key.pack ~head_pc:k.head_pc ~tail_pc:k.tail_pc k.kind in
+              if not (Hashtbl.mem recorded key) then begin
+                Hashtbl.add recorded key ();
+                match Hashtbl.find_opt tbl key with
+                | None -> add (-1) k "recorded edge has no stored verdict"
+                | Some v ->
+                    let v' =
+                      Static.Depend.verdict dep ~kind:k.kind ~head_pc:k.head_pc
+                        ~tail_pc:k.tail_pc
+                    in
+                    if v <> v' then
+                      add (-1) k
+                        (Printf.sprintf
+                           "stored verdict %s disagrees with analysis %s"
+                           (Static.Depend.verdict_to_string v)
+                           (Static.Depend.verdict_to_string v'))
+              end))
+        profile.Profile.by_cid;
+      List.iter
+        (fun (key, _) ->
+          if not (Hashtbl.mem recorded key) then
+            add (-1) (Profile.Key.unpack key)
+              "stored verdict for an edge the profile does not record")
+        stored);
+  List.sort
+    (fun a b ->
+      match compare a.cid b.cid with
+      | 0 ->
+          Profile.Key.compare
+            (Profile.Key.pack ~head_pc:a.key.Profile.head_pc
+               ~tail_pc:a.key.Profile.tail_pc a.key.Profile.kind)
+            (Profile.Key.pack ~head_pc:b.key.Profile.head_pc
+               ~tail_pc:b.key.Profile.tail_pc b.key.Profile.kind)
+      | c -> c)
+    !issues

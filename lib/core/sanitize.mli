@@ -1,0 +1,36 @@
+(** Dynamic-profile sanitizer: cross-check a profile against the static
+    dependence analysis.
+
+    The profiler is a complex dynamic system (shadow memory, index tree,
+    attribution walk, two engines, sharded merges, a file format); a bug
+    that invents, drops or misattributes edges is otherwise invisible —
+    the output is just numbers. The static layer gives an independent
+    oracle to check against: a dynamic edge the analysis proves
+    impossible, an own-frame edge attributed outside its activation, or
+    a stored verdict that no longer matches the analysis each indicate a
+    profiler (or file) bug, never a property of the program under test.
+
+    [alchemist check] runs this over every registry workload in CI. *)
+
+type issue = {
+  cid : int;  (** construct the offending edge is recorded under; [-1]
+                  for issues about the stored verdict list itself *)
+  key : Profile.edge_key;
+  reason : string;
+}
+
+val check : ?dep:Static.Depend.t -> Profile.t -> issue list
+(** All discrepancies, deterministically ordered (by cid, then packed
+    key). Empty = the profile is consistent with the static analysis.
+    [dep] shares an existing analysis of the same program; omitted, it
+    is recomputed from [profile.prog]. Checks:
+
+    - no recorded edge is classified {!Static.Depend.Must_independent};
+    - an edge whose endpoints both provably address the current
+      activation frame of a function [f] is only attributed to loop or
+      conditional constructs of [f] itself (never to [f]'s procedure
+      construct or anything outside the activation);
+    - when the profile carries stored verdicts, they cover exactly the
+      recorded edges and agree with the recomputed classification. *)
+
+val pp_issue : Format.formatter -> issue -> unit

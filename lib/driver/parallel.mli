@@ -33,6 +33,7 @@ val profile_programs :
   ?engine:Vm.Machine.engine ->
   ?fuel:int ->
   ?trace_locals:bool ->
+  ?static_prune:bool ->
   ?obs:Obs.Registry.t ->
   Vm.Program.t list ->
   Alchemist.Profile.t
@@ -45,7 +46,9 @@ val profile_programs :
     around the merge fold and a ["driver.shards"] counter into it (shard
     telemetry itself stays per-run; see {!profile_registry}).
     [engine] selects the VM engine per shard (default
-    threaded; profiles are engine-independent).
+    threaded; profiles are engine-independent). [static_prune] is passed
+    through to {!Alchemist.Profiler.run} (default on; profiles are
+    byte-identical either way).
     @raise Invalid_argument on the empty list or on programs with
     differing code. *)
 
@@ -53,6 +56,7 @@ val profile_registry :
   ?jobs:int ->
   ?engine:Vm.Machine.engine ->
   ?fuel:int ->
+  ?static_prune:bool ->
   ?scale_of:(Workloads.Workload.t -> int) ->
   unit ->
   (Workloads.Workload.t * Alchemist.Profiler.result) list

@@ -2,6 +2,13 @@ exception Error of string * Srcloc.t
 
 let error loc fmt = Format.kasprintf (fun msg -> raise (Error (msg, loc))) fmt
 
+type warning = { wmsg : string; wloc : Srcloc.t }
+
+let warning wloc fmt = Format.kasprintf (fun wmsg -> { wmsg; wloc }) fmt
+
+let pp_warning ppf w =
+  Format.fprintf ppf "%a: warning: %s" Srcloc.pp w.wloc w.wmsg
+
 let wrap f =
   match f () with
   | v -> Ok v

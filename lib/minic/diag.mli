@@ -9,3 +9,14 @@ val error : Srcloc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 val wrap : (unit -> 'a) -> ('a, string) result
 (** Runs a frontend phase, converting {!Error} into [Error msg] where [msg]
     includes the source location. *)
+
+type warning = { wmsg : string; wloc : Srcloc.t }
+(** A non-fatal diagnostic (see {!Lint}): the program compiles and runs,
+    but something about it deserves the user's attention. *)
+
+val warning : Srcloc.t -> ('a, Format.formatter, unit, warning) format4 -> 'a
+(** [warning loc fmt ...] builds a {!warning} with a formatted message. *)
+
+val pp_warning : Format.formatter -> warning -> unit
+(** Renders as ["file:line:col: warning: msg"] (matches the {!Error}
+    rendering of {!wrap}, with a [warning:] marker). *)

@@ -1,0 +1,194 @@
+type kind = Global | Local | Param
+
+type info = {
+  name : string;
+  loc : Srcloc.t;
+  kind : kind;
+  mutable read : bool;
+  mutable written : bool;
+}
+
+(* Scoped symbol table: innermost scope first, lexical shadowing as in
+   the compiler. Resolution failure is not an error here — the lint may
+   run on programs the type checker will reject, and a lint must never
+   fail where the compiler would have produced a better message. *)
+let resolve scopes name =
+  List.find_map (List.find_opt (fun i -> i.name = name)) scopes
+
+let mark_read scopes name =
+  Option.iter (fun i -> i.read <- true) (resolve scopes name)
+
+let mark_written scopes name =
+  Option.iter (fun i -> i.written <- true) (resolve scopes name)
+
+let rec expr scopes (e : Ast.expr) =
+  match e.edesc with
+  | IntLit _ -> ()
+  | Var x -> mark_read scopes x
+  | Index (a, i) ->
+      mark_read scopes a;
+      expr scopes i
+  | Unop (_, e) -> expr scopes e
+  | Binop (_, a, b) ->
+      expr scopes a;
+      expr scopes b
+  | Call (_, args) ->
+      (* An array argument is passed by reference: the callee may read
+         or write through it, so a bare [Var] in an argument list counts
+         as both. The lint has no type information to tell arrays from
+         scalars here; the conservative reading avoids false "dead
+         store" reports (at the cost of missing some on scalars passed
+         to calls). *)
+      List.iter
+        (fun (a : Ast.expr) ->
+          (match a.Ast.edesc with Var x -> mark_written scopes x | _ -> ());
+          expr scopes a)
+        args
+
+let lvalue_write scopes = function
+  | Ast.LVar (x, _) -> mark_written scopes x
+  | Ast.LIndex (a, i, _) ->
+      (* An indexed write through a parameter lands in the caller's
+         array (arrays are passed by reference), so it is a real use —
+         unlike reassigning a scalar parameter, which stays invisible. *)
+      Option.iter
+        (fun info ->
+          info.written <- true;
+          if info.kind = Param then info.read <- true)
+        (resolve scopes a);
+      expr scopes i
+
+let lvalue_read scopes = function
+  | Ast.LVar (x, _) -> mark_read scopes x
+  | Ast.LIndex (a, i, _) ->
+      mark_read scopes a;
+      expr scopes i
+
+let rec stmt scopes acc (s : Ast.stmt) =
+  match s.sdesc with
+  | DeclScalar (x, init) ->
+      Option.iter (expr scopes) init;
+      let i =
+        {
+          name = x;
+          loc = s.sloc;
+          kind = Local;
+          read = false;
+          written = init <> None;
+        }
+      in
+      acc := i :: !acc;
+      (match scopes with
+      | top :: rest -> (i :: top) :: rest
+      | [] -> [ [ i ] ])
+  | DeclArray (x, _) ->
+      let i =
+        { name = x; loc = s.sloc; kind = Local; read = false; written = false }
+      in
+      acc := i :: !acc;
+      (match scopes with
+      | top :: rest -> (i :: top) :: rest
+      | [] -> [ [ i ] ])
+  | Assign (lv, e) ->
+      expr scopes e;
+      lvalue_write scopes lv;
+      scopes
+  | OpAssign (_, lv, e) ->
+      (* [x += e] reads the old value and writes the new one. *)
+      expr scopes e;
+      lvalue_read scopes lv;
+      lvalue_write scopes lv;
+      scopes
+  | If (c, t, f) ->
+      expr scopes c;
+      ignore (stmt ([] :: scopes) acc t);
+      Option.iter (fun f -> ignore (stmt ([] :: scopes) acc f)) f;
+      scopes
+  | While (c, b) ->
+      expr scopes c;
+      ignore (stmt ([] :: scopes) acc b);
+      scopes
+  | DoWhile (b, c) ->
+      ignore (stmt ([] :: scopes) acc b);
+      expr scopes c;
+      scopes
+  | For (init, cond, update, body) ->
+      (* The induction variable declared in [init] scopes over the whole
+         statement, so thread the extended scope through all four parts. *)
+      let inner = [] :: scopes in
+      let inner = match init with Some s -> stmt inner acc s | None -> inner in
+      Option.iter (expr inner) cond;
+      ignore (stmt ([] :: inner) acc body);
+      (match update with Some s -> ignore (stmt inner acc s) | None -> ());
+      scopes
+  | Break | Continue -> scopes
+  | Return e ->
+      Option.iter (expr scopes) e;
+      scopes
+  | ExprStmt e | Print e ->
+      expr scopes e;
+      scopes
+  | Block body ->
+      ignore (List.fold_left (fun sc s -> stmt sc acc s) ([] :: scopes) body);
+      scopes
+
+let program (p : Ast.program) =
+  let acc = ref [] in
+  let globals =
+    List.map
+      (fun g ->
+        let name, loc =
+          match g with
+          | Ast.GScalar (n, _, loc) | Ast.GArray (n, _, loc) -> (n, loc)
+        in
+        let i = { name; loc; kind = Global; read = false; written = false } in
+        acc := i :: !acc;
+        i)
+      p.globals
+  in
+  List.iter
+    (fun (f : Ast.func) ->
+      let params =
+        List.map
+          (fun prm ->
+            let i =
+              {
+                name = Ast.param_name prm;
+                loc = f.floc;
+                kind = Param;
+                read = false;
+                written = false;
+              }
+            in
+            acc := i :: !acc;
+            i)
+          f.fparams
+      in
+      ignore
+        (List.fold_left
+           (fun sc s -> stmt sc acc s)
+           [ []; params; globals ] f.fbody))
+    p.funcs;
+  List.rev !acc
+  |> List.filter_map (fun i ->
+         match i.kind with
+         | Param ->
+             (* A parameter is initialized by every call, so the only
+                interesting fact is that the callee ignores it. *)
+             if not i.read then
+               Some (Diag.warning i.loc "unused parameter '%s'" i.name)
+             else None
+         | Local | Global ->
+             let what =
+               match i.kind with Local -> "variable" | _ -> "global"
+             in
+             if (not i.read) && not i.written then
+               Some (Diag.warning i.loc "unused %s '%s'" what i.name)
+             else if not i.read then
+               Some
+                 (Diag.warning i.loc
+                    "%s '%s' is assigned but never read (dead stores)" what
+                    i.name)
+             else None)
+  |> List.sort (fun (a : Diag.warning) b ->
+         match compare a.wloc b.wloc with 0 -> compare a.wmsg b.wmsg | c -> c)

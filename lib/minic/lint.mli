@@ -1,0 +1,14 @@
+(** Frontend lints: non-fatal diagnostics over the checked AST.
+
+    Two lints, both about values that never flow anywhere:
+    - {e unused}: a global, local or parameter that is never referenced;
+    - {e dead store}: a variable that is assigned (counting declaration
+      initializers) but never read — every store to it is wasted work,
+      and under profiling each one still fires a shadow-memory event.
+
+    Arrays count as read/written through any element. Passing an array
+    by reference counts as both (the callee may do either). *)
+
+val program : Ast.program -> Diag.warning list
+(** All warnings, ordered by source location (then message) — the order
+    is deterministic for a given program. *)

@@ -1,0 +1,60 @@
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Make (L : LATTICE) = struct
+  type facts = { input : L.t array; output : L.t array }
+
+  let solve ~direction ~(cfg : Cfa.Cfg.t) ~init ~transfer =
+    let blocks = cfg.Cfa.Cfg.blocks in
+    let n = Array.length blocks in
+    let flow_preds b =
+      match direction with
+      | Forward -> blocks.(b).Cfa.Cfg.preds
+      | Backward -> blocks.(b).Cfa.Cfg.succs
+    in
+    let flow_succs b =
+      match direction with
+      | Forward -> blocks.(b).Cfa.Cfg.succs
+      | Backward -> blocks.(b).Cfa.Cfg.preds
+    in
+    let input = Array.init n (fun b -> init blocks.(b)) in
+    let output = Array.init n (fun b -> transfer blocks.(b) input.(b)) in
+    (* FIFO worklist; [queued] keeps each block at most once in the
+       queue, so the ring never outgrows the block count. *)
+    let queued = Array.make n true in
+    let q = Queue.create () in
+    (* Seed in bid order: bids follow pc order, which approximates
+       reverse post-order for forward problems and keeps the number of
+       revisits low. *)
+    for b = 0 to n - 1 do
+      Queue.add b q
+    done;
+    while not (Queue.is_empty q) do
+      let b = Queue.pop q in
+      queued.(b) <- false;
+      let inb =
+        List.fold_left
+          (fun acc p -> L.join acc output.(p))
+          (init blocks.(b)) (flow_preds b)
+      in
+      input.(b) <- inb;
+      let outb = transfer blocks.(b) inb in
+      if not (L.equal outb output.(b)) then begin
+        output.(b) <- outb;
+        List.iter
+          (fun s ->
+            if not queued.(s) then begin
+              queued.(s) <- true;
+              Queue.add s q
+            end)
+          (flow_succs b)
+      end
+    done;
+    { input; output }
+end

@@ -1,0 +1,44 @@
+(** Generic worklist dataflow solver over {!Cfa.Cfg}.
+
+    A client supplies a join-semilattice of facts and a per-block
+    transfer function; the solver iterates to the least fixpoint with a
+    FIFO worklist. The same machinery runs forward problems (reaching
+    definitions, the abstract-stack points-to interpretation) and
+    backward ones (liveness-style analyses): [Backward] simply swaps the
+    roles of predecessors and successors.
+
+    Fact-flow convention: for every block [b],
+
+    [input b = join (init b) (join over flow-predecessors p of output p)]
+
+    [output b = transfer b (input b)]
+
+    where "flow-predecessor" means CFG predecessor in [Forward] mode and
+    CFG successor in [Backward] mode. [init] supplies the boundary fact
+    (typically bottom everywhere except the entry/exit block). *)
+
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Make (L : LATTICE) : sig
+  type facts = {
+    input : L.t array;  (** fixpoint fact at block entry (exit if backward) *)
+    output : L.t array;  (** fact after the block's transfer function *)
+  }
+  (** Both arrays are indexed by block id. *)
+
+  val solve :
+    direction:direction ->
+    cfg:Cfa.Cfg.t ->
+    init:(Cfa.Cfg.block -> L.t) ->
+    transfer:(Cfa.Cfg.block -> L.t -> L.t) ->
+    facts
+  (** Least fixpoint. [transfer] must be monotone and [join] must be a
+      semilattice join, or the worklist may not terminate. *)
+end

@@ -1,0 +1,83 @@
+(** Loop-carried dependence classifier and instrumentation-pruning
+    oracle.
+
+    Built on {!Points_to} (which regions can each memory-event pc
+    touch?) and {!Reaching_defs} (which writes must reach which reads?),
+    this module answers two questions:
+
+    - {!verdict}: for a [(head_pc, tail_pc, kind)] dependence edge, is
+      it {!Must_independent} (cannot occur in any execution),
+      {!May_dependent} (cannot be refuted), or {!Must_dependent}
+      (occurs in every execution that reaches the tail)? The profile
+      sanitizer fails on any dynamic edge classified [Must_independent];
+      reports surface all three.
+    - {!prune_mask}: which event pcs can skip their shadow-memory hooks
+      {e without changing a single profile byte}? A pc is prunable only
+      if it can participate in no edge {e and} skipping its shadow
+      update cannot corrupt the attribution of anyone else's edges (see
+      the per-condition comments in the implementation — the write case
+      is strictly harder than the read case).
+
+    Scope and soundness stance: verdicts model the profiler's default
+    event set ([trace_locals = false]); [Must_independent] never rests
+    on intraprocedural reachability (globals persist across activations,
+    so CFG order refutes nothing), only on direction, region
+    disjointness, or a pruned endpoint; [Must_dependent] is claimed only
+    for exact static global cells within one activation of the enclosing
+    function. *)
+
+type verdict = Must_independent | May_dependent | Must_dependent
+
+val verdict_to_string : verdict -> string
+(** ["must-indep"], ["may-dep"], ["must-dep"] — the tags stored in
+    version-2 profile files. *)
+
+val verdict_of_string : string -> verdict option
+
+type t
+
+val analyze : ?analysis:Cfa.Analysis.t -> Vm.Program.t -> t
+(** [analysis] shares an already-computed CFA result (the profiler has
+    one); omitted, it is recomputed. *)
+
+val points : t -> Points_to.t
+val degraded : t -> bool
+
+val verdict :
+  t -> kind:Shadow.Dependence.kind -> head_pc:int -> tail_pc:int -> verdict
+
+val explain :
+  t -> kind:Shadow.Dependence.kind -> head_pc:int -> tail_pc:int -> string
+(** Human-readable justification of {!verdict} for the same edge
+    (sanitizer failure messages, report footnotes). *)
+
+val prune_mask : t -> bool array
+(** Indexed by pc; [true] exactly at event pcs whose hooks may be
+    skipped. The array is shared, not copied — treat as read-only. *)
+
+val pruned_count : t -> int
+
+val event_count : t -> int
+(** Memory-event pcs in live code (denominator for the pruning rate). *)
+
+val called_once : t -> int -> bool
+(** The function body executes at most once per program run. *)
+
+val live : t -> int -> bool
+(** The function is reachable from [main] through [Call] instructions in
+    reachable functions. *)
+
+val construct_proven_independent : t -> cid:int -> bool
+(** Every event pc that could head an edge attributed to this construct
+    (its body span plus the bodies of all transitively callable
+    functions) is pruned — so the construct provably receives no
+    dependence edges at all, the strongest "spawnable" evidence the
+    static layer can give. *)
+
+val frame_owner : t -> head_pc:int -> tail_pc:int -> int option
+(** [Some fid] when both endpoints provably address the {e current}
+    activation frame of [fid]. Such an edge is confined to one
+    activation (frame release invalidates shadow state), so it can only
+    be attributed to completed constructs {e inside} that activation:
+    loops and conditionals of [fid], never a [CProc] — the sanitizer's
+    frame-ownership check. *)

@@ -1,0 +1,81 @@
+module Iset = Set.Make (Int)
+
+type mode = May | Must
+
+(* Both modes use the same carrier: [None] is the fact of a block not
+   yet proven reachable, and is the identity of [join] in both modes —
+   what differs is only how two reachable facts combine (union vs
+   intersection). Initializing every non-entry boundary to [None] makes
+   the Must problem start from "top" exactly on the reachable subgraph,
+   without a universe set. *)
+module L = struct
+  type t = Iset.t option
+
+  let equal a b =
+    match (a, b) with
+    | None, None -> true
+    | Some x, Some y -> Iset.equal x y
+    | _ -> false
+end
+
+type t = {
+  entry : int;  (** first pc of the function *)
+  before : Iset.t option array;  (** indexed by [pc - entry] *)
+}
+
+let analyze ~mode ~(cfg : Cfa.Cfg.t) ~gen ~kills =
+  let join a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some x, Some y ->
+        Some (match mode with May -> Iset.union x y | Must -> Iset.inter x y)
+  in
+  let module Solver = Dataflow.Make (struct
+    include L
+
+    let join = join
+  end) in
+  let step pc s =
+    let s = Iset.filter (fun d -> d = pc || not (kills ~pc ~def:d)) s in
+    if gen pc then Iset.add pc (Iset.remove pc s) else Iset.remove pc s
+  in
+  (* A generating pc kills its own previous incarnation (remove/add keep
+     the set canonical either way); a non-generating pc never carries
+     itself. *)
+  let transfer (b : Cfa.Cfg.block) = function
+    | None -> None
+    | Some s ->
+        let s = ref s in
+        for pc = b.first to b.last do
+          s := step pc !s
+        done;
+        Some !s
+  in
+  let init (b : Cfa.Cfg.block) =
+    if b.bid = cfg.entry_bid then Some Iset.empty else None
+  in
+  let facts = Solver.solve ~direction:Dataflow.Forward ~cfg ~init ~transfer in
+  let entry = cfg.func.Vm.Program.entry in
+  let before = Array.make (cfg.func.Vm.Program.code_end - entry) None in
+  Array.iter
+    (fun (b : Cfa.Cfg.block) ->
+      match facts.Solver.input.(b.bid) with
+      | None -> ()
+      | Some s ->
+          let s = ref s in
+          for pc = b.first to b.last do
+            before.(pc - entry) <- Some !s;
+            s := step pc !s
+          done)
+    cfg.blocks;
+  { entry; before }
+
+let before t pc =
+  match t.before.(pc - t.entry) with
+  | None -> []
+  | Some s -> Iset.elements s
+
+let reaches t ~def ~use =
+  match t.before.(use - t.entry) with
+  | None -> false
+  | Some s -> Iset.mem def s

@@ -1,0 +1,41 @@
+(** Reaching definitions over one function's CFG.
+
+    Parameterized by the client's notion of "definition" and "kill":
+    [gen pc] says whether the instruction at [pc] is a definition of
+    interest, [kills ~pc ~def] whether executing [pc] clobbers the value
+    produced by the definition at [def] (the dependence classifier feeds
+    may-alias facts in here, including the transitive write effects of
+    [Call] sites).
+
+    Two modes share the one solver:
+
+    - [May]: the classic union problem — a definition reaches a use if
+      {e some} path carries it there unkilled.
+    - [Must]: the intersection ("available definitions") problem — the
+      definition reaches the use along {e every} path from the function
+      entry. This is the mode that licenses [Must_dependent] verdicts:
+      if a write must-reach a read of the same address, the dependence
+      occurs on every execution that reaches the read. *)
+
+type mode = May | Must
+
+type t
+
+val analyze :
+  mode:mode ->
+  cfg:Cfa.Cfg.t ->
+  gen:(int -> bool) ->
+  kills:(pc:int -> def:int -> bool) ->
+  t
+(** [kills] is never asked about a pc's own definition site: a
+    generating pc first kills, then generates, so [kills ~pc:d ~def:d]
+    is ignored. *)
+
+val before : t -> int -> int list
+(** Definition pcs reaching the program point just before [pc], sorted
+    ascending. Empty for a pc the solver proved unreachable. *)
+
+val reaches : t -> def:int -> use:int -> bool
+(** [May]: the definition at [def] may reach the point before [use].
+    [Must]: it does so on every path; [false] when [use] is unreachable
+    (the vacuous case never supports a verdict). *)

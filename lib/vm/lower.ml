@@ -180,9 +180,16 @@ let fusions (prog : Program.t) =
     prog.Program.code;
   List.rev !acc
 
-let exec ~hooked ?(trace_locals = true) ?(fuse = true) (hooks : Hooks.t) ?fuel
-    ?max_depth (prog : Program.t) =
+let exec ~hooked ?(trace_locals = true) ?prune ?(fuse = true)
+    (hooks : Hooks.t) ?fuel ?max_depth (prog : Program.t) =
   let hook_locals = hooked && trace_locals in
+  (* The static prune mask models the default event set only — under the
+     -O0 local-tracing model it is dropped (see Machine.run_hooked). It
+     is resolved here, at lowering time: a pruned pc's closure captures
+     a no-op in place of the memory hook, so the hot loop pays nothing. *)
+  let prune = if hook_locals then None else prune in
+  let pruned p = match prune with Some m -> m.(p) | None -> false in
+  let noop_mem ~pc:_ ~addr:_ = () in
   (* Fusion is applied in the two shipping configurations — unhooked, and
      hooked without local tracing (the profiler's mode). Under
      [trace_locals] (the -O0 stack-traffic model) every LoadLocal /
@@ -283,6 +290,7 @@ let exec ~hooked ?(trace_locals = true) ?(fuse = true) (hooks : Hooks.t) ?fuel
           Bytes.unsafe_set st.mem_tag addr (Bytes.unsafe_get st.stack_tag i);
           nx
     | LoadGlobal addr ->
+        let on_read = if pruned p then noop_mem else on_read in
         if hooked then (fun () ->
           tick p;
           on_instr ~pc:p;
@@ -297,6 +305,7 @@ let exec ~hooked ?(trace_locals = true) ?(fuse = true) (hooks : Hooks.t) ?fuel
           push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
           nx
     | StoreGlobal addr ->
+        let on_write = if pruned p then noop_mem else on_write in
         if hooked then (fun () ->
           tick p;
           on_instr ~pc:p;
@@ -338,6 +347,7 @@ let exec ~hooked ?(trace_locals = true) ?(fuse = true) (hooks : Hooks.t) ?fuel
           push st (pack_ref (st.frame_base + off) len) tag_ref;
           nx
     | LoadIndex ->
+        let on_read = if pruned p then noop_mem else on_read in
         if hooked then (fun () ->
           tick p;
           on_instr ~pc:p;
@@ -364,6 +374,7 @@ let exec ~hooked ?(trace_locals = true) ?(fuse = true) (hooks : Hooks.t) ?fuel
           push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
           nx
     | StoreIndex ->
+        let on_write = if pruned p then noop_mem else on_write in
         if hooked then (fun () ->
           tick p;
           on_instr ~pc:p;
@@ -844,6 +855,7 @@ let exec ~hooked ?(trace_locals = true) ?(fuse = true) (hooks : Hooks.t) ?fuel
         (* For the local-array variant [base] is a frame offset; the
            absolute base is resolved against [frame_base] at run time. *)
         let local = match pt with P_refl_ll_ix _ -> true | _ -> false in
+        let on_read = if pruned (p + 2) then noop_mem else on_read in
         let nx = p + 3 in
         if hooked then (fun () ->
           if not (fits ()) then u ()
@@ -1016,6 +1028,7 @@ let exec ~hooked ?(trace_locals = true) ?(fuse = true) (hooks : Hooks.t) ?fuel
             nx
           end
     | P_b_ix op ->
+        let on_read = if pruned (p + 1) then noop_mem else on_read in
         let nx = p + 2 in
         if hooked then (fun () ->
           if not (fits ()) then u ()

@@ -32,6 +32,7 @@ val fusions : Program.t -> fusion list
 val exec :
   hooked:bool ->
   ?trace_locals:bool ->
+  ?prune:bool array ->
   ?fuse:bool ->
   Hooks.t ->
   ?fuel:int ->
@@ -43,4 +44,9 @@ val exec :
     threaded dispatch alone. Fusion is also disabled automatically when
     locals are traced ([hooked && trace_locals]) — the -O0 model fires a
     memory event per local access, which defeats the fused bodies'
-    purpose; that configuration runs the plain threaded code. *)
+    purpose; that configuration runs the plain threaded code.
+
+    [prune] (see {!Machine.run_hooked}) is resolved at lowering time:
+    a pruned event pc gets a closure whose memory hook is a no-op —
+    fused windows included (their event hook fires at an interior pc,
+    which is the one consulted). Ignored when locals are traced. *)

@@ -32,9 +32,18 @@ let engine_of_string = function
    instruction, [hooked]/[trace_locals] tested at run time. Kept as the
    semantic baseline the closure-threaded engine ([Lower]) is
    differentially tested against — see test/test_engines.ml. *)
-let exec_switch ~hooked ?(trace_locals = true) (hooks : Hooks.t) ?fuel
+let exec_switch ~hooked ?(trace_locals = true) ?prune (hooks : Hooks.t) ?fuel
     ?max_depth (prog : Program.t) =
   let hook_locals = hooked && trace_locals in
+  (* Prune verdicts model the default event set only: under the -O0
+     local-tracing model, frame slots form edges the mask never
+     considered, so the mask is dropped rather than trusted. *)
+  let prune = if hook_locals then None else prune in
+  let pruned =
+    match prune with
+    | Some m -> fun p -> Array.unsafe_get m p
+    | None -> fun _ -> false
+  in
   let st = Vmstate.create ?max_depth prog in
   let code = prog.code in
   let funcs = prog.funcs in
@@ -67,13 +76,13 @@ let exec_switch ~hooked ?(trace_locals = true) (hooks : Hooks.t) ?fuel
             incr pc
         | LoadGlobal addr ->
             st.n_reads <- st.n_reads + 1;
-            if hooked then hooks.on_read ~pc:p ~addr;
+            if hooked && not (pruned p) then hooks.on_read ~pc:p ~addr;
             push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
             incr pc
         | StoreGlobal addr ->
             let i = pop_slot st p in
             st.n_writes <- st.n_writes + 1;
-            if hooked then hooks.on_write ~pc:p ~addr;
+            if hooked && not (pruned p) then hooks.on_write ~pc:p ~addr;
             st.mem.(addr) <- st.stack.(i);
             Bytes.unsafe_set st.mem_tag addr (Bytes.unsafe_get st.stack_tag i);
             incr pc
@@ -91,7 +100,7 @@ let exec_switch ~hooked ?(trace_locals = true) (hooks : Hooks.t) ?fuel
               trap st p "index %d out of bounds [0,%d)" idx len;
             let addr = base + idx in
             st.n_reads <- st.n_reads + 1;
-            if hooked then hooks.on_read ~pc:p ~addr;
+            if hooked && not (pruned p) then hooks.on_read ~pc:p ~addr;
             push st st.mem.(addr) (Bytes.unsafe_get st.mem_tag addr);
             incr pc
         | StoreIndex ->
@@ -105,7 +114,7 @@ let exec_switch ~hooked ?(trace_locals = true) (hooks : Hooks.t) ?fuel
               trap st p "index %d out of bounds [0,%d)" idx len;
             let addr = base + idx in
             st.n_writes <- st.n_writes + 1;
-            if hooked then hooks.on_write ~pc:p ~addr;
+            if hooked && not (pruned p) then hooks.on_write ~pc:p ~addr;
             st.mem.(addr) <- v;
             Bytes.unsafe_set st.mem_tag addr vtag;
             incr pc
@@ -200,14 +209,16 @@ let exec_switch ~hooked ?(trace_locals = true) (hooks : Hooks.t) ?fuel
   in
   Vmstate.finish st exit_value
 
-let exec ?(engine = Threaded) ~hooked ?trace_locals (hooks : Hooks.t) ?fuel
-    ?max_depth prog =
+let exec ?(engine = Threaded) ~hooked ?trace_locals ?prune (hooks : Hooks.t)
+    ?fuel ?max_depth prog =
   match engine with
-  | Switch -> exec_switch ~hooked ?trace_locals hooks ?fuel ?max_depth prog
-  | Threaded -> Lower.exec ~hooked ?trace_locals hooks ?fuel ?max_depth prog
+  | Switch ->
+      exec_switch ~hooked ?trace_locals ?prune hooks ?fuel ?max_depth prog
+  | Threaded ->
+      Lower.exec ~hooked ?trace_locals ?prune hooks ?fuel ?max_depth prog
 
 let run ?engine ?fuel ?max_depth prog =
   exec ?engine ~hooked:false Hooks.noop ?fuel ?max_depth prog
 
-let run_hooked ?engine ?trace_locals ?fuel ?max_depth hooks prog =
-  exec ?engine ~hooked:true ?trace_locals hooks ?fuel ?max_depth prog
+let run_hooked ?engine ?trace_locals ?prune ?fuel ?max_depth hooks prog =
+  exec ?engine ~hooked:true ?trace_locals ?prune hooks ?fuel ?max_depth prog

@@ -56,6 +56,7 @@ val run : ?engine:engine -> ?fuel:int -> ?max_depth:int -> Program.t -> result
 val run_hooked :
   ?engine:engine ->
   ?trace_locals:bool ->
+  ?prune:bool array ->
   ?fuel:int ->
   ?max_depth:int ->
   Hooks.t ->
@@ -71,4 +72,13 @@ val run_hooked :
     local, so an optimizing C compiler would keep them in registers — the
     binaries the paper profiled do not exhibit stack traffic for them.
     The profiler passes [false] to match that; pass [true] to model an
-    unoptimized (-O0) binary (see the ablation bench). *)
+    unoptimized (-O0) binary (see the ablation bench).
+
+    [prune] is a per-pc mask of memory-event pcs whose [on_read]/[on_write]
+    hooks are skipped (all other hooks and the VM metrics counters still
+    fire) — the static pruning oracle ({!Static.Depend.prune_mask})
+    guarantees the skipped events cannot change the resulting profile.
+    Both engines honor the mask identically: the switch engine tests it
+    per event, the threaded engine specializes it away at lowering time.
+    Ignored when locals are traced — the mask only models the default
+    event set. *)

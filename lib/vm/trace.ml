@@ -10,6 +10,7 @@ type t = {
   mutable len : int;
   mutable nevents : int;
   mutable res : Machine.result option;
+  locals : bool;  (* recorded with trace_locals? *)
 }
 
 let push t v =
@@ -36,7 +37,10 @@ let kind_of_code = function
   | _ -> Instr.BrSc
 
 let record ?trace_locals ?fuel prog =
-  let t = { buf = Array.make 65536 0; len = 0; nevents = 0; res = None } in
+  let locals = Option.value trace_locals ~default:true in
+  let t =
+    { buf = Array.make 65536 0; len = 0; nevents = 0; res = None; locals }
+  in
   let hooks =
     {
       Hooks.on_instr =
@@ -118,3 +122,4 @@ let replay t (hooks : Hooks.t) =
 let events t = t.nevents
 let words t = t.len
 let result t = Option.get t.res
+let traced_locals t = t.locals

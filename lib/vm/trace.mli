@@ -28,3 +28,8 @@ val words : t -> int
 
 val result : t -> Machine.result
 (** The traced execution's outcome. *)
+
+val traced_locals : t -> bool
+(** Whether the recording ran with [trace_locals] (the -O0 stack-traffic
+    model) — consumers that model only the default event set (the static
+    verdict layer) check this before trusting the replayed stream. *)

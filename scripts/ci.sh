@@ -28,3 +28,17 @@ dune exec --no-build -- alchemist profile workload:gzip-1.3.5:2 \
   --engine=switch --save "$tmpdir/switch.prof" > /dev/null
 cmp "$tmpdir/threaded.prof" "$tmpdir/switch.prof"
 echo "engine differential: profiles byte-identical"
+
+# Static checker over every registry workload: CFA validation
+# (Cfa.Analysis.validate — any discrepancy fails), prune-on/prune-off
+# byte-identity, profile round-trip, and the dynamic-profile sanitizer.
+dune exec --no-build -- alchemist check --all --test-scale
+
+# Pruning differential through the CLI: instrumentation pruning must not
+# change a single byte of the saved profile.
+dune exec --no-build -- alchemist profile workload:gzip-1.3.5:2 \
+  --save "$tmpdir/prune-on.prof" > /dev/null
+dune exec --no-build -- alchemist profile workload:gzip-1.3.5:2 \
+  --static-prune=false --save "$tmpdir/prune-off.prof" > /dev/null
+cmp "$tmpdir/prune-on.prof" "$tmpdir/prune-off.prof"
+echo "pruning differential: profiles byte-identical"

@@ -282,6 +282,104 @@ let test_ipdom_runtime_balance () =
     []
     (List.map (function `Pred p -> Printf.sprintf "pred@%d" p | `Func f -> Printf.sprintf "func%d" f) !stack)
 
+(* --- edge-case CFGs -------------------------------------------------------- *)
+
+let test_unreachable_block_after_break () =
+  (* The statements after the unconditional [break] form a block no path
+     reaches: the dominator computation must report it unreachable (not
+     dominated by the entry), and downstream analyses must not choke. *)
+  let prog, cfg =
+    cfg_of
+      {| int g;
+         int main() {
+           int s = 0;
+           while (s < 10) { break; g = 5; s = g; }
+           return s;
+         } |}
+      "main"
+  in
+  let dom = Cfa.Dominance.of_cfg cfg in
+  let dead_store =
+    Array.to_list
+      (Array.mapi (fun pc i -> (pc, i)) prog.Program.code)
+    |> List.find_map (fun (pc, i) ->
+           match i with Instr.StoreGlobal _ -> Some pc | _ -> None)
+    |> Option.get
+  in
+  let dead_bid = (Cfa.Cfg.block_at cfg dead_store).Cfa.Cfg.bid in
+  Alcotest.(check int) "no idom for the unreachable block" (-1)
+    dom.Cfa.Dominance.idom.(dead_bid);
+  Alcotest.(check bool) "entry does not dominate it" false
+    (Cfa.Dominance.dominates dom cfg.Cfa.Cfg.entry_bid dead_bid);
+  Alcotest.(check bool) "it still dominates itself" true
+    (Cfa.Dominance.dominates dom dead_bid dead_bid);
+  (* Loop analysis and the profiler-facing validation stay clean. *)
+  ignore (Cfa.Loops.analyze cfg dom);
+  Alcotest.(check (list string)) "validate clean" []
+    (Cfa.Analysis.validate prog (Cfa.Analysis.analyze prog))
+
+let test_loops_sharing_a_header_merge () =
+  (* [continue] adds a second back edge to the while header: two natural
+     loops with one header, which must merge into a single loop (body
+     depth 1, two back edges) rather than double-counting the nesting. *)
+  let prog, cfg =
+    cfg_of
+      {| int g;
+         int main() {
+           int s = 0;
+           while (s < 20) {
+             s = s + 1;
+             if (s > 2) { continue; }
+             g = g + s;
+           }
+           return g;
+         } |}
+      "main"
+  in
+  ignore prog;
+  let loops = Cfa.Loops.analyze cfg (Cfa.Dominance.of_cfg cfg) in
+  let with_two =
+    Array.to_list loops.Cfa.Loops.loops
+    |> List.filter (fun (l : Cfa.Loops.loop) ->
+           List.length l.Cfa.Loops.back_edges >= 2)
+  in
+  (match with_two with
+  | [ l ] ->
+      List.iter
+        (fun bid ->
+          Alcotest.(check int)
+            (Printf.sprintf "block %d depth" bid)
+            1
+            loops.Cfa.Loops.depth.(bid))
+        l.Cfa.Loops.body
+  | _ -> Alcotest.failf "expected one merged loop, got %d" (List.length with_two));
+  Alcotest.(check int) "single loop overall" 1
+    (Array.length loops.Cfa.Loops.loops)
+
+let test_ipdom_of_early_return_predicate_is_epilogue () =
+  (* When the then-arm returns, the only execution point that closes the
+     conditional on both paths is the function epilogue — rule (5) must
+     pop the construct there, so the ipdom falls back to the [Ret]. *)
+  let prog = compile "int main() { int x = 1; if (x) { return 2; } return 3; }" in
+  let f = Option.get (Program.find_func prog "main") in
+  let a = Cfa.Analysis.analyze prog in
+  let brif =
+    let found = ref (-1) in
+    Array.iteri
+      (fun pc i ->
+        match i with
+        | Instr.Br { kind = Instr.BrIf; _ } -> if !found < 0 then found := pc
+        | _ -> ())
+      prog.Program.code;
+    !found
+  in
+  Alcotest.(check bool) "program has the predicate" true (brif >= 0);
+  Alcotest.(check int) "ipdom is the epilogue"
+    f.Program.epilogue
+    a.Cfa.Analysis.ipdom_of_pc.(brif);
+  Alcotest.(check (list string)) "validate clean" []
+    (Cfa.Analysis.validate prog a)
+
 let suite =
   [
     ("cfg straightline", `Quick, test_cfg_straightline);
@@ -299,4 +397,7 @@ let suite =
     ("ipdom while is exit", `Quick, test_ipdom_while_is_exit);
     ("validate clean", `Quick, test_validate_clean);
     ("ipdom runtime balance", `Quick, test_ipdom_runtime_balance);
+    ("unreachable block", `Quick, test_unreachable_block_after_break);
+    ("loops sharing a header", `Quick, test_loops_sharing_a_header_merge);
+    ("early-return ipdom is epilogue", `Quick, test_ipdom_of_early_return_predicate_is_epilogue);
   ]

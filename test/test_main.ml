@@ -9,6 +9,7 @@ let () =
       ("fold", Test_fold.suite);
       ("trace", Test_trace.suite);
       ("cfa", Test_cfa.suite);
+      ("static", Test_static.suite);
       ("indexing", Test_indexing.suite);
       ("shadow", Test_shadow.suite);
       ("obs", Test_obs.suite);

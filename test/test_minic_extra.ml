@@ -172,6 +172,63 @@ let test_main_int_result () =
   check_exit "void main exits 0"
     "int g; void main() { g = 5; }" 0
 
+(* --- lints ---------------------------------------------------------- *)
+
+let lints src =
+  let p = parse_ok src in
+  Typecheck.check p;
+  List.map (fun (w : Minic.Diag.warning) -> w.wmsg) (Minic.Lint.program p)
+
+let contains_lint msgs needle =
+  List.exists (fun m -> Testutil.contains m needle) msgs
+
+let test_lint_fires () =
+  let msgs =
+    lints
+      {|int used_g;
+        int unused_g;
+        int dead_g;
+        int f(int x, int y) { dead_g = x; return x + used_g; }
+        int main() {
+          int u;
+          int d = 1;
+          d = 2;
+          return f(3, 4);
+        }|}
+  in
+  Alcotest.(check int) "warning count" 5 (List.length msgs);
+  Alcotest.(check bool) "unused global" true
+    (contains_lint msgs "unused global 'unused_g'");
+  Alcotest.(check bool) "dead-store global" true
+    (contains_lint msgs "'dead_g' is assigned but never read");
+  Alcotest.(check bool) "unused parameter" true
+    (contains_lint msgs "unused parameter 'y'");
+  Alcotest.(check bool) "unused local" true
+    (contains_lint msgs "unused variable 'u'");
+  Alcotest.(check bool) "dead-store local" true
+    (contains_lint msgs "'d' is assigned but never read")
+
+let test_lint_clean_and_byref () =
+  (* A clean program lints clean; passing an array by reference counts
+     as both a read and a write, so it is neither unused nor dead. *)
+  Alcotest.(check (list string)) "clean" []
+    (lints
+       {|int buf[4];
+         void fill(int a[]) { a[0] = 7; }
+         int main() { fill(buf); return buf[0]; }|});
+  (* Shadowing: the inner local is dead, the outer one is not. *)
+  let msgs =
+    lints
+      {|int main() {
+          int x = 1;
+          { int x = 2; x = 3; }
+          return x;
+        }|}
+  in
+  Alcotest.(check int) "one warning" 1 (List.length msgs);
+  Alcotest.(check bool) "inner x dead" true
+    (contains_lint msgs "'x' is assigned but never read")
+
 let suite =
   [
     ("adjacent operators", `Quick, test_adjacent_operators);
@@ -195,4 +252,6 @@ let suite =
     ("deep recursion ok", `Quick, test_deep_recursion_ok);
     ("print negative", `Quick, test_print_negative);
     ("void main exits 0", `Quick, test_main_int_result);
+    ("lints fire", `Quick, test_lint_fires);
+    ("lints stay quiet", `Quick, test_lint_clean_and_byref);
   ]

@@ -225,6 +225,100 @@ let test_inputs_extend_profile () =
     (merged.Profile.total_instructions
     = p0.Profile.total_instructions + p1.Profile.total_instructions)
 
+(* --- version-2 static-verdict lines ------------------------------- *)
+
+let has_verdict_line text =
+  List.exists
+    (String.starts_with ~prefix:"verdict ")
+    (String.split_on_char '\n' text)
+
+let test_v2_roundtrip () =
+  let prog, p = profile_of sample_src in
+  (* the default profiler attaches static verdicts *)
+  Alcotest.(check bool) "profile carries verdicts" true
+    (p.Profile.static_verdicts <> None);
+  let text = Pio.to_string p in
+  Alcotest.(check bool) "version-2 header" true
+    (String.starts_with ~prefix:"alchemist-profile 2\n" text);
+  Alcotest.(check bool) "has verdict lines" true (has_verdict_line text);
+  match Pio.read prog text with
+  | Error msg -> Alcotest.failf "read failed: %s" msg
+  | Ok p2 ->
+      Alcotest.(check string) "byte-identical reserialization" text
+        (Pio.to_string p2);
+      Alcotest.(check bool) "verdict list preserved" true
+        (p.Profile.static_verdicts = p2.Profile.static_verdicts)
+
+let test_v1_still_loads () =
+  let prog, p = profile_of sample_src in
+  (* A verdict-free profile serializes to the exact version-1 format. *)
+  p.Profile.static_verdicts <- None;
+  let text = Pio.to_string p in
+  Alcotest.(check bool) "version-1 header" true
+    (String.starts_with ~prefix:"alchemist-profile 1\n" text);
+  Alcotest.(check bool) "no verdict lines" false (has_verdict_line text);
+  match Pio.read prog text with
+  | Error msg -> Alcotest.failf "v1 read failed: %s" msg
+  | Ok p2 ->
+      Alcotest.(check bool) "no verdicts after load" true
+        (p2.Profile.static_verdicts = None);
+      Alcotest.(check bool) "payload equal" true (profiles_equal p p2)
+
+let test_v2_zero_verdicts () =
+  let prog, p = profile_of sample_src in
+  p.Profile.static_verdicts <- Some [];
+  let text = Pio.to_string p in
+  Alcotest.(check bool) "version-2 header" true
+    (String.starts_with ~prefix:"alchemist-profile 2\n" text);
+  match Pio.read prog text with
+  | Error msg -> Alcotest.failf "read failed: %s" msg
+  | Ok p2 ->
+      Alcotest.(check bool) "empty verdict list survives" true
+        (p2.Profile.static_verdicts = Some [])
+
+let test_verdict_malformed_matrix () =
+  let prog, p = profile_of sample_src in
+  let text = Pio.to_string p in
+  let expect_error ~label ~needle text =
+    match Pio.read prog text with
+    | Ok _ -> Alcotest.failf "%s: accepted" label
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %S mentions %S" label msg needle)
+          true
+          (Testutil.contains msg needle)
+  in
+  let with_extra extra = text ^ extra ^ "\n" in
+  let extra_line = List.length (String.split_on_char '\n' text) in
+  (* unknown verdict tag *)
+  expect_error ~label:"bad verdict tag" ~needle:"unknown static verdict"
+    (with_extra "verdict 3 5 RAW bogus");
+  (* unknown kind tag *)
+  expect_error ~label:"bad kind in verdict" ~needle:"RAR"
+    (with_extra "verdict 3 5 RAR must-indep");
+  (* negative pc *)
+  expect_error ~label:"negative pc" ~needle:"negative pc"
+    (with_extra "verdict -1 5 RAW must-indep");
+  (* wrong arity falls through to the malformed-line case *)
+  expect_error ~label:"verdict arity" ~needle:"malformed"
+    (with_extra "verdict 3 5 RAW");
+  (* duplicate verdict carries the offending line number *)
+  let first_verdict =
+    List.find
+      (String.starts_with ~prefix:"verdict ")
+      (String.split_on_char '\n' text)
+  in
+  expect_error ~label:"duplicate verdict" ~needle:"duplicate verdict"
+    (with_extra first_verdict);
+  expect_error ~label:"duplicate verdict line number"
+    ~needle:(Printf.sprintf "line %d" extra_line)
+    (with_extra first_verdict);
+  (* verdict line inside a version-1 body *)
+  p.Profile.static_verdicts <- None;
+  let v1 = Pio.to_string p in
+  expect_error ~label:"verdict in v1" ~needle:"version-1"
+    (v1 ^ first_verdict ^ "\n")
+
 let suite =
   [
     ("roundtrip", `Quick, test_roundtrip);
@@ -236,4 +330,8 @@ let suite =
     ("loaded profile usable", `Quick, test_loaded_profile_usable);
     ("merge after load", `Quick, test_merge_after_load);
     ("inputs extend the profile", `Quick, test_inputs_extend_profile);
+    ("v2 verdict roundtrip", `Quick, test_v2_roundtrip);
+    ("v1 files still load", `Quick, test_v1_still_loads);
+    ("v2 with zero verdicts", `Quick, test_v2_zero_verdicts);
+    ("verdict malformed matrix", `Quick, test_verdict_malformed_matrix);
   ]
