@@ -6,7 +6,7 @@
      dune exec bench/main.exe              -- run everything
      dune exec bench/main.exe -- table3 fig6 ...   -- run a subset
    Sections: fig2 fig3 fig4 fig6 table3 table4 table5 baseline explore micro
-   ablation perf static *)
+   ablation perf static distance *)
 
 module W = Workloads.Workload
 module Registry = Workloads.Registry
@@ -935,6 +935,77 @@ let static_bench () =
   close_out oc;
   print_endline "wrote BENCH_4.json"
 
+(* --- distance: dependence-distance engine ----------------------------------------- *)
+
+let distance_bench () =
+  header "Distance — static dependence-distance analysis across the registry";
+  let runs = 7 in
+  let best_of f =
+    let best = ref infinity and bv = ref None in
+    for _ = 1 to runs do
+      let t0 = Unix.gettimeofday () in
+      let v = f () in
+      let wall = Unix.gettimeofday () -. t0 in
+      if wall < !best then begin
+        best := wall;
+        bv := Some v
+      end
+    done;
+    (Option.get !bv, !best)
+  in
+  Printf.printf "\n%-14s %10s %9s %12s %12s %7s\n" "workload" "analysis"
+    "event-pcs" "pruned-base" "pruned-dist" "bounds";
+  let rows =
+    List.map
+      (fun (w : W.t) ->
+        let prog = W.compile w ~scale:w.W.test_scale in
+        (* Distance engine cost alone (induction + affine solve + query
+           tables), best of N; the two full analyses below measure the
+           prune coverage the distance facts add on top of the region
+           rules. *)
+        let _, dist_wall =
+          best_of (fun () ->
+              Static.Distance.analyze ~called_once:(fun _ -> false) prog)
+        in
+        let base = Static.Depend.analyze ~distance_promotion:false prog in
+        let full = Static.Depend.analyze prog in
+        let pruned_base = Static.Depend.pruned_count base in
+        let pruned_full = Static.Depend.pruned_count full in
+        let event_pcs = Static.Depend.event_count full in
+        (* Proven bounds actually persisted for this workload's profile
+           (the v3 distbound lines `alchemist check` cross-validates). *)
+        let r = Profiler.run ~fuel prog in
+        let bounds =
+          match r.Profiler.profile.Profile.static_distbounds with
+          | Some l -> List.length l
+          | None -> 0
+        in
+        Printf.printf "%-14s %9.4fs %9d %12d %12d %7d\n" w.W.name dist_wall
+          event_pcs pruned_base pruned_full bounds;
+        Printf.sprintf
+          {|    { "name": "%s", "distance_analysis_wall_s": %.4f,
+      "event_pcs": %d, "pruned_base": %d, "pruned_with_distance": %d,
+      "prune_delta": %d, "distance_bounds": %d }|}
+          w.W.name dist_wall event_pcs pruned_base pruned_full
+          (pruned_full - pruned_base) bounds)
+      Registry.all
+  in
+  let oc = open_out "BENCH_5.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "static dependence-distance engine",
+  "runs": %d,
+  "scale": "test",
+  "workloads": [
+%s
+  ]
+}
+|}
+    runs
+    (String.concat ",\n" rows);
+  close_out oc;
+  print_endline "wrote BENCH_5.json"
+
 (* --- main ------------------------------------------------------------------------ *)
 
 let sections =
@@ -952,6 +1023,7 @@ let sections =
     ("ablation", ablation);
     ("perf", perf);
     ("static", static_bench);
+    ("distance", distance_bench);
   ]
 
 let () =

@@ -550,8 +550,20 @@ let check_cmd =
             (Format.asprintf "%a" Alchemist.Sanitize.pp_issue i))
         (Alchemist.Sanitize.check ~dep p)
     in
+    (* How many recorded edges carry a proven distance lower bound (each
+       one a dynamic-vs-static cross-validation the sanitizer enforced). *)
+    let report_validated (p : Alchemist.Profile.t) =
+      match p.Alchemist.Profile.static_distbounds with
+      | Some ((_ :: _) as l) ->
+          Printf.printf "%s: %d edge(s) validated against static distance \
+                         bounds\n"
+            name (List.length l)
+      | _ -> ()
+    in
     (match saved with
-    | Some p -> sanitize "saved profile" p
+    | Some p ->
+        sanitize "saved profile" p;
+        report_validated p
     | None ->
         let on =
           (Alchemist.Profiler.run ~fuel ~static_prune:true prog)
@@ -570,7 +582,8 @@ let check_cmd =
         | Ok p2 ->
             if not (String.equal (Alchemist.Profile_io.to_string p2) s_on) then
               fail "round-trip re-serialization differs";
-            sanitize "profile" p2));
+            sanitize "profile" p2;
+            report_validated p2));
     if !problems = 0 then Printf.printf "%s: OK\n" name;
     !problems
   in

@@ -1,5 +1,22 @@
 type t = { ipdom_of_pc : int array; loop_depth_of_pc : int array }
 
+(* Blocks ending in a reachable [BrLoop] predicate are loop headers by
+   construction (the compiler emits exactly one per loop construct);
+   feeding them to [Loops.analyze] lets degenerate always-break loops —
+   whose back edge is unreachable, so no natural loop forms — still be
+   seen as (header-only) loops. *)
+let brloop_headers (prog : Vm.Program.t) (cfg : Cfg.t) (dom : Dominance.t) =
+  let reachable bid = bid = cfg.Cfg.entry_bid || dom.Dominance.idom.(bid) <> -1 in
+  Array.to_list cfg.blocks
+  |> List.filter_map (fun (b : Cfg.block) ->
+         match prog.code.(b.last) with
+         | Vm.Instr.Br { kind = Vm.Instr.BrLoop; _ } when reachable b.bid ->
+             Some b.bid
+         | _ -> None)
+
+let loops_of (prog : Vm.Program.t) (cfg : Cfg.t) (dom : Dominance.t) =
+  Loops.analyze ~extra_headers:(brloop_headers prog cfg dom) cfg dom
+
 let analyze (prog : Vm.Program.t) =
   let n = Array.length prog.code in
   let ipdom_of_pc = Array.make n (-1) in
@@ -9,7 +26,7 @@ let analyze (prog : Vm.Program.t) =
       let cfg = Cfg.build prog f in
       let pdom = Dominance.postdom_of_cfg cfg in
       let dom = Dominance.of_cfg cfg in
-      let loops = Loops.analyze cfg dom in
+      let loops = loops_of prog cfg dom in
       Array.iter
         (fun (b : Cfg.block) ->
           (* Per-pc loop depth. *)
@@ -41,44 +58,23 @@ let validate (prog : Vm.Program.t) (t : t) =
             add "predicate at pc %d has no immediate post-dominator" pc
       | _ -> ())
     prog.code;
-  (* Every BrLoop predicate should be part of a natural loop — unless
-     the loop degenerated: a body that always breaks leaves the back
-     edge in unreachable code, so no natural loop exists, yet the
-     predicate legitimately evaluates (once). Only complain when the
-     predicate is reachable and can actually re-reach itself. *)
+  (* Every reachable BrLoop predicate must head a loop — natural when
+     the back edge survives, degenerate (header-only) when the body
+     always breaks. [loops_of] registers both, so no tolerance for
+     loop-less predicates remains. *)
   Array.iter
     (fun (f : Vm.Program.func_info) ->
       let cfg = Cfg.build prog f in
       let dom = Dominance.of_cfg cfg in
-      let loops = Loops.analyze cfg dom in
+      let loops = loops_of prog cfg dom in
       let reachable bid =
         bid = cfg.Cfg.entry_bid || dom.Dominance.idom.(bid) <> -1
-      in
-      let cycles_back_to bid =
-        (* Is there a reachable-node path from a successor of [bid] back
-           to [bid]? *)
-        let n = Array.length cfg.Cfg.blocks in
-        let seen = Array.make n false in
-        let rec go b =
-          b = bid
-          || (not seen.(b)) && reachable b
-             && begin
-                  seen.(b) <- true;
-                  List.exists go cfg.Cfg.blocks.(b).Cfg.succs
-                end
-        in
-        List.exists
-          (fun s -> reachable s && go s)
-          cfg.Cfg.blocks.(bid).Cfg.succs
       in
       Array.iter
         (fun (b : Cfg.block) ->
           match prog.code.(b.last) with
           | Vm.Instr.Br { kind = Vm.Instr.BrLoop; _ } ->
-              if
-                (not (Loops.in_loop loops b.bid))
-                && reachable b.bid && cycles_back_to b.bid
-              then
+              if reachable b.bid && not (Loops.in_loop loops b.bid) then
                 add "BrLoop at pc %d (%s) is not inside a natural loop" b.last
                   f.name
           | _ -> ())

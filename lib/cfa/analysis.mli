@@ -17,8 +17,12 @@ val analyze : Vm.Program.t -> t
 
 val validate : Vm.Program.t -> t -> string list
 (** Cross-checks compiler construct tags against the CFA: every predicate
-    has an ipdom; every [BrLoop] predicate lies in a natural loop (unless
-    the loop degenerated — a body that always breaks has no reachable
-    back edge, so the predicate legitimately evaluates at most once);
-    every [BrIf]'s ipdom post-dominates it. Returns human-readable
-    discrepancy messages (empty = consistent). *)
+    has an ipdom; every reachable [BrLoop] predicate heads a loop —
+    natural, or the degenerate header-only loop {!Loops} registers when
+    the body always breaks. Returns human-readable discrepancy messages
+    (empty = consistent). *)
+
+val loops_of : Vm.Program.t -> Cfg.t -> Dominance.t -> Loops.t
+(** {!Loops.analyze} with every reachable [BrLoop] block passed as a
+    potential degenerate header — the loop view the rest of the analysis
+    stack (nesting depth, induction/trip-count scopes) is built on. *)

@@ -1,7 +1,13 @@
-type loop = { header : int; body : int list; back_edges : (int * int) list }
+type loop = {
+  header : int;
+  body : int list;
+  back_edges : (int * int) list;
+  degenerate : bool;
+}
+
 type t = { loops : loop array; depth : int array }
 
-let analyze (cfg : Cfg.t) (dom : Dominance.t) =
+let analyze ?(extra_headers = []) (cfg : Cfg.t) (dom : Dominance.t) =
   let n = Array.length cfg.blocks in
   (* Collect back edges grouped by header. *)
   let by_header = Hashtbl.create 8 in
@@ -41,8 +47,21 @@ let analyze (cfg : Cfg.t) (dom : Dominance.t) =
       for b = n - 1 downto 0 do
         if in_body.(b) then body := b :: !body
       done;
-      loops := { header; body = !body; back_edges } :: !loops)
+      loops := { header; body = !body; back_edges; degenerate = false } :: !loops)
     by_header;
+  (* Degenerate loops: a loop header whose body always breaks leaves the
+     back edge in unreachable code, so no back edge targets it and no
+     natural loop forms — yet the source construct is a loop and its
+     header evaluates (once per entry). Register a header-only loop so
+     clients see one loop per loop construct: nesting depth counts it,
+     and trip-count analyses treat it as a loop with no back edge. *)
+  List.iter
+    (fun h ->
+      if h >= 0 && h < n && not (Hashtbl.mem by_header h) then
+        loops :=
+          { header = h; body = [ h ]; back_edges = []; degenerate = true }
+          :: !loops)
+    (List.sort_uniq compare extra_headers);
   let loops = Array.of_list !loops in
   let depth = Array.make n 0 in
   Array.iter

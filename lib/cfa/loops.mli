@@ -2,12 +2,24 @@
 
     A back edge is an edge [u -> h] where [h] dominates [u]; the natural
     loop of the edge is [h] plus every block that reaches [u] without
-    passing through [h]. Loops with the same header are merged. *)
+    passing through [h]. Loops with the same header are merged.
+
+    A loop whose body always breaks (the degenerate [while(1){...break}]
+    shape) has its back edge in unreachable code, so no natural loop
+    forms around its header. Callers that know which blocks are loop
+    headers (they end in a [BrLoop] predicate) can pass them as
+    [extra_headers]: any such block not already heading a natural loop
+    is registered as a header-only {!loop} with [degenerate = true], so
+    nesting depth and trip-count scopes still see one loop per source
+    loop construct. *)
 
 type loop = {
   header : int;  (** header block id *)
   body : int list;  (** all block ids in the loop, including the header *)
   back_edges : (int * int) list;
+  degenerate : bool;
+      (** no back edge: the body always breaks, so the loop runs its
+          header at most once per entry *)
 }
 
 type t = {
@@ -15,7 +27,7 @@ type t = {
   depth : int array;  (** per block: number of loops containing it *)
 }
 
-val analyze : Cfg.t -> Dominance.t -> t
+val analyze : ?extra_headers:int list -> Cfg.t -> Dominance.t -> t
 
 val in_loop : t -> int -> bool
-(** Is this block inside any natural loop? *)
+(** Is this block inside any natural loop (degenerate ones included)? *)

@@ -1,5 +1,8 @@
 type suggestion =
-  | Spawnable of { statically_proven : bool }
+  | Spawnable of {
+      statically_proven : bool;
+      static_min_distance : int option;
+    }
   | Join_before of { line : int; var : string option }
   | Blocking_raw of { head_line : int; tail_line : int; var : string option }
   | Reduce of { var : string; line : int }
@@ -212,6 +215,28 @@ let advise ?dep (p : Profile.t) ~cid =
     else if transforms <> [] || reductions <> [] then `Needs_transforms
     else `Parallelizable
   in
+  (* Tightest proven iteration distance among the construct's recorded
+     edges — "the overlap window is at least this wide". From the live
+     analysis when available, else from the bounds stored in a v3 file. *)
+  let distance_bound_of (k : Profile.edge_key) =
+    match dep with
+    | Some d ->
+        Static.Depend.distance_bound d ~head_pc:k.head_pc ~tail_pc:k.tail_pc
+    | None ->
+        Option.bind p.Profile.static_distbounds (fun l ->
+            List.assoc_opt
+              (Profile.Key.pack ~head_pc:k.head_pc ~tail_pc:k.tail_pc k.kind)
+              l)
+  in
+  let static_min_distance =
+    List.fold_left
+      (fun acc (k, _) ->
+        match (distance_bound_of k, acc) with
+        | Some d, Some m -> Some (min d m)
+        | Some d, None -> Some d
+        | None, acc -> acc)
+      None edges
+  in
   let suggestions =
     if blockers = [] then
       let statically_proven =
@@ -219,7 +244,7 @@ let advise ?dep (p : Profile.t) ~cid =
         | Some d -> Static.Depend.construct_proven_independent d ~cid
         | None -> false
       in
-      (Spawnable { statically_proven } :: reductions)
+      (Spawnable { statically_proven; static_min_distance } :: reductions)
       @ transforms @ claim_joins @ joins
     else blockers @ reductions @ transforms @ claim_joins
   in
@@ -239,14 +264,21 @@ let reduction_list t =
   |> List.sort_uniq compare
 
 let pp_suggestion ppf = function
-  | Spawnable { statically_proven = true } ->
-      Format.fprintf ppf
-        "annotate as a future: statically proven independent (holds on all \
-         inputs)"
-  | Spawnable { statically_proven = false } ->
-      Format.fprintf ppf
-        "annotate as a future: no read reaches it before it finishes \
-         (dynamic evidence only)"
+  | Spawnable { statically_proven; static_min_distance } ->
+      if statically_proven then
+        Format.fprintf ppf
+          "annotate as a future: statically proven independent (holds on all \
+           inputs)"
+      else
+        Format.fprintf ppf
+          "annotate as a future: no read reaches it before it finishes \
+           (dynamic evidence only)";
+      Option.iter
+        (fun d ->
+          Format.fprintf ppf
+            "; recorded dependences proven >= %d iteration%s apart" d
+            (if d = 1 then "" else "s"))
+        static_min_distance
   | Join_before { line; var } ->
       Format.fprintf ppf "join the future before line %d%a" line
         (fun ppf -> function

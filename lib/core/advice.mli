@@ -13,12 +13,21 @@
       own write is a reset). *)
 
 type suggestion =
-  | Spawnable of { statically_proven : bool }
+  | Spawnable of {
+      statically_proven : bool;
+      static_min_distance : int option;
+    }
       (** no violating RAW: annotate as a future. [statically_proven]
           distinguishes constructs whose independence the static layer
           proves on {e all} inputs
           ({!Static.Depend.construct_proven_independent}) from those
-          where the profiled execution is the only evidence *)
+          where the profiled execution is the only evidence.
+          [static_min_distance] is the tightest proven minimum distance
+          ({!Static.Depend.distance_bound}, or the bounds stored in a
+          version-3 profile) over the construct's recorded edges: every
+          recorded dependence is at least that many loop iterations
+          apart on {e every} input, so the overlap window the dynamic
+          [Tdep] suggests is also a static guarantee *)
   | Join_before of { line : int; var : string option }
       (** respect a long-distance RAW by claiming the future here *)
   | Blocking_raw of { head_line : int; tail_line : int; var : string option }

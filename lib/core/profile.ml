@@ -141,6 +141,10 @@ type t = {
   mutable static_verdicts : (Key.t * Static.Depend.verdict) list option;
       (* one global association (verdicts are construct-independent),
          sorted by packed key; [None] = no static layer ran *)
+  mutable static_distbounds : (Key.t * int) list option;
+      (* proven minimum dependence distance in loop iterations, by packed
+         key, sorted; only bounds >= 1 are kept. [None] = no static layer
+         ran; [Some []] = it ran and proved nothing *)
 }
 
 let dummy_stats () =
@@ -170,6 +174,7 @@ let create (prog : Vm.Program.t) =
         prog.constructs;
     total_instructions = 0;
     static_verdicts = None;
+    static_distbounds = None;
   }
 
 let get t cid = t.by_cid.(cid)
@@ -277,15 +282,43 @@ let merge_verdicts a b =
       in
       Some (go xs ys [])
 
+let recorded_keys t =
+  Array.fold_left
+    (fun acc (cp : construct_profile) ->
+      Etbl.fold (fun k _ acc -> k :: acc) cp.edges acc)
+    [] t.by_cid
+  |> List.sort_uniq compare
+
 let attach_verdicts t classify =
-  let keys =
-    Array.fold_left
-      (fun acc (cp : construct_profile) ->
-        Etbl.fold (fun k _ acc -> k :: acc) cp.edges acc)
-      [] t.by_cid
-    |> List.sort_uniq compare
-  in
-  t.static_verdicts <- Some (List.map (fun k -> (k, classify (Key.unpack k))) keys)
+  t.static_verdicts <-
+    Some (List.map (fun k -> (k, classify (Key.unpack k))) (recorded_keys t))
+
+let attach_distbounds t bound =
+  t.static_distbounds <-
+    Some
+      (List.filter_map
+         (fun k ->
+           match bound (Key.unpack k) with
+           | Some d when d >= 1 -> Some (k, d)
+           | _ -> None)
+         (recorded_keys t))
+
+(* Same-key conflicts take the smaller bound: both sides proved their
+   bound for the same program, so the min is still proven — and min is
+   associative and commutative, preserving [merge]'s laws. *)
+let merge_distbounds a b =
+  match (a, b) with
+  | None, v | v, None -> v
+  | Some xs, Some ys ->
+      let rec go xs ys acc =
+        match (xs, ys) with
+        | [], rest | rest, [] -> List.rev_append acc rest
+        | ((kx, dx) as x) :: xs', ((ky, dy) as y) :: ys' ->
+            if kx < ky then go xs' ys (x :: acc)
+            else if ky < kx then go xs ys' (y :: acc)
+            else go xs' ys' ((kx, min dx dy) :: acc)
+      in
+      Some (go xs ys [])
 
 let merge a b =
   if a.prog.Vm.Program.code <> b.prog.Vm.Program.code then
@@ -293,6 +326,8 @@ let merge a b =
   let out = create a.prog in
   out.total_instructions <- a.total_instructions + b.total_instructions;
   out.static_verdicts <- merge_verdicts a.static_verdicts b.static_verdicts;
+  out.static_distbounds <-
+    merge_distbounds a.static_distbounds b.static_distbounds;
   Array.iteri
     (fun cid (dst : construct_profile) ->
       let add (src : construct_profile) =

@@ -91,6 +91,14 @@ type t = {
           on which construct it was attributed to. [None] when no static
           analysis ran (e.g. a [trace_locals] profile, whose event set
           the verdicts do not model, or a version-1 file). *)
+  mutable static_distbounds : (Key.t * int) list option;
+      (** proven minimum dependence distance in loop iterations for
+          recorded edges, sorted by packed key; only bounds [>= 1] are
+          kept, so absence of a key means "nothing proven". Any dynamic
+          instance of the edge must be at least this many retired
+          instructions apart ([min_tdep >= d]) — the invariant
+          [alchemist check] enforces. [None] when no static analysis ran
+          (or a version [<= 2] file). *)
 }
 
 val create : Vm.Program.t -> t
@@ -119,6 +127,11 @@ val attach_verdicts : t -> (edge_key -> Static.Depend.verdict) -> unit
     [static_verdicts] (sorted by packed key, deduplicated across
     constructs). *)
 
+val attach_distbounds : t -> (edge_key -> int option) -> unit
+(** Query a proven minimum iteration distance for every currently
+    recorded edge and store the [>= 1] bounds in [static_distbounds]
+    (sorted by packed key). *)
+
 val merge : t -> t -> t
 (** Combine two profiles of the {e same} program (e.g. different inputs —
     the paper gathers multiple profile runs): instance counts and totals
@@ -127,7 +140,9 @@ val merge : t -> t -> t
     associative and commutative, see test_parallel). Verdict lists union
     by key ([None] is the identity); since both sides classify with the
     same program, same-key verdicts agree — ties nevertheless resolve
-    deterministically so the laws hold unconditionally.
+    deterministically so the laws hold unconditionally. Distance-bound
+    lists union by key with same-key conflicts taking the minimum (still
+    proven, still associative/commutative).
     @raise Invalid_argument if the programs differ. *)
 
 val get : t -> int -> construct_profile

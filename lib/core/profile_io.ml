@@ -33,9 +33,23 @@ let kind_of_tag = function
    the construct records. A profile without verdicts serializes to the
    exact version-1 bytes, so older files and trace_locals profiles are
    untouched; the reader accepts both versions and rejects verdict
-   lines in a version-1 body. *)
+   lines in a version-1 body. Version 3 adds [distbound] lines (proven
+   minimum iteration distances, always >= 1) after the verdicts; a
+   profile whose static layer proved no bounds serializes to the exact
+   version-2 bytes, so the version only moves when there is something
+   to say, and prune-on/off byte-identity is unaffected. *)
 let write (t : Profile.t) buf =
-  let version = match t.Profile.static_verdicts with None -> 1 | Some _ -> 2 in
+  let distbounds =
+    match t.Profile.static_distbounds with
+    | Some (_ :: _ as l) -> Some l
+    | _ -> None
+  in
+  let version =
+    match (distbounds, t.Profile.static_verdicts) with
+    | Some _, _ -> 3
+    | None, Some _ -> 2
+    | None, None -> 1
+  in
   Buffer.add_string buf (Printf.sprintf "alchemist-profile %d\n" version);
   Buffer.add_string buf (Printf.sprintf "fingerprint %s\n" (fingerprint t.prog));
   Buffer.add_string buf (Printf.sprintf "total %d\n" t.total_instructions);
@@ -50,6 +64,16 @@ let write (t : Profile.t) buf =
                k.Profile.tail_pc (kind_tag k.Profile.kind)
                (Static.Depend.verdict_to_string v)))
         verdicts);
+  (match distbounds with
+  | None -> ()
+  | Some bounds ->
+      List.iter
+        (fun (key, d) ->
+          let k = Profile.Key.unpack key in
+          Buffer.add_string buf
+            (Printf.sprintf "distbound %d %d %s %d\n" k.Profile.head_pc
+               k.Profile.tail_pc (kind_tag k.Profile.kind) d))
+        bounds);
   Array.iter
     (fun (cp : Profile.construct_profile) ->
       if cp.instances > 0 then
@@ -98,6 +122,7 @@ let read (prog : Vm.Program.t) text =
         match header with
         | "alchemist-profile 1" -> Ok 1
         | "alchemist-profile 2" -> Ok 2
+        | "alchemist-profile 3" -> Ok 3
         | _ -> err hln "unsupported profile format/version"
       in
       let* () =
@@ -128,6 +153,8 @@ let read (prog : Vm.Program.t) text =
          one is still accepted as long as keys are unique. *)
       let verdicts = ref [] in
       let seen_verdict = Hashtbl.create 64 in
+      let distbounds = ref [] in
+      let seen_distbound = Hashtbl.create 16 in
       let finish () =
         if version >= 2 then
           t.Profile.static_verdicts <-
@@ -135,6 +162,14 @@ let read (prog : Vm.Program.t) text =
               (List.sort
                  (fun (ka, _) (kb, _) -> Profile.Key.compare ka kb)
                  !verdicts);
+        (* A version-3 file with no distbound lines normalizes to "ran,
+           proved nothing" and will round-trip as version 2. *)
+        if version >= 3 then
+          t.Profile.static_distbounds <-
+            Some
+              (List.sort
+                 (fun (ka, _) (kb, _) -> Profile.Key.compare ka kb)
+                 !distbounds);
         Ok t
       in
       let rec go = function
@@ -168,6 +203,35 @@ let read (prog : Vm.Program.t) text =
                   else begin
                     Hashtbl.add seen_verdict key ();
                     verdicts := (key, v) :: !verdicts;
+                    go rest
+                  end
+            | "distbound" :: head :: tail :: kind :: d :: [] ->
+                if version < 3 then
+                  err ln "distbound line in a version-%d profile" version
+                else
+                  let* head_pc = int_of ln head in
+                  let* tail_pc = int_of ln tail in
+                  let* kind =
+                    Result.map_error
+                      (Printf.sprintf "line %d: %s" ln)
+                      (kind_of_tag kind)
+                  in
+                  let* () =
+                    if head_pc >= 0 && tail_pc >= 0 then Ok ()
+                    else err ln "negative pc in distbound line"
+                  in
+                  let* d = int_of ln d in
+                  let* () =
+                    if d >= 1 then Ok ()
+                    else err ln "distance bound must be >= 1, got %d" d
+                  in
+                  let key = Profile.Key.pack ~head_pc ~tail_pc kind in
+                  if Hashtbl.mem seen_distbound key then
+                    err ln "duplicate distbound %d %d %s" head_pc tail_pc
+                      (kind_tag kind)
+                  else begin
+                    Hashtbl.add seen_distbound key ();
+                    distbounds := (key, d) :: !distbounds;
                     go rest
                   end
             | "construct" :: cid :: ttotal :: instances :: [] ->

@@ -25,8 +25,21 @@
     A profile without verdicts (e.g. recorded with [trace_locals], where
     the static model does not apply) serializes to the exact version-1
     bytes, so old files and new verdict-free files are the same format.
-    The reader accepts both versions and rejects [verdict] lines in a
-    version-1 body. *)
+
+    Version 3 adds proven minimum iteration distances
+    ({!Profile.t.static_distbounds}) as key-sorted [distbound] lines
+    after the verdicts:
+    {v
+    distbound <head_pc> <tail_pc> <RAW|WAR|WAW> <d>
+    v}
+    with [d >= 1] always. A profile whose static layer proved no bounds
+    serializes to the exact version-2 bytes — the version only moves
+    when a [distbound] line would follow, and a version-3 file with no
+    [distbound] lines normalizes back to version 2 on round-trip.
+
+    The reader accepts all three versions and rejects lines newer than
+    the declared version (e.g. [distbound] in a version-2 body), with
+    1-based line numbers on every error. *)
 
 val fingerprint : Vm.Program.t -> string
 (** A stable hash of the code array (hex). *)

@@ -127,6 +127,9 @@ let make ?scan_limit ?pool_capacity ?obs ?(static = true) (prog : Vm.Program.t)
         Profile.attach_verdicts profile (fun (k : Profile.edge_key) ->
             Static.Depend.verdict d ~kind:k.Profile.kind
               ~head_pc:k.Profile.head_pc ~tail_pc:k.Profile.tail_pc);
+        Profile.attach_distbounds profile (fun (k : Profile.edge_key) ->
+            Static.Depend.distance_bound d ~head_pc:k.Profile.head_pc
+              ~tail_pc:k.Profile.tail_pc);
         Obs.Gauge.set
           (Obs.Registry.gauge reg "static.pruned_pcs")
           (Static.Depend.pruned_count d)

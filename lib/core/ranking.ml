@@ -7,10 +7,31 @@ type entry = {
   instances : int;
   violations : Violation.summary;
   static_indep : bool;
+  dist_bounded : bool;
 }
 
 let entry_of (t : Profile.t) dep (c : Vm.Program.construct_info) =
   let p = Profile.get t c.cid in
+  (* Does at least one of this construct's recorded edges carry a proven
+     minimum iteration distance? Live analysis when available, else the
+     bounds a version-3 profile stored. *)
+  let dist_bounded =
+    List.exists
+      (fun ((k : Profile.edge_key), _) ->
+        match dep with
+        | Some d ->
+            Static.Depend.distance_bound d ~head_pc:k.head_pc
+              ~tail_pc:k.tail_pc
+            <> None
+        | None ->
+            Option.fold ~none:false
+              ~some:
+                (List.mem_assoc
+                   (Profile.Key.pack ~head_pc:k.head_pc ~tail_pc:k.tail_pc
+                      k.kind))
+              t.Profile.static_distbounds)
+      (Profile.edges_sorted p)
+  in
   {
     cid = c.cid;
     name = Format.asprintf "%a" Vm.Program.pp_construct c;
@@ -23,6 +44,7 @@ let entry_of (t : Profile.t) dep (c : Vm.Program.construct_info) =
       (match dep with
       | Some d -> Static.Depend.construct_proven_independent d ~cid:c.cid
       | None -> false);
+    dist_bounded;
   }
 
 let rank ?dep ?(min_instructions = 1) (t : Profile.t) =
@@ -81,9 +103,11 @@ let remove_with_singletons (t : Profile.t) entries ~cid =
   List.filter (fun e -> not (Hashtbl.mem removed e.cid)) entries
 
 let pp_entry ppf e =
-  Format.fprintf ppf "%s Tdur=%d, inst=%d (RAW viol %d/%d, WAW %d/%d, WAR %d/%d)%s"
-    e.name e.ttotal e.instances e.violations.Violation.raw_violating
+  Format.fprintf ppf
+    "%s Tdur=%d, inst=%d (RAW viol %d/%d, WAW %d/%d, WAR %d/%d)%s%s" e.name
+    e.ttotal e.instances e.violations.Violation.raw_violating
     e.violations.Violation.raw_total e.violations.Violation.waw_violating
     e.violations.Violation.waw_total e.violations.Violation.war_violating
     e.violations.Violation.war_total
     (if e.static_indep then " [statically independent]" else "")
+    (if e.dist_bounded then " [distance-bounded]" else "")

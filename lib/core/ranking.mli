@@ -18,6 +18,12 @@ type entry = {
           construct's body (and everything it calls) unable to produce a
           loop-carried dependence — independence holds on {e all} inputs,
           not just the profiled one ({!Static.Depend.construct_proven_independent}) *)
+  dist_bounded : bool;
+      (** at least one recorded edge of the construct carries a proven
+          minimum iteration distance ({!Static.Depend.distance_bound},
+          or a bound stored in a version-3 profile) — the dependence is
+          real but provably far apart, the paper's "distance at least
+          [d]" evidence for pipelined or strip-mined parallelism *)
 }
 
 val rank : ?dep:Static.Depend.t -> ?min_instructions:int -> Profile.t -> entry list

@@ -30,8 +30,23 @@ let verdict_of_key (t : Profile.t) =
         Hashtbl.find_opt tbl
           (Profile.Key.pack ~head_pc:k.head_pc ~tail_pc:k.tail_pc k.kind)
 
+(* The proven-distance column (version-3 profiles): a [dist>=d] tag
+   next to an edge says its endpoints are at least [d] loop iterations
+   apart on every input — so the observed [Tdep] is not an accident of
+   this run's data. *)
+let distbound_of_key (t : Profile.t) =
+  match t.Profile.static_distbounds with
+  | None -> fun _ -> None
+  | Some l ->
+      let tbl = Hashtbl.create (max 1 (List.length l)) in
+      List.iter (fun (key, d) -> Hashtbl.replace tbl key d) l;
+      fun (k : Profile.edge_key) ->
+        Hashtbl.find_opt tbl
+          (Profile.Key.pack ~head_pc:k.head_pc ~tail_pc:k.tail_pc k.kind)
+
 let render_edges buf (t : Profile.t) p ~max_edges ~kinds =
   let verdict_of = verdict_of_key t in
+  let distbound_of = distbound_of_key t in
   let edges =
     Profile.edges_sorted p
     |> List.filter (fun ((k : Profile.edge_key), _) -> List.mem k.kind kinds)
@@ -40,7 +55,7 @@ let render_edges buf (t : Profile.t) p ~max_edges ~kinds =
   List.iter
     (fun ((k : Profile.edge_key), (s : Profile.edge_stats)) ->
       Buffer.add_string buf
-        (Printf.sprintf "     %s: line %d -> line %d  Tdep=%d%s%s%s\n"
+        (Printf.sprintf "     %s: line %d -> line %d  Tdep=%d%s%s%s%s\n"
            (Shadow.Dependence.kind_to_string k.kind)
            (line_of_pc t k.head_pc) (line_of_pc t k.tail_pc) s.min_tdep
            (if Violation.is_violating p s then "  *" else "")
@@ -48,7 +63,10 @@ let render_edges buf (t : Profile.t) p ~max_edges ~kinds =
            (match verdict_of k with
            | None -> ""
            | Some v ->
-               Printf.sprintf "  [%s]" (Static.Depend.verdict_to_string v))))
+               Printf.sprintf "  [%s]" (Static.Depend.verdict_to_string v))
+           (match distbound_of k with
+           | None -> ""
+           | Some d -> Printf.sprintf "  [dist>=%d]" d)))
     shown;
   let hidden = List.length edges - List.length shown in
   if hidden > 0 then

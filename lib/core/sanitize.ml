@@ -17,7 +17,7 @@ let check ?dep (profile : Profile.t) =
   (* Recorded edges vs the analysis. *)
   Array.iter
     (fun (cp : Profile.construct_profile) ->
-      Profile.iter_edges cp (fun (k : Profile.edge_key) _ ->
+      Profile.iter_edges cp (fun (k : Profile.edge_key) s ->
           (match
              Static.Depend.verdict dep ~kind:k.kind ~head_pc:k.head_pc
                ~tail_pc:k.tail_pc
@@ -28,6 +28,20 @@ let check ?dep (profile : Profile.t) =
                    (Static.Depend.explain dep ~kind:k.kind ~head_pc:k.head_pc
                       ~tail_pc:k.tail_pc))
           | Static.Depend.May_dependent | Static.Depend.Must_dependent -> ());
+          (* A proven distance of [d] iterations forces at least [d]
+             retired instructions between any two dynamic instances, so
+             an observed minimum below it is impossible. *)
+          (match
+             Static.Depend.distance_bound dep ~head_pc:k.head_pc
+               ~tail_pc:k.tail_pc
+           with
+          | Some d when s.Profile.min_tdep < d ->
+              add cp.Profile.cid k
+                (Printf.sprintf
+                   "observed min Tdep %d below the proven static lower bound \
+                    of %d iterations"
+                   s.Profile.min_tdep d)
+          | _ -> ());
           match Static.Depend.frame_owner dep ~head_pc:k.head_pc ~tail_pc:k.tail_pc with
           | None -> ()
           | Some fid ->
@@ -83,6 +97,60 @@ let check ?dep (profile : Profile.t) =
           if not (Hashtbl.mem recorded key) then
             add (-1) (Profile.Key.unpack key)
               "stored verdict for an edge the profile does not record")
+        stored);
+  (* Stored distance bounds vs recomputed ones and observed minima. *)
+  (match profile.Profile.static_distbounds with
+  | None -> ()
+  | Some stored ->
+      let tbl = Hashtbl.create 16 in
+      List.iter (fun (key, d) -> Hashtbl.replace tbl key d) stored;
+      let recorded = Hashtbl.create 64 in
+      Array.iter
+        (fun (cp : Profile.construct_profile) ->
+          Profile.iter_edges cp (fun (k : Profile.edge_key) s ->
+              let key =
+                Profile.Key.pack ~head_pc:k.head_pc ~tail_pc:k.tail_pc k.kind
+              in
+              if not (Hashtbl.mem recorded key) then begin
+                Hashtbl.add recorded key ();
+                let stored_d = Hashtbl.find_opt tbl key in
+                let fresh_d =
+                  Static.Depend.distance_bound dep ~head_pc:k.head_pc
+                    ~tail_pc:k.tail_pc
+                in
+                (match (stored_d, fresh_d) with
+                | Some d, Some d' when d <> d' ->
+                    add (-1) k
+                      (Printf.sprintf
+                         "stored distance bound %d disagrees with analysis %d"
+                         d d')
+                | Some d, None ->
+                    add (-1) k
+                      (Printf.sprintf
+                         "stored distance bound %d the analysis cannot prove"
+                         d)
+                | None, Some d' ->
+                    add (-1) k
+                      (Printf.sprintf
+                         "recorded edge is missing its stored distance bound \
+                          (analysis proves %d)"
+                         d')
+                | _ -> ());
+                match stored_d with
+                | Some d when s.Profile.min_tdep < d ->
+                    add (-1) k
+                      (Printf.sprintf
+                         "stored distance bound %d contradicts the observed \
+                          min Tdep %d"
+                         d s.Profile.min_tdep)
+                | _ -> ()
+              end))
+        profile.Profile.by_cid;
+      List.iter
+        (fun (key, _) ->
+          if not (Hashtbl.mem recorded key) then
+            add (-1) (Profile.Key.unpack key)
+              "stored distance bound for an edge the profile does not record")
         stored);
   List.sort
     (fun a b ->

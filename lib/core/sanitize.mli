@@ -31,6 +31,14 @@ val check : ?dep:Static.Depend.t -> Profile.t -> issue list
       conditional constructs of [f] itself (never to [f]'s procedure
       construct or anything outside the activation);
     - when the profile carries stored verdicts, they cover exactly the
-      recorded edges and agree with the recomputed classification. *)
+      recorded edges and agree with the recomputed classification;
+    - no recorded edge's observed [min_tdep] falls below a proven static
+      minimum dependence distance ({!Static.Depend.distance_bound}) —
+      [d] loop iterations apart implies at least [d] retired
+      instructions apart;
+    - when the profile carries stored distance bounds, they cover
+      exactly the edges the analysis can bound, agree with the
+      recomputed bound, and none contradicts its edge's observed
+      [min_tdep]. *)
 
 val pp_issue : Format.formatter -> issue -> unit

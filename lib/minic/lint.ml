@@ -132,6 +132,211 @@ let rec stmt scopes acc (s : Ast.stmt) =
       ignore (List.fold_left (fun sc s -> stmt sc acc s) ([] :: scopes) body);
       scopes
 
+(* --- loop-shape lints ------------------------------------------------
+
+   Two lints over loop bodies, both "this loop does redundant work every
+   iteration" shapes the dependence profiler later pays for event by
+   event:
+
+   - a subscript expression whose variables are all unmodified inside
+     the loop computes the same address every iteration — the load (or
+     the address computation) is hoistable;
+   - a loop condition mentioning no variable, array cell or call at all
+     is decided at compile time (an [if] or an infinite loop in
+     disguise).
+
+   Both are proofs, not heuristics: a warning only fires when invariance
+   or constness holds on every execution. Calls make globals unprovable
+   — any callee may write them — so a loop containing a call disqualifies
+   global variables from the invariance argument. *)
+
+(* Scalar names (re)assigned per iteration of a loop body: assignment
+   targets and declarations (a [DeclScalar] re-initializes on every
+   iteration). Indexed writes mutate elements, never the index-value of
+   a name, so they add nothing here. *)
+let rec assigned_names (s : Ast.stmt) acc =
+  match s.sdesc with
+  | Ast.DeclScalar (x, _) -> x :: acc
+  | Ast.DeclArray _ | Ast.Break | Ast.Continue | Ast.Return _ | Ast.ExprStmt _
+  | Ast.Print _ ->
+      acc
+  | Ast.Assign (lv, _) | Ast.OpAssign (_, lv, _) -> (
+      match lv with Ast.LVar (x, _) -> x :: acc | Ast.LIndex _ -> acc)
+  | Ast.If (_, t, f) ->
+      assigned_names t
+        (match f with Some f -> assigned_names f acc | None -> acc)
+  | Ast.While (_, b) | Ast.DoWhile (b, _) -> assigned_names b acc
+  | Ast.For (init, _, update, b) ->
+      let acc = match init with Some s -> assigned_names s acc | None -> acc in
+      let acc =
+        match update with Some s -> assigned_names s acc | None -> acc
+      in
+      assigned_names b acc
+  | Ast.Block body -> List.fold_left (fun acc s -> assigned_names s acc) acc body
+
+let rec expr_has_call (e : Ast.expr) =
+  match e.edesc with
+  | Ast.Call _ -> true
+  | Ast.IntLit _ | Ast.Var _ -> false
+  | Ast.Index (_, i) | Ast.Unop (_, i) -> expr_has_call i
+  | Ast.Binop (_, a, b) -> expr_has_call a || expr_has_call b
+
+let rec stmt_has_call (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.DeclScalar (_, init) -> Option.fold ~none:false ~some:expr_has_call init
+  | Ast.DeclArray _ | Ast.Break | Ast.Continue -> false
+  | Ast.Assign (lv, e) | Ast.OpAssign (_, lv, e) ->
+      expr_has_call e
+      || (match lv with
+         | Ast.LVar _ -> false
+         | Ast.LIndex (_, i, _) -> expr_has_call i)
+  | Ast.If (c, t, f) ->
+      expr_has_call c || stmt_has_call t
+      || Option.fold ~none:false ~some:stmt_has_call f
+  | Ast.While (c, b) | Ast.DoWhile (b, c) -> expr_has_call c || stmt_has_call b
+  | Ast.For (init, cond, update, b) ->
+      Option.fold ~none:false ~some:stmt_has_call init
+      || Option.fold ~none:false ~some:expr_has_call cond
+      || Option.fold ~none:false ~some:stmt_has_call update
+      || stmt_has_call b
+  | Ast.Return e -> Option.fold ~none:false ~some:expr_has_call e
+  | Ast.ExprStmt e | Ast.Print e -> expr_has_call e
+  | Ast.Block body -> List.exists stmt_has_call body
+
+(* The innermost loop an expression sits in, as seen by the walk. *)
+type loop_ctx = {
+  assigned : string list;  (** scalar names written per iteration *)
+  has_call : bool;  (** any call anywhere in the loop *)
+}
+
+let loop_lints (p : Ast.program) =
+  let globals =
+    List.map
+      (function Ast.GScalar (n, _, _) | Ast.GArray (n, _, _) -> n)
+      p.globals
+  in
+  let warnings = ref [] in
+  let warn loc fmt = Printf.ksprintf (fun m ->
+      warnings := Diag.warning loc "%s" m :: !warnings) fmt
+  in
+  (* [Some vars] when every variable the subscript reads is provably
+     unchanged across iterations; [None] when anything blocks the proof
+     (a call, an array cell, or an assigned/unprovable variable). *)
+  let rec invariant_vars ctx (e : Ast.expr) =
+    match e.edesc with
+    | Ast.IntLit _ -> Some []
+    | Ast.Var x ->
+        if List.mem x ctx.assigned then None
+        else if ctx.has_call && List.mem x globals then None
+        else Some [ x ]
+    | Ast.Index _ | Ast.Call _ -> None
+    | Ast.Unop (_, a) -> invariant_vars ctx a
+    | Ast.Binop (_, a, b) -> (
+        match (invariant_vars ctx a, invariant_vars ctx b) with
+        | Some va, Some vb -> Some (va @ vb)
+        | _ -> None)
+  in
+  let check_subscript ctx name (i : Ast.expr) =
+    match invariant_vars ctx i with
+    | Some (_ :: _ as vars) ->
+        warn i.eloc
+          "loop-invariant subscript of '%s' (%s never change%s in the loop)"
+          name
+          (String.concat ", " (List.sort_uniq compare vars))
+          (if List.length (List.sort_uniq compare vars) = 1 then "s" else "")
+    | _ -> ()
+  in
+  let rec check_expr ctx (e : Ast.expr) =
+    match e.edesc with
+    | Ast.IntLit _ | Ast.Var _ -> ()
+    | Ast.Index (a, i) ->
+        Option.iter (fun ctx -> check_subscript ctx a i) ctx;
+        check_expr ctx i
+    | Ast.Unop (_, a) -> check_expr ctx a
+    | Ast.Binop (_, a, b) ->
+        check_expr ctx a;
+        check_expr ctx b
+    | Ast.Call (_, args) -> List.iter (check_expr ctx) args
+  in
+  let check_lvalue ctx = function
+    | Ast.LVar _ -> ()
+    | Ast.LIndex (a, i, _) ->
+        Option.iter (fun c -> check_subscript c a i) ctx;
+        check_expr ctx i
+  in
+  (* No variable, array cell or call: the condition's value is fixed. *)
+  let rec const_cond (e : Ast.expr) =
+    match e.edesc with
+    | Ast.IntLit _ -> true
+    | Ast.Var _ | Ast.Index _ | Ast.Call _ -> false
+    | Ast.Unop (_, a) -> const_cond a
+    | Ast.Binop (_, a, b) -> const_cond a && const_cond b
+  in
+  let check_cond (c : Ast.expr) =
+    if const_cond c then warn c.eloc "loop condition is provably constant"
+  in
+  let enter_loop parts_assigned parts_call =
+    {
+      assigned = List.concat parts_assigned;
+      has_call = List.exists (fun b -> b) parts_call;
+    }
+  in
+  let rec check_stmt ctx (s : Ast.stmt) =
+    match s.sdesc with
+    | Ast.DeclScalar (_, init) -> Option.iter (check_expr ctx) init
+    | Ast.DeclArray _ | Ast.Break | Ast.Continue -> ()
+    | Ast.Assign (lv, e) | Ast.OpAssign (_, lv, e) ->
+        check_expr ctx e;
+        check_lvalue ctx lv
+    | Ast.If (c, t, f) ->
+        check_expr ctx c;
+        check_stmt ctx t;
+        Option.iter (check_stmt ctx) f
+    | Ast.While (c, b) ->
+        check_cond c;
+        let inner =
+          enter_loop [ assigned_names b [] ] [ expr_has_call c; stmt_has_call b ]
+        in
+        check_expr (Some inner) c;
+        check_stmt (Some inner) b
+    | Ast.DoWhile (b, c) ->
+        check_cond c;
+        let inner =
+          enter_loop [ assigned_names b [] ] [ expr_has_call c; stmt_has_call b ]
+        in
+        check_stmt (Some inner) b;
+        check_expr (Some inner) c
+    | Ast.For (init, cond, update, b) ->
+        (* [init] runs once: it is checked against the {e enclosing}
+           context, and its assignments do not make a variable
+           loop-variant. A [for] with no condition never warns (there is
+           nothing to be constant). *)
+        Option.iter (check_stmt ctx) init;
+        Option.iter check_cond cond;
+        let inner =
+          enter_loop
+            [
+              assigned_names b [];
+              (match update with Some u -> assigned_names u [] | None -> []);
+            ]
+            [
+              (match cond with Some c -> expr_has_call c | None -> false);
+              (match update with Some u -> stmt_has_call u | None -> false);
+              stmt_has_call b;
+            ]
+        in
+        Option.iter (check_expr (Some inner)) cond;
+        check_stmt (Some inner) b;
+        Option.iter (check_stmt (Some inner)) update
+    | Ast.Return e -> Option.iter (check_expr ctx) e
+    | Ast.ExprStmt e | Ast.Print e -> check_expr ctx e
+    | Ast.Block body -> List.iter (check_stmt ctx) body
+  in
+  List.iter
+    (fun (f : Ast.func) -> List.iter (check_stmt None) f.fbody)
+    p.funcs;
+  !warnings
+
 let program (p : Ast.program) =
   let acc = ref [] in
   let globals =
@@ -169,8 +374,9 @@ let program (p : Ast.program) =
            (fun sc s -> stmt sc acc s)
            [ []; params; globals ] f.fbody))
     p.funcs;
-  List.rev !acc
-  |> List.filter_map (fun i ->
+  let usage =
+    List.rev !acc
+    |> List.filter_map (fun i ->
          match i.kind with
          | Param ->
              (* A parameter is initialized by every call, so the only
@@ -190,5 +396,7 @@ let program (p : Ast.program) =
                     "%s '%s' is assigned but never read (dead stores)" what
                     i.name)
              else None)
+  in
+  usage @ loop_lints p
   |> List.sort (fun (a : Diag.warning) b ->
          match compare a.wloc b.wloc with 0 -> compare a.wmsg b.wmsg | c -> c)

@@ -1,13 +1,26 @@
 (** Frontend lints: non-fatal diagnostics over the checked AST.
 
-    Two lints, both about values that never flow anywhere:
+    Usage lints — values that never flow anywhere:
     - {e unused}: a global, local or parameter that is never referenced;
     - {e dead store}: a variable that is assigned (counting declaration
       initializers) but never read — every store to it is wasted work,
       and under profiling each one still fires a shadow-memory event.
 
     Arrays count as read/written through any element. Passing an array
-    by reference counts as both (the callee may do either). *)
+    by reference counts as both (the callee may do either).
+
+    Loop-shape lints — per-iteration work a loop provably repeats:
+    - {e loop-invariant subscript}: an array subscript whose variables
+      are all unmodified inside the (innermost enclosing) loop addresses
+      the same cell every iteration — the access is hoistable. The proof
+      is conservative: a subscript containing a call or an array cell
+      never warns, and a loop containing any call disqualifies global
+      variables (the callee may write them).
+    - {e provably-constant loop condition}: a [while]/[do-while]/[for]
+      condition mentioning no variable, array cell or call has one
+      compile-time value — the loop is an [if] or an infinite loop in
+      disguise. A [for] with no condition is the idiomatic infinite
+      loop and never warns. *)
 
 val program : Ast.program -> Diag.warning list
 (** All warnings, ordered by source location (then message) — the order

@@ -14,6 +14,7 @@ let verdict_of_string = function
 type t = {
   prog : Vm.Program.t;
   pts : Points_to.t;
+  dist : Distance.t;
   loop_depth : int array;
   fid_of_pc : int array;  (** -1 for the entry preamble *)
   live : bool array;
@@ -25,6 +26,7 @@ type t = {
 }
 
 let points t = t.pts
+let distance t = t.dist
 let degraded t = t.pts.Points_to.degraded
 let prune_mask t = t.prune
 let pruned_count t = t.npruned
@@ -156,6 +158,23 @@ let summary_may_write s (target : Points_to.access) =
          List.exists (Points_to.may_overlap r) target.Points_to.regions)
        s.wregions
 
+(* ---- cell-level refinement --------------------------------------------- *)
+
+(* Two accesses to the {e same} global array whose subscript value sets
+   provably never meet touch disjoint cells on every execution — the
+   distance engine's [No_dep] promotes region-overlapping pairs to
+   independent. Identity of the array (single complete [Global] region
+   with the same extent) is what turns subscript-value disjointness into
+   address disjointness. *)
+let same_array_no_dep dist (a : Points_to.access) (b : Points_to.access) =
+  a.Points_to.complete && b.Points_to.complete
+  && (match (a.Points_to.regions, b.Points_to.regions) with
+     | ( [ Points_to.Global { base = ba; len = la } ],
+         [ Points_to.Global { base = bb; len = lb } ] ) ->
+         ba = bb && la = lb
+     | _ -> false)
+  && Distance.no_dep dist ~head_pc:a.Points_to.pc ~tail_pc:b.Points_to.pc
+
 (* ---- pruning ----------------------------------------------------------- *)
 
 (* Pruning a pc removes its [on_read]/[on_write] hook call, which (a)
@@ -176,8 +195,9 @@ let summary_may_write s (target : Points_to.access) =
      natural loop and either every region is the current activation's
      own frame (frame release clears the cells between activations) or
      the enclosing function body runs at most once per program. *)
-let compute_prune (prog : Vm.Program.t) (pts : Points_to.t) fid_of_pc live
-    called_once loop_depth =
+let compute_prune ?(distance_promotion = true) (prog : Vm.Program.t)
+    (pts : Points_to.t) (dist : Distance.t) fid_of_pc live called_once
+    loop_depth =
   let n = Array.length prog.code in
   let prune = Array.make n false in
   if pts.Points_to.degraded then (prune, 0, 0)
@@ -191,7 +211,10 @@ let compute_prune (prog : Vm.Program.t) (pts : Points_to.t) fid_of_pc live
     let reads, writes =
       List.partition (fun a -> not a.Points_to.is_write) !live_accesses
     in
-    let disjoint a b = not (Points_to.regions_may_alias a b) in
+    let disjoint a b =
+      (not (Points_to.regions_may_alias a b))
+      || (distance_promotion && same_array_no_dep dist a b)
+    in
     let nevents = ref 0 and npruned = ref 0 in
     for pc = 0 to n - 1 do
       if Points_to.is_event_pc prog pc then begin
@@ -223,7 +246,7 @@ let compute_prune (prog : Vm.Program.t) (pts : Points_to.t) fid_of_pc live
 
 (* ---- analysis entry ---------------------------------------------------- *)
 
-let analyze ?analysis (prog : Vm.Program.t) =
+let analyze ?analysis ?(distance_promotion = true) (prog : Vm.Program.t) =
   let pts = Points_to.analyze prog in
   let analysis =
     match analysis with Some a -> a | None -> Cfa.Analysis.analyze prog
@@ -232,8 +255,12 @@ let analyze ?analysis (prog : Vm.Program.t) =
   let fid_of_pc = fid_of_pc_table prog in
   let live = live_fids prog in
   let called_once = called_once_tbl prog fid_of_pc live loop_depth in
+  let dist =
+    Distance.analyze ~called_once:(fun fid -> called_once.(fid)) prog
+  in
   let prune, npruned, nevents =
-    compute_prune prog pts fid_of_pc live called_once loop_depth
+    compute_prune ~distance_promotion prog pts dist fid_of_pc live called_once
+      loop_depth
   in
   let must_reach = Array.make (Array.length prog.funcs) None in
   if not pts.Points_to.degraded then begin
@@ -281,6 +308,7 @@ let analyze ?analysis (prog : Vm.Program.t) =
   {
     prog;
     pts;
+    dist;
     loop_depth;
     fid_of_pc;
     live;
@@ -344,6 +372,10 @@ let classify t ~kind ~head_pc ~tail_pc =
                  (List.map Points_to.region_to_string h.Points_to.regions))
               (String.concat ", "
                  (List.map Points_to.region_to_string tl.Points_to.regions)) )
+        else if same_array_no_dep t.dist h tl then
+          ( Must_independent,
+            Printf.sprintf "same array, disjoint subscripts: %s"
+              (snd (Distance.classify t.dist ~head_pc ~tail_pc)) )
         else begin
           let must =
             match (kind : Shadow.Dependence.kind) with
@@ -418,3 +450,35 @@ let frame_owner t ~head_pc ~tail_pc =
          && h.Points_to.fid = tl.Points_to.fid ->
       Some h.Points_to.fid
   | _ -> None
+
+(* ---- iteration-distance bounds ------------------------------------------ *)
+
+(* A distance verdict constrains addresses only when both endpoints hit
+   the same array: any dynamic edge between them then has its instances
+   related by the subscript equation. *)
+let same_single_array t ~head_pc ~tail_pc =
+  let n = Array.length t.prog.Vm.Program.code in
+  let acc pc =
+    if pc < 0 || pc >= n then None else Points_to.access t.pts pc
+  in
+  match (acc head_pc, acc tail_pc) with
+  | Some h, Some tl -> (
+      h.Points_to.complete && tl.Points_to.complete
+      &&
+      match (h.Points_to.regions, tl.Points_to.regions) with
+      | ( [ Points_to.Global { base = ba; len = la } ],
+          [ Points_to.Global { base = bb; len = lb } ] ) ->
+          ba = bb && la = lb
+      | _ -> false)
+  | _ -> false
+
+let distance_bound t ~head_pc ~tail_pc =
+  if degraded t then None
+  else if same_single_array t ~head_pc ~tail_pc then
+    Distance.bound t.dist ~head_pc ~tail_pc
+  else None
+
+let distance_verdict t ~head_pc ~tail_pc =
+  if degraded t || not (same_single_array t ~head_pc ~tail_pc) then
+    (Distance.Unknown, "endpoints do not target one common array")
+  else Distance.classify t.dist ~head_pc ~tail_pc

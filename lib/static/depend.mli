@@ -36,11 +36,21 @@ val verdict_of_string : string -> verdict option
 
 type t
 
-val analyze : ?analysis:Cfa.Analysis.t -> Vm.Program.t -> t
+val analyze :
+  ?analysis:Cfa.Analysis.t -> ?distance_promotion:bool -> Vm.Program.t -> t
 (** [analysis] shares an already-computed CFA result (the profiler has
-    one); omitted, it is recomputed. *)
+    one); omitted, it is recomputed. [distance_promotion] (default
+    [true]) lets {!prune_mask} use distance-engine [No_dep] facts to
+    prune same-array accesses; [false] measures the pruning the
+    region-disjointness rules achieve alone (the benchmark's coverage
+    baseline — profiling runs always leave it on). *)
 
 val points : t -> Points_to.t
+
+val distance : t -> Distance.t
+(** The dependence-distance engine built during {!analyze} (shares its
+    [called_once] facts). *)
+
 val degraded : t -> bool
 
 val verdict :
@@ -81,3 +91,19 @@ val frame_owner : t -> head_pc:int -> tail_pc:int -> int option
     be attributed to completed constructs {e inside} that activation:
     loops and conditionals of [fid], never a [CProc] — the sanitizer's
     frame-ownership check. *)
+
+val distance_bound : t -> head_pc:int -> tail_pc:int -> int option
+(** Proven minimum dependence distance in loop iterations ([>= 1])
+    between two event pcs, valid for every dynamic edge instance: both
+    endpoints resolve to the same single global array and the
+    {!Distance} tests prove the separation. Since [d] iterations apart
+    implies at least [d] retired instructions apart, any recorded edge
+    between the pcs must satisfy [min_tdep >= d] — the invariant the
+    sanitizer and [alchemist check] enforce, and the bound persisted in
+    version-3 profiles. *)
+
+val distance_verdict :
+  t -> head_pc:int -> tail_pc:int -> Distance.verdict * string
+(** Raw distance classification with its justification, gated on the
+    same same-array requirement as {!distance_bound} ([Unknown]
+    otherwise). *)

@@ -1,0 +1,229 @@
+(* Static dependence-distance classification for pairs of indexed
+   accesses, built on {!Induction}'s affine subscript facts.
+
+   For two accesses with subscripts [mul*iv + add] over a common loop's
+   induction variable (value [init + j*step] in iteration [j]), the
+   subscript values coincide only where
+
+     mul_h*init + mul_h*step*j1 + off_h = mul_t*init + mul_t*step*j2 + off_t
+
+   has integer solutions with [j1, j2] in iteration range. The classical
+   battery applies, cheapest first:
+
+   - ZIV: both subscripts constant — equal or provably never equal;
+   - strong SIV (equal coefficients): [init] cancels, the iteration
+     difference is the single value [(off_t - off_h) / (mul*step)] —
+     non-integer or >= trip count means the value sets are disjoint,
+     otherwise every dependent pair is exactly that far apart;
+   - GCD (unequal coefficients): no solutions when
+     [gcd(mul_h*step, mul_t*step)] does not divide the constant side;
+   - bounded enumeration (a direct Banerjee-style check): with constant
+     [init] and trip count, walk the at most [trip] candidate pairs and
+     take the minimum iteration distance — exact emptiness or a sound
+     lower bound;
+   - value-range disjointness as the fallback for everything else.
+
+   Soundness split: [No_dep] verdicts are execution-invariant — they
+   assert the two subscript value {e sets} (over constant components)
+   never meet, which holds on every run and every loop entry. Distance
+   verdicts ([Exact_distance]/[Min_distance]) compare {e iteration}
+   numbers and therefore only constrain instances within one execution
+   of the loop; they are claimed only when {!Induction.loop_entered_once}
+   holds, making cross-entry instances impossible. A distance of [d]
+   iterations forces at least [d] header evaluations between the two
+   dynamic events, so observed dependence distances in retired
+   instructions are bounded below by [d] — the invariant
+   [alchemist check] enforces against recorded profiles.
+
+   Verdicts speak only about subscript values: the caller (see
+   {!Depend}) must separately establish that both accesses resolve to
+   the same array region before treating [No_dep] as independence or a
+   distance as a bound for a recorded edge. *)
+
+type verdict =
+  | No_dep
+  | Exact_distance of int
+  | Min_distance of int
+  | Unknown
+
+let verdict_to_string = function
+  | No_dep -> "no-dep"
+  | Exact_distance d -> Printf.sprintf "dist=%d" d
+  | Min_distance d -> Printf.sprintf "dist>=%d" d
+  | Unknown -> "unknown"
+
+type t = {
+  ind : Induction.t;
+  called_once : int -> bool;
+}
+
+let analyze ?induction ~called_once (prog : Vm.Program.t) =
+  let ind =
+    match induction with Some i -> i | None -> Induction.analyze prog
+  in
+  { ind; called_once }
+
+let induction t = t.ind
+
+(* Enumeration cap: [trip] iterations of integer arithmetic. *)
+let max_enum_trip = 65536
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+exception Indefinite
+
+(* Offset of an access once its per-iteration phase is folded in: an
+   access after the IV update sees [iv + step], i.e. an extra
+   [mul*step]. Ambiguous phases admit both, so no fact. *)
+let phased_offset ~mul ~step ~add = function
+  | Induction.Before -> add
+  | Induction.After -> add + (mul * step)
+  | Induction.Ambiguous -> raise Indefinite
+
+(* Strong / weak SIV over a common induction variable. [None] = this
+   test does not apply; fall through. *)
+let siv_classify t (fh : int * int) (ft : int * int) ~slot ~head_pc ~tail_pc =
+  match Induction.common_siv t.ind ~head_pc ~tail_pc ~slot with
+  | None -> None
+  | Some s -> (
+      let mul_h, add_h = fh and mul_t, add_t = ft in
+      let step = s.Induction.iv.Induction.step in
+      try
+        let off_h = phased_offset ~mul:mul_h ~step ~add:add_h s.head_phase in
+        let off_t = phased_offset ~mul:mul_t ~step ~add:add_t s.tail_phase in
+        let once =
+          Induction.loop_entered_once s.loop ~called_once:t.called_once
+        in
+        if mul_h = mul_t then begin
+          (* Strong SIV: init cancels; one candidate difference. *)
+          let denom = mul_h * step in
+          let num = off_t - off_h in
+          if num mod denom <> 0 then
+            Some (No_dep, "strong SIV: non-integer iteration difference")
+          else
+            let d = abs (num / denom) in
+            match s.iv.Induction.trip with
+            | Some trip when d >= trip ->
+                Some
+                  ( No_dep,
+                    Printf.sprintf
+                      "strong SIV: distance %d exceeds trip count %d" d trip
+                  )
+            | _ ->
+                if once then
+                  Some
+                    ( Exact_distance d,
+                      Printf.sprintf
+                        "strong SIV: dependent iterations %d apart" d )
+                else
+                  Some
+                    ( Unknown,
+                      "strong SIV distance needs a single-entry loop" )
+        end
+        else
+          match s.iv.Induction.init with
+          | None -> None
+          | Some init -> (
+              let dh = mul_h * step and dt = mul_t * step in
+              let c = ((mul_t - mul_h) * init) + off_t - off_h in
+              let g = gcd (abs dh) (abs dt) in
+              if g <> 0 && c mod g <> 0 then
+                Some (No_dep, "GCD test: no integer solutions")
+              else
+                match s.iv.Induction.trip with
+                | Some trip when trip <= max_enum_trip ->
+                    let best = ref max_int in
+                    for j1 = 0 to trip - 1 do
+                      let num = (dh * j1) - c in
+                      if num mod dt = 0 then begin
+                        let j2 = num / dt in
+                        if j2 >= 0 && j2 < trip then
+                          best := min !best (abs (j1 - j2))
+                      end
+                    done;
+                    if !best = max_int then
+                      Some (No_dep, "subscript value sets disjoint")
+                    else if !best >= 1 && once then
+                      Some
+                        ( Min_distance !best,
+                          Printf.sprintf
+                            "dependent iterations at least %d apart" !best )
+                    else
+                      Some
+                        ( Unknown,
+                          "weak SIV: equal values in overlapping iterations"
+                        )
+                | _ -> None)
+      with Indefinite -> None)
+
+(* Constant subscript against an affine one: membership of the constant
+   in the affine access's value set, when that set is pinned down. *)
+let const_vs_affine t k (mul, add) ~slot ~aff_pc =
+  match Induction.common_siv t.ind ~head_pc:aff_pc ~tail_pc:aff_pc ~slot with
+  | None -> None
+  | Some s -> (
+      match (s.iv.Induction.init, s.iv.Induction.trip) with
+      | Some init, Some trip -> (
+          let step = s.Induction.iv.Induction.step in
+          try
+            let off = phased_offset ~mul ~step ~add s.head_phase in
+            let d = mul * step in
+            let num = k - (mul * init) - off in
+            if num mod d <> 0 then
+              Some (No_dep, "constant outside affine value set")
+            else
+              let j = num / d in
+              if j < 0 || j >= trip then
+                Some (No_dep, "constant outside affine value set")
+              else None
+          with Indefinite -> None)
+      | _ -> None)
+
+let range_fallback t ~head_pc ~tail_pc =
+  match
+    (Induction.index_range t.ind head_pc, Induction.index_range t.ind tail_pc)
+  with
+  | Some (lo_h, hi_h), Some (lo_t, hi_t) when hi_h < lo_t || hi_t < lo_h ->
+      Some (No_dep, "subscript value ranges disjoint")
+  | _ -> None
+
+let classify t ~head_pc ~tail_pc =
+  let av_h = Induction.index_fact t.ind head_pc in
+  let av_t = Induction.index_fact t.ind tail_pc in
+  let fallback () =
+    match range_fallback t ~head_pc ~tail_pc with
+    | Some r -> r
+    | None -> (Unknown, "no applicable distance test")
+  in
+  match (av_h, av_t) with
+  | Induction.Cst a, Induction.Cst b ->
+      if a <> b then (No_dep, "ZIV: constant subscripts differ")
+      else (Unknown, "ZIV: same constant cell")
+  | Induction.Aff fh, Induction.Aff ft when fh.slot = ft.slot -> (
+      match
+        siv_classify t (fh.mul, fh.add) (ft.mul, ft.add) ~slot:fh.slot
+          ~head_pc ~tail_pc
+      with
+      | Some r -> r
+      | None -> fallback ())
+  | Induction.Cst k, Induction.Aff f -> (
+      match
+        const_vs_affine t k (f.mul, f.add) ~slot:f.slot ~aff_pc:tail_pc
+      with
+      | Some r -> r
+      | None -> fallback ())
+  | Induction.Aff f, Induction.Cst k -> (
+      match
+        const_vs_affine t k (f.mul, f.add) ~slot:f.slot ~aff_pc:head_pc
+      with
+      | Some r -> r
+      | None -> fallback ())
+  | _ -> fallback ()
+
+let no_dep t ~head_pc ~tail_pc =
+  match classify t ~head_pc ~tail_pc with No_dep, _ -> true | _ -> false
+
+let bound t ~head_pc ~tail_pc =
+  match classify t ~head_pc ~tail_pc with
+  | (Exact_distance d | Min_distance d), _ when d >= 1 -> Some d
+  | _ -> None

@@ -1,0 +1,49 @@
+(** Static dependence distances between pairs of indexed accesses.
+
+    Classifies a (head, tail) pair of [LoadIndex]/[StoreIndex] pcs with
+    the classical test battery (ZIV, strong/weak SIV, GCD, bounded
+    enumeration, value-range disjointness) over {!Induction}'s facts.
+
+    Verdicts speak only about subscript {e values} — the caller must
+    separately establish that both accesses resolve to the same array
+    region before treating [No_dep] as independence or a distance as a
+    bound on a recorded edge.
+
+    [No_dep] is execution-invariant (the two subscript value sets never
+    meet, on any run). [Exact_distance]/[Min_distance] count loop
+    iterations between dynamic instances and are only emitted when the
+    loop body provably runs at most once per program
+    ({!Induction.loop_entered_once}), which rules out cross-entry
+    instances; [d] iterations apart implies at least [d] retired
+    instructions apart, the invariant [alchemist check] enforces. *)
+
+type verdict =
+  | No_dep  (** the accesses can never touch the same cell *)
+  | Exact_distance of int
+      (** every dependent pair of instances is exactly this many
+          iterations apart (0 = same iteration) *)
+  | Min_distance of int
+      (** every dependent pair is at least this many iterations apart *)
+  | Unknown
+
+val verdict_to_string : verdict -> string
+
+type t
+
+val analyze :
+  ?induction:Induction.t -> called_once:(int -> bool) -> Vm.Program.t -> t
+(** [called_once fid] must be a sound "this function runs at most once
+    per program" predicate (see {!Depend}). *)
+
+val induction : t -> Induction.t
+
+val classify : t -> head_pc:int -> tail_pc:int -> verdict * string
+(** Verdict plus a human-readable justification of the deciding test. *)
+
+val no_dep : t -> head_pc:int -> tail_pc:int -> bool
+(** [classify] returned [No_dep]: the subscript value sets are disjoint
+    on every execution. *)
+
+val bound : t -> head_pc:int -> tail_pc:int -> int option
+(** Proven minimum dependence distance in iterations, [>= 1]; [None]
+    when nothing non-trivial is proven. *)

@@ -31,8 +31,33 @@ echo "engine differential: profiles byte-identical"
 
 # Static checker over every registry workload: CFA validation
 # (Cfa.Analysis.validate — any discrepancy fails), prune-on/prune-off
-# byte-identity, profile round-trip, and the dynamic-profile sanitizer.
-dune exec --no-build -- alchemist check --all --test-scale
+# byte-identity, profile round-trip, and the dynamic-profile sanitizer —
+# which cross-validates every observed min Tdep against the distance
+# engine's proven lower bounds. At least one workload (par2's gfexp
+# table) must actually carry a validated bound, or the distance layer
+# silently stopped proving anything.
+dune exec --no-build -- alchemist check --all --test-scale > "$tmpdir/check.out"
+cat "$tmpdir/check.out"
+grep -q "validated against static distance bounds" "$tmpdir/check.out"
+echo "distance validation: proven bounds checked against observed Tdep"
+
+# Seeded failure: corrupt a saved profile's observed min Tdep below its
+# stored static lower bound; the checker must refuse it (this proves the
+# distance cross-check can actually fire, not just that clean profiles
+# pass).
+dune exec --no-build -- alchemist profile workload:par2:24 \
+  --save "$tmpdir/par2.prof" > /dev/null
+grep -q "^distbound " "$tmpdir/par2.prof"
+awk '$1 == "distbound" { bounded[$2 " " $3] = 1 }
+     $1 == "edge" && (($3 " " $4) in bounded) { $6 = 1 }
+     { print }' "$tmpdir/par2.prof" > "$tmpdir/par2-bad.prof"
+if dune exec --no-build -- alchemist check workload:par2:24 \
+     --profile "$tmpdir/par2-bad.prof" > "$tmpdir/seeded.out" 2>&1; then
+  echo "seeded corruption was NOT caught" >&2
+  exit 1
+fi
+grep -q "static lower bound" "$tmpdir/seeded.out"
+echo "seeded corruption: distance checker fired as required"
 
 # Pruning differential through the CLI: instrumentation pruning must not
 # change a single byte of the saved profile.

@@ -10,6 +10,7 @@ let () =
       ("trace", Test_trace.suite);
       ("cfa", Test_cfa.suite);
       ("static", Test_static.suite);
+      ("distance", Test_distance.suite);
       ("indexing", Test_indexing.suite);
       ("shadow", Test_shadow.suite);
       ("obs", Test_obs.suite);

@@ -229,6 +229,99 @@ let test_lint_clean_and_byref () =
   Alcotest.(check bool) "inner x dead" true
     (contains_lint msgs "'x' is assigned but never read")
 
+let test_lint_invariant_subscript () =
+  (* [a[k]] inside the loop: k is never assigned there, so the address is
+     loop-invariant; [b[i]] uses the induction variable and stays quiet. *)
+  let msgs =
+    lints
+      {|int a[10];
+        int b[10];
+        int main() {
+          int i;
+          int k = 3;
+          int s = 0;
+          for (i = 0; i < 10; i = i + 1) {
+            s = s + a[k];
+            b[i] = b[i] + 1;
+          }
+          return s;
+        }|}
+  in
+  Alcotest.(check bool) "invariant subscript warns" true
+    (contains_lint msgs "loop-invariant subscript of 'a'");
+  Alcotest.(check bool) "induction subscript quiet" false
+    (contains_lint msgs "subscript of 'b'")
+
+let test_lint_invariant_subscript_call_blocks_global () =
+  (* With a call in the loop the callee may write the global [g], so
+     [a[g]] is no longer provably invariant; the local [k] still is. *)
+  let msgs =
+    lints
+      {|int g;
+        int a[10];
+        int bump() { g = g + 1; return 0; }
+        int main() {
+          int i;
+          int k = 2;
+          int s = 0;
+          for (i = 0; i < 10; i = i + 1) {
+            s = s + a[g] + a[k] + bump();
+          }
+          return s;
+        }|}
+  in
+  Alcotest.(check bool) "global subscript quiet under calls" false
+    (contains_lint msgs "(g never changes");
+  Alcotest.(check bool) "local subscript still warns" true
+    (contains_lint msgs "(k never changes")
+
+let test_lint_invariant_innermost_only () =
+  (* [a[j]] varies in the inner loop (j is its induction variable) and
+     only the innermost enclosing loop is judged — no warning even
+     though j is invariant across each outer iteration's start. *)
+  let msgs =
+    lints
+      {|int a[10];
+        int main() {
+          int i; int j;
+          int s = 0;
+          for (i = 0; i < 3; i = i + 1) {
+            for (j = 0; j < 3; j = j + 1) { s = s + a[j]; }
+          }
+          return s;
+        }|}
+  in
+  Alcotest.(check bool) "inner-variant subscript quiet" false
+    (contains_lint msgs "loop-invariant subscript")
+
+let test_lint_constant_condition () =
+  let msgs =
+    lints
+      {|int main() {
+          int s = 0;
+          while (1 < 2) {
+            s = s + 1;
+            if (s > 3) break;
+          }
+          return s;
+        }|}
+  in
+  Alcotest.(check bool) "constant condition warns" true
+    (contains_lint msgs "loop condition is provably constant");
+  (* A condition reading a variable is not constant; a [for] without a
+     condition is the idiomatic infinite loop and stays quiet. *)
+  let msgs =
+    lints
+      {|int main() {
+          int s = 0;
+          while (s < 4) { s = s + 1; }
+          for (;;) { break; }
+          return s;
+        }|}
+  in
+  Alcotest.(check bool) "variable condition quiet" false
+    (contains_lint msgs "provably constant")
+
 let suite =
   [
     ("adjacent operators", `Quick, test_adjacent_operators);
@@ -254,4 +347,10 @@ let suite =
     ("void main exits 0", `Quick, test_main_int_result);
     ("lints fire", `Quick, test_lint_fires);
     ("lints stay quiet", `Quick, test_lint_clean_and_byref);
+    ("invariant subscript", `Quick, test_lint_invariant_subscript);
+    ( "invariant subscript vs calls",
+      `Quick,
+      test_lint_invariant_subscript_call_blocks_global );
+    ("invariant innermost only", `Quick, test_lint_invariant_innermost_only);
+    ("constant loop condition", `Quick, test_lint_constant_condition);
   ]

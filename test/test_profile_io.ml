@@ -319,6 +319,172 @@ let test_verdict_malformed_matrix () =
   expect_error ~label:"verdict in v1" ~needle:"version-1"
     (v1 ^ first_verdict ^ "\n")
 
+(* --- version-3 distance-bound lines -------------------------------- *)
+
+(* A single-entry loop with a strong-SIV pair three iterations apart:
+   the write A[i+3] is read back by A[i] three iterations later, so the
+   profile records the RAW edge and the static layer proves (and the
+   file persists) its distance bound. *)
+let dist_src =
+  {|int A[64];
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 20; i = i + 1) {
+    A[i + 3] = A[i] + 1;
+    s = s + A[i + 3];
+  }
+  return s;
+}|}
+
+let has_distbound_line text =
+  List.exists
+    (String.starts_with ~prefix:"distbound ")
+    (String.split_on_char '\n' text)
+
+let test_v3_roundtrip () =
+  let prog, p = profile_of dist_src in
+  Alcotest.(check bool) "profile carries distance bounds" true
+    (match p.Profile.static_distbounds with Some (_ :: _) -> true | _ -> false);
+  let text = Pio.to_string p in
+  Alcotest.(check bool) "version-3 header" true
+    (String.starts_with ~prefix:"alchemist-profile 3\n" text);
+  Alcotest.(check bool) "has distbound lines" true (has_distbound_line text);
+  match Pio.read prog text with
+  | Error msg -> Alcotest.failf "read failed: %s" msg
+  | Ok p2 ->
+      Alcotest.(check string) "byte-identical reserialization" text
+        (Pio.to_string p2);
+      Alcotest.(check bool) "distance bounds preserved" true
+        (p.Profile.static_distbounds = p2.Profile.static_distbounds)
+
+let test_v3_v2_byte_exact () =
+  (* Stripping the bounds from a loaded version-3 profile must produce
+     the exact bytes the same data would have written as version 2 —
+     the distbound block is a pure extension, not a reformatting. *)
+  let prog, p = profile_of dist_src in
+  let text3 = Pio.to_string p in
+  p.Profile.static_distbounds <- None;
+  let text2 = Pio.to_string p in
+  Alcotest.(check bool) "version-2 header after strip" true
+    (String.starts_with ~prefix:"alchemist-profile 2\n" text2);
+  Alcotest.(check bool) "no distbound lines" false (has_distbound_line text2);
+  (match Pio.read prog text3 with
+  | Error msg -> Alcotest.failf "v3 read failed: %s" msg
+  | Ok p3 ->
+      p3.Profile.static_distbounds <- None;
+      Alcotest.(check string) "v3 minus bounds = v2 bytes" text2
+        (Pio.to_string p3));
+  (* An empty bound list serializes as version 2 too (the version only
+     moves when a distbound line would follow)... *)
+  (match Pio.read prog text2 with
+  | Error msg -> Alcotest.failf "v2 read failed: %s" msg
+  | Ok p2 ->
+      p2.Profile.static_distbounds <- Some [];
+      Alcotest.(check string) "empty bounds stay v2" text2 (Pio.to_string p2));
+  (* ... and a declared-v3 file with no distbound lines normalizes back
+     to version 2 on round-trip. *)
+  let fake_v3 =
+    "alchemist-profile 3"
+    ^ String.sub text2 (String.length "alchemist-profile 2")
+        (String.length text2 - String.length "alchemist-profile 2")
+  in
+  match Pio.read prog fake_v3 with
+  | Error msg -> Alcotest.failf "bound-free v3 read failed: %s" msg
+  | Ok p2 ->
+      Alcotest.(check string) "bound-free v3 normalizes to v2" text2
+        (Pio.to_string p2)
+
+let test_distbound_malformed_matrix () =
+  let prog, p = profile_of dist_src in
+  let text = Pio.to_string p in
+  let expect_error ~label ~needle text =
+    match Pio.read prog text with
+    | Ok _ -> Alcotest.failf "%s: accepted" label
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %S mentions %S" label msg needle)
+          true
+          (Testutil.contains msg needle)
+  in
+  let with_extra extra = text ^ extra ^ "\n" in
+  let extra_line = List.length (String.split_on_char '\n' text) in
+  let first_distbound =
+    List.find
+      (String.starts_with ~prefix:"distbound ")
+      (String.split_on_char '\n' text)
+  in
+  (* a bound below 1 proves nothing and must not parse *)
+  expect_error ~label:"zero bound" ~needle:"must be >= 1"
+    (with_extra "distbound 3 5 RAW 0");
+  expect_error ~label:"negative bound" ~needle:"must be >= 1"
+    (with_extra "distbound 3 5 RAW -2");
+  expect_error ~label:"garbled bound" ~needle:"not an integer"
+    (with_extra "distbound 3 5 RAW x");
+  expect_error ~label:"bad kind" ~needle:"RAR"
+    (with_extra "distbound 3 5 RAR 2");
+  expect_error ~label:"negative pc" ~needle:"negative pc"
+    (with_extra "distbound -1 5 RAW 2");
+  expect_error ~label:"arity" ~needle:"malformed"
+    (with_extra "distbound 3 5 RAW");
+  (* duplicates are rejected with the offending 1-based line number *)
+  expect_error ~label:"duplicate distbound" ~needle:"duplicate distbound"
+    (with_extra first_distbound);
+  expect_error ~label:"duplicate distbound line number"
+    ~needle:(Printf.sprintf "line %d" extra_line)
+    (with_extra first_distbound);
+  (* a distbound line is rejected in any pre-v3 body *)
+  p.Profile.static_distbounds <- None;
+  let v2 = Pio.to_string p in
+  expect_error ~label:"distbound in v2" ~needle:"version-2"
+    (v2 ^ first_distbound ^ "\n");
+  p.Profile.static_verdicts <- None;
+  let v1 = Pio.to_string p in
+  expect_error ~label:"distbound in v1" ~needle:"version-1"
+    (v1 ^ first_distbound ^ "\n")
+
+(* Seeded corruption: shrink a recorded edge's observed min Tdep below
+   its stored (and recomputed) static lower bound. The file still
+   parses — the contradiction is semantic — and the sanitizer must trip
+   on exactly that edge. This proves the checker can actually fire, not
+   just that clean profiles pass. *)
+let test_seeded_corruption_trips_checker () =
+  let prog, p = profile_of dist_src in
+  let text = Pio.to_string p in
+  let db_head, db_tail =
+    Scanf.sscanf
+      (List.find
+         (String.starts_with ~prefix:"distbound ")
+         (String.split_on_char '\n' text))
+      "distbound %d %d" (fun h t -> (h, t))
+  in
+  let corrupted =
+    String.split_on_char '\n' text
+    |> List.map (fun line ->
+           match String.split_on_char ' ' line with
+           | "edge" :: cid :: head :: tail :: kind :: _min_tdep :: rest
+             when int_of_string head = db_head && int_of_string tail = db_tail
+             ->
+               String.concat " "
+                 ("edge" :: cid :: head :: tail :: kind :: "1" :: rest)
+           | _ -> line)
+    |> String.concat "\n"
+  in
+  Alcotest.(check bool) "corruption changed the text" true (corrupted <> text);
+  match Pio.read prog corrupted with
+  | Error msg -> Alcotest.failf "corrupted file no longer parses: %s" msg
+  | Ok bad ->
+      let issues = Alchemist.Sanitize.check bad in
+      Alcotest.(check bool) "sanitizer fires" true (issues <> []);
+      Alcotest.(check bool) "mentions the distance bound" true
+        (List.exists
+           (fun (i : Alchemist.Sanitize.issue) ->
+             Testutil.contains i.reason "static lower bound")
+           issues);
+      (* the pristine profile stays clean *)
+      Alcotest.(check int) "clean profile has no issues" 0
+        (List.length (Alchemist.Sanitize.check p))
+
 let suite =
   [
     ("roundtrip", `Quick, test_roundtrip);
@@ -334,4 +500,8 @@ let suite =
     ("v1 files still load", `Quick, test_v1_still_loads);
     ("v2 with zero verdicts", `Quick, test_v2_zero_verdicts);
     ("verdict malformed matrix", `Quick, test_verdict_malformed_matrix);
+    ("v3 distbound roundtrip", `Quick, test_v3_roundtrip);
+    ("v3/v2 byte exactness", `Quick, test_v3_v2_byte_exact);
+    ("distbound malformed matrix", `Quick, test_distbound_malformed_matrix);
+    ("seeded corruption trips checker", `Quick, test_seeded_corruption_trips_checker);
   ]

@@ -372,7 +372,8 @@ let test_rank_and_advice_surface_static_proof () =
   Alcotest.(check bool) "advice carries the proof bit" true
     (List.exists
        (function
-         | Alchemist.Advice.Spawnable { statically_proven } -> statically_proven
+         | Alchemist.Advice.Spawnable { statically_proven; _ } ->
+             statically_proven
          | _ -> false)
        a.Alchemist.Advice.suggestions)
 
