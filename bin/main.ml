@@ -85,6 +85,14 @@ let fuel_arg =
     & opt int 2_000_000_000
     & info [ "fuel" ] ~doc:"Instruction budget before trapping.")
 
+let regalloc_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "regalloc" ] ~docv:"BOOL"
+        ~doc:"Run the register engine's graph-coloring allocator (default \
+              on). Only meaningful with $(b,--engine=register); the profile \
+              is byte-identical either way.")
+
 let engine_arg =
   Arg.(
     value
@@ -92,10 +100,11 @@ let engine_arg =
         (enum
            [
              ("threaded", Vm.Machine.Threaded); ("switch", Vm.Machine.Switch);
+             ("register", Vm.Machine.Register);
            ])
         Vm.Machine.Threaded
     & info [ "engine" ] ~docv:"ENGINE"
-        ~doc:"VM execution engine: $(b,threaded) (closure-threaded with               superinstruction fusion, the default) or $(b,switch) (the               reference interpreter). Both produce identical results and               profiles.")
+        ~doc:"VM execution engine: $(b,threaded) (closure-threaded with               superinstruction fusion, the default), $(b,switch) (the               reference interpreter), or $(b,register) (stack bytecode               compiled to an allocated register IR). All three produce               identical results and profiles.")
 
 (* --- run --------------------------------------------------------------- *)
 
@@ -103,7 +112,7 @@ let run_cmd =
   let run spec fuel fold warn engine =
     handle_errors (fun () ->
         let prog = load_program ~fold ~warn spec in
-        let r = Vm.Machine.run ~engine ~fuel prog in
+        let r = Ir.Engine.run ~engine ~fuel prog in
         List.iter (fun v -> Printf.printf "%d\n" v) r.Vm.Machine.output;
         Printf.printf "exit=%d instructions=%d\n" r.Vm.Machine.exit_value
           r.Vm.Machine.instructions)
@@ -152,11 +161,12 @@ let profile_cmd =
                 $(b,json).")
   in
   let profile spec fuel top edges kinds trace_locals save telemetry fold warn
-      static_prune engine =
+      static_prune engine regalloc =
     handle_errors (fun () ->
         let prog = load_program ~fold ~warn spec in
         let r =
-          Alchemist.Profiler.run ~engine ~fuel ~trace_locals ~static_prune prog
+          Alchemist.Profiler.run ~engine ~regalloc ~fuel ~trace_locals
+            ~static_prune prog
         in
         Option.iter
           (fun path -> Alchemist.Profile_io.save r.Alchemist.Profiler.profile path)
@@ -199,7 +209,8 @@ let profile_cmd =
        ~doc:"Profile dependence distances (Fig. 2/3-style report).")
     Term.(
       const profile $ src_arg $ fuel_arg $ top $ edges $ kinds $ trace_locals
-      $ save $ telemetry $ fold_arg $ warn_arg $ static_prune_arg $ engine_arg)
+      $ save $ telemetry $ fold_arg $ warn_arg $ static_prune_arg $ engine_arg
+      $ regalloc_arg)
 
 (* --- rank ---------------------------------------------------------------- *)
 
@@ -626,13 +637,37 @@ let check_cmd =
 (* --- disasm / workloads --------------------------------------------------- *)
 
 let disasm_cmd =
-  let disasm spec =
+  let ir_arg =
+    Arg.(
+      value & flag
+      & info [ "ir" ]
+          ~doc:
+            "Also show the register IR: stack bytecode on the left, the \
+             graph-colored three-address code the register engine executes \
+             on the right, aligned by the instruction-clock segments each \
+             IR instruction owns.")
+  in
+  let no_regalloc_arg =
+    Arg.(
+      value & flag
+      & info [ "no-regalloc" ]
+          ~doc:
+            "With $(b,--ir): print identity-mapped virtual registers \
+             instead of the colored physical window slots.")
+  in
+  let disasm spec ir no_regalloc =
     handle_errors (fun () ->
-        print_string (Vm.Disasm.to_string (load_program spec)))
+        let prog = load_program spec in
+        if ir then
+          print_string (Ir.Disasm.to_string ~regalloc:(not no_regalloc) prog)
+        else print_string (Vm.Disasm.to_string prog))
   in
   Cmd.v
-    (Cmd.info "disasm" ~doc:"Disassemble the compiled bytecode.")
-    Term.(const disasm $ src_arg)
+    (Cmd.info "disasm"
+       ~doc:
+         "Disassemble the compiled bytecode, optionally side by side with \
+          the allocated register IR.")
+    Term.(const disasm $ src_arg $ ir_arg $ no_regalloc_arg)
 
 let workloads_cmd =
   let list () =

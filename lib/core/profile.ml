@@ -61,13 +61,15 @@ module Etbl = struct
     }
 
   (* Fibonacci-style multiplicative mix: packed keys differ mostly in a
-     few bit ranges; spread them across the table. *)
+     few bit ranges; spread them across the table. The probe index is
+     always masked to the power-of-two capacity, so the loop's loads are
+     in bounds by construction and safely unchecked. *)
   let[@inline] slot t k =
     let mask = t.mask in
     let keys = t.keys in
     let i = ref ((k * 0x5DEECE66D) land mask) in
     while
-      let k' = keys.(!i) in
+      let k' = Array.unsafe_get keys !i in
       k' <> k && k' <> no_key
     do
       i := (!i + 1) land mask

@@ -63,23 +63,28 @@ let make ?scan_limit ?pool_capacity ?obs ?(static = true) (prog : Vm.Program.t)
      enclosing construct of its head, bottom-up. The sink receives the
      edge unboxed, so the per-dependence walk performs no allocation. *)
   let walk_depth = Obs.Registry.histogram reg "profiler.walk_depth" in
+  (* [depth] counts constructs that received the edge so far, so the
+     histogram records exactly how far each attribution walk climbed.
+     [walk] closes only over per-run state, never over per-dependence
+     values: a closure allocation here would run once per attributed
+     dependence (~1.6M times on gzip) and dominate minor-heap traffic. *)
+  let rec walk ~kind ~head_pc ~tail_pc ~tdep ~addr ~head_time (c : Node.t)
+      depth =
+    if Node.covers c head_time then begin
+      Profile.record_edge profile
+        ~cid:(cid_of_label prog c.label)
+        ~head_pc ~tail_pc ~kind ~tdep ~addr;
+      match c.parent with
+      | Some p -> walk ~kind ~head_pc ~tail_pc ~tdep ~addr ~head_time p (depth + 1)
+      | None -> Obs.Histogram.observe walk_depth (depth + 1)
+    end
+    else Obs.Histogram.observe walk_depth depth
+  in
   let sink ~kind ~head_pc ~head_time ~head_node ~tail_pc ~tail_time
       ~tail_node:_ ~addr =
-    let tdep = tail_time - head_time in
-    (* [depth] counts constructs that received the edge so far, so the
-       histogram records exactly how far each attribution walk climbed. *)
-    let rec walk (c : Node.t) depth =
-      if Node.covers c head_time then begin
-        Profile.record_edge profile
-          ~cid:(cid_of_label prog c.label)
-          ~head_pc ~tail_pc ~kind ~tdep ~addr;
-        match c.parent with
-        | Some p -> walk p (depth + 1)
-        | None -> Obs.Histogram.observe walk_depth (depth + 1)
-      end
-      else Obs.Histogram.observe walk_depth depth
-    in
-    walk head_node 0
+    walk ~kind ~head_pc ~tail_pc
+      ~tdep:(tail_time - head_time)
+      ~addr ~head_time head_node 0
   in
   let shadow = Shadow.Shadow_memory.create ~sink () in
   Shadow.Shadow_memory.register_obs shadow reg;
@@ -174,10 +179,12 @@ let make ?scan_limit ?pool_capacity ?obs ?(static = true) (prog : Vm.Program.t)
   in
   (hooks, finish, dep)
 
-let run ?(engine = Vm.Machine.Threaded) ?fuel ?scan_limit ?pool_capacity ?obs
-    ?(trace_locals = false) ?(static_prune = true) (prog : Vm.Program.t) =
+let run ?(engine = Vm.Machine.Threaded) ?regalloc ?fuel ?scan_limit
+    ?pool_capacity ?obs ?(trace_locals = false) ?(static_prune = true)
+    (prog : Vm.Program.t) =
+  let reg = match obs with Some r -> r | None -> Obs.Registry.create () in
   let hooks, finish, dep =
-    make ?scan_limit ?pool_capacity ?obs ~static:(not trace_locals) prog
+    make ?scan_limit ?pool_capacity ~obs:reg ~static:(not trace_locals) prog
   in
   (* The verdict layer runs (and is stored) whether or not pruning is
      applied — so prune-on and prune-off profiles of the same execution
@@ -189,14 +196,21 @@ let run ?(engine = Vm.Machine.Threaded) ?fuel ?scan_limit ?pool_capacity ?obs
     | _ -> None
   in
   let r =
-    finish (Vm.Machine.run_hooked ~engine ~trace_locals ?prune ?fuel hooks prog)
+    finish
+      (Ir.Engine.run_hooked ~engine ?regalloc ~trace_locals ?prune ?fuel
+         ~obs:reg hooks prog)
   in
   (* Record which engine produced the events, so benchmark telemetry is
-     self-describing (0 = switch, 1 = threaded). Differential telemetry
-     comparisons filter this gauge out — see test/test_engines.ml. *)
+     self-describing (0 = switch, 1 = threaded, 2 = register). The
+     register engine additionally publishes ir.* gauges through [reg].
+     Differential telemetry comparisons filter these out — see
+     test/test_engines.ml. *)
   Obs.Gauge.set
     (Obs.Registry.gauge r.obs "vm.engine")
-    (match engine with Vm.Machine.Switch -> 0 | Vm.Machine.Threaded -> 1);
+    (match engine with
+    | Vm.Machine.Switch -> 0
+    | Vm.Machine.Threaded -> 1
+    | Vm.Machine.Register -> 2);
   r
 
 let run_trace ?scan_limit ?pool_capacity ?obs (trace : Vm.Trace.t)

@@ -45,6 +45,7 @@ val telemetry : result -> Obs.snapshot
 
 val run :
   ?engine:Vm.Machine.engine ->
+  ?regalloc:bool ->
   ?fuel:int ->
   ?scan_limit:int ->
   ?pool_capacity:int ->
@@ -56,10 +57,14 @@ val run :
 (** Profiles one execution.
 
     [engine] selects the VM execution engine (default
-    {!Vm.Machine.Threaded}); both engines feed the profiler the exact
+    {!Vm.Machine.Threaded}); all engines feed the profiler the exact
     same event stream, so the profile is engine-independent
     (differentially tested). The engine used is recorded in telemetry as
-    the [vm.engine] gauge (0 = switch, 1 = threaded).
+    the [vm.engine] gauge (0 = switch, 1 = threaded, 2 = register).
+    [regalloc] (default [true]) only affects the register engine: when
+    [false] the register IR runs on the identity vreg mapping instead of
+    the colored window — the ablation the bench measures; observable
+    results are unchanged either way.
     [pool_capacity] (default 1M, the paper's setting) controls index-node
     retention; [trace_locals] (default [false]) additionally tracks scalar
     frame slots as memory — see {!Vm.Machine.run_hooked}. [obs] supplies

@@ -1,19 +1,24 @@
 type t = {
   ipdom : int array;
-  ipdom_target : bool array;
-      (* [ipdom_target.(pc)] iff some construct label has [pc] as its
-         immediate post-dominator — i.e. rule (5) can possibly fire here.
-         Most executed pcs are not a join point of any construct, so the
-         per-instruction fast path is one load and a branch instead of a
-         stack-top inspection. *)
+  ipdom_target : Bytes.t;
+      (* [ipdom_target] holds '\001' at [pc] iff some construct label
+         has [pc] as its immediate post-dominator — i.e. rule (5) can
+         possibly fire here. Most executed pcs are not a join point of
+         any construct, so the per-instruction fast path is one byte
+         load and a branch instead of a stack-top inspection. Bytes
+         rather than bool array so the whole program's flags fit in a
+         few cache lines, and indexed unsafely: every pc the engines
+         pass is in [0, code length), the array's exact extent. *)
   tr : Index_tree.t;
   mutable forced : int;
 }
 
 let create ~ipdom ~tree =
-  let ipdom_target = Array.make (Array.length ipdom) false in
+  let ipdom_target = Bytes.make (Array.length ipdom) '\000' in
   Array.iter
-    (fun d -> if d >= 0 && d < Array.length ipdom_target then ipdom_target.(d) <- true)
+    (fun d ->
+      if d >= 0 && d < Bytes.length ipdom_target then
+        Bytes.set ipdom_target d '\001')
     ipdom;
   { ipdom; ipdom_target; tr = tree; forced = 0 }
 
@@ -33,7 +38,7 @@ let rec pops t pc =
 
 let[@inline] on_instr t ~pc =
   Index_tree.tick t.tr;
-  if t.ipdom_target.(pc) then pops t pc
+  if Bytes.unsafe_get t.ipdom_target pc <> '\000' then pops t pc
 
 let on_branch t ~pc ~kind ~taken =
   match kind with

@@ -1,0 +1,746 @@
+(* Register-IR execution engine.
+
+   Compiled closures over register windows: each function activation
+   owns a window of physical slots in one flat register stack
+   ([regs]), disjoint from the caller's, so calls are window bumps and
+   parallel to the frame-memory machinery of {!Vm.Vmstate} — frame
+   memory is still really allocated and zeroed (the memory high-water
+   metric is identical), but locals live in registers and frame memory
+   is only synchronized on deoptimization.
+
+   Fuel exhaustion mid-segment deoptimizes: the operand stack is
+   rebuilt bottom-up from the per-frame suspension records, live
+   locals are flushed to frame memory, and {!Vm.Machine.switch_resume}
+   replays from the segment's first pc — so "out of fuel" (or any
+   nearer trap) fires at exactly the reference pc with the reference
+   event stream.
+
+   Tag bytes ([rtg]) are only maintained when the lowering could not
+   prove every tag ([wt]); in well-typed programs the whole tag plane
+   is dead code. *)
+
+open Instr
+module VS = Vm.Vmstate
+
+(* A resolved stack frame image: how to rebuild one frame's portion of
+   the reference operand stack and flush its live locals. Operands are
+   pre-resolved to window slots. *)
+type rop = RImm of int | RSlot of int | RRefL of int * int
+
+type rframe = {
+  r_ops : rop array;
+  r_tags : string;
+  r_flush_mem : int array;
+  r_flush_slot : int array;
+  r_flush_tag : string;
+}
+
+let empty_frame =
+  { r_ops = [||]; r_tags = ""; r_flush_mem = [||]; r_flush_slot = [||]; r_flush_tag = "" }
+
+type rdeopt = { rd_pc : int; rd_frame : rframe }
+
+type xstate = {
+  st : VS.state;
+  mutable regs : int array;
+  mutable rtg : Bytes.t;
+  mutable rb : int;  (** current window base *)
+  mutable rtop : int;  (** one past the current window *)
+  mutable c_rb : int array;  (** per call depth: saved window base *)
+  mutable c_ret_ir : int array;  (** return IR pc *)
+  mutable c_dst : int array;  (** caller-window-relative result slot *)
+  mutable c_sus : rframe array;  (** caller suspension record *)
+}
+
+let resolve_ops (al : Regalloc.alloc) ops =
+  Array.map
+    (function
+      | Reg r -> RSlot al.map.(r)
+      | Imm n -> RImm n
+      | RefL (o, l) -> RRefL (o, l))
+    ops
+
+let resolve_frame (al : Regalloc.alloc) ops tags flush =
+  {
+    r_ops = resolve_ops al ops;
+    r_tags = tags;
+    r_flush_mem = Array.map (fun (s, _, _) -> s) flush;
+    r_flush_slot = Array.map (fun (_, v, _) -> al.map.(v)) flush;
+    r_flush_tag =
+      String.init (Array.length flush) (fun i ->
+          let _, _, t = flush.(i) in
+          t);
+  }
+
+(* Does any static tag come out unknown? If not, the runtime tag plane
+   is never read and all [rtg] maintenance is skipped. *)
+let needs_tags (lw : Lower.t) =
+  let unk_s s = String.contains s ty_unk in
+  let unk_fl = Array.exists (fun (_, _, t) -> t = ty_unk) in
+  Array.exists
+    (fun (ins : Instr.t) ->
+      Array.exists (fun m -> m.m_ty = ty_unk) ins.moves
+      || (match ins.deopt with
+         | Some d -> unk_s d.d_tags || unk_fl d.d_flush
+         | None -> false)
+      ||
+      match ins.kind with
+      | Mov { ty; _ } -> ty = ty_unk
+      | Bin { ta; tb; _ } -> ta = ty_unk || tb = ty_unk
+      | Un { ta; _ } -> ta = ty_unk
+      | StoreG { tv; _ } -> tv = ty_unk
+      | LoadIx { tr; tix; _ } -> tr = ty_unk || tix = ty_unk
+      | StoreIx { tr; tix; tv; _ } ->
+          tr = ty_unk || tix = ty_unk || tv = ty_unk
+      | PrintI { tv; _ } -> tv = ty_unk
+      | BrI { tc; _ } -> tc = ty_unk
+      | CallI ci -> unk_s ci.ci_atags || unk_s ci.ci_rtags || unk_fl ci.ci_rflush
+      | RetI { vt; _ } -> vt = ty_unk
+      | HaltI { tv; _ } -> tv = ty_unk
+      | LoadG _ | JmpI _ | EndB -> false)
+    lw.instrs
+
+let binfn (op : Minic.Ast.binop) : int -> int -> int =
+  match op with
+  | Add -> ( + )
+  | Sub -> ( - )
+  | Mul -> ( * )
+  | BitAnd -> ( land )
+  | BitOr -> ( lor )
+  | BitXor -> ( lxor )
+  | Lt -> fun a b -> if a < b then 1 else 0
+  | Le -> fun a b -> if a <= b then 1 else 0
+  | Gt -> fun a b -> if a > b then 1 else 0
+  | Ge -> fun a b -> if a >= b then 1 else 0
+  | Eq -> fun a b -> if a = b then 1 else 0
+  | Ne -> fun a b -> if a <> b then 1 else 0
+  | Div | Mod | Shl | Shr | LogAnd | LogOr -> assert false
+
+let run_ir ~hooked ~trace_locals ?prune ~regalloc ?obs (hooks : Vm.Hooks.t)
+    ?fuel ?max_depth (lw : Lower.t) =
+  let prog = lw.prog in
+  let st = VS.create ?max_depth prog in
+  let fuel = match fuel with Some f -> f | None -> max_int in
+  let allocs =
+    Array.map (fun fi -> Regalloc.allocate ~identity:(not regalloc) lw fi) lw.funcs
+  in
+  let pre_alloc = Regalloc.identity 1 in
+  let wt = needs_tags lw in
+  (match obs with
+  | Some reg ->
+      Obs.Gauge.set
+        (Obs.Registry.gauge reg "ir.instrs_per_stack_instr")
+        (Array.length lw.instrs * 1000 / max 1 lw.n_stack_pcs);
+      Obs.Gauge.set
+        (Obs.Registry.gauge reg "ir.spills")
+        (Array.fold_left (fun a (al : Regalloc.alloc) -> a + al.spills) 0 allocs)
+  | None -> ());
+  let xs =
+    {
+      st;
+      regs = Array.make 1024 0;
+      rtg = Bytes.make 1024 VS.tag_int;
+      rb = 0;
+      rtop = 1;
+      c_rb = Array.make 64 0;
+      c_ret_ir = Array.make 64 0;
+      c_dst = Array.make 64 0;
+      c_sus = Array.make 64 empty_frame;
+    }
+  in
+  let ensure_regs need =
+    if need > Array.length xs.regs then begin
+      let nn = max need (2 * Array.length xs.regs) in
+      let nr = Array.make nn 0 in
+      Array.blit xs.regs 0 nr 0 (Array.length xs.regs);
+      xs.regs <- nr;
+      let nt = Bytes.make nn VS.tag_int in
+      Bytes.blit xs.rtg 0 nt 0 (Bytes.length xs.rtg);
+      xs.rtg <- nt
+    end
+  in
+  let grow_crec () =
+    let n = Array.length xs.c_rb in
+    let nn = n * 2 in
+    let g a =
+      let b = Array.make nn 0 in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    xs.c_rb <- g xs.c_rb;
+    xs.c_ret_ir <- g xs.c_ret_ir;
+    xs.c_dst <- g xs.c_dst;
+    let s = Array.make nn empty_frame in
+    Array.blit xs.c_sus 0 s 0 n;
+    xs.c_sus <- s
+  in
+  let vtag tc ws =
+    if tc = ty_unk then Bytes.get xs.rtg ws
+    else if tc = ty_ref then VS.tag_ref
+    else VS.tag_int
+  in
+  let restore_frame wb fb (fr : rframe) =
+    for k = 0 to Array.length fr.r_flush_mem - 1 do
+      let addr = fb + fr.r_flush_mem.(k) in
+      let ws = wb + fr.r_flush_slot.(k) in
+      st.mem.(addr) <- xs.regs.(ws);
+      Bytes.set st.mem_tag addr (vtag fr.r_flush_tag.[k] ws)
+    done;
+    Array.iteri
+      (fun i op ->
+        let tc = fr.r_tags.[i] in
+        match op with
+        | RImm n ->
+            VS.push st n (if tc = ty_ref then VS.tag_ref else VS.tag_int)
+        | RSlot s' ->
+            let ws = wb + s' in
+            VS.push st xs.regs.(ws) (vtag tc ws)
+        | RRefL (off, len) -> VS.push st (VS.pack_ref (fb + off) len) VS.tag_ref)
+      fr.r_ops
+  in
+  let do_deopt (rd : rdeopt) : int =
+    st.sp <- 0;
+    for j = 0 to st.depth - 1 do
+      restore_frame xs.c_rb.(j) st.call_base.(j) xs.c_sus.(j)
+    done;
+    restore_frame xs.rb st.frame_base rd.rd_frame;
+    let v =
+      Vm.Machine.switch_resume ~hooked ~trace_locals ?prune hooks ~fuel st prog
+        ~pc:rd.rd_pc
+    in
+    raise (VS.Halted v)
+  in
+  (* ---- per-instruction closure compilation --------------------------- *)
+  let build gi (ins : Instr.t) : unit -> int =
+    let next = gi + 1 in
+    let fid = lw.fid_of_ir.(gi) in
+    let al = if fid < 0 then pre_alloc else allocs.(fid) in
+    let slot v = al.map.(v) in
+    let epc = ins.epc in
+    let getv (o : operand) : unit -> int =
+      match o with
+      | Imm n -> fun () -> n
+      | Reg r ->
+          let s = slot r in
+          fun () -> Array.unsafe_get xs.regs (xs.rb + s)
+      | RefL (off, len) -> fun () -> VS.pack_ref (st.frame_base + off) len
+    in
+    let gettag (o : operand) tc : unit -> char =
+      if tc = ty_unk then
+        match o with
+        | Reg r ->
+            let s = slot r in
+            fun () -> Bytes.unsafe_get xs.rtg (xs.rb + s)
+        | Imm _ | RefL _ -> fun () -> VS.tag_int
+      else if tc = ty_ref then fun () -> VS.tag_ref
+      else fun () -> VS.tag_int
+    in
+    let chk_int (o : operand) tc : unit -> int =
+      if tc = ty_int then getv o
+      else if tc = ty_ref then fun () ->
+        VS.trap st epc "expected integer, found array reference"
+      else
+        match o with
+        | Reg r ->
+            let s = slot r in
+            fun () ->
+              let i = xs.rb + s in
+              if Bytes.unsafe_get xs.rtg i <> VS.tag_int then
+                VS.trap st epc "expected integer, found array reference";
+              Array.unsafe_get xs.regs i
+        | Imm n -> fun () -> n
+        | RefL _ ->
+            fun () -> VS.trap st epc "expected integer, found array reference"
+    in
+    let chk_ref (o : operand) tc : unit -> int =
+      if tc = ty_ref then getv o
+      else if tc = ty_int then fun () ->
+        VS.trap st epc "expected array reference, found integer"
+      else
+        match o with
+        | Reg r ->
+            let s = slot r in
+            fun () ->
+              let i = xs.rb + s in
+              if Bytes.unsafe_get xs.rtg i <> VS.tag_ref then
+                VS.trap st epc "expected array reference, found integer";
+              Array.unsafe_get xs.regs i
+        | Imm n -> fun () -> n
+        | RefL (off, len) -> fun () -> VS.pack_ref (st.frame_base + off) len
+    in
+    let setr ds v =
+      Array.unsafe_set xs.regs (xs.rb + ds) v;
+      if wt then Bytes.unsafe_set xs.rtg (xs.rb + ds) VS.tag_int
+    in
+    (* canonicalization moves; coloring frequently assigns src and dst
+       the same physical slot, making the move a no-op — elide it here
+       rather than paying two array stores per execution. With a runtime
+       tag plane a same-slot move still matters when its static ty pins
+       the tag to a constant (ty_unk would just copy the slot's own tag). *)
+    let live_moves =
+      Array.of_list
+        (List.filter
+           (fun m ->
+             match m.m_src with
+             | Reg r when slot r = slot m.m_dst -> wt && m.m_ty <> ty_unk
+             | Imm _ | Reg _ | RefL _ -> true)
+           (Array.to_list ins.moves))
+    in
+    let nm = Array.length live_moves in
+    let mdst = Array.map (fun m -> slot m.m_dst) live_moves in
+    let mget = Array.map (fun m -> getv m.m_src) live_moves in
+    let mtag = Array.map (fun m -> gettag m.m_src m.m_ty) live_moves in
+    let apply_moves () =
+      for k = 0 to nm - 1 do
+        let d = xs.rb + Array.unsafe_get mdst k in
+        Array.unsafe_set xs.regs d ((Array.unsafe_get mget k) ());
+        if wt then Bytes.unsafe_set xs.rtg d ((Array.unsafe_get mtag k) ())
+      done
+    in
+    if not (Instr.segmented ins) then
+      (* pure: no pcs, no events, no fuel gate *)
+      match ins.kind with
+      | Mov { dst; src; ty } -> (
+          let ds = slot dst in
+          match src with
+          | Imm n ->
+              let tg = if ty = ty_ref then VS.tag_ref else VS.tag_int in
+              fun () ->
+                Array.unsafe_set xs.regs (xs.rb + ds) n;
+                if wt then Bytes.unsafe_set xs.rtg (xs.rb + ds) tg;
+                next
+          | Reg r ->
+              let ss = slot r in
+              fun () ->
+                let g = xs.regs and b = xs.rb in
+                Array.unsafe_set g (b + ds) (Array.unsafe_get g (b + ss));
+                if wt then
+                  Bytes.unsafe_set xs.rtg (b + ds)
+                    (Bytes.unsafe_get xs.rtg (b + ss));
+                next
+          | RefL (off, len) ->
+              fun () ->
+                Array.unsafe_set xs.regs (xs.rb + ds)
+                  (VS.pack_ref (st.frame_base + off) len);
+                if wt then Bytes.unsafe_set xs.rtg (xs.rb + ds) VS.tag_ref;
+                next)
+      | Bin { dst; op; a; b; _ } -> (
+          let ds = slot dst in
+          match (op, a, b) with
+          | Minic.Ast.Add, Reg ra, Imm n ->
+              let sa = slot ra in
+              fun () ->
+                let g = xs.regs and rb0 = xs.rb in
+                Array.unsafe_set g (rb0 + ds) (Array.unsafe_get g (rb0 + sa) + n);
+                if wt then Bytes.unsafe_set xs.rtg (rb0 + ds) VS.tag_int;
+                next
+          | Minic.Ast.Sub, Reg ra, Imm n ->
+              let sa = slot ra in
+              fun () ->
+                let g = xs.regs and rb0 = xs.rb in
+                Array.unsafe_set g (rb0 + ds) (Array.unsafe_get g (rb0 + sa) - n);
+                if wt then Bytes.unsafe_set xs.rtg (rb0 + ds) VS.tag_int;
+                next
+          | Minic.Ast.Add, Reg ra, Reg rb' ->
+              let sa = slot ra and sb = slot rb' in
+              fun () ->
+                let g = xs.regs and rb0 = xs.rb in
+                Array.unsafe_set g (rb0 + ds)
+                  (Array.unsafe_get g (rb0 + sa) + Array.unsafe_get g (rb0 + sb));
+                if wt then Bytes.unsafe_set xs.rtg (rb0 + ds) VS.tag_int;
+                next
+          | _ ->
+              let f = binfn op in
+              let ga = getv a and gb = getv b in
+              fun () ->
+                setr ds (f (ga ()) (gb ()));
+                next)
+      | Un { dst; op; a; _ } ->
+          let ds = slot dst in
+          let ga = getv a in
+          fun () ->
+            setr ds (VS.eval_unop op (ga ()));
+            next
+      | LoadG { dst; addr; _ } ->
+          let ds = slot dst in
+          fun () ->
+            Array.unsafe_set xs.regs (xs.rb + ds) (Array.unsafe_get st.mem addr);
+            if wt then
+              Bytes.unsafe_set xs.rtg (xs.rb + ds)
+                (Bytes.unsafe_get st.mem_tag addr);
+            next
+      | EndB ->
+          fun () ->
+            apply_moves ();
+            next
+      | _ -> assert false
+    else begin
+      (* segmented: fuel gate, clock, per-pc [on_instr], metric deltas,
+         canonicalization — then the effect *)
+      let seg = Instr.seg_len ins in
+      let lo = ins.seg_lo and hi = ins.seg_hi in
+      let dr = ins.d_reads and dw = ins.d_writes in
+      let rd =
+        match ins.deopt with
+        | Some d ->
+            {
+              rd_pc = d.d_pc;
+              rd_frame = resolve_frame al d.d_stack d.d_tags d.d_flush;
+            }
+        | None -> assert false
+      in
+      (* Specialized at build time: [hooked], the move count and the
+         metric deltas are per-closure constants, so the per-execution
+         path carries no dead branches, no zero adds and no [hooks]
+         record load. *)
+      let tick =
+        let mets = dr <> 0 || dw <> 0 in
+        if hooked then begin
+          let on_instr = hooks.on_instr in
+          match (mets, nm > 0) with
+          | true, true ->
+              fun () ->
+                if st.instructions + seg > fuel then ignore (do_deopt rd);
+                st.instructions <- st.instructions + seg;
+                for q = lo to hi do
+                  on_instr ~pc:q
+                done;
+                st.n_reads <- st.n_reads + dr;
+                st.n_writes <- st.n_writes + dw;
+                apply_moves ()
+          | true, false ->
+              fun () ->
+                if st.instructions + seg > fuel then ignore (do_deopt rd);
+                st.instructions <- st.instructions + seg;
+                for q = lo to hi do
+                  on_instr ~pc:q
+                done;
+                st.n_reads <- st.n_reads + dr;
+                st.n_writes <- st.n_writes + dw
+          | false, true ->
+              fun () ->
+                if st.instructions + seg > fuel then ignore (do_deopt rd);
+                st.instructions <- st.instructions + seg;
+                for q = lo to hi do
+                  on_instr ~pc:q
+                done;
+                apply_moves ()
+          | false, false ->
+              fun () ->
+                if st.instructions + seg > fuel then ignore (do_deopt rd);
+                st.instructions <- st.instructions + seg;
+                for q = lo to hi do
+                  on_instr ~pc:q
+                done
+        end
+        else
+          match (mets, nm > 0) with
+          | true, true ->
+              fun () ->
+                if st.instructions + seg > fuel then ignore (do_deopt rd);
+                st.instructions <- st.instructions + seg;
+                st.n_reads <- st.n_reads + dr;
+                st.n_writes <- st.n_writes + dw;
+                apply_moves ()
+          | true, false ->
+              fun () ->
+                if st.instructions + seg > fuel then ignore (do_deopt rd);
+                st.instructions <- st.instructions + seg;
+                st.n_reads <- st.n_reads + dr;
+                st.n_writes <- st.n_writes + dw
+          | false, true ->
+              fun () ->
+                if st.instructions + seg > fuel then ignore (do_deopt rd);
+                st.instructions <- st.instructions + seg;
+                apply_moves ()
+          | false, false ->
+              fun () ->
+                if st.instructions + seg > fuel then ignore (do_deopt rd);
+                st.instructions <- st.instructions + seg
+      in
+      match ins.kind with
+      | Mov { dst; src; ty } ->
+          (* a [StoreLocal]: the L register is the store *)
+          let ds = slot dst in
+          let gv = getv src in
+          let tg = gettag src ty in
+          fun () ->
+            tick ();
+            let d = xs.rb + ds in
+            Array.unsafe_set xs.regs d (gv ());
+            if wt then Bytes.unsafe_set xs.rtg d (tg ());
+            next
+      | Bin { dst; op; a; b; ta; tb } -> (
+          let ds = slot dst in
+          (* Non-trapping op on statically-int operands: resolve the op
+             to a direct function and read the operands inline, instead
+             of paying two operand-closure calls plus the [eval_binop]
+             match on every execution. Trapping ops (Div/Mod/shifts) and
+             runtime-tagged operands keep the generic checked path. *)
+          let fast : (int -> int -> int) option =
+            if ta <> ty_int || tb <> ty_int then None
+            else
+              match op with
+              | Minic.Ast.Add -> Some ( + )
+              | Minic.Ast.Sub -> Some ( - )
+              | Minic.Ast.Mul -> Some ( * )
+              | Minic.Ast.BitAnd -> Some ( land )
+              | Minic.Ast.BitOr -> Some ( lor )
+              | Minic.Ast.BitXor -> Some ( lxor )
+              | Minic.Ast.Lt -> Some (fun x y -> if x < y then 1 else 0)
+              | Minic.Ast.Le -> Some (fun x y -> if x <= y then 1 else 0)
+              | Minic.Ast.Gt -> Some (fun x y -> if x > y then 1 else 0)
+              | Minic.Ast.Ge -> Some (fun x y -> if x >= y then 1 else 0)
+              | Minic.Ast.Eq -> Some (fun x y -> if x = y then 1 else 0)
+              | Minic.Ast.Ne -> Some (fun x y -> if x <> y then 1 else 0)
+              | _ -> None
+          in
+          match (fast, a, b) with
+          | Some f, Reg ra, Imm n ->
+              let sa = slot ra in
+              fun () ->
+                tick ();
+                let g = xs.regs and rb0 = xs.rb in
+                Array.unsafe_set g (rb0 + ds)
+                  (f (Array.unsafe_get g (rb0 + sa)) n);
+                if wt then Bytes.unsafe_set xs.rtg (rb0 + ds) VS.tag_int;
+                next
+          | Some f, Reg ra, Reg rb' ->
+              let sa = slot ra and sb = slot rb' in
+              fun () ->
+                tick ();
+                let g = xs.regs and rb0 = xs.rb in
+                Array.unsafe_set g (rb0 + ds)
+                  (f
+                     (Array.unsafe_get g (rb0 + sa))
+                     (Array.unsafe_get g (rb0 + sb)));
+                if wt then Bytes.unsafe_set xs.rtg (rb0 + ds) VS.tag_int;
+                next
+          | Some f, Imm n, Reg rb' ->
+              let sb = slot rb' in
+              fun () ->
+                tick ();
+                let g = xs.regs and rb0 = xs.rb in
+                Array.unsafe_set g (rb0 + ds)
+                  (f n (Array.unsafe_get g (rb0 + sb)));
+                if wt then Bytes.unsafe_set xs.rtg (rb0 + ds) VS.tag_int;
+                next
+          | _ ->
+              let gb = chk_int b tb in
+              let ga = chk_int a ta in
+              fun () ->
+                tick ();
+                let bv = gb () in
+                let av = ga () in
+                setr ds (VS.eval_binop st epc op av bv);
+                next)
+      | Un { dst; op; a; ta } ->
+          let ds = slot dst in
+          let ga = chk_int a ta in
+          fun () ->
+            tick ();
+            setr ds (VS.eval_unop op (ga ()));
+            next
+      | LoadG { dst; addr; _ } ->
+          let ds = slot dst in
+          fun () ->
+            tick ();
+            hooks.on_read ~pc:epc ~addr;
+            Array.unsafe_set xs.regs (xs.rb + ds) (Array.unsafe_get st.mem addr);
+            if wt then
+              Bytes.unsafe_set xs.rtg (xs.rb + ds)
+                (Bytes.unsafe_get st.mem_tag addr);
+            next
+      | StoreG { addr; v; tv; ev } ->
+          let gv = getv v in
+          let tg = gettag v tv in
+          fun () ->
+            tick ();
+            if ev then hooks.on_write ~pc:epc ~addr;
+            Array.unsafe_set st.mem addr (gv ());
+            Bytes.unsafe_set st.mem_tag addr (tg ());
+            next
+      | LoadIx { dst; r; ix; tr; tix; ev } ->
+          let ds = slot dst in
+          let gix = chk_int ix tix in
+          let gr = chk_ref r tr in
+          fun () ->
+            tick ();
+            let ixv = gix () in
+            let rv = gr () in
+            let base = VS.ref_base rv and len = VS.ref_len rv in
+            if ixv < 0 || ixv >= len then
+              VS.trap st epc "index %d out of bounds [0,%d)" ixv len;
+            let addr = base + ixv in
+            if ev then hooks.on_read ~pc:epc ~addr;
+            Array.unsafe_set xs.regs (xs.rb + ds) (Array.unsafe_get st.mem addr);
+            if wt then
+              Bytes.unsafe_set xs.rtg (xs.rb + ds)
+                (Bytes.unsafe_get st.mem_tag addr);
+            next
+      | StoreIx { r; ix; v; tr; tix; tv; ev } ->
+          let gv = getv v in
+          let tg = gettag v tv in
+          let gix = chk_int ix tix in
+          let gr = chk_ref r tr in
+          fun () ->
+            tick ();
+            let vv = gv () in
+            let vt = tg () in
+            let ixv = gix () in
+            let rv = gr () in
+            let base = VS.ref_base rv and len = VS.ref_len rv in
+            if ixv < 0 || ixv >= len then
+              VS.trap st epc "index %d out of bounds [0,%d)" ixv len;
+            let addr = base + ixv in
+            if ev then hooks.on_write ~pc:epc ~addr;
+            Array.unsafe_set st.mem addr vv;
+            Bytes.unsafe_set st.mem_tag addr vt;
+            next
+      | PrintI { v; tv } ->
+          let gv = chk_int v tv in
+          fun () ->
+            tick ();
+            st.out <- gv () :: st.out;
+            next
+      | JmpI t ->
+          fun () ->
+            tick ();
+            t
+      | BrI { c; tc; target; bkind; cid } ->
+          let gc = chk_int c tc in
+          fun () ->
+            tick ();
+            let taken = gc () = 0 in
+            st.n_branches <- st.n_branches + 1;
+            if hooked then hooks.on_branch ~pc:epc ~kind:bkind ~cid ~taken;
+            if taken then target else next
+      | EndB ->
+          fun () ->
+            tick ();
+            next
+      | CallI ci ->
+          let cf = prog.funcs.(ci.ci_fid) in
+          let cal = allocs.(ci.ci_fid) in
+          let wsize = cal.win_size in
+          let centry = lw.entry_ir.(ci.ci_fid) in
+          let nargs = Array.length ci.ci_args in
+          let agets = Array.map getv ci.ci_args in
+          let atags =
+            Array.init nargs (fun i -> gettag ci.ci_args.(i) ci.ci_atags.[i])
+          in
+          let aslots = Array.init nargs (fun i -> cal.map.(i)) in
+          let sus = resolve_frame al ci.ci_resume ci.ci_rtags ci.ci_rflush in
+          let dslot = slot ci.ci_dst in
+          let fslots = cf.frame_slots in
+          let cfid = ci.ci_fid in
+          let ret_pc = ci.ci_ret_pc in
+          let fentry = cf.entry in
+          fun () ->
+            tick ();
+            if st.depth >= st.max_depth then
+              VS.trap st epc "call stack overflow";
+            let d = st.depth in
+            if d = Array.length st.call_ret then VS.grow_call_records st;
+            if d >= Array.length xs.c_rb then grow_crec ();
+            st.call_ret.(d) <- ret_pc;
+            st.call_base.(d) <- st.frame_base;
+            st.call_fid.(d) <- cfid;
+            xs.c_rb.(d) <- xs.rb;
+            xs.c_ret_ir.(d) <- next;
+            xs.c_dst.(d) <- dslot;
+            xs.c_sus.(d) <- sus;
+            st.depth <- d + 1;
+            let base = st.stack_top in
+            VS.ensure_mem st (base + fslots);
+            Array.fill st.mem base fslots 0;
+            Bytes.fill st.mem_tag base fslots VS.tag_int;
+            st.frame_base <- base;
+            st.stack_top <- base + fslots;
+            st.n_calls <- st.n_calls + 1;
+            if st.depth > st.depth_hwm then st.depth_hwm <- st.depth;
+            if st.stack_top > st.mem_hwm then st.mem_hwm <- st.stack_top;
+            if hooked then hooks.on_call ~pc:fentry ~fid:cfid;
+            let wb = xs.rtop in
+            ensure_regs (wb + wsize);
+            Array.fill xs.regs wb wsize 0;
+            if wt then Bytes.fill xs.rtg wb wsize VS.tag_int;
+            (* argument reads hit the caller window, writes the (disjoint)
+               callee window — no buffering needed *)
+            for i = 0 to nargs - 1 do
+              xs.regs.(wb + Array.unsafe_get aslots i) <-
+                (Array.unsafe_get agets i) ()
+            done;
+            if wt then
+              for i = 0 to nargs - 1 do
+                Bytes.unsafe_set xs.rtg
+                  (wb + Array.unsafe_get aslots i)
+                  ((Array.unsafe_get atags i) ())
+              done;
+            xs.rb <- wb;
+            xs.rtop <- wb + wsize;
+            centry
+      | RetI { v; vt } ->
+          let gv = getv v in
+          let tg = gettag v vt in
+          let myfid = fid in
+          let fslots = lw.funcs.(fid).ff.frame_slots in
+          fun () ->
+            tick ();
+            let value = gv () in
+            let vtag = if wt then tg () else VS.tag_int in
+            st.depth <- st.depth - 1;
+            let d = st.depth in
+            if hooked then begin
+              hooks.on_ret ~pc:epc ~fid:myfid;
+              hooks.on_frame_release ~base:st.frame_base ~size:fslots
+            end;
+            st.n_frames_released <- st.n_frames_released + 1;
+            st.stack_top <- st.frame_base;
+            st.frame_base <- Array.unsafe_get st.call_base d;
+            xs.rtop <- xs.rb;
+            xs.rb <- Array.unsafe_get xs.c_rb d;
+            let ds = xs.rb + Array.unsafe_get xs.c_dst d in
+            Array.unsafe_set xs.regs ds value;
+            if wt then Bytes.unsafe_set xs.rtg ds vtag;
+            Array.unsafe_get xs.c_ret_ir d
+      | HaltI { v; tv } ->
+          let gv = chk_int v tv in
+          fun () ->
+            tick ();
+            raise (VS.Halted (gv ()))
+    end
+  in
+  let steps = Array.mapi build lw.instrs in
+  let exit_value =
+    try
+      let pc = ref 0 in
+      while true do
+        pc := (Array.unsafe_get steps !pc) ()
+      done;
+      assert false
+    with VS.Halted v -> v
+  in
+  VS.finish st exit_value
+
+let exec ~hooked ?(trace_locals = true) ?prune ?(regalloc = true) ?obs
+    (hooks : Vm.Hooks.t) ?fuel ?max_depth (prog : Vm.Program.t) =
+  let hook_locals = hooked && trace_locals in
+  if hook_locals then
+    (* local tracing events are not modeled in the IR; the threaded
+       engine handles the -O0 model *)
+    Vm.Lower.exec ~hooked ~trace_locals ?prune hooks ?fuel ?max_depth prog
+  else
+    let pruned =
+      match prune with
+      | Some m -> fun p -> Array.unsafe_get m p
+      | None -> fun _ -> false
+    in
+    match Lower.lower ~hooked ~pruned prog with
+    | None ->
+        (* lowering bailed (nonstandard bytecode): the threaded engine is
+           always exact *)
+        Vm.Lower.exec ~hooked ~trace_locals ?prune hooks ?fuel ?max_depth prog
+    | Some lw ->
+        run_ir ~hooked ~trace_locals ?prune ~regalloc ?obs hooks ?fuel
+          ?max_depth lw

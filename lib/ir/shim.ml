@@ -1,0 +1,42 @@
+(* The IR <-> event-pc shim.
+
+   The static dependence layer (lib/static) reasons exclusively in
+   original stack pcs — prune verdicts, distance bounds and profile
+   sanitizing are all keyed by event pc. The register backend keeps
+   that contract without lib/static knowing the IR exists: {!Lower}
+   consults the prune mask at the original pc of each memory
+   instruction, and everything observable (hook events, traps, disasm
+   source lines) is reported through the mapping below. *)
+
+(* Stack pc an IR instruction maps back to: the pc whose events it
+   fires ([epc]), or [None] for synthetic canonicalization code. *)
+let event_pc (lw : Lower.t) ir_pc =
+  let i = lw.instrs.(ir_pc) in
+  if i.Instr.epc >= 0 then Some i.Instr.epc else None
+
+(* The contiguous range of stack pcs whose instruction-clock ticks the
+   IR instruction owns; [None] for pure instructions. *)
+let segment (lw : Lower.t) ir_pc =
+  let i = lw.instrs.(ir_pc) in
+  if Instr.segmented i then Some (i.Instr.seg_lo, i.Instr.seg_hi) else None
+
+(* Source line for disassembly, via the program's pc->line table. *)
+let line (lw : Lower.t) ir_pc =
+  match event_pc lw ir_pc with
+  | Some pc -> Vm.Program.line_of_pc lw.prog pc
+  | None -> 0
+
+(* Reverse direction: the IR instruction whose segment covers a stack
+   pc (the one that fires its [on_instr]), or [None] if the program
+   point was folded away into a non-covering position. *)
+let ir_of_event_pc (lw : Lower.t) pc =
+  let n = Array.length lw.instrs in
+  let rec scan i =
+    if i >= n then None
+    else
+      let ins = lw.instrs.(i) in
+      if Instr.segmented ins && ins.Instr.seg_lo <= pc && pc <= ins.Instr.seg_hi
+      then Some i
+      else scan (i + 1)
+  in
+  scan 0

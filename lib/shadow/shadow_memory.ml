@@ -234,8 +234,22 @@ let[@inline never] freshen_slow t addr =
     reset_cell t addr
   end
 
+(* Hot-path accesses below use unsafe indexing: [ensure] has already
+   guaranteed [addr < t.cap], so [addr lsl 2 .. (addr lsl 2) + 3] lie
+   within [t.cell] (length [4 * t.cap]) and [addr] within [t.w_node];
+   arena slot indices come only from the free list and live chains, both
+   of which stay below the arena's length by construction. *)
+(* Chain lookup for [read]: top level (not nested in [read]) so the
+   call allocates no closure — it would otherwise be built once per
+   read event. *)
+let rec find_slot rn pc i =
+  if i < 0 then -1
+  else if Array.unsafe_get rn (i lsl 2) = pc then i
+  else find_slot rn pc (Array.unsafe_get rn ((i lsl 2) + 2))
+
 let[@inline] freshen t addr =
-  if t.cell.((addr lsl 2) + 3) < t.last_clear_seq then freshen_slow t addr
+  if Array.unsafe_get t.cell ((addr lsl 2) + 3) < t.last_clear_seq then
+    freshen_slow t addr
 
 let read t ~addr ~pc ~time ~node =
   Obs.Counter.incr t.events;
@@ -243,36 +257,33 @@ let read t ~addr ~pc ~time ~node =
   ensure t addr;
   freshen t addr;
   let base = addr lsl 2 in
-  if t.cell.(base) >= 0 then begin
+  let cell = t.cell in
+  let w_pc = Array.unsafe_get cell base in
+  if w_pc >= 0 then begin
     Obs.Counter.incr t.deps;
-    t.sink ~kind:Dependence.Raw ~head_pc:t.cell.(base)
-      ~head_time:t.cell.(base + 1) ~head_node:t.w_node.(addr) ~tail_pc:pc
-      ~tail_time:time ~tail_node:node ~addr
+    t.sink ~kind:Dependence.Raw ~head_pc:w_pc
+      ~head_time:(Array.unsafe_get cell (base + 1))
+      ~head_node:(Array.unsafe_get t.w_node addr) ~tail_pc:pc ~tail_time:time
+      ~tail_node:node ~addr
   end;
   (* update the slot for this static pc in place, or link a new one;
-     [rn] is not re-aliased across the sink call above, so a re-entrant
-     sink that grew the arena would still be observed here *)
-  let rn = t.rn in
-  let rec find i =
-    if i < 0 then -1
-    else if rn.(i lsl 2) = pc then i
-    else find rn.((i lsl 2) + 2)
-  in
-  let i = find t.cell.(base + 2) in
+     [t.rn] is read after the sink call above, so a re-entrant sink that
+     grew the arena is still observed here *)
+  let i = find_slot t.rn pc (Array.unsafe_get t.cell (base + 2)) in
   if i >= 0 then begin
-    t.rn.((i lsl 2) + 1) <- time;
-    t.rn_node.(i) <- node
+    Array.unsafe_set t.rn ((i lsl 2) + 1) time;
+    Array.unsafe_set t.rn_node i node
   end
   else begin
     let i = alloc_slot t in
     let s = i lsl 2 in
-    t.rn.(s) <- pc;
-    t.rn.(s + 1) <- time;
-    t.rn_node.(i) <- node;
-    t.rn.(s + 2) <- t.cell.(base + 2);
-    t.cell.(base + 2) <- i
+    Array.unsafe_set t.rn s pc;
+    Array.unsafe_set t.rn (s + 1) time;
+    Array.unsafe_set t.rn_node i node;
+    Array.unsafe_set t.rn (s + 2) (Array.unsafe_get t.cell (base + 2));
+    Array.unsafe_set t.cell (base + 2) i
   end;
-  t.cell.(base + 3) <- t.seq
+  Array.unsafe_set t.cell (base + 3) t.seq
 
 let write t ~addr ~pc ~time ~node =
   Obs.Counter.incr t.events;
@@ -280,32 +291,37 @@ let write t ~addr ~pc ~time ~node =
   ensure t addr;
   freshen t addr;
   let base = addr lsl 2 in
-  if t.cell.(base) >= 0 then begin
+  let cell = t.cell in
+  let w_pc = Array.unsafe_get cell base in
+  if w_pc >= 0 then begin
     Obs.Counter.incr t.deps;
-    t.sink ~kind:Dependence.Waw ~head_pc:t.cell.(base)
-      ~head_time:t.cell.(base + 1) ~head_node:t.w_node.(addr) ~tail_pc:pc
-      ~tail_time:time ~tail_node:node ~addr
+    t.sink ~kind:Dependence.Waw ~head_pc:w_pc
+      ~head_time:(Array.unsafe_get cell (base + 1))
+      ~head_node:(Array.unsafe_get t.w_node addr) ~tail_pc:pc ~tail_time:time
+      ~tail_node:node ~addr
   end;
   (* WAR from every recorded read; free the chain as we go *)
-  let i = ref t.cell.(base + 2) in
+  let i = ref (Array.unsafe_get t.cell (base + 2)) in
   while !i >= 0 do
     let s = !i lsl 2 in
     Obs.Counter.incr t.deps;
-    t.sink ~kind:Dependence.War ~head_pc:t.rn.(s) ~head_time:t.rn.(s + 1)
-      ~head_node:t.rn_node.(!i) ~tail_pc:pc ~tail_time:time ~tail_node:node
-      ~addr;
-    let next = t.rn.(s + 2) in
-    t.rn_node.(!i) <- t.dummy;
-    t.rn.(s + 2) <- t.free;
+    t.sink ~kind:Dependence.War
+      ~head_pc:(Array.unsafe_get t.rn s)
+      ~head_time:(Array.unsafe_get t.rn (s + 1))
+      ~head_node:(Array.unsafe_get t.rn_node !i) ~tail_pc:pc ~tail_time:time
+      ~tail_node:node ~addr;
+    let next = Array.unsafe_get t.rn (s + 2) in
+    Array.unsafe_set t.rn_node !i t.dummy;
+    Array.unsafe_set t.rn (s + 2) t.free;
     t.free <- !i;
     Obs.Gauge.add t.o_arena_in_use (-1);
     i := next
   done;
-  t.cell.(base + 2) <- -1;
-  t.cell.(base) <- pc;
-  t.cell.(base + 1) <- time;
-  t.w_node.(addr) <- node;
-  t.cell.(base + 3) <- t.seq
+  Array.unsafe_set t.cell (base + 2) (-1);
+  Array.unsafe_set t.cell base pc;
+  Array.unsafe_set t.cell (base + 1) time;
+  Array.unsafe_set t.w_node addr node;
+  Array.unsafe_set t.cell (base + 3) t.seq
 
 let scrub t ~base ~limit =
   (* Exact eager clear of [base, limit): O(limit - base). *)
@@ -342,7 +358,13 @@ let clear_from t ~base =
   Obs.Gauge.set t.o_clear_depth t.cl_n
 
 let clear_range t ~base ~size =
-  if size > 0 then
+  (* Ranges entirely above every address ever touched carry no shadow
+     state: clearing them is a no-op. This is the common case for frame
+     releases when locals are not traced — stack frames sit above the
+     globals, so [hi] never reaches them — and skipping it avoids an
+     O(frame size) scrub per call/return. *)
+  if base >= t.hi then ()
+  else if size > 0 then
     if size > eager_clear_limit && base + size >= t.hi then
       (* The range covers every address ever touched at or above [base],
          so the O(1) suffix tag is exact. *)

@@ -19,36 +19,31 @@ type result = Vmstate.result = {
   metrics : metrics;
 }
 
-type engine = Switch | Threaded
+type engine = Switch | Threaded | Register
 
-let engine_to_string = function Switch -> "switch" | Threaded -> "threaded"
+let engine_to_string = function
+  | Switch -> "switch"
+  | Threaded -> "threaded"
+  | Register -> "register"
 
 let engine_of_string = function
   | "switch" -> Some Switch
   | "threaded" -> Some Threaded
+  | "register" -> Some Register
   | _ -> None
 
-(* The reference switch interpreter: one [match] per executed
-   instruction, [hooked]/[trace_locals] tested at run time. Kept as the
-   semantic baseline the closure-threaded engine ([Lower]) is
-   differentially tested against — see test/test_engines.ml. *)
-let exec_switch ~hooked ?(trace_locals = true) ?prune (hooks : Hooks.t) ?fuel
-    ?max_depth (prog : Program.t) =
-  let hook_locals = hooked && trace_locals in
-  (* Prune verdicts model the default event set only: under the -O0
-     local-tracing model, frame slots form edges the mask never
-     considered, so the mask is dropped rather than trusted. *)
-  let prune = if hook_locals then None else prune in
-  let pruned =
-    match prune with
-    | Some m -> fun p -> Array.unsafe_get m p
-    | None -> fun _ -> false
-  in
-  let st = Vmstate.create ?max_depth prog in
+(* The reference switch loop, continuable from any machine state: one
+   [match] per executed instruction, [hooked]/[trace_locals] tested at
+   run time. Kept as the semantic baseline the closure-threaded engine
+   ([Lower]) and the register-IR backend ([Ir.Exec]) are differentially
+   tested against — see test/test_engines.ml. The register backend also
+   re-enters it mid-run (via {!switch_resume}) when fuel runs out inside
+   a tick segment, so "out of fuel" traps at the exact constituent pc. *)
+let switch_loop ~hooked ~hook_locals ~pruned (hooks : Hooks.t) ~fuel
+    (st : state) (prog : Program.t) pc0 =
   let code = prog.code in
   let funcs = prog.funcs in
-  let fuel = match fuel with Some f -> f | None -> max_int in
-  let pc = ref 0 in
+  let pc = ref pc0 in
   let exit_value =
     try
      while true do
@@ -207,7 +202,31 @@ let exec_switch ~hooked ?(trace_locals = true) ?prune (hooks : Hooks.t) ?fuel
       assert false
     with Halted v -> v
   in
-  Vmstate.finish st exit_value
+  exit_value
+
+let resolve_prune ~hook_locals prune =
+  (* Prune verdicts model the default event set only: under the -O0
+     local-tracing model, frame slots form edges the mask never
+     considered, so the mask is dropped rather than trusted. *)
+  let prune = if hook_locals then None else prune in
+  match prune with
+  | Some m -> fun p -> Array.unsafe_get m p
+  | None -> fun _ -> false
+
+let exec_switch ~hooked ?(trace_locals = true) ?prune (hooks : Hooks.t) ?fuel
+    ?max_depth (prog : Program.t) =
+  let hook_locals = hooked && trace_locals in
+  let pruned = resolve_prune ~hook_locals prune in
+  let st = Vmstate.create ?max_depth prog in
+  let fuel = match fuel with Some f -> f | None -> max_int in
+  Vmstate.finish st
+    (switch_loop ~hooked ~hook_locals ~pruned hooks ~fuel st prog 0)
+
+let switch_resume ~hooked ?(trace_locals = true) ?prune (hooks : Hooks.t)
+    ~fuel st (prog : Program.t) ~pc =
+  let hook_locals = hooked && trace_locals in
+  let pruned = resolve_prune ~hook_locals prune in
+  switch_loop ~hooked ~hook_locals ~pruned hooks ~fuel st prog pc
 
 let exec ?(engine = Threaded) ~hooked ?trace_locals ?prune (hooks : Hooks.t)
     ?fuel ?max_depth prog =
@@ -216,6 +235,10 @@ let exec ?(engine = Threaded) ~hooked ?trace_locals ?prune (hooks : Hooks.t)
       exec_switch ~hooked ?trace_locals ?prune hooks ?fuel ?max_depth prog
   | Threaded ->
       Lower.exec ~hooked ?trace_locals ?prune hooks ?fuel ?max_depth prog
+  | Register ->
+      (* The register backend lives above this library (lib/ir depends on
+         lib/vm); dispatch through [Ir.Engine] instead. *)
+      invalid_arg "Machine.exec: register engine requires Ir.Engine"
 
 let run ?engine ?fuel ?max_depth prog =
   exec ?engine ~hooked:false Hooks.noop ?fuel ?max_depth prog

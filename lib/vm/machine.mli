@@ -1,7 +1,7 @@
 (** The bytecode interpreter — public entry points for both execution
     engines.
 
-    Two engines share the same semantics (differentially tested in
+    Three engines share the same semantics (differentially tested in
     test/test_engines.ml):
 
     - {!Threaded} (the default): the closure-threaded engine in {!Lower}.
@@ -12,6 +12,11 @@
       instruction. Slower, but structurally close to the operational
       semantics; kept as the baseline every threaded-engine change is
       checked against.
+    - {!Register}: the register-IR backend in [Ir.Exec] — stack bytecode
+      compiled to three-address code over allocated registers. It lives
+      in a library above this one, so selecting it here raises; dispatch
+      through [Ir.Engine.run] / [Ir.Engine.run_hooked], which accept all
+      three engines.
 
     Both produce identical results, metrics, hook-event streams and trap
     behavior; {!run} is the plain interpreter (the "native" baseline of
@@ -42,10 +47,43 @@ type result = Vmstate.result = {
   metrics : metrics;
 }
 
-type engine = Switch | Threaded
+type engine = Switch | Threaded | Register
 
 val engine_to_string : engine -> string
 val engine_of_string : string -> engine option
+
+val switch_resume :
+  hooked:bool ->
+  ?trace_locals:bool ->
+  ?prune:bool array ->
+  Hooks.t ->
+  fuel:int ->
+  Vmstate.state ->
+  Program.t ->
+  pc:int ->
+  int
+(** Continues the reference switch loop from an existing machine state at
+    [pc] and runs to completion, returning [main]'s exit value. This is
+    the register backend's deoptimization path: when fuel would expire
+    inside a tick segment, [Ir.Exec] materializes the architectural state
+    (operand stack, frame slots) and hands off here so the "out of fuel"
+    trap — or any nearer trap — fires at exactly the reference pc.
+    @raise Trap as {!run}. *)
+
+val exec :
+  ?engine:engine ->
+  hooked:bool ->
+  ?trace_locals:bool ->
+  ?prune:bool array ->
+  Hooks.t ->
+  ?fuel:int ->
+  ?max_depth:int ->
+  Program.t ->
+  result
+(** Generalized entry point behind {!run} / {!run_hooked}; exported for
+    [Ir.Engine], which layers the register backend on top.
+    @raise Invalid_argument when [engine] is {!Register} — that engine
+    is dispatched by [Ir.Engine], not here. *)
 
 val run : ?engine:engine -> ?fuel:int -> ?max_depth:int -> Program.t -> result
 (** Executes the program. [engine] selects the execution engine (default

@@ -8,6 +8,7 @@ let all =
     Aes_ctr.workload;
     Par2.workload;
     Delaunay.workload;
+    Stencil.workload;
   ]
 
 let find name = List.find (fun (w : Workload.t) -> w.name = name) all

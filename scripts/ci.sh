@@ -29,6 +29,35 @@ dune exec --no-build -- alchemist profile workload:gzip-1.3.5:2 \
 cmp "$tmpdir/threaded.prof" "$tmpdir/switch.prof"
 echo "engine differential: profiles byte-identical"
 
+# Register-IR differential: the register backend must match the stack
+# engines byte for byte through the CLI too, with and without the
+# graph-coloring allocator (regalloc only reshuffles slots — any
+# observable difference means a canonicalization move went missing).
+dune exec --no-build -- alchemist profile workload:gzip-1.3.5:2 \
+  --engine=register --save "$tmpdir/register.prof" > /dev/null
+if ! cmp "$tmpdir/threaded.prof" "$tmpdir/register.prof"; then
+  echo "register engine diverged from threaded on gzip" >&2
+  exit 1
+fi
+dune exec --no-build -- alchemist profile workload:gzip-1.3.5:2 \
+  --engine=register --regalloc=false \
+  --save "$tmpdir/register-noalloc.prof" > /dev/null
+if ! cmp "$tmpdir/register.prof" "$tmpdir/register-noalloc.prof"; then
+  echo "regalloc changed the register engine's profile" >&2
+  exit 1
+fi
+echo "register differential: profiles byte-identical"
+
+# Regalloc sanity: on gzip the coloring must fit the 16-slot window —
+# a nonzero spill count here means the allocator regressed (the
+# workloads' functions never keep more than 16 values live).
+spills=$(dune exec --no-build -- alchemist profile workload:gzip-1.3.5:2 \
+  --engine=register --telemetry \
+  | awk '$1 == "ir.spills" { print $2 }')
+[ -n "$spills" ] || { echo "ir.spills gauge missing from telemetry" >&2; exit 1; }
+[ "$spills" -eq 0 ] || { echo "regalloc spilled on gzip: $spills" >&2; exit 1; }
+echo "regalloc sanity: 0 spills on gzip"
+
 # Static checker over every registry workload: CFA validation
 # (Cfa.Analysis.validate — any discrepancy fails), prune-on/prune-off
 # byte-identity, profile round-trip, and the dynamic-profile sanitizer —

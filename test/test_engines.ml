@@ -1,14 +1,18 @@
-(* Differential tests: the closure-threaded engine (Vm.Lower) against the
-   reference switch interpreter. The engines must agree on everything
-   observable — results, metric counters, the full hook-event stream
-   (pcs, addresses, ordering), canonical profiles, telemetry, and trap
-   (message, pc) pairs, including at every fuel level, where fused
-   superinstructions must fall back to stepwise execution. *)
+(* Differential tests: the closure-threaded engine (Vm.Lower) and the
+   register-IR backend (Ir.Exec) against the reference switch
+   interpreter. The engines must agree on everything observable —
+   results, metric counters, the full hook-event stream (pcs, addresses,
+   ordering), canonical profiles, telemetry, and trap (message, pc)
+   pairs, including at every fuel level, where fused superinstructions
+   (threaded) and tick segments (register) must hand the machine back to
+   the reference loop mid-window. *)
 
 module Machine = Vm.Machine
 module Profiler = Alchemist.Profiler
 
 let fuel = 10_000_000
+let engines = [ Machine.Switch; Machine.Threaded; Machine.Register ]
+let ename e = Machine.engine_to_string e
 
 let compile_workload (w : Workloads.Workload.t) =
   Vm.Compile.compile_source (w.source ~scale:w.test_scale)
@@ -38,17 +42,46 @@ let test_registry_unhooked () =
   List.iter
     (fun (w : Workloads.Workload.t) ->
       let prog = compile_workload w in
-      let sw = Machine.run ~engine:Switch ~fuel prog in
-      let th = Machine.run ~engine:Threaded ~fuel prog in
-      check_same_result w.name sw th)
+      let sw = Ir.Engine.run ~engine:Switch ~fuel prog in
+      List.iter
+        (fun engine ->
+          let r = Ir.Engine.run ~engine ~fuel prog in
+          check_same_result (w.name ^ " " ^ ename engine) sw r)
+        [ Machine.Threaded; Machine.Register ];
+      (* regalloc-off ablation: identity-mapped windows, same semantics *)
+      let id = Ir.Engine.run ~engine:Register ~regalloc:false ~fuel prog in
+      check_same_result (w.name ^ " register/regalloc=off") sw id)
+    Workloads.Registry.all
+
+(* The register backend must actually compile every registry workload —
+   a silent bail would fall back to the threaded engine and pass every
+   differential below vacuously. *)
+let test_register_lowering_coverage () =
+  let check name prog =
+    List.iter
+      (fun hooked ->
+        match Ir.Lower.lower ~hooked ~pruned:(fun _ -> false) prog with
+        | Some lw ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s (hooked=%b): nonempty IR" name hooked)
+              true
+              (Array.length lw.Ir.Lower.instrs > 2)
+        | None ->
+            Alcotest.failf "%s: register lowering bailed (hooked=%b)" name
+              hooked)
+      [ false; true ]
+  in
+  List.iter
+    (fun (w : Workloads.Workload.t) -> check w.name (compile_workload w))
     Workloads.Registry.all
 
 (* --- full hook-event stream -------------------------------------------- *)
 
 (* Serialize every hook invocation; engines must produce byte-identical
    logs. This is stronger than comparing profiles: it pins the ordering
-   and the original pcs that fused steps are required to preserve. *)
-let event_log ?(fuel = fuel) ~engine ~trace_locals prog =
+   and the original pcs that fused steps and register tick segments are
+   required to preserve. *)
+let event_log ?(fuel = fuel) ?regalloc ~engine ~trace_locals prog =
   let buf = Buffer.create 65536 in
   let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let hooks =
@@ -70,12 +103,12 @@ let event_log ?(fuel = fuel) ~engine ~trace_locals prog =
       on_frame_release = (fun ~base ~size -> p "f %d %d\n" base size);
     }
   in
-  let r = Machine.run_hooked ~engine ~trace_locals ~fuel hooks prog in
+  let r = Ir.Engine.run_hooked ~engine ?regalloc ~trace_locals ~fuel hooks prog in
   p "exit %d %d\n" r.exit_value r.instructions;
   Buffer.contents buf
 
-let event_log_or_trap ?fuel ~engine ~trace_locals prog =
-  match event_log ?fuel ~engine ~trace_locals prog with
+let event_log_or_trap ?fuel ?regalloc ~engine ~trace_locals prog =
+  match event_log ?fuel ?regalloc ~engine ~trace_locals prog with
   | log -> log
   | exception Machine.Trap (msg, pc) -> Printf.sprintf "trap %S at %d" msg pc
 
@@ -84,8 +117,13 @@ let check_event_stream name prog =
     (fun trace_locals ->
       let name = Printf.sprintf "%s (trace_locals=%b)" name trace_locals in
       let sw = event_log ~engine:Switch ~trace_locals prog in
-      let th = event_log ~engine:Threaded ~trace_locals prog in
-      Alcotest.(check string) (name ^ ": event stream") sw th)
+      List.iter
+        (fun engine ->
+          let l = event_log ~engine ~trace_locals prog in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: %s event stream" name (ename engine))
+            sw l)
+        [ Machine.Threaded; Machine.Register ])
     [ false; true ]
 
 (* For the registry workloads (millions of events) a literal log would be
@@ -118,7 +156,7 @@ let event_signature ~engine ~trace_locals prog =
       on_frame_release = (fun ~base ~size -> mix (7 + (base * 8)); mix size);
     }
   in
-  let r = Machine.run_hooked ~engine ~trace_locals ~fuel hooks prog in
+  let r = Ir.Engine.run_hooked ~engine ~trace_locals ~fuel hooks prog in
   (!h, !n, r.exit_value, r.instructions)
 
 let test_registry_event_stream () =
@@ -127,19 +165,21 @@ let test_registry_event_stream () =
       let prog = compile_workload w in
       List.iter
         (fun trace_locals ->
-          let name =
-            Printf.sprintf "%s (trace_locals=%b)" w.name trace_locals
-          in
           let hs, ns, es, is =
             event_signature ~engine:Switch ~trace_locals prog
           in
-          let ht, nt, et, it =
-            event_signature ~engine:Threaded ~trace_locals prog
-          in
-          Alcotest.(check int) (name ^ ": event count") ns nt;
-          Alcotest.(check int) (name ^ ": event hash") hs ht;
-          Alcotest.(check int) (name ^ ": exit") es et;
-          Alcotest.(check int) (name ^ ": instructions") is it)
+          List.iter
+            (fun engine ->
+              let name =
+                Printf.sprintf "%s %s (trace_locals=%b)" w.name (ename engine)
+                  trace_locals
+              in
+              let ht, nt, et, it = event_signature ~engine ~trace_locals prog in
+              Alcotest.(check int) (name ^ ": event count") ns nt;
+              Alcotest.(check int) (name ^ ": event hash") hs ht;
+              Alcotest.(check int) (name ^ ": exit") es et;
+              Alcotest.(check int) (name ^ ": instructions") is it)
+            [ Machine.Threaded; Machine.Register ])
         [ false; true ])
     Workloads.Registry.all
 
@@ -181,13 +221,16 @@ let test_fig4_event_stream () =
 (* --- profiles and telemetry -------------------------------------------- *)
 
 (* Drop instruments that legitimately differ between two runs: wall-clock
-   timers and the engine-identity gauge. Everything else — every counter,
-   histogram bucket, and gauge across vm/shadow/pool/tree/profiler — must
-   match exactly. *)
+   timers, the engine-identity gauge, and the register backend's own
+   ir.* compilation stats. Everything else — every counter, histogram
+   bucket, and gauge across vm/shadow/pool/tree/profiler — must match
+   exactly. *)
 let comparable snap =
   Obs.filter
     (fun name v ->
-      (match v with Obs.Span _ -> false | _ -> true) && name <> "vm.engine")
+      (match v with Obs.Span _ -> false | _ -> true)
+      && name <> "vm.engine"
+      && not (String.length name >= 3 && String.sub name 0 3 = "ir."))
     snap
 
 let telemetry_text snap = Obs.render_text (comparable snap)
@@ -197,16 +240,20 @@ let test_registry_profiles () =
     (fun (w : Workloads.Workload.t) ->
       let prog = compile_workload w in
       let sw = Profiler.run ~engine:Switch ~fuel prog in
-      let th = Profiler.run ~engine:Threaded ~fuel prog in
-      Alcotest.(check string)
-        (w.name ^ ": canonical profile")
-        (Alchemist.Profile_io.to_string sw.profile)
-        (Alchemist.Profile_io.to_string th.profile);
-      Alcotest.(check string)
-        (w.name ^ ": telemetry")
-        (telemetry_text (Profiler.telemetry sw))
-        (telemetry_text (Profiler.telemetry th));
-      check_same_result (w.name ^ ": profiled run") sw.run th.run)
+      List.iter
+        (fun engine ->
+          let r = Profiler.run ~engine ~fuel prog in
+          let name = w.name ^ " " ^ ename engine in
+          Alcotest.(check string)
+            (name ^ ": canonical profile")
+            (Alchemist.Profile_io.to_string sw.profile)
+            (Alchemist.Profile_io.to_string r.profile);
+          Alcotest.(check string)
+            (name ^ ": telemetry")
+            (telemetry_text (Profiler.telemetry sw))
+            (telemetry_text (Profiler.telemetry r));
+          check_same_result (name ^ ": profiled run") sw.run r.run)
+        [ Machine.Threaded; Machine.Register ])
     Workloads.Registry.all
 
 let test_engine_gauge () =
@@ -218,17 +265,39 @@ let test_engine_gauge () =
     | _ -> -1
   in
   Alcotest.(check int) "switch gauge" 0 (gauge Machine.Switch);
-  Alcotest.(check int) "threaded gauge" 1 (gauge Machine.Threaded)
+  Alcotest.(check int) "threaded gauge" 1 (gauge Machine.Threaded);
+  Alcotest.(check int) "register gauge" 2 (gauge Machine.Register)
+
+(* The register engine publishes its compilation telemetry. *)
+let test_register_telemetry () =
+  let w = Workloads.Registry.find "gzip-1.3.5" in
+  let prog = compile_workload w in
+  let r = Profiler.run ~engine:Machine.Register ~fuel prog in
+  let level name =
+    match Obs.find (Profiler.telemetry r) name with
+    | Some (Obs.Level { last; _ }) -> last
+    | _ -> -1
+  in
+  (* instrs_per_stack_instr is scaled by 1000; a working lowering emits
+     fewer IR instructions than stack pcs (that is the point). *)
+  let ratio = level "ir.instrs_per_stack_instr" in
+  Alcotest.(check bool) "ir ratio published" true (ratio > 0);
+  Alcotest.(check bool) "ir compresses the program" true (ratio < 1000);
+  (* 16 physical registers cover every registry workload frame *)
+  Alcotest.(check int) "no spills on gzip" 0 (level "ir.spills")
 
 let test_trace_locals_profile () =
   let w = Workloads.Registry.find "gzip-1.3.5" in
   let prog = compile_workload w in
   let sw = Profiler.run ~engine:Switch ~fuel ~trace_locals:true prog in
-  let th = Profiler.run ~engine:Threaded ~fuel ~trace_locals:true prog in
-  Alcotest.(check string)
-    "trace_locals profile"
-    (Alchemist.Profile_io.to_string sw.profile)
-    (Alchemist.Profile_io.to_string th.profile)
+  List.iter
+    (fun engine ->
+      let r = Profiler.run ~engine ~fuel ~trace_locals:true prog in
+      Alcotest.(check string)
+        ("trace_locals profile " ^ ename engine)
+        (Alchemist.Profile_io.to_string sw.profile)
+        (Alchemist.Profile_io.to_string r.profile))
+    [ Machine.Threaded; Machine.Register ]
 
 (* --- superinstruction ablation ----------------------------------------- *)
 
@@ -272,14 +341,19 @@ let test_fusions_installed () =
 
 (* --- fuel and traps ----------------------------------------------------- *)
 
-let run_outcome ~engine ?(trace_locals = false) ~fuel prog =
-  match Machine.run_hooked ~engine ~trace_locals ~fuel Vm.Hooks.noop prog with
+let run_outcome ~engine ?regalloc ?(trace_locals = false) ~fuel prog =
+  match
+    Ir.Engine.run_hooked ~engine ?regalloc ~trace_locals ~fuel Vm.Hooks.noop
+      prog
+  with
   | r -> Printf.sprintf "exit %d instrs %d" r.exit_value r.instructions
   | exception Machine.Trap (msg, pc) -> Printf.sprintf "trap %S at %d" msg pc
 
 (* Every fuel level from 0 to completion: the threaded engine must trap
-   "out of fuel" at exactly the same pc, which exercises the fused steps'
-   stepwise fallback at every possible window offset. *)
+   "out of fuel" at exactly the same pc (exercising the fused steps'
+   stepwise fallback at every window offset), and the register engine
+   must deoptimize — rebuild the architectural stack-machine state and
+   resume in the switch loop — at every tick-segment offset. *)
 let test_fuel_sweep () =
   let src =
     "int g[6];\n\
@@ -294,14 +368,23 @@ let test_fuel_sweep () =
   let prog = Vm.Compile.compile_source src in
   let total = (Machine.run ~engine:Switch prog).instructions in
   for fuel = 0 to total do
+    let sw = run_outcome ~engine:Switch ~fuel prog in
     Alcotest.(check string)
-      (Printf.sprintf "fuel=%d" fuel)
-      (run_outcome ~engine:Switch ~fuel prog)
-      (run_outcome ~engine:Threaded ~fuel prog)
+      (Printf.sprintf "fuel=%d threaded" fuel)
+      sw
+      (run_outcome ~engine:Threaded ~fuel prog);
+    Alcotest.(check string)
+      (Printf.sprintf "fuel=%d register" fuel)
+      sw
+      (run_outcome ~engine:Register ~fuel prog);
+    Alcotest.(check string)
+      (Printf.sprintf "fuel=%d register/regalloc=off" fuel)
+      sw
+      (run_outcome ~engine:Register ~regalloc:false ~fuel prog)
   done
 
-(* Traps raised from inside fused windows must carry the constituent's
-   original pc and message. *)
+(* Traps raised from inside fused windows / tick segments must carry the
+   constituent's original pc and message. *)
 let trap_cases =
   [
     ( "div by zero in fused update",
@@ -320,22 +403,25 @@ let test_fused_traps () =
   List.iter
     (fun (name, src) ->
       let prog = Vm.Compile.compile_source src in
-      Alcotest.(check string)
-        name
-        (run_outcome ~engine:Switch ~fuel prog)
-        (run_outcome ~engine:Threaded ~fuel prog);
+      let sw = run_outcome ~engine:Switch ~fuel prog in
+      List.iter
+        (fun engine ->
+          Alcotest.(check string)
+            (name ^ " " ^ ename engine)
+            sw
+            (run_outcome ~engine ~fuel prog))
+        [ Machine.Threaded; Machine.Register ];
       (* The trap must actually fire. *)
-      let outcome = run_outcome ~engine:Threaded ~fuel prog in
       Alcotest.(check bool)
         (name ^ " traps") true
-        (String.length outcome > 4 && String.sub outcome 0 4 = "trap"))
+        (String.length sw > 4 && String.sub sw 0 4 = "trap"))
     trap_cases
 
 (* --- random program differential ---------------------------------------- *)
 
 let test_qcheck_differential () =
   QCheck.Test.check_exn
-    (QCheck.Test.make ~name:"switch vs threaded on random programs" ~count:60
+    (QCheck.Test.make ~name:"all engines on random programs" ~count:60
        Testgen.arbitrary_program (fun p ->
          let prog = Vm.Compile.compile p in
          (* A tight budget keeps the logs small and makes "out of fuel"
@@ -346,19 +432,37 @@ let test_qcheck_differential () =
                event_log_or_trap ~fuel:200_000 ~engine ~trace_locals prog)
              [ false; true ]
          in
-         out Machine.Switch = out Machine.Threaded))
+         let sw = out Machine.Switch in
+         sw = out Machine.Threaded && sw = out Machine.Register))
+
+(* Register allocation is a pure renaming: coloring on vs. identity
+   windows must not change a single observable byte on random
+   programs. *)
+let test_qcheck_regalloc () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"regalloc on vs off on random programs" ~count:40
+       Testgen.arbitrary_program (fun p ->
+         let prog = Vm.Compile.compile p in
+         let out regalloc =
+           event_log_or_trap ~fuel:200_000 ~regalloc ~engine:Machine.Register
+             ~trace_locals:false prog
+         in
+         out true = out false))
 
 let suite =
   [
     ("registry unhooked differential", `Quick, test_registry_unhooked);
+    ("register lowering coverage", `Quick, test_register_lowering_coverage);
     ("registry event streams", `Quick, test_registry_event_stream);
     ("fig4 event streams", `Quick, test_fig4_event_stream);
     ("registry profiles byte-identical", `Quick, test_registry_profiles);
     ("vm.engine gauge", `Quick, test_engine_gauge);
+    ("register telemetry", `Quick, test_register_telemetry);
     ("trace_locals profile identical", `Quick, test_trace_locals_profile);
     ("fusion off differential", `Quick, test_fusion_off);
     ("fusions installed and well-formed", `Quick, test_fusions_installed);
     ("fuel sweep trap parity", `Quick, test_fuel_sweep);
     ("fused trap pc/message parity", `Quick, test_fused_traps);
     ("qcheck differential", `Quick, test_qcheck_differential);
+    ("qcheck regalloc round-trip", `Quick, test_qcheck_regalloc);
   ]

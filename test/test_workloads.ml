@@ -85,7 +85,7 @@ let test_scales_differ () =
     Registry.all
 
 let test_registry_lookup () =
-  Alcotest.(check int) "eight workloads" 8 (List.length Registry.all);
+  Alcotest.(check int) "nine workloads" 9 (List.length Registry.all);
   List.iter
     (fun name -> ignore (Registry.find name))
     Registry.names;
