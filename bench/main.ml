@@ -6,7 +6,7 @@
      dune exec bench/main.exe              -- run everything
      dune exec bench/main.exe -- table3 fig6 ...   -- run a subset
    Sections: fig2 fig3 fig4 fig6 table3 table4 table5 baseline explore micro
-   ablation perf register static distance *)
+   ablation perf register hookfloor static distance *)
 
 module W = Workloads.Workload
 module Registry = Workloads.Registry
@@ -1094,6 +1094,136 @@ let register_bench () =
   close_out oc;
   print_endline "wrote BENCH_6.json"
 
+(* --- hookfloor: event ring + freshen memo ------------------------------------------ *)
+
+let hookfloor_bench () =
+  header "Hookfloor — event ring + segment freshen memo vs the threaded floor";
+  let w = Registry.find "gzip-1.3.5" in
+  let prog = W.compile w ~scale:w.W.default_scale in
+  (* The headline is a ratio of two same-session end-to-end runs on a
+     time-shared host. Sampling the engines in separate blocks lets a
+     noisy minute land on only one of them and skew the ratio, so the
+     rounds interleave all three configurations back to back — sustained
+     interference then inflates every best equally and the ratio
+     survives. *)
+  let e2e_runs = 15 in
+  let sample f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let keep best (v, wall) = if wall < snd best then (v, wall) else best in
+  ignore (Profiler.run ~engine:Vm.Machine.Register ~fuel prog) (* warm *);
+  let ring_run () = Profiler.run ~engine:Vm.Machine.Register ~fuel prog in
+  let nor_run () =
+    Profiler.run ~engine:Vm.Machine.Register ~ring:false ~fuel prog
+  in
+  let th_run () = Profiler.run ~engine:Vm.Machine.Threaded ~fuel prog in
+  let best_ring = ref (sample ring_run)
+  and best_nor = ref (sample nor_run)
+  and best_th = ref (sample th_run) in
+  for _ = 2 to e2e_runs do
+    best_ring := keep !best_ring (sample ring_run);
+    best_nor := keep !best_nor (sample nor_run);
+    best_th := keep !best_th (sample th_run)
+  done;
+  let r_ring, wall_ring = !best_ring in
+  let r_nor, wall_nor = !best_nor in
+  let r_th, wall_th = !best_th in
+  let events = r_ring.Profiler.stats.Profiler.shadow_events in
+  let ns w = w *. 1e9 /. float_of_int events in
+  let profiles_identical =
+    Alchemist.Profile_io.to_string r_ring.Profiler.profile
+    = Alchemist.Profile_io.to_string r_nor.Profiler.profile
+    && Alchemist.Profile_io.to_string r_th.Profiler.profile
+       = Alchemist.Profile_io.to_string r_ring.Profiler.profile
+  in
+  let snap = Profiler.telemetry r_ring in
+  let count name =
+    match Obs.find snap name with Some (Obs.Count n) -> n | _ -> 0
+  in
+  let freshens = count "shadow.freshen_checks" in
+  let ring_events = count "ir.ring_events" in
+  let ring_drains = count "ir.ring_drains" in
+  (* p99 ring depth, as the upper bound of the first log2 bucket that
+     covers 99% of the drain-time depth observations. *)
+  let depth_p99, depth_max =
+    match Obs.find snap "ir.ring_depth" with
+    | Some (Obs.Dist { buckets; count = c; max; _ }) when c > 0 ->
+        let target = (99 * c + 99) / 100 in
+        let cum = ref 0 and p = ref 0 in
+        (try
+           Array.iteri
+             (fun b n ->
+               cum := !cum + n;
+               if !cum >= target then begin
+                 p := (if b = 0 then 0 else (1 lsl b) - 1);
+                 raise Exit
+               end)
+             buckets
+         with Exit -> ());
+        (!p, max)
+    | _ -> (0, 0)
+  in
+  let freshens_per_event = float_of_int freshens /. float_of_int events in
+  Printf.printf
+    "\nmini-gzip end-to-end profile (best of %d, %d shadow events):\n" e2e_runs
+    events;
+  Printf.printf "  threaded           %.3fs wall  %6.1f ns/event\n" wall_th
+    (ns wall_th);
+  Printf.printf "  register, no ring  %.3fs wall  %6.1f ns/event  (%.2fx)\n"
+    wall_nor (ns wall_nor) (wall_th /. wall_nor);
+  Printf.printf
+    "  register, ring     %.3fs wall  %6.1f ns/event  (%.2fx vs \
+     same-session threaded)\n"
+    wall_ring (ns wall_ring) (wall_th /. wall_ring);
+  Printf.printf "  profiles byte-identical (ring/no-ring/threaded): %b\n"
+    profiles_identical;
+  Printf.printf "\nring: %d events in %d drains (%.0f events/drain), depth \
+                 p99 <= %d, max %d\n"
+    ring_events ring_drains
+    (if ring_drains = 0 then 0.
+     else float_of_int ring_events /. float_of_int ring_drains)
+    depth_p99 depth_max;
+  Printf.printf
+    "freshen memo: %.3f freshens/event (was 1.000 per event before the \
+     per-address generation memo)\n"
+    freshens_per_event;
+  let oc = open_out "BENCH_7.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "hook floor: event ring + segment freshen memo (gzip-1.3.5)",
+  "runs": %d,
+  "shadow_events": %d,
+  "threaded": { "wall_s": %.4f, "ns_per_event": %.2f },
+  "register_no_ring": { "wall_s": %.4f, "ns_per_event": %.2f, "speedup_vs_threaded": %.3f },
+  "register_ring": { "wall_s": %.4f, "ns_per_event": %.2f, "speedup_vs_threaded": %.3f },
+  "ring": {
+    "events": %d,
+    "drains": %d,
+    "events_per_drain": %.1f,
+    "depth_p99_upper": %d,
+    "depth_max": %d
+  },
+  "freshen_memo": {
+    "freshen_checks": %d,
+    "freshens_per_event": %.4f,
+    "freshens_per_event_before": 1.0
+  },
+  "profiles_identical": %b,
+  "telemetry": %s
+}
+|}
+    e2e_runs events wall_th (ns wall_th) wall_nor (ns wall_nor)
+    (wall_th /. wall_nor) wall_ring (ns wall_ring) (wall_th /. wall_ring)
+    ring_events ring_drains
+    (if ring_drains = 0 then 0.
+     else float_of_int ring_events /. float_of_int ring_drains)
+    depth_p99 depth_max freshens freshens_per_event profiles_identical
+    (Obs.render_json snap);
+  close_out oc;
+  print_endline "wrote BENCH_7.json"
+
 (* --- static: instrumentation pruning ---------------------------------------------- *)
 
 let static_bench () =
@@ -1253,6 +1383,7 @@ let sections =
     ("ablation", ablation);
     ("perf", perf);
     ("register", register_bench);
+    ("hookfloor", hookfloor_bench);
     ("static", static_bench);
     ("distance", distance_bench);
   ]

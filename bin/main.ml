@@ -93,6 +93,15 @@ let regalloc_arg =
               on). Only meaningful with $(b,--engine=register); the profile \
               is byte-identical either way.")
 
+let ring_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "ring" ] ~docv:"BOOL"
+        ~doc:"Deliver hook events through the register engine's batched \
+              event ring (default on). Only meaningful with \
+              $(b,--engine=register); the profile is byte-identical either \
+              way.")
+
 let engine_arg =
   Arg.(
     value
@@ -161,11 +170,11 @@ let profile_cmd =
                 $(b,json).")
   in
   let profile spec fuel top edges kinds trace_locals save telemetry fold warn
-      static_prune engine regalloc =
+      static_prune engine regalloc ring =
     handle_errors (fun () ->
         let prog = load_program ~fold ~warn spec in
         let r =
-          Alchemist.Profiler.run ~engine ~regalloc ~fuel ~trace_locals
+          Alchemist.Profiler.run ~engine ~regalloc ~ring ~fuel ~trace_locals
             ~static_prune prog
         in
         Option.iter
@@ -210,7 +219,7 @@ let profile_cmd =
     Term.(
       const profile $ src_arg $ fuel_arg $ top $ edges $ kinds $ trace_locals
       $ save $ telemetry $ fold_arg $ warn_arg $ static_prune_arg $ engine_arg
-      $ regalloc_arg)
+      $ regalloc_arg $ ring_arg)
 
 (* --- rank ---------------------------------------------------------------- *)
 

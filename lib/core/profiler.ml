@@ -96,6 +96,19 @@ let make ?scan_limit ?pool_capacity ?obs ?(static = true) (prog : Vm.Program.t)
       invalid_arg "Profiler: memory event outside any construct"
     else Indexing.Index_tree.peek tree
   in
+  (* The bulk clock sink for the register engine's event ring: a drained
+     Instr_range event covers a whole IR segment, and ranges that Rules
+     proves free of construct joins advance the clock in one add instead
+     of seg_len hook calls. Exactly equivalent to per-pc [on_instr].
+     [range_has_target] and [set_time] together opt the profiler into
+     the ring's thinned stream: segments with no rule-(5) join point are
+     elided from the ring entirely, and their clock advance is restored
+     from the stamps carried by the events around them. *)
+  let instr_range ~lo ~hi = Indexing.Rules.on_instr_range rules ~lo ~hi in
+  let range_has_target ~lo ~hi =
+    Indexing.Rules.range_has_target rules ~lo ~hi
+  in
+  let set_time n = Indexing.Index_tree.set_now tree n in
   let hooks =
     {
       Vm.Hooks.on_instr = (fun ~pc -> Indexing.Rules.on_instr rules ~pc);
@@ -177,28 +190,41 @@ let make ?scan_limit ?pool_capacity ?obs ?(static = true) (prog : Vm.Program.t)
     in
     { profile; stats; run; obs = reg }
   in
-  (hooks, finish, dep)
+  (hooks, (instr_range, range_has_target, set_time), finish, dep)
 
-let run ?(engine = Vm.Machine.Threaded) ?regalloc ?fuel ?scan_limit
+let run ?(engine = Vm.Machine.Threaded) ?regalloc ?ring ?fuel ?scan_limit
     ?pool_capacity ?obs ?(trace_locals = false) ?(static_prune = true)
     (prog : Vm.Program.t) =
   let reg = match obs with Some r -> r | None -> Obs.Registry.create () in
-  let hooks, finish, dep =
+  let hooks, (instr_range, range_has_target, set_time), finish, dep =
     make ?scan_limit ?pool_capacity ~obs:reg ~static:(not trace_locals) prog
   in
   (* The verdict layer runs (and is stored) whether or not pruning is
      applied — so prune-on and prune-off profiles of the same execution
      are byte-identical, which is the property `alchemist check`
-     re-verifies per workload. *)
+     re-verifies per workload. The mask handed to the engine is the
+     IR-widened one: register-IR def-use hints upgrade accesses the
+     points-to layer left incomplete, proving more hooks redundant
+     (Static.Depend.widen_prune). The widening is derived from the
+     deterministic no-prune lowering, so every engine receives the same
+     mask and the profile stays engine-independent; verdicts keep using
+     the unwidened base mask. *)
   let prune =
     match dep with
-    | Some d when static_prune -> Some (Static.Depend.prune_mask d)
+    | Some d when static_prune ->
+        let mask, extra =
+          Static.Depend.widen_prune d
+            ~region_hint:(Ir.Refine.region_hints prog)
+        in
+        Obs.Gauge.set (Obs.Registry.gauge reg "static.refined_pcs") extra;
+        Some mask
     | _ -> None
   in
   let r =
     finish
-      (Ir.Engine.run_hooked ~engine ?regalloc ~trace_locals ?prune ?fuel
-         ~obs:reg hooks prog)
+      (Ir.Engine.run_hooked ~engine ?regalloc ?ring ~instr_range
+         ~range_has_target ~set_time ~trace_locals ?prune ?fuel ~obs:reg hooks
+         prog)
   in
   (* Record which engine produced the events, so benchmark telemetry is
      self-describing (0 = switch, 1 = threaded, 2 = register). The
@@ -219,7 +245,7 @@ let run_trace ?scan_limit ?pool_capacity ?obs (trace : Vm.Trace.t)
      event set — and then it must: the online/offline differential
      (test_trace) byte-compares the two profiles, verdict lines
      included. *)
-  let hooks, finish, _dep =
+  let hooks, _ring_sinks, finish, _dep =
     make ?scan_limit ?pool_capacity ?obs
       ~static:(not (Vm.Trace.traced_locals trace))
       prog
@@ -227,7 +253,8 @@ let run_trace ?scan_limit ?pool_capacity ?obs (trace : Vm.Trace.t)
   Vm.Trace.replay trace hooks;
   finish (Vm.Trace.result trace)
 
-let run_source ?engine ?fuel ?scan_limit ?pool_capacity ?obs ?trace_locals
-    ?static_prune src =
-  run ?engine ?fuel ?scan_limit ?pool_capacity ?obs ?trace_locals ?static_prune
+let run_source ?engine ?ring ?fuel ?scan_limit ?pool_capacity ?obs
+    ?trace_locals ?static_prune src =
+  run ?engine ?ring ?fuel ?scan_limit ?pool_capacity ?obs ?trace_locals
+    ?static_prune
     (Vm.Compile.compile_source src)

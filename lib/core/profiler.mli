@@ -46,6 +46,7 @@ val telemetry : result -> Obs.snapshot
 val run :
   ?engine:Vm.Machine.engine ->
   ?regalloc:bool ->
+  ?ring:bool ->
   ?fuel:int ->
   ?scan_limit:int ->
   ?pool_capacity:int ->
@@ -65,6 +66,13 @@ val run :
     [false] the register IR runs on the identity vreg mapping instead of
     the colored window — the ablation the bench measures; observable
     results are unchanged either way.
+    [ring] (default [true]) likewise only affects the register engine:
+    when on, hook events are appended to a flat event ring drained in
+    bulk ({!Ir.Ring}), with segment clock advances batched through
+    {!Indexing.Rules.on_instr_range}; when [false] every event is
+    delivered directly at its instruction. The profile and all
+    non-[ir.*] telemetry are byte-identical either way (differentially
+    tested) — only the hook-delivery cost changes.
     [pool_capacity] (default 1M, the paper's setting) controls index-node
     retention; [trace_locals] (default [false]) additionally tracks scalar
     frame slots as memory — see {!Vm.Machine.run_hooked}. [obs] supplies
@@ -97,6 +105,7 @@ val run_trace :
 
 val run_source :
   ?engine:Vm.Machine.engine ->
+  ?ring:bool ->
   ?fuel:int ->
   ?scan_limit:int ->
   ?pool_capacity:int ->

@@ -48,24 +48,25 @@ let merge_profiles = function
 (* Each shard gets its own registry (no cross-domain contention) with a
    [driver.shard_wall] timer wrapped around the profiled execution; the
    caller can merge shard snapshots with [Obs.merge_all]. *)
-let timed_run ?engine ?fuel ?trace_locals ?static_prune prog =
+let timed_run ?engine ?ring ?fuel ?trace_locals ?static_prune prog =
   let obs = Obs.Registry.create () in
   let shard_wall = Obs.Registry.timer obs "driver.shard_wall" in
   Obs.Timer.start shard_wall;
   let r =
-    Alchemist.Profiler.run ?engine ?fuel ?trace_locals ?static_prune ~obs prog
+    Alchemist.Profiler.run ?engine ?ring ?fuel ?trace_locals ?static_prune ~obs
+      prog
   in
   Obs.Timer.stop shard_wall;
   r
 
-let profile_programs ?(jobs = default_jobs ()) ?engine ?fuel ?trace_locals
-    ?static_prune ?obs = function
+let profile_programs ?(jobs = default_jobs ()) ?engine ?ring ?fuel
+    ?trace_locals ?static_prune ?obs = function
   | [] -> invalid_arg "Parallel.profile_programs: empty list"
   | progs ->
       let results =
         map ~jobs
           (fun prog ->
-            (timed_run ?engine ?fuel ?trace_locals ?static_prune prog)
+            (timed_run ?engine ?ring ?fuel ?trace_locals ?static_prune prog)
               .Alchemist.Profiler.profile)
           (Array.of_list progs)
       in
@@ -79,7 +80,8 @@ let profile_programs ?(jobs = default_jobs ()) ?engine ?fuel ?trace_locals
             (Array.length results);
           Obs.Timer.time mt merge)
 
-let profile_registry ?(jobs = default_jobs ()) ?engine ?fuel ?static_prune
+let profile_registry ?(jobs = default_jobs ()) ?engine ?ring ?fuel
+    ?static_prune
     ?(scale_of = fun (w : Workloads.Workload.t) -> w.default_scale) () =
   let compiled =
     List.map
@@ -90,6 +92,6 @@ let profile_registry ?(jobs = default_jobs ()) ?engine ?fuel ?static_prune
   in
   map ~jobs
     (fun ((w : Workloads.Workload.t), prog) ->
-      (w, timed_run ?engine ?fuel ?static_prune prog))
+      (w, timed_run ?engine ?ring ?fuel ?static_prune prog))
     compiled
   |> Array.to_list

@@ -31,6 +31,7 @@ val merge_profiles : Alchemist.Profile.t list -> Alchemist.Profile.t
 val profile_programs :
   ?jobs:int ->
   ?engine:Vm.Machine.engine ->
+  ?ring:bool ->
   ?fuel:int ->
   ?trace_locals:bool ->
   ?static_prune:bool ->
@@ -46,15 +47,20 @@ val profile_programs :
     around the merge fold and a ["driver.shards"] counter into it (shard
     telemetry itself stays per-run; see {!profile_registry}).
     [engine] selects the VM engine per shard (default
-    threaded; profiles are engine-independent). [static_prune] is passed
-    through to {!Alchemist.Profiler.run} (default on; profiles are
-    byte-identical either way).
+    threaded; profiles are engine-independent). [ring] and [static_prune]
+    are passed through to {!Alchemist.Profiler.run} (default on; profiles
+    are byte-identical either way). Ring telemetry counters ([ir.*]) are
+    ordinary registry instruments, so shard snapshots merge with
+    {!Obs.merge_all} like every other counter — merge order never
+    changes a merged total (the qcheck merge laws in test_obs cover
+    them).
     @raise Invalid_argument on the empty list or on programs with
     differing code. *)
 
 val profile_registry :
   ?jobs:int ->
   ?engine:Vm.Machine.engine ->
+  ?ring:bool ->
   ?fuel:int ->
   ?static_prune:bool ->
   ?scale_of:(Workloads.Workload.t -> int) ->

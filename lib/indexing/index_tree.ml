@@ -22,6 +22,8 @@ let create ?scan_limit ?pool_capacity ?(on_push = fun _ -> ())
 
 let[@inline] now t = t.time
 let[@inline] tick t = t.time <- t.time + 1
+let[@inline] bulk_tick t n = t.time <- t.time + n
+let[@inline] set_now t n = t.time <- n
 let[@inline] depth t = t.sp
 let top t = if t.sp = 0 then None else Some t.stack.(t.sp - 1)
 

@@ -25,6 +25,20 @@ val now : t -> int
 val tick : t -> unit
 (** Advance the clock by one instruction. *)
 
+val bulk_tick : t -> int -> unit
+(** Advance the clock by [n] instructions at once — equivalent to [n]
+    {!tick}s with no intervening observation. Rule (5) probes must still
+    happen per pc; {!Rules.on_instr_range} only takes this path across
+    pc ranges it has proven free of construct join points. *)
+
+val set_now : t -> int -> unit
+(** Jump the clock to an absolute instruction count. Only valid forward
+    (time is monotone) and only between events: the register engine's
+    event ring stamps each buffered event with the clock it was emitted
+    under and restores it here before delivery, which is what lets the
+    ring skip replaying instruction ranges that contain no construct
+    join point. *)
+
 val depth : t -> int
 (** Current stack depth (number of active constructs, the paper's [L]). *)
 

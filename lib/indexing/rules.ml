@@ -9,18 +9,28 @@ type t = {
          rather than bool array so the whole program's flags fit in a
          few cache lines, and indexed unsafely: every pc the engines
          pass is in [0, code length), the array's exact extent. *)
+  tgt_pfx : int array;
+      (* [tgt_pfx.(pc)] = number of ipdom-target pcs below [pc]; length
+         code+1. A pc range [lo..hi] contains a rule-(5) join point iff
+         [tgt_pfx.(hi+1) <> tgt_pfx.(lo)] — two loads decide whether
+         {!on_instr_range} can advance the clock in bulk or must probe
+         per pc. *)
   tr : Index_tree.t;
   mutable forced : int;
 }
 
 let create ~ipdom ~tree =
-  let ipdom_target = Bytes.make (Array.length ipdom) '\000' in
+  let n = Array.length ipdom in
+  let ipdom_target = Bytes.make n '\000' in
   Array.iter
-    (fun d ->
-      if d >= 0 && d < Bytes.length ipdom_target then
-        Bytes.set ipdom_target d '\001')
+    (fun d -> if d >= 0 && d < n then Bytes.set ipdom_target d '\001')
     ipdom;
-  { ipdom; ipdom_target; tr = tree; forced = 0 }
+  let tgt_pfx = Array.make (n + 1) 0 in
+  for pc = 0 to n - 1 do
+    tgt_pfx.(pc + 1) <-
+      (tgt_pfx.(pc) + if Bytes.get ipdom_target pc <> '\000' then 1 else 0)
+  done;
+  { ipdom; ipdom_target; tgt_pfx; tr = tree; forced = 0 }
 
 let tree t = t.tr
 
@@ -39,6 +49,28 @@ let rec pops t pc =
 let[@inline] on_instr t ~pc =
   Index_tree.tick t.tr;
   if Bytes.unsafe_get t.ipdom_target pc <> '\000' then pops t pc
+
+(* Equivalent to [on_instr] at every pc of [lo..hi] in order. Ranges
+   with no ipdom target in them — most executed segments — advance the
+   clock in one add; rule (5) cannot fire inside them, and the clock is
+   only observable at events, which the caller (the ring drain) replays
+   strictly after this whole range. *)
+(* Does [lo, hi] contain a rule-(5) join point? Two prefix-sum loads;
+   the register engine asks this once per IR segment at closure-build
+   time to decide whether the segment must appear in the event ring at
+   all — target-free segments only move the clock, which the ring
+   carries on the events themselves. *)
+let range_has_target t ~lo ~hi =
+  Array.unsafe_get t.tgt_pfx (hi + 1) <> Array.unsafe_get t.tgt_pfx lo
+
+let on_instr_range t ~lo ~hi =
+  if Array.unsafe_get t.tgt_pfx (hi + 1) = Array.unsafe_get t.tgt_pfx lo then
+    Index_tree.bulk_tick t.tr (hi - lo + 1)
+  else
+    for pc = lo to hi do
+      Index_tree.tick t.tr;
+      if Bytes.unsafe_get t.ipdom_target pc <> '\000' then pops t pc
+    done
 
 let on_branch t ~pc ~kind ~taken =
   match kind with

@@ -22,6 +22,22 @@ val create : ipdom:int array -> tree:Index_tree.t -> t
 val tree : t -> Index_tree.t
 
 val on_instr : t -> pc:int -> unit
+
+val on_instr_range : t -> lo:int -> hi:int -> unit
+(** Exactly [for pc = lo to hi do on_instr t ~pc done], but ranges
+    containing no construct join point (precomputed prefix counts over
+    the ipdom-target set decide in O(1)) advance the clock in a single
+    add. This is the bulk sink the profiler hands to the register
+    engine's event ring, where one drained [Instr_range] event covers a
+    whole IR segment. *)
+
+val range_has_target : t -> lo:int -> hi:int -> bool
+(** Whether [on_instr] could do anything other than tick the clock
+    anywhere in [lo, hi] — i.e. the range holds a rule-(5) join point.
+    When it cannot, a segment's only observable effect is the clock
+    advance, so an event ring that stamps events with the emitting
+    clock may elide the segment from the stream entirely. *)
+
 val on_branch : t -> pc:int -> kind:Vm.Instr.branch_kind -> taken:bool -> unit
 val on_call : t -> entry_pc:int -> unit
 val on_ret : t -> unit

@@ -6,17 +6,20 @@
    to [Vm.Machine.exec], {!Vm.Machine.Register} runs {!Exec}.
 
    [regalloc] (default true) disables graph coloring when false — the
-   identity-mapped ablation measured in the bench. [obs] publishes the
-   [ir.*] gauges into the given registry. Both are accepted (and
-   ignored) for the other engines so callers can pass them
-   unconditionally. *)
+   identity-mapped ablation measured in the bench. [ring] (default
+   true) batches hook delivery through {!Ring}; [instr_range] is the
+   optional bulk [on_instr] sink the ring drain uses for segment
+   events. [obs] publishes the [ir.*] gauges into the given registry.
+   All are accepted (and ignored) for the other engines so callers can
+   pass them unconditionally. *)
 
 let exec ?(engine = Vm.Machine.Threaded) ~hooked ?trace_locals ?prune ?regalloc
-    ?obs (hooks : Vm.Hooks.t) ?fuel ?max_depth (prog : Vm.Program.t) =
+    ?ring ?instr_range ?range_has_target ?set_time ?obs (hooks : Vm.Hooks.t)
+    ?fuel ?max_depth (prog : Vm.Program.t) =
   match engine with
   | Vm.Machine.Register ->
-      Exec.exec ~hooked ?trace_locals ?prune ?regalloc ?obs hooks ?fuel
-        ?max_depth prog
+      Exec.exec ~hooked ?trace_locals ?prune ?regalloc ?ring ?instr_range
+        ?range_has_target ?set_time ?obs hooks ?fuel ?max_depth prog
   | (Vm.Machine.Switch | Vm.Machine.Threaded) as e ->
       Vm.Machine.exec ~engine:e ~hooked ?trace_locals ?prune hooks ?fuel
         ?max_depth prog
@@ -24,7 +27,7 @@ let exec ?(engine = Vm.Machine.Threaded) ~hooked ?trace_locals ?prune ?regalloc
 let run ?engine ?regalloc ?fuel ?max_depth prog =
   exec ?engine ~hooked:false ?regalloc Vm.Hooks.noop ?fuel ?max_depth prog
 
-let run_hooked ?engine ?trace_locals ?prune ?regalloc ?obs ?fuel ?max_depth
-    hooks prog =
-  exec ?engine ~hooked:true ?trace_locals ?prune ?regalloc ?obs hooks ?fuel
-    ?max_depth prog
+let run_hooked ?engine ?trace_locals ?prune ?regalloc ?ring ?instr_range
+    ?range_has_target ?set_time ?obs ?fuel ?max_depth hooks prog =
+  exec ?engine ~hooked:true ?trace_locals ?prune ?regalloc ?ring ?instr_range
+    ?range_has_target ?set_time ?obs hooks ?fuel ?max_depth prog

@@ -116,11 +116,99 @@ let binfn (op : Minic.Ast.binop) : int -> int -> int =
   | Ne -> fun a b -> if a <> b then 1 else 0
   | Div | Mod | Shl | Shr | LogAnd | LogOr -> assert false
 
-let run_ir ~hooked ~trace_locals ?prune ~regalloc ?obs (hooks : Vm.Hooks.t)
-    ?fuel ?max_depth (lw : Lower.t) =
+let run_ir ~hooked ~trace_locals ?prune ~regalloc ~ring ?instr_range
+    ?range_has_target ?set_time ?obs (hooks : Vm.Hooks.t) ?fuel ?max_depth
+    (lw : Lower.t) =
   let prog = lw.prog in
   let st = VS.create ?max_depth prog in
   let fuel = match fuel with Some f -> f | None -> max_int in
+  (* Event delivery: with the ring on, every hook call site below
+     appends packed ints and the real hooks only run at drain points
+     (capacity, deoptimization, run exit). With it off, the sinks are
+     the hooks themselves — the reference delivery discipline. All
+     sinks are resolved once here so the compiled closures carry no
+     per-event mode branch. Ring events are stamped with the emitting
+     clock ([st.instructions]); when the caller also supplies
+     [range_has_target] and [set_time] (the profiler does), segments
+     without a construct join never enter the ring at all — the drain
+     restores the clock from the stamps instead. *)
+  let rg =
+    if hooked && ring then Some (Ring.create ?obs ?instr_range ?set_time hooks)
+    else None
+  in
+  let flush_ring =
+    match rg with
+    | Some r -> fun () -> Ring.drain r ~now:st.instructions
+    | None -> fun () -> ()
+  in
+  let ev_read =
+    match rg with
+    | Some r -> fun ~pc ~addr -> Ring.read r ~pc ~addr ~tm:st.instructions
+    | None -> hooks.on_read
+  in
+  let ev_write =
+    match rg with
+    | Some r -> fun ~pc ~addr -> Ring.write r ~pc ~addr ~tm:st.instructions
+    | None -> hooks.on_write
+  in
+  let ev_branch =
+    match rg with
+    | Some r ->
+        fun ~pc ~kind ~cid ~taken ->
+          Ring.branch r ~pc ~kind ~cid ~taken ~tm:st.instructions
+    | None -> hooks.on_branch
+  in
+  let ev_call =
+    match rg with
+    | Some r -> fun ~pc ~fid -> Ring.call r ~pc ~fid ~tm:st.instructions
+    | None -> hooks.on_call
+  in
+  let ev_ret =
+    match rg with
+    | Some r -> fun ~pc ~fid -> Ring.ret r ~pc ~fid ~tm:st.instructions
+    | None -> hooks.on_ret
+  in
+  let ev_release =
+    match rg with
+    | Some r ->
+        fun ~base ~size -> Ring.frame_release r ~base ~size ~tm:st.instructions
+    | None -> hooks.on_frame_release
+  in
+  let ev_range =
+    match rg with
+    | Some r ->
+        (* [Ring.instr_range] open-coded: this fires once per retired
+           IR segment that must appear in the stream — without flambda
+           the closure would pay a second real call just to reach a
+           compare-and-stores body. Both no-call outcomes (extend the
+           pending range, or start one when none is pending) stay in
+           the closure. [t0] is the clock before the segment's first
+           pc; the extend case keeps the pending range's own start. *)
+        fun lo hi t0 ->
+          if r.Ring.p_hi + 1 = lo then r.Ring.p_hi <- hi
+          else begin
+            if r.Ring.p_hi <> min_int then Ring.flush_pending r;
+            r.Ring.p_lo <- lo;
+            r.Ring.p_hi <- hi;
+            r.Ring.p_t <- t0
+          end
+    | None ->
+        let on_instr = hooks.on_instr in
+        fun lo hi _t0 ->
+          for q = lo to hi do
+            on_instr ~pc:q
+          done
+  in
+  (* Must a segment appear in the event stream? Without the consumer
+     contract (ring + [range_has_target] + [set_time]) every segment
+     must; with it, only segments holding a construct join point — the
+     rest contribute nothing but a clock advance, which rides on the
+     stamps. Decided once per IR instruction at closure-build time. *)
+  let must_emit_range =
+    match (rg, range_has_target) with
+    | Some _, Some f -> f
+    | _ -> fun ~lo:_ ~hi:_ -> true
+  in
   let allocs =
     Array.map (fun fi -> Regalloc.allocate ~identity:(not regalloc) lw fi) lw.funcs
   in
@@ -199,6 +287,11 @@ let run_ir ~hooked ~trace_locals ?prune ~regalloc ?obs (hooks : Vm.Hooks.t)
       fr.r_ops
   in
   let do_deopt (rd : rdeopt) : int =
+    (* Flush pending ring events BEFORE reconstructing stack state: the
+       hand-off resumes the switch interpreter, which delivers its own
+       events directly — anything still buffered here is owed to the
+       stream first, or the resume's events would overtake it. *)
+    flush_ring ();
     st.sp <- 0;
     for j = 0 to st.depth - 1 do
       restore_frame xs.c_rb.(j) st.call_base.(j) xs.c_sus.(j)
@@ -395,16 +488,13 @@ let run_ir ~hooked ~trace_locals ?prune ~regalloc ?obs (hooks : Vm.Hooks.t)
          record load. *)
       let tick =
         let mets = dr <> 0 || dw <> 0 in
-        if hooked then begin
-          let on_instr = hooks.on_instr in
+        if hooked && must_emit_range ~lo ~hi then begin
           match (mets, nm > 0) with
           | true, true ->
               fun () ->
                 if st.instructions + seg > fuel then ignore (do_deopt rd);
                 st.instructions <- st.instructions + seg;
-                for q = lo to hi do
-                  on_instr ~pc:q
-                done;
+                ev_range lo hi (st.instructions - seg);
                 st.n_reads <- st.n_reads + dr;
                 st.n_writes <- st.n_writes + dw;
                 apply_moves ()
@@ -412,26 +502,20 @@ let run_ir ~hooked ~trace_locals ?prune ~regalloc ?obs (hooks : Vm.Hooks.t)
               fun () ->
                 if st.instructions + seg > fuel then ignore (do_deopt rd);
                 st.instructions <- st.instructions + seg;
-                for q = lo to hi do
-                  on_instr ~pc:q
-                done;
+                ev_range lo hi (st.instructions - seg);
                 st.n_reads <- st.n_reads + dr;
                 st.n_writes <- st.n_writes + dw
           | false, true ->
               fun () ->
                 if st.instructions + seg > fuel then ignore (do_deopt rd);
                 st.instructions <- st.instructions + seg;
-                for q = lo to hi do
-                  on_instr ~pc:q
-                done;
+                ev_range lo hi (st.instructions - seg);
                 apply_moves ()
           | false, false ->
               fun () ->
                 if st.instructions + seg > fuel then ignore (do_deopt rd);
                 st.instructions <- st.instructions + seg;
-                for q = lo to hi do
-                  on_instr ~pc:q
-                done
+                ev_range lo hi (st.instructions - seg)
         end
         else
           match (mets, nm > 0) with
@@ -545,7 +629,7 @@ let run_ir ~hooked ~trace_locals ?prune ~regalloc ?obs (hooks : Vm.Hooks.t)
           let ds = slot dst in
           fun () ->
             tick ();
-            hooks.on_read ~pc:epc ~addr;
+            ev_read ~pc:epc ~addr;
             Array.unsafe_set xs.regs (xs.rb + ds) (Array.unsafe_get st.mem addr);
             if wt then
               Bytes.unsafe_set xs.rtg (xs.rb + ds)
@@ -556,7 +640,7 @@ let run_ir ~hooked ~trace_locals ?prune ~regalloc ?obs (hooks : Vm.Hooks.t)
           let tg = gettag v tv in
           fun () ->
             tick ();
-            if ev then hooks.on_write ~pc:epc ~addr;
+            if ev then ev_write ~pc:epc ~addr;
             Array.unsafe_set st.mem addr (gv ());
             Bytes.unsafe_set st.mem_tag addr (tg ());
             next
@@ -572,7 +656,7 @@ let run_ir ~hooked ~trace_locals ?prune ~regalloc ?obs (hooks : Vm.Hooks.t)
             if ixv < 0 || ixv >= len then
               VS.trap st epc "index %d out of bounds [0,%d)" ixv len;
             let addr = base + ixv in
-            if ev then hooks.on_read ~pc:epc ~addr;
+            if ev then ev_read ~pc:epc ~addr;
             Array.unsafe_set xs.regs (xs.rb + ds) (Array.unsafe_get st.mem addr);
             if wt then
               Bytes.unsafe_set xs.rtg (xs.rb + ds)
@@ -593,7 +677,7 @@ let run_ir ~hooked ~trace_locals ?prune ~regalloc ?obs (hooks : Vm.Hooks.t)
             if ixv < 0 || ixv >= len then
               VS.trap st epc "index %d out of bounds [0,%d)" ixv len;
             let addr = base + ixv in
-            if ev then hooks.on_write ~pc:epc ~addr;
+            if ev then ev_write ~pc:epc ~addr;
             Array.unsafe_set st.mem addr vv;
             Bytes.unsafe_set st.mem_tag addr vt;
             next
@@ -613,7 +697,7 @@ let run_ir ~hooked ~trace_locals ?prune ~regalloc ?obs (hooks : Vm.Hooks.t)
             tick ();
             let taken = gc () = 0 in
             st.n_branches <- st.n_branches + 1;
-            if hooked then hooks.on_branch ~pc:epc ~kind:bkind ~cid ~taken;
+            if hooked then ev_branch ~pc:epc ~kind:bkind ~cid ~taken;
             if taken then target else next
       | EndB ->
           fun () ->
@@ -660,7 +744,7 @@ let run_ir ~hooked ~trace_locals ?prune ~regalloc ?obs (hooks : Vm.Hooks.t)
             st.n_calls <- st.n_calls + 1;
             if st.depth > st.depth_hwm then st.depth_hwm <- st.depth;
             if st.stack_top > st.mem_hwm then st.mem_hwm <- st.stack_top;
-            if hooked then hooks.on_call ~pc:fentry ~fid:cfid;
+            if hooked then ev_call ~pc:fentry ~fid:cfid;
             let wb = xs.rtop in
             ensure_regs (wb + wsize);
             Array.fill xs.regs wb wsize 0;
@@ -692,8 +776,8 @@ let run_ir ~hooked ~trace_locals ?prune ~regalloc ?obs (hooks : Vm.Hooks.t)
             st.depth <- st.depth - 1;
             let d = st.depth in
             if hooked then begin
-              hooks.on_ret ~pc:epc ~fid:myfid;
-              hooks.on_frame_release ~base:st.frame_base ~size:fslots
+              ev_ret ~pc:epc ~fid:myfid;
+              ev_release ~base:st.frame_base ~size:fslots
             end;
             st.n_frames_released <- st.n_frames_released + 1;
             st.stack_top <- st.frame_base;
@@ -712,18 +796,25 @@ let run_ir ~hooked ~trace_locals ?prune ~regalloc ?obs (hooks : Vm.Hooks.t)
     end
   in
   let steps = Array.mapi build lw.instrs in
+  (* The final drain runs on every exit path: halt ([VS.Halted] from
+     [HaltI]), deopt-assisted completion (drained at [do_deopt], so the
+     finally is a no-op), and traps unwinding out of an effect — the
+     buffered prefix of the stream must reach the hooks before the
+     caller observes the outcome. *)
   let exit_value =
-    try
-      let pc = ref 0 in
-      while true do
-        pc := (Array.unsafe_get steps !pc) ()
-      done;
-      assert false
-    with VS.Halted v -> v
+    Fun.protect ~finally:flush_ring (fun () ->
+        try
+          let pc = ref 0 in
+          while true do
+            pc := (Array.unsafe_get steps !pc) ()
+          done;
+          assert false
+        with VS.Halted v -> v)
   in
   VS.finish st exit_value
 
-let exec ~hooked ?(trace_locals = true) ?prune ?(regalloc = true) ?obs
+let exec ~hooked ?(trace_locals = true) ?prune ?(regalloc = true)
+    ?(ring = true) ?instr_range ?range_has_target ?set_time ?obs
     (hooks : Vm.Hooks.t) ?fuel ?max_depth (prog : Vm.Program.t) =
   let hook_locals = hooked && trace_locals in
   if hook_locals then
@@ -742,5 +833,5 @@ let exec ~hooked ?(trace_locals = true) ?prune ?(regalloc = true) ?obs
            always exact *)
         Vm.Lower.exec ~hooked ~trace_locals ?prune hooks ?fuel ?max_depth prog
     | Some lw ->
-        run_ir ~hooked ~trace_locals ?prune ~regalloc ?obs hooks ?fuel
-          ?max_depth lw
+        run_ir ~hooked ~trace_locals ?prune ~regalloc ~ring ?instr_range
+          ?range_has_target ?set_time ?obs hooks ?fuel ?max_depth lw

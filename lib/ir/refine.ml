@@ -1,0 +1,138 @@
+(* Region refinement from register-IR def-use chains.
+
+   {!Static.Points_to} loses the target region of an indexed access
+   whenever the array reference flows through a path its abstract stack
+   cannot follow — most prominently a ref-{e returning} call, which it
+   collapses to "any region" and marks incomplete, vetoing pruning for
+   every access that might alias it. The register IR keeps exactly the
+   dataflow the abstract stack dropped: lowering folds [MakeRefGlobal]
+   into an [Imm] holding the packed ref, and copies propagate through
+   virtual registers whose def sites are explicit.
+
+   [region_hints] runs a constant analysis over those defs: a vreg is a
+   known packed ref iff {e every} def that can reach it — [Mov]s,
+   canonicalization moves, call returns (resolved by a cross-function
+   fixpoint over [RetI] operands) — yields the same constant. For each
+   [LoadIx]/[StoreIx] whose ref operand resolves, the source stack pc is
+   mapped to the concrete global region [(base, len)] it must access.
+   {!Static.Depend.widen_prune} consumes the hints to upgrade incomplete
+   accesses and re-run the prune derivation.
+
+   Soundness without path-sensitivity: the analysis joins over def
+   {e sites}, not paths, so a use reached before any def is not
+   represented. Such a use reads the vreg's zero initialization, and the
+   packed value 0 decodes to a length-0 ref — the bounds check traps
+   before the event fires, so the hint's claim ("whenever this pc's
+   event fires, the address lies in the region") is vacuously preserved.
+   Parameters are defined by the caller's argument fill, which the
+   per-function walk cannot see: they start at Top. Frame-local refs
+   ([RefL]) also resolve to Top — hints name global regions only, which
+   is what {!Static.Points_to.region}'s [Global] constructor models
+   without a frame-instance qualifier.
+
+   The lowering used here is the deterministic [~hooked:true] /
+   no-prune configuration, independent of the engine or prune mask of
+   the run that consumes the hints — so every engine derives the same
+   widened mask and profiles stay engine-independent. *)
+
+module VS = Vm.Vmstate
+
+type value = Bot | Cst of int | Top
+
+let join a b =
+  match (a, b) with
+  | Bot, v | v, Bot -> v
+  | Cst x, Cst y when x = y -> a
+  | _ -> Top
+
+let region_hints (prog : Vm.Program.t) : int -> (int * int) option =
+  match Lower.lower ~hooked:true ~pruned:(fun _ -> false) prog with
+  | None -> fun _ -> None
+  | Some lw ->
+      let nf = Array.length lw.Lower.funcs in
+      let vals =
+        Array.map
+          (fun (fi : Lower.func_ir) -> Array.make (max 1 fi.nvregs) Bot)
+          lw.Lower.funcs
+      in
+      let ret = Array.make nf Bot in
+      (* Parameter vregs are filled from the caller's arguments. *)
+      Array.iteri
+        (fun f (fi : Lower.func_ir) ->
+          for v = 0 to min fi.ff.Vm.Program.nparams fi.nvregs - 1 do
+            vals.(f).(v) <- Top
+          done)
+        lw.Lower.funcs;
+      let changed = ref true in
+      let eval f (o : Instr.operand) =
+        match o with
+        | Instr.Imm n -> Cst n
+        | Instr.RefL _ -> Top
+        | Instr.Reg v -> vals.(f).(v)
+      in
+      let def f v x =
+        let cur = vals.(f).(v) in
+        let j = join cur x in
+        if j <> cur then begin
+          vals.(f).(v) <- j;
+          changed := true
+        end
+      in
+      while !changed do
+        changed := false;
+        Array.iteri
+          (fun f (fi : Lower.func_ir) ->
+            for i = fi.ir_first to fi.ir_first + fi.ir_count - 1 do
+              let ins = lw.Lower.instrs.(i) in
+              Array.iter
+                (fun (m : Instr.move) -> def f m.m_dst (eval f m.m_src))
+                ins.Instr.moves;
+              match ins.Instr.kind with
+              | Instr.Mov { dst; src; _ } -> def f dst (eval f src)
+              | Instr.Bin { dst; _ }
+              | Instr.Un { dst; _ }
+              | Instr.LoadG { dst; _ }
+              | Instr.LoadIx { dst; _ } ->
+                  def f dst Top
+              | Instr.CallI ci -> def f ci.Instr.ci_dst ret.(ci.Instr.ci_fid)
+              | Instr.RetI { v; _ } ->
+                  let x = eval f v in
+                  let j = join ret.(f) x in
+                  if j <> ret.(f) then begin
+                    ret.(f) <- j;
+                    changed := true
+                  end
+              | _ -> ()
+            done)
+          lw.Lower.funcs
+      done;
+      (* One stack pc lowers to at most one indexed access, but join
+         defensively: conflicting hints for a pc cancel out. *)
+      let tbl : (int, (int * int) option) Hashtbl.t = Hashtbl.create 64 in
+      let add epc hint =
+        match Hashtbl.find_opt tbl epc with
+        | None -> Hashtbl.replace tbl epc hint
+        | Some prev -> if prev <> hint then Hashtbl.replace tbl epc None
+      in
+      let hint_of f (r : Instr.operand) =
+        match r with
+        | Instr.Imm n -> Some (VS.ref_base n, VS.ref_len n)
+        | Instr.Reg v -> (
+            match vals.(f).(v) with
+            | Cst n -> Some (VS.ref_base n, VS.ref_len n)
+            | Bot | Top -> None)
+        | Instr.RefL _ -> None
+      in
+      Array.iteri
+        (fun f (fi : Lower.func_ir) ->
+          for i = fi.ir_first to fi.ir_first + fi.ir_count - 1 do
+            let ins = lw.Lower.instrs.(i) in
+            if ins.Instr.epc >= 0 then
+              match ins.Instr.kind with
+              | Instr.LoadIx { r; _ } | Instr.StoreIx { r; _ } ->
+                  add ins.Instr.epc (hint_of f r)
+              | _ -> ()
+          done)
+        lw.Lower.funcs;
+      fun pc ->
+        match Hashtbl.find_opt tbl pc with Some (Some h) -> Some h | _ -> None

@@ -48,6 +48,19 @@ type t = {
   mutable cl_n : int;
   mutable last_clear_seq : int;
   mutable seq : int;
+  (* Freshen memo: [fr_gen.(addr) = gen] certifies [addr] has been
+     ensured and freshened since the last clear of any kind, so an
+     access skips both checks outright. [gen] is the clear generation:
+     every path that invalidates shadow state ([clear_from] and the
+     eager branch of [clear_range]) bumps it, un-stamping every address
+     at once — a range cleared between two accesses of one batched
+     segment therefore cannot be masked by the memo (stale-cell
+     hazard). The no-op fast path of [clear_range] (range entirely at
+     or above [hi]) soundly skips the bump: addresses up there have
+     never been touched, so no stamp covers them. Stamps start at 0 and
+     [gen] at 1, so untouched cells always miss. *)
+  mutable fr_gen : int array;
+  mutable gen : int;
   dummy : Node.t;
   sink : sink;
   events : Obs.Counter.t;
@@ -60,6 +73,7 @@ type t = {
   o_arena_in_use : Obs.Gauge.t;
   o_clear_depth : Obs.Gauge.t;
   o_freshens : Obs.Counter.t;
+  o_fr_checks : Obs.Counter.t;
   o_scrubbed : Obs.Counter.t;
   o_lazy_clears : Obs.Counter.t;
   o_eager_clears : Obs.Counter.t;
@@ -128,6 +142,8 @@ let create ?on_dep ?sink () =
     cl_n = 0;
     last_clear_seq = 0;
     seq = 0;
+    fr_gen = Array.make initial_cap 0;
+    gen = 1;
     dummy;
     sink;
     events = Obs.Counter.make ();
@@ -145,6 +161,7 @@ let create ?on_dep ?sink () =
     o_arena_in_use = Obs.Gauge.make ();
     o_clear_depth = Obs.Gauge.make ();
     o_freshens = Obs.Counter.make ();
+    o_fr_checks = Obs.Counter.make ();
     o_scrubbed = Obs.Counter.make ();
     o_lazy_clears = Obs.Counter.make ();
     o_eager_clears = Obs.Counter.make ();
@@ -162,6 +179,9 @@ let grow_cells t addr =
   let w_node = Array.make cap t.dummy in
   Array.blit t.w_node 0 w_node 0 t.cap;
   t.w_node <- w_node;
+  let fr_gen = Array.make cap 0 in
+  Array.blit t.fr_gen 0 fr_gen 0 t.cap;
+  t.fr_gen <- fr_gen;
   t.cap <- cap;
   Obs.Counter.incr t.o_cell_growths;
   Obs.Gauge.set t.o_cell_cap cap
@@ -254,8 +274,12 @@ let[@inline] freshen t addr =
 let read t ~addr ~pc ~time ~node =
   Obs.Counter.incr t.events;
   t.seq <- t.seq + 1;
-  ensure t addr;
-  freshen t addr;
+  if addr >= t.cap || Array.unsafe_get t.fr_gen addr <> t.gen then begin
+    Obs.Counter.incr t.o_fr_checks;
+    ensure t addr;
+    freshen t addr;
+    Array.unsafe_set t.fr_gen addr t.gen
+  end;
   let base = addr lsl 2 in
   let cell = t.cell in
   let w_pc = Array.unsafe_get cell base in
@@ -288,8 +312,12 @@ let read t ~addr ~pc ~time ~node =
 let write t ~addr ~pc ~time ~node =
   Obs.Counter.incr t.events;
   t.seq <- t.seq + 1;
-  ensure t addr;
-  freshen t addr;
+  if addr >= t.cap || Array.unsafe_get t.fr_gen addr <> t.gen then begin
+    Obs.Counter.incr t.o_fr_checks;
+    ensure t addr;
+    freshen t addr;
+    Array.unsafe_set t.fr_gen addr t.gen
+  end;
   let base = addr lsl 2 in
   let cell = t.cell in
   let w_pc = Array.unsafe_get cell base in
@@ -339,6 +367,7 @@ let clear_from t ~base =
      higher, so the new tag subsumes them), push (base, seq). Bases and
      seqs on the stack both stay strictly increasing. *)
   t.seq <- t.seq + 1;
+  t.gen <- t.gen + 1;
   Obs.Counter.incr t.o_lazy_clears;
   while t.cl_n > 0 && t.cl_base.(t.cl_n - 1) >= base do
     t.cl_n <- t.cl_n - 1
@@ -375,6 +404,7 @@ let clear_range t ~base ~size =
          [base, ∞), silently dropping live history above an interior
          range — interior ranges must pay O(size) for exact semantics. *)
       t.seq <- t.seq + 1;
+      t.gen <- t.gen + 1;
       Obs.Counter.incr t.o_eager_clears;
       scrub t ~base ~limit:(base + size)
     end
@@ -404,6 +434,7 @@ let register_obs t reg =
   Obs.Registry.register_gauge reg "shadow.arena_in_use" t.o_arena_in_use;
   Obs.Registry.register_gauge reg "shadow.clear_stack_depth" t.o_clear_depth;
   Obs.Registry.register_counter reg "shadow.freshens" t.o_freshens;
+  Obs.Registry.register_counter reg "shadow.freshen_checks" t.o_fr_checks;
   Obs.Registry.register_counter reg "shadow.cells_scrubbed" t.o_scrubbed;
   Obs.Registry.register_counter reg "shadow.lazy_clears" t.o_lazy_clears;
   Obs.Registry.register_counter reg "shadow.eager_clears" t.o_eager_clears

@@ -195,16 +195,20 @@ let same_array_no_dep dist (a : Points_to.access) (b : Points_to.access) =
      natural loop and either every region is the current activation's
      own frame (frame release clears the cells between activations) or
      the enclosing function body runs at most once per program. *)
-let compute_prune ?(distance_promotion = true) (prog : Vm.Program.t)
-    (pts : Points_to.t) (dist : Distance.t) fid_of_pc live called_once
-    loop_depth =
+(* The prune derivation proper, over an access {e getter} rather than
+   the points-to table directly: [widen_prune] re-runs it with accesses
+   whose regions have been sharpened by IR-derived hints, keeping one
+   derivation for both the base and the widened mask. *)
+let compute_prune_with ?(distance_promotion = true) (prog : Vm.Program.t)
+    (pts : Points_to.t) (get : int -> Points_to.access option)
+    (dist : Distance.t) fid_of_pc live called_once loop_depth =
   let n = Array.length prog.code in
   let prune = Array.make n false in
   if pts.Points_to.degraded then (prune, 0, 0)
   else begin
     let live_accesses = ref [] in
     for pc = 0 to n - 1 do
-      match Points_to.access pts pc with
+      match get pc with
       | Some a when live.(a.Points_to.fid) -> live_accesses := a :: !live_accesses
       | _ -> ()
     done;
@@ -223,7 +227,7 @@ let compute_prune ?(distance_promotion = true) (prog : Vm.Program.t)
         let p =
           if dead then true
           else
-            match Points_to.access pts pc with
+            match get pc with
             | None -> true (* unreachable within its function: never runs *)
             | Some a when not a.Points_to.is_write ->
                 a.Points_to.complete && List.for_all (disjoint a) writes
@@ -243,6 +247,11 @@ let compute_prune ?(distance_promotion = true) (prog : Vm.Program.t)
     done;
     (prune, !npruned, !nevents)
   end
+
+let compute_prune ?distance_promotion prog pts dist fid_of_pc live called_once
+    loop_depth =
+  compute_prune_with ?distance_promotion prog pts (Points_to.access pts) dist
+    fid_of_pc live called_once loop_depth
 
 (* ---- analysis entry ---------------------------------------------------- *)
 
@@ -318,6 +327,53 @@ let analyze ?analysis ?(distance_promotion = true) (prog : Vm.Program.t) =
     nevents;
     must_reach;
   }
+
+(* ---- hint-widened pruning ---------------------------------------------- *)
+
+(* Re-derive the prune mask with externally proven regions substituted
+   for incomplete accesses. [region_hint pc = Some (base, len)] asserts
+   that whenever the event at [pc] fires, its address lies in the global
+   region [base, base+len) — {!Ir.Refine.region_hints} derives such
+   facts from register-IR def-use chains that the abstract-stack
+   points-to analysis cannot follow.
+
+   Widening is monotone: upgrading an access from incomplete to a
+   concrete region can only turn [regions_may_alias] answers from "may"
+   to "no" (an incomplete access aliases everything), so the widened
+   mask is a superset of [t.prune]. The stored verdict layer keeps using
+   [t.prune]: a widened pc still classifies through its (unwidened)
+   points-to record, so profile verdict lines are identical whether or
+   not the caller applies the widened mask — the engine-side pruning
+   stays behaviorally invisible, as [alchemist check] requires.
+
+   Returns the widened mask and the number of pcs it adds. *)
+let widen_prune ?(distance_promotion = true) t
+    ~(region_hint : int -> (int * int) option) =
+  if t.pts.Points_to.degraded then (Array.copy t.prune, 0)
+  else begin
+    let get pc =
+      match Points_to.access t.pts pc with
+      | Some a when not a.Points_to.complete -> (
+          match region_hint pc with
+          | Some (base, len) ->
+              Some
+                {
+                  a with
+                  Points_to.regions = [ Points_to.Global { base; len } ];
+                  complete = true;
+                }
+          | None -> Some a)
+      | other -> other
+    in
+    let prune, npruned, _ =
+      compute_prune_with ~distance_promotion t.prog t.pts get t.dist
+        t.fid_of_pc t.live t.called_once t.loop_depth
+    in
+    (* Monotonicity holds by construction; keep the base mask's pcs even
+       so, which pins the invariant structurally. *)
+    Array.iteri (fun pc p -> if p then prune.(pc) <- true) t.prune;
+    (prune, max 0 (npruned - t.npruned))
+  end
 
 (* ---- verdicts ---------------------------------------------------------- *)
 

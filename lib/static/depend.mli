@@ -67,6 +67,22 @@ val prune_mask : t -> bool array
 
 val pruned_count : t -> int
 
+val widen_prune :
+  ?distance_promotion:bool ->
+  t ->
+  region_hint:(int -> (int * int) option) ->
+  bool array * int
+(** Re-derive the prune mask with externally proven regions substituted
+    for incomplete accesses: [region_hint pc = Some (base, len)] asserts
+    that whenever the event at [pc] fires, its address lies in the
+    global region [base, base+len) — {!Ir.Refine.region_hints} supplies
+    such facts from register-IR def-use chains the abstract-stack
+    points-to analysis cannot follow. The result is a fresh array, a
+    superset of {!prune_mask} (widening is monotone), paired with the
+    number of pcs it adds. Verdicts and stored profiles keep using the
+    base mask, so applying the widened mask to an engine changes no
+    profile byte. *)
+
 val event_count : t -> int
 (** Memory-event pcs in live code (denominator for the pruning rate). *)
 

@@ -48,6 +48,20 @@ if ! cmp "$tmpdir/register.prof" "$tmpdir/register-noalloc.prof"; then
 fi
 echo "register differential: profiles byte-identical"
 
+# Ring differential: batched hook delivery through the event ring must
+# not change a single byte of the profile versus direct delivery. The
+# ring reorders *when* hooks run (drain-in-bulk, clock restored from
+# event stamps, join-free segments elided), never *what* they observe —
+# this guards that equivalence end to end through the CLI.
+dune exec --no-build -- alchemist profile workload:gzip-1.3.5:2 \
+  --engine=register --ring=false \
+  --save "$tmpdir/register-noring.prof" > /dev/null
+if ! cmp "$tmpdir/register.prof" "$tmpdir/register-noring.prof"; then
+  echo "event ring changed the register engine's profile" >&2
+  exit 1
+fi
+echo "ring differential: profiles byte-identical"
+
 # Regalloc sanity: on gzip the coloring must fit the 16-slot window —
 # a nonzero spill count here means the allocator regressed (the
 # workloads' functions never keep more than 16 values live).

@@ -81,7 +81,7 @@ let test_register_lowering_coverage () =
    logs. This is stronger than comparing profiles: it pins the ordering
    and the original pcs that fused steps and register tick segments are
    required to preserve. *)
-let event_log ?(fuel = fuel) ?regalloc ~engine ~trace_locals prog =
+let event_log ?(fuel = fuel) ?regalloc ?ring ~engine ~trace_locals prog =
   let buf = Buffer.create 65536 in
   let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let hooks =
@@ -103,12 +103,14 @@ let event_log ?(fuel = fuel) ?regalloc ~engine ~trace_locals prog =
       on_frame_release = (fun ~base ~size -> p "f %d %d\n" base size);
     }
   in
-  let r = Ir.Engine.run_hooked ~engine ?regalloc ~trace_locals ~fuel hooks prog in
+  let r =
+    Ir.Engine.run_hooked ~engine ?regalloc ?ring ~trace_locals ~fuel hooks prog
+  in
   p "exit %d %d\n" r.exit_value r.instructions;
   Buffer.contents buf
 
-let event_log_or_trap ?fuel ?regalloc ~engine ~trace_locals prog =
-  match event_log ?fuel ?regalloc ~engine ~trace_locals prog with
+let event_log_or_trap ?fuel ?regalloc ?ring ~engine ~trace_locals prog =
+  match event_log ?fuel ?regalloc ?ring ~engine ~trace_locals prog with
   | log -> log
   | exception Machine.Trap (msg, pc) -> Printf.sprintf "trap %S at %d" msg pc
 
@@ -417,6 +419,100 @@ let test_fused_traps () =
         (String.length sw > 4 && String.sub sw 0 4 = "trap"))
     trap_cases
 
+(* --- event ring ---------------------------------------------------------- *)
+
+(* Ring on vs off on the register engine: batching hook delivery through
+   the event ring must not change one byte of the event stream. The
+   switch log is the reference for both. *)
+let test_ring_event_stream () =
+  List.iter
+    (fun (name, src) ->
+      let prog = Vm.Compile.compile_source src in
+      List.iter
+        (fun trace_locals ->
+          let sw = event_log ~engine:Switch ~trace_locals prog in
+          List.iter
+            (fun ring ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s ring=%b (trace_locals=%b)" name ring
+                   trace_locals)
+                sw
+                (event_log ~engine:Register ~ring ~trace_locals prog))
+            [ true; false ])
+        [ false; true ])
+    fig4_snippets
+
+(* Fuel-boundary regression: single-step fuel across every tick-segment
+   offset. A deoptimization fires mid-ring on most levels, and the
+   buffered events must reach the hooks BEFORE the switch resume
+   delivers its own — flushing after the stack rebuild (or not at all)
+   reorders or drops the tail of the stream. Byte-compare the full
+   event log at every fuel level, ring on and off. *)
+let test_fuel_ring_sweep () =
+  let src =
+    "int g[6];\n\
+     int sum(int n) {\n\
+    \  int i; int s;\n\
+    \  s = 0;\n\
+    \  for (i = 0; i < n; i = i + 1) { g[i] = 2 * i; s = s + g[i]; }\n\
+    \  return s;\n\
+     }\n\
+     int main() { return sum(6) + sum(3); }"
+  in
+  let prog = Vm.Compile.compile_source src in
+  let total = (Machine.run ~engine:Switch prog).instructions in
+  for fuel = 0 to total do
+    let sw = event_log_or_trap ~fuel ~engine:Switch ~trace_locals:false prog in
+    List.iter
+      (fun ring ->
+        Alcotest.(check string)
+          (Printf.sprintf "fuel=%d ring=%b" fuel ring)
+          sw
+          (event_log_or_trap ~fuel ~ring ~engine:Register ~trace_locals:false
+             prog))
+      [ true; false ]
+  done
+
+(* Alloc/free churn: a frame with a local array released on every call
+   inside a loop, so clear_range fires between batched accesses of the
+   same addresses over and over — the shadow freshen memo must be
+   invalidated by each release or stale cells would fabricate
+   cross-activation edges. Full profile byte-compare across engines and
+   ring modes. *)
+let test_churn_profile () =
+  let src =
+    "int acc[4];\n\
+     int scratch(int k) {\n\
+    \  int b[8]; int i; int s;\n\
+    \  s = 0;\n\
+    \  for (i = 0; i < 8; i = i + 1) { b[i] = k + i; }\n\
+    \  for (i = 0; i < 8; i = i + 1) { s = s + b[i]; }\n\
+    \  return s;\n\
+     }\n\
+     int main() {\n\
+    \  int j; int t;\n\
+    \  t = 0;\n\
+    \  for (j = 0; j < 20; j = j + 1) { t = t + scratch(j); acc[j % 4] = t; }\n\
+    \  return t;\n\
+     }"
+  in
+  let prog = Vm.Compile.compile_source src in
+  let reference =
+    Alchemist.Profile_io.to_string
+      (Profiler.run ~engine:Switch ~fuel prog).Profiler.profile
+  in
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun ring ->
+          Alcotest.(check string)
+            (Printf.sprintf "churn %s ring=%b" (ename engine) ring)
+            reference
+            (Alchemist.Profile_io.to_string
+               (Profiler.run ~engine ~ring ~fuel prog).Profiler.profile))
+        [ true; false ])
+    engines
+
 (* --- random program differential ---------------------------------------- *)
 
 let test_qcheck_differential () =
@@ -449,6 +545,49 @@ let test_qcheck_regalloc () =
          in
          out true = out false))
 
+(* Random configuration matrix: any (engine, fuel bound, prune mask,
+   ring mode) must produce the profile of the reference configuration
+   byte-for-byte — or trap identically when the fuel bound bites. Runs
+   over the Fig. 4 snippets plus the two smallest-scaled registry
+   workloads. *)
+let test_qcheck_profile_matrix () =
+  let progs =
+    List.map
+      (fun (name, src) -> (name, Vm.Compile.compile_source src))
+      fig4_snippets
+    @ (match Workloads.Registry.all with
+      | a :: b :: _ ->
+          [ (a.Workloads.Workload.name, compile_workload a);
+            (b.Workloads.Workload.name, compile_workload b) ]
+      | _ -> [])
+  in
+  let progs = Array.of_list progs in
+  let profile_or_trap ~engine ~ring ~static_prune ~fuel prog =
+    match Profiler.run ~engine ~ring ~static_prune ~fuel prog with
+    | r -> Alchemist.Profile_io.to_string r.Profiler.profile
+    | exception Machine.Trap (msg, pc) -> Printf.sprintf "trap %S at %d" msg pc
+  in
+  let gen =
+    QCheck.Gen.(
+      tup4 (int_bound (Array.length progs - 1))
+        (oneofl [ Machine.Switch; Machine.Threaded; Machine.Register ])
+        (tup2 (oneof [ int_range 1 5_000; return 10_000_000 ]) bool)
+        bool)
+  in
+  let print (i, e, (fuel, prune), ring) =
+    Printf.sprintf "%s engine=%s fuel=%d prune=%b ring=%b" (fst progs.(i))
+      (ename e) fuel prune ring
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"profile identical across engine/fuel/prune/ring"
+       ~count:48
+       (QCheck.make gen ~print)
+       (fun (i, engine, (fuel, static_prune), ring) ->
+         let _, prog = progs.(i) in
+         profile_or_trap ~engine:Machine.Switch ~ring:true ~static_prune:true
+           ~fuel prog
+         = profile_or_trap ~engine ~ring ~static_prune ~fuel prog))
+
 let suite =
   [
     ("registry unhooked differential", `Quick, test_registry_unhooked);
@@ -463,6 +602,10 @@ let suite =
     ("fusions installed and well-formed", `Quick, test_fusions_installed);
     ("fuel sweep trap parity", `Quick, test_fuel_sweep);
     ("fused trap pc/message parity", `Quick, test_fused_traps);
+    ("ring event streams", `Quick, test_ring_event_stream);
+    ("ring fuel-boundary sweep", `Quick, test_fuel_ring_sweep);
+    ("alloc/free churn profile", `Quick, test_churn_profile);
     ("qcheck differential", `Quick, test_qcheck_differential);
     ("qcheck regalloc round-trip", `Quick, test_qcheck_regalloc);
+    ("qcheck profile config matrix", `Quick, test_qcheck_profile_matrix);
   ]

@@ -93,6 +93,22 @@ let test_registry_duplicate_name () =
 
 (* Generate arbitrary snapshots over a small name pool so merges hit both
    the disjoint-union and the same-name-combine paths. *)
+let histogram_gen =
+  QCheck.Gen.(
+    map
+      (fun vs ->
+        let h = Obs.Histogram.make () in
+        List.iter (Obs.Histogram.observe h) vs;
+        match
+          Obs.Registry.(
+            let r = create () in
+            register_histogram r "h" h;
+            snapshot r)
+        with
+        | [ (_, d) ] -> d
+        | _ -> assert false)
+      (list_size (int_bound 8) (int_bound 1000)))
+
 let value_gen =
   QCheck.Gen.(
     oneof
@@ -101,19 +117,7 @@ let value_gen =
         map2
           (fun a b -> Obs.Level { last = min a b; hwm = max a b })
           small_int small_int;
-        map
-          (fun vs ->
-            let h = Obs.Histogram.make () in
-            List.iter (Obs.Histogram.observe h) vs;
-            match
-              Obs.Registry.(
-                let r = create () in
-                register_histogram r "h" h;
-                snapshot r)
-            with
-            | [ (_, d) ] -> d
-            | _ -> assert false)
-          (list_size (int_bound 8) (int_bound 1000));
+        histogram_gen;
         map2
           (fun ns spans -> Obs.Span { ns = abs ns; spans = abs spans })
           small_int small_int;
@@ -126,20 +130,27 @@ let snapshot_gen =
     let entry name =
       let pick =
         match name with
-        | "alpha" -> map (fun n -> Obs.Count (abs n)) small_int
+        (* the register engine's ring counters ride shard merges like any
+           other counter; drain order within a shard must never matter to
+           the merged totals *)
+        | "alpha" | "ir.ring_events" | "ir.ring_drains" ->
+            map (fun n -> Obs.Count (abs n)) small_int
         | "beta" ->
             map2
               (fun a b -> Obs.Level { last = min a b; hwm = max a b })
               small_int small_int
+        | "ir.ring_depth" -> histogram_gen
         | _ -> value_gen
       in
       map (fun v -> (name, v)) pick
     in
-    let names = [ "alpha"; "beta" ] in
+    let names =
+      [ "alpha"; "beta"; "ir.ring_events"; "ir.ring_drains"; "ir.ring_depth" ]
+    in
     map
       (fun mask ->
         List.filteri (fun i _ -> mask land (1 lsl i) <> 0) names)
-      (int_bound 3)
+      (int_bound 31)
     >>= fun chosen ->
     flatten_l (List.map entry chosen))
 

@@ -166,6 +166,71 @@ let test_clear_from_suffix () =
       Alcotest.failf "expected exactly the dep below base, got %d"
         (List.length ds)
 
+(* Regression for the freshen memo (clear generations): a clear of any
+   kind between two accesses of the same address must force the second
+   access back through the freshen path — a memo stamp surviving a clear
+   would let a lazily cleared cell masquerade as live history (stale
+   WAW/RAW from before the clear). *)
+let test_clear_invalidates_freshen_memo () =
+  let sm, got = collect () in
+  let n = node () in
+  SM.write sm ~addr:100 ~pc:1 ~time:1 ~node:n;
+  (* stamps the memo for 100 *)
+  SM.clear_from sm ~base:64;
+  (* lazy suffix tag: the cell still physically holds pc 1 *)
+  SM.write sm ~addr:100 ~pc:2 ~time:2 ~node:n;
+  Alcotest.(check int) "no stale WAW across clear_from" 0
+    (List.length (got ()));
+  (* same via the eager clear_range branch, mid-range *)
+  SM.write sm ~addr:7 ~pc:3 ~time:3 ~node:n;
+  SM.clear_range sm ~base:6 ~size:4;
+  SM.write sm ~addr:7 ~pc:4 ~time:4 ~node:n;
+  Alcotest.(check int) "no stale WAW across interior clear_range" 0
+    (List.length (got ()))
+
+(* The memo itself: repeated accesses to one address between clears run
+   the ensure+freshen check once, and a clear re-arms it. The counter is
+   a pure function of the access/clear stream, so it is also safe for
+   cross-engine telemetry comparison. *)
+let test_freshen_memo_counter () =
+  let sm, _ = collect () in
+  let reg = Obs.Registry.create () in
+  SM.register_obs sm reg;
+  let checks () =
+    match Obs.find (Obs.Registry.snapshot reg) "shadow.freshen_checks" with
+    | Some (Obs.Count n) -> n
+    | _ -> -1
+  in
+  let n = node () in
+  SM.write sm ~addr:9 ~pc:1 ~time:1 ~node:n;
+  SM.read sm ~addr:9 ~pc:2 ~time:2 ~node:n;
+  SM.read sm ~addr:9 ~pc:3 ~time:3 ~node:n;
+  Alcotest.(check int) "one check for three accesses" 1 (checks ());
+  SM.clear_from sm ~base:0;
+  SM.write sm ~addr:9 ~pc:4 ~time:4 ~node:n;
+  Alcotest.(check int) "clear re-arms the check" 2 (checks ());
+  Alcotest.(check int) "events unaffected" 4 (SM.events sm)
+
+(* The no-op fast path of clear_range (range entirely at or above the
+   touched high-water mark) must keep real clears working: it skips the
+   generation bump, which is sound exactly because untouched addresses
+   carry no stamps. *)
+let test_noop_clear_keeps_memo_sound () =
+  let sm, got = collect () in
+  let n = node () in
+  SM.write sm ~addr:10 ~pc:1 ~time:1 ~node:n;
+  (* far above hi: the no-op path *)
+  SM.clear_range sm ~base:100_000 ~size:64;
+  SM.read sm ~addr:10 ~pc:2 ~time:2 ~node:n;
+  (match got () with
+  | [ d ] -> Alcotest.(check bool) "RAW survives a no-op clear" true (d.Dep.kind = Dep.Raw)
+  | ds -> Alcotest.failf "expected 1 dep, got %d" (List.length ds));
+  (* a real clear afterwards still invalidates *)
+  SM.clear_from sm ~base:0;
+  SM.write sm ~addr:10 ~pc:3 ~time:3 ~node:n;
+  Alcotest.(check int) "then a real clear still clears" 1
+    (List.length (got ()))
+
 let test_counters () =
   let sm, _ = collect () in
   let n = node () in
@@ -233,6 +298,11 @@ let suite =
     ("clear range", `Quick, test_clear_range);
     ("clear range honors range end", `Quick, test_clear_range_interior);
     ("clear from suffix", `Quick, test_clear_from_suffix);
+    ( "clear invalidates freshen memo",
+      `Quick,
+      test_clear_invalidates_freshen_memo );
+    ("freshen memo counter", `Quick, test_freshen_memo_counter);
+    ("no-op clear keeps memo sound", `Quick, test_noop_clear_keeps_memo_sound);
     ("counters", `Quick, test_counters);
     ("random sequences (qcheck)", `Quick, test_random_sequences_qcheck);
   ]

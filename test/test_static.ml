@@ -435,6 +435,110 @@ let test_prune_byte_identity_fig4_snippets () =
       prune_demo_src;
     ]
 
+(* --- IR region-hint widening ------------------------------------------------ *)
+
+(* Mini-C return types are [int]/[void], so the points-to loss
+   {!Ir.Refine.region_hints} targets — a global ref flowing through a
+   call return, which the abstract stack collapses to "anything" — is
+   pinned with hand-assembled bytecode. [getref] returns a ref to global
+   [a]; [main] stores through it, then reads the unrelated scalar [b].
+   Without hints the returned ref is incomplete, vetoing the store's
+   prune and (an incomplete write aliases everything) poisoning the
+   read's; the IR constant analysis resolves the return to [a], so
+   widening must flip both pcs while the stored profile stays
+   byte-identical. *)
+let ref_return_prog () =
+  let dum = Minic.Srcloc.dummy in
+  let code =
+    [|
+      Vm.Instr.Call 0 (* preamble *);
+      Vm.Instr.Halt;
+      (* main, entry 2 *)
+      Vm.Instr.Call 1 (* push getref's ref to [a] *);
+      Vm.Instr.Const 1;
+      Vm.Instr.Const 42;
+      Vm.Instr.StoreIndex (* a[1] = 42 *);
+      Vm.Instr.LoadGlobal 4 (* read b *);
+      Vm.Instr.Pop;
+      Vm.Instr.Const 0;
+      Vm.Instr.Ret (* epilogue, pc 9 *);
+      (* getref, entry 10 *)
+      Vm.Instr.MakeRefGlobal (0, 4);
+      Vm.Instr.Ret (* epilogue, pc 11 *);
+    |]
+  in
+  let func fid name entry epilogue code_end =
+    {
+      Vm.Program.fid;
+      name;
+      entry;
+      epilogue;
+      code_end;
+      nparams = 0;
+      param_is_array = [||];
+      frame_slots = 1;
+      ret = Minic.Ast.RetInt;
+      loc = dum;
+    }
+  in
+  let cproc cid cname fid body_first body_last =
+    {
+      Vm.Program.cid;
+      kind = Vm.Program.CProc;
+      head_pc = body_first;
+      fid;
+      loc = dum;
+      cname;
+      body_first;
+      body_last;
+    }
+  in
+  let cid_of_pc = Array.make (Array.length code) (-1) in
+  cid_of_pc.(2) <- 0;
+  cid_of_pc.(10) <- 1;
+  {
+    Vm.Program.code;
+    locs = Array.make (Array.length code) dum;
+    funcs = [| func 0 "main" 2 9 10; func 1 "getref" 10 11 12 |];
+    constructs = [| cproc 0 "main" 0 2 9; cproc 1 "getref" 1 10 11 |];
+    cid_of_pc;
+    globals_size = 5;
+    global_layout = [ ("a", 0, 4); ("b", 4, 1) ];
+    global_inits = [];
+    main_fid = 0;
+  }
+
+let test_refine_widens_ref_return () =
+  let prog = ref_return_prog () in
+  Vm.Verify.verify_exn prog;
+  let store = only "StoreIndex" (pcs_matching prog (( = ) Vm.Instr.StoreIndex)) in
+  let read_b = load_global prog "b" in
+  let d = Depend.analyze prog in
+  let base = Depend.prune_mask d in
+  Alcotest.(check bool) "store not prunable without hints" false base.(store);
+  Alcotest.(check bool) "read poisoned by incomplete write" false base.(read_b);
+  let mask, extra =
+    Depend.widen_prune d ~region_hint:(Ir.Refine.region_hints prog)
+  in
+  Alcotest.(check bool) "store prunable with hints" true mask.(store);
+  Alcotest.(check bool) "read prunable with hints" true mask.(read_b);
+  Alcotest.(check bool) "widening reports added pcs" true (extra >= 2);
+  Array.iteri
+    (fun pc p ->
+      if p then
+        Alcotest.(check bool)
+          (Printf.sprintf "monotone at pc %d" pc)
+          true mask.(pc))
+    base;
+  (* The profiler applies the widened mask whenever pruning is on; the
+     stored profile must not change — any engine, prune on or off. *)
+  let off = bytes_of ~static_prune:false prog in
+  List.iter
+    (fun engine ->
+      Alcotest.(check string) "widened prune is byte-invisible" off
+        (bytes_of ~engine ~static_prune:true prog))
+    [ Vm.Machine.Switch; Vm.Machine.Threaded; Vm.Machine.Register ]
+
 (* --- sanitizer ---------------------------------------------------------------- *)
 
 let test_sanitizer_clean_on_workload () =
@@ -545,6 +649,7 @@ let suite =
     ("rank/advice static column", `Quick, test_rank_and_advice_surface_static_proof);
     ("prune byte-identity registry", `Slow, test_prune_byte_identity_registry);
     ("prune byte-identity fig4", `Quick, test_prune_byte_identity_fig4_snippets);
+    ("refine widens ref-return regions", `Quick, test_refine_widens_ref_return);
     ("sanitizer clean on workload", `Quick, test_sanitizer_clean_on_workload);
     ("sanitizer flags impossible edge", `Quick, test_sanitizer_flags_impossible_edge);
     ("sanitizer flags frame misattribution", `Quick, test_sanitizer_flags_misattributed_frame_edge);
