@@ -6,7 +6,7 @@
      dune exec bench/main.exe              -- run everything
      dune exec bench/main.exe -- table3 fig6 ...   -- run a subset
    Sections: fig2 fig3 fig4 fig6 table3 table4 table5 baseline explore micro
-   ablation perf register hookfloor static distance *)
+   ablation perf register hookfloor static distance service *)
 
 module W = Workloads.Workload
 module Registry = Workloads.Registry
@@ -1145,25 +1145,15 @@ let hookfloor_bench () =
   let freshens = count "shadow.freshen_checks" in
   let ring_events = count "ir.ring_events" in
   let ring_drains = count "ir.ring_drains" in
-  (* p99 ring depth, as the upper bound of the first log2 bucket that
-     covers 99% of the drain-time depth observations. *)
-  let depth_p99, depth_max =
+  (* p99 ring depth: log2-bucket upper bound clamped to the observed
+     max (a full ring of depth_max 8192 must not report 16383). *)
+  let depth_p99 =
+    Option.value ~default:0 (Obs.dist_percentile_upper snap "ir.ring_depth" 99)
+  in
+  let depth_max =
     match Obs.find snap "ir.ring_depth" with
-    | Some (Obs.Dist { buckets; count = c; max; _ }) when c > 0 ->
-        let target = (99 * c + 99) / 100 in
-        let cum = ref 0 and p = ref 0 in
-        (try
-           Array.iteri
-             (fun b n ->
-               cum := !cum + n;
-               if !cum >= target then begin
-                 p := (if b = 0 then 0 else (1 lsl b) - 1);
-                 raise Exit
-               end)
-             buckets
-         with Exit -> ());
-        (!p, max)
-    | _ -> (0, 0)
+    | Some (Obs.Dist { max; _ }) -> max
+    | _ -> 0
   in
   let freshens_per_event = float_of_int freshens /. float_of_int events in
   Printf.printf
@@ -1366,6 +1356,172 @@ let distance_bench () =
   close_out oc;
   print_endline "wrote BENCH_5.json"
 
+(* --- service: scheduler + content-addressed cache -------------------------------- *)
+
+let service_bench () =
+  header "Registry service — work-stealing scheduler + content-addressed cache";
+  let workers = max 2 !perf_jobs in
+  (* Two input scales per workload: 18 distinct cache keys over 9 code
+     fingerprints, so the cold pass exercises both the miss path and
+     the static-facts reuse (second scale of each workload shares the
+     first's code). The warm pass replays the same requests against
+     the same cache object through a fresh service — every reply must
+     come from the cache, byte-identical, and an order of magnitude
+     faster than profiling. *)
+  let requests =
+    List.concat_map
+      (fun (w : W.t) ->
+        List.map
+          (fun scale ->
+            ( Printf.sprintf "workload:%s:%d" w.W.name scale,
+              W.compile w ~scale ))
+          [ w.W.test_scale; max 2 (w.W.test_scale / 2) ])
+      Registry.all
+  in
+  (* An input family: the input lives in an initialized global, so the
+     four variants share code — distinct cache keys, one static
+     analysis. This is the incremental re-profiling path (the 18
+     workload requests above bake their scale into the code, so each
+     needs its own facts). *)
+  let family_requests =
+    List.map
+      (fun mode ->
+        ( Printf.sprintf "family:mode=%d" mode,
+          Vm.Compile.compile_source
+            (Printf.sprintf
+               {|int mode = %d;
+                 int acc;
+                 int out[64];
+                 int main() {
+                   for (int i = 0; i < 4000 + mode; i++) {
+                     int s = 0;
+                     for (int k = 0; k < 40; k++) s += i + k;
+                     if (mode > 1) acc += s;
+                     out[i & 63] = s + out[(i + mode) & 63];
+                   }
+                   return acc;
+                 }|}
+               mode) ))
+      [ 0; 1; 2; 3 ]
+  in
+  let requests = requests @ family_requests in
+  let n = List.length requests in
+  let cache = Driver.Cache.create () in
+  let run_pass () =
+    let svc = Driver.Service.create ~workers ~cache () in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (spec, prog) -> Driver.Service.submit svc ~fuel ~spec prog)
+      requests;
+    let replies = Driver.Service.drain svc in
+    let wall = Unix.gettimeofday () -. t0 in
+    let snap = Driver.Service.telemetry svc in
+    Driver.Service.shutdown svc;
+    (replies, wall, snap)
+  in
+  let cold_replies, cold_wall, cold_snap = run_pass () in
+  let warm_replies, warm_wall, warm_snap = run_pass () in
+  (* The reference output the service must reproduce byte-for-byte:
+     plain profiler runs, the profile-all path. *)
+  let direct =
+    List.map
+      (fun (spec, prog) ->
+        (spec, Alchemist.Profile_io.to_string (Profiler.run ~fuel prog).Profiler.profile))
+      requests
+  in
+  let bytes_of (r : Driver.Service.reply) =
+    match r.Driver.Service.result with
+    | Ok (_, _, bytes) -> bytes
+    | Error msg -> failwith ("service error: " ^ msg)
+  in
+  let profiles_identical =
+    List.for_all2
+      (fun (cold, warm) (_, direct_bytes) ->
+        String.equal (bytes_of cold) (bytes_of warm)
+        && String.equal (bytes_of cold) direct_bytes)
+      (List.combine cold_replies warm_replies)
+      direct
+  in
+  let all_warm_hits =
+    List.for_all
+      (fun (r : Driver.Service.reply) ->
+        match r.Driver.Service.result with
+        | Ok (Driver.Service.Hit, _, _) -> true
+        | _ -> false)
+      warm_replies
+  in
+  let count snap name = Option.value ~default:0 (Obs.find_count snap name) in
+  (* The cache is shared across the two passes, so warm-pass cache
+     counters are the cumulative minus the cold snapshot. *)
+  let warm_hits = count warm_snap "cache.hits" - count cold_snap "cache.hits" in
+  let steals = count cold_snap "sched.steals" in
+  let steal_batches = count cold_snap "sched.steal_batches" in
+  let pctl p =
+    Option.value ~default:0
+      (Obs.dist_percentile_upper cold_snap "sched.job_latency_ns" p)
+  in
+  let jobs_per_s wall = float_of_int n /. wall in
+  let speedup = cold_wall /. warm_wall in
+  Printf.printf
+    "%d requests (9 workloads x 2 scales + 4-input family) on %d workers:\n" n
+    workers;
+  Printf.printf "  cold  %.3fs wall  %7.1f jobs/s  (%d misses, %d steals in %d batches)\n"
+    cold_wall (jobs_per_s cold_wall)
+    (count cold_snap "cache.misses")
+    steals steal_batches;
+  Printf.printf "  warm  %.5fs wall  %7.1f jobs/s  (%d hits, all-hit %b)\n"
+    warm_wall (jobs_per_s warm_wall) warm_hits all_warm_hits;
+  Printf.printf "  warm speedup %.0fx, job latency p50 <= %.1fms p99 <= %.1fms\n"
+    speedup
+    (float_of_int (pctl 50) /. 1e6)
+    (float_of_int (pctl 99) /. 1e6);
+  Printf.printf "  static facts: %d computed, %d reused (input change reuses code facts)\n"
+    (count cold_snap "service.facts_computed")
+    (count cold_snap "service.facts_reused");
+  Printf.printf "  profiles byte-identical (cold/warm/direct): %b\n"
+    profiles_identical;
+  let oc = open_out "BENCH_8.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "registry service: work-stealing scheduler + content-addressed profile cache",
+  "workers": %d,
+  "requests": %d,
+  "cold": {
+    "wall_s": %.4f,
+    "jobs_per_s": %.1f,
+    "misses": %d,
+    "steals": %d,
+    "steal_batches": %d,
+    "latency_p50_ns_upper": %d,
+    "latency_p99_ns_upper": %d
+  },
+  "warm": {
+    "wall_s": %.6f,
+    "jobs_per_s": %.1f,
+    "hits": %d,
+    "hit_rate": %.3f,
+    "all_hits": %b
+  },
+  "warm_speedup": %.1f,
+  "facts_computed": %d,
+  "facts_reused": %d,
+  "profiles_identical": %b,
+  "cold_telemetry": %s
+}
+|}
+    workers n cold_wall (jobs_per_s cold_wall)
+    (count cold_snap "cache.misses")
+    steals steal_batches (pctl 50) (pctl 99) warm_wall (jobs_per_s warm_wall)
+    warm_hits
+    (float_of_int warm_hits /. float_of_int n)
+    all_warm_hits speedup
+    (count cold_snap "service.facts_computed")
+    (count cold_snap "service.facts_reused")
+    profiles_identical
+    (Obs.render_json (Obs.filter (fun _ v -> match v with Obs.Span _ -> false | _ -> true) cold_snap));
+  close_out oc;
+  print_endline "wrote BENCH_8.json"
+
 (* --- main ------------------------------------------------------------------------ *)
 
 let sections =
@@ -1386,6 +1542,7 @@ let sections =
     ("hookfloor", hookfloor_bench);
     ("static", static_bench);
     ("distance", distance_bench);
+    ("service", service_bench);
   ]
 
 let () =

@@ -457,12 +457,19 @@ let profile_all_cmd =
         let scale_of (w : Workloads.Workload.t) =
           if test_scale then w.test_scale else w.default_scale
         in
+        (* A thin client of the serve pool: lend one work-stealing
+           scheduler to the registry sweep so --telemetry shows the
+           sched.* metrics (steals, queue depth, job latency). *)
+        let sched = Driver.Scheduler.create ~workers:jobs () in
         let t0 = Unix.gettimeofday () in
         let results =
-          Driver.Parallel.profile_registry ~jobs ~engine ~fuel ~static_prune
-            ~scale_of ()
+          Driver.Parallel.profile_registry ~sched ~jobs ~engine ~fuel
+            ~static_prune ~scale_of ()
         in
         let wall = Unix.gettimeofday () -. t0 in
+        Driver.Scheduler.drain sched;
+        let sched_snap = Driver.Scheduler.telemetry sched in
+        Driver.Scheduler.shutdown sched;
         Printf.printf "%-12s %14s %12s %10s\n" "workload" "instructions"
           "dep events" "constructs";
         List.iter
@@ -510,7 +517,7 @@ let profile_all_cmd =
                 (count "vm.instructions") (count "shadow.events") depth)
             results snaps;
           print_newline ();
-          print_string (Obs.render_text (Obs.merge_all snaps))
+          print_string (Obs.render_text (Obs.merge (Obs.merge_all snaps) sched_snap))
         end)
   in
   Cmd.v
@@ -519,6 +526,160 @@ let profile_all_cmd =
     Term.(
       const profile_all $ fuel_arg $ jobs $ test_scale $ save_dir $ telemetry
       $ static_prune_arg $ engine_arg)
+
+(* --- serve ----------------------------------------------------------------- *)
+
+let serve_cmd =
+  let jobs =
+    Arg.(
+      value
+      & opt int (Driver.Scheduler.default_workers ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains in the profiling pool (default: cores - 1).")
+  in
+  let telemetry =
+    Arg.(
+      value & flag
+      & info [ "telemetry" ]
+          ~doc:"After each drain, print a throughput summary (jobs/s, cache \
+                hit rate, steals, queue depth, job-latency p50/p99) and the \
+                full merged metric snapshot to stderr.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Back the in-memory profile cache with an on-disk store \
+                (one .prof file per key; created if missing). Warm results \
+                survive across serve processes.")
+  in
+  let cache_capacity =
+    Arg.(
+      value
+      & opt int Driver.Cache.default_capacity
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"In-memory cache entries before LRU eviction.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a unix domain socket instead of stdin, serving \
+                clients one at a time until killed. Each connection speaks \
+                the same newline-delimited protocol and is drained on \
+                disconnect.")
+  in
+  let serve jobs telemetry cache_dir cache_capacity socket =
+    handle_errors (fun () ->
+        let cache =
+          Driver.Cache.create ~capacity:cache_capacity ?dir:cache_dir ()
+        in
+        let svc = Driver.Service.create ~workers:(max 1 jobs) ~cache () in
+        (* Per-drain deltas for the stderr summary. *)
+        let last_requests = ref 0 and last_time = ref (Unix.gettimeofday ()) in
+        let drains = ref 0 in
+        let drain_telemetry () =
+          let snap = Driver.Service.telemetry svc in
+          let count n = Option.value ~default:0 (Obs.find_count snap n) in
+          let requests = count "service.requests" in
+          let now = Unix.gettimeofday () in
+          let batch = requests - !last_requests in
+          let dt = now -. !last_time in
+          incr drains;
+          let hits = count "cache.hits" + count "cache.disk_hits" in
+          let lookups = hits + count "cache.misses" in
+          let pctl p =
+            match Obs.dist_percentile_upper snap "sched.job_latency_ns" p with
+            | Some ns -> Printf.sprintf "%.1fms" (float_of_int ns /. 1e6)
+            | None -> "n/a"
+          in
+          Printf.eprintf
+            "# drain %d: %d request(s) in %.3fs (%.1f jobs/s) | cache %d/%d \
+             hit | steals %d | queue hwm %d | latency p50<=%s p99<=%s\n"
+            !drains batch dt
+            (if dt > 0. then float_of_int batch /. dt else 0.)
+            hits lookups (count "sched.steals")
+            (match Obs.find snap "sched.queue_depth" with
+            | Some (Obs.Level { hwm; _ }) -> hwm
+            | _ -> 0)
+            (pctl 50) (pctl 99);
+          prerr_string (Obs.render_text snap);
+          flush stderr;
+          last_requests := requests;
+          last_time := now
+        in
+        let serve_channel ic oc =
+          let emit r =
+            output_string oc (Driver.Service.render_reply r);
+            output_char oc '\n';
+            flush oc
+          in
+          let drain_now () =
+            List.iter emit (Driver.Service.drain svc);
+            if telemetry then drain_telemetry ()
+          in
+          (try
+             while true do
+               let line = input_line ic in
+               match Driver.Service.feed svc line with
+               | `Queued ->
+                   (* Stream whatever prefix of submission order has
+                      already completed; stragglers follow later. *)
+                   List.iter emit (Driver.Service.ready svc)
+               | `Drain -> drain_now ()
+               | `Skip -> ()
+             done
+           with End_of_file -> ());
+          List.iter emit (Driver.Service.drain svc);
+          if telemetry then drain_telemetry ()
+        in
+        (match socket with
+        | None -> serve_channel stdin stdout
+        | Some path ->
+            if Sys.file_exists path then Sys.remove path;
+            let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.bind sock (Unix.ADDR_UNIX path);
+            Unix.listen sock 8;
+            let rec accept_loop () =
+              let fd, _ = Unix.accept sock in
+              let ic = Unix.in_channel_of_descr fd in
+              let oc = Unix.out_channel_of_descr fd in
+              (try serve_channel ic oc
+               with Sys_error _ | Unix.Unix_error _ -> ());
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              accept_loop ()
+            in
+            accept_loop ());
+        Driver.Service.shutdown svc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the profile registry as a service: newline-delimited \
+             profiling requests on stdin (or a unix socket), replies \
+             streamed back in submission order, backed by the \
+             work-stealing scheduler and the content-addressed profile \
+             cache."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Each request line is $(b,SPEC [fuel=N] \
+              [engine=switch|threaded|register] [ring=B] [regalloc=B] \
+              [trace_locals=B] [prune=B] [pool_capacity=N] [scan_limit=N] \
+              [save=PATH]) where SPEC is workload:NAME[:SCALE] or a Mini-C \
+              file. A request whose profile-determining inputs (program \
+              code, global data, fuel, trace_locals, pool) match a cached \
+              run is answered from the cache without profiling — engine \
+              and instrumentation knobs are not part of the key because \
+              profiles are proven byte-identical across them. The bare \
+              word $(b,drain) waits for all outstanding jobs; EOF drains \
+              and exits. Replies: $(b,ok SEQ SPEC key=K hit|disk-hit|miss \
+              bytes=N [saved=PATH]) or $(b,error SEQ SPEC: message).";
+         ])
+    Term.(
+      const serve $ jobs $ telemetry $ cache_dir $ cache_capacity $ socket)
 
 (* --- check ----------------------------------------------------------------- *)
 
@@ -703,6 +864,7 @@ let main_cmd =
       advise_cmd;
       explore_cmd;
       profile_all_cmd;
+      serve_cmd;
       report_cmd;
       check_cmd;
       disasm_cmd;

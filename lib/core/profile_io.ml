@@ -1,14 +1,45 @@
+(* FNV-1a, truncated to 62 bits: stable across processes (unlike
+   Hashtbl.hash on nested variants, which is fine in-process but not
+   something we want to pin a file format — or a content-addressed
+   cache — to). *)
+let fnv_init = 0x3bf29ce484222325 (* FNV offset basis, truncated *)
+let fnv_mix h byte = (h lxor byte) * 0x100000001b3 land max_int
+
+let hash_string s =
+  let h = ref fnv_init in
+  String.iter (fun c -> h := fnv_mix !h (Char.code c)) s;
+  Printf.sprintf "%016x" !h
+
 let fingerprint (prog : Vm.Program.t) =
-  (* FNV-1a over the rendered instructions: stable across processes
-     (unlike Hashtbl.hash on nested variants, which is fine in-process
-     but not something we want to pin a file format to). *)
-  let h = ref 0x3bf29ce484222325 (* FNV offset basis, truncated to 62 bits *) in
-  let mix byte = h := (!h lxor byte) * 0x100000001b3 land max_int in
+  let h = ref fnv_init in
+  let mix byte = h := fnv_mix !h byte in
   Array.iter
     (fun instr ->
       String.iter (fun c -> mix (Char.code c)) (Vm.Instr.to_string instr);
       mix 10)
     prog.code;
+  Printf.sprintf "%016x" !h
+
+let input_fingerprint (prog : Vm.Program.t) =
+  (* The input identity of a run: the initialized global data (and the
+     size of the global segment it lives in). Two programs of the same
+     family share code — hence [fingerprint] — and differ exactly here,
+     so (fingerprint, input_fingerprint) content-addresses a profiling
+     run's program+input pair (the registry service's cache key).
+     [global_inits] is emitted in declaration order by the compiler, so
+     the hash is canonical without sorting. *)
+  let h = ref fnv_init in
+  let mix_int n =
+    for shift = 0 to 7 do
+      h := fnv_mix !h ((n lsr (shift * 8)) land 0xff)
+    done
+  in
+  mix_int prog.globals_size;
+  List.iter
+    (fun (addr, v) ->
+      mix_int addr;
+      mix_int v)
+    prog.global_inits;
   Printf.sprintf "%016x" !h
 
 let kind_tag = function

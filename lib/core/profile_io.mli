@@ -44,6 +44,17 @@
 val fingerprint : Vm.Program.t -> string
 (** A stable hash of the code array (hex). *)
 
+val input_fingerprint : Vm.Program.t -> string
+(** A stable hash of the program's input identity: its global-segment
+    size and initialized global data ([global_inits]), the only program
+    components {!fingerprint} does not cover that the VM reads. The pair
+    [(fingerprint, input_fingerprint)] content-addresses a profiling
+    run's program+input — the registry service's cache key. *)
+
+val hash_string : string -> string
+(** The same stable (FNV-1a) hash over raw bytes, for composing cache
+    keys from already-rendered components. *)
+
 val write : Profile.t -> Buffer.t -> unit
 val to_string : Profile.t -> string
 

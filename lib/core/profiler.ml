@@ -24,6 +24,32 @@ let telemetry r = Obs.Registry.snapshot r.obs
 
 let cid_of_label (prog : Vm.Program.t) label = prog.cid_of_pc.(label)
 
+(* Precomputed static facts: the CFA, the dependence analysis, and the
+   IR-widened prune mask. Everything inside is immutable after
+   construction, so one [facts] value can be shared by many runs — and
+   across domains — of programs with the same code: the registry
+   service's incremental re-profiling (new input, same program) skips
+   the whole static pipeline. [code_fp] guards against misuse: a run
+   handed facts for a different program fails loudly instead of
+   attaching another program's verdicts. *)
+type facts = {
+  f_analysis : Cfa.Analysis.t;
+  f_dep : Static.Depend.t;
+  f_prune : bool array;  (* widen_prune mask, ready for the engine *)
+  f_refined : int;  (* pcs the IR widening added over the base mask *)
+  code_fp : string;
+}
+
+let prepare_facts (prog : Vm.Program.t) =
+  let f_analysis = Cfa.Analysis.analyze prog in
+  let f_dep = Static.Depend.analyze ~analysis:f_analysis prog in
+  let f_prune, f_refined =
+    Static.Depend.widen_prune f_dep ~region_hint:(Ir.Refine.region_hints prog)
+  in
+  { f_analysis; f_dep; f_prune; f_refined; code_fp = Profile_io.fingerprint prog }
+
+let facts_fingerprint f = f.code_fp
+
 (* Build the instrumentation (hooks + a finisher that assembles the
    result); shared between the live run and offline trace replay.
    [static] enables the static dependence layer: the finisher then
@@ -32,13 +58,43 @@ let cid_of_label (prog : Vm.Program.t) label = prog.cid_of_pc.(label)
    default-mode profile — including trace replay, whose traces record
    the default event set — and off only under [trace_locals], whose
    extra local events the verdicts do not model. *)
-let make ?scan_limit ?pool_capacity ?obs ?(static = true) (prog : Vm.Program.t)
-    =
+let make ?scan_limit ?pool_capacity ?obs ?facts ?(static = true)
+    (prog : Vm.Program.t) =
   let reg = match obs with Some r -> r | None -> Obs.Registry.create () in
   let wall = Obs.Registry.timer reg "profiler.wall" in
   Obs.Timer.start wall;
-  let analysis = Cfa.Analysis.analyze prog in
-  let dep = if static then Some (Static.Depend.analyze ~analysis prog) else None in
+  (match facts with
+  | Some f when f.code_fp <> Profile_io.fingerprint prog ->
+      invalid_arg "Profiler: facts were prepared for a different program"
+  | _ -> ());
+  let analysis =
+    match facts with
+    | Some f -> f.f_analysis
+    | None -> Cfa.Analysis.analyze prog
+  in
+  let dep =
+    if not static then None
+    else
+      Some
+        (match facts with
+        | Some f -> f.f_dep
+        | None -> Static.Depend.analyze ~analysis prog)
+  in
+  (* Prune coverage is a property of the analysis, not of any engine or
+     run mode — record it the moment the analysis exists, so every bench
+     section's telemetry shows the same engine-independent figures (the
+     BENCH_7 register+ring snapshot is no special case), with the event-pc
+     denominator alongside so a 0 reads as "0 of N prunable", not as a
+     missing gauge. *)
+  (match dep with
+  | Some d ->
+      Obs.Gauge.set
+        (Obs.Registry.gauge reg "static.pruned_pcs")
+        (Static.Depend.pruned_count d);
+      Obs.Gauge.set
+        (Obs.Registry.gauge reg "static.event_pcs")
+        (Static.Depend.event_count d)
+  | None -> ());
   let profile = Profile.create prog in
   let pops = ref 0 in
   let on_push (c : Node.t) =
@@ -147,10 +203,7 @@ let make ?scan_limit ?pool_capacity ?obs ?(static = true) (prog : Vm.Program.t)
               ~head_pc:k.Profile.head_pc ~tail_pc:k.Profile.tail_pc);
         Profile.attach_distbounds profile (fun (k : Profile.edge_key) ->
             Static.Depend.distance_bound d ~head_pc:k.Profile.head_pc
-              ~tail_pc:k.Profile.tail_pc);
-        Obs.Gauge.set
-          (Obs.Registry.gauge reg "static.pruned_pcs")
-          (Static.Depend.pruned_count d)
+              ~tail_pc:k.Profile.tail_pc)
     | None -> ());
     Obs.Timer.stop wall;
     (* Republish the VM's own counters (counted allocation-free inside
@@ -193,11 +246,12 @@ let make ?scan_limit ?pool_capacity ?obs ?(static = true) (prog : Vm.Program.t)
   (hooks, (instr_range, range_has_target, set_time), finish, dep)
 
 let run ?(engine = Vm.Machine.Threaded) ?regalloc ?ring ?fuel ?scan_limit
-    ?pool_capacity ?obs ?(trace_locals = false) ?(static_prune = true)
+    ?pool_capacity ?obs ?facts ?(trace_locals = false) ?(static_prune = true)
     (prog : Vm.Program.t) =
   let reg = match obs with Some r -> r | None -> Obs.Registry.create () in
   let hooks, (instr_range, range_has_target, set_time), finish, dep =
-    make ?scan_limit ?pool_capacity ~obs:reg ~static:(not trace_locals) prog
+    make ?scan_limit ?pool_capacity ~obs:reg ?facts ~static:(not trace_locals)
+      prog
   in
   (* The verdict layer runs (and is stored) whether or not pruning is
      applied — so prune-on and prune-off profiles of the same execution
@@ -213,8 +267,11 @@ let run ?(engine = Vm.Machine.Threaded) ?regalloc ?ring ?fuel ?scan_limit
     match dep with
     | Some d when static_prune ->
         let mask, extra =
-          Static.Depend.widen_prune d
-            ~region_hint:(Ir.Refine.region_hints prog)
+          match facts with
+          | Some f -> (f.f_prune, f.f_refined)
+          | None ->
+              Static.Depend.widen_prune d
+                ~region_hint:(Ir.Refine.region_hints prog)
         in
         Obs.Gauge.set (Obs.Registry.gauge reg "static.refined_pcs") extra;
         Some mask

@@ -43,6 +43,21 @@ type result = {
 val telemetry : result -> Obs.snapshot
 (** [Obs.Registry.snapshot r.obs]. *)
 
+type facts
+(** Precomputed static facts (CFA + dependence analysis + IR-widened
+    prune mask), immutable and shareable across runs and domains. The
+    facts of a program depend only on its code, never on its
+    initialized global data, so one [facts] value serves every input of
+    a program family — the registry service's incremental re-profiling
+    reuses it when only the input changed. *)
+
+val prepare_facts : Vm.Program.t -> facts
+(** Runs the whole static pipeline once, up front. *)
+
+val facts_fingerprint : facts -> string
+(** The {!Profile_io.fingerprint} of the program the facts were prepared
+    for — the content-address the service's fact cache is keyed by. *)
+
 val run :
   ?engine:Vm.Machine.engine ->
   ?regalloc:bool ->
@@ -51,6 +66,7 @@ val run :
   ?scan_limit:int ->
   ?pool_capacity:int ->
   ?obs:Obs.Registry.t ->
+  ?facts:facts ->
   ?trace_locals:bool ->
   ?static_prune:bool ->
   Vm.Program.t ->
@@ -73,6 +89,10 @@ val run :
     delivered directly at its instruction. The profile and all
     non-[ir.*] telemetry are byte-identical either way (differentially
     tested) — only the hook-delivery cost changes.
+    [facts] supplies precomputed static facts ({!prepare_facts}) so the
+    run skips the CFA and dependence analyses — the profile is
+    byte-identical with or without it; passing facts prepared for a
+    program with different code raises [Invalid_argument].
     [pool_capacity] (default 1M, the paper's setting) controls index-node
     retention; [trace_locals] (default [false]) additionally tracks scalar
     frame slots as memory — see {!Vm.Machine.run_hooked}. [obs] supplies

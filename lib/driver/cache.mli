@@ -1,0 +1,74 @@
+(** Content-addressed profile cache: key = hash of everything that
+    determines the canonical profile bytes, value = those bytes.
+
+    The {!key} covers the program's code fingerprint, its input
+    fingerprint ({!Alchemist.Profile_io.input_fingerprint}: the
+    initialized global data), and the profile-determining options —
+    fuel, [trace_locals], pool capacity and scan limit. The execution
+    engine, event ring, register allocation and static pruning are
+    deliberately excluded: the repo's differential tests enforce that
+    they never change profile bytes, so runs differing only in those
+    knobs hit the same cache line. Re-profiling a program family after
+    an input change is automatically incremental: the new key misses,
+    but the static facts (keyed by code fingerprint alone — see
+    {!Alchemist.Profiler.prepare_facts}) are reused by the service.
+
+    An in-memory LRU (entry-count bounded) optionally backed by an
+    on-disk store ([dir], conventionally [_cache/]) holding one
+    [<key>.prof] file per entry, written via rename so concurrent
+    readers never see torn files. Memory misses fall through to disk
+    and re-populate memory.
+
+    Not thread-safe by design: the service confines the cache to its
+    control thread (lookup before submitting a job, insert when
+    harvesting its result); worker domains never touch it. *)
+
+type t
+
+val default_capacity : int
+(** 256 entries. *)
+
+val create : ?capacity:int -> ?dir:string -> unit -> t
+(** [dir], when given, enables the on-disk store (the directory is
+    created if missing).
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val key :
+  code_fp:string ->
+  input_fp:string ->
+  ?fuel:int ->
+  ?trace_locals:bool ->
+  ?pool_capacity:int ->
+  ?scan_limit:int ->
+  unit ->
+  string
+(** The cache key for a run of the program with the given fingerprints
+    under the given profile-determining options. Omitted options must
+    stay omitted (not spelled as their defaults) for keys to agree —
+    the service and bench always pass them through verbatim from the
+    request. *)
+
+val find : t -> string -> string option
+(** Cached profile bytes, if present (memory first, then disk). Counts
+    a hit, disk hit, or miss. *)
+
+val find_located : t -> string -> (string * [ `Memory | `Disk ]) option
+(** Like {!find}, also reporting where the bytes were found (a [`Disk]
+    hit has just re-populated memory). *)
+
+val add : t -> string -> string -> unit
+(** [add t key bytes] inserts (and persists, when a [dir] was given).
+    Inserting an existing key refreshes its recency; content addressing
+    makes the bytes necessarily equal. *)
+
+val mem : t -> string -> bool
+(** Presence check (memory or disk) with no telemetry or recency
+    effect. *)
+
+val length : t -> int
+(** In-memory entry count. *)
+
+val telemetry : t -> Obs.snapshot
+(** [cache.hits], [cache.disk_hits], [cache.misses],
+    [cache.insertions], [cache.evictions] counters and the
+    [cache.entries] gauge. *)

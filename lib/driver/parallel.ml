@@ -1,44 +1,54 @@
-let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+let default_jobs () = Scheduler.default_workers ()
 
-let map ~jobs f xs =
+let map ?sched ~jobs f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else
     let jobs = max 1 (min jobs n) in
-    if jobs = 1 then Array.map f xs
+    if jobs = 1 && Option.is_none sched then Array.map f xs
     else begin
-      let results = Array.make n None in
-      let errors = Array.make n None in
-      let next = Atomic.make 0 in
-      (* First error cancels the run: workers re-check the flag before
-         claiming the next index, so a poisoned item stops the remaining
-         work instead of draining the whole queue. *)
-      let cancelled = Atomic.make false in
-      (* Work-dealing: domains pull the next unclaimed index, so a few
-         expensive items do not serialize behind a static partition. *)
-      let rec worker () =
-        if not (Atomic.get cancelled) then begin
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n then begin
-            (match f xs.(i) with
-            | v -> results.(i) <- Some v
-            | exception e ->
-                let bt = Printexc.get_raw_backtrace () in
-                errors.(i) <- Some (e, bt);
-                Atomic.set cancelled true);
-            worker ()
-          end
-        end
+      (* A client of the work-stealing scheduler: submit every item,
+         await in index order. Stealing keeps uneven item costs
+         balanced exactly as the old atomic cursor did, with the same
+         cancellation contract on top. The pool is one-shot unless the
+         caller lends its own ([sched]), e.g. profile-all reusing the
+         serve pool so its telemetry shows up in one place. *)
+      let own_sched = Option.is_none sched in
+      let sched =
+        match sched with
+        | Some s -> s
+        | None -> Scheduler.create ~workers:jobs ()
       in
-      let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-      worker ();
-      Array.iter Domain.join domains;
+      (* First error cancels the run: workers check the flag before
+         starting an item, so a poisoned item stops the remaining work
+         instead of draining the whole queue (items already in flight
+         finish). *)
+      let cancelled = Atomic.make false in
+      let promises =
+        Array.map
+          (fun x ->
+            Scheduler.submit sched (fun () ->
+                if Atomic.get cancelled then None
+                else
+                  match f x with
+                  | v -> Some v
+                  | exception e ->
+                      let bt = Printexc.get_raw_backtrace () in
+                      Atomic.set cancelled true;
+                      Printexc.raise_with_backtrace e bt))
+          xs
+      in
+      let results = Array.map Scheduler.await_result promises in
+      if own_sched then Scheduler.shutdown sched;
+      (* Re-raise the first failure in index order (skipped items can
+         precede it; they are unobservable once we raise). *)
       Array.iter
         (function
-          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-          | None -> ())
-        errors;
-      Array.map (function Some v -> v | None -> assert false) results
+          | Error (e, bt) -> Printexc.raise_with_backtrace e bt | Ok _ -> ())
+        results;
+      Array.map
+        (function Ok (Some v) -> v | Ok None | Error _ -> assert false)
+        results
     end
 
 let merge_profiles = function
@@ -80,7 +90,7 @@ let profile_programs ?(jobs = default_jobs ()) ?engine ?ring ?fuel
             (Array.length results);
           Obs.Timer.time mt merge)
 
-let profile_registry ?(jobs = default_jobs ()) ?engine ?ring ?fuel
+let profile_registry ?sched ?(jobs = default_jobs ()) ?engine ?ring ?fuel
     ?static_prune
     ?(scale_of = fun (w : Workloads.Workload.t) -> w.default_scale) () =
   let compiled =
@@ -90,7 +100,7 @@ let profile_registry ?(jobs = default_jobs ()) ?engine ?ring ?fuel
       Workloads.Registry.all
     |> Array.of_list
   in
-  map ~jobs
+  map ?sched ~jobs
     (fun ((w : Workloads.Workload.t), prog) ->
       (w, timed_run ?engine ?ring ?fuel ?static_prune prog))
     compiled

@@ -14,14 +14,17 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count () - 1], at least 1: one domain per
     core, counting the caller (which also works). *)
 
-val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
-(** [map ~jobs f xs] applies [f] to every element, distributing work over
-    [jobs] domains (the calling domain counts as one). Work is dealt by an
-    atomic cursor, so uneven item costs balance automatically. The first
-    failure cancels the run: no worker claims a new item once any [f] has
-    raised (items already in flight finish), and the first exception (in
-    index order) is re-raised with its backtrace after all domains have
-    joined. [jobs <= 1] runs sequentially in the calling domain. *)
+val map : ?sched:Scheduler.t -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f xs] applies [f] to every element, distributing work
+    over a one-shot [jobs]-worker {!Scheduler} pool (work-stealing, so
+    uneven item costs balance automatically). The first failure cancels
+    the run: no worker starts a new item once any [f] has raised (items
+    already in flight finish), and the first exception (in index order)
+    is re-raised with its backtrace after the pool has shut down.
+    [jobs <= 1] runs sequentially in the calling domain.
+    [sched] lends an existing pool instead: [jobs] is then ignored, the
+    pool is left running, and its telemetry accumulates the submitted
+    items — how [profile-all] surfaces scheduler metrics. *)
 
 val merge_profiles : Alchemist.Profile.t list -> Alchemist.Profile.t
 (** Folds {!Alchemist.Profile.merge} over the list.
@@ -58,6 +61,7 @@ val profile_programs :
     differing code. *)
 
 val profile_registry :
+  ?sched:Scheduler.t ->
   ?jobs:int ->
   ?engine:Vm.Machine.engine ->
   ?ring:bool ->

@@ -208,6 +208,34 @@ let find_count s name =
 let find_span_ns s name =
   match find s name with Some (Span { ns; _ }) -> Some ns | _ -> None
 
+(* Bucket b >= 1 covers [2^(b-1), 2^b), so its inclusive upper edge is
+   2^b - 1 — but the histogram also tracks the exact observed max, and
+   no percentile can exceed it. Clamping keeps the reported bound inside
+   the observed range (a ring whose depth_max is 8192 must not report
+   p99 <= 16383). *)
+let percentile_upper v pct =
+  if pct < 1 || pct > 100 then
+    invalid_arg (Printf.sprintf "Obs.percentile_upper: pct %d not in 1..100" pct);
+  match v with
+  | Dist { buckets; count; max; _ } when count > 0 ->
+      let target = ((pct * count) + 99) / 100 in
+      let cum = ref 0 and result = ref None in
+      (try
+         Array.iteri
+           (fun b n ->
+             cum := !cum + n;
+             if !cum >= target then begin
+               result := Some (if b = 0 then 0 else min ((1 lsl b) - 1) max);
+               raise Exit
+             end)
+           buckets
+       with Exit -> ());
+      !result
+  | _ -> None
+
+let dist_percentile_upper s name pct =
+  match find s name with Some v -> percentile_upper v pct | None -> None
+
 (* --- rendering ------------------------------------------------------------ *)
 
 let dist_buckets_nonzero buckets =

@@ -120,6 +120,21 @@ val find : snapshot -> string -> value option
 val find_count : snapshot -> string -> int option
 val find_span_ns : snapshot -> string -> int option
 
+val percentile_upper : value -> int -> int option
+(** [percentile_upper (Dist d) pct] is an inclusive upper bound on the
+    [pct]-th percentile of the distribution: the upper edge of the first
+    log2 bucket whose cumulative count reaches [ceil (pct/100 * count)],
+    clamped to the observed maximum — a bucket covering
+    [[2^(b-1), 2^b)] must not report an upper bound above a value the
+    histogram never saw (BENCH_7's [depth_p99_upper: 16383] artifact for
+    a ring whose depth never exceeds 8192). [None] on an empty
+    distribution or a non-[Dist] value.
+    @raise Invalid_argument unless [1 <= pct <= 100]. *)
+
+val dist_percentile_upper : snapshot -> string -> int -> int option
+(** [dist_percentile_upper s name pct] applies {!percentile_upper} to the
+    named metric; [None] if absent, empty, or not a histogram. *)
+
 val render_text : snapshot -> string
 (** One aligned line per metric; histograms show nonzero buckets by their
     lower bound. *)

@@ -110,3 +110,56 @@ dune exec --no-build -- alchemist profile workload:gzip-1.3.5:2 \
   --static-prune=false --save "$tmpdir/prune-off.prof" > /dev/null
 cmp "$tmpdir/prune-on.prof" "$tmpdir/prune-off.prof"
 echo "pruning differential: profiles byte-identical"
+
+# Serve smoke test: a 10-request stdin batch through the registry
+# service must save exactly the same bytes as the one-shot profile
+# command for every workload — the scheduler, cache, and facts-reuse
+# layers must be invisible in the output.
+cat > "$tmpdir/serve.req" <<EOF
+workload:aes:128 save=$tmpdir/serve-aes.prof
+workload:gzip-1.3.5:2 save=$tmpdir/serve-gzip.prof
+workload:par2:24 save=$tmpdir/serve-par2.prof
+workload:stencil:512 save=$tmpdir/serve-stencil.prof
+workload:ogg:256 save=$tmpdir/serve-ogg.prof
+workload:130.li:30 save=$tmpdir/serve-li.prof
+workload:197.parser:240 save=$tmpdir/serve-parser.prof
+workload:bzip2:1500 save=$tmpdir/serve-bzip2.prof
+workload:delaunay:2000 save=$tmpdir/serve-delaunay.prof
+workload:aes:128 save=$tmpdir/serve-aes-repeat.prof
+EOF
+dune exec --no-build -- alchemist serve < "$tmpdir/serve.req" \
+  > "$tmpdir/serve.out"
+[ "$(grep -c '^ok ' "$tmpdir/serve.out")" -eq 10 ] || {
+  echo "serve batch did not answer all 10 requests ok" >&2
+  cat "$tmpdir/serve.out" >&2
+  exit 1
+}
+for spec in aes:128 gzip-1.3.5:2 par2:24 stencil:512 ogg:256 \
+            130.li:30 197.parser:240 bzip2:1500 delaunay:2000; do
+  name=$(echo "$spec" | sed 's/:.*//; s/^130\.li$/li/; s/^197\.parser$/parser/; s/-1\.3\.5$//')
+  dune exec --no-build -- alchemist profile "workload:$spec" \
+    --save "$tmpdir/direct-$name.prof" > /dev/null
+  cmp "$tmpdir/serve-$name.prof" "$tmpdir/direct-$name.prof"
+done
+cmp "$tmpdir/serve-aes.prof" "$tmpdir/serve-aes-repeat.prof"
+echo "serve smoke: 10-request batch byte-identical to one-shot profiles"
+
+# Cold/warm determinism: a second serve run over the same requests and
+# a shared cache directory must answer purely from the cache and still
+# save byte-identical profiles.
+mkdir "$tmpdir/cache"
+sed "s|$tmpdir/serve-|$tmpdir/cold-|" "$tmpdir/serve.req" > "$tmpdir/cold.req"
+sed "s|$tmpdir/serve-|$tmpdir/warm-|" "$tmpdir/serve.req" > "$tmpdir/warm.req"
+dune exec --no-build -- alchemist serve --cache-dir "$tmpdir/cache" \
+  < "$tmpdir/cold.req" > /dev/null
+dune exec --no-build -- alchemist serve --cache-dir "$tmpdir/cache" \
+  < "$tmpdir/warm.req" > "$tmpdir/warm.out"
+if grep -q ' miss ' "$tmpdir/warm.out"; then
+  echo "warm serve run recomputed instead of hitting the cache" >&2
+  cat "$tmpdir/warm.out" >&2
+  exit 1
+fi
+for f in "$tmpdir"/cold-*.prof; do
+  cmp "$f" "$(echo "$f" | sed 's|/cold-|/warm-|')"
+done
+echo "serve determinism: warm run all cache hits, profiles byte-identical"

@@ -22,6 +22,8 @@ let () =
       ("properties", Test_properties.suite);
       ("explore", Test_explore.suite);
       ("parallel", Test_parallel.suite);
+      ("scheduler", Test_scheduler.suite);
+      ("service", Test_service.suite);
       ("profile_io", Test_profile_io.suite);
       ("reporting", Test_reporting.suite);
     ]

@@ -248,6 +248,55 @@ let test_golden_json () =
      }"
     (Obs.render_json (golden_snapshot ()))
 
+(* --- percentile upper bounds --------------------------------------------- *)
+
+let dist_of_values vs =
+  let h = Obs.Histogram.make () in
+  List.iter (Obs.Histogram.observe h) vs;
+  let reg = Obs.Registry.create () in
+  Obs.Registry.register_histogram reg "d" h;
+  List.assoc "d" (Obs.Registry.snapshot reg)
+
+let test_percentile_clamps_to_max () =
+  (* The BENCH_7 artifact: a ring drained 100 times at depth 8192 lands
+     in bucket [8192, 16384), whose raw upper edge is 16383 — but the
+     histogram saw nothing above 8192, so the reported bound must clamp
+     to the observed max. *)
+  let d = dist_of_values (List.init 100 (fun _ -> 8192)) in
+  check Alcotest.(option int) "p99 clamped" (Some 8192)
+    (Obs.percentile_upper d 99);
+  check Alcotest.(option int) "p50 clamped too" (Some 8192)
+    (Obs.percentile_upper d 50)
+
+let test_percentile_picks_bucket () =
+  (* 90 ones and 10 values of 1000: p50 lives in bucket 1 (upper edge
+     1), p99 in 1000's bucket, clamped to the exact max. *)
+  let d =
+    dist_of_values (List.init 90 (fun _ -> 1) @ List.init 10 (fun _ -> 1000))
+  in
+  check Alcotest.(option int) "p50" (Some 1) (Obs.percentile_upper d 50);
+  check Alcotest.(option int) "p99" (Some 1000) (Obs.percentile_upper d 99);
+  (* an unclamped bucket edge still applies when max exceeds it *)
+  let d2 = dist_of_values [ 5; 5; 5; 900 ] in
+  check Alcotest.(option int) "p50 unclamped edge" (Some 7)
+    (Obs.percentile_upper d2 50)
+
+let test_percentile_edge_cases () =
+  check Alcotest.(option int) "empty dist" None
+    (Obs.percentile_upper (dist_of_values []) 99);
+  check Alcotest.(option int) "non-dist" None
+    (Obs.percentile_upper (Obs.Count 3) 99);
+  check Alcotest.(option int) "zeros land in bucket 0" (Some 0)
+    (Obs.percentile_upper (dist_of_values [ 0; 0; 0 ]) 99);
+  Alcotest.check_raises "pct 0 rejected"
+    (Invalid_argument "Obs.percentile_upper: pct 0 not in 1..100") (fun () ->
+      ignore (Obs.percentile_upper (dist_of_values [ 1 ]) 0));
+  let snap = [ ("h", dist_of_values [ 4; 4; 4; 4 ]) ] in
+  check Alcotest.(option int) "dist_percentile_upper finds" (Some 4)
+    (Obs.dist_percentile_upper snap "h" 99);
+  check Alcotest.(option int) "dist_percentile_upper absent" None
+    (Obs.dist_percentile_upper snap "nope" 99)
+
 let suite =
   [
     ("counter", `Quick, test_counter);
@@ -264,4 +313,7 @@ let suite =
     ("merge_all", `Quick, test_merge_all_matches_fold);
     ("golden text", `Quick, test_golden_text);
     ("golden json", `Quick, test_golden_json);
+    ("percentile clamps to max", `Quick, test_percentile_clamps_to_max);
+    ("percentile picks bucket", `Quick, test_percentile_picks_bucket);
+    ("percentile edge cases", `Quick, test_percentile_edge_cases);
   ]

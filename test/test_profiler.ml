@@ -421,6 +421,42 @@ let test_stats_sane () =
   Alcotest.(check int) "static constructs" 2 s.Profiler.static_constructs;
   Alcotest.(check bool) "pool bounded" true (s.Profiler.pool_allocated < 64)
 
+(* Why gzip's bench telemetry shows [pool.reused: 0] with all-zero
+   [pool.scan_len]: below capacity the pool always allocates fresh —
+   the free-list scan only starts once [allocated = capacity]. The
+   same program under a tiny capacity must show the opposite signature
+   (reuse > 0, nonzero scan lengths). See DESIGN.md "Index node pool". *)
+let test_pool_churn_signatures () =
+  let src =
+    {|int g;
+      int main() {
+        for (int i = 0; i < 400; i++) {
+          for (int k = 0; k < 3; k++) g += i + k;
+        }
+        return g;
+      }|}
+  in
+  let scan_sum r =
+    match Obs.find (Profiler.telemetry r) "pool.scan_len" with
+    | Some (Obs.Dist { sum; _ }) -> sum
+    | _ -> Alcotest.fail "no pool.scan_len histogram"
+  in
+  (* below capacity: every acquire is a fresh allocation, no scans *)
+  let roomy = Profiler.run_source ~fuel:50_000_000 ~pool_capacity:100_000 src in
+  let s = roomy.Profiler.stats in
+  Alcotest.(check int) "below capacity: no reuse" 0 s.Profiler.pool_reused;
+  Alcotest.(check bool) "below capacity: pool not full" true
+    (s.Profiler.pool_allocated < 100_000);
+  Alcotest.(check int) "below capacity: scans never ran" 0 (scan_sum roomy);
+  (* at capacity: the free-list scan runs and recycles completed nodes *)
+  let tight = Profiler.run_source ~fuel:50_000_000 ~pool_capacity:8 src in
+  let s = tight.Profiler.stats in
+  Alcotest.(check int) "at capacity: allocation stops at capacity" 8
+    s.Profiler.pool_allocated;
+  Alcotest.(check bool) "at capacity: reuse happens" true
+    (s.Profiler.pool_reused > 0);
+  Alcotest.(check bool) "at capacity: scans ran" true (scan_sum tight > 0)
+
 let test_report_renders () =
   let src =
     {|int g;
@@ -489,6 +525,7 @@ let suite =
     ("ranking order", `Quick, test_ranking_order);
     ("remove with singletons", `Quick, test_remove_with_singletons);
     ("stats sane", `Quick, test_stats_sane);
+    ("pool churn signatures", `Quick, test_pool_churn_signatures);
     ("report renders", `Quick, test_report_renders);
     ("scatter normalization", `Quick, test_scatter_normalization);
     ("scatter svg", `Quick, test_scatter_svg);

@@ -1,0 +1,314 @@
+(* The registry service: cache-key canonicality (engine permutations
+   hit, any profile-determining option change misses), cold/warm/direct
+   byte-identity, the on-disk store, reply ordering, and the
+   static-facts reuse and validation paths. *)
+
+module Service = Driver.Service
+module Cache = Driver.Cache
+module Profiler = Alchemist.Profiler
+module Pio = Alchemist.Profile_io
+
+let check = Alcotest.check
+let fuel = 50_000_000
+
+let family_src mode =
+  Printf.sprintf
+    {|int mode = %d;
+      int acc;
+      int out[32];
+      int main() {
+        for (int i = 0; i < 200 + mode; i++) {
+          int s = 0;
+          for (int k = 0; k < 10; k++) s += i + k;
+          if (mode > 1) acc += s;
+          out[i & 31] = s + out[(i + mode) & 31];
+        }
+        return acc;
+      }|}
+    mode
+
+let family_prog mode = Vm.Compile.compile_source (family_src mode)
+
+let with_service ?cache ?(workers = 2) f =
+  let svc = Service.create ~workers ?cache () in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) (fun () -> f svc)
+
+let reply_bytes (r : Service.reply) =
+  match r.Service.result with
+  | Ok (_, _, bytes) -> bytes
+  | Error msg -> Alcotest.fail ("unexpected service error: " ^ msg)
+
+let reply_outcome (r : Service.reply) =
+  match r.Service.result with
+  | Ok (o, _, _) -> o
+  | Error msg -> Alcotest.fail ("unexpected service error: " ^ msg)
+
+(* --- cache keys ----------------------------------------------------------- *)
+
+(* Key canonicality as a qcheck property: two option tuples produce the
+   same key exactly when they are equal — the key is a function of
+   (code, input, fuel, trace_locals, pool_capacity, scan_limit) and of
+   nothing else. *)
+let arbitrary_opts =
+  QCheck.make
+    ~print:(fun (f, t, p, s) ->
+      Printf.sprintf "fuel=%s trace=%b pool=%s scan=%s"
+        (match f with Some n -> string_of_int n | None -> "-")
+        t
+        (match p with Some n -> string_of_int n | None -> "-")
+        (match s with Some n -> string_of_int n | None -> "-"))
+    QCheck.Gen.(
+      quad
+        (opt (int_range 1 5))
+        bool
+        (opt (int_range 1 5))
+        (opt (int_range 1 5)))
+
+let key_of (fuel, trace_locals, pool_capacity, scan_limit) =
+  Cache.key ~code_fp:"c0de" ~input_fp:"1npu7" ?fuel ~trace_locals
+    ?pool_capacity ?scan_limit ()
+
+let test_key_canonical_qcheck () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"key equality iff option equality" ~count:500
+       (QCheck.pair arbitrary_opts arbitrary_opts)
+       (fun (a, b) -> String.equal (key_of a) (key_of b) = (a = b)))
+
+let test_key_ignores_fingerprint_swap () =
+  (* code and input fingerprints must both feed the key, in distinct
+     positions *)
+  let k c i = Cache.key ~code_fp:c ~input_fp:i () in
+  check Alcotest.bool "code changes key" false (k "a" "x" = k "b" "x");
+  check Alcotest.bool "input changes key" false (k "a" "x" = k "a" "y");
+  check Alcotest.bool "swap is not symmetric" false (k "a" "x" = k "x" "a")
+
+let test_engine_permutations_hit () =
+  (* the engine, ring, regalloc and prune knobs are proven not to change
+     profile bytes, so they share one cache line: first run computes,
+     every permutation afterwards hits *)
+  let prog = family_prog 0 in
+  with_service (fun svc ->
+      (* seed the cache first: inserts happen at harvest (on the control
+         thread), so in-flight duplicates within one batch all compute *)
+      Service.submit svc ~fuel ~spec:"seed" prog;
+      let seed =
+        match Service.drain svc with [ r ] -> r | _ -> Alcotest.fail "one reply"
+      in
+      Service.submit svc ~fuel ~engine:Vm.Machine.Switch ~spec:"switch" prog;
+      Service.submit svc ~fuel ~engine:Vm.Machine.Register ~spec:"register"
+        prog;
+      Service.submit svc ~fuel ~engine:Vm.Machine.Register ~ring:false
+        ~regalloc:false ~spec:"register-noring" prog;
+      Service.submit svc ~fuel ~static_prune:false ~spec:"noprune" prog;
+      let rest = Service.drain svc in
+      check Alcotest.bool "first computes" true
+        (reply_outcome seed = Service.Computed);
+      check Alcotest.int "four permutations" 4 (List.length rest);
+      List.iter
+        (fun r ->
+          check Alcotest.bool
+            (r.Service.spec ^ " hits")
+            true
+            (reply_outcome r = Service.Hit);
+          check Alcotest.string
+            (r.Service.spec ^ " bytes identical")
+            (reply_bytes seed) (reply_bytes r))
+        rest)
+
+let test_option_changes_miss () =
+  let prog = family_prog 0 in
+  with_service (fun svc ->
+      Service.submit svc ~fuel ~spec:"a" prog;
+      Service.submit svc ~fuel:(fuel + 1) ~spec:"b" prog;
+      Service.submit svc ~fuel ~pool_capacity:4096 ~spec:"c" prog;
+      Service.submit svc ~fuel ~scan_limit:7 ~spec:"d" prog;
+      Service.submit svc ~fuel ~trace_locals:true ~spec:"e" prog;
+      (* a different input of the same code also misses *)
+      Service.submit svc ~fuel ~spec:"f" (family_prog 2);
+      let replies = Service.drain svc in
+      List.iter
+        (fun r ->
+          check Alcotest.bool
+            (r.Service.spec ^ " computes")
+            true
+            (reply_outcome r = Service.Computed))
+        replies)
+
+(* --- byte identity -------------------------------------------------------- *)
+
+let test_cold_warm_direct_identity () =
+  let progs = List.map family_prog [ 0; 1; 2; 3 ] in
+  let cache = Cache.create () in
+  let pass () =
+    with_service ~cache (fun svc ->
+        List.iteri
+          (fun i prog ->
+            Service.submit svc ~fuel ~spec:(string_of_int i) prog)
+          progs;
+        List.map reply_bytes (Service.drain svc))
+  in
+  let cold = pass () in
+  let warm = pass () in
+  let direct =
+    List.map
+      (fun prog -> Pio.to_string (Profiler.run ~fuel prog).Profiler.profile)
+      progs
+  in
+  check Alcotest.(list string) "warm bytes = cold bytes" cold warm;
+  check Alcotest.(list string) "cold bytes = direct profiler bytes" direct cold
+
+let test_facts_reuse_and_validation () =
+  (* same code, different inputs: one analysis, shared facts — and the
+     profile with facts is byte-identical to the one without *)
+  let cache = Cache.create () in
+  with_service ~cache (fun svc ->
+      List.iter
+        (fun m ->
+          Service.submit svc ~fuel ~spec:(string_of_int m) (family_prog m))
+        [ 0; 1; 2; 3 ];
+      ignore (Service.drain svc);
+      let snap = Service.telemetry svc in
+      let count n = Option.value ~default:(-1) (Obs.find_count snap n) in
+      check Alcotest.int "one analysis" 1 (count "service.facts_computed");
+      check Alcotest.int "three reuses" 3 (count "service.facts_reused"));
+  let p0 = family_prog 0 in
+  let facts = Profiler.prepare_facts p0 in
+  check Alcotest.string "facts fingerprint is the code fingerprint"
+    (Pio.fingerprint p0)
+    (Profiler.facts_fingerprint facts);
+  check Alcotest.string "facts do not change profile bytes"
+    (Pio.to_string (Profiler.run ~fuel p0).Profiler.profile)
+    (Pio.to_string (Profiler.run ~fuel ~facts p0).Profiler.profile);
+  (* family variants share code, so the same facts are valid across the
+     whole family — that is the reuse path; a program whose CODE differs
+     must be rejected *)
+  check Alcotest.string "facts valid across the input family"
+    (Pio.to_string (Profiler.run ~fuel (family_prog 1)).Profiler.profile)
+    (Pio.to_string (Profiler.run ~fuel ~facts (family_prog 1)).Profiler.profile);
+  let other =
+    Vm.Compile.compile_source
+      {|int g;
+        int main() {
+          for (int i = 0; i < 10; i++) g += i;
+          return g;
+        }|}
+  in
+  Alcotest.check_raises "facts for a different program rejected"
+    (Invalid_argument "Profiler: facts were prepared for a different program")
+    (fun () -> ignore (Profiler.run ~fuel ~facts other))
+
+(* --- disk store ----------------------------------------------------------- *)
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "alchemist_cache" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_disk_store_survives_restart () =
+  with_tmpdir (fun dir ->
+      let prog = family_prog 0 in
+      let bytes_cold =
+        with_service ~cache:(Cache.create ~dir ()) (fun svc ->
+            Service.submit svc ~fuel ~spec:"cold" prog;
+            match Service.drain svc with
+            | [ r ] ->
+                check Alcotest.bool "cold computes" true
+                  (reply_outcome r = Service.Computed);
+                reply_bytes r
+            | _ -> Alcotest.fail "one reply expected")
+      in
+      (* a fresh cache + service over the same directory: disk hit *)
+      with_service ~cache:(Cache.create ~dir ()) (fun svc ->
+          Service.submit svc ~fuel ~spec:"restart" prog;
+          match Service.drain svc with
+          | [ r ] ->
+              check Alcotest.bool "restart disk-hits" true
+                (reply_outcome r = Service.Disk_hit);
+              check Alcotest.string "disk bytes identical" bytes_cold
+                (reply_bytes r)
+          | _ -> Alcotest.fail "one reply expected"))
+
+(* --- request lines and ordering ------------------------------------------- *)
+
+let test_feed_ordering_and_errors () =
+  with_service (fun svc ->
+      check Alcotest.bool "comment skipped" true
+        (Service.feed svc "# comment" = `Skip);
+      check Alcotest.bool "blank skipped" true (Service.feed svc "  " = `Skip);
+      check Alcotest.bool "drain recognized" true
+        (Service.feed svc "drain" = `Drain);
+      ignore (Service.feed svc "workload:stencil:64");
+      ignore (Service.feed svc "workload:no-such-workload");
+      ignore (Service.feed svc "workload:stencil:64 bogus_opt=1");
+      ignore (Service.feed svc "workload:stencil:64 engine=quantum");
+      let replies = Service.drain svc in
+      check Alcotest.(list int) "submission order preserved" [ 1; 2; 3; 4 ]
+        (List.map (fun (r : Service.reply) -> r.Service.seq) replies);
+      let ok (r : Service.reply) = Result.is_ok r.Service.result in
+      check Alcotest.(list bool) "errors exactly where submitted"
+        [ true; false; false; false ]
+        (List.map ok replies);
+      (* a repeat in a later batch hits the cache (inserts happen at
+         harvest, so the repeat must come after a drain) and agrees *)
+      ignore (Service.feed svc "workload:stencil:64");
+      match Service.drain svc with
+      | [ b ] ->
+          check Alcotest.int "repeat seq" 5 b.Service.seq;
+          check Alcotest.string "bytes agree"
+            (reply_bytes (List.nth replies 0))
+            (reply_bytes b);
+          check Alcotest.bool "second hits" true
+            (reply_outcome b = Service.Hit)
+      | _ -> Alcotest.fail "expected exactly one reply in second batch")
+
+let test_ready_streams_prefix () =
+  with_service (fun svc ->
+      (* an unknown workload resolves instantly: ready must surface it
+         without waiting for anything else *)
+      ignore (Service.feed svc "workload:no-such-workload");
+      (match Service.ready svc with
+      | [ r ] -> check Alcotest.bool "error streamed" true (Result.is_error r.Service.result)
+      | _ -> Alcotest.fail "expected the resolved head streamed");
+      check Alcotest.(list int) "nothing left" []
+        (List.map
+           (fun (r : Service.reply) -> r.Service.seq)
+           (Service.drain svc)))
+
+(* --- LRU eviction --------------------------------------------------------- *)
+
+let test_lru_eviction () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c "k1" "a";
+  Cache.add c "k2" "b";
+  ignore (Cache.find c "k1");
+  (* k2 is now least recently used *)
+  Cache.add c "k3" "c";
+  check Alcotest.int "capacity respected" 2 (Cache.length c);
+  check Alcotest.(option string) "recently-used survives" (Some "a")
+    (Cache.find c "k1");
+  check Alcotest.(option string) "LRU evicted" None (Cache.find c "k2");
+  let snap = Cache.telemetry c in
+  check Alcotest.(option int) "one eviction" (Some 1)
+    (Obs.find_count snap "cache.evictions")
+
+let suite =
+  [
+    ("cache key canonical (qcheck)", `Quick, test_key_canonical_qcheck);
+    ("cache key fingerprints", `Quick, test_key_ignores_fingerprint_swap);
+    ("engine permutations hit", `Quick, test_engine_permutations_hit);
+    ("option changes miss", `Quick, test_option_changes_miss);
+    ("cold/warm/direct identity", `Quick, test_cold_warm_direct_identity);
+    ("facts reuse and validation", `Quick, test_facts_reuse_and_validation);
+    ("disk store survives restart", `Quick, test_disk_store_survives_restart);
+    ("feed ordering and errors", `Quick, test_feed_ordering_and_errors);
+    ("ready streams prefix", `Quick, test_ready_streams_prefix);
+    ("LRU eviction", `Quick, test_lru_eviction);
+  ]
