@@ -6,7 +6,7 @@
      dune exec bench/main.exe              -- run everything
      dune exec bench/main.exe -- table3 fig6 ...   -- run a subset
    Sections: fig2 fig3 fig4 fig6 table3 table4 table5 baseline explore micro
-   ablation perf register hookfloor static distance service *)
+   ablation perf register hookfloor static distance service legality *)
 
 module W = Workloads.Workload
 module Registry = Workloads.Registry
@@ -1522,6 +1522,139 @@ let service_bench () =
   close_out oc;
   print_endline "wrote BENCH_8.json"
 
+(* --- transform legality: speedup from proven-removable edges only ---------------- *)
+
+(* Table V's transforms drop the edges the paper's {e manual} rewrites
+   remove. The honest middle ground is dropping only what the
+   transform-legality engine {e proves} removable — no hand-named
+   variable lists. For every loop parallelization site in the registry
+   this compares all-edges-blocking scheduling against proven-edges-
+   dropped scheduling at 16/64/256 cores: the gap is the speedup the
+   static proofs alone unlock. *)
+let legality_bench () =
+  header "Transform legality — speedup from proven-removable edges only";
+  let cores_list = [ 16; 64; 256 ] in
+  let rows =
+    List.concat_map
+      (fun (w : W.t) ->
+        let prog = W.compile w ~scale:w.W.default_scale in
+        List.filter_map
+          (fun (site : W.site) ->
+            let head_pc = site.W.locate prog in
+            match Vm.Program.construct_at prog head_pc with
+            | Some c when c.Vm.Program.kind = Vm.Program.CLoop ->
+                Some (w.W.name, site, prog, head_pc)
+            | _ -> None)
+          w.W.sites)
+      Registry.all
+    (* the same loop can back two sites (gzip's per-file loop) *)
+    |> List.fold_left
+         (fun acc ((name, _, _, head_pc) as row) ->
+           if
+             List.exists
+               (fun (n, _, _, h) -> n = name && h = head_pc)
+               acc
+           then acc
+           else row :: acc)
+         []
+    |> List.rev
+  in
+  let results =
+    List.map
+      (fun (name, (site : W.site), prog, head_pc) ->
+        let dep = Static.Depend.analyze prog in
+        let legality = Static.Depend.legality dep in
+        let proven_priv, proven_red =
+          Parsim.Transform.legality_ranges legality ~head_pc
+        in
+        let graph ~privatized ~reductions =
+          Parsim.Task_graph.collect ~fuel ~privatized ~reductions prog ~head_pc
+        in
+        let naive_g = graph ~privatized:[] ~reductions:[] in
+        let legal_g = graph ~privatized:proven_priv ~reductions:proven_red in
+        let speedups g =
+          List.map
+            (fun cores ->
+              let config =
+                {
+                  Parsim.Scheduler.cores;
+                  spawn_overhead =
+                    Option.value
+                      ~default:
+                        Parsim.Scheduler.default_config
+                          .Parsim.Scheduler.spawn_overhead
+                      site.W.spawn_overhead;
+                  join_overhead =
+                    Parsim.Scheduler.default_config
+                      .Parsim.Scheduler.join_overhead;
+                }
+              in
+              (Parsim.Scheduler.simulate ~config g).Parsim.Scheduler.speedup)
+            cores_list
+        in
+        let naive = speedups naive_g and legal = speedups legal_g in
+        let improved = List.exists2 (fun n l -> l > n) naive legal in
+        (name, site.W.site_name, proven_priv, proven_red, naive, legal,
+         improved))
+      rows
+  in
+  Printf.printf "%-10s %-40s | %4s %4s | %24s | %24s\n" "workload" "site"
+    "priv" "red" "blocking 16/64/256" "proven-legal 16/64/256";
+  Printf.printf "%s\n" (String.make 120 '-');
+  List.iter
+    (fun (name, site_name, privs, reds, naive, legal, improved) ->
+      let trio l =
+        String.concat "/" (List.map (Printf.sprintf "%.2f") l)
+      in
+      Printf.printf "%-10s %-40s | %4d %4d | %24s | %24s%s\n" name
+        (if String.length site_name > 40 then String.sub site_name 0 40
+         else site_name)
+        (List.length privs) (List.length reds) (trio naive) (trio legal)
+        (if improved then "  <- proofs unlock speedup" else ""))
+    results;
+  let improved_names =
+    List.filter_map
+      (fun (name, _, _, _, _, _, improved) -> if improved then Some name else None)
+      results
+    |> List.sort_uniq compare
+  in
+  Printf.printf
+    "\n%d of %d sites improve with proven-removable edges only (%s).\n"
+    (List.length
+       (List.filter (fun (_, _, _, _, _, _, i) -> i) results))
+    (List.length results)
+    (String.concat ", " improved_names);
+  let oc = open_out "BENCH_9.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "transform legality: scheduling with only proven-removable edges dropped",
+  "cores": [%s],
+  "sites": [
+%s
+  ],
+  "workloads_improved": [%s]
+}
+|}
+    (String.concat ", " (List.map string_of_int cores_list))
+    (String.concat ",\n"
+       (List.map
+          (fun (name, site_name, privs, reds, naive, legal, improved) ->
+            let trio l =
+              String.concat ", " (List.map (Printf.sprintf "%.3f") l)
+            in
+            Printf.sprintf
+              "    {\"workload\": %S, \"site\": %S, \"proven_privatizable\": \
+               %d, \"proven_reductions\": %d,\n\
+              \     \"speedup_all_edges_blocking\": [%s], \
+               \"speedup_proven_legal\": [%s], \"improved\": %b}"
+              name site_name (List.length privs) (List.length reds)
+              (trio naive) (trio legal) improved)
+          results))
+    (String.concat ", "
+       (List.map (Printf.sprintf "%S") improved_names));
+  close_out oc;
+  print_endline "wrote BENCH_9.json"
+
 (* --- main ------------------------------------------------------------------------ *)
 
 let sections =
@@ -1543,6 +1676,7 @@ let sections =
     ("static", static_bench);
     ("distance", distance_bench);
     ("service", service_bench);
+    ("legality", legality_bench);
   ]
 
 let () =

@@ -52,6 +52,16 @@ let static_prune_arg =
               dependence analysis proves unable to affect the profile \
               (default on; the profile is byte-identical either way).")
 
+let legality_arg =
+  Cmdliner.Arg.(
+    value & opt bool true
+    & info [ "legality" ] ~docv:"BOOL"
+        ~doc:"Classify every recorded edge with the transform-legality \
+              engine and store the verdicts in the saved profile \
+              (default on; with $(b,--legality=false) the profile \
+              carries no legality block and serializes as a version-3 \
+              file).")
+
 let handle_errors f =
   match f () with
   | () -> 0
@@ -170,12 +180,12 @@ let profile_cmd =
                 $(b,json).")
   in
   let profile spec fuel top edges kinds trace_locals save telemetry fold warn
-      static_prune engine regalloc ring =
+      static_prune legality engine regalloc ring =
     handle_errors (fun () ->
         let prog = load_program ~fold ~warn spec in
         let r =
           Alchemist.Profiler.run ~engine ~regalloc ~ring ~fuel ~trace_locals
-            ~static_prune prog
+            ~static_prune ~legality prog
         in
         Option.iter
           (fun path -> Alchemist.Profile_io.save r.Alchemist.Profiler.profile path)
@@ -218,8 +228,8 @@ let profile_cmd =
        ~doc:"Profile dependence distances (Fig. 2/3-style report).")
     Term.(
       const profile $ src_arg $ fuel_arg $ top $ edges $ kinds $ trace_locals
-      $ save $ telemetry $ fold_arg $ warn_arg $ static_prune_arg $ engine_arg
-      $ regalloc_arg $ ring_arg)
+      $ save $ telemetry $ fold_arg $ warn_arg $ static_prune_arg
+      $ legality_arg $ engine_arg $ regalloc_arg $ ring_arg)
 
 (* --- rank ---------------------------------------------------------------- *)
 
@@ -709,15 +719,29 @@ let check_cmd =
           ~doc:"Sanitize this saved profile against SRC instead of \
                 profiling in-process.")
   in
-  (* One workload's checks; returns the number of problems found (each
-     already printed). The in-process variant is the full gauntlet: CFA
-     validation, prune-on/off byte-identity, serialization round-trip,
-     and the sanitizer over the round-tripped profile. *)
-  let check_one ~fuel name prog saved =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON document: per-workload pass/fail, violation \
+             counts by sanitizer category, and validated-edge counts.")
+  in
+  (* One workload's checks; returns the number of problems found plus
+     the sanitizer issues and validated-edge counts (for --json). The
+     in-process variant is the full gauntlet: CFA validation,
+     prune-on/off byte-identity, serialization round-trip, and the
+     sanitizer over the round-tripped profile. *)
+  let check_one ~quiet ~fuel name prog saved =
     let problems = ref 0 in
+    let issues = ref [] in
+    let distbound_edges = ref 0 in
+    let legality_edges = ref 0 in
     let fail fmt =
       incr problems;
-      Printf.ksprintf (fun m -> Printf.printf "%s: FAIL: %s\n" name m) fmt
+      Printf.ksprintf
+        (fun m -> if not quiet then Printf.printf "%s: FAIL: %s\n" name m)
+        fmt
     in
     let analysis = Cfa.Analysis.analyze prog in
     List.iter
@@ -725,20 +749,32 @@ let check_cmd =
       (Cfa.Analysis.validate prog analysis);
     let dep = Static.Depend.analyze ~analysis prog in
     let sanitize what p =
+      let found = Alchemist.Sanitize.check ~dep p in
+      issues := !issues @ found;
       List.iter
         (fun i ->
           fail "%s: %s" what
             (Format.asprintf "%a" Alchemist.Sanitize.pp_issue i))
-        (Alchemist.Sanitize.check ~dep p)
+        found
     in
-    (* How many recorded edges carry a proven distance lower bound (each
-       one a dynamic-vs-static cross-validation the sanitizer enforced). *)
+    (* How many recorded edges carry a proven distance lower bound or a
+       transform-legality verdict (each one a dynamic-vs-static
+       cross-validation the sanitizer enforced). *)
     let report_validated (p : Alchemist.Profile.t) =
-      match p.Alchemist.Profile.static_distbounds with
+      (match p.Alchemist.Profile.static_distbounds with
       | Some ((_ :: _) as l) ->
-          Printf.printf "%s: %d edge(s) validated against static distance \
-                         bounds\n"
-            name (List.length l)
+          distbound_edges := List.length l;
+          if not quiet then
+            Printf.printf "%s: %d edge(s) validated against static distance \
+                           bounds\n"
+              name (List.length l)
+      | _ -> ());
+      match p.Alchemist.Profile.static_legality with
+      | Some ((_ :: _) as l) ->
+          legality_edges := List.length l;
+          if not quiet then
+            Printf.printf "%s: %d edge(s) carry transform-legality verdicts\n"
+              name (List.length l)
       | _ -> ()
     in
     (match saved with
@@ -765,22 +801,57 @@ let check_cmd =
               fail "round-trip re-serialization differs";
             sanitize "profile" p2;
             report_validated p2));
-    if !problems = 0 then Printf.printf "%s: OK\n" name;
-    !problems
+    if !problems = 0 && not quiet then Printf.printf "%s: OK\n" name;
+    (name, !problems, !issues, !distbound_edges, !legality_edges)
   in
-  let check src all test_scale prof_file fuel =
+  let render_json results =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"workloads\": [\n";
+    List.iteri
+      (fun i (name, problems, issues, db, leg) ->
+        let count c =
+          List.length
+            (List.filter
+               (fun (x : Alchemist.Sanitize.issue) -> x.category = c)
+               issues)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"name\": %S, \"pass\": %b, \"problems\": %d,\n\
+             \     \"violations\": {%s},\n\
+             \     \"validated_distbound_edges\": %d, \
+              \"validated_legality_edges\": %d}%s\n"
+             name (problems = 0) problems
+             (String.concat ", "
+                (List.map
+                   (fun c ->
+                     Printf.sprintf "%S: %d"
+                       (Alchemist.Sanitize.category_to_string c)
+                       (count c))
+                   Alchemist.Sanitize.all_categories))
+             db leg
+             (if i = List.length results - 1 then "" else ",")))
+      results;
+    let failures =
+      List.fold_left (fun acc (_, p, _, _, _) -> acc + min 1 p) 0 results
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  ],\n  \"failed_workloads\": %d\n}\n" failures);
+    Buffer.contents buf
+  in
+  let check src all test_scale prof_file json fuel =
     handle_errors (fun () ->
-        let failures =
+        let results =
           match (all, src) with
           | true, None ->
-              List.fold_left
-                (fun acc (w : Workloads.Workload.t) ->
+              List.map
+                (fun (w : Workloads.Workload.t) ->
                   let scale =
                     if test_scale then w.test_scale else w.default_scale
                   in
                   let prog = Workloads.Workload.compile w ~scale in
-                  acc + check_one ~fuel w.name prog None)
-                0 Workloads.Registry.all
+                  check_one ~quiet:json ~fuel w.name prog None)
+                Workloads.Registry.all
           | false, Some spec ->
               let prog = load_program spec in
               let saved =
@@ -791,8 +862,12 @@ let check_cmd =
                     | Error msg -> invalid_arg msg)
                   prof_file
               in
-              check_one ~fuel spec prog saved
+              [ check_one ~quiet:json ~fuel spec prog saved ]
           | _ -> invalid_arg "pass exactly one of SRC or --all"
+        in
+        if json then print_string (render_json results);
+        let failures =
+          List.fold_left (fun acc (_, p, _, _, _) -> acc + min 1 p) 0 results
         in
         if failures > 0 then
           invalid_arg (Printf.sprintf "%d check(s) failed" failures))
@@ -802,7 +877,8 @@ let check_cmd =
        ~doc:"Sanitize dynamic profiles against the static dependence \
              analysis (and validate the CFA, prune byte-identity, and \
              serialization round-trip).")
-    Term.(const check $ src $ all $ test_scale $ prof_file $ fuel_arg)
+    Term.(
+      const check $ src $ all $ test_scale $ prof_file $ json_flag $ fuel_arg)
 
 (* --- disasm / workloads --------------------------------------------------- *)
 

@@ -1,7 +1,15 @@
+type removable = {
+  edge : Profile.edge_key;
+  transform : Static.Legality.verdict;
+      (* Privatizable or Reduction, never Serializing *)
+  var : string option;
+}
+
 type suggestion =
   | Spawnable of {
       statically_proven : bool;
       static_min_distance : int option;
+      removable : removable list;
     }
   | Join_before of { line : int; var : string option }
   | Blocking_raw of { head_line : int; tail_line : int; var : string option }
@@ -237,6 +245,34 @@ let advise ?dep (p : Profile.t) ~cid =
         | None, acc -> acc)
       None edges
   in
+  (* The exact transform the legality engine proves removes each
+     removable recorded edge — live analysis first, else a version-4
+     profile's stored verdicts. This is the actionable half of the
+     advice: the listed transforms are {e proven} legal, not
+     pattern-guessed like the dynamic [Reduce]/[Privatize] suggestions
+     above. *)
+  let legality_of (k : Profile.edge_key) =
+    match dep with
+    | Some d ->
+        Static.Legality.classify (Static.Depend.legality d) ~kind:k.kind
+          ~head_pc:k.head_pc ~tail_pc:k.tail_pc
+    | None ->
+        Option.bind p.Profile.static_legality
+          (List.assoc_opt
+             (Profile.Key.pack ~head_pc:k.head_pc ~tail_pc:k.tail_pc k.kind))
+  in
+  let removable =
+    List.filter_map
+      (fun ((k : Profile.edge_key), s) ->
+        match legality_of k with
+        | Some
+            ((Static.Legality.Privatizable | Static.Legality.Reduction) as v)
+          ->
+            Some { edge = k; transform = v; var = first_var prog s }
+        | _ -> None)
+      edges
+    |> List.sort compare
+  in
   let suggestions =
     if blockers = [] then
       let statically_proven =
@@ -244,7 +280,8 @@ let advise ?dep (p : Profile.t) ~cid =
         | Some d -> Static.Depend.construct_proven_independent d ~cid
         | None -> false
       in
-      (Spawnable { statically_proven; static_min_distance } :: reductions)
+      Spawnable { statically_proven; static_min_distance; removable }
+      :: reductions
       @ transforms @ claim_joins @ joins
     else blockers @ reductions @ transforms @ claim_joins
   in
@@ -264,7 +301,7 @@ let reduction_list t =
   |> List.sort_uniq compare
 
 let pp_suggestion ppf = function
-  | Spawnable { statically_proven; static_min_distance } ->
+  | Spawnable { statically_proven; static_min_distance; removable } ->
       if statically_proven then
         Format.fprintf ppf
           "annotate as a future: statically proven independent (holds on all \
@@ -278,7 +315,18 @@ let pp_suggestion ppf = function
           Format.fprintf ppf
             "; recorded dependences proven >= %d iteration%s apart" d
             (if d = 1 then "" else "s"))
-        static_min_distance
+        static_min_distance;
+      List.iter
+        (fun { edge; transform; var } ->
+          Format.fprintf ppf "; %s edge %d->%d%s removable by %s"
+            (Shadow.Dependence.kind_to_string edge.Profile.kind)
+            edge.Profile.head_pc edge.Profile.tail_pc
+            (match var with Some v -> " on " ^ v | None -> "")
+            (match transform with
+            | Static.Legality.Privatizable -> "privatization"
+            | Static.Legality.Reduction -> "reduction rewrite"
+            | Static.Legality.Serializing -> "no transform"))
+        removable
   | Join_before { line; var } ->
       Format.fprintf ppf "join the future before line %d%a" line
         (fun ppf -> function

@@ -12,10 +12,21 @@
       continuation, which is the paper's suggestion when the construct's
       own write is a reset). *)
 
+type removable = {
+  edge : Profile.edge_key;
+  transform : Static.Legality.verdict;
+      (** [Privatizable] or [Reduction], never [Serializing] *)
+  var : string option;  (** the conflict variable, when nameable *)
+}
+(** One recorded edge a {e proven-legal} transform removes, and which
+    transform ({!Static.Legality.classify} — live analysis, or the
+    verdicts a version-4 profile stored). *)
+
 type suggestion =
   | Spawnable of {
       statically_proven : bool;
       static_min_distance : int option;
+      removable : removable list;
     }
       (** no violating RAW: annotate as a future. [statically_proven]
           distinguishes constructs whose independence the static layer
@@ -27,7 +38,10 @@ type suggestion =
           version-3 profile) over the construct's recorded edges: every
           recorded dependence is at least that many loop iterations
           apart on {e every} input, so the overlap window the dynamic
-          [Tdep] suggests is also a static guarantee *)
+          [Tdep] suggests is also a static guarantee.
+          [removable] lists the exact proven-legal transform per
+          removable recorded edge — unlike the pattern-matched
+          [Reduce]/[Privatize] suggestions, these carry a static proof *)
   | Join_before of { line : int; var : string option }
       (** respect a long-distance RAW by claiming the future here *)
   | Blocking_raw of { head_line : int; tail_line : int; var : string option }

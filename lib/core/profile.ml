@@ -147,6 +147,11 @@ type t = {
       (* proven minimum dependence distance in loop iterations, by packed
          key, sorted; only bounds >= 1 are kept. [None] = no static layer
          ran; [Some []] = it ran and proved nothing *)
+  mutable static_legality : (Key.t * Static.Legality.verdict) list option;
+      (* transform-legality verdicts by packed key, sorted; only edges
+         the legality engine classifies appear (all recorded WAR/WAW,
+         plus RAW edges proven reductions). [None] = no static layer
+         ran; [Some []] = it ran and classified nothing *)
 }
 
 let dummy_stats () =
@@ -177,6 +182,7 @@ let create (prog : Vm.Program.t) =
     total_instructions = 0;
     static_verdicts = None;
     static_distbounds = None;
+    static_legality = None;
   }
 
 let get t cid = t.by_cid.(cid)
@@ -322,6 +328,43 @@ let merge_distbounds a b =
       in
       Some (go xs ys [])
 
+let attach_legality t classify =
+  t.static_legality <-
+    Some
+      (List.filter_map
+         (fun k ->
+           match classify (Key.unpack k) with
+           | Some v -> Some (k, v)
+           | None -> None)
+         (recorded_keys t))
+
+(* Same-key conflicts keep the higher-ranked (weaker) verdict:
+   [Serializing] claims least, so a disagreement — impossible when both
+   sides analyzed the same program, conceivable for hand-edited files —
+   degrades toward safety. Max is associative and commutative, so
+   [merge]'s laws hold. *)
+let merge_legality a b =
+  match (a, b) with
+  | None, v | v, None -> v
+  | Some xs, Some ys ->
+      let rec go xs ys acc =
+        match (xs, ys) with
+        | [], rest | rest, [] -> List.rev_append acc rest
+        | ((kx, vx) as x) :: xs', ((ky, vy) as y) :: ys' ->
+            if kx < ky then go xs' ys (x :: acc)
+            else if ky < kx then go xs ys' (y :: acc)
+            else
+              let v =
+                if
+                  Static.Legality.verdict_rank vx
+                  >= Static.Legality.verdict_rank vy
+                then vx
+                else vy
+              in
+              go xs' ys' ((kx, v) :: acc)
+      in
+      Some (go xs ys [])
+
 let merge a b =
   if a.prog.Vm.Program.code <> b.prog.Vm.Program.code then
     invalid_arg "Profile.merge: profiles of different programs";
@@ -330,6 +373,7 @@ let merge a b =
   out.static_verdicts <- merge_verdicts a.static_verdicts b.static_verdicts;
   out.static_distbounds <-
     merge_distbounds a.static_distbounds b.static_distbounds;
+  out.static_legality <- merge_legality a.static_legality b.static_legality;
   Array.iteri
     (fun cid (dst : construct_profile) ->
       let add (src : construct_profile) =

@@ -99,6 +99,14 @@ type t = {
           instructions apart ([min_tdep >= d]) — the invariant
           [alchemist check] enforces. [None] when no static analysis ran
           (or a version [<= 2] file). *)
+  mutable static_legality : (Key.t * Static.Legality.verdict) list option;
+      (** transform-legality verdicts for recorded edges, sorted by
+          packed key: every WAR/WAW edge classified
+          [Privatizable]/[Reduction]/[Serializing], plus RAW edges
+          proven reductions (unclassified RAW edges are absent — see
+          {!Static.Legality.classify}). Persisted as the version-4
+          profile section. [None] when no static analysis ran (or a
+          version [<= 3] file). *)
 }
 
 val create : Vm.Program.t -> t
@@ -132,6 +140,11 @@ val attach_distbounds : t -> (edge_key -> int option) -> unit
     recorded edge and store the [>= 1] bounds in [static_distbounds]
     (sorted by packed key). *)
 
+val attach_legality : t -> (edge_key -> Static.Legality.verdict option) -> unit
+(** Classify every currently recorded edge for transform legality and
+    store the classified subset in [static_legality] (sorted by packed
+    key). *)
+
 val merge : t -> t -> t
 (** Combine two profiles of the {e same} program (e.g. different inputs —
     the paper gathers multiple profile runs): instance counts and totals
@@ -142,7 +155,9 @@ val merge : t -> t -> t
     same program, same-key verdicts agree — ties nevertheless resolve
     deterministically so the laws hold unconditionally. Distance-bound
     lists union by key with same-key conflicts taking the minimum (still
-    proven, still associative/commutative).
+    proven, still associative/commutative); legality lists union by key
+    with conflicts keeping the weaker claim (max rank — degrades toward
+    [Serializing]).
     @raise Invalid_argument if the programs differ. *)
 
 val get : t -> int -> construct_profile

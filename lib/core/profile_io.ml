@@ -68,18 +68,28 @@ let kind_of_tag = function
    minimum iteration distances, always >= 1) after the verdicts; a
    profile whose static layer proved no bounds serializes to the exact
    version-2 bytes, so the version only moves when there is something
-   to say, and prune-on/off byte-identity is unaffected. *)
+   to say, and prune-on/off byte-identity is unaffected. Version 4 adds
+   [legality] lines (transform-legality verdicts: priv/red/serial)
+   after the distbounds, under the same rule — a profile with no
+   legality verdicts serializes to byte-exact version-3 (or lower)
+   output. *)
 let write (t : Profile.t) buf =
   let distbounds =
     match t.Profile.static_distbounds with
     | Some (_ :: _ as l) -> Some l
     | _ -> None
   in
+  let legality =
+    match t.Profile.static_legality with
+    | Some (_ :: _ as l) -> Some l
+    | _ -> None
+  in
   let version =
-    match (distbounds, t.Profile.static_verdicts) with
-    | Some _, _ -> 3
-    | None, Some _ -> 2
-    | None, None -> 1
+    match (legality, distbounds, t.Profile.static_verdicts) with
+    | Some _, _, _ -> 4
+    | None, Some _, _ -> 3
+    | None, None, Some _ -> 2
+    | None, None, None -> 1
   in
   Buffer.add_string buf (Printf.sprintf "alchemist-profile %d\n" version);
   Buffer.add_string buf (Printf.sprintf "fingerprint %s\n" (fingerprint t.prog));
@@ -105,6 +115,17 @@ let write (t : Profile.t) buf =
             (Printf.sprintf "distbound %d %d %s %d\n" k.Profile.head_pc
                k.Profile.tail_pc (kind_tag k.Profile.kind) d))
         bounds);
+  (match legality with
+  | None -> ()
+  | Some verdicts ->
+      List.iter
+        (fun (key, v) ->
+          let k = Profile.Key.unpack key in
+          Buffer.add_string buf
+            (Printf.sprintf "legality %d %d %s %s\n" k.Profile.head_pc
+               k.Profile.tail_pc (kind_tag k.Profile.kind)
+               (Static.Legality.verdict_to_string v)))
+        verdicts);
   Array.iter
     (fun (cp : Profile.construct_profile) ->
       if cp.instances > 0 then
@@ -154,6 +175,7 @@ let read (prog : Vm.Program.t) text =
         | "alchemist-profile 1" -> Ok 1
         | "alchemist-profile 2" -> Ok 2
         | "alchemist-profile 3" -> Ok 3
+        | "alchemist-profile 4" -> Ok 4
         | _ -> err hln "unsupported profile format/version"
       in
       let* () =
@@ -184,8 +206,14 @@ let read (prog : Vm.Program.t) text =
          one is still accepted as long as keys are unique. *)
       let verdicts = ref [] in
       let seen_verdict = Hashtbl.create 64 in
+      (* Distbound and legality entries carry their source line so the
+         recorded-edge check below can point at the offending line; the
+         edge section comes after these blocks, so the check must wait
+         until the whole file is parsed. *)
       let distbounds = ref [] in
       let seen_distbound = Hashtbl.create 16 in
+      let legality = ref [] in
+      let seen_legality = Hashtbl.create 16 in
       let finish () =
         if version >= 2 then
           t.Profile.static_verdicts <-
@@ -193,14 +221,48 @@ let read (prog : Vm.Program.t) text =
               (List.sort
                  (fun (ka, _) (kb, _) -> Profile.Key.compare ka kb)
                  !verdicts);
+        (* Distbound and legality lines assert facts about specific
+           recorded edges; a line naming an edge the profile does not
+           record is corruption (or a stale hand edit) that every
+           downstream lookup would silently ignore — reject it here.
+           Verdict lines are exempt: the sanitizer has a reachable
+           diagnostic for stored verdicts on unrecorded edges. *)
+        let recorded = Hashtbl.create 256 in
+        Array.iter
+          (fun cp ->
+            Profile.fold_edges cp
+              (fun (k : Profile.edge_key) _ () ->
+                Hashtbl.replace recorded
+                  (Profile.Key.pack ~head_pc:k.Profile.head_pc
+                     ~tail_pc:k.Profile.tail_pc k.Profile.kind)
+                  ())
+              ())
+          t.Profile.by_cid;
+        let check_recorded what entries =
+          List.fold_left
+            (fun acc (ln, key, _) ->
+              let* () = acc in
+              if Hashtbl.mem recorded key then Ok ()
+              else
+                let k = Profile.Key.unpack key in
+                err ln "%s references unrecorded edge %d %d %s" what
+                  k.Profile.head_pc k.Profile.tail_pc (kind_tag k.Profile.kind))
+            (Ok ()) entries
+        in
+        let* () = check_recorded "distbound" !distbounds in
+        let* () = check_recorded "legality" !legality in
+        let strip entries =
+          List.sort
+            (fun (ka, _) (kb, _) -> Profile.Key.compare ka kb)
+            (List.map (fun (_, k, v) -> (k, v)) entries)
+        in
         (* A version-3 file with no distbound lines normalizes to "ran,
-           proved nothing" and will round-trip as version 2. *)
+           proved nothing" and will round-trip as version 2; likewise a
+           version-4 file with no legality lines round-trips at the
+           highest version its content requires. *)
         if version >= 3 then
-          t.Profile.static_distbounds <-
-            Some
-              (List.sort
-                 (fun (ka, _) (kb, _) -> Profile.Key.compare ka kb)
-                 !distbounds);
+          t.Profile.static_distbounds <- Some (strip !distbounds);
+        if version >= 4 then t.Profile.static_legality <- Some (strip !legality);
         Ok t
       in
       let rec go = function
@@ -262,7 +324,36 @@ let read (prog : Vm.Program.t) text =
                       (kind_tag kind)
                   else begin
                     Hashtbl.add seen_distbound key ();
-                    distbounds := (key, d) :: !distbounds;
+                    distbounds := (ln, key, d) :: !distbounds;
+                    go rest
+                  end
+            | "legality" :: head :: tail :: kind :: tag :: [] ->
+                if version < 4 then
+                  err ln "legality line in a version-%d profile" version
+                else
+                  let* head_pc = int_of ln head in
+                  let* tail_pc = int_of ln tail in
+                  let* kind =
+                    Result.map_error
+                      (Printf.sprintf "line %d: %s" ln)
+                      (kind_of_tag kind)
+                  in
+                  let* () =
+                    if head_pc >= 0 && tail_pc >= 0 then Ok ()
+                    else err ln "negative pc in legality line"
+                  in
+                  let* v =
+                    match Static.Legality.verdict_of_string tag with
+                    | Some v -> Ok v
+                    | None -> err ln "unknown legality verdict %S" tag
+                  in
+                  let key = Profile.Key.pack ~head_pc ~tail_pc kind in
+                  if Hashtbl.mem seen_legality key then
+                    err ln "duplicate legality %d %d %s" head_pc tail_pc
+                      (kind_tag kind)
+                  else begin
+                    Hashtbl.add seen_legality key ();
+                    legality := (ln, key, v) :: !legality;
                     go rest
                   end
             | "construct" :: cid :: ttotal :: instances :: [] ->

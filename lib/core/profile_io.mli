@@ -37,9 +37,22 @@
     when a [distbound] line would follow, and a version-3 file with no
     [distbound] lines normalizes back to version 2 on round-trip.
 
-    The reader accepts all three versions and rejects lines newer than
+    Version 4 adds transform-legality verdicts
+    ({!Profile.t.static_legality}) as key-sorted [legality] lines after
+    the distbounds:
+    {v
+    legality <head_pc> <tail_pc> <RAW|WAR|WAW> <priv|red|serial>
+    v}
+    under the same rule: a profile with no legality verdicts serializes
+    to byte-exact version-3 (or lower) output, and a version-4 file with
+    no [legality] lines normalizes down on round-trip.
+
+    The reader accepts all four versions and rejects lines newer than
     the declared version (e.g. [distbound] in a version-2 body), with
-    1-based line numbers on every error. *)
+    1-based line numbers on every error. [distbound] and [legality]
+    lines must reference edges the profile's [edge] section records —
+    a line naming an unrecorded edge is rejected with its line number
+    (stored [verdict] lines are exempt; the sanitizer diagnoses those). *)
 
 val fingerprint : Vm.Program.t -> string
 (** A stable hash of the code array (hex). *)

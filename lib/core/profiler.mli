@@ -69,6 +69,7 @@ val run :
   ?facts:facts ->
   ?trace_locals:bool ->
   ?static_prune:bool ->
+  ?legality:bool ->
   Vm.Program.t ->
   result
 (** Profiles one execution.
@@ -110,6 +111,12 @@ val run :
     resulting profile is byte-identical either way (enforced by
     [alchemist check] and test_static); only the hook-call cost and the
     [shadow.*] telemetry volume change.
+    [legality] (default [true]) controls whether the transform-legality
+    classification ({!Static.Legality}) is stored per recorded edge in
+    [profile.static_legality]; with [false] the profile carries no
+    legality block and serializes as a version-3 file whose bytes are
+    exactly the version-4 output minus its [legality] lines (the CI
+    gate enforces this).
     @raise Vm.Machine.Trap as {!Vm.Machine.run}. *)
 
 val run_trace :
@@ -132,6 +139,7 @@ val run_source :
   ?obs:Obs.Registry.t ->
   ?trace_locals:bool ->
   ?static_prune:bool ->
+  ?legality:bool ->
   string ->
   result
 (** Convenience: compile a Mini-C source and profile it. *)

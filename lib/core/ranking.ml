@@ -8,6 +8,10 @@ type entry = {
   violations : Violation.summary;
   static_indep : bool;
   dist_bounded : bool;
+  legality_known : bool;
+  priv_edges : int;
+  red_edges : int;
+  blocking_edges : int;
 }
 
 let entry_of (t : Profile.t) dep (c : Vm.Program.construct_info) =
@@ -32,6 +36,31 @@ let entry_of (t : Profile.t) dep (c : Vm.Program.construct_info) =
               t.Profile.static_distbounds)
       (Profile.edges_sorted p)
   in
+  (* Partition the construct's recorded edges by transform legality:
+     proven removable by privatization, by reduction rewrite, or
+     blocking (everything else — serializing edges and unclassified RAW
+     dataflow). Live analysis when available, else a version-4
+     profile's stored verdicts. *)
+  let legality_of (k : Profile.edge_key) =
+    match dep with
+    | Some d ->
+        Static.Legality.classify (Static.Depend.legality d) ~kind:k.kind
+          ~head_pc:k.head_pc ~tail_pc:k.tail_pc
+    | None ->
+        Option.bind t.Profile.static_legality
+          (List.assoc_opt
+             (Profile.Key.pack ~head_pc:k.head_pc ~tail_pc:k.tail_pc k.kind))
+  in
+  let legality_known = dep <> None || t.Profile.static_legality <> None in
+  let priv_edges = ref 0 and red_edges = ref 0 and blocking_edges = ref 0 in
+  if legality_known then
+    List.iter
+      (fun (k, _) ->
+        match legality_of k with
+        | Some Static.Legality.Privatizable -> incr priv_edges
+        | Some Static.Legality.Reduction -> incr red_edges
+        | Some Static.Legality.Serializing | None -> incr blocking_edges)
+      (Profile.edges_sorted p);
   {
     cid = c.cid;
     name = Format.asprintf "%a" Vm.Program.pp_construct c;
@@ -45,6 +74,10 @@ let entry_of (t : Profile.t) dep (c : Vm.Program.construct_info) =
       | Some d -> Static.Depend.construct_proven_independent d ~cid:c.cid
       | None -> false);
     dist_bounded;
+    legality_known;
+    priv_edges = !priv_edges;
+    red_edges = !red_edges;
+    blocking_edges = !blocking_edges;
   }
 
 let rank ?dep ?(min_instructions = 1) (t : Profile.t) =
@@ -104,10 +137,15 @@ let remove_with_singletons (t : Profile.t) entries ~cid =
 
 let pp_entry ppf e =
   Format.fprintf ppf
-    "%s Tdur=%d, inst=%d (RAW viol %d/%d, WAW %d/%d, WAR %d/%d)%s%s" e.name
+    "%s Tdur=%d, inst=%d (RAW viol %d/%d, WAW %d/%d, WAR %d/%d)%s%s%s%s%s"
+    e.name
     e.ttotal e.instances e.violations.Violation.raw_violating
     e.violations.Violation.raw_total e.violations.Violation.waw_violating
     e.violations.Violation.waw_total e.violations.Violation.war_violating
     e.violations.Violation.war_total
     (if e.static_indep then " [statically independent]" else "")
     (if e.dist_bounded then " [distance-bounded]" else "")
+    (if e.priv_edges > 0 then " [priv]" else "")
+    (if e.red_edges > 0 then " [red]" else "")
+    (if e.legality_known then Printf.sprintf " blocking=%d" e.blocking_edges
+     else "")

@@ -24,6 +24,20 @@ type entry = {
           or a bound stored in a version-3 profile) — the dependence is
           real but provably far apart, the paper's "distance at least
           [d]" evidence for pipelined or strip-mined parallelism *)
+  legality_known : bool;
+      (** the edge partition below is meaningful: a live analysis was
+          available, or the profile stored version-4 legality verdicts
+          (otherwise all three counts are 0) *)
+  priv_edges : int;
+      (** recorded edges proven removable by privatizing their cell
+          ({!Static.Legality.Privatizable}) *)
+  red_edges : int;
+      (** recorded edges proven removable by a reduction rewrite
+          ({!Static.Legality.Reduction}) *)
+  blocking_edges : int;
+      (** recorded edges no proven transform removes: serializing
+          verdicts plus unclassified RAW dataflow — what actually
+          stands between this construct and a parallel schedule *)
 }
 
 val rank : ?dep:Static.Depend.t -> ?min_instructions:int -> Profile.t -> entry list

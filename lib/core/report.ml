@@ -44,9 +44,24 @@ let distbound_of_key (t : Profile.t) =
         Hashtbl.find_opt tbl
           (Profile.Key.pack ~head_pc:k.head_pc ~tail_pc:k.tail_pc k.kind)
 
+(* The transform-legality column (version-4 profiles): [priv] marks an
+   edge a privatization removes, [red] one a reduction rewrite removes,
+   [serial] one that genuinely orders iterations — the reader's answer
+   to "so what do I do about this edge?". *)
+let legality_of_key (t : Profile.t) =
+  match t.Profile.static_legality with
+  | None -> fun _ -> None
+  | Some l ->
+      let tbl = Hashtbl.create (max 1 (List.length l)) in
+      List.iter (fun (key, v) -> Hashtbl.replace tbl key v) l;
+      fun (k : Profile.edge_key) ->
+        Hashtbl.find_opt tbl
+          (Profile.Key.pack ~head_pc:k.head_pc ~tail_pc:k.tail_pc k.kind)
+
 let render_edges buf (t : Profile.t) p ~max_edges ~kinds =
   let verdict_of = verdict_of_key t in
   let distbound_of = distbound_of_key t in
+  let legality_of = legality_of_key t in
   let edges =
     Profile.edges_sorted p
     |> List.filter (fun ((k : Profile.edge_key), _) -> List.mem k.kind kinds)
@@ -55,7 +70,7 @@ let render_edges buf (t : Profile.t) p ~max_edges ~kinds =
   List.iter
     (fun ((k : Profile.edge_key), (s : Profile.edge_stats)) ->
       Buffer.add_string buf
-        (Printf.sprintf "     %s: line %d -> line %d  Tdep=%d%s%s%s%s\n"
+        (Printf.sprintf "     %s: line %d -> line %d  Tdep=%d%s%s%s%s%s\n"
            (Shadow.Dependence.kind_to_string k.kind)
            (line_of_pc t k.head_pc) (line_of_pc t k.tail_pc) s.min_tdep
            (if Violation.is_violating p s then "  *" else "")
@@ -66,7 +81,11 @@ let render_edges buf (t : Profile.t) p ~max_edges ~kinds =
                Printf.sprintf "  [%s]" (Static.Depend.verdict_to_string v))
            (match distbound_of k with
            | None -> ""
-           | Some d -> Printf.sprintf "  [dist>=%d]" d)))
+           | Some d -> Printf.sprintf "  [dist>=%d]" d)
+           (match legality_of k with
+           | None -> ""
+           | Some v ->
+               Printf.sprintf "  [%s]" (Static.Legality.verdict_to_string v))))
     shown;
   let hidden = List.length edges - List.length shown in
   if hidden > 0 then

@@ -1,6 +1,40 @@
-type issue = { cid : int; key : Profile.edge_key; reason : string }
+type category =
+  | Impossible_edge
+  | Distance_violation
+  | Frame_misattribution
+  | Verdict_mismatch
+  | Distbound_mismatch
+  | Legality_mismatch
+  | Legality_violation
 
-let pp_issue ppf { cid; key; reason } =
+let category_to_string = function
+  | Impossible_edge -> "impossible-edge"
+  | Distance_violation -> "distance-violation"
+  | Frame_misattribution -> "frame-misattribution"
+  | Verdict_mismatch -> "verdict-mismatch"
+  | Distbound_mismatch -> "distbound-mismatch"
+  | Legality_mismatch -> "legality-mismatch"
+  | Legality_violation -> "legality-violation"
+
+let all_categories =
+  [
+    Impossible_edge;
+    Distance_violation;
+    Frame_misattribution;
+    Verdict_mismatch;
+    Distbound_mismatch;
+    Legality_mismatch;
+    Legality_violation;
+  ]
+
+type issue = {
+  cid : int;
+  key : Profile.edge_key;
+  category : category;
+  reason : string;
+}
+
+let pp_issue ppf { cid; key; reason; _ } =
   Format.fprintf ppf "construct %d: %d -> %d %s: %s" cid key.Profile.head_pc
     key.Profile.tail_pc
     (match key.Profile.kind with
@@ -12,8 +46,11 @@ let pp_issue ppf { cid; key; reason } =
 let check ?dep (profile : Profile.t) =
   let prog = profile.Profile.prog in
   let dep = match dep with Some d -> d | None -> Static.Depend.analyze prog in
+  let legality = Static.Depend.legality dep in
   let issues = ref [] in
-  let add cid key reason = issues := { cid; key; reason } :: !issues in
+  let add cid key category reason =
+    issues := { cid; key; category; reason } :: !issues
+  in
   (* Recorded edges vs the analysis. *)
   Array.iter
     (fun (cp : Profile.construct_profile) ->
@@ -23,7 +60,7 @@ let check ?dep (profile : Profile.t) =
                ~tail_pc:k.tail_pc
            with
           | Static.Depend.Must_independent ->
-              add cp.Profile.cid k
+              add cp.Profile.cid k Impossible_edge
                 (Printf.sprintf "statically impossible edge: %s"
                    (Static.Depend.explain dep ~kind:k.kind ~head_pc:k.head_pc
                       ~tail_pc:k.tail_pc))
@@ -36,7 +73,7 @@ let check ?dep (profile : Profile.t) =
                ~tail_pc:k.tail_pc
            with
           | Some d when s.Profile.min_tdep < d ->
-              add cp.Profile.cid k
+              add cp.Profile.cid k Distance_violation
                 (Printf.sprintf
                    "observed min Tdep %d below the proven static lower bound \
                     of %d iterations"
@@ -54,13 +91,13 @@ let check ?dep (profile : Profile.t) =
                  can never legitimately receive such an edge. *)
               let c = prog.Vm.Program.constructs.(cp.Profile.cid) in
               if c.Vm.Program.fid <> fid then
-                add cp.Profile.cid k
+                add cp.Profile.cid k Frame_misattribution
                   (Printf.sprintf
                      "own-frame edge of function %d attributed to a construct \
                       of function %d"
                      fid c.Vm.Program.fid)
               else if c.Vm.Program.kind = Vm.Program.CProc then
-                add cp.Profile.cid k
+                add cp.Profile.cid k Frame_misattribution
                   "own-frame edge attributed to the enclosing procedure \
                    construct (its activation cannot have completed)"))
     profile.Profile.by_cid;
@@ -78,14 +115,16 @@ let check ?dep (profile : Profile.t) =
               if not (Hashtbl.mem recorded key) then begin
                 Hashtbl.add recorded key ();
                 match Hashtbl.find_opt tbl key with
-                | None -> add (-1) k "recorded edge has no stored verdict"
+                | None ->
+                    add (-1) k Verdict_mismatch
+                      "recorded edge has no stored verdict"
                 | Some v ->
                     let v' =
                       Static.Depend.verdict dep ~kind:k.kind ~head_pc:k.head_pc
                         ~tail_pc:k.tail_pc
                     in
                     if v <> v' then
-                      add (-1) k
+                      add (-1) k Verdict_mismatch
                         (Printf.sprintf
                            "stored verdict %s disagrees with analysis %s"
                            (Static.Depend.verdict_to_string v)
@@ -95,7 +134,7 @@ let check ?dep (profile : Profile.t) =
       List.iter
         (fun (key, _) ->
           if not (Hashtbl.mem recorded key) then
-            add (-1) (Profile.Key.unpack key)
+            add (-1) (Profile.Key.unpack key) Verdict_mismatch
               "stored verdict for an edge the profile does not record")
         stored);
   (* Stored distance bounds vs recomputed ones and observed minima. *)
@@ -120,17 +159,17 @@ let check ?dep (profile : Profile.t) =
                 in
                 (match (stored_d, fresh_d) with
                 | Some d, Some d' when d <> d' ->
-                    add (-1) k
+                    add (-1) k Distbound_mismatch
                       (Printf.sprintf
                          "stored distance bound %d disagrees with analysis %d"
                          d d')
                 | Some d, None ->
-                    add (-1) k
+                    add (-1) k Distbound_mismatch
                       (Printf.sprintf
                          "stored distance bound %d the analysis cannot prove"
                          d)
                 | None, Some d' ->
-                    add (-1) k
+                    add (-1) k Distbound_mismatch
                       (Printf.sprintf
                          "recorded edge is missing its stored distance bound \
                           (analysis proves %d)"
@@ -138,7 +177,7 @@ let check ?dep (profile : Profile.t) =
                 | _ -> ());
                 match stored_d with
                 | Some d when s.Profile.min_tdep < d ->
-                    add (-1) k
+                    add (-1) k Distance_violation
                       (Printf.sprintf
                          "stored distance bound %d contradicts the observed \
                           min Tdep %d"
@@ -149,17 +188,103 @@ let check ?dep (profile : Profile.t) =
       List.iter
         (fun (key, _) ->
           if not (Hashtbl.mem recorded key) then
-            add (-1) (Profile.Key.unpack key)
+            add (-1) (Profile.Key.unpack key) Distbound_mismatch
               "stored distance bound for an edge the profile does not record")
+        stored);
+  (* Stored legality verdicts vs recomputed ones, plus the dynamic
+     cross-check: a [Privatizable] claim means every in-loop read of the
+     cell sees a same-iteration in-loop write — so a recorded RAW edge
+     on that cell whose tail sits inside the proof's loop span while its
+     head sits outside is an observed read-before-write iteration (the
+     read saw a pre-loop writer), refuting the claim with dynamic
+     evidence regardless of what the analysis recomputes. *)
+  (match profile.Profile.static_legality with
+  | None -> ()
+  | Some stored ->
+      let tbl = Hashtbl.create 16 in
+      List.iter (fun (key, v) -> Hashtbl.replace tbl key v) stored;
+      let recorded = Hashtbl.create 64 in
+      Array.iter
+        (fun (cp : Profile.construct_profile) ->
+          Profile.iter_edges cp (fun (k : Profile.edge_key) _ ->
+              let key =
+                Profile.Key.pack ~head_pc:k.head_pc ~tail_pc:k.tail_pc k.kind
+              in
+              if not (Hashtbl.mem recorded key) then begin
+                Hashtbl.add recorded key ();
+                let stored_v = Hashtbl.find_opt tbl key in
+                let fresh_v =
+                  Static.Legality.classify legality ~kind:k.kind
+                    ~head_pc:k.head_pc ~tail_pc:k.tail_pc
+                in
+                match (stored_v, fresh_v) with
+                | Some v, Some v' when v <> v' ->
+                    add (-1) k Legality_mismatch
+                      (Printf.sprintf
+                         "stored legality %s disagrees with analysis %s"
+                         (Static.Legality.verdict_to_string v)
+                         (Static.Legality.verdict_to_string v'))
+                | Some v, None ->
+                    add (-1) k Legality_mismatch
+                      (Printf.sprintf
+                         "stored legality %s for an edge the analysis does \
+                          not classify"
+                         (Static.Legality.verdict_to_string v))
+                | None, Some v' ->
+                    add (-1) k Legality_mismatch
+                      (Printf.sprintf
+                         "recorded edge is missing its stored legality \
+                          verdict (analysis says %s)"
+                         (Static.Legality.verdict_to_string v'))
+                | Some _, Some _ | None, None -> ()
+              end))
+        profile.Profile.by_cid;
+      List.iter
+        (fun (key, v) ->
+          let k = Profile.Key.unpack key in
+          if not (Hashtbl.mem recorded key) then
+            add (-1) k Legality_mismatch
+              "stored legality verdict for an edge the profile does not record"
+          else if v = Static.Legality.Privatizable then
+            match
+              Static.Legality.proof legality ~kind:k.Profile.kind
+                ~head_pc:k.Profile.head_pc ~tail_pc:k.Profile.tail_pc
+            with
+            | Some
+                { Static.Legality.cell = Some cell; span = Some (lo, hi); _ }
+              ->
+                Array.iter
+                  (fun (cp : Profile.construct_profile) ->
+                    Profile.iter_edges cp (fun (e : Profile.edge_key) s ->
+                        if
+                          e.Profile.kind = Shadow.Dependence.Raw
+                          && e.Profile.tail_pc >= lo
+                          && e.Profile.tail_pc <= hi
+                          && (e.Profile.head_pc < lo || e.Profile.head_pc > hi)
+                          && List.mem cell s.Profile.addrs
+                        then
+                          add cp.Profile.cid e Legality_violation
+                            (Printf.sprintf
+                               "observed read-before-write iteration refutes \
+                                the stored Privatizable verdict for cell %d \
+                                (in-loop read at pc %d saw a writer at pc %d \
+                                outside the loop)"
+                               cell e.Profile.tail_pc e.Profile.head_pc)))
+                  profile.Profile.by_cid
+            | _ -> ())
         stored);
   List.sort
     (fun a b ->
       match compare a.cid b.cid with
-      | 0 ->
-          Profile.Key.compare
-            (Profile.Key.pack ~head_pc:a.key.Profile.head_pc
-               ~tail_pc:a.key.Profile.tail_pc a.key.Profile.kind)
-            (Profile.Key.pack ~head_pc:b.key.Profile.head_pc
-               ~tail_pc:b.key.Profile.tail_pc b.key.Profile.kind)
+      | 0 -> (
+          match
+            Profile.Key.compare
+              (Profile.Key.pack ~head_pc:a.key.Profile.head_pc
+                 ~tail_pc:a.key.Profile.tail_pc a.key.Profile.kind)
+              (Profile.Key.pack ~head_pc:b.key.Profile.head_pc
+                 ~tail_pc:b.key.Profile.tail_pc b.key.Profile.kind)
+          with
+          | 0 -> compare a.category b.category
+          | c -> c)
       | c -> c)
     !issues

@@ -12,18 +12,42 @@
 
     [alchemist check] runs this over every registry workload in CI. *)
 
+(** What kind of discrepancy an issue reports — the unit of the
+    [check --json] violation counts. *)
+type category =
+  | Impossible_edge  (** recorded edge classified [Must_independent] *)
+  | Distance_violation
+      (** observed [min_tdep] below a proven (or stored) static distance
+          bound *)
+  | Frame_misattribution  (** own-frame edge attributed outside its activation *)
+  | Verdict_mismatch  (** stored verdict coverage or agreement failure *)
+  | Distbound_mismatch
+      (** stored distance-bound coverage or agreement failure *)
+  | Legality_mismatch
+      (** stored legality-verdict coverage or agreement failure *)
+  | Legality_violation
+      (** a stored [Privatizable] verdict refuted by the observed edge
+          pattern (a read-before-write iteration) *)
+
+val category_to_string : category -> string
+(** Kebab-case tag, e.g. ["impossible-edge"] — the [check --json] keys. *)
+
+val all_categories : category list
+(** Every category, in declaration order (for exhaustive JSON counts). *)
+
 type issue = {
   cid : int;  (** construct the offending edge is recorded under; [-1]
                   for issues about the stored verdict list itself *)
   key : Profile.edge_key;
+  category : category;
   reason : string;
 }
 
 val check : ?dep:Static.Depend.t -> Profile.t -> issue list
 (** All discrepancies, deterministically ordered (by cid, then packed
-    key). Empty = the profile is consistent with the static analysis.
-    [dep] shares an existing analysis of the same program; omitted, it
-    is recomputed from [profile.prog]. Checks:
+    key, then category). Empty = the profile is consistent with the
+    static analysis. [dep] shares an existing analysis of the same
+    program; omitted, it is recomputed from [profile.prog]. Checks:
 
     - no recorded edge is classified {!Static.Depend.Must_independent};
     - an edge whose endpoints both provably address the current
@@ -39,6 +63,14 @@ val check : ?dep:Static.Depend.t -> Profile.t -> issue list
     - when the profile carries stored distance bounds, they cover
       exactly the edges the analysis can bound, agree with the
       recomputed bound, and none contradicts its edge's observed
-      [min_tdep]. *)
+      [min_tdep];
+    - when the profile carries stored legality verdicts, they cover
+      exactly the edges the analysis classifies and agree with the
+      recomputed verdicts ({!Static.Legality.classify});
+    - a stored [Privatizable] verdict is cross-checked against the
+      {e dynamic} record: a recorded RAW edge on the proof's cell whose
+      tail lies inside the proof's loop span while its head lies outside
+      is an observed read-before-write iteration — a hard failure
+      independent of what the analysis recomputes. *)
 
 val pp_issue : Format.formatter -> issue -> unit

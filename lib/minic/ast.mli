@@ -85,3 +85,6 @@ val param_name : param -> string
 
 val pp_unop : Format.formatter -> unop -> unit
 val pp_binop : Format.formatter -> binop -> unit
+
+val binop_to_string : binop -> string
+(** Source spelling, e.g. ["+"], ["^"]. *)

@@ -203,6 +203,113 @@ let rec stmt_has_call (s : Ast.stmt) =
   | Ast.ExprStmt e | Ast.Print e -> expr_has_call e
   | Ast.Block body -> List.exists stmt_has_call body
 
+(* --- reduction-escape lint -------------------------------------------
+
+   A statement of shape [x = x op e] / [x op= e] with an associative-
+   commutative [op] inside a loop is a reduction: the transform-legality
+   engine can rewrite it as per-thread partials combined at the join.
+   That proof requires the accumulator's cell be touched {e only} by the
+   accumulate itself — passing [x] to a call inside the same loop hands
+   the callee a way to read a partial sum (or clobber it), so the
+   rewrite is off the table. The lint flags exactly that shape: the
+   programmer wrote a reduction, then leaked the accumulator. *)
+
+let assoc_commutative_op = function
+  | Ast.Add | Ast.Mul | Ast.BitAnd | Ast.BitOr | Ast.BitXor -> true
+  | _ -> false
+
+let rec expr_mentions x (e : Ast.expr) =
+  match e.edesc with
+  | Ast.Var y -> y = x
+  | Ast.IntLit _ -> false
+  | Ast.Index (a, i) -> a = x || expr_mentions x i
+  | Ast.Unop (_, a) -> expr_mentions x a
+  | Ast.Binop (_, a, b) -> expr_mentions x a || expr_mentions x b
+  | Ast.Call (_, args) -> List.exists (expr_mentions x) args
+
+(* [Some (x, op)] for [x op= e] and [x = x op e] / [x = e op x] where
+   [op] is associative-commutative and [e] does not mention [x] (a
+   second read of the accumulator is not a reduction). *)
+let reduction_shape (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.OpAssign (op, Ast.LVar (x, _), e)
+    when assoc_commutative_op op && not (expr_mentions x e) ->
+      Some (x, op)
+  | Ast.Assign (Ast.LVar (x, _), { edesc = Ast.Binop (op, a, b); _ })
+    when assoc_commutative_op op -> (
+      match (a.Ast.edesc, b.Ast.edesc) with
+      | Ast.Var y, _ when y = x && not (expr_mentions x b) -> Some (x, op)
+      | _, Ast.Var y when y = x && not (expr_mentions x a) -> Some (x, op)
+      | _ -> None)
+  | _ -> None
+
+(* Reduction-shaped accumulates in the loop's {e direct} region — a
+   nested loop runs its own scan, so stopping at it avoids duplicate
+   warnings while its calls still count as escapes for this loop. *)
+let rec direct_accums (s : Ast.stmt) acc =
+  match s.sdesc with
+  | Ast.While _ | Ast.DoWhile _ | Ast.For _ -> acc
+  | Ast.If (_, t, f) ->
+      direct_accums t
+        (match f with Some f -> direct_accums f acc | None -> acc)
+  | Ast.Block body -> List.fold_left (fun acc s -> direct_accums s acc) acc body
+  | _ -> (
+      match reduction_shape s with
+      | Some (x, op) -> (x, op, s.sloc) :: acc
+      | None -> acc)
+
+(* Callees receiving [x] as a bare argument (the by-reference escape the
+   usage lint also assumes conservatively). *)
+let rec calls_passing x (e : Ast.expr) acc =
+  match e.edesc with
+  | Ast.IntLit _ | Ast.Var _ -> acc
+  | Ast.Index (_, i) | Ast.Unop (_, i) -> calls_passing x i acc
+  | Ast.Binop (_, a, b) -> calls_passing x a (calls_passing x b acc)
+  | Ast.Call (f, args) ->
+      let acc =
+        if
+          List.exists
+            (fun (a : Ast.expr) ->
+              match a.Ast.edesc with Ast.Var y -> y = x | _ -> false)
+            args
+        then f :: acc
+        else acc
+      in
+      List.fold_left (fun acc a -> calls_passing x a acc) acc args
+
+let rec stmt_calls_passing x (s : Ast.stmt) acc =
+  match s.sdesc with
+  | Ast.DeclScalar (_, init) ->
+      Option.fold ~none:acc ~some:(fun e -> calls_passing x e acc) init
+  | Ast.DeclArray _ | Ast.Break | Ast.Continue -> acc
+  | Ast.Assign (lv, e) | Ast.OpAssign (_, lv, e) ->
+      let acc = calls_passing x e acc in
+      (match lv with
+      | Ast.LVar _ -> acc
+      | Ast.LIndex (_, i, _) -> calls_passing x i acc)
+  | Ast.If (c, t, f) ->
+      let acc = calls_passing x c acc in
+      let acc = stmt_calls_passing x t acc in
+      Option.fold ~none:acc ~some:(fun f -> stmt_calls_passing x f acc) f
+  | Ast.While (c, b) | Ast.DoWhile (b, c) ->
+      stmt_calls_passing x b (calls_passing x c acc)
+  | Ast.For (init, cond, update, b) ->
+      let acc =
+        Option.fold ~none:acc ~some:(fun s -> stmt_calls_passing x s acc) init
+      in
+      let acc =
+        Option.fold ~none:acc ~some:(fun e -> calls_passing x e acc) cond
+      in
+      let acc =
+        Option.fold ~none:acc ~some:(fun s -> stmt_calls_passing x s acc) update
+      in
+      stmt_calls_passing x b acc
+  | Ast.Return e ->
+      Option.fold ~none:acc ~some:(fun e -> calls_passing x e acc) e
+  | Ast.ExprStmt e | Ast.Print e -> calls_passing x e acc
+  | Ast.Block body ->
+      List.fold_left (fun acc s -> stmt_calls_passing x s acc) acc body
+
 (* The innermost loop an expression sits in, as seen by the walk. *)
 type loop_ctx = {
   assigned : string list;  (** scalar names written per iteration *)
@@ -281,6 +388,37 @@ let loop_lints (p : Ast.program) =
       has_call = List.exists (fun b -> b) parts_call;
     }
   in
+  (* One loop's reduction-escape scan: [stmts] are the loop's direct
+     statements (body, plus a [for]'s update), [cond_exprs] its
+     condition. *)
+  let check_reduction_escape cond_exprs stmts =
+    let accums =
+      List.rev (List.fold_left (fun acc s -> direct_accums s acc) [] stmts)
+      (* a variable the loop condition reads drives the trip count — an
+         induction/control variable ([i++] under [i < n]), never a
+         reduction accumulator *)
+      |> List.filter (fun (x, _, _) ->
+             not (List.exists (expr_mentions x) cond_exprs))
+    in
+    List.iter
+      (fun (x, op, loc) ->
+        let callees =
+          List.fold_left (fun acc s -> stmt_calls_passing x s acc) [] stmts
+        in
+        let callees =
+          List.fold_left (fun acc e -> calls_passing x e acc) callees cond_exprs
+        in
+        match List.sort_uniq compare callees with
+        | [] -> ()
+        | f :: _ ->
+            warn loc
+              "reduction-shaped accumulator '%s' ('%s' shape) escapes via \
+               call to '%s' (blocks the per-thread reduction rewrite)"
+              x
+              (Ast.binop_to_string op)
+              f)
+      accums
+  in
   let rec check_stmt ctx (s : Ast.stmt) =
     match s.sdesc with
     | Ast.DeclScalar (_, init) -> Option.iter (check_expr ctx) init
@@ -298,14 +436,16 @@ let loop_lints (p : Ast.program) =
           enter_loop [ assigned_names b [] ] [ expr_has_call c; stmt_has_call b ]
         in
         check_expr (Some inner) c;
-        check_stmt (Some inner) b
+        check_stmt (Some inner) b;
+        check_reduction_escape [ c ] [ b ]
     | Ast.DoWhile (b, c) ->
         check_cond c;
         let inner =
           enter_loop [ assigned_names b [] ] [ expr_has_call c; stmt_has_call b ]
         in
         check_stmt (Some inner) b;
-        check_expr (Some inner) c
+        check_expr (Some inner) c;
+        check_reduction_escape [ c ] [ b ]
     | Ast.For (init, cond, update, b) ->
         (* [init] runs once: it is checked against the {e enclosing}
            context, and its assignments do not make a variable
@@ -327,7 +467,10 @@ let loop_lints (p : Ast.program) =
         in
         Option.iter (check_expr (Some inner)) cond;
         check_stmt (Some inner) b;
-        Option.iter (check_stmt (Some inner)) update
+        Option.iter (check_stmt (Some inner)) update;
+        check_reduction_escape
+          (Option.to_list cond)
+          (b :: Option.to_list update)
     | Ast.Return e -> Option.iter (check_expr ctx) e
     | Ast.ExprStmt e | Ast.Print e -> check_expr ctx e
     | Ast.Block body -> List.iter (check_stmt ctx) body

@@ -20,7 +20,16 @@
       condition mentioning no variable, array cell or call has one
       compile-time value — the loop is an [if] or an infinite loop in
       disguise. A [for] with no condition is the idiomatic infinite
-      loop and never warns. *)
+      loop and never warns.
+    - {e reduction accumulator escapes}: a loop statement of shape
+      [x op= e] or [x = x op e] with an associative-commutative [op]
+      ([+], [*], [&], [|], [^]) is a reduction the transform-legality
+      engine could rewrite as per-thread partials — unless the same
+      loop also passes [x] bare to a call, handing the callee a view of
+      a partial sum. The warning fires on exactly that pair; a
+      non-associative op ([-], [/], shifts), a second read of [x] in
+      [e], a call-free loop, or an accumulator the loop condition reads
+      (an induction variable, not a reduction) never warns. *)
 
 val program : Ast.program -> Diag.warning list
 (** All warnings, ordered by source location (then message) — the order

@@ -12,9 +12,14 @@ type report = {
 }
 
 let analyze ?fuel ?trace_locals ?(cores = 4) ?spawn_overhead ?join_overhead
-    ?(privatize = []) ?(reduce = []) (prog : Vm.Program.t) ~head_pc =
-  let privatized = Transform.privatize_globals prog privatize in
-  let reductions = Transform.privatize_globals prog reduce in
+    ?(privatize = []) ?(reduce = []) ?legality (prog : Vm.Program.t) ~head_pc =
+  let proven_priv, proven_red =
+    match legality with
+    | None -> ([], [])
+    | Some l -> Transform.legality_ranges l ~head_pc
+  in
+  let privatized = Transform.privatize_globals prog privatize @ proven_priv in
+  let reductions = Transform.privatize_globals prog reduce @ proven_red in
   let g =
     Task_graph.collect ?fuel ?trace_locals ~privatized ~reductions prog ~head_pc
   in

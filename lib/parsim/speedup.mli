@@ -25,12 +25,17 @@ val analyze :
   ?join_overhead:int ->
   ?privatize:string list ->
   ?reduce:string list ->
+  ?legality:Static.Legality.t ->
   Vm.Program.t ->
   head_pc:int ->
   report
 (** [privatize] names globals given thread-local copies (drops WAR/WAW);
     [reduce] names associative accumulators rewritten as per-thread
-    partials (drops all dependence kinds on them). *)
+    partials (drops all dependence kinds on them). [legality] adds the
+    ranges the transform-legality engine {e proves} removable for the
+    loop at [head_pc] ({!Transform.legality_ranges}) — with no
+    hand-named lists, the simulation then drops exactly the
+    proven-removable edges and nothing else. *)
 
 val loop_head_at_line : Vm.Program.t -> int -> int
 (** pc of the loop construct headed at a source line.

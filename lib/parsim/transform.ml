@@ -9,3 +9,6 @@ let privatize_globals (prog : Vm.Program.t) names =
 
 let all_globals (prog : Vm.Program.t) =
   List.map (fun (n, _, _) -> n) prog.global_layout
+
+let legality_ranges legality ~head_pc =
+  Static.Legality.loop_transforms legality ~br_pc:head_pc

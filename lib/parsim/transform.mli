@@ -12,3 +12,12 @@ val privatize_globals : Vm.Program.t -> string list -> (int * int) list
 
 val all_globals : Vm.Program.t -> string list
 (** Names of all globals — "privatize everything" upper-bound ablation. *)
+
+val legality_ranges :
+  Static.Legality.t -> head_pc:int -> (int * int) list * (int * int) list
+(** [(privatizable, reductions)] address ranges the legality engine
+    {e proves} removable for the loop headed at [head_pc] (a [CLoop]
+    construct's head; empty for procedure heads) — the honest middle
+    ground between no transforms and the hand-named lists above:
+    simulated speedup drops only edges a static proof licenses
+    dropping. *)

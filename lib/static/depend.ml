@@ -14,6 +14,8 @@ let verdict_of_string = function
 type t = {
   prog : Vm.Program.t;
   pts : Points_to.t;
+  modref : Modref.t;
+  legality : Legality.t;
   dist : Distance.t;
   loop_depth : int array;
   fid_of_pc : int array;  (** -1 for the entry preamble *)
@@ -26,6 +28,8 @@ type t = {
 }
 
 let points t = t.pts
+let modref t = t.modref
+let legality t = t.legality
 let distance t = t.dist
 let degraded t = t.pts.Points_to.degraded
 let prune_mask t = t.prune
@@ -108,55 +112,6 @@ let called_once_tbl (prog : Vm.Program.t) fid_of_pc live loop_depth =
       sites
   done;
   once
-
-(* ---- transitive write effects (for must-reach kills) ------------------- *)
-
-type write_summary = { wregions : Points_to.region list; wcomplete : bool }
-
-let write_summaries (prog : Vm.Program.t) (pts : Points_to.t) =
-  let n = Array.length prog.funcs in
-  let summaries =
-    Array.make n { wregions = []; wcomplete = true }
-  in
-  let summary_of f =
-    let fn = prog.funcs.(f) in
-    let regions = ref [] and complete = ref true in
-    for pc = fn.entry to fn.code_end - 1 do
-      match Points_to.access pts pc with
-      | Some a when a.Points_to.is_write ->
-          if a.Points_to.complete then
-            regions := List.rev_append a.Points_to.regions !regions
-          else complete := false
-      | _ -> ()
-    done;
-    List.iter
-      (fun g ->
-        let s = summaries.(g) in
-        regions := List.rev_append s.wregions !regions;
-        if not s.wcomplete then complete := false)
-      (callees_in prog fn.entry (fn.code_end - 1));
-    { wregions = List.sort_uniq compare !regions; wcomplete = !complete }
-  in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for f = 0 to n - 1 do
-      let s = summary_of f in
-      if s <> summaries.(f) then begin
-        summaries.(f) <- s;
-        changed := true
-      end
-    done
-  done;
-  summaries
-
-let summary_may_write s (target : Points_to.access) =
-  (not s.wcomplete)
-  || (not target.Points_to.complete)
-  || List.exists
-       (fun r ->
-         List.exists (Points_to.may_overlap r) target.Points_to.regions)
-       s.wregions
 
 (* ---- cell-level refinement --------------------------------------------- *)
 
@@ -271,9 +226,10 @@ let analyze ?analysis ?(distance_promotion = true) (prog : Vm.Program.t) =
     compute_prune ~distance_promotion prog pts dist fid_of_pc live called_once
       loop_depth
   in
+  let modref = Modref.analyze prog pts in
+  let legality = Legality.analyze prog pts modref in
   let must_reach = Array.make (Array.length prog.funcs) None in
   if not pts.Points_to.degraded then begin
-    let summaries = write_summaries prog pts in
     Array.iter
       (fun (f : Vm.Program.func_info) ->
         if live.(f.fid) then begin
@@ -306,7 +262,7 @@ let analyze ?analysis ?(distance_promotion = true) (prog : Vm.Program.t) =
                         own_frame_direct = true;
                       }
                       target
-                | Vm.Instr.Call g -> summary_may_write summaries.(g) target
+                | Vm.Instr.Call g -> Modref.may_write modref g target
                 | _ -> false)
           in
           must_reach.(f.fid) <-
@@ -317,6 +273,8 @@ let analyze ?analysis ?(distance_promotion = true) (prog : Vm.Program.t) =
   {
     prog;
     pts;
+    modref;
+    legality;
     dist;
     loop_depth;
     fid_of_pc;

@@ -47,6 +47,15 @@ val analyze :
 
 val points : t -> Points_to.t
 
+val modref : t -> Modref.t
+(** Interprocedural mod/ref summaries computed during {!analyze} (they
+    also feed the must-reaching-definitions kill function at [Call]
+    sites). *)
+
+val legality : t -> Legality.t
+(** The transform-legality classifier built on the same {!Points_to}
+    and {!Modref} facts — see {!Legality.classify}. *)
+
 val distance : t -> Distance.t
 (** The dependence-distance engine built during {!analyze} (shares its
     [called_once] facts). *)

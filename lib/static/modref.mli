@@ -1,0 +1,62 @@
+(** Bottom-up interprocedural mod/ref summaries over the VM IR.
+
+    For every function: the regions its body {e or any transitive
+    callee} may write ([mod]) and may read ([ref]), each with a
+    completeness bit (an access whose address the points-to layer could
+    not bound poisons the corresponding set — a [false] bit means "may
+    touch anything"), plus which parameter slots can {e escape} — carry
+    a value (in particular an array reference) into memory or into a
+    callee that lets it escape.
+
+    Summaries are computed as a whole-program fixpoint over the call
+    graph (recursion converges because region sets only grow and are
+    deduplicated), reusing {!Points_to} facts for the per-pc region
+    sets. They answer the call-site questions the rest of the static
+    stack needs:
+
+    - {!Depend}'s must-reaching-definitions kill function ("can this
+      [Call] clobber the tracked cell?");
+    - {!Privatize}'s transform proofs ("does any callee executed from
+      this loop touch the candidate cell at all?") — privatizing or
+      reducing a location rewrites only the loop body's direct
+      accesses, so a callee that may read {e or} write it vetoes the
+      transform. *)
+
+type summary = {
+  mod_regions : Points_to.region list;
+      (** regions the function or its callees may write (sorted,
+          deduplicated); exhaustive iff [mod_complete] *)
+  mod_complete : bool;
+  ref_regions : Points_to.region list;
+      (** regions the function or its callees may read; exhaustive iff
+          [ref_complete] *)
+  ref_complete : bool;
+  escaping_params : bool array;
+      (** by parameter slot: the incoming value may be stored into
+          memory or passed onward to an escape site (computed over a
+          per-block abstract operand stack; any join or untracked flow
+          is conservatively an escape) *)
+}
+
+type t
+
+val analyze : Vm.Program.t -> Points_to.t -> t
+(** Whole-program fixpoint; degraded points-to yields all-incomplete
+    summaries (every query answers "may"). *)
+
+val summary : t -> int -> summary
+(** By function id. *)
+
+val may_write : t -> int -> Points_to.access -> bool
+(** Can calling the function write something aliasing the target
+    access? [true] whenever either side is incomplete. *)
+
+val may_read : t -> int -> Points_to.access -> bool
+
+val may_write_cell : t -> int -> addr:int -> bool
+(** Can calling the function write the single global cell at [addr]? *)
+
+val may_read_cell : t -> int -> addr:int -> bool
+
+val touches_cell : t -> int -> addr:int -> bool
+(** {!may_read_cell} or {!may_write_cell}. *)

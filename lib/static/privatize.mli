@@ -1,0 +1,69 @@
+(** Per-loop transform proofs: may a global cell be privatized, or
+    folded as a reduction, for one natural loop?
+
+    Both proofs share a precondition: {e every} access to the cell from
+    inside the loop must be a direct [LoadGlobal]/[StoreGlobal] of the
+    loop's own function — the transforms rewrite exactly those
+    instructions, so an indexed access that may alias the cell, or a
+    callee that may touch it (per {!Modref}), refutes the proof.
+
+    - {!prove_privatizable}: the cell is definitely written before any
+      read on every intra-iteration path (a must-written forward
+      dataflow over the loop's blocks, started empty at the header),
+      and definitely written by the time every back edge is taken — so
+      no value ever carries from one iteration to the next and
+      last-value copy-out is well-defined. Conditional writes refute
+      the back-edge check; reads in the loop predicate refute the
+      header check.
+    - {!prove_reduction}: the loop contains exactly one store and one
+      read of the cell, in one straight-line span, and a symbolic walk
+      of that span shows the stored value is the loaded value folded
+      with loop-independent operands under a single associative,
+      commutative operator ([+], [*], [&], [|], [^] — all exact on the
+      VM's modular integers). Iterations then commute, so per-thread
+      partials merged at the join preserve the final value; dependences
+      of every kind on the cell may be dropped. *)
+
+type t
+
+type loop
+(** One natural loop of one function (degenerate header-only loops are
+    excluded — their body runs at most once per entry, so there is no
+    iteration to carry a dependence). *)
+
+val analyze : Vm.Program.t -> Points_to.t -> Modref.t -> t
+(** Per-function CFG/dominance/loop tables are built lazily; proof
+    results are memoized per (loop, cell). *)
+
+val innermost_common_loop : t -> pc1:int -> pc2:int -> loop option
+(** The innermost natural loop containing both pcs ([None] when they
+    sit in different functions or share no loop). *)
+
+val loop_at_header : t -> br_pc:int -> loop option
+(** The natural loop whose header block contains the [BrLoop] predicate
+    at [br_pc] — the pc a [CLoop] construct is keyed by. *)
+
+val loop_span : loop -> int * int
+(** Inclusive pc bounds over the loop's member blocks (the member set
+    is contiguous for compiler-emitted loops; the span is exact for
+    them and an over-approximation otherwise). *)
+
+val in_loop : loop -> int -> bool
+(** Block-precise membership of a pc of the loop's function. *)
+
+val prove_privatizable : t -> loop -> cell:int -> (unit, string) result
+(** [Error reason] explains the refutation (reports, lint, tests). *)
+
+val prove_reduction : t -> loop -> cell:int -> (Minic.Ast.binop, string) result
+(** [Ok op] is the proven fold operator. *)
+
+val direct_cells : t -> loop -> int list
+(** Global cells the loop body reads or writes via direct
+    [LoadGlobal]/[StoreGlobal], sorted ascending — the transform
+    candidates worth proving. *)
+
+val cell_live_out : t -> loop -> cell:int -> bool
+(** Some access outside the loop may read the cell, so a privatization
+    must copy the last iteration's value out at the join. Never affects
+    the verdict — {!prove_privatizable} guarantees the copy-out value
+    is well-defined. *)

@@ -11,7 +11,10 @@
    - the loop in Par2Creator::ProcessData (887-analog): one output
      (recovery) block per iteration, each accumulating
      [gfmul(coeff(ob,ib), input(ib))] over all input blocks into its own
-     slice — no violating RAW at all.
+     slice. The paper's text calls the loop clean while its Table IV
+     lists one violating static RAW; ours is the progress display
+     counter, advanced once per processed input block, whose
+     carried chain spans each whole iteration.
 
    GF(256) arithmetic uses the standard log/antilog tables over the
    0x11d polynomial, built once at startup. *)
@@ -114,8 +117,10 @@ void process_data() {
             recovery[(ob * block_len + i) & 4095]
             ^ gfmul(coeff, input_blocks[(ib * block_len + i) & 4095]);
       }
+      progress++;   // the progress display par2 advances per processed
+                    // input block, so the counter is touched throughout
+                    // the output block's accumulation, not once at its end
     }
-    progress++;   // the progress display par2 updates per output block
   }
 }
 

@@ -102,6 +102,49 @@ fi
 grep -q "static lower bound" "$tmpdir/seeded.out"
 echo "seeded corruption: distance checker fired as required"
 
+# Transform-legality gate. Three properties, end to end through the CLI:
+#
+# 1. Every registry workload persists version-4 legality verdicts and the
+#    sanitizer's cross-validation passes — asserted on the machine-readable
+#    `check --json` document, not on prose.
+dune exec --no-build -- alchemist check --all --test-scale --json \
+  > "$tmpdir/check.json"
+grep -q '"failed_workloads": 0' "$tmpdir/check.json"
+if grep -q '"validated_legality_edges": 0[,}]' "$tmpdir/check.json"; then
+  echo "a workload carries no legality verdicts" >&2
+  exit 1
+fi
+echo "legality gate: every workload persists validated v4 verdicts"
+
+# 2. Seeded failure: retag one of gzip's serializing legality lines as
+#    privatizable; the sanitizer must refuse the profile (this proves the
+#    legality cross-check can actually fire, not just that clean profiles
+#    pass). The threaded.prof saved above is gzip's version-4 profile.
+grep -q "^legality .* serial$" "$tmpdir/threaded.prof"
+awk '!seeded && $1 == "legality" && $5 == "serial" { $5 = "priv"; seeded = 1 }
+     { print }' "$tmpdir/threaded.prof" > "$tmpdir/gzip-bad.prof"
+if dune exec --no-build -- alchemist check workload:gzip-1.3.5:2 \
+     --profile "$tmpdir/gzip-bad.prof" > "$tmpdir/legality-seeded.out" 2>&1
+then
+  echo "seeded legality corruption was NOT caught" >&2
+  exit 1
+fi
+grep -q "disagrees with analysis" "$tmpdir/legality-seeded.out"
+echo "seeded corruption: legality checker fired as required"
+
+# 3. Backward compatibility of the writer: a profile with no legality
+#    block must serialize as byte-exact version-3 output — i.e. the
+#    version-4 file differs from the version-3 file by exactly its
+#    legality lines and the header digit. par2.prof saved above is the
+#    version-4 profile with both distbound and legality blocks.
+dune exec --no-build -- alchemist profile workload:par2:24 \
+  --legality=false --save "$tmpdir/par2-v3.prof" > /dev/null
+head -1 "$tmpdir/par2-v3.prof" | grep -q "^alchemist-profile 3$"
+awk '$1 == "alchemist-profile" { $2 = 3 } $1 == "legality" { next } { print }' \
+  "$tmpdir/par2.prof" > "$tmpdir/par2-stripped.prof"
+cmp "$tmpdir/par2-stripped.prof" "$tmpdir/par2-v3.prof"
+echo "legality-free writer: byte-exact version-3 output"
+
 # Pruning differential through the CLI: instrumentation pruning must not
 # change a single byte of the saved profile.
 dune exec --no-build -- alchemist profile workload:gzip-1.3.5:2 \

@@ -1,0 +1,360 @@
+(* The transform-legality engine (Static.Privatize / Static.Legality)
+   against a brute-force simulation of the transforms it licenses.
+
+   The random property compiles single-loop programs whose body takes
+   one of four shapes over two global scalars [g] (the cell under test)
+   and [s] (a sum some shapes feed):
+
+     Red op k    g = g OP (i + k);           a single-fold reduction
+     Priv k      g = i + k; s = s + g;       write-before-read, live out
+     Serial k    s = s + g; g = i + k;       reads last iteration's g
+     Masked k    g = (g + (i + k)) & 7;      a fold, then a mask
+
+   and replays the body's memory behaviour directly in OCaml through
+   instrumented get/set closures.
+
+   A verdict licenses one source rewrite {e relative to the remaining
+   dependence graph} (parsim drops only proven edges; every other
+   constraint still orders the schedule), so the oracle simulates
+   exactly the licensed rewrite, not an arbitrary iteration reorder:
+
+     privatizable cell -> every iteration's first access must be a
+                          write in the sequential replay (an iteration
+                          that reads first observes another iteration's
+                          value, refuting thread-private copies)
+     reduction (op)    -> route the cell's accesses into N per-thread
+                          partial accumulators (seeded with op's
+                          identity, iterations dealt round-robin) and
+                          fold the partials into the initial value at
+                          the join: the result must equal the
+                          sequential final value, for any partial count
+                          and combination order.
+
+   Note the Serial shape: [s] {e is} a legitimate reduction there even
+   though it folds in loop-carried values of [g] — [g]'s own RAW edge
+   stays a constraint, so admissible schedules see sequential [g]
+   values and the partial sums still commute. The oracle's
+   everything-else-sequential replay models precisely that.
+
+   The handcrafted table pins each proof in the engine — every
+   associative-commutative operator, both claim kinds, and the
+   refutation shapes — to its exact claim, so a regression cannot hide
+   behind the engine claiming nothing (claims are sound vacuously). *)
+
+module Privatize = Static.Privatize
+
+type shape =
+  | Red of Minic.Ast.binop * int
+  | Priv of int
+  | Serial of int
+  | Masked of int
+
+type spec = { i0 : int; step : int; trip : int; shape : shape }
+
+let body = function
+  | Red (op, k) ->
+      Printf.sprintf "g = g %s (i + %d);" (Minic.Ast.binop_to_string op) k
+  | Priv k -> Printf.sprintf "g = i + %d; s = s + g;" k
+  | Serial k -> Printf.sprintf "s = s + g; g = i + %d;" k
+  | Masked k -> Printf.sprintf "g = (g + (i + %d)) & 7;" k
+
+let source sp =
+  let last = sp.i0 + ((sp.trip - 1) * sp.step) in
+  Printf.sprintf
+    "int g;\n\
+     int s;\n\
+     int main() {\n\
+    \  int i;\n\
+    \  g = 3;\n\
+    \  s = 0;\n\
+    \  for (i = %d; i < %d; i = i + %d) {\n\
+    \    %s\n\
+    \  }\n\
+    \  return g + s;\n\
+     }\n"
+    sp.i0 (last + 1) sp.step (body sp.shape)
+
+(* --- claims from the engine ------------------------------------------- *)
+
+let loop_head (prog : Vm.Program.t) =
+  let found = ref None in
+  Array.iter
+    (fun (c : Vm.Program.construct_info) ->
+      if c.kind = Vm.Program.CLoop && !found = None then found := Some c.head_pc)
+    prog.constructs;
+  match !found with
+  | Some pc -> pc
+  | None -> Alcotest.fail "program has no loop construct"
+
+type claim = Claimed_red of Minic.Ast.binop | Claimed_priv | Unclaimed
+
+(* The engine's claim for one global cell of the program's single loop,
+   through the same proof entry points [Legality.loop_transforms]
+   consults (reduction shadows privatizable, as there). *)
+let claim_for prog =
+  let pts = Static.Points_to.analyze prog in
+  let modref = Static.Modref.analyze prog pts in
+  let priv = Privatize.analyze prog pts modref in
+  let loop =
+    match Privatize.loop_at_header priv ~br_pc:(loop_head prog) with
+    | Some l -> l
+    | None -> Alcotest.fail "no natural loop at the loop construct's head"
+  in
+  fun cell ->
+    match Privatize.prove_reduction priv loop ~cell with
+    | Ok op -> Claimed_red op
+    | Error _ -> (
+        match Privatize.prove_privatizable priv loop ~cell with
+        | Ok () -> Claimed_priv
+        | Error _ -> Unclaimed)
+
+let global_addr prog name =
+  match Vm.Program.find_global prog name with
+  | Some (base, _) -> base
+  | None -> Alcotest.failf "no global %s" name
+
+(* --- brute-force simulation ------------------------------------------- *)
+
+(* Replay one iteration of the body through [get]/[set] so the harness
+   observes the exact access order the source performs on each cell. *)
+let step shape ~get ~set i =
+  match shape with
+  | Red (op, k) ->
+      let v =
+        match op with
+        | Minic.Ast.Add -> get `G + (i + k)
+        | Minic.Ast.Mul -> get `G * (i + k)
+        | Minic.Ast.BitAnd -> get `G land (i + k)
+        | Minic.Ast.BitOr -> get `G lor (i + k)
+        | Minic.Ast.BitXor -> get `G lxor (i + k)
+        | Minic.Ast.Sub -> get `G - (i + k)
+        | op ->
+            Alcotest.failf "unsimulated operator %s"
+              (Minic.Ast.binop_to_string op)
+      in
+      set `G v
+  | Priv k ->
+      set `G (i + k);
+      set `S (get `S + get `G)
+  | Serial k ->
+      set `S (get `S + get `G);
+      set `G (i + k)
+  | Masked k -> set `G ((get `G + (i + k)) land 7)
+
+let iters sp = List.init sp.trip (fun t -> sp.i0 + (t * sp.step))
+
+let g_init = 3
+let s_init = 0
+
+(* Sequential replay; returns final (g, s) and whether any iteration's
+   first access to g / to s was a read. *)
+let simulate_seq sp =
+  let g = ref g_init and s = ref s_init in
+  let g_read_first = ref false and s_read_first = ref false in
+  List.iter
+    (fun i ->
+      let g_touched = ref false and s_touched = ref false in
+      let get = function
+        | `G ->
+            if not !g_touched then begin
+              g_touched := true;
+              g_read_first := true
+            end;
+            !g
+        | `S ->
+            if not !s_touched then begin
+              s_touched := true;
+              s_read_first := true
+            end;
+            !s
+      in
+      let set cell v =
+        match cell with
+        | `G ->
+            g_touched := true;
+            g := v
+        | `S ->
+            s_touched := true;
+            s := v
+      in
+      step sp.shape ~get ~set i)
+    (iters sp);
+  ((!g, !s), (!g_read_first, !s_read_first))
+
+let identity = function
+  | Minic.Ast.Add | Minic.Ast.BitOr | Minic.Ast.BitXor -> 0
+  | Minic.Ast.Mul -> 1
+  | Minic.Ast.BitAnd -> -1 (* all ones *)
+  | op ->
+      Alcotest.failf "no identity for claimed operator %s"
+        (Minic.Ast.binop_to_string op)
+
+let apply op a b =
+  match op with
+  | Minic.Ast.Add -> a + b
+  | Minic.Ast.Mul -> a * b
+  | Minic.Ast.BitAnd -> a land b
+  | Minic.Ast.BitOr -> a lor b
+  | Minic.Ast.BitXor -> a lxor b
+  | op ->
+      Alcotest.failf "no apply for claimed operator %s"
+        (Minic.Ast.binop_to_string op)
+
+(* The licensed reduction rewrite for [cell]: iterations still run in
+   sequential order (every un-dropped dependence is respected), but the
+   cell's accesses go to per-thread partials seeded with op's identity,
+   dealt round-robin over [threads]; the join folds the partials into
+   the initial value in [combine] order. *)
+let simulate_reduced sp cell op ~threads ~combine_rev =
+  let g = ref g_init and s = ref s_init in
+  let partials = Array.make threads (identity op) in
+  List.iteri
+    (fun t i ->
+      let slot = t mod threads in
+      let get = function
+        | `G -> if cell = `G then partials.(slot) else !g
+        | `S -> if cell = `S then partials.(slot) else !s
+      in
+      let set c v =
+        match c with
+        | `G -> if cell = `G then partials.(slot) <- v else g := v
+        | `S -> if cell = `S then partials.(slot) <- v else s := v
+      in
+      step sp.shape ~get ~set i)
+    (iters sp);
+  let parts = Array.to_list partials in
+  let parts = if combine_rev then List.rev parts else parts in
+  let init = match cell with `G -> g_init | `S -> s_init in
+  List.fold_left (apply op) init parts
+
+let check_consistent sp =
+  let prog = Vm.Compile.compile_source (source sp) in
+  let claim = claim_for prog in
+  let (g_seq, s_seq), (g_read_first, s_read_first) = simulate_seq sp in
+  let fail_reason = ref None in
+  let check cell name addr read_first seq_final =
+    match claim addr with
+    | Unclaimed -> ()
+    | Claimed_priv ->
+        if read_first then
+          fail_reason :=
+            Some
+              (Printf.sprintf
+                 "%s claimed privatizable but an iteration reads it first"
+                 name)
+    | Claimed_red op ->
+        List.iter
+          (fun (threads, combine_rev) ->
+            let got = simulate_reduced sp cell op ~threads ~combine_rev in
+            if got <> seq_final && !fail_reason = None then
+              fail_reason :=
+                Some
+                  (Printf.sprintf
+                     "%s claimed %s-reduction but %d-thread partials give %d, \
+                      sequential gives %d"
+                     name
+                     (Minic.Ast.binop_to_string op)
+                     threads got seq_final))
+          [ (1, false); (2, false); (3, true); (4, true) ]
+  in
+  check `G "g" (global_addr prog "g") g_read_first g_seq;
+  check `S "s" (global_addr prog "s") s_read_first s_seq;
+  !fail_reason
+
+(* --- handcrafted completeness pins ------------------------------------ *)
+
+(* (name, shape, expected claim on g). Soundness alone is vacuous for an
+   engine that never claims anything; these pin each proof to firing. *)
+let handcrafted =
+  [
+    ("add reduction", Red (Minic.Ast.Add, 1), `Red);
+    ("mul reduction", Red (Minic.Ast.Mul, 1), `Red);
+    ("and reduction", Red (Minic.Ast.BitAnd, 3), `Red);
+    ("or reduction", Red (Minic.Ast.BitOr, 0), `Red);
+    ("xor reduction", Red (Minic.Ast.BitXor, 2), `Red);
+    ("write-first privatizable", Priv 1, `Priv);
+    ("read-old-value serializes", Serial 1, `Neither);
+    ("masked fold is not a reduction", Masked 1, `Neither);
+  ]
+
+let test_handcrafted () =
+  List.iter
+    (fun (name, shape, expected) ->
+      let sp = { i0 = 0; step = 1; trip = 6; shape } in
+      let prog = Vm.Compile.compile_source (source sp) in
+      let claim = claim_for prog in
+      let show = function
+        | Claimed_red _ -> "reduction"
+        | Claimed_priv -> "privatizable"
+        | Unclaimed -> "neither"
+      in
+      let expected =
+        match expected with
+        | `Red -> "reduction"
+        | `Priv -> "privatizable"
+        | `Neither -> "neither"
+      in
+      Alcotest.(check string) name expected (show (claim (global_addr prog "g")));
+      (* the privatizable shape's sum is itself a reduction; the serial
+         shape's sum is too (g's surviving RAW edge keeps its operand
+         values sequential) *)
+      match shape with
+      | Priv _ | Serial _ ->
+          Alcotest.(check string)
+            (name ^ ": s is a reduction") "reduction"
+            (show (claim (global_addr prog "s")))
+      | _ -> ())
+    handcrafted
+
+(* Non-associative operators must never be claimed. *)
+let test_non_associative_quiet () =
+  List.iter
+    (fun op ->
+      let sp = { i0 = 0; step = 1; trip = 5; shape = Red (op, 1) } in
+      let prog = Vm.Compile.compile_source (source sp) in
+      Alcotest.(check bool)
+        (Minic.Ast.binop_to_string op ^ " not claimed")
+        true
+        (claim_for prog (global_addr prog "g") = Unclaimed))
+    [ Minic.Ast.Sub; Minic.Ast.Div; Minic.Ast.Shl; Minic.Ast.Shr ]
+
+(* --- the random differential ------------------------------------------ *)
+
+let gen_spec =
+  QCheck.Gen.(
+    let op_gen =
+      oneofl
+        [ Minic.Ast.Add; Minic.Ast.Mul; Minic.Ast.BitAnd; Minic.Ast.BitOr;
+          Minic.Ast.BitXor; Minic.Ast.Sub ]
+    in
+    let shape_gen =
+      frequency
+        [
+          (3, map2 (fun op k -> Red (op, k)) op_gen (int_range 0 4));
+          (2, map (fun k -> Priv k) (int_range 0 4));
+          (2, map (fun k -> Serial k) (int_range 0 4));
+          (1, map (fun k -> Masked k) (int_range 0 4));
+        ]
+    in
+    map
+      (fun ((i0, step, trip), shape) -> { i0; step; trip; shape })
+      (pair (triple (int_range 0 3) (int_range 1 3) (int_range 1 10)) shape_gen))
+
+let arb_spec = QCheck.make ~print:source gen_spec
+
+let test_random_vs_brute_force () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make
+       ~name:"legality claims consistent with the licensed rewrite" ~count:150
+       arb_spec (fun sp ->
+         match check_consistent sp with
+         | None -> true
+         | Some reason ->
+             QCheck.Test.fail_reportf "%s in\n%s" reason (source sp)))
+
+let suite =
+  [
+    ("handcrafted claims", `Quick, test_handcrafted);
+    ("non-associative quiet", `Quick, test_non_associative_quiet);
+    ("random vs brute force", `Quick, test_random_vs_brute_force);
+  ]

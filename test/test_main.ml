@@ -11,6 +11,7 @@ let () =
       ("cfa", Test_cfa.suite);
       ("static", Test_static.suite);
       ("distance", Test_distance.suite);
+      ("legality", Test_legality.suite);
       ("indexing", Test_indexing.suite);
       ("shadow", Test_shadow.suite);
       ("obs", Test_obs.suite);

@@ -322,6 +322,87 @@ let test_lint_constant_condition () =
   Alcotest.(check bool) "variable condition quiet" false
     (contains_lint msgs "provably constant")
 
+(* One test per accumulate shape: [op=] and [x = x op e] for every
+   associative-commutative operator warn when the accumulator is also
+   passed to a call in the same loop. *)
+let test_lint_reduction_escape_shapes () =
+  let warns body =
+    contains_lint
+      (lints
+         (Printf.sprintf
+            {|int sink(int v) { return v; }
+              int main() {
+                int s = 1;
+                for (int i = 0; i < 8; i++) {
+                  %s
+                }
+                return s;
+              }|}
+            body))
+      "escapes via call to 'sink'"
+  in
+  List.iter
+    (fun (label, body) ->
+      Alcotest.(check bool) label true (warns body))
+    [
+      ("plus op-assign", "s += i; sink(s);");
+      ("times op-assign", "s *= 2; sink(s);");
+      ("and op-assign", "s &= i; sink(s);");
+      ("or op-assign", "s |= i; sink(s);");
+      ("xor op-assign", "s ^= i; sink(s);");
+      ("plus rewrite", "s = s + i; sink(s);");
+      ("commuted plus", "s = i + s; sink(s);");
+      ("accumulate under if", "if (i > 2) { s += i; } sink(s);");
+    ];
+  List.iter
+    (fun (label, body) ->
+      Alcotest.(check bool) label false (warns body))
+    [
+      (* non-associative ops are not reductions *)
+      ("minus op-assign quiet", "s -= i; sink(s);");
+      ("divide quiet", "s = s / 2; sink(s);");
+      ("shift quiet", "s <<= 1; sink(s);");
+      (* a second read of the accumulator is not a reduction *)
+      ("self-read rhs quiet", "s = s + (s & i); sink(s);");
+      ("self-read in call quiet", "s = s + sink(s);");
+      (* the induction variable is control, not a reduction *)
+      ("induction variable quiet", "sink(i);");
+      (* no call: the reduction is fine *)
+      ("call-free quiet", "s = s + i;");
+      (* the call receives something else *)
+      ("other arg quiet", "s = s + i; sink(i);");
+    ]
+
+let test_lint_reduction_escape_scopes () =
+  (* a call in a nested loop still escapes the outer accumulator ... *)
+  let msgs =
+    lints
+      {|int sink(int v) { return v; }
+        int main() {
+          int s = 0;
+          for (int i = 0; i < 4; i++) {
+            s = s + i;
+            for (int j = 0; j < 4; j++) { sink(s); }
+          }
+          return s;
+        }|}
+  in
+  Alcotest.(check bool) "nested call escapes outer accumulator" true
+    (contains_lint msgs "accumulator 's'");
+  (* ... but a call in a disjoint loop does not *)
+  let msgs =
+    lints
+      {|int sink(int v) { return v; }
+        int main() {
+          int s = 0;
+          for (int i = 0; i < 4; i++) { s = s + i; }
+          for (int j = 0; j < 4; j++) { sink(j); }
+          return s + sink(s);
+        }|}
+  in
+  Alcotest.(check bool) "disjoint loop stays quiet" false
+    (contains_lint msgs "escapes via call")
+
 let suite =
   [
     ("adjacent operators", `Quick, test_adjacent_operators);
@@ -353,4 +434,10 @@ let suite =
       test_lint_invariant_subscript_call_blocks_global );
     ("invariant innermost only", `Quick, test_lint_invariant_innermost_only);
     ("constant loop condition", `Quick, test_lint_constant_condition);
+    ( "reduction escape shapes",
+      `Quick,
+      test_lint_reduction_escape_shapes );
+    ( "reduction escape scopes",
+      `Quick,
+      test_lint_reduction_escape_scopes );
   ]

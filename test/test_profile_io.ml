@@ -237,6 +237,8 @@ let test_v2_roundtrip () =
   (* the default profiler attaches static verdicts *)
   Alcotest.(check bool) "profile carries verdicts" true
     (p.Profile.static_verdicts <> None);
+  (* strip legality verdicts: this test exercises the version-2 path *)
+  p.Profile.static_legality <- None;
   let text = Pio.to_string p in
   Alcotest.(check bool) "version-2 header" true
     (String.starts_with ~prefix:"alchemist-profile 2\n" text);
@@ -251,8 +253,10 @@ let test_v2_roundtrip () =
 
 let test_v1_still_loads () =
   let prog, p = profile_of sample_src in
-  (* A verdict-free profile serializes to the exact version-1 format. *)
+  (* A verdict- and legality-free profile serializes to the exact
+     version-1 format. *)
   p.Profile.static_verdicts <- None;
+  p.Profile.static_legality <- None;
   let text = Pio.to_string p in
   Alcotest.(check bool) "version-1 header" true
     (String.starts_with ~prefix:"alchemist-profile 1\n" text);
@@ -267,6 +271,7 @@ let test_v1_still_loads () =
 let test_v2_zero_verdicts () =
   let prog, p = profile_of sample_src in
   p.Profile.static_verdicts <- Some [];
+  p.Profile.static_legality <- None;
   let text = Pio.to_string p in
   Alcotest.(check bool) "version-2 header" true
     (String.starts_with ~prefix:"alchemist-profile 2\n" text);
@@ -278,6 +283,8 @@ let test_v2_zero_verdicts () =
 
 let test_verdict_malformed_matrix () =
   let prog, p = profile_of sample_src in
+  (* keep the file at version 2 so the version-gate case below applies *)
+  p.Profile.static_legality <- None;
   let text = Pio.to_string p in
   let expect_error ~label ~needle text =
     match Pio.read prog text with
@@ -315,6 +322,7 @@ let test_verdict_malformed_matrix () =
     (with_extra first_verdict);
   (* verdict line inside a version-1 body *)
   p.Profile.static_verdicts <- None;
+  p.Profile.static_legality <- None;
   let v1 = Pio.to_string p in
   expect_error ~label:"verdict in v1" ~needle:"version-1"
     (v1 ^ first_verdict ^ "\n")
@@ -485,6 +493,176 @@ let test_seeded_corruption_trips_checker () =
       Alcotest.(check int) "clean profile has no issues" 0
         (List.length (Alchemist.Sanitize.check p))
 
+(* --- version-4 transform-legality lines ---------------------------- *)
+
+let has_legality_line text =
+  List.exists
+    (String.starts_with ~prefix:"legality ")
+    (String.split_on_char '\n' text)
+
+(* dist_src's SIV loop (a distance bound) plus a global reduction loop
+   (legality verdicts): the one profile carries both optional blocks. *)
+let legality_src =
+  {|int A[64];
+int t;
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 20; i = i + 1) {
+    A[i + 3] = A[i] + 1;
+    s = s + A[i + 3];
+  }
+  for (i = 0; i < 10; i = i + 1) {
+    t = t + i;
+  }
+  return s + t;
+}|}
+
+let test_v4_roundtrip () =
+  let prog, p = profile_of sample_src in
+  (* the default profiler attaches legality verdicts *)
+  Alcotest.(check bool) "profile carries legality" true
+    (match p.Profile.static_legality with Some (_ :: _) -> true | _ -> false);
+  let text = Pio.to_string p in
+  Alcotest.(check bool) "version-4 header" true
+    (String.starts_with ~prefix:"alchemist-profile 4\n" text);
+  Alcotest.(check bool) "has legality lines" true (has_legality_line text);
+  match Pio.read prog text with
+  | Error msg -> Alcotest.failf "read failed: %s" msg
+  | Ok p2 ->
+      Alcotest.(check string) "byte-identical reserialization" text
+        (Pio.to_string p2);
+      Alcotest.(check bool) "legality list preserved" true
+        (p.Profile.static_legality = p2.Profile.static_legality)
+
+let test_v4_v3_byte_exact () =
+  (* Stripping the legality verdicts from a loaded version-4 profile
+     must produce the exact bytes the same data would have written as
+     version 3 — the legality block is a pure extension. *)
+  let prog, p = profile_of legality_src in
+  Alcotest.(check bool) "carries distance bounds" true
+    (match p.Profile.static_distbounds with Some (_ :: _) -> true | _ -> false);
+  Alcotest.(check bool) "carries legality" true
+    (match p.Profile.static_legality with Some (_ :: _) -> true | _ -> false);
+  let text4 = Pio.to_string p in
+  Alcotest.(check bool) "version-4 header" true
+    (String.starts_with ~prefix:"alchemist-profile 4\n" text4);
+  p.Profile.static_legality <- None;
+  let text3 = Pio.to_string p in
+  Alcotest.(check bool) "version-3 header after strip" true
+    (String.starts_with ~prefix:"alchemist-profile 3\n" text3);
+  Alcotest.(check bool) "no legality lines" false (has_legality_line text3);
+  (match Pio.read prog text4 with
+  | Error msg -> Alcotest.failf "v4 read failed: %s" msg
+  | Ok p4 ->
+      p4.Profile.static_legality <- None;
+      Alcotest.(check string) "v4 minus legality = v3 bytes" text3
+        (Pio.to_string p4));
+  (* an empty legality list serializes at the lower version too *)
+  (match Pio.read prog text3 with
+  | Error msg -> Alcotest.failf "v3 read failed: %s" msg
+  | Ok p3 ->
+      p3.Profile.static_legality <- Some [];
+      Alcotest.(check string) "empty legality stays v3" text3
+        (Pio.to_string p3));
+  (* a declared-v4 file with no legality lines normalizes on round-trip *)
+  let fake_v4 =
+    "alchemist-profile 4"
+    ^ String.sub text3 (String.length "alchemist-profile 3")
+        (String.length text3 - String.length "alchemist-profile 3")
+  in
+  match Pio.read prog fake_v4 with
+  | Error msg -> Alcotest.failf "legality-free v4 read failed: %s" msg
+  | Ok p3 ->
+      Alcotest.(check string) "legality-free v4 normalizes to v3" text3
+        (Pio.to_string p3)
+
+let test_legality_malformed_matrix () =
+  let prog, p = profile_of sample_src in
+  let text = Pio.to_string p in
+  let expect_error ~label ~needle text =
+    match Pio.read prog text with
+    | Ok _ -> Alcotest.failf "%s: accepted" label
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %S mentions %S" label msg needle)
+          true
+          (Testutil.contains msg needle)
+  in
+  let with_extra extra = text ^ extra ^ "\n" in
+  let extra_line = List.length (String.split_on_char '\n' text) in
+  let first_legality =
+    List.find
+      (String.starts_with ~prefix:"legality ")
+      (String.split_on_char '\n' text)
+  in
+  (* unknown verdict tag *)
+  expect_error ~label:"bad legality tag" ~needle:"unknown legality verdict"
+    (with_extra "legality 3 5 WAW bogus");
+  (* unknown kind tag *)
+  expect_error ~label:"bad kind in legality" ~needle:"RAR"
+    (with_extra "legality 3 5 RAR priv");
+  (* negative pc *)
+  expect_error ~label:"negative pc" ~needle:"negative pc"
+    (with_extra "legality -1 5 WAW priv");
+  (* wrong arity falls through to the malformed-line case *)
+  expect_error ~label:"legality arity" ~needle:"malformed"
+    (with_extra "legality 3 5 WAW");
+  (* duplicates are rejected with the offending 1-based line number *)
+  expect_error ~label:"duplicate legality" ~needle:"duplicate legality"
+    (with_extra first_legality);
+  expect_error ~label:"duplicate legality line number"
+    ~needle:(Printf.sprintf "line %d" extra_line)
+    (with_extra first_legality);
+  (* a legality line is rejected in any pre-v4 body *)
+  p.Profile.static_legality <- None;
+  let v2 = Pio.to_string p in
+  expect_error ~label:"legality in v2" ~needle:"version-2"
+    (v2 ^ first_legality ^ "\n");
+  p.Profile.static_verdicts <- None;
+  let v1 = Pio.to_string p in
+  expect_error ~label:"legality in v1" ~needle:"version-1"
+    (v1 ^ first_legality ^ "\n")
+
+(* A well-formed distbound/legality line naming an edge the profile does
+   not record is corruption every downstream lookup would silently
+   ignore — the reader must reject it with the offending line number. *)
+let test_unrecorded_edge_rejection () =
+  let prog, p = profile_of legality_src in
+  let text = Pio.to_string p in
+  let expect_error ~label ~needle text =
+    match Pio.read prog text with
+    | Ok _ -> Alcotest.failf "%s: accepted" label
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %S mentions %S" label msg needle)
+          true
+          (Testutil.contains msg needle)
+  in
+  let with_extra extra = text ^ extra ^ "\n" in
+  let extra_line = List.length (String.split_on_char '\n' text) in
+  (* no edge is recorded between pcs 0 and 1 *)
+  expect_error ~label:"unrecorded legality edge"
+    ~needle:"legality references unrecorded edge 0 1 WAW"
+    (with_extra "legality 0 1 WAW priv");
+  expect_error ~label:"unrecorded legality line number"
+    ~needle:(Printf.sprintf "line %d" extra_line)
+    (with_extra "legality 0 1 WAW priv");
+  expect_error ~label:"unrecorded distbound edge"
+    ~needle:"distbound references unrecorded edge 0 1 RAW"
+    (with_extra "distbound 0 1 RAW 3");
+  expect_error ~label:"unrecorded distbound line number"
+    ~needle:(Printf.sprintf "line %d" extra_line)
+    (with_extra "distbound 0 1 RAW 3");
+  (* a stored verdict on an unrecorded edge still parses: the sanitizer
+     owns that diagnostic *)
+  let extra = "verdict 0 1 RAW may-dep" in
+  match Pio.read prog (with_extra extra) with
+  | Ok _ -> ()
+  | Error msg ->
+      (* only acceptable if the verdict tag itself is unknown *)
+      Alcotest.failf "verdict on unrecorded edge rejected: %s" msg
+
 let suite =
   [
     ("roundtrip", `Quick, test_roundtrip);
@@ -504,4 +682,8 @@ let suite =
     ("v3/v2 byte exactness", `Quick, test_v3_v2_byte_exact);
     ("distbound malformed matrix", `Quick, test_distbound_malformed_matrix);
     ("seeded corruption trips checker", `Quick, test_seeded_corruption_trips_checker);
+    ("v4 legality roundtrip", `Quick, test_v4_roundtrip);
+    ("v4/v3 byte exactness", `Quick, test_v4_v3_byte_exact);
+    ("legality malformed matrix", `Quick, test_legality_malformed_matrix);
+    ("unrecorded edge rejection", `Quick, test_unrecorded_edge_rejection);
   ]
