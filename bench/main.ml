@@ -6,7 +6,7 @@
      dune exec bench/main.exe              -- run everything
      dune exec bench/main.exe -- table3 fig6 ...   -- run a subset
    Sections: fig2 fig3 fig4 fig6 table3 table4 table5 baseline explore micro
-   ablation perf register hookfloor static distance service legality *)
+   ablation perf register hookfloor static distance service legality race *)
 
 module W = Workloads.Workload
 module Registry = Workloads.Registry
@@ -1655,6 +1655,128 @@ let legality_bench () =
   close_out oc;
   print_endline "wrote BENCH_9.json"
 
+(* --- static race detection: verdicts, cost, and the gated speedup ---------------- *)
+
+(* The race detector is the gatekeeper between profile advice and an
+   actual spawn. Three figures, per registry workload: what the
+   detector says (status counts over the program's constructs), what it
+   costs (wall time to build the analysis and classify every
+   construct), and what the gate changes — for every loop
+   parallelization site, the 64-core proven-legal speedup when edge
+   dropping is conditioned on a race-free verdict (a racy construct
+   schedules with every edge intact) next to the ungated figure. *)
+let race_bench () =
+  header "Static race detection — verdicts, cost, gated speedup";
+  let cores = 64 in
+  let results =
+    List.map
+      (fun (w : W.t) ->
+        let prog = W.compile w ~scale:w.W.default_scale in
+        let t0 = Unix.gettimeofday () in
+        let dep = Static.Depend.analyze prog in
+        let race = Static.Depend.race dep in
+        let free = ref 0 and racy = ref 0 and unknown = ref 0 in
+        Array.iter
+          (fun (c : Vm.Program.construct_info) ->
+            match Static.Race.status race ~cid:c.Vm.Program.cid with
+            | Some Static.Race.Status.Race_free -> incr free
+            | Some Static.Race.Status.Racy -> incr racy
+            | Some Static.Race.Status.Unknown -> incr unknown
+            | None -> ())
+          prog.Vm.Program.constructs;
+        let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        let legality = Static.Depend.legality dep in
+        let sites =
+          List.filter_map
+            (fun (site : W.site) ->
+              let head_pc = site.W.locate prog in
+              match Vm.Program.construct_at prog head_pc with
+              | Some c when c.Vm.Program.kind = Vm.Program.CLoop ->
+                  Some (site, head_pc, c.Vm.Program.cid)
+              | _ -> None)
+            w.W.sites
+          |> List.fold_left
+               (fun acc ((_, head_pc, _) as row) ->
+                 if List.exists (fun (_, h, _) -> h = head_pc) acc then acc
+                 else row :: acc)
+               []
+          |> List.rev
+          |> List.map (fun ((site : W.site), head_pc, cid) ->
+                 let status =
+                   match Static.Race.status race ~cid with
+                   | Some s -> Static.Race.Status.to_string s
+                   | None -> "none"
+                 in
+                 let ungated =
+                   Parsim.Speedup.analyze ~fuel ~cores ~legality prog ~head_pc
+                 in
+                 let gated =
+                   Parsim.Speedup.analyze ~fuel ~cores ~legality ~race prog
+                     ~head_pc
+                 in
+                 ( site.W.site_name,
+                   status,
+                   ungated.Parsim.Speedup.speedup,
+                   gated.Parsim.Speedup.speedup,
+                   gated.Parsim.Speedup.race_refusal <> None ))
+        in
+        (w.W.name, wall_ms, !free, !racy, !unknown, sites))
+      Registry.all
+  in
+  Printf.printf "%-10s %8s | %5s %5s %8s\n" "workload" "wall ms" "free"
+    "racy" "unknown";
+  Printf.printf "%s\n" (String.make 48 '-');
+  List.iter
+    (fun (name, wall_ms, free, racy, unknown, _) ->
+      Printf.printf "%-10s %8.1f | %5d %5d %8d\n" name wall_ms free racy
+        unknown)
+    results;
+  Printf.printf "\n%-10s %-40s %-10s | %10s %10s\n" "workload" "site"
+    "status" "ungated" "gated";
+  Printf.printf "%s\n" (String.make 90 '-');
+  List.iter
+    (fun (name, _, _, _, _, sites) ->
+      List.iter
+        (fun (site_name, status, ungated, gated, refused) ->
+          Printf.printf "%-10s %-40s %-10s | %10.2f %10.2f%s\n" name
+            (if String.length site_name > 40 then String.sub site_name 0 40
+             else site_name)
+            status ungated gated
+            (if refused then "  <- racy: no edges dropped" else ""))
+        sites)
+    results;
+  let oc = open_out "BENCH_10.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "static race detection: verdicts, analysis cost, race-gated scheduling",
+  "cores": %d,
+  "workloads": [
+%s
+  ]
+}
+|}
+    cores
+    (String.concat ",\n"
+       (List.map
+          (fun (name, wall_ms, free, racy, unknown, sites) ->
+            Printf.sprintf
+              "    {\"workload\": %S, \"detector_wall_ms\": %.2f, \
+               \"race_free\": %d, \"racy\": %d, \"unknown\": %d,\n\
+              \     \"sites\": [%s]}"
+              name wall_ms free racy unknown
+              (String.concat ", "
+                 (List.map
+                    (fun (site_name, status, ungated, gated, refused) ->
+                      Printf.sprintf
+                        "{\"site\": %S, \"status\": %S, \
+                         \"speedup_ungated\": %.3f, \
+                         \"speedup_race_gated\": %.3f, \"refused\": %b}"
+                        site_name status ungated gated refused)
+                    sites)))
+          results));
+  close_out oc;
+  print_endline "wrote BENCH_10.json"
+
 (* --- main ------------------------------------------------------------------------ *)
 
 let sections =
@@ -1677,6 +1799,7 @@ let sections =
     ("distance", distance_bench);
     ("service", service_bench);
     ("legality", legality_bench);
+    ("race", race_bench);
   ]
 
 let () =

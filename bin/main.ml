@@ -62,6 +62,15 @@ let legality_arg =
               carries no legality block and serializes as a version-3 \
               file).")
 
+let race_arg =
+  Cmdliner.Arg.(
+    value & opt bool true
+    & info [ "race" ] ~docv:"BOOL"
+        ~doc:"Run the static race detector over every recorded construct \
+              and store the statuses in the saved profile (default on; \
+              with $(b,--race=false) the profile carries no race block \
+              and serializes as a version-4-or-lower file).")
+
 let handle_errors f =
   match f () with
   | () -> 0
@@ -180,12 +189,12 @@ let profile_cmd =
                 $(b,json).")
   in
   let profile spec fuel top edges kinds trace_locals save telemetry fold warn
-      static_prune legality engine regalloc ring =
+      static_prune legality race engine regalloc ring =
     handle_errors (fun () ->
         let prog = load_program ~fold ~warn spec in
         let r =
           Alchemist.Profiler.run ~engine ~regalloc ~ring ~fuel ~trace_locals
-            ~static_prune ~legality prog
+            ~static_prune ~legality ~race prog
         in
         Option.iter
           (fun path -> Alchemist.Profile_io.save r.Alchemist.Profiler.profile path)
@@ -229,7 +238,7 @@ let profile_cmd =
     Term.(
       const profile $ src_arg $ fuel_arg $ top $ edges $ kinds $ trace_locals
       $ save $ telemetry $ fold_arg $ warn_arg $ static_prune_arg
-      $ legality_arg $ engine_arg $ regalloc_arg $ ring_arg)
+      $ legality_arg $ race_arg $ engine_arg $ regalloc_arg $ ring_arg)
 
 (* --- rank ---------------------------------------------------------------- *)
 
@@ -737,6 +746,7 @@ let check_cmd =
     let issues = ref [] in
     let distbound_edges = ref 0 in
     let legality_edges = ref 0 in
+    let race_constructs = ref 0 in
     let fail fmt =
       incr problems;
       Printf.ksprintf
@@ -769,12 +779,20 @@ let check_cmd =
                            bounds\n"
               name (List.length l)
       | _ -> ());
-      match p.Alchemist.Profile.static_legality with
+      (match p.Alchemist.Profile.static_legality with
       | Some ((_ :: _) as l) ->
           legality_edges := List.length l;
           if not quiet then
             Printf.printf "%s: %d edge(s) carry transform-legality verdicts\n"
               name (List.length l)
+      | _ -> ());
+      match p.Alchemist.Profile.static_race with
+      | Some ((_ :: _) as l) ->
+          race_constructs := List.length l;
+          if not quiet then
+            Printf.printf
+              "%s: %d construct(s) carry race-detector statuses\n" name
+              (List.length l)
       | _ -> ()
     in
     (match saved with
@@ -802,13 +820,14 @@ let check_cmd =
             sanitize "profile" p2;
             report_validated p2));
     if !problems = 0 && not quiet then Printf.printf "%s: OK\n" name;
-    (name, !problems, !issues, !distbound_edges, !legality_edges)
+    (name, !problems, !issues, !distbound_edges, !legality_edges,
+     !race_constructs)
   in
   let render_json results =
     let buf = Buffer.create 1024 in
     Buffer.add_string buf "{\n  \"workloads\": [\n";
     List.iteri
-      (fun i (name, problems, issues, db, leg) ->
+      (fun i (name, problems, issues, db, leg, race) ->
         let count c =
           List.length
             (List.filter
@@ -820,7 +839,8 @@ let check_cmd =
              "    {\"name\": %S, \"pass\": %b, \"problems\": %d,\n\
              \     \"violations\": {%s},\n\
              \     \"validated_distbound_edges\": %d, \
-              \"validated_legality_edges\": %d}%s\n"
+              \"validated_legality_edges\": %d, \
+              \"validated_race_constructs\": %d}%s\n"
              name (problems = 0) problems
              (String.concat ", "
                 (List.map
@@ -829,11 +849,11 @@ let check_cmd =
                        (Alchemist.Sanitize.category_to_string c)
                        (count c))
                    Alchemist.Sanitize.all_categories))
-             db leg
+             db leg race
              (if i = List.length results - 1 then "" else ",")))
       results;
     let failures =
-      List.fold_left (fun acc (_, p, _, _, _) -> acc + min 1 p) 0 results
+      List.fold_left (fun acc (_, p, _, _, _, _) -> acc + min 1 p) 0 results
     in
     Buffer.add_string buf
       (Printf.sprintf "  ],\n  \"failed_workloads\": %d\n}\n" failures);
@@ -867,7 +887,7 @@ let check_cmd =
         in
         if json then print_string (render_json results);
         let failures =
-          List.fold_left (fun acc (_, p, _, _, _) -> acc + min 1 p) 0 results
+          List.fold_left (fun acc (_, p, _, _, _, _) -> acc + min 1 p) 0 results
         in
         if failures > 0 then
           invalid_arg (Printf.sprintf "%d check(s) failed" failures))
@@ -879,6 +899,159 @@ let check_cmd =
              serialization round-trip).")
     Term.(
       const check $ src $ all $ test_scale $ prof_file $ json_flag $ fuel_arg)
+
+(* --- verify ---------------------------------------------------------------- *)
+
+let verify_cmd =
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Verify every bundled workload instead of one SRC.")
+  in
+  let test_scale =
+    Arg.(
+      value & flag
+      & info [ "test-scale" ]
+          ~doc:"With --all: use each workload's small test scale.")
+  in
+  let src =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"SRC" ~doc:"Mini-C file, or workload:NAME[:SCALE].")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON document: per-workload status counts plus every \
+             racy construct with its interference witnesses.")
+  in
+  (* One program's verification: run the static race detector over every
+     spawnable construct (loops and procedures — conditionals spawn no
+     concurrent units) and report the verdicts. Purely static: no
+     profiling run is needed. *)
+  let verify_one name prog =
+    let dep = Static.Depend.analyze prog in
+    let race = Static.Depend.race dep in
+    let rows =
+      Array.to_list prog.Vm.Program.constructs
+      |> List.filter_map (fun (c : Vm.Program.construct_info) ->
+             Option.map
+               (fun v -> (c, v))
+               (Static.Race.verdict race ~cid:c.Vm.Program.cid))
+    in
+    (name, rows)
+  in
+  let pp_witness (w : Static.Race.witness) =
+    Printf.sprintf "%s pc %d (line %d) <-> pc %d (line %d) on %s"
+      (Static.Race.kind_to_string w.Static.Race.kind)
+      w.Static.Race.pc1 w.Static.Race.line1 w.Static.Race.pc2
+      w.Static.Race.line2 w.Static.Race.cell
+  in
+  let render_text (name, rows) =
+    Printf.printf "%s:\n" name;
+    let free = ref 0 and racy = ref 0 and unknown = ref 0 in
+    List.iter
+      (fun ((c : Vm.Program.construct_info), v) ->
+        let cname = Format.asprintf "%a" Vm.Program.pp_construct c in
+        match v with
+        | Static.Race.Race_free ->
+            incr free;
+            Printf.printf "  %s: race-free\n" cname
+        | Static.Race.Unknown reason ->
+            incr unknown;
+            Printf.printf "  %s: unknown (%s)\n" cname reason
+        | Static.Race.Racy ws ->
+            incr racy;
+            Printf.printf "  %s: racy (%d witness%s)\n" cname (List.length ws)
+              (if List.length ws = 1 then "" else "es");
+            List.iter (fun w -> Printf.printf "    %s\n" (pp_witness w)) ws)
+      rows;
+    Printf.printf "  summary: %d race-free, %d racy, %d unknown\n" !free !racy
+      !unknown
+  in
+  let render_json results =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"workloads\": [\n";
+    let total_racy = ref 0 in
+    List.iteri
+      (fun i (name, rows) ->
+        let count p = List.length (List.filter (fun (_, v) -> p v) rows) in
+        let free = count (fun v -> v = Static.Race.Race_free) in
+        let unknown =
+          count (function Static.Race.Unknown _ -> true | _ -> false)
+        in
+        let racy_rows =
+          List.filter
+            (fun (_, v) ->
+              match v with Static.Race.Racy _ -> true | _ -> false)
+            rows
+        in
+        total_racy := !total_racy + List.length racy_rows;
+        let racy_json =
+          String.concat ", "
+            (List.map
+               (fun ((c : Vm.Program.construct_info), v) ->
+                 let witnesses =
+                   match v with Static.Race.Racy ws -> ws | _ -> []
+                 in
+                 Printf.sprintf
+                   "{\"cid\": %d, \"name\": %S, \"witnesses\": [%s]}"
+                   c.Vm.Program.cid
+                   (Format.asprintf "%a" Vm.Program.pp_construct c)
+                   (String.concat ", "
+                      (List.map
+                         (fun (w : Static.Race.witness) ->
+                           Printf.sprintf
+                             "{\"kind\": %S, \"pc1\": %d, \"line1\": %d, \
+                              \"pc2\": %d, \"line2\": %d, \"cell\": %S}"
+                             (Static.Race.kind_to_string w.Static.Race.kind)
+                             w.Static.Race.pc1 w.Static.Race.line1
+                             w.Static.Race.pc2 w.Static.Race.line2
+                             w.Static.Race.cell)
+                         witnesses)))
+               racy_rows)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"name\": %S, \"constructs\": %d, \"race_free\": %d, \
+              \"racy\": %d, \"unknown\": %d,\n\
+             \     \"racy_constructs\": [%s]}%s\n"
+             name (List.length rows) free (List.length racy_rows) unknown
+             racy_json
+             (if i = List.length results - 1 then "" else ",")))
+      results;
+    Buffer.add_string buf
+      (Printf.sprintf "  ],\n  \"total_racy\": %d\n}\n" !total_racy);
+    Buffer.contents buf
+  in
+  let verify src all test_scale json =
+    handle_errors (fun () ->
+        let results =
+          match (all, src) with
+          | true, None ->
+              List.map
+                (fun (w : Workloads.Workload.t) ->
+                  let scale =
+                    if test_scale then w.test_scale else w.default_scale
+                  in
+                  verify_one w.name (Workloads.Workload.compile w ~scale))
+                Workloads.Registry.all
+          | false, Some spec -> [ verify_one spec (load_program spec) ]
+          | _ -> invalid_arg "pass exactly one of SRC or --all"
+        in
+        if json then print_string (render_json results)
+        else List.iter render_text results)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Statically verify profile-advised parallelizations: run the \
+             race detector over every loop and procedure construct and \
+             report race-free/racy/unknown verdicts with interference \
+             witnesses.")
+    Term.(const verify $ src $ all $ test_scale $ json_flag)
 
 (* --- disasm / workloads --------------------------------------------------- *)
 
@@ -943,6 +1116,7 @@ let main_cmd =
       serve_cmd;
       report_cmd;
       check_cmd;
+      verify_cmd;
       disasm_cmd;
       workloads_cmd;
     ]

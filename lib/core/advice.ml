@@ -10,6 +10,7 @@ type suggestion =
       statically_proven : bool;
       static_min_distance : int option;
       removable : removable list;
+      race_verdict : Static.Race.Status.t option;
     }
   | Join_before of { line : int; var : string option }
   | Blocking_raw of { head_line : int; tail_line : int; var : string option }
@@ -218,9 +219,21 @@ let advise ?dep (p : Profile.t) ~cid =
       by_var []
     |> List.sort compare
   in
+  (* The static race detector's status for this construct — live
+     analysis first, else the statuses a version-5 profile stored. *)
+  let race_verdict =
+    match dep with
+    | Some d -> Static.Race.status (Static.Depend.race d) ~cid
+    | None -> Option.bind p.Profile.static_race (List.assoc_opt cid)
+  in
   let verdict =
     if blockers <> [] then `Not_amenable
     else if transforms <> [] || reductions <> [] then `Needs_transforms
+    else if race_verdict = Some Static.Race.Status.Racy then
+      (* Dynamic evidence alone said "spawn as-is", but the detector has
+         a concrete interference witness the profiled input just never
+         exercised — demote: the races must be resolved first. *)
+      `Needs_transforms
     else `Parallelizable
   in
   (* Tightest proven iteration distance among the construct's recorded
@@ -280,7 +293,8 @@ let advise ?dep (p : Profile.t) ~cid =
         | Some d -> Static.Depend.construct_proven_independent d ~cid
         | None -> false
       in
-      Spawnable { statically_proven; static_min_distance; removable }
+      Spawnable { statically_proven; static_min_distance; removable;
+                  race_verdict }
       :: reductions
       @ transforms @ claim_joins @ joins
     else blockers @ reductions @ transforms @ claim_joins
@@ -301,7 +315,8 @@ let reduction_list t =
   |> List.sort_uniq compare
 
 let pp_suggestion ppf = function
-  | Spawnable { statically_proven; static_min_distance; removable } ->
+  | Spawnable { statically_proven; static_min_distance; removable;
+                race_verdict } ->
       if statically_proven then
         Format.fprintf ppf
           "annotate as a future: statically proven independent (holds on all \
@@ -326,7 +341,12 @@ let pp_suggestion ppf = function
             | Static.Legality.Privatizable -> "privatization"
             | Static.Legality.Reduction -> "reduction rewrite"
             | Static.Legality.Serializing -> "no transform"))
-        removable
+        removable;
+      Option.iter
+        (fun s ->
+          Format.fprintf ppf "; static race check: %s"
+            (Static.Race.Status.to_string s))
+        race_verdict
   | Join_before { line; var } ->
       Format.fprintf ppf "join the future before line %d%a" line
         (fun ppf -> function

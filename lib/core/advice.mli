@@ -27,6 +27,7 @@ type suggestion =
       statically_proven : bool;
       static_min_distance : int option;
       removable : removable list;
+      race_verdict : Static.Race.Status.t option;
     }
       (** no violating RAW: annotate as a future. [statically_proven]
           distinguishes constructs whose independence the static layer
@@ -41,7 +42,14 @@ type suggestion =
           [Tdep] suggests is also a static guarantee.
           [removable] lists the exact proven-legal transform per
           removable recorded edge — unlike the pattern-matched
-          [Reduce]/[Privatize] suggestions, these carry a static proof *)
+          [Reduce]/[Privatize] suggestions, these carry a static proof.
+          [race_verdict] is the static race detector's status for the
+          construct ({!Static.Race.status} — live analysis, or the
+          statuses a version-5 profile stored; [None] when neither is
+          available). A [Racy] status demotes the construct verdict
+          from [`Parallelizable] to [`Needs_transforms]: the detector
+          holds a concrete interference witness the profiled input
+          never exercised, so spawning as-is cannot be advised *)
   | Join_before of { line : int; var : string option }
       (** respect a long-distance RAW by claiming the future here *)
   | Blocking_raw of { head_line : int; tail_line : int; var : string option }

@@ -152,6 +152,13 @@ type t = {
          the legality engine classifies appear (all recorded WAR/WAW,
          plus RAW edges proven reductions). [None] = no static layer
          ran; [Some []] = it ran and classified nothing *)
+  mutable static_race : (int * Static.Race.Status.t) list option;
+      (* race-detector statuses by construct id, sorted; only recorded
+         (instances > 0) loop/proc constructs appear — conditionals
+         have no concurrent units and unexecuted constructs have no
+         profile entry to validate against. [None] = the detector did
+         not run; [Some []] = it ran and no recorded construct was
+         classifiable *)
 }
 
 let dummy_stats () =
@@ -183,6 +190,7 @@ let create (prog : Vm.Program.t) =
     static_verdicts = None;
     static_distbounds = None;
     static_legality = None;
+    static_race = None;
   }
 
 let get t cid = t.by_cid.(cid)
@@ -365,6 +373,40 @@ let merge_legality a b =
       in
       Some (go xs ys [])
 
+let attach_race t status_of =
+  t.static_race <-
+    Some
+      (Array.to_list t.by_cid
+      |> List.filter_map (fun (cp : construct_profile) ->
+             if cp.instances > 0 then
+               Option.map (fun s -> (cp.cid, s)) (status_of cp.cid)
+             else None))
+
+(* Same-construct conflicts keep the higher-ranked status: [Racy]
+   licenses nothing, so a disagreement — impossible when both sides
+   analyzed the same program, conceivable for hand-edited files —
+   degrades toward safety. Max is associative and commutative, so
+   [merge]'s laws hold. *)
+let merge_race a b =
+  match (a, b) with
+  | None, v | v, None -> v
+  | Some xs, Some ys ->
+      let rec go xs ys acc =
+        match (xs, ys) with
+        | [], rest | rest, [] -> List.rev_append acc rest
+        | ((cx, sx) as x) :: xs', ((cy, sy) as y) :: ys' ->
+            if cx < cy then go xs' ys (x :: acc)
+            else if cy < cx then go xs ys' (y :: acc)
+            else
+              let s =
+                if Static.Race.Status.rank sx >= Static.Race.Status.rank sy
+                then sx
+                else sy
+              in
+              go xs' ys' ((cx, s) :: acc)
+      in
+      Some (go xs ys [])
+
 let merge a b =
   if a.prog.Vm.Program.code <> b.prog.Vm.Program.code then
     invalid_arg "Profile.merge: profiles of different programs";
@@ -374,6 +416,7 @@ let merge a b =
   out.static_distbounds <-
     merge_distbounds a.static_distbounds b.static_distbounds;
   out.static_legality <- merge_legality a.static_legality b.static_legality;
+  out.static_race <- merge_race a.static_race b.static_race;
   Array.iteri
     (fun cid (dst : construct_profile) ->
       let add (src : construct_profile) =

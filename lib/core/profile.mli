@@ -107,6 +107,12 @@ type t = {
           {!Static.Legality.classify}). Persisted as the version-4
           profile section. [None] when no static analysis ran (or a
           version [<= 3] file). *)
+  mutable static_race : (int * Static.Race.Status.t) list option;
+      (** race-detector statuses by construct id, sorted ascending; only
+          recorded (instances > 0) constructs the detector classifies
+          appear — conditionals spawn no concurrent units, so they are
+          absent. Persisted as the version-5 profile section. [None]
+          when the detector did not run (or a version [<= 4] file). *)
 }
 
 val create : Vm.Program.t -> t
@@ -145,6 +151,10 @@ val attach_legality : t -> (edge_key -> Static.Legality.verdict option) -> unit
     store the classified subset in [static_legality] (sorted by packed
     key). *)
 
+val attach_race : t -> (int -> Static.Race.Status.t option) -> unit
+(** Query a race status for every recorded ([instances > 0]) construct
+    and store the classified subset in [static_race] (sorted by cid). *)
+
 val merge : t -> t -> t
 (** Combine two profiles of the {e same} program (e.g. different inputs —
     the paper gathers multiple profile runs): instance counts and totals
@@ -157,7 +167,8 @@ val merge : t -> t -> t
     lists union by key with same-key conflicts taking the minimum (still
     proven, still associative/commutative); legality lists union by key
     with conflicts keeping the weaker claim (max rank — degrades toward
-    [Serializing]).
+    [Serializing]); race lists union by cid with conflicts keeping the
+    higher {!Static.Race.Status.rank} (degrades toward [Racy]).
     @raise Invalid_argument if the programs differ. *)
 
 val get : t -> int -> construct_profile

@@ -72,7 +72,11 @@ let kind_of_tag = function
    [legality] lines (transform-legality verdicts: priv/red/serial)
    after the distbounds, under the same rule — a profile with no
    legality verdicts serializes to byte-exact version-3 (or lower)
-   output. *)
+   output. Version 5 adds [race] lines (per-construct race-detector
+   statuses: race-free/unknown/racy) after the legality verdicts; a
+   profile with no race statuses — the detector off, or nothing
+   recorded it could classify — serializes to byte-exact version-4 (or
+   lower) output. *)
 let write (t : Profile.t) buf =
   let distbounds =
     match t.Profile.static_distbounds with
@@ -84,12 +88,16 @@ let write (t : Profile.t) buf =
     | Some (_ :: _ as l) -> Some l
     | _ -> None
   in
+  let race =
+    match t.Profile.static_race with Some (_ :: _ as l) -> Some l | _ -> None
+  in
   let version =
-    match (legality, distbounds, t.Profile.static_verdicts) with
-    | Some _, _, _ -> 4
-    | None, Some _, _ -> 3
-    | None, None, Some _ -> 2
-    | None, None, None -> 1
+    match (race, legality, distbounds, t.Profile.static_verdicts) with
+    | Some _, _, _, _ -> 5
+    | None, Some _, _, _ -> 4
+    | None, None, Some _, _ -> 3
+    | None, None, None, Some _ -> 2
+    | None, None, None, None -> 1
   in
   Buffer.add_string buf (Printf.sprintf "alchemist-profile %d\n" version);
   Buffer.add_string buf (Printf.sprintf "fingerprint %s\n" (fingerprint t.prog));
@@ -126,6 +134,15 @@ let write (t : Profile.t) buf =
                k.Profile.tail_pc (kind_tag k.Profile.kind)
                (Static.Legality.verdict_to_string v)))
         verdicts);
+  (match race with
+  | None -> ()
+  | Some statuses ->
+      List.iter
+        (fun (cid, s) ->
+          Buffer.add_string buf
+            (Printf.sprintf "race %d %s\n" cid
+               (Static.Race.Status.to_string s)))
+        statuses);
   Array.iter
     (fun (cp : Profile.construct_profile) ->
       if cp.instances > 0 then
@@ -176,6 +193,7 @@ let read (prog : Vm.Program.t) text =
         | "alchemist-profile 2" -> Ok 2
         | "alchemist-profile 3" -> Ok 3
         | "alchemist-profile 4" -> Ok 4
+        | "alchemist-profile 5" -> Ok 5
         | _ -> err hln "unsupported profile format/version"
       in
       let* () =
@@ -214,6 +232,11 @@ let read (prog : Vm.Program.t) text =
       let seen_distbound = Hashtbl.create 16 in
       let legality = ref [] in
       let seen_legality = Hashtbl.create 16 in
+      (* Race entries also carry their source line: they name construct
+         ids, and the construct section that proves a cid was recorded
+         comes after them, so validation waits for [finish]. *)
+      let race = ref [] in
+      let seen_race = Hashtbl.create 16 in
       let finish () =
         if version >= 2 then
           t.Profile.static_verdicts <-
@@ -251,6 +274,17 @@ let read (prog : Vm.Program.t) text =
         in
         let* () = check_recorded "distbound" !distbounds in
         let* () = check_recorded "legality" !legality in
+        (* Race lines likewise assert facts about recorded constructs:
+           a status for a construct with no profile entry has nothing
+           to validate against and would vanish on rewrite. *)
+        let* () =
+          List.fold_left
+            (fun acc (ln, cid, _) ->
+              let* () = acc in
+              if Hashtbl.mem seen_construct cid then Ok ()
+              else err ln "race references unrecorded construct %d" cid)
+            (Ok ()) !race
+        in
         let strip entries =
           List.sort
             (fun (ka, _) (kb, _) -> Profile.Key.compare ka kb)
@@ -263,6 +297,12 @@ let read (prog : Vm.Program.t) text =
         if version >= 3 then
           t.Profile.static_distbounds <- Some (strip !distbounds);
         if version >= 4 then t.Profile.static_legality <- Some (strip !legality);
+        if version >= 5 then
+          t.Profile.static_race <-
+            Some
+              (List.sort
+                 (fun (ca, _) (cb, _) -> compare ca cb)
+                 (List.map (fun (_, cid, s) -> (cid, s)) !race));
         Ok t
       in
       let rec go = function
@@ -354,6 +394,23 @@ let read (prog : Vm.Program.t) text =
                   else begin
                     Hashtbl.add seen_legality key ();
                     legality := (ln, key, v) :: !legality;
+                    go rest
+                  end
+            | "race" :: cid :: tag :: [] ->
+                if version < 5 then
+                  err ln "race line in a version-%d profile" version
+                else
+                  let* cid = Result.bind (int_of ln cid) (check_cid ln) in
+                  let* s =
+                    match Static.Race.Status.of_string tag with
+                    | Some s -> Ok s
+                    | None -> err ln "unknown race status %S" tag
+                  in
+                  if Hashtbl.mem seen_race cid then
+                    err ln "duplicate race %d" cid
+                  else begin
+                    Hashtbl.add seen_race cid ();
+                    race := (ln, cid, s) :: !race;
                     go rest
                   end
             | "construct" :: cid :: ttotal :: instances :: [] ->

@@ -59,7 +59,7 @@ let facts_fingerprint f = f.code_fp
    the default event set — and off only under [trace_locals], whose
    extra local events the verdicts do not model. *)
 let make ?scan_limit ?pool_capacity ?obs ?facts ?(static = true)
-    ?(legality = true) (prog : Vm.Program.t) =
+    ?(legality = true) ?(race = true) (prog : Vm.Program.t) =
   let reg = match obs with Some r -> r | None -> Obs.Registry.create () in
   let wall = Obs.Registry.timer reg "profiler.wall" in
   Obs.Timer.start wall;
@@ -208,7 +208,10 @@ let make ?scan_limit ?pool_capacity ?obs ?facts ?(static = true)
           Profile.attach_legality profile (fun (k : Profile.edge_key) ->
               Static.Legality.classify (Static.Depend.legality d)
                 ~kind:k.Profile.kind ~head_pc:k.Profile.head_pc
-                ~tail_pc:k.Profile.tail_pc)
+                ~tail_pc:k.Profile.tail_pc);
+        if race then
+          Profile.attach_race profile (fun cid ->
+              Static.Race.status (Static.Depend.race d) ~cid)
     | None -> ());
     Obs.Timer.stop wall;
     (* Republish the VM's own counters (counted allocation-free inside
@@ -252,11 +255,11 @@ let make ?scan_limit ?pool_capacity ?obs ?facts ?(static = true)
 
 let run ?(engine = Vm.Machine.Threaded) ?regalloc ?ring ?fuel ?scan_limit
     ?pool_capacity ?obs ?facts ?(trace_locals = false) ?(static_prune = true)
-    ?legality (prog : Vm.Program.t) =
+    ?legality ?race (prog : Vm.Program.t) =
   let reg = match obs with Some r -> r | None -> Obs.Registry.create () in
   let hooks, (instr_range, range_has_target, set_time), finish, dep =
     make ?scan_limit ?pool_capacity ~obs:reg ?facts ~static:(not trace_locals)
-      ?legality prog
+      ?legality ?race prog
   in
   (* The verdict layer runs (and is stored) whether or not pruning is
      applied — so prune-on and prune-off profiles of the same execution
@@ -316,7 +319,7 @@ let run_trace ?scan_limit ?pool_capacity ?obs (trace : Vm.Trace.t)
   finish (Vm.Trace.result trace)
 
 let run_source ?engine ?ring ?fuel ?scan_limit ?pool_capacity ?obs
-    ?trace_locals ?static_prune ?legality src =
+    ?trace_locals ?static_prune ?legality ?race src =
   run ?engine ?ring ?fuel ?scan_limit ?pool_capacity ?obs ?trace_locals
-    ?static_prune ?legality
+    ?static_prune ?legality ?race
     (Vm.Compile.compile_source src)

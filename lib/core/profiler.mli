@@ -70,6 +70,7 @@ val run :
   ?trace_locals:bool ->
   ?static_prune:bool ->
   ?legality:bool ->
+  ?race:bool ->
   Vm.Program.t ->
   result
 (** Profiles one execution.
@@ -117,6 +118,12 @@ val run :
     legality block and serializes as a version-3 file whose bytes are
     exactly the version-4 output minus its [legality] lines (the CI
     gate enforces this).
+    [race] (default [true]) controls whether the static race detector
+    ({!Static.Race}) stores a status per recorded construct in
+    [profile.static_race]; with [false] the profile carries no race
+    block and serializes as a version-4-or-lower file whose bytes are
+    exactly the version-5 output minus its [race] lines (the CI gate
+    enforces this too).
     @raise Vm.Machine.Trap as {!Vm.Machine.run}. *)
 
 val run_trace :
@@ -140,6 +147,7 @@ val run_source :
   ?trace_locals:bool ->
   ?static_prune:bool ->
   ?legality:bool ->
+  ?race:bool ->
   string ->
   result
 (** Convenience: compile a Mini-C source and profile it. *)

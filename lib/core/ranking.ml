@@ -12,6 +12,7 @@ type entry = {
   priv_edges : int;
   red_edges : int;
   blocking_edges : int;
+  race_status : Static.Race.Status.t option;
 }
 
 let entry_of (t : Profile.t) dep (c : Vm.Program.construct_info) =
@@ -78,6 +79,12 @@ let entry_of (t : Profile.t) dep (c : Vm.Program.construct_info) =
     priv_edges = !priv_edges;
     red_edges = !red_edges;
     blocking_edges = !blocking_edges;
+    race_status =
+      (* Live detector when available, else a version-5 profile's
+         stored statuses. *)
+      (match dep with
+      | Some d -> Static.Race.status (Static.Depend.race d) ~cid:c.cid
+      | None -> Option.bind t.Profile.static_race (List.assoc_opt c.cid));
   }
 
 let rank ?dep ?(min_instructions = 1) (t : Profile.t) =
@@ -137,7 +144,7 @@ let remove_with_singletons (t : Profile.t) entries ~cid =
 
 let pp_entry ppf e =
   Format.fprintf ppf
-    "%s Tdur=%d, inst=%d (RAW viol %d/%d, WAW %d/%d, WAR %d/%d)%s%s%s%s%s"
+    "%s Tdur=%d, inst=%d (RAW viol %d/%d, WAW %d/%d, WAR %d/%d)%s%s%s%s%s%s"
     e.name
     e.ttotal e.instances e.violations.Violation.raw_violating
     e.violations.Violation.raw_total e.violations.Violation.waw_violating
@@ -147,5 +154,9 @@ let pp_entry ppf e =
     (if e.dist_bounded then " [distance-bounded]" else "")
     (if e.priv_edges > 0 then " [priv]" else "")
     (if e.red_edges > 0 then " [red]" else "")
+    (match e.race_status with
+    | Some Static.Race.Status.Race_free -> " [race-free]"
+    | Some Static.Race.Status.Racy -> " [racy]"
+    | Some Static.Race.Status.Unknown | None -> "")
     (if e.legality_known then Printf.sprintf " blocking=%d" e.blocking_edges
      else "")

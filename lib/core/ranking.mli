@@ -38,6 +38,12 @@ type entry = {
       (** recorded edges no proven transform removes: serializing
           verdicts plus unclassified RAW dataflow — what actually
           stands between this construct and a parallel schedule *)
+  race_status : Static.Race.Status.t option;
+      (** the static race detector's status for the construct
+          ({!Static.Race.status} — live analysis, or a version-5
+          profile's stored statuses; [None] for conditionals or when no
+          static facts are available). Rendered as the [\[race-free\]] /
+          [\[racy\]] tag by {!pp_entry}. *)
 }
 
 val rank : ?dep:Static.Depend.t -> ?min_instructions:int -> Profile.t -> entry list

@@ -58,6 +58,21 @@ let legality_of_key (t : Profile.t) =
         Hashtbl.find_opt tbl
           (Profile.Key.pack ~head_pc:k.head_pc ~tail_pc:k.tail_pc k.kind)
 
+(* The race-status tag for a construct header (version-5 profiles):
+   [race-free] says the detector proved every may-happen-in-parallel
+   access pair of a spawned execution non-conflicting, [racy] that it
+   holds a concrete witness pair, [race-unknown] that an unbounded
+   access kept it from deciding. *)
+let race_tag_of_status = function
+  | Some Static.Race.Status.Race_free -> "  [race-free]"
+  | Some Static.Race.Status.Racy -> "  [racy]"
+  | Some Static.Race.Status.Unknown -> "  [race-unknown]"
+  | None -> ""
+
+let race_tag (t : Profile.t) cid =
+  race_tag_of_status
+    (Option.bind t.Profile.static_race (List.assoc_opt cid))
+
 let render_edges buf (t : Profile.t) p ~max_edges ~kinds =
   let verdict_of = verdict_of_key t in
   let distbound_of = distbound_of_key t in
@@ -97,8 +112,8 @@ let render_construct ?(max_edges = 8)
   let c = t.prog.constructs.(cid) in
   let p = Profile.get t cid in
   Buffer.add_string buf
-    (Format.asprintf "%a Tdur=%d, inst=%d\n" Vm.Program.pp_construct c
-       p.ttotal p.instances);
+    (Format.asprintf "%a Tdur=%d, inst=%d%s\n" Vm.Program.pp_construct c
+       p.ttotal p.instances (race_tag t cid));
   render_edges buf t p ~max_edges ~kinds;
   Buffer.contents buf
 
@@ -111,8 +126,8 @@ let render ?(top = 10) ?(max_edges = 8) ?(kinds = [ Shadow.Dependence.Raw ])
     (fun i (e : Ranking.entry) ->
       if i < top then begin
         Buffer.add_string buf
-          (Printf.sprintf "%d. %s Tdur=%d, inst=%d\n" (i + 1) e.name e.ttotal
-             e.instances);
+          (Printf.sprintf "%d. %s Tdur=%d, inst=%d%s\n" (i + 1) e.name e.ttotal
+             e.instances (race_tag_of_status e.Ranking.race_status));
         render_edges buf t (Profile.get t e.cid) ~max_edges ~kinds
       end)
     entries;

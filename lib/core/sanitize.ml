@@ -6,6 +6,7 @@ type category =
   | Distbound_mismatch
   | Legality_mismatch
   | Legality_violation
+  | Race_mismatch
 
 let category_to_string = function
   | Impossible_edge -> "impossible-edge"
@@ -15,6 +16,7 @@ let category_to_string = function
   | Distbound_mismatch -> "distbound-mismatch"
   | Legality_mismatch -> "legality-mismatch"
   | Legality_violation -> "legality-violation"
+  | Race_mismatch -> "race-mismatch"
 
 let all_categories =
   [
@@ -25,6 +27,7 @@ let all_categories =
     Distbound_mismatch;
     Legality_mismatch;
     Legality_violation;
+    Race_mismatch;
   ]
 
 type issue = {
@@ -273,6 +276,66 @@ let check ?dep (profile : Profile.t) =
                   profile.Profile.by_cid
             | _ -> ())
         stored);
+  (* Stored race statuses vs recomputed ones. A flipped status is the
+     dangerous corruption this block exists for: a [racy] construct
+     rewritten [race-free] would license parsim to drop its ordering
+     edges. Construct-level issues reuse the edge-key slot with a
+     synthetic self-edge at the construct's head pc. *)
+  (match profile.Profile.static_race with
+  | None -> ()
+  | Some stored ->
+      let race = Static.Depend.race dep in
+      let key_of (c : Vm.Program.construct_info) =
+        {
+          Profile.head_pc = c.Vm.Program.head_pc;
+          tail_pc = c.Vm.Program.head_pc;
+          kind = Shadow.Dependence.Raw;
+        }
+      in
+      let ncid = Array.length prog.Vm.Program.constructs in
+      let stored_tbl = Hashtbl.create 16 in
+      List.iter
+        (fun (cid, s) ->
+          if cid < 0 || cid >= ncid then
+            add cid
+              { Profile.head_pc = 0; tail_pc = 0; kind = Shadow.Dependence.Raw }
+              Race_mismatch
+              (Printf.sprintf "stored race status for unknown construct %d" cid)
+          else begin
+            Hashtbl.replace stored_tbl cid s;
+            let c = prog.Vm.Program.constructs.(cid) in
+            let cp = Profile.get profile cid in
+            if cp.Profile.instances = 0 then
+              add cid (key_of c) Race_mismatch
+                "stored race status for a construct the profile does not record"
+            else
+              match Static.Race.status race ~cid with
+              | None ->
+                  add cid (key_of c) Race_mismatch
+                    (Printf.sprintf
+                       "stored race status %s for a construct the detector \
+                        does not classify"
+                       (Static.Race.Status.to_string s))
+              | Some s' ->
+                  if s <> s' then
+                    add cid (key_of c) Race_mismatch
+                      (Printf.sprintf
+                         "stored race status %s disagrees with analysis %s"
+                         (Static.Race.Status.to_string s)
+                         (Static.Race.Status.to_string s'))
+          end)
+        stored;
+      Array.iter
+        (fun (cp : Profile.construct_profile) ->
+          if
+            cp.Profile.instances > 0
+            && (not (Hashtbl.mem stored_tbl cp.Profile.cid))
+            && Static.Race.status race ~cid:cp.Profile.cid <> None
+          then
+            add cp.Profile.cid
+              (key_of prog.Vm.Program.constructs.(cp.Profile.cid))
+              Race_mismatch "recorded construct is missing its stored race status")
+        profile.Profile.by_cid);
   List.sort
     (fun a b ->
       match compare a.cid b.cid with

@@ -28,6 +28,10 @@ type category =
   | Legality_violation
       (** a stored [Privatizable] verdict refuted by the observed edge
           pattern (a read-before-write iteration) *)
+  | Race_mismatch
+      (** stored race-status coverage or agreement failure — notably a
+          [racy] construct rewritten [race-free], which would license
+          parsim to drop its ordering edges *)
 
 val category_to_string : category -> string
 (** Kebab-case tag, e.g. ["impossible-edge"] — the [check --json] keys. *)
@@ -71,6 +75,10 @@ val check : ?dep:Static.Depend.t -> Profile.t -> issue list
       {e dynamic} record: a recorded RAW edge on the proof's cell whose
       tail lies inside the proof's loop span while its head lies outside
       is an observed read-before-write iteration — a hard failure
-      independent of what the analysis recomputes. *)
+      independent of what the analysis recomputes;
+    - when the profile carries stored race statuses, they cover exactly
+      the recorded constructs the detector classifies and agree with the
+      recomputed statuses ({!Static.Race.status}). Race issues carry a
+      synthetic self-edge at the construct's head pc in [key]. *)
 
 val pp_issue : Format.formatter -> issue -> unit

@@ -322,6 +322,11 @@ let loop_lints (p : Ast.program) =
       (function Ast.GScalar (n, _, _) | Ast.GArray (n, _, _) -> n)
       p.globals
   in
+  let scalar_globals =
+    List.filter_map
+      (function Ast.GScalar (n, _, _) -> Some n | Ast.GArray _ -> None)
+      p.globals
+  in
   let warnings = ref [] in
   let warn loc fmt = Printf.ksprintf (fun m ->
       warnings := Diag.warning loc "%s" m :: !warnings) fmt
@@ -419,6 +424,104 @@ let loop_lints (p : Ast.program) =
               f)
       accums
   in
+  (* --- shared-write lint ---------------------------------------------
+
+     A loop that writes a global scalar is a race candidate the moment
+     its iterations are spawned: the write lands in memory every other
+     iteration shares. Two shapes survive the spawn — an iteration that
+     writes the cell before any read of it (privatizable: each thread
+     gets its own copy) and a reduction-shaped accumulate (rewritten as
+     per-thread partials). Anything else — a read of another iteration's
+     value before the write, or a write only some iterations perform —
+     defeats both transforms, so flag it at the line that wrote it.
+     Innermost judgement, as with the invariance lint: a nested loop's
+     writes are judged by its own scan, not the enclosing one's. *)
+  let check_shared_writes cond_exprs stmts =
+    let first = Hashtbl.create 4 in
+    (* name -> `Write | `Read: the first counted access *)
+    let wrote = Hashtbl.create 4 in
+    (* name -> loc of the first non-reduction write *)
+    let accum = Hashtbl.create 4 in
+    let is_global x = List.mem x scalar_globals in
+    let see_read x =
+      if is_global x && not (Hashtbl.mem first x) then
+        Hashtbl.replace first x `Read
+    in
+    let see_write ~cond x loc =
+      if is_global x then begin
+        if not (Hashtbl.mem wrote x) then Hashtbl.replace wrote x loc;
+        if (not cond) && not (Hashtbl.mem first x) then
+          Hashtbl.replace first x `Write
+      end
+    in
+    let rec expr_reads (e : Ast.expr) =
+      match e.edesc with
+      | Ast.IntLit _ -> ()
+      | Ast.Var x -> see_read x
+      | Ast.Index (_, i) -> expr_reads i
+      | Ast.Unop (_, a) -> expr_reads a
+      | Ast.Binop (_, a, b) ->
+          expr_reads a;
+          expr_reads b
+      | Ast.Call (_, args) -> List.iter expr_reads args
+    in
+    let rec walk ~cond (s : Ast.stmt) =
+      match reduction_shape s with
+      | Some (x, _) when is_global x ->
+          (* the licensed accumulate: its own read/write do not count,
+             but the folded expression may read other globals *)
+          Hashtbl.replace accum x ();
+          (match s.sdesc with
+          | Ast.Assign (_, e) | Ast.OpAssign (_, _, e) -> expr_reads e
+          | _ -> ())
+      | _ -> (
+          match s.sdesc with
+          | Ast.DeclScalar (_, init) -> Option.iter expr_reads init
+          | Ast.DeclArray _ | Ast.Break | Ast.Continue -> ()
+          (* a nested loop's writes belong to its own scan *)
+          | Ast.While _ | Ast.DoWhile _ | Ast.For _ -> ()
+          | Ast.Assign (lv, e) -> (
+              expr_reads e;
+              match lv with
+              | Ast.LVar (x, _) -> see_write ~cond x s.sloc
+              | Ast.LIndex (_, i, _) -> expr_reads i)
+          | Ast.OpAssign (_, lv, e) -> (
+              expr_reads e;
+              match lv with
+              | Ast.LVar (x, _) ->
+                  see_read x;
+                  see_write ~cond x s.sloc
+              | Ast.LIndex (_, i, _) -> expr_reads i)
+          | Ast.If (c, t, f) ->
+              expr_reads c;
+              walk ~cond:true t;
+              Option.iter (walk ~cond:true) f
+          | Ast.Return e -> Option.iter expr_reads e
+          | Ast.ExprStmt e | Ast.Print e -> expr_reads e
+          | Ast.Block body -> List.iter (walk ~cond) body)
+    in
+    (* the loop condition's reads precede (the next) iteration's body,
+       so they count as reads of another iteration's value *)
+    List.iter expr_reads cond_exprs;
+    List.iter (walk ~cond:false) stmts;
+    Hashtbl.iter
+      (fun x loc ->
+        if not (Hashtbl.mem accum x) then
+          let reason =
+            match Hashtbl.find_opt first x with
+            | Some `Write -> None (* write-first: the privatizable shape *)
+            | Some `Read -> Some "an iteration reads it before writing"
+            | None -> Some "only some iterations write it"
+          in
+          Option.iter
+            (fun reason ->
+              warn loc
+                "shared global '%s' written in a loop is neither privatizable \
+                 nor a reduction (%s) — spawned iterations would race on it"
+                x reason)
+            reason)
+      wrote
+  in
   let rec check_stmt ctx (s : Ast.stmt) =
     match s.sdesc with
     | Ast.DeclScalar (_, init) -> Option.iter (check_expr ctx) init
@@ -437,7 +540,8 @@ let loop_lints (p : Ast.program) =
         in
         check_expr (Some inner) c;
         check_stmt (Some inner) b;
-        check_reduction_escape [ c ] [ b ]
+        check_reduction_escape [ c ] [ b ];
+        check_shared_writes [ c ] [ b ]
     | Ast.DoWhile (b, c) ->
         check_cond c;
         let inner =
@@ -445,7 +549,8 @@ let loop_lints (p : Ast.program) =
         in
         check_stmt (Some inner) b;
         check_expr (Some inner) c;
-        check_reduction_escape [ c ] [ b ]
+        check_reduction_escape [ c ] [ b ];
+        check_shared_writes [ c ] [ b ]
     | Ast.For (init, cond, update, b) ->
         (* [init] runs once: it is checked against the {e enclosing}
            context, and its assignments do not make a variable
@@ -470,7 +575,8 @@ let loop_lints (p : Ast.program) =
         Option.iter (check_stmt (Some inner)) update;
         check_reduction_escape
           (Option.to_list cond)
-          (b :: Option.to_list update)
+          (b :: Option.to_list update);
+        check_shared_writes (Option.to_list cond) (b :: Option.to_list update)
     | Ast.Return e -> Option.iter (check_expr ctx) e
     | Ast.ExprStmt e | Ast.Print e -> check_expr ctx e
     | Ast.Block body -> List.iter (check_stmt ctx) body

@@ -29,7 +29,16 @@
       a partial sum. The warning fires on exactly that pair; a
       non-associative op ([-], [/], shifts), a second read of [x] in
       [e], a call-free loop, or an accumulator the loop condition reads
-      (an induction variable, not a reduction) never warns. *)
+      (an induction variable, not a reduction) never warns.
+    - {e shared global written in a loop}: a global scalar a loop writes
+      is a race the moment the loop's iterations are spawned — unless
+      the iteration provably writes it before reading it (the
+      privatizable shape) or the write is a reduction-shaped accumulate
+      (rewritable as per-thread partials). A read of another iteration's
+      value before the write, or a write only some iterations perform,
+      defeats both transforms and warns at the writing line. Judged per
+      innermost loop; array cells are the static race detector's job,
+      not this lint's. *)
 
 val program : Ast.program -> Diag.warning list
 (** All warnings, ordered by source location (then message) — the order

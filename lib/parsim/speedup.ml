@@ -9,17 +9,44 @@ type report = {
   cross_deps : int;
   dropped_privatized : int;
   stall_time : int;
+  race_refusal : string option;
 }
 
 let analyze ?fuel ?trace_locals ?(cores = 4) ?spawn_overhead ?join_overhead
-    ?(privatize = []) ?(reduce = []) ?legality (prog : Vm.Program.t) ~head_pc =
+    ?(privatize = []) ?(reduce = []) ?legality ?race (prog : Vm.Program.t)
+    ~head_pc =
+  (* The race gate: a construct the static detector calls racy gets no
+     dropped edges at all — not the legality engine's proven ranges, not
+     the hand-named lists. Simulating a schedule that ignores ordering
+     edges at a construct with a known interference witness would report
+     a speedup no real spawn could safely realize. *)
+  let race_refusal =
+    match race with
+    | None -> None
+    | Some r -> (
+        match Vm.Program.construct_at prog head_pc with
+        | Some c
+          when Static.Race.status r ~cid:c.Vm.Program.cid
+               = Some Static.Race.Status.Racy ->
+            Some
+              (Printf.sprintf
+                 "refusing to drop edges: the static race detector calls %s \
+                  racy (%s)"
+                 (Format.asprintf "%a" Vm.Program.pp_construct c)
+                 (Static.Race.explain r ~cid:c.Vm.Program.cid))
+        | _ -> None)
+  in
   let proven_priv, proven_red =
     match legality with
     | None -> ([], [])
     | Some l -> Transform.legality_ranges l ~head_pc
   in
-  let privatized = Transform.privatize_globals prog privatize @ proven_priv in
-  let reductions = Transform.privatize_globals prog reduce @ proven_red in
+  let privatized, reductions =
+    if race_refusal <> None then ([], [])
+    else
+      ( Transform.privatize_globals prog privatize @ proven_priv,
+        Transform.privatize_globals prog reduce @ proven_red )
+  in
   let g =
     Task_graph.collect ?fuel ?trace_locals ~privatized ~reductions prog ~head_pc
   in
@@ -51,6 +78,7 @@ let analyze ?fuel ?trace_locals ?(cores = 4) ?spawn_overhead ?join_overhead
     cross_deps = g.Task_graph.cross_deps;
     dropped_privatized = g.Task_graph.dropped_privatized;
     stall_time = s.Scheduler.stall_time;
+    race_refusal;
   }
 
 let loop_head_at_line (prog : Vm.Program.t) line =
@@ -77,4 +105,5 @@ let pp_report ppf r =
     "%s: seq=%d par=%d speedup=%.2f tasks=%d constraints=%d (deps=%d, \
      privatized=%d, stalls=%d)"
     r.construct r.seq_instructions r.par_instructions r.speedup r.tasks
-    r.constraints r.cross_deps r.dropped_privatized r.stall_time
+    r.constraints r.cross_deps r.dropped_privatized r.stall_time;
+  Option.iter (fun d -> Format.fprintf ppf "\n  %s" d) r.race_refusal

@@ -15,6 +15,11 @@ type report = {
   cross_deps : int;  (** dynamic dependences that crossed instances *)
   dropped_privatized : int;
   stall_time : int;
+  race_refusal : string option;
+      (** [Some diagnostic] when a [~race] detector was supplied and it
+          calls the construct racy — the simulation then dropped {e no}
+          edges (neither proven-legal ranges nor hand-named lists), so
+          the reported speedup is what the ordering constraints allow *)
 }
 
 val analyze :
@@ -26,6 +31,7 @@ val analyze :
   ?privatize:string list ->
   ?reduce:string list ->
   ?legality:Static.Legality.t ->
+  ?race:Static.Race.t ->
   Vm.Program.t ->
   head_pc:int ->
   report
@@ -35,7 +41,10 @@ val analyze :
     ranges the transform-legality engine {e proves} removable for the
     loop at [head_pc] ({!Transform.legality_ranges}) — with no
     hand-named lists, the simulation then drops exactly the
-    proven-removable edges and nothing else. *)
+    proven-removable edges and nothing else. [race] gates every drop on
+    the static race detector: when it calls the construct at [head_pc]
+    racy, no edges are dropped and [report.race_refusal] carries the
+    diagnostic. *)
 
 val loop_head_at_line : Vm.Program.t -> int -> int
 (** pc of the loop construct headed at a source line.

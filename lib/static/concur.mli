@@ -1,0 +1,46 @@
+(** The concurrency model a spawn advice implies.
+
+    Spawning a construct runs its repeating units — loop iterations, or
+    procedure call instances turned into futures — in parallel, under
+    fork-join happens-before: the spawn edge orders the prologue before
+    every unit, the join edge orders every unit before the epilogue, and
+    only the units themselves are mutually unordered. Two instruction
+    instances may happen in parallel exactly when both lie in the
+    construct's dynamic extent and belong to different units, which
+    reduces may-happen-in-parallel enumeration to pairs drawn from one
+    static {!region}: the construct's body span plus the full bodies of
+    every transitively callable function.
+
+    {!Race} consumes regions to check every conflicting access pair. *)
+
+type unit_kind =
+  | Loop_iterations  (** a [CLoop]: one unit per iteration *)
+  | Proc_instances  (** a [CProc]: one unit per dynamic call *)
+
+type region = {
+  cid : int;
+  kind : unit_kind;
+  header_pc : int;
+      (** the [BrLoop] predicate pc for loops, the entry pc for procs *)
+  fid : int;
+      (** the function whose single activation every unit shares (the
+          loop's enclosing function) — for [Proc_instances] it is the
+          spawned procedure itself, of which each unit gets a {e fresh}
+          activation *)
+  event_pcs : int array;
+      (** memory-event pcs of the region, sorted ascending, deduplicated *)
+  callee_fids : int list;  (** transitively callable functions, sorted *)
+}
+
+val unit_kind_to_string : unit_kind -> string
+
+val of_construct :
+  Vm.Program.t -> Vm.Program.construct_info -> region option
+(** [None] for [CCond] — branch arms are alternatives, not parallel
+    units, so a conditional has no concurrent region. *)
+
+val iter_mhp_pairs : region -> (int -> int -> bool) -> unit
+(** Invoke the callback on every unordered may-happen-in-parallel pair
+    [(p, q)] with [p <= q], self-pairs included (the same static write
+    in two different units is the canonical WAW race). The callback
+    returns [false] to stop the enumeration early. *)

@@ -16,6 +16,7 @@ type t = {
   pts : Points_to.t;
   modref : Modref.t;
   legality : Legality.t;
+  race : Race.t;
   dist : Distance.t;
   loop_depth : int array;
   fid_of_pc : int array;  (** -1 for the entry preamble *)
@@ -30,6 +31,7 @@ type t = {
 let points t = t.pts
 let modref t = t.modref
 let legality t = t.legality
+let race t = t.race
 let distance t = t.dist
 let degraded t = t.pts.Points_to.degraded
 let prune_mask t = t.prune
@@ -228,6 +230,10 @@ let analyze ?analysis ?(distance_promotion = true) (prog : Vm.Program.t) =
   in
   let modref = Modref.analyze prog pts in
   let legality = Legality.analyze prog pts modref in
+  let race =
+    Race.analyze prog pts (Legality.privatize legality) dist
+      ~called_once:(fun fid -> called_once.(fid))
+  in
   let must_reach = Array.make (Array.length prog.funcs) None in
   if not pts.Points_to.degraded then begin
     Array.iter
@@ -275,6 +281,7 @@ let analyze ?analysis ?(distance_promotion = true) (prog : Vm.Program.t) =
     pts;
     modref;
     legality;
+    race;
     dist;
     loop_depth;
     fid_of_pc;

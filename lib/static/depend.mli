@@ -56,6 +56,11 @@ val legality : t -> Legality.t
 (** The transform-legality classifier built on the same {!Points_to}
     and {!Modref} facts — see {!Legality.classify}. *)
 
+val race : t -> Race.t
+(** The static race detector built on the same points-to, privatization,
+    and distance facts — see {!Race.verdict}. Construction is lazy per
+    construct, so carrying it costs nothing until queried. *)
+
 val distance : t -> Distance.t
 (** The dependence-distance engine built during {!analyze} (shares its
     [called_once] facts). *)

@@ -33,6 +33,8 @@ type t = {
 let analyze (prog : Vm.Program.t) (pts : Points_to.t) (modref : Modref.t) =
   { prog; pts; priv = Privatize.analyze prog pts modref; memo = Hashtbl.create 64 }
 
+let privatize t = t.priv
+
 let kind_tag = function
   | Shadow.Dependence.Raw -> 0
   | Shadow.Dependence.War -> 1

@@ -63,6 +63,10 @@ val analyze : Vm.Program.t -> Points_to.t -> Modref.t -> t
 (** Shares the {!Points_to} and {!Modref} facts already computed by
     {!Depend.analyze}; classifications are memoized per edge. *)
 
+val privatize : t -> Privatize.t
+(** The privatization/reduction proof engine built during {!analyze} —
+    shared with {!Race} so both layers argue from the same proofs. *)
+
 val classify :
   t -> kind:Shadow.Dependence.kind -> head_pc:int -> tail_pc:int ->
   verdict option

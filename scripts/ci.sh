@@ -138,12 +138,64 @@ echo "seeded corruption: legality checker fired as required"
 #    legality lines and the header digit. par2.prof saved above is the
 #    version-4 profile with both distbound and legality blocks.
 dune exec --no-build -- alchemist profile workload:par2:24 \
-  --legality=false --save "$tmpdir/par2-v3.prof" > /dev/null
+  --legality=false --race=false --save "$tmpdir/par2-v3.prof" > /dev/null
 head -1 "$tmpdir/par2-v3.prof" | grep -q "^alchemist-profile 3$"
-awk '$1 == "alchemist-profile" { $2 = 3 } $1 == "legality" { next } { print }' \
+awk '$1 == "alchemist-profile" { $2 = 3 }
+     $1 == "legality" || $1 == "race" { next } { print }' \
   "$tmpdir/par2.prof" > "$tmpdir/par2-stripped.prof"
 cmp "$tmpdir/par2-stripped.prof" "$tmpdir/par2-v3.prof"
 echo "legality-free writer: byte-exact version-3 output"
+
+# Static race gate. Three properties, end to end through the CLI:
+#
+# 1. `verify --json` over every registry workload must produce a
+#    structurally sound document, and at least one racy construct must
+#    exist across the registry — a detector that finds no interference
+#    anywhere has silently stopped looking. Every workload must also
+#    persist version-5 race statuses the sanitizer cross-validates
+#    (asserted on the `check --json` document produced above).
+dune exec --no-build -- alchemist verify --all --test-scale --json \
+  > "$tmpdir/verify.json"
+grep -q '"workloads"' "$tmpdir/verify.json"
+grep -q '"race_free"' "$tmpdir/verify.json"
+grep -q '"racy_constructs"' "$tmpdir/verify.json"
+if grep -q '"total_racy": 0[,}]' "$tmpdir/verify.json"; then
+  echo "the race detector found no racy construct in any workload" >&2
+  exit 1
+fi
+if grep -q '"validated_race_constructs": 0[,}]' "$tmpdir/check.json"; then
+  echo "a workload carries no validated race statuses" >&2
+  exit 1
+fi
+echo "race gate: verify --json sound, every workload persists v5 statuses"
+
+# 2. Seeded failure: flip one of gzip's racy statuses to race-free in
+#    the saved profile; the sanitizer must refuse it — a forged
+#    race-free tag is exactly the corruption that would green-light an
+#    unsafe spawn. The threaded.prof saved above is gzip's version-5
+#    profile.
+grep -q "^race .* racy$" "$tmpdir/threaded.prof"
+awk '!seeded && $1 == "race" && $3 == "racy" { $3 = "race-free"; seeded = 1 }
+     { print }' "$tmpdir/threaded.prof" > "$tmpdir/gzip-race-bad.prof"
+if dune exec --no-build -- alchemist check workload:gzip-1.3.5:2 \
+     --profile "$tmpdir/gzip-race-bad.prof" > "$tmpdir/race-seeded.out" 2>&1
+then
+  echo "seeded race corruption was NOT caught" >&2
+  exit 1
+fi
+grep -q "disagrees with analysis" "$tmpdir/race-seeded.out"
+echo "seeded corruption: race checker fired as required"
+
+# 3. Backward compatibility of the writer: a profile with no race block
+#    must serialize as byte-exact version-4 output — the version-5 file
+#    differs from it by exactly its race lines and the header digit.
+dune exec --no-build -- alchemist profile workload:par2:24 \
+  --race=false --save "$tmpdir/par2-v4.prof" > /dev/null
+head -1 "$tmpdir/par2-v4.prof" | grep -q "^alchemist-profile 4$"
+awk '$1 == "alchemist-profile" { $2 = 4 } $1 == "race" { next } { print }' \
+  "$tmpdir/par2.prof" > "$tmpdir/par2-race-stripped.prof"
+cmp "$tmpdir/par2-race-stripped.prof" "$tmpdir/par2-v4.prof"
+echo "race-free writer: byte-exact version-4 output"
 
 # Pruning differential through the CLI: instrumentation pruning must not
 # change a single byte of the saved profile.

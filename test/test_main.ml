@@ -12,6 +12,7 @@ let () =
       ("static", Test_static.suite);
       ("distance", Test_distance.suite);
       ("legality", Test_legality.suite);
+      ("race", Test_race.suite);
       ("indexing", Test_indexing.suite);
       ("shadow", Test_shadow.suite);
       ("obs", Test_obs.suite);

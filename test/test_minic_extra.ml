@@ -403,6 +403,57 @@ let test_lint_reduction_escape_scopes () =
   Alcotest.(check bool) "disjoint loop stays quiet" false
     (contains_lint msgs "escapes via call")
 
+(* The shared-write lint: a global scalar written in a loop warns
+   unless the write is write-first (privatizable) or a reduction-shaped
+   accumulate. *)
+let test_lint_shared_global_write () =
+  let warns body =
+    contains_lint
+      (lints
+         (Printf.sprintf
+            {|int g;
+              int s;
+              int main() {
+                for (int i = 0; i < 8; i++) {
+                  %s
+                }
+                return g + s;
+              }|}
+            body))
+      "spawned iterations would race"
+  in
+  List.iter
+    (fun (label, body) -> Alcotest.(check bool) label true (warns body))
+    [
+      ("read-then-write", "s = s + g; g = i;");
+      ("conditional write", "if (i > 2) { g = i; }");
+      ("non-associative fold", "g = g - i;");
+      ("read via subscript-free rhs", "g = g * 2 + 1;");
+    ];
+  List.iter
+    (fun (label, body) -> Alcotest.(check bool) label false (warns body))
+    [
+      ("write-first is privatizable", "g = i; s = s + g;");
+      ("reduction accumulate", "g = g + i;");
+      ("op-assign reduction", "g += i;");
+      ("read-only global", "s = s + g;");
+      ("local writes quiet", "int t; t = i; s = s + t;");
+    ];
+  (* judged per innermost loop: the inner loop's write-first global is
+     quiet even when scanned from the outer loop *)
+  Alcotest.(check bool) "innermost only" false
+    (contains_lint
+       (lints
+          {|int g;
+            int s;
+            int main() {
+              for (int i = 0; i < 4; i++) {
+                for (int j = 0; j < 4; j++) { g = j; s = s + g; }
+              }
+              return g + s;
+            }|})
+       "spawned iterations would race")
+
 let suite =
   [
     ("adjacent operators", `Quick, test_adjacent_operators);
@@ -440,4 +491,5 @@ let suite =
     ( "reduction escape scopes",
       `Quick,
       test_lint_reduction_escape_scopes );
+    ("shared global write", `Quick, test_lint_shared_global_write);
   ]

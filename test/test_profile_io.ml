@@ -237,8 +237,10 @@ let test_v2_roundtrip () =
   (* the default profiler attaches static verdicts *)
   Alcotest.(check bool) "profile carries verdicts" true
     (p.Profile.static_verdicts <> None);
-  (* strip legality verdicts: this test exercises the version-2 path *)
+  (* strip legality and race blocks: this test exercises the version-2
+     path *)
   p.Profile.static_legality <- None;
+  p.Profile.static_race <- None;
   let text = Pio.to_string p in
   Alcotest.(check bool) "version-2 header" true
     (String.starts_with ~prefix:"alchemist-profile 2\n" text);
@@ -253,10 +255,11 @@ let test_v2_roundtrip () =
 
 let test_v1_still_loads () =
   let prog, p = profile_of sample_src in
-  (* A verdict- and legality-free profile serializes to the exact
+  (* A profile with no static blocks at all serializes to the exact
      version-1 format. *)
   p.Profile.static_verdicts <- None;
   p.Profile.static_legality <- None;
+  p.Profile.static_race <- None;
   let text = Pio.to_string p in
   Alcotest.(check bool) "version-1 header" true
     (String.starts_with ~prefix:"alchemist-profile 1\n" text);
@@ -272,6 +275,7 @@ let test_v2_zero_verdicts () =
   let prog, p = profile_of sample_src in
   p.Profile.static_verdicts <- Some [];
   p.Profile.static_legality <- None;
+  p.Profile.static_race <- None;
   let text = Pio.to_string p in
   Alcotest.(check bool) "version-2 header" true
     (String.starts_with ~prefix:"alchemist-profile 2\n" text);
@@ -285,6 +289,7 @@ let test_verdict_malformed_matrix () =
   let prog, p = profile_of sample_src in
   (* keep the file at version 2 so the version-gate case below applies *)
   p.Profile.static_legality <- None;
+  p.Profile.static_race <- None;
   let text = Pio.to_string p in
   let expect_error ~label ~needle text =
     match Pio.read prog text with
@@ -354,6 +359,8 @@ let test_v3_roundtrip () =
   let prog, p = profile_of dist_src in
   Alcotest.(check bool) "profile carries distance bounds" true
     (match p.Profile.static_distbounds with Some (_ :: _) -> true | _ -> false);
+  (* strip race statuses: this test exercises the version-3 path *)
+  p.Profile.static_race <- None;
   let text = Pio.to_string p in
   Alcotest.(check bool) "version-3 header" true
     (String.starts_with ~prefix:"alchemist-profile 3\n" text);
@@ -371,6 +378,7 @@ let test_v3_v2_byte_exact () =
      the exact bytes the same data would have written as version 2 —
      the distbound block is a pure extension, not a reformatting. *)
   let prog, p = profile_of dist_src in
+  p.Profile.static_race <- None;
   let text3 = Pio.to_string p in
   p.Profile.static_distbounds <- None;
   let text2 = Pio.to_string p in
@@ -405,6 +413,8 @@ let test_v3_v2_byte_exact () =
 
 let test_distbound_malformed_matrix () =
   let prog, p = profile_of dist_src in
+  (* keep the file below version 5 so the version-gate cases apply *)
+  p.Profile.static_race <- None;
   let text = Pio.to_string p in
   let expect_error ~label ~needle text =
     match Pio.read prog text with
@@ -523,6 +533,8 @@ let test_v4_roundtrip () =
   (* the default profiler attaches legality verdicts *)
   Alcotest.(check bool) "profile carries legality" true
     (match p.Profile.static_legality with Some (_ :: _) -> true | _ -> false);
+  (* strip race statuses: this test exercises the version-4 path *)
+  p.Profile.static_race <- None;
   let text = Pio.to_string p in
   Alcotest.(check bool) "version-4 header" true
     (String.starts_with ~prefix:"alchemist-profile 4\n" text);
@@ -544,6 +556,7 @@ let test_v4_v3_byte_exact () =
     (match p.Profile.static_distbounds with Some (_ :: _) -> true | _ -> false);
   Alcotest.(check bool) "carries legality" true
     (match p.Profile.static_legality with Some (_ :: _) -> true | _ -> false);
+  p.Profile.static_race <- None;
   let text4 = Pio.to_string p in
   Alcotest.(check bool) "version-4 header" true
     (String.starts_with ~prefix:"alchemist-profile 4\n" text4);
@@ -579,6 +592,8 @@ let test_v4_v3_byte_exact () =
 
 let test_legality_malformed_matrix () =
   let prog, p = profile_of sample_src in
+  (* keep the file below version 5 so the version-gate cases apply *)
+  p.Profile.static_race <- None;
   let text = Pio.to_string p in
   let expect_error ~label ~needle text =
     match Pio.read prog text with
@@ -663,6 +678,142 @@ let test_unrecorded_edge_rejection () =
       (* only acceptable if the verdict tag itself is unknown *)
       Alcotest.failf "verdict on unrecorded edge rejected: %s" msg
 
+(* --- version-5 race-status lines ----------------------------------- *)
+
+let has_race_line text =
+  List.exists
+    (String.starts_with ~prefix:"race ")
+    (String.split_on_char '\n' text)
+
+let test_v5_roundtrip () =
+  let prog, p = profile_of sample_src in
+  (* the default profiler attaches race statuses *)
+  Alcotest.(check bool) "profile carries race statuses" true
+    (match p.Profile.static_race with Some (_ :: _) -> true | _ -> false);
+  let text = Pio.to_string p in
+  Alcotest.(check bool) "version-5 header" true
+    (String.starts_with ~prefix:"alchemist-profile 5\n" text);
+  Alcotest.(check bool) "has race lines" true (has_race_line text);
+  match Pio.read prog text with
+  | Error msg -> Alcotest.failf "read failed: %s" msg
+  | Ok p2 ->
+      Alcotest.(check string) "byte-identical reserialization" text
+        (Pio.to_string p2);
+      Alcotest.(check bool) "race statuses preserved" true
+        (p.Profile.static_race = p2.Profile.static_race)
+
+let test_v5_v4_byte_exact () =
+  (* Stripping the race statuses from a loaded version-5 profile must
+     produce the exact bytes the same data would have written as
+     version 4 — the race block is a pure extension. *)
+  let prog, p = profile_of sample_src in
+  let text5 = Pio.to_string p in
+  Alcotest.(check bool) "version-5 header" true
+    (String.starts_with ~prefix:"alchemist-profile 5\n" text5);
+  p.Profile.static_race <- None;
+  let text4 = Pio.to_string p in
+  Alcotest.(check bool) "version-4 header after strip" true
+    (String.starts_with ~prefix:"alchemist-profile 4\n" text4);
+  Alcotest.(check bool) "no race lines" false (has_race_line text4);
+  (match Pio.read prog text5 with
+  | Error msg -> Alcotest.failf "v5 read failed: %s" msg
+  | Ok p5 ->
+      p5.Profile.static_race <- None;
+      Alcotest.(check string) "v5 minus race = v4 bytes" text4
+        (Pio.to_string p5));
+  (* an empty race list serializes at the lower version too *)
+  (match Pio.read prog text4 with
+  | Error msg -> Alcotest.failf "v4 read failed: %s" msg
+  | Ok p4 ->
+      p4.Profile.static_race <- Some [];
+      Alcotest.(check string) "empty race list stays v4" text4
+        (Pio.to_string p4));
+  (* a declared-v5 file with no race lines normalizes on round-trip *)
+  let fake_v5 =
+    "alchemist-profile 5"
+    ^ String.sub text4 (String.length "alchemist-profile 4")
+        (String.length text4 - String.length "alchemist-profile 4")
+  in
+  match Pio.read prog fake_v5 with
+  | Error msg -> Alcotest.failf "race-free v5 read failed: %s" msg
+  | Ok p4 ->
+      Alcotest.(check string) "race-line-free v5 normalizes to v4" text4
+        (Pio.to_string p4)
+
+(* One function is never called, so its construct is in range for the
+   program but absent from the profile's construct records — the target
+   for the unrecorded-construct rejection below. *)
+let race_matrix_src =
+  {|int g;
+    void dead(int i) { g = i; }
+    int main() {
+      for (int i = 0; i < 10; i = i + 1) g = g + i;
+      return g;
+    }|}
+
+let test_race_malformed_matrix () =
+  let prog, p = profile_of race_matrix_src in
+  let text = Pio.to_string p in
+  Alcotest.(check bool) "version-5 header" true
+    (String.starts_with ~prefix:"alchemist-profile 5\n" text);
+  let expect_error ~label ~needle text =
+    match Pio.read prog text with
+    | Ok _ -> Alcotest.failf "%s: accepted" label
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %S mentions %S" label msg needle)
+          true
+          (Testutil.contains msg needle)
+  in
+  let with_extra extra = text ^ extra ^ "\n" in
+  let extra_line = List.length (String.split_on_char '\n' text) in
+  (* unknown status tag *)
+  expect_error ~label:"bad race tag" ~needle:"unknown race status"
+    (with_extra "race 0 bogus");
+  (* out-of-range construct id *)
+  expect_error ~label:"race cid range" ~needle:"out of range"
+    (with_extra "race 9999 racy");
+  (* wrong arity falls through to the malformed-line case *)
+  expect_error ~label:"race arity" ~needle:"malformed" (with_extra "race 0");
+  (* duplicates are rejected with the offending 1-based line number *)
+  let first_race =
+    List.find
+      (String.starts_with ~prefix:"race ")
+      (String.split_on_char '\n' text)
+  in
+  expect_error ~label:"duplicate race" ~needle:"duplicate race"
+    (with_extra first_race);
+  expect_error ~label:"duplicate race line number"
+    ~needle:(Printf.sprintf "line %d" extra_line)
+    (with_extra first_race);
+  (* a status for an in-range construct the profile never recorded *)
+  let dead_cid =
+    let found = ref (-1) in
+    Array.iter
+      (fun (cp : Profile.construct_profile) ->
+        if cp.instances = 0 && !found < 0 then found := cp.cid)
+      p.Profile.by_cid;
+    Alcotest.(check bool) "source has an unexecuted construct" true (!found >= 0);
+    !found
+  in
+  expect_error ~label:"unrecorded construct"
+    ~needle:
+      (Printf.sprintf "race references unrecorded construct %d" dead_cid)
+    (with_extra (Printf.sprintf "race %d race-free" dead_cid));
+  expect_error ~label:"unrecorded construct line number"
+    ~needle:(Printf.sprintf "line %d" extra_line)
+    (with_extra (Printf.sprintf "race %d race-free" dead_cid));
+  (* a race line is rejected in any pre-v5 body *)
+  p.Profile.static_race <- None;
+  let v4 = Pio.to_string p in
+  expect_error ~label:"race in v4" ~needle:"version-4"
+    (v4 ^ first_race ^ "\n");
+  p.Profile.static_legality <- None;
+  p.Profile.static_distbounds <- None;
+  p.Profile.static_verdicts <- None;
+  let v1 = Pio.to_string p in
+  expect_error ~label:"race in v1" ~needle:"version-1" (v1 ^ first_race ^ "\n")
+
 let suite =
   [
     ("roundtrip", `Quick, test_roundtrip);
@@ -686,4 +837,7 @@ let suite =
     ("v4/v3 byte exactness", `Quick, test_v4_v3_byte_exact);
     ("legality malformed matrix", `Quick, test_legality_malformed_matrix);
     ("unrecorded edge rejection", `Quick, test_unrecorded_edge_rejection);
+    ("v5 race roundtrip", `Quick, test_v5_roundtrip);
+    ("v5/v4 byte exactness", `Quick, test_v5_v4_byte_exact);
+    ("race malformed matrix", `Quick, test_race_malformed_matrix);
   ]

@@ -1,0 +1,456 @@
+(* The static race detector (Static.Race) against a brute-force
+   simulation of the execution its Race_free verdict licenses.
+
+   The random property compiles single-loop programs whose body takes
+   one of eight shapes over an array [a] and two global scalars [g]
+   (an arbitrary cell) and [s] (a sum some shapes feed), then replays
+   them two ways:
+
+     sequential      iterations in program order, all cells shared
+     licensed        iterations in a permuted order — the spawned
+                     schedule the advice licenses — with the transforms
+                     the legality engine actually claims applied: a
+                     proven-reduction cell goes to per-thread partials
+                     (dealt by schedule position, folded into the
+                     initial value at the join, in either order), a
+                     proven-privatizable cell gets a per-iteration
+                     private copy (seeded with a poisoned sentinel so a
+                     wrong write-first claim shows) whose
+                     sequentially-last copy is the live-out.
+
+   Soundness is one-sided, exactly the detector's contract: whenever
+   the detector says Race_free, EVERY permutation, thread count, and
+   combine order must reproduce the sequential final state (g, s, and
+   the array). Racy / Unknown verdicts constrain nothing — they may be
+   conservative; only a Race_free claim over a divergent execution is
+   a bug.
+
+   The handcrafted table pins each verdict path — disjoint subscripts,
+   same-iteration confinement, the legality exemption for proven
+   reductions and privatizable cells, the serial refutation, the
+   conditional-write refutation, and both procedure-spawn poles — so a
+   detector that answers Unknown everywhere cannot pass vacuously. *)
+
+module Race = Static.Race
+module Depend = Static.Depend
+
+type shape =
+  | Disjoint of int (* a[i] = i + k *)
+  | SelfShift of int (* a[i] = a[i] + k    same-iteration RAW *)
+  | Shifted of int (* a[i] = a[i + 1] + k  neighbouring iterations *)
+  | RedSum of Minic.Ast.binop * int (* s = s OP (i + k) *)
+  | PrivG of int (* g = i + k; s = s + g *)
+  | SerialG of int (* s = s + g; g = i + k *)
+  | CondWrite of int (* if (i > k) { g = i; } *)
+  | Strided of int (* a[(i * m) & 15] = i *)
+
+type spec = { i0 : int; step : int; trip : int; shape : shape }
+
+let body = function
+  | Disjoint k -> Printf.sprintf "a[i] = i + %d;" k
+  | SelfShift k -> Printf.sprintf "a[i] = a[i] + %d;" k
+  | Shifted k -> Printf.sprintf "a[i] = a[i + 1] + %d;" k
+  | RedSum (op, k) ->
+      Printf.sprintf "s = s %s (i + %d);" (Minic.Ast.binop_to_string op) k
+  | PrivG k -> Printf.sprintf "g = i + %d; s = s + g;" k
+  | SerialG k -> Printf.sprintf "s = s + g; g = i + %d;" k
+  | CondWrite k -> Printf.sprintf "if (i > %d) { g = i; }" k
+  | Strided m -> Printf.sprintf "a[(i * %d) & 15] = i;" m
+
+let source sp =
+  let last = sp.i0 + ((sp.trip - 1) * sp.step) in
+  Printf.sprintf
+    "int a[64];\n\
+     int g;\n\
+     int s;\n\
+     int main() {\n\
+    \  int i;\n\
+    \  g = 3;\n\
+    \  s = 0;\n\
+    \  for (i = %d; i < %d; i = i + %d) {\n\
+    \    %s\n\
+    \  }\n\
+    \  return g + s + a[0];\n\
+     }\n"
+    sp.i0 (last + 1) sp.step (body sp.shape)
+
+let find_construct (prog : Vm.Program.t) kind =
+  let found = ref None in
+  Array.iter
+    (fun (c : Vm.Program.construct_info) ->
+      if c.kind = kind && !found = None then found := Some c)
+    prog.constructs;
+  match !found with
+  | Some c -> c
+  | None -> Alcotest.fail "program lacks the requested construct kind"
+
+let loop_cid prog = (find_construct prog Vm.Program.CLoop).Vm.Program.cid
+
+(* --- what the legality engine claims (the licensed transforms) ------- *)
+
+type claim = Claimed_red of Minic.Ast.binop | Claimed_priv | Unclaimed
+
+let claims_for prog (dep : Depend.t) =
+  let priv = Static.Legality.privatize (Depend.legality dep) in
+  let head_pc = (find_construct prog Vm.Program.CLoop).Vm.Program.head_pc in
+  match Static.Privatize.loop_at_header priv ~br_pc:head_pc with
+  | None -> fun _ -> Unclaimed
+  | Some loop -> (
+      fun cell ->
+        match Static.Privatize.prove_reduction priv loop ~cell with
+        | Ok op -> Claimed_red op
+        | Error _ -> (
+            match Static.Privatize.prove_privatizable priv loop ~cell with
+            | Ok () -> Claimed_priv
+            | Error _ -> Unclaimed))
+
+let global_addr prog name =
+  match Vm.Program.find_global prog name with
+  | Some (base, _) -> base
+  | None -> Alcotest.failf "no global %s" name
+
+(* --- brute-force replay ---------------------------------------------- *)
+
+let g_init = 3
+let s_init = 0
+let a_len = 64
+
+let step shape ~geta ~seta ~get ~set i =
+  match shape with
+  | Disjoint k -> seta i (i + k)
+  | SelfShift k -> seta i (geta i + k)
+  | Shifted k -> seta i (geta (i + 1) + k)
+  | RedSum (op, k) ->
+      let v =
+        match op with
+        | Minic.Ast.Add -> get `S + (i + k)
+        | Minic.Ast.Mul -> get `S * (i + k)
+        | Minic.Ast.BitAnd -> get `S land (i + k)
+        | Minic.Ast.BitOr -> get `S lor (i + k)
+        | Minic.Ast.BitXor -> get `S lxor (i + k)
+        | Minic.Ast.Sub -> get `S - (i + k)
+        | op ->
+            Alcotest.failf "unsimulated operator %s"
+              (Minic.Ast.binop_to_string op)
+      in
+      set `S v
+  | PrivG k ->
+      set `G (i + k);
+      set `S (get `S + get `G)
+  | SerialG k ->
+      set `S (get `S + get `G);
+      set `G (i + k)
+  | CondWrite k -> if i > k then set `G i
+  | Strided m -> seta ((i * m) land 15) i
+
+let iters sp = Array.of_list (List.init sp.trip (fun t -> sp.i0 + (t * sp.step)))
+
+type final = { g : int; s : int; a : int array }
+
+let simulate_seq sp =
+  let g = ref g_init and s = ref s_init and a = Array.make a_len 0 in
+  Array.iter
+    (fun i ->
+      step sp.shape ~geta:(Array.get a) ~seta:(Array.set a)
+        ~get:(function `G -> !g | `S -> !s)
+        ~set:(function `G -> ( := ) g | `S -> ( := ) s)
+        i)
+    (iters sp);
+  { g = !g; s = !s; a }
+
+let identity = function
+  | Minic.Ast.Add | Minic.Ast.BitOr | Minic.Ast.BitXor -> 0
+  | Minic.Ast.Mul -> 1
+  | Minic.Ast.BitAnd -> -1 (* all ones *)
+  | op ->
+      Alcotest.failf "no identity for claimed operator %s"
+        (Minic.Ast.binop_to_string op)
+
+let apply op a b =
+  match op with
+  | Minic.Ast.Add -> a + b
+  | Minic.Ast.Mul -> a * b
+  | Minic.Ast.BitAnd -> a land b
+  | Minic.Ast.BitOr -> a lor b
+  | Minic.Ast.BitXor -> a lxor b
+  | op ->
+      Alcotest.failf "no apply for claimed operator %s"
+        (Minic.Ast.binop_to_string op)
+
+(* One licensed execution: iterations run whole, in [perm] order, dealt
+   round-robin over [threads] by schedule position. Claimed cells get
+   the transform the claim licenses; everything else is shared. *)
+let simulate_licensed sp ~g_claim ~s_claim ~perm ~threads ~combine_rev =
+  let g = ref g_init and s = ref s_init and a = Array.make a_len 0 in
+  let part_g = Array.make threads 0 and part_s = Array.make threads 0 in
+  (match g_claim with
+  | Claimed_red op -> Array.fill part_g 0 threads (identity op)
+  | _ -> ());
+  (match s_claim with
+  | Claimed_red op -> Array.fill part_s 0 threads (identity op)
+  | _ -> ());
+  (* per-iteration private copies, poisoned so a read before the
+     iteration's own write stands out *)
+  let priv_g = Hashtbl.create 8 and priv_s = Hashtbl.create 8 in
+  let order = iters sp in
+  Array.iteri
+    (fun pos idx ->
+      let i = order.(idx) in
+      let slot = pos mod threads in
+      Hashtbl.replace priv_g idx (1_000_003 * (idx + 1));
+      Hashtbl.replace priv_s idx (2_000_003 * (idx + 1));
+      let get = function
+        | `G -> (
+            match g_claim with
+            | Claimed_red _ -> part_g.(slot)
+            | Claimed_priv -> Hashtbl.find priv_g idx
+            | Unclaimed -> !g)
+        | `S -> (
+            match s_claim with
+            | Claimed_red _ -> part_s.(slot)
+            | Claimed_priv -> Hashtbl.find priv_s idx
+            | Unclaimed -> !s)
+      in
+      let set cell v =
+        match cell with
+        | `G -> (
+            match g_claim with
+            | Claimed_red _ -> part_g.(slot) <- v
+            | Claimed_priv -> Hashtbl.replace priv_g idx v
+            | Unclaimed -> g := v)
+        | `S -> (
+            match s_claim with
+            | Claimed_red _ -> part_s.(slot) <- v
+            | Claimed_priv -> Hashtbl.replace priv_s idx v
+            | Unclaimed -> s := v)
+      in
+      step sp.shape ~geta:(Array.get a) ~seta:(Array.set a) ~get ~set i)
+    perm;
+  let join claim parts init touched =
+    match claim with
+    | Claimed_red op ->
+        let parts = Array.to_list parts in
+        let parts = if combine_rev then List.rev parts else parts in
+        List.fold_left (apply op) init parts
+    | Claimed_priv ->
+        (* live-out: the sequentially-last iteration's copy *)
+        if sp.trip = 0 then init else Hashtbl.find touched (sp.trip - 1)
+    | Unclaimed -> init
+  in
+  {
+    g =
+      (match g_claim with
+      | Unclaimed -> !g
+      | _ -> join g_claim part_g g_init priv_g);
+    s =
+      (match s_claim with
+      | Unclaimed -> !s
+      | _ -> join s_claim part_s s_init priv_s);
+    a;
+  }
+
+(* All permutations of 0..n-1; trip is capped at 5 so this tops out at
+   120 schedules. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map
+            (fun rest -> x :: rest)
+            (permutations (List.filter (( <> ) x) l)))
+        l
+
+let schedules trip =
+  permutations (List.init trip Fun.id) |> List.map Array.of_list
+
+let finals_equal x y = x.g = y.g && x.s = y.s && x.a = y.a
+
+(* The soundness check for one program: a Race_free verdict on the loop
+   quantifies over every licensed schedule. *)
+let check_sound sp =
+  let prog = Vm.Compile.compile_source (source sp) in
+  let dep = Depend.analyze prog in
+  let race = Depend.race dep in
+  match Race.status race ~cid:(loop_cid prog) with
+  | Some Race.Status.Racy | Some Race.Status.Unknown | None -> None
+  | Some Race.Status.Race_free ->
+      let g_claim = claims_for prog dep (global_addr prog "g") in
+      let s_claim = claims_for prog dep (global_addr prog "s") in
+      let seq = simulate_seq sp in
+      let divergent = ref None in
+      List.iter
+        (fun perm ->
+          List.iter
+            (fun threads ->
+              List.iter
+                (fun combine_rev ->
+                  if !divergent = None then
+                    let got =
+                      simulate_licensed sp ~g_claim ~s_claim ~perm ~threads
+                        ~combine_rev
+                    in
+                    if not (finals_equal got seq) then
+                      divergent :=
+                        Some
+                          (Printf.sprintf
+                             "claimed race-free, but schedule [%s] on %d \
+                              thread(s) gives g=%d s=%d vs sequential g=%d \
+                              s=%d"
+                             (String.concat ";"
+                                (List.map string_of_int
+                                   (Array.to_list perm)))
+                             threads got.g got.s seq.g seq.s))
+                [ false; true ])
+            [ 1; 2; 3 ])
+        (schedules sp.trip);
+      !divergent
+
+(* --- handcrafted verdict pins ----------------------------------------- *)
+
+let status_of_src src =
+  let prog = Vm.Compile.compile_source src in
+  let dep = Depend.analyze prog in
+  (prog, dep, Race.status (Depend.race dep) ~cid:(loop_cid prog))
+
+let show_status = function
+  | Some s -> Race.Status.to_string s
+  | None -> "none"
+
+let test_handcrafted () =
+  List.iter
+    (fun (name, shape, expected) ->
+      let sp = { i0 = 0; step = 1; trip = 6; shape } in
+      let _, _, st = status_of_src (source sp) in
+      Alcotest.(check string)
+        name
+        (Race.Status.to_string expected)
+        (show_status st))
+    [
+      ("disjoint subscripts", Disjoint 1, Race.Status.Race_free);
+      ("same-iteration confinement", SelfShift 2, Race.Status.Race_free);
+      ("neighbouring iterations conflict", Shifted 1, Race.Status.Racy);
+      ("proven reduction is exempt", RedSum (Minic.Ast.Add, 1),
+       Race.Status.Race_free);
+      ("proven privatizable is exempt", PrivG 1, Race.Status.Race_free);
+      ("read-old-value serializes", SerialG 1, Race.Status.Racy);
+      ("conditional write races", CondWrite 2, Race.Status.Racy);
+      ("non-associative fold races", RedSum (Minic.Ast.Sub, 1),
+       Race.Status.Racy);
+    ]
+
+(* A Racy loop's evidence: an ordered, capped, named witness list. *)
+let test_witness_shape () =
+  let sp = { i0 = 0; step = 1; trip = 6; shape = Shifted 1 } in
+  let prog, dep, _ = status_of_src (source sp) in
+  match Race.verdict (Depend.race dep) ~cid:(loop_cid prog) with
+  | Some (Race.Racy (w :: _ as ws)) ->
+      Alcotest.(check bool) "witnesses capped" true (List.length ws <= 16);
+      Alcotest.(check bool) "pcs ordered" true (w.Race.pc1 <= w.Race.pc2);
+      Alcotest.(check bool) "lines resolved" true
+        (w.Race.line1 > 0 && w.Race.line2 > 0);
+      Alcotest.(check bool) "cell names the array" true
+        (Testutil.contains w.Race.cell "a");
+      Alcotest.(check bool) "kind tag well-formed" true
+        (List.mem
+           (Race.kind_to_string w.Race.kind)
+           [ "RAW"; "WAR"; "WAW" ])
+  | _ -> Alcotest.fail "expected a Racy verdict with witnesses"
+
+(* Procedure spawns: a procedure that runs once cannot race with
+   itself; one called per iteration with an unprotected global write
+   must be Racy. *)
+let test_proc_poles () =
+  let once =
+    {|int g;
+      void f() { g = g + 1; }
+      int main() { f(); return g; }|}
+  in
+  let prog = Vm.Compile.compile_source once in
+  let dep = Depend.analyze prog in
+  let fcid =
+    let found = ref None in
+    Array.iter
+      (fun (c : Vm.Program.construct_info) ->
+        if c.kind = Vm.Program.CProc && c.cname = "f" then found := Some c.cid)
+      prog.Vm.Program.constructs;
+    Option.get !found
+  in
+  Alcotest.(check string) "called-once proc is race-free" "race-free"
+    (show_status (Race.status (Depend.race dep) ~cid:fcid));
+  let many =
+    {|int g;
+      void f(int i) { g = g + i; }
+      int main() {
+        int i;
+        for (i = 0; i < 8; i = i + 1) f(i);
+        return g;
+      }|}
+  in
+  let prog = Vm.Compile.compile_source many in
+  let dep = Depend.analyze prog in
+  let fcid =
+    let found = ref None in
+    Array.iter
+      (fun (c : Vm.Program.construct_info) ->
+        if c.kind = Vm.Program.CProc && c.cname = "f" then found := Some c.cid)
+      prog.Vm.Program.constructs;
+    Option.get !found
+  in
+  Alcotest.(check string) "repeated proc write races" "racy"
+    (show_status (Race.status (Depend.race dep) ~cid:fcid))
+
+(* Conditionals carry no verdict — they have no concurrent units. *)
+let test_cond_no_verdict () =
+  let sp = { i0 = 0; step = 1; trip = 6; shape = CondWrite 2 } in
+  let prog, dep, _ = status_of_src (source sp) in
+  let ccid = (find_construct prog Vm.Program.CCond).Vm.Program.cid in
+  Alcotest.(check bool) "no verdict on a conditional" true
+    (Race.verdict (Depend.race dep) ~cid:ccid = None)
+
+(* --- the random differential ------------------------------------------ *)
+
+let gen_spec =
+  QCheck.Gen.(
+    let op_gen =
+      oneofl
+        [ Minic.Ast.Add; Minic.Ast.Mul; Minic.Ast.BitAnd; Minic.Ast.BitOr;
+          Minic.Ast.BitXor; Minic.Ast.Sub ]
+    in
+    let shape_gen =
+      frequency
+        [
+          (2, map (fun k -> Disjoint k) (int_range 0 4));
+          (1, map (fun k -> SelfShift k) (int_range 1 4));
+          (1, map (fun k -> Shifted k) (int_range 0 4));
+          (3, map2 (fun op k -> RedSum (op, k)) op_gen (int_range 0 4));
+          (2, map (fun k -> PrivG k) (int_range 0 4));
+          (1, map (fun k -> SerialG k) (int_range 0 4));
+          (1, map (fun k -> CondWrite k) (int_range 0 3));
+          (1, map (fun m -> Strided m) (int_range 1 4));
+        ]
+    in
+    map
+      (fun ((i0, step, trip), shape) -> { i0; step; trip; shape })
+      (pair (triple (int_range 0 3) (int_range 1 3) (int_range 1 5)) shape_gen))
+
+let arb_spec = QCheck.make ~print:source gen_spec
+
+let test_random_vs_brute_force () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make
+       ~name:"Race_free never licenses a divergent schedule" ~count:250
+       arb_spec (fun sp ->
+         match check_sound sp with
+         | None -> true
+         | Some reason ->
+             QCheck.Test.fail_reportf "%s in\n%s" reason (source sp)))
+
+let suite =
+  [
+    ("handcrafted verdicts", `Quick, test_handcrafted);
+    ("witness shape", `Quick, test_witness_shape);
+    ("procedure poles", `Quick, test_proc_poles);
+    ("conditional has no verdict", `Quick, test_cond_no_verdict);
+    ("random vs brute force", `Quick, test_random_vs_brute_force);
+  ]
